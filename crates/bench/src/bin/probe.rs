@@ -1,0 +1,36 @@
+//! Calibration probe: variant time ratios vs the paper's Table 3/4.
+use gpu_queue::Variant;
+use pt_bfs::{run_bfs, BfsConfig};
+use ptq_graph::Dataset;
+use simt::GpuConfig;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    for (gpu, wgs) in [(GpuConfig::fiji(), 224usize), (GpuConfig::spectre(), 32)] {
+        for ds in [
+            Dataset::Synthetic,
+            Dataset::SocLiveJournal1,
+            Dataset::RoadNY,
+        ] {
+            let g = ds.build(scale);
+            let mut secs = vec![];
+            let mut sched = vec![];
+            for v in Variant::ALL {
+                let run = run_bfs(&gpu, &g, 0, &BfsConfig::new(v, wgs)).unwrap();
+                secs.push(run.seconds);
+                sched.push(run.metrics.scheduler_atomics);
+            }
+            println!(
+                "{} {}: BASE/RFAN={:.2}x AN/RFAN={:.2}x | fig5 ratio={:.1}",
+                gpu.name,
+                ds.spec().name,
+                secs[0] / secs[2],
+                secs[1] / secs[2],
+                sched[0] as f64 / sched[2].max(1) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--scale F | --full] [--out DIR]
+//!
+//! experiments:
+//!   table1 table2 table3 table4 table5 table6
+//!   fig1 fig3 fig4 fig5
+//!   scaling ablate-matrix ablate-chunk ablate-occupancy
+//!   all          everything above
+//!
+//! options:
+//!   --scale F    dataset scale in (0,1]   (default 0.05)
+//!   --full       shorthand for --scale 1.0 (the paper's sizes; slow)
+//!   --out DIR    where to write .md/.csv   (default results/)
+//! ```
+//!
+//! Every table is printed to stdout and written as markdown + CSV.
+
+use repro_bench::experiments::{
+    ablate, common, fig1, fig3, fig4, fig5, scaling, table12, table34, table5, table6, verify,
+};
+use repro_bench::{Scale, Table};
+use simt::GpuConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    scale: Scale,
+    out: PathBuf,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut experiment: Option<String> = None;
+    let mut scale = Scale::DEFAULT;
+    let mut out = PathBuf::from("results");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(f) if f > 0.0 && f <= 1.0 => scale = Scale::new(f),
+                _ => return usage("--scale needs a number in (0, 1]"),
+            },
+            "--full" => scale = Scale::FULL,
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => return usage("--out needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            name if experiment.is_none() && !name.starts_with('-') => {
+                experiment = Some(name.to_owned());
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(experiment) = experiment else {
+        return usage("missing experiment name");
+    };
+    let opts = Options { scale, out };
+    eprintln!(
+        "# scale = {} (vertex counts at {:.1}% of the paper's)",
+        opts.scale.fraction(),
+        opts.scale.fraction() * 100.0
+    );
+
+    let known = run_experiment(&experiment, &opts);
+    if !known {
+        return usage(&format!("unknown experiment {experiment:?}"));
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(error: &str) -> ExitCode {
+    if !error.is_empty() {
+        eprintln!("error: {error}\n");
+    }
+    eprintln!(
+        "usage: repro <experiment> [--scale F | --full] [--out DIR]\n\
+         experiments: table1 table2 table3 table4 table5 table6 \
+         fig1 fig3 fig4 fig5 scaling ablate-matrix ablate-stealing ablate-chunk \
+         ablate-occupancy all"
+    );
+    if error.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn emit(table: &Table, opts: &Options, stem: &str) {
+    println!("{}", table.to_markdown());
+    if let Err(e) = table.write_to(&opts.out, stem) {
+        eprintln!("warning: could not write {stem}: {e}");
+    }
+}
+
+fn run_experiment(name: &str, opts: &Options) -> bool {
+    match name {
+        "table1" => emit(&table12::table1(opts.scale), opts, "table1"),
+        "table2" => emit(&table12::table2(opts.scale), opts, "table2"),
+        "table3" | "table4" => {
+            let times = table34::measure(opts.scale);
+            emit(&table34::table3(&times), opts, "table3");
+            emit(&table34::table4(&times), opts, "table4");
+        }
+        "table5" => {
+            let rows = table5::measure(opts.scale);
+            emit(&table5::table(&rows), opts, "table5");
+        }
+        "table6" => {
+            let rows = table6::measure(opts.scale);
+            emit(&table6::table(&rows), opts, "table6");
+        }
+        "fig3" => {
+            emit(&fig3::profile_table(opts.scale), opts, "fig3_profiles");
+            emit(&fig3::saturation_table(opts.scale), opts, "fig3_saturation");
+        }
+        "fig1" | "fig5" => run_retry_figures(opts),
+        "fig4" => run_fig4(opts),
+        "verify" => {
+            let verdicts = verify::run_checks(opts.scale);
+            emit(&verify::table(&verdicts), opts, "verify");
+            if verdicts.iter().any(|v| !v.pass) {
+                eprintln!("verification FAILED");
+                std::process::exit(1);
+            }
+            eprintln!("verification PASSED: every headline claim reproduces");
+        }
+        "scaling" => {
+            emit(
+                &scaling::table(opts.scale, &GpuConfig::fiji()),
+                opts,
+                "scaling_fiji",
+            );
+            emit(
+                &scaling::table(opts.scale, &GpuConfig::spectre()),
+                opts,
+                "scaling_spectre",
+            );
+        }
+        "ablate-matrix" => {
+            emit(
+                &ablate::matrix_table(opts.scale, &GpuConfig::fiji()),
+                opts,
+                "ablate_matrix_fiji",
+            );
+        }
+        "ablate-stealing" => {
+            emit(
+                &ablate::stealing_table(opts.scale, &GpuConfig::fiji()),
+                opts,
+                "ablate_stealing_fiji",
+            );
+        }
+        "ablate-chunk" => {
+            emit(
+                &ablate::chunk_table(opts.scale, &GpuConfig::fiji()),
+                opts,
+                "ablate_chunk_fiji",
+            );
+            emit(
+                &ablate::chunk_table(opts.scale, &GpuConfig::spectre()),
+                opts,
+                "ablate_chunk_spectre",
+            );
+        }
+        "ablate-occupancy" => {
+            emit(
+                &ablate::occupancy_table(opts.scale, &GpuConfig::fiji()),
+                opts,
+                "ablate_occupancy_fiji",
+            );
+        }
+        "all" => {
+            for exp in [
+                "table1",
+                "table2",
+                "table3",
+                "table5",
+                "table6",
+                "fig3",
+                "fig1",
+                "fig4",
+                "scaling",
+                "ablate-matrix",
+                "ablate-stealing",
+                "ablate-chunk",
+                "ablate-occupancy",
+            ] {
+                eprintln!("== {exp} ==");
+                run_experiment(exp, opts);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+/// Figures 1 and 5 share their sweeps (BASE failures and BASE/RF-AN
+/// atomic ratios over the same workgroup grids).
+fn run_retry_figures(opts: &Options) {
+    for (gpu, _) in common::platforms() {
+        let sweeps: Vec<_> = ptq_graph::Dataset::FIG5_THREE
+            .into_iter()
+            .map(|dataset| {
+                eprintln!("  sweeping {} on {} ...", dataset.spec().name, gpu.name);
+                let graph = dataset.build(opts.scale.fraction());
+                let points = common::sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep());
+                (dataset, points)
+            })
+            .collect();
+        let gpu_l = gpu.name.to_lowercase();
+        emit(
+            &fig1::panel_table(&gpu, &sweeps),
+            opts,
+            &format!("fig1_{gpu_l}"),
+        );
+        emit(
+            &fig5::panel_table(&gpu, &sweeps),
+            opts,
+            &format!("fig5_{gpu_l}"),
+        );
+        if let Err(e) =
+            fig1::panel_chart(&gpu, &sweeps).write_to(&opts.out, &format!("fig1_{gpu_l}"))
+        {
+            eprintln!("warning: fig1 svg: {e}");
+        }
+        if let Err(e) =
+            fig5::panel_chart(&gpu, &sweeps).write_to(&opts.out, &format!("fig5_{gpu_l}"))
+        {
+            eprintln!("warning: fig5 svg: {e}");
+        }
+    }
+}
+
+fn run_fig4(opts: &Options) {
+    for (gpu, _) in common::platforms() {
+        for dataset in ptq_graph::Dataset::MAIN_SIX {
+            eprintln!("  fig4 panel: {} / {} ...", gpu.name, dataset.spec().name);
+            let points = fig4::sweep_panel(&gpu, dataset, opts.scale);
+            let table = fig4::panel_table(&gpu, dataset, &points);
+            let stem = format!(
+                "fig4_{}_{}",
+                gpu.name.to_lowercase(),
+                dataset.spec().name.replace(['.', '-'], "_").to_lowercase()
+            );
+            emit(&table, opts, &stem);
+            if let Err(e) = fig4::panel_chart(&gpu, dataset, &points).write_to(&opts.out, &stem) {
+                eprintln!("warning: fig4 svg: {e}");
+            }
+            if dataset == ptq_graph::Dataset::Synthetic {
+                let max = *gpu.workgroup_sweep().last().unwrap();
+                eprintln!(
+                    "  RF/AN scaling efficiency on synthetic/{}: {:.2} of ideal",
+                    gpu.name,
+                    fig4::rfan_scaling_efficiency(&points, max)
+                );
+            }
+        }
+    }
+}

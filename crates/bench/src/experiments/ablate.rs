@@ -1,0 +1,196 @@
+//! Ablation studies beyond the paper's own experiments.
+//!
+//! * **Chunk size** — the paper fixes work cycles at 4 uniform sub-tasks
+//!   ("Empirically we found work cycles of 4 sub-tasks works well",
+//!   §3.3 footnote). The sweep shows why: small chunks dequeue too often
+//!   (scheduler overhead), large chunks starve other lanes through
+//!   divergence.
+//! * **Occupancy** — the paper launches 4 workgroups per CU "to
+//!   facilitate zero-cost thread switching". The sweep varies resident
+//!   workgroups per CU and exposes the latency-hiding effect.
+
+use crate::report::{fmt_f64, Table};
+use crate::Scale;
+use gpu_queue::Variant;
+use pt_bfs::{run_bfs, BfsConfig};
+use ptq_graph::Dataset;
+use simt::GpuConfig;
+
+/// The full 2×2 property matrix (adds the RF-only variant the paper does
+/// not evaluate): retry-free × arbitrary-n, on the saturating synthetic
+/// dataset where both properties matter most.
+pub fn matrix_table(scale: Scale, gpu: &GpuConfig) -> Table {
+    let graph = Dataset::Synthetic.build(scale.fraction());
+    let wgs = gpu.num_cus * gpu.wgs_per_cu;
+    let mut t = Table::new(
+        format!(
+            "Ablation ({}): 2x2 property matrix on the synthetic dataset",
+            gpu.name
+        ),
+        &[
+            "Variant",
+            "retry-free",
+            "arbitrary-n",
+            "Time (s)",
+            "Atomics",
+            "Retries",
+        ],
+    );
+    for variant in Variant::MATRIX {
+        let run = run_bfs(gpu, &graph, 0, &BfsConfig::new(variant, wgs))
+            .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        t.row(vec![
+            variant.label().to_owned(),
+            if variant.is_retry_free() { "yes" } else { "no" }.to_owned(),
+            if variant.is_arbitrary_n() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_owned(),
+            fmt_f64(run.seconds),
+            run.metrics.global_atomics.to_string(),
+            run.metrics.total_retries().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Single shared queue vs. one-queue-per-CU with work stealing (the
+/// Tzeng-style alternative the paper's related work surveys), across the
+/// three workload regimes.
+pub fn stealing_table(scale: Scale, gpu: &GpuConfig) -> Table {
+    use pt_bfs::run_bfs_stealing;
+    use ptq_graph::validate_levels;
+
+    let wgs = gpu.num_cus * gpu.wgs_per_cu;
+    let mut t = Table::new(
+        format!(
+            "Ablation ({}): single shared RF/AN queue vs distributed work stealing",
+            gpu.name
+        ),
+        &[
+            "Dataset",
+            "Shared (s)",
+            "Stealing (s)",
+            "Stealing empty-scans",
+        ],
+    );
+    for dataset in [
+        Dataset::Synthetic,
+        Dataset::SocLiveJournal1,
+        Dataset::RoadNY,
+    ] {
+        let graph = dataset.build(scale.fraction());
+        let shared = run_bfs(gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
+            .unwrap_or_else(|e| panic!("shared on {dataset:?}: {e}"));
+        let stealing = run_bfs_stealing(gpu, &graph, 0, wgs)
+            .unwrap_or_else(|e| panic!("stealing on {dataset:?}: {e}"));
+        validate_levels(&graph, 0, &stealing.costs)
+            .unwrap_or_else(|_| panic!("stealing wrong levels on {dataset:?}"));
+        t.row(vec![
+            dataset.spec().name.to_owned(),
+            fmt_f64(shared.seconds),
+            fmt_f64(stealing.seconds),
+            stealing.metrics.queue_empty_retries.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Chunk sizes swept by [`chunk_table`].
+pub const CHUNKS: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Sweeps the work-cycle chunk size on the saturating synthetic dataset.
+pub fn chunk_table(scale: Scale, gpu: &GpuConfig) -> Table {
+    let graph = Dataset::Synthetic.build(scale.fraction());
+    let wgs = gpu.num_cus * gpu.wgs_per_cu;
+    let mut t = Table::new(
+        format!(
+            "Ablation ({}): sub-tasks per work cycle (paper fixes 4)",
+            gpu.name
+        ),
+        &["Chunk", "BASE time (s)", "AN time (s)", "RF/AN time (s)"],
+    );
+    for chunk in CHUNKS {
+        let mut row = vec![chunk.to_string()];
+        for variant in Variant::ALL {
+            let mut config = BfsConfig::new(variant, wgs);
+            config.chunk = chunk;
+            let run = run_bfs(gpu, &graph, 0, &config)
+                .unwrap_or_else(|e| panic!("chunk {chunk} {variant:?}: {e}"));
+            row.push(fmt_f64(run.seconds));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Sweeps resident workgroups per CU (occupancy) at a fixed total number
+/// of CUs, isolating the latency-hiding effect of extra wavefronts.
+pub fn occupancy_table(scale: Scale, base_gpu: &GpuConfig) -> Table {
+    let graph = Dataset::Synthetic.build(scale.fraction());
+    let mut t = Table::new(
+        format!(
+            "Ablation ({}): workgroups per CU (paper launches 4)",
+            base_gpu.name
+        ),
+        &["WGs/CU", "Threads", "RF/AN time (s)"],
+    );
+    for wgs_per_cu in [1usize, 2, 4, 8] {
+        let mut gpu = base_gpu.clone();
+        gpu.wgs_per_cu = wgs_per_cu;
+        let wgs = gpu.num_cus * wgs_per_cu;
+        let run = run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
+            .unwrap_or_else(|e| panic!("occupancy {wgs_per_cu}: {e}"));
+        t.row(vec![
+            wgs_per_cu.to_string(),
+            (wgs * gpu.wave_size).to_string(),
+            fmt_f64(run.seconds),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_shows_both_properties_matter() {
+        let gpu = GpuConfig::spectre();
+        let t = matrix_table(Scale::new(0.01), &gpu);
+        assert_eq!(t.num_rows(), 4);
+    }
+
+    #[test]
+    fn stealing_table_runs_and_validates() {
+        let gpu = GpuConfig::spectre();
+        let t = stealing_table(Scale::TEST, &gpu);
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn chunk_sweep_runs_and_default_is_competitive() {
+        let gpu = GpuConfig::spectre();
+        let t = chunk_table(Scale::TEST, &gpu);
+        assert_eq!(t.num_rows(), CHUNKS.len());
+    }
+
+    #[test]
+    fn more_occupancy_helps_until_saturation() {
+        let gpu = GpuConfig::spectre();
+        let graph = Dataset::Synthetic.build(Scale::new(0.01).fraction());
+        let time_at = |wgs_per_cu: usize| {
+            let mut g = gpu.clone();
+            g.wgs_per_cu = wgs_per_cu;
+            let wgs = g.num_cus * wgs_per_cu;
+            run_bfs(&g, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
+                .unwrap()
+                .seconds
+        };
+        let t1 = time_at(1);
+        let t4 = time_at(4);
+        assert!(t4 < t1, "4 wgs/cu ({t4}) should beat 1 ({t1})");
+    }
+}

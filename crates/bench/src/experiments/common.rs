@@ -1,0 +1,117 @@
+//! Shared plumbing for the experiments.
+
+use crate::Scale;
+use gpu_queue::Variant;
+use pt_bfs::{run_bfs, BfsConfig, BfsRun};
+use ptq_graph::{validate_levels, Csr, Dataset};
+use simt::GpuConfig;
+use std::collections::HashMap;
+
+/// The two hardware platforms of the paper with their headline workgroup
+/// counts (Table 3's `nWG` column).
+pub fn platforms() -> [(GpuConfig, usize); 2] {
+    [(GpuConfig::fiji(), 224), (GpuConfig::spectre(), 32)]
+}
+
+/// Caches built datasets per (dataset, scale) so multi-experiment runs do
+/// not regenerate multi-million-vertex graphs repeatedly.
+#[derive(Default)]
+pub struct DatasetCache {
+    graphs: HashMap<(Dataset, u64), Csr>,
+}
+
+impl DatasetCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds (or returns the cached) graph for `dataset` at `scale`.
+    pub fn get(&mut self, dataset: Dataset, scale: Scale) -> &Csr {
+        let key = (dataset, scale.fraction().to_bits());
+        self.graphs
+            .entry(key)
+            .or_insert_with(|| dataset.build(scale.fraction()))
+    }
+}
+
+/// Runs one validated BFS and returns its stats.
+///
+/// # Panics
+/// Panics if the simulation faults or the resulting levels are wrong —
+/// a reproduction harness must never silently report numbers from an
+/// incorrect traversal.
+pub fn bfs_run(gpu: &GpuConfig, graph: &Csr, variant: Variant, workgroups: usize) -> BfsRun {
+    let config = BfsConfig::new(variant, workgroups);
+    let run = run_bfs(gpu, graph, 0, &config)
+        .unwrap_or_else(|e| panic!("{} {variant:?} x{workgroups}: {e}", gpu.name));
+    validate_levels(graph, 0, &run.costs).unwrap_or_else(|(v, want, got)| {
+        panic!(
+            "{} {variant:?}: wrong level at vertex {v}: want {want} got {got}",
+            gpu.name
+        )
+    });
+    run
+}
+
+/// One measured point of a workgroup sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Workgroups launched.
+    pub wgs: usize,
+    /// Queue design.
+    pub variant: Variant,
+    /// Simulated kernel seconds.
+    pub seconds: f64,
+    /// Full simulator counters.
+    pub metrics: simt::Metrics,
+}
+
+/// Runs all three variants at every workgroup count of the GPU's sweep
+/// (1, 2, 4, … max) over one graph — the shared measurement behind
+/// Figures 1, 4, and 5.
+pub fn sweep_dataset(gpu: &GpuConfig, graph: &Csr, wgs_list: &[usize]) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(wgs_list.len() * Variant::ALL.len());
+    for &wgs in wgs_list {
+        for variant in Variant::ALL {
+            let run = bfs_run(gpu, graph, variant, wgs);
+            points.push(SweepPoint {
+                wgs,
+                variant,
+                seconds: run.seconds,
+                metrics: run.metrics,
+            });
+        }
+    }
+    points
+}
+
+/// Finds a sweep point.
+pub fn point(points: &[SweepPoint], wgs: usize, variant: Variant) -> &SweepPoint {
+    points
+        .iter()
+        .find(|p| p.wgs == wgs && p.variant == variant)
+        .expect("sweep point missing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platforms_match_paper() {
+        let [(fiji, f_wg), (spectre, s_wg)] = platforms();
+        assert_eq!(fiji.name, "Fiji");
+        assert_eq!(f_wg, 224);
+        assert_eq!(spectre.name, "Spectre");
+        assert_eq!(s_wg, 32);
+    }
+
+    #[test]
+    fn cache_returns_same_graph() {
+        let mut cache = DatasetCache::new();
+        let a = cache.get(Dataset::RoadNY, Scale::TEST).num_vertices();
+        let b = cache.get(Dataset::RoadNY, Scale::TEST).num_vertices();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 1: retries caused by CAS failure for the top-down BFS, as a
+//! function of the number of active threads (workgroups), per dataset.
+//!
+//! The paper uses this figure to motivate the whole design: "CAS failures
+//! increase as the number of actively running threads increases."
+
+use super::common::{point, SweepPoint};
+use crate::plot::{Chart, Scale as Axis};
+use crate::report::Table;
+use gpu_queue::Variant;
+use ptq_graph::Dataset;
+use simt::GpuConfig;
+
+/// Renders the Figure 1 panel for one GPU from precomputed sweeps (one
+/// sweep per dataset, same workgroup grid).
+pub fn panel_table(gpu: &GpuConfig, sweeps: &[(Dataset, Vec<SweepPoint>)]) -> Table {
+    let mut columns: Vec<&str> = vec!["nWG"];
+    let names: Vec<String> = sweeps
+        .iter()
+        .map(|(d, _)| d.spec().name.to_owned())
+        .collect();
+    for n in &names {
+        columns.push(n.as_str());
+    }
+    let mut t = Table::new(
+        format!(
+            "Figure 1 ({}): BASE CAS-failure retries vs workgroups",
+            gpu.name
+        ),
+        &columns,
+    );
+    for &wgs in &gpu.workgroup_sweep() {
+        let mut row = vec![wgs.to_string()];
+        for (_, points) in sweeps {
+            let p = point(points, wgs, Variant::Base);
+            row.push(p.metrics.cas_failures.to_string());
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Renders one GPU's Figure 1 panel as an SVG (log2 x, log2 y).
+pub fn panel_chart(gpu: &GpuConfig, sweeps: &[(Dataset, Vec<SweepPoint>)]) -> Chart {
+    let mut chart = Chart::new(
+        format!("Fig 1: BASE CAS-failure retries ({})", gpu.name),
+        "workgroups",
+        "CAS failures",
+        Axis::Log2,
+        Axis::Log2,
+    );
+    for (dataset, points) in sweeps {
+        let series: Vec<(f64, f64)> = gpu
+            .workgroup_sweep()
+            .iter()
+            .map(|&wgs| {
+                let f = point(points, wgs, Variant::Base).metrics.cas_failures;
+                (wgs as f64, (f as f64).max(1.0))
+            })
+            .collect();
+        chart.series(dataset.spec().name, series);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::sweep_dataset;
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn retries_grow_with_workgroups_on_saturating_data() {
+        let gpu = GpuConfig::spectre();
+        let graph = Dataset::Synthetic.build(Scale::new(0.01).fraction());
+        let points = sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep());
+        let sweeps = vec![(Dataset::Synthetic, points)];
+        let t = panel_table(&gpu, &sweeps);
+        assert_eq!(t.num_rows(), gpu.workgroup_sweep().len());
+        let first = point(&sweeps[0].1, 1, Variant::Base).metrics.cas_failures;
+        let max_wgs = *gpu.workgroup_sweep().last().unwrap();
+        let last = point(&sweeps[0].1, max_wgs, Variant::Base)
+            .metrics
+            .cas_failures;
+        assert!(
+            last > first,
+            "failures should grow with threads: {first} -> {last}"
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 3: dynamic data parallelism (vertices per BFS level) for the six
+//! input datasets, plus the saturation summary the paper reads off it.
+
+use super::common::DatasetCache;
+use crate::report::Table;
+use crate::Scale;
+use ptq_graph::{level_profile, Dataset};
+use simt::GpuConfig;
+
+/// Per-level vertex counts for all six datasets (long-format table:
+/// one row per (dataset, level)).
+pub fn profile_table(scale: Scale) -> Table {
+    let mut cache = DatasetCache::new();
+    let mut t = Table::new(
+        "Figure 3: vertices available for thread assignment at each BFS level",
+        &["Dataset", "Level", "Vertices"],
+    );
+    for dataset in Dataset::MAIN_SIX {
+        let graph = cache.get(dataset, scale);
+        let profile = level_profile(graph, dataset.source());
+        for (level, &count) in profile.counts.iter().enumerate() {
+            t.row(vec![
+                dataset.spec().name.to_owned(),
+                level.to_string(),
+                count.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Saturation summary: what fraction of each traversal keeps the two
+/// GPUs' persistent threads busy — the quantity the paper uses to explain
+/// every speedup difference ("idle threads do not contribute to
+/// acceleration").
+pub fn saturation_table(scale: Scale) -> Table {
+    let mut cache = DatasetCache::new();
+    // At reduced scale the thread counts must shrink with the data to
+    // preserve the saturation shape.
+    let fiji = ((GpuConfig::fiji().max_threads() as f64 * scale.fraction()) as u64).max(64);
+    let spectre = ((GpuConfig::spectre().max_threads() as f64 * scale.fraction()) as u64).max(16);
+    let mut t = Table::new(
+        "Figure 3 (summary): saturation of persistent threads per dataset",
+        &[
+            "Dataset",
+            "Levels",
+            "Peak width",
+            "Work sat. (Fiji-equiv)",
+            "Work sat. (Spectre-equiv)",
+        ],
+    );
+    for dataset in Dataset::MAIN_SIX {
+        let graph = cache.get(dataset, scale);
+        let p = level_profile(graph, dataset.source());
+        t.row(vec![
+            dataset.spec().name.to_owned(),
+            p.num_levels().to_string(),
+            p.peak().to_string(),
+            format!("{:.2}", p.work_saturation(fiji)),
+            format!("{:.2}", p.work_saturation(spectre)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_datasets() {
+        assert_eq!(saturation_table(Scale::TEST).num_rows(), 6);
+        assert!(profile_table(Scale::TEST).num_rows() >= 6);
+    }
+
+    #[test]
+    fn synthetic_saturates_and_roadmaps_do_not() {
+        let mut cache = DatasetCache::new();
+        let synth = ptq_graph::level_profile(cache.get(Dataset::Synthetic, Scale::TEST), 0);
+        let road = ptq_graph::level_profile(cache.get(Dataset::RoadNY, Scale::TEST), 0);
+        let threads = 64;
+        assert!(
+            synth.work_saturation(threads) > 0.9,
+            "synthetic work saturation {}",
+            synth.work_saturation(threads)
+        );
+        assert!(
+            road.work_saturation(threads) < 0.5,
+            "roadmap work saturation {}",
+            road.work_saturation(threads)
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 5: retry ratios — total atomic operations of the BASE kernel
+//! over the operations required by the proposed design, vs workgroups,
+//! for the three selected datasets (synthetic, soc-LiveJournal1, NY).
+//!
+//! "Figure 5a shows the BASE queue requires over 60× more atomic
+//! operations than the proposed queue when the largest number of threads
+//! is used on the discrete Fiji GPU."
+
+use super::common::{point, SweepPoint};
+use crate::plot::{Chart, Scale as Axis};
+use crate::report::Table;
+use gpu_queue::Variant;
+use ptq_graph::Dataset;
+use simt::GpuConfig;
+
+/// Retry ratio at one sweep point — the paper's definition: "the ratio of
+/// total atomic operations used by a kernel over the number of operations
+/// required by our design", i.e. the BASE kernel's scheduler atomics
+/// (reservations + retries) over the proxy-batched count RF/AN needs.
+pub fn retry_ratio(points: &[SweepPoint], wgs: usize) -> f64 {
+    let base = point(points, wgs, Variant::Base).metrics.scheduler_atomics;
+    let rfan = point(points, wgs, Variant::RfAn).metrics.scheduler_atomics;
+    base as f64 / rfan.max(1) as f64
+}
+
+/// Renders one GPU's Figure 5 panel from per-dataset sweeps.
+pub fn panel_table(gpu: &GpuConfig, sweeps: &[(Dataset, Vec<SweepPoint>)]) -> Table {
+    let mut columns: Vec<&str> = vec!["nWG"];
+    let names: Vec<String> = sweeps
+        .iter()
+        .map(|(d, _)| d.spec().name.to_owned())
+        .collect();
+    for n in &names {
+        columns.push(n.as_str());
+    }
+    let mut t = Table::new(
+        format!(
+            "Figure 5 ({}): retry ratio (BASE atomics / RF/AN atomics) vs workgroups",
+            gpu.name
+        ),
+        &columns,
+    );
+    for &wgs in &gpu.workgroup_sweep() {
+        let mut row = vec![wgs.to_string()];
+        for (_, points) in sweeps {
+            row.push(format!("{:.1}", retry_ratio(points, wgs)));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Renders one GPU's Figure 5 panel as an SVG (log2 x, log2 y).
+pub fn panel_chart(gpu: &GpuConfig, sweeps: &[(Dataset, Vec<SweepPoint>)]) -> Chart {
+    let mut chart = Chart::new(
+        format!("Fig 5: retry ratio ({})", gpu.name),
+        "workgroups",
+        "BASE / RF-AN scheduler atomics",
+        Axis::Log2,
+        Axis::Log2,
+    );
+    for (dataset, points) in sweeps {
+        let series: Vec<(f64, f64)> = gpu
+            .workgroup_sweep()
+            .iter()
+            .map(|&wgs| (wgs as f64, retry_ratio(points, wgs).max(1e-3)))
+            .collect();
+        chart.series(dataset.spec().name, series);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::sweep_dataset;
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn ratio_grows_with_workgroups_and_is_large_at_max() {
+        let gpu = GpuConfig::spectre();
+        let graph = Dataset::Synthetic.build(Scale::new(0.01).fraction());
+        let points = sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep());
+        let max_wgs = *gpu.workgroup_sweep().last().unwrap();
+        let at_max = retry_ratio(&points, max_wgs);
+        let at_one = retry_ratio(&points, 1);
+        assert!(
+            at_max > at_one,
+            "ratio should grow with threads: {at_one} -> {at_max}"
+        );
+        // The paper reports >60x on the big GPU at 224 WGs; on the small
+        // test device at miniature scale we still expect a wide margin.
+        assert!(at_max > 10.0, "retry ratio at max {at_max}");
+    }
+}

@@ -1,0 +1,29 @@
+//! One module per table/figure of the paper, plus the ablations.
+//!
+//! | paper artifact | function | output stem |
+//! |---|---|---|
+//! | Figure 1 | [`fig1::run`] | `fig1_<gpu>` |
+//! | Figure 3 | [`fig3::run`] | `fig3` |
+//! | Table 1 | [`table12::table1`] | `table1` |
+//! | Table 2 | [`table12::table2`] | `table2` |
+//! | Table 3 | [`table34::table3`] | `table3` |
+//! | Table 4 | [`table34::table4`] | `table4` |
+//! | Figure 4 | [`fig4::run`] | `fig4_<gpu>_<dataset>` |
+//! | Figure 5 | [`fig5::run`] | `fig5_<gpu>` |
+//! | Table 5 | [`table5::run`] | `table5` |
+//! | Table 6 | [`table6::run`] | `table6` |
+//! | ablations | [`ablate`] | `ablate_*` |
+//! | scaling deep-dive | [`scaling::table`] | `scaling_<gpu>` |
+
+pub mod ablate;
+pub mod common;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod scaling;
+pub mod table12;
+pub mod table34;
+pub mod table5;
+pub mod table6;
+pub mod verify;

@@ -1,0 +1,133 @@
+//! Tables 3 and 4: kernel execution times of the three queue variants
+//! across the six datasets and both GPUs, and the relative improvements.
+
+use super::common::{bfs_run, platforms, DatasetCache};
+use crate::report::{fmt_f64, Table};
+use crate::Scale;
+use gpu_queue::Variant;
+use ptq_graph::Dataset;
+use std::collections::HashMap;
+
+/// All execution times measured for Table 3, keyed by
+/// `(gpu name, dataset, variant)`.
+pub type Times = HashMap<(&'static str, Dataset, Variant), f64>;
+
+/// Measures every (GPU, dataset, variant) combination.
+pub fn measure(scale: Scale) -> Times {
+    measure_for(scale, &Dataset::MAIN_SIX)
+}
+
+/// Measures the given datasets only (used by reduced-scale tests).
+pub fn measure_for(scale: Scale, datasets: &[Dataset]) -> Times {
+    let mut cache = DatasetCache::new();
+    let mut times = Times::new();
+    for (gpu, wgs) in platforms() {
+        for &dataset in datasets {
+            let graph = cache.get(dataset, scale).clone();
+            for variant in Variant::ALL {
+                let run = bfs_run(&gpu, &graph, variant, wgs);
+                times.insert((gpu.name, dataset, variant), run.seconds);
+            }
+        }
+    }
+    times
+}
+
+/// Renders Table 3 (execution times in seconds).
+pub fn table3(times: &Times) -> Table {
+    let mut t = Table::new(
+        "Table 3: execution times (s) of queue variants across datasets and hardware",
+        &["GPU", "nWG", "Dataset", "BASE", "AN", "RF/AN"],
+    );
+    for (gpu, wgs) in platforms() {
+        for dataset in Dataset::MAIN_SIX {
+            let get = |v: Variant| times[&(gpu.name, dataset, v)];
+            t.row(vec![
+                gpu.name.to_owned(),
+                wgs.to_string(),
+                dataset.spec().name.to_owned(),
+                fmt_f64(get(Variant::Base)),
+                fmt_f64(get(Variant::An)),
+                fmt_f64(get(Variant::RfAn)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Renders Table 4 (performance improvement over BASE, in percent, as the
+/// paper reports it: `BASE time / variant time × 100`).
+pub fn table4(times: &Times) -> Table {
+    let mut t = Table::new(
+        "Table 4: performance improvement of AN and RF/AN over BASE",
+        &[
+            "Dataset",
+            "Fiji AN",
+            "Fiji RF/AN",
+            "Spectre AN",
+            "Spectre RF/AN",
+        ],
+    );
+    for dataset in Dataset::MAIN_SIX {
+        let pct = |gpu: &str, v: Variant| {
+            let base = times[&(gpu, dataset, Variant::Base)];
+            let t = times[&(gpu, dataset, v)];
+            format!("{:.2}%", 100.0 * base / t)
+        };
+        t.row(vec![
+            dataset.spec().name.to_owned(),
+            pct("Fiji", Variant::An),
+            pct("Fiji", Variant::RfAn),
+            pct("Spectre", Variant::An),
+            pct("Spectre", Variant::RfAn),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SET: [Dataset; 3] = [
+        Dataset::Synthetic,
+        Dataset::SocLiveJournal1,
+        Dataset::RoadNY,
+    ];
+
+    #[test]
+    fn rfan_wins_or_ties_at_test_scale() {
+        let times = measure_for(Scale::TEST, &TEST_SET);
+        for (gpu, _) in platforms() {
+            for dataset in TEST_SET {
+                let rfan = times[&(gpu.name, dataset, Variant::RfAn)];
+                let base = times[&(gpu.name, dataset, Variant::Base)];
+                let an = times[&(gpu.name, dataset, Variant::An)];
+                // The paper's own Table 4 has near-parity cells (99% on
+                // Spectre roadmaps): at miniature scale the most we can
+                // require is "never meaningfully slower".
+                assert!(
+                    rfan <= 1.15 * base.min(an),
+                    "{} {:?}: rfan {rfan} base {base} an {an}",
+                    gpu.name,
+                    dataset
+                );
+            }
+        }
+        // On the saturating synthetic dataset the win must be strict and
+        // large on the big GPU.
+        let rfan = times[&("Fiji", Dataset::Synthetic, Variant::RfAn)];
+        let base = times[&("Fiji", Dataset::Synthetic, Variant::Base)];
+        assert!(
+            base > 2.0 * rfan,
+            "synthetic gap too small: {base} vs {rfan}"
+        );
+    }
+
+    #[test]
+    fn tables_render_one_row_per_dataset() {
+        let full = measure(Scale::TEST);
+        assert_eq!(table3(&full).num_rows(), 12);
+        assert_eq!(table4(&full).num_rows(), 6);
+    }
+}

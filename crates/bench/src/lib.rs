@@ -1,0 +1,18 @@
+//! `repro-bench` — the reproduction harness.
+//!
+//! Library functions that regenerate every table and figure of the paper;
+//! the `repro` binary is a thin CLI over them, and the integration tests
+//! assert the paper's qualitative claims (who wins, by roughly what
+//! factor, where the crossovers are) at reduced scale.
+//!
+//! Every experiment takes a [`Scale`] so the full-size datasets (tens of
+//! millions of vertices) can be shrunk for CI while preserving shape.
+
+pub mod experiments;
+pub mod plot;
+pub mod report;
+pub mod scale;
+
+pub use plot::{Chart, Series};
+pub use report::Table;
+pub use scale::Scale;

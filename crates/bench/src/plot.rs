@@ -1,0 +1,323 @@
+//! Minimal SVG line-chart rendering for the reproduced figures.
+//!
+//! Hand-rolled (no plotting dependency): the figures here are simple
+//! log-log or lin-log line charts — workgroups on the x-axis, time /
+//! speedup / retry counts on the y-axis — and a few hundred lines of SVG
+//! beat a dependency tree. The output opens in any browser and diffs
+//! cleanly in review.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One named line of a chart.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points; x and y must be positive when the corresponding
+    /// axis is logarithmic.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Axis scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-2 logarithmic axis (the natural scale for workgroup sweeps).
+    Log2,
+}
+
+/// A simple line chart.
+#[derive(Clone, Debug)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+const PALETTE: [&str; 6] = [
+    "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        x_scale: Scale,
+        y_scale: Scale,
+    ) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_scale,
+            y_scale,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a line.
+    ///
+    /// # Panics
+    /// Panics if a coordinate is non-positive on a logarithmic axis.
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        if self.x_scale == Scale::Log2 {
+            assert!(
+                points.iter().all(|p| p.0 > 0.0),
+                "log2 x-axis needs positive x"
+            );
+        }
+        if self.y_scale == Scale::Log2 {
+            assert!(
+                points.iter().all(|p| p.1 > 0.0),
+                "log2 y-axis needs positive y"
+            );
+        }
+        self.series.push(Series {
+            name: name.into(),
+            points,
+        });
+        self
+    }
+
+    fn transform(scale: Scale, v: f64) -> f64 {
+        match scale {
+            Scale::Linear => v,
+            Scale::Log2 => v.log2(),
+        }
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let mut all_x: Vec<f64> = Vec::new();
+        let mut all_y: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                all_x.push(Self::transform(self.x_scale, x));
+                all_y.push(Self::transform(self.y_scale, y));
+            }
+        }
+        let (x_min, x_max) = bounds(&all_x);
+        let (y_min, y_max) = bounds(&all_y);
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let px = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+        let py = |y: f64| HEIGHT - MARGIN_B - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+            WIDTH / 2.0,
+            escape(&self.title)
+        );
+        // Axes box.
+        let _ = write!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>"##
+        );
+        // Ticks: 5 per axis at transformed-space intervals.
+        for i in 0..=4 {
+            let tx = x_min + (x_max - x_min) * f64::from(i) / 4.0;
+            let x_pix = px(tx);
+            let label = match self.x_scale {
+                Scale::Linear => format!("{tx:.0}"),
+                Scale::Log2 => format!("{:.0}", tx.exp2()),
+            };
+            let _ = write!(
+                svg,
+                r##"<line x1="{x_pix}" y1="{}" x2="{x_pix}" y2="{}" stroke="#444"/><text x="{x_pix}" y="{}" text-anchor="middle">{label}</text>"##,
+                HEIGHT - MARGIN_B,
+                HEIGHT - MARGIN_B + 5.0,
+                HEIGHT - MARGIN_B + 20.0
+            );
+            let ty = y_min + (y_max - y_min) * f64::from(i) / 4.0;
+            let y_pix = py(ty);
+            let label = match self.y_scale {
+                Scale::Linear => format!("{ty:.1}"),
+                Scale::Log2 => format_si(ty.exp2()),
+            };
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{y_pix}" x2="{MARGIN_L}" y2="{y_pix}" stroke="#444"/><text x="{}" y="{}" text-anchor="end">{label}</text>"##,
+                MARGIN_L - 5.0,
+                MARGIN_L - 8.0,
+                y_pix + 4.0
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="15" y="{}" text-anchor="middle" transform="rotate(-90 15 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| {
+                    format!(
+                        "{:.1},{:.1}",
+                        px(Self::transform(self.x_scale, x)),
+                        py(Self::transform(self.y_scale, y))
+                    )
+                })
+                .collect();
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+            for p in &path {
+                let mut it = p.split(',');
+                let (cx, cy) = (it.next().unwrap(), it.next().unwrap());
+                let _ = write!(svg, r#"<circle cx="{cx}" cy="{cy}" r="3" fill="{color}"/>"#);
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 * i as f64 + 10.0;
+            let lx = WIDTH - MARGIN_R + 10.0;
+            let _ = write!(
+                svg,
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}">{}</text>"#,
+                lx + 18.0,
+                lx + 24.0,
+                ly + 4.0,
+                escape(&s.name)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Writes `<stem>.svg` under `dir`.
+    pub fn write_to(&self, dir: &Path, stem: &str) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{stem}.svg")), self.to_svg())
+    }
+}
+
+fn bounds(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        (0.0, 1.0)
+    } else if (max - min).abs() < 1e-12 {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn format_si(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Chart {
+        let mut c = Chart::new("T", "x", "y", Scale::Log2, Scale::Linear);
+        c.series("a", vec![(1.0, 1.0), (2.0, 2.0), (4.0, 3.5)]);
+        c.series("b", vec![(1.0, 1.0), (2.0, 1.5), (4.0, 1.8)]);
+        c
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = sample().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn log_axis_labels_show_raw_values() {
+        let svg = sample().to_svg();
+        // x ticks at 1 and 4 (2^0 and 2^2)
+        assert!(svg.contains(">1</text>"));
+        assert!(svg.contains(">4</text>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "log2 x-axis needs positive x")]
+    fn log_axis_rejects_non_positive() {
+        let mut c = Chart::new("T", "x", "y", Scale::Log2, Scale::Linear);
+        c.series("bad", vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn degenerate_single_point_does_not_panic() {
+        let mut c = Chart::new("T", "x", "y", Scale::Linear, Scale::Linear);
+        c.series("p", vec![(3.0, 7.0)]);
+        let svg = c.to_svg();
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("ptq_plot_test");
+        sample().write_to(&dir, "chart").unwrap();
+        assert!(dir.join("chart.svg").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(format_si(1_500_000.0), "1.5M");
+        assert_eq!(format_si(2_500.0), "2.5k");
+        assert_eq!(format_si(3.2), "3.2");
+    }
+}

@@ -1,0 +1,309 @@
+//! Device-side queue variants for the SIMT simulator.
+//!
+//! A device queue lives in simulated global memory as three allocations:
+//! the slot array (painted with the [`crate::DNA`] sentinel), and a
+//! two-word state buffer holding `Front` and `Rear`. Host code sets it up
+//! with [`QueueLayout::setup`]; kernels drive it through the
+//! [`WaveQueue`] trait, one instance per wavefront (the instance holds the
+//! wavefront's *private* scratch, e.g. the CAS variants' staged counter
+//! reads — registers, in GPU terms).
+//!
+//! The queue is **non-wrapping**: `Front` and `Rear` increase monotonically
+//! and the capacity must bound the total number of tokens ever enqueued
+//! (for BFS, the vertex count — each vertex is claimed exactly once before
+//! being enqueued). This matches the paper's usage: buffers are sized by
+//! the host before launch, and over-running the allocation raises the
+//! queue-full exception, which *aborts* rather than retries. The paper's
+//! "circular" formulation (modulus on `Front`/`Rear`) recycles slots only
+//! after consumers restore the sentinel; the non-wrapping layout is the
+//! same algorithm with the modulus elided, which is also exactly what its
+//! BFS driver needs.
+//!
+//! Dequeue-side lane states flow `Hungry → (Ready | Monitoring → Ready)`:
+//! the CAS variants hand tokens out directly (or raise queue-empty
+//! retries); the RF/AN variant always hands out a *slot to monitor* and
+//! lets the lane poll for data arrival without atomics.
+
+mod an;
+mod base;
+mod rfan;
+mod rfonly;
+mod stealing;
+
+pub use an::AnWaveQueue;
+pub use base::BaseWaveQueue;
+pub use rfan::RfAnWaveQueue;
+pub use rfonly::RfOnlyWaveQueue;
+pub use stealing::{StealingLayout, StealingWaveQueue};
+
+use crate::{Variant, DNA};
+use simt::{Buffer, DeviceMemory, WaveCtx};
+
+/// Index of `Front` in the queue state buffer.
+pub const FRONT: usize = 0;
+/// Index of `Rear` in the queue state buffer.
+pub const REAR: usize = 1;
+
+/// Dequeue-side state of one lane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LanePhase {
+    /// Lane has no task and is not asking for one (initial state, or the
+    /// kernel decided this lane should idle).
+    Idle,
+    /// Lane needs work: the next `acquire` will try to feed it.
+    Hungry,
+    /// RF/AN only: lane owns this queue slot and polls it for arrival.
+    Monitoring(u32),
+    /// Lane holds a task token, ready for the kernel to consume.
+    Ready(u32),
+}
+
+/// Host-side handle to a device queue's allocations.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueLayout {
+    /// Slot array buffer (`capacity` words, sentinel-initialized).
+    pub slots: Buffer,
+    /// Two-word state buffer: `[Front, Rear]`.
+    pub state: Buffer,
+    /// Slot count; also the total-token bound (non-wrapping).
+    pub capacity: u32,
+}
+
+impl QueueLayout {
+    /// Allocates and initializes a queue in device memory under
+    /// `name`-derived buffer names (`"<name>.slots"`, `"<name>.state"`).
+    /// Every slot is painted with the `dna` sentinel; `Front = Rear = 0`.
+    pub fn setup(memory: &mut DeviceMemory, name: &str, capacity: u32) -> QueueLayout {
+        let slots = memory.alloc(&format!("{name}.slots"), capacity as usize);
+        memory.fill(slots, DNA);
+        let state = memory.alloc(&format!("{name}.state"), 2);
+        QueueLayout {
+            slots,
+            state,
+            capacity,
+        }
+    }
+
+    /// Host-side enqueue used to seed initial tasks before launch (the BFS
+    /// source vertex). Not a simulated operation — it models the host
+    /// writing the buffer before `clEnqueueNDRangeKernel`.
+    pub fn host_seed(&self, memory: &mut DeviceMemory, tokens: &[u32]) {
+        let rear = memory.read_u32(self.state, REAR);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < DNA, "token {t:#x} collides with the dna sentinel");
+            memory.write_u32(self.slots, rear as usize + i, t);
+        }
+        memory.write_u32(self.state, REAR, rear + tokens.len() as u32);
+    }
+
+    /// Host-side count of tokens currently stored (Rear − Front). Only
+    /// meaningful between launches.
+    pub fn host_len(&self, memory: &DeviceMemory) -> u32 {
+        let front = memory.read_u32(self.state, FRONT);
+        let rear = memory.read_u32(self.state, REAR);
+        rear.saturating_sub(front)
+    }
+}
+
+/// One wavefront's view of a device queue. Implementations hold the
+/// wavefront-private scratch state; all cross-wavefront communication goes
+/// through simulated device memory, so metrics capture every real memory
+/// and atomic operation.
+pub trait WaveQueue {
+    /// Which design this is.
+    fn variant(&self) -> Variant;
+
+    /// Services the dequeue side for one work cycle: tries to move
+    /// `Hungry` lanes toward `Ready` (directly for the CAS designs, via
+    /// `Monitoring` + data-arrival polling for RF/AN). Lanes the queue
+    /// cannot feed this cycle stay `Hungry`/`Monitoring` and are counted
+    /// as retries where the design retries.
+    fn acquire(&mut self, ctx: &mut WaveCtx<'_>, lanes: &mut [LanePhase]);
+
+    /// Enqueues this wavefront's newly discovered task tokens. `tokens`
+    /// is the concatenation of every lane's discoveries this work cycle
+    /// (the per-lane counts having been aggregated with local atomics).
+    /// Returns the number of tokens accepted; the remainder must be
+    /// re-offered next cycle (the CAS designs may fail their reservation).
+    /// RF/AN always accepts everything or aborts on queue-full.
+    fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize;
+}
+
+/// Builds the per-wavefront queue handle for `variant`.
+pub fn make_wave_queue(variant: Variant, layout: QueueLayout) -> Box<dyn WaveQueue> {
+    match variant {
+        Variant::Base => Box::new(BaseWaveQueue::new(layout)),
+        Variant::An => Box::new(AnWaveQueue::new(layout)),
+        Variant::RfAn => Box::new(RfAnWaveQueue::new(layout)),
+        Variant::RfOnly => Box::new(RfOnlyWaveQueue::new(layout)),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared harness: a producer/consumer kernel that pushes a fixed
+    //! token stream through a queue variant and records what comes out.
+
+    use super::*;
+    use simt::{Engine, GpuConfig, Launch, WaveKernel, WaveStatus};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Kernel: each wavefront dequeues tokens; every token `t` with
+    /// `t < fanout_until` enqueues `children` child tokens derived from
+    /// it. Records every consumed token. Terminates via a pending-task
+    /// counter exactly like the BFS driver.
+    pub struct PumpKernel {
+        pub queue: Box<dyn WaveQueue>,
+        pub lanes: Vec<LanePhase>,
+        pub pending: Buffer,
+        pub consumed: Rc<RefCell<Vec<u32>>>,
+        pub fanout_until: u32,
+        pub children: u32,
+        pub outbox: Vec<u32>,
+        pub completed: u32,
+    }
+
+    impl WaveKernel for PumpKernel {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            // Mark idle lanes hungry.
+            for l in self.lanes.iter_mut() {
+                if *l == LanePhase::Idle {
+                    *l = LanePhase::Hungry;
+                }
+            }
+            self.queue.acquire(ctx, &mut self.lanes);
+            // Work phase: consume ready tokens, discover children.
+            for l in self.lanes.iter_mut() {
+                if let LanePhase::Ready(tok) = *l {
+                    self.consumed.borrow_mut().push(tok);
+                    if tok < self.fanout_until {
+                        for c in 0..self.children {
+                            self.outbox.push(tok * self.children + c + 1_000);
+                        }
+                    }
+                    self.completed += 1;
+                    *l = LanePhase::Idle;
+                }
+            }
+            // Enqueue discoveries (pending += accepted).
+            if !self.outbox.is_empty() {
+                let accepted = self.queue.enqueue(ctx, &self.outbox);
+                if accepted > 0 {
+                    ctx.atomic_add(self.pending, 0, accepted as u32);
+                    self.outbox.drain(..accepted);
+                }
+            }
+            // Retire completions (batched, one atomic).
+            if self.completed > 0 {
+                ctx.atomic_sub(self.pending, 0, self.completed);
+                self.completed = 0;
+            }
+            // Termination: no tasks in flight anywhere.
+            let pending = ctx.global_read(self.pending, 0);
+            if pending == 0 && self.outbox.is_empty() {
+                WaveStatus::Done
+            } else {
+                WaveStatus::Active
+            }
+        }
+    }
+
+    /// Pushes `seeds` through `variant` with `wgs` workgroups; returns the
+    /// sorted consumed tokens and the run metrics.
+    pub fn pump(
+        variant: Variant,
+        seeds: &[u32],
+        fanout_until: u32,
+        children: u32,
+        wgs: usize,
+        capacity: u32,
+    ) -> (Vec<u32>, simt::Metrics) {
+        let mut engine = Engine::new(GpuConfig::test_tiny());
+        let layout = QueueLayout::setup(engine.memory_mut(), "q", capacity);
+        let pending = engine.memory_mut().alloc("pending", 1);
+        layout.host_seed(engine.memory_mut(), seeds);
+        engine
+            .memory_mut()
+            .write_u32(pending, 0, seeds.len() as u32);
+        let consumed = Rc::new(RefCell::new(Vec::new()));
+        let wave_size = engine.config().wave_size;
+        let report = engine
+            .run(
+                Launch::workgroups(wgs).with_max_rounds(2_000_000),
+                |_info| PumpKernel {
+                    queue: make_wave_queue(variant, layout),
+                    lanes: vec![LanePhase::Idle; wave_size],
+                    pending,
+                    consumed: Rc::clone(&consumed),
+                    fanout_until,
+                    children,
+                    outbox: Vec::new(),
+                    completed: 0,
+                },
+            )
+            .expect("pump kernel failed");
+        let mut out = consumed.borrow().clone();
+        out.sort_unstable();
+        (out, report.metrics)
+    }
+
+    /// The token multiset a pump run must consume: seeds plus one child
+    /// generation per seed below `fanout_until`.
+    pub fn expected_tokens(seeds: &[u32], fanout_until: u32, children: u32) -> Vec<u32> {
+        let mut expect: Vec<u32> = seeds.to_vec();
+        for &s in seeds {
+            if s < fanout_until {
+                for c in 0..children {
+                    expect.push(s * children + c + 1_000);
+                }
+            }
+        }
+        expect.sort_unstable();
+        expect
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simt::DeviceMemory;
+
+    #[test]
+    fn setup_paints_sentinels() {
+        let mut mem = DeviceMemory::new();
+        let q = QueueLayout::setup(&mut mem, "q", 8);
+        assert_eq!(q.capacity, 8);
+        assert!(mem.read_slice(q.slots).iter().all(|&w| w == DNA));
+        assert_eq!(mem.read_u32(q.state, FRONT), 0);
+        assert_eq!(mem.read_u32(q.state, REAR), 0);
+    }
+
+    #[test]
+    fn host_seed_advances_rear() {
+        let mut mem = DeviceMemory::new();
+        let q = QueueLayout::setup(&mut mem, "q", 8);
+        q.host_seed(&mut mem, &[5, 6]);
+        assert_eq!(mem.read_u32(q.state, REAR), 2);
+        assert_eq!(mem.read_u32(q.slots, 0), 5);
+        assert_eq!(mem.read_u32(q.slots, 1), 6);
+        assert_eq!(q.host_len(&mem), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dna sentinel")]
+    fn host_seed_rejects_sentinel_token() {
+        let mut mem = DeviceMemory::new();
+        let q = QueueLayout::setup(&mut mem, "q", 4);
+        q.host_seed(&mut mem, &[DNA]);
+    }
+
+    #[test]
+    fn make_wave_queue_dispatches() {
+        let mut mem = DeviceMemory::new();
+        let layout = QueueLayout::setup(&mut mem, "q", 4);
+        for v in Variant::MATRIX {
+            assert_eq!(make_wave_queue(v, layout).variant(), v);
+        }
+    }
+}

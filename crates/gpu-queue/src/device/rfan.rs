@@ -1,0 +1,252 @@
+//! The proposed retry-free / arbitrary-n queue (paper §4, Listings 1–3).
+//!
+//! Dequeue (Listing 1): the wavefront's hungry lanes count themselves with
+//! workgroup-local atomics; the proxy thread performs **one** global
+//! fetch-add on `Front` for all of them. Each lane receives a unique slot
+//! index to *monitor* — the fetch-add cannot fail and is unconditional:
+//! reserving slots past `Rear` is fine because unwritten slots hold the
+//! `dna` sentinel.
+//!
+//! Data arrival (Listing 2): a lane polls its slot with a plain global
+//! read. Bounds are checked first ("The slot may, in fact, be outside the
+//! queue bounds and cannot be accessed"). On arrival the lane takes the
+//! token and restores the sentinel — no atomics, because the slot is
+//! privately owned.
+//!
+//! Enqueue (Listing 3): the proxy reserves one contiguous region with a
+//! single fetch-add on `Rear`; lanes copy their tokens in parallel. A slot
+//! that is not a sentinel at write time means `Rear` lapped the allocation
+//! — the queue-full exception, which aborts the kernel.
+
+use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
+use crate::{Variant, DNA};
+use simt::WaveCtx;
+
+/// Per-wavefront handle to an RF/AN device queue. Stateless beyond the
+/// layout: the design needs no staged reads and no retry bookkeeping.
+#[derive(Clone, Copy, Debug)]
+pub struct RfAnWaveQueue {
+    layout: QueueLayout,
+}
+
+impl RfAnWaveQueue {
+    /// Creates the per-wavefront handle.
+    pub fn new(layout: QueueLayout) -> Self {
+        RfAnWaveQueue { layout }
+    }
+}
+
+impl WaveQueue for RfAnWaveQueue {
+    fn variant(&self) -> Variant {
+        Variant::RfAn
+    }
+
+    fn acquire(&mut self, ctx: &mut WaveCtx<'_>, lanes: &mut [LanePhase]) {
+        // ---- Listing 1: slot reservation for hungry lanes ----
+        let hungry = lanes.iter().filter(|l| **l == LanePhase::Hungry).count() as u32;
+        if hungry > 0 {
+            // Proxy zeroes lQueueSlotsNeeded; hungry lanes atomic_inc it in
+            // lock-step (local atomics never fail and are latency-hidden).
+            ctx.charge_alu(1);
+            ctx.lds_atomics(u64::from(hungry));
+            // The proxy thread's single global AFA on Front.
+            let base = ctx.atomic_add(self.layout.state, FRONT, hungry);
+            ctx.count_scheduler_atomics(1);
+            let mut next = base;
+            for lane in lanes.iter_mut() {
+                if *lane == LanePhase::Hungry {
+                    *lane = LanePhase::Monitoring(next);
+                    next += 1;
+                }
+            }
+        }
+
+        // ---- Listing 2: data-arrival poll on monitored slots ----
+        // A wavefront's monitored slots are consecutive (they came from
+        // batched reservations), so the lock-step poll coalesces into one
+        // memory transaction per cache line.
+        let mut watched: Vec<u32> = lanes
+            .iter()
+            .filter_map(|l| match *l {
+                LanePhase::Monitoring(slot) if slot < self.layout.capacity => Some(slot),
+                _ => None,
+            })
+            .collect();
+        watched.sort_unstable();
+        // Lines still holding only sentinels are cache-resident (nobody
+        // wrote them): polling costs issue but no DRAM bandwidth. Lines
+        // where data has arrived were invalidated by the producer's write
+        // and pay the full transaction.
+        let mut cached_lines = 0u64;
+        let mut i = 0;
+        while i < watched.len() {
+            let line = watched[i] / 16;
+            let mut any_data = false;
+            let run_start = i;
+            while i < watched.len() && watched[i] / 16 == line {
+                if ctx.peek_stale(self.layout.slots, watched[i] as usize) != DNA {
+                    any_data = true;
+                }
+                i += 1;
+            }
+            if any_data {
+                let start = watched[run_start] as usize;
+                let len = (watched[i - 1] - watched[run_start] + 1) as usize;
+                ctx.charge_coalesced_access(self.layout.slots, start, len);
+            } else {
+                cached_lines += 1;
+            }
+        }
+        ctx.charge_cached_access(cached_lines);
+        for lane in lanes.iter_mut() {
+            if let LanePhase::Monitoring(slot) = *lane {
+                ctx.charge_alu(1); // bounds check
+                if slot < self.layout.capacity {
+                    // Round-stale poll: data published by another
+                    // wavefront becomes visible one work cycle later.
+                    let value = ctx.peek_stale(self.layout.slots, slot as usize);
+                    if value != DNA {
+                        // Private pickup: restore the sentinel, no atomics.
+                        ctx.poke(self.layout.slots, slot as usize, DNA);
+                        *lane = LanePhase::Ready(value);
+                    }
+                }
+                // Out-of-bounds slots are never read: data can never
+                // arrive there, and the kernel's termination condition
+                // will release the lane.
+            }
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
+        if tokens.is_empty() {
+            return 0;
+        }
+        // Lanes publish their per-lane counts with local atomics
+        // (Listing 3 lines 8–11), then the proxy reserves the whole
+        // region with one AFA on Rear (lines 14–16).
+        ctx.charge_alu(1);
+        ctx.lds_atomics(tokens.len() as u64);
+        let base = ctx.atomic_add(self.layout.state, REAR, tokens.len() as u32);
+        ctx.count_scheduler_atomics(1);
+        // The reserved region is contiguous: the sentinel check and the
+        // token copy each coalesce into one transaction per line.
+        let in_bounds = tokens
+            .len()
+            .min((self.layout.capacity as usize).saturating_sub(base as usize));
+        ctx.charge_coalesced_access(self.layout.slots, base as usize, in_bounds); // check
+        ctx.charge_coalesced_access(self.layout.slots, base as usize, in_bounds); // copy
+        for (i, &tok) in tokens.iter().enumerate() {
+            debug_assert!(tok < DNA, "token collides with dna sentinel");
+            let slot = base as usize + i;
+            if slot >= self.layout.capacity as usize {
+                ctx.abort(format!(
+                    "queue full: rear slot {slot} exceeds capacity {}",
+                    self.layout.capacity
+                ));
+                return i;
+            }
+            // Line 25: the slot must still hold the sentinel.
+            let current = ctx.peek(self.layout.slots, slot);
+            if current != DNA {
+                ctx.abort(format!("queue full: slot {slot} not a sentinel"));
+                return i;
+            }
+            ctx.poke(self.layout.slots, slot, tok);
+        }
+        tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{expected_tokens, pump};
+    use crate::Variant;
+
+    #[test]
+    fn pump_delivers_every_token_exactly_once() {
+        let seeds: Vec<u32> = (0..13).collect();
+        let (consumed, _) = pump(Variant::RfAn, &seeds, 13, 3, 2, 256);
+        assert_eq!(consumed, expected_tokens(&seeds, 13, 3));
+    }
+
+    #[test]
+    fn no_retries_ever() {
+        let seeds: Vec<u32> = (0..20).collect();
+        let (_, metrics) = pump(Variant::RfAn, &seeds, 20, 2, 4, 256);
+        assert_eq!(metrics.cas_attempts, 0, "RF/AN must never CAS");
+        assert_eq!(metrics.cas_failures, 0);
+        assert_eq!(metrics.queue_empty_retries, 0);
+    }
+
+    #[test]
+    fn single_wave_single_token() {
+        let (consumed, _) = pump(Variant::RfAn, &[7], 0, 0, 1, 16);
+        assert_eq!(consumed, vec![7]);
+    }
+
+    #[test]
+    fn survives_many_waves_on_few_tokens() {
+        // 4 waves x 4 lanes hungry, only 2 tokens: the design hands out 16
+        // monitored slots but only 2 ever receive data; termination still
+        // works and nothing is duplicated.
+        let (consumed, metrics) = pump(Variant::RfAn, &[1, 2], 0, 0, 4, 64);
+        assert_eq!(consumed, vec![1, 2]);
+        assert_eq!(metrics.queue_empty_retries, 0);
+    }
+
+    #[test]
+    fn front_overrun_is_harmless() {
+        // Hungry lanes reserve far beyond capacity near termination; the
+        // bounds check keeps them from faulting.
+        let (consumed, _) = pump(Variant::RfAn, &[3], 0, 0, 4, 4);
+        assert_eq!(consumed, vec![3]);
+    }
+
+    #[test]
+    fn queue_full_aborts() {
+        use super::super::testutil::PumpKernel;
+        use super::super::{make_wave_queue, LanePhase, QueueLayout};
+        use simt::{Engine, GpuConfig, Launch, SimError};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let mut engine = Engine::new(GpuConfig::test_tiny());
+        // capacity 4, but seeds fan out 3 children each => 1 + 3 > 4 - 1...
+        // use 2 seeds x 3 children = 8 tokens > 4 capacity.
+        let layout = QueueLayout::setup(engine.memory_mut(), "q", 4);
+        let pending = engine.memory_mut().alloc("pending", 1);
+        layout.host_seed(engine.memory_mut(), &[0, 1]);
+        engine.memory_mut().write_u32(pending, 0, 2);
+        let consumed = Rc::new(RefCell::new(Vec::new()));
+        let err = engine
+            .run(Launch::workgroups(1), |_| PumpKernel {
+                queue: make_wave_queue(Variant::RfAn, layout),
+                lanes: vec![LanePhase::Idle; 4],
+                pending,
+                consumed: Rc::clone(&consumed),
+                fanout_until: 10,
+                children: 3,
+                outbox: Vec::new(),
+                completed: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::KernelAbort(ref m) if m.contains("queue full")));
+    }
+
+    #[test]
+    fn atomic_budget_is_tiny() {
+        // One AFA per wave per dequeue round + one per enqueue round; far
+        // fewer global atomics than tokens when batching works.
+        let seeds: Vec<u32> = (0..64).collect();
+        let (consumed, metrics) = pump(Variant::RfAn, &seeds, 0, 0, 2, 128);
+        assert_eq!(consumed.len(), 64);
+        // 64 tokens moved; without arbitrary-n this would need >= 64
+        // dequeue atomics alone. (Pending-counter atomics included.)
+        assert!(
+            metrics.global_atomics < 64,
+            "expected batched atomics, got {}",
+            metrics.global_atomics
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! RF-only ablation variant: retry-free *without* arbitrary-n.
+//!
+//! The paper dissects its design with BASE → AN → RF/AN, which isolates
+//! the retry-free property (AN vs RF/AN) and the arbitrary-n property
+//! (BASE vs AN) — but always adds batching first. This extra variant
+//! completes the 2×2 matrix: fetch-add reservations with the *dna*
+//! sentinel (never fails, never raises queue-empty) but **one global
+//! atomic per lane / per token** instead of one per wavefront.
+//!
+//! Comparing RF-only against RF/AN isolates the proxy-thread aggregation
+//! on a retry-free substrate: the difference is pure atomic-traffic
+//! volume and serialization pressure, with zero retry effects in either.
+
+use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
+use crate::{Variant, DNA};
+use simt::WaveCtx;
+
+/// Per-wavefront handle to an RF-only device queue.
+#[derive(Clone, Copy, Debug)]
+pub struct RfOnlyWaveQueue {
+    layout: QueueLayout,
+}
+
+impl RfOnlyWaveQueue {
+    /// Creates the per-wavefront handle.
+    pub fn new(layout: QueueLayout) -> Self {
+        RfOnlyWaveQueue { layout }
+    }
+}
+
+impl WaveQueue for RfOnlyWaveQueue {
+    fn variant(&self) -> Variant {
+        Variant::RfOnly
+    }
+
+    fn acquire(&mut self, ctx: &mut WaveCtx<'_>, lanes: &mut [LanePhase]) {
+        // Per-lane reservation: every hungry lane issues its own global
+        // AFA in lock-step — they all succeed (AFA never fails), but each
+        // occupies an issue slot and a place in the serialization queue.
+        for lane in lanes.iter_mut() {
+            if *lane == LanePhase::Hungry {
+                let slot = ctx.atomic_add(self.layout.state, FRONT, 1);
+                ctx.count_scheduler_atomics(1);
+                *lane = LanePhase::Monitoring(slot);
+            }
+        }
+
+        // Data-arrival poll, identical to RF/AN (the sentinel protocol is
+        // what makes per-lane reservation safe at all).
+        let mut watched: Vec<u32> = lanes
+            .iter()
+            .filter_map(|l| match *l {
+                LanePhase::Monitoring(slot) if slot < self.layout.capacity => Some(slot),
+                _ => None,
+            })
+            .collect();
+        watched.sort_unstable();
+        let mut cached_lines = 0u64;
+        let mut i = 0;
+        while i < watched.len() {
+            let line = watched[i] / 16;
+            let mut any_data = false;
+            let run_start = i;
+            while i < watched.len() && watched[i] / 16 == line {
+                if ctx.peek_stale(self.layout.slots, watched[i] as usize) != DNA {
+                    any_data = true;
+                }
+                i += 1;
+            }
+            if any_data {
+                let start = watched[run_start] as usize;
+                let len = (watched[i - 1] - watched[run_start] + 1) as usize;
+                ctx.charge_coalesced_access(self.layout.slots, start, len);
+            } else {
+                cached_lines += 1;
+            }
+        }
+        ctx.charge_cached_access(cached_lines);
+        for lane in lanes.iter_mut() {
+            if let LanePhase::Monitoring(slot) = *lane {
+                ctx.charge_alu(1);
+                if slot < self.layout.capacity {
+                    let value = ctx.peek_stale(self.layout.slots, slot as usize);
+                    if value != DNA {
+                        ctx.poke(self.layout.slots, slot as usize, DNA);
+                        *lane = LanePhase::Ready(value);
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
+        if tokens.is_empty() {
+            return 0;
+        }
+        // One AFA per token — no proxy aggregation.
+        for &tok in tokens {
+            debug_assert!(tok < DNA);
+            let slot = ctx.atomic_add(self.layout.state, REAR, 1) as usize;
+            ctx.count_scheduler_atomics(1);
+            if slot >= self.layout.capacity as usize {
+                ctx.abort(format!(
+                    "queue full: rear slot {slot} exceeds capacity {}",
+                    self.layout.capacity
+                ));
+                return 0;
+            }
+            let current = ctx.global_read_lane(self.layout.slots, slot);
+            if current != DNA {
+                ctx.abort(format!("queue full: slot {slot} not a sentinel"));
+                return 0;
+            }
+            ctx.global_write_lane(self.layout.slots, slot, tok);
+        }
+        tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{expected_tokens, pump};
+    use crate::Variant;
+
+    #[test]
+    fn pump_delivers_every_token_exactly_once() {
+        let seeds: Vec<u32> = (0..13).collect();
+        let (consumed, _) = pump(Variant::RfOnly, &seeds, 13, 3, 2, 256);
+        assert_eq!(consumed, expected_tokens(&seeds, 13, 3));
+    }
+
+    #[test]
+    fn retry_free_like_rfan() {
+        let seeds: Vec<u32> = (0..20).collect();
+        let (_, metrics) = pump(Variant::RfOnly, &seeds, 20, 2, 4, 256);
+        assert_eq!(metrics.cas_attempts, 0);
+        assert_eq!(metrics.queue_empty_retries, 0);
+    }
+
+    #[test]
+    fn many_more_atomics_than_rfan() {
+        let seeds: Vec<u32> = (0..32).collect();
+        let (_, rfonly) = pump(Variant::RfOnly, &seeds, 32, 2, 4, 512);
+        let (_, rfan) = pump(Variant::RfAn, &seeds, 32, 2, 4, 512);
+        assert!(
+            rfonly.global_atomics > 2 * rfan.global_atomics,
+            "RF-only {} vs RF/AN {}",
+            rfonly.global_atomics,
+            rfan.global_atomics
+        );
+    }
+
+    #[test]
+    fn multi_wave_contention_is_correct() {
+        let seeds: Vec<u32> = (0..40).collect();
+        let (consumed, _) = pump(Variant::RfOnly, &seeds, 40, 2, 4, 512);
+        assert_eq!(consumed, expected_tokens(&seeds, 40, 2));
+    }
+}

@@ -1,0 +1,260 @@
+//! Distributed queues with work stealing — the Tzeng-style alternative
+//! the paper's related work discusses (§2.1: "from a single monolithic
+//! task queue to distributed queuing with task stealing and donation").
+//!
+//! Instead of one device-wide queue, every *compute unit* owns a private
+//! RF/AN-style queue (AFA + sentinel, so the local fast path is
+//! retry-free). A wavefront dequeues from its home queue; when the home
+//! queue looks empty it *steals* a batch from a victim CU's queue chosen
+//! round-robin. Enqueues go to the home queue.
+//!
+//! Trade-offs versus the paper's single queue, observable in the
+//! ablation (`repro ablate-stealing` measures both):
+//!
+//! * hot-word pressure drops by the CU count — each home counter is only
+//!   shared by that CU's wavefronts plus occasional thieves;
+//! * but load imbalance appears (a hub's children land on one CU) and
+//!   stealing adds latency, cross-CU traffic, and *failed steal attempts*
+//!   that behave like queue-empty retries.
+//!
+//! Stealing uses the same non-failing AFA reservation as the local path,
+//! but bounded by the *visible backlog* of the chosen queue, so a ticket
+//! almost always corresponds to a real token. Every reserved ticket stays
+//! monitored until it fills or the kernel terminates — the sentinel
+//! protocol's conservation invariant (no ticket, and hence no token, is
+//! ever abandoned) holds across queues. A scan that finds no backlog
+//! anywhere is the distributed design's queue-empty exception.
+
+use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
+use crate::{Variant, DNA};
+use simt::{DeviceMemory, WaveCtx};
+
+/// Host-side handle to one queue per compute unit.
+#[derive(Clone, Debug)]
+pub struct StealingLayout {
+    queues: Vec<QueueLayout>,
+}
+
+impl StealingLayout {
+    /// Allocates `num_cus` per-CU queues, each with `capacity` slots.
+    pub fn setup(memory: &mut DeviceMemory, name: &str, num_cus: usize, capacity: u32) -> Self {
+        let queues = (0..num_cus)
+            .map(|cu| QueueLayout::setup(memory, &format!("{name}.cu{cu}"), capacity))
+            .collect();
+        StealingLayout { queues }
+    }
+
+    /// Seeds initial tokens into CU 0's queue (like the BFS source).
+    pub fn host_seed(&self, memory: &mut DeviceMemory, tokens: &[u32]) {
+        self.queues[0].host_seed(memory, tokens);
+    }
+
+    /// The per-CU layouts.
+    pub fn queues(&self) -> &[QueueLayout] {
+        &self.queues
+    }
+}
+
+/// Tokens a thief reserves from a victim per attempt.
+const STEAL_BATCH: u32 = 16;
+
+/// One wavefront's view of the distributed queues.
+#[derive(Clone, Debug)]
+pub struct StealingWaveQueue {
+    queues: Vec<QueueLayout>,
+    home: usize,
+    /// Next victim (rotates per steal attempt).
+    next_victim: usize,
+    /// Pending monitored slots: `(queue index, slot)` per lane is encoded
+    /// in the `LanePhase::Monitoring` payload — the queue index lives in
+    /// the upper bits.
+    _priv: (),
+}
+
+impl StealingWaveQueue {
+    /// Creates the handle for a wavefront resident on CU `home`.
+    pub fn new(layout: &StealingLayout, home: usize) -> Self {
+        assert!(home < layout.queues.len(), "home CU out of range");
+        StealingWaveQueue {
+            queues: layout.queues.clone(),
+            home,
+            next_victim: (home + 1) % layout.queues.len().max(1),
+            _priv: (),
+        }
+    }
+
+    /// Packs (queue, slot) into a `Monitoring` payload. Slots use the low
+    /// 24 bits; queue ids the bits above (device queues per CU are far
+    /// smaller than 16M slots in every configuration we model — asserted
+    /// at setup).
+    fn pack(queue: usize, slot: u32) -> u32 {
+        debug_assert!(slot < (1 << 24), "slot exceeds pack width");
+        ((queue as u32) << 24) | slot
+    }
+
+    fn unpack(packed: u32) -> (usize, u32) {
+        ((packed >> 24) as usize, packed & 0x00FF_FFFF)
+    }
+
+    /// Reserve `n` monitored slots on queue `q` (single proxy AFA).
+    fn reserve(&self, ctx: &mut WaveCtx<'_>, q: usize, n: u32) -> u32 {
+        let base = ctx.atomic_add(self.queues[q].state, FRONT, n);
+        ctx.count_scheduler_atomics(1);
+        base
+    }
+}
+
+impl WaveQueue for StealingWaveQueue {
+    fn variant(&self) -> Variant {
+        // Reported as RF/AN: same properties, distributed topology.
+        Variant::RfAn
+    }
+
+    fn acquire(&mut self, ctx: &mut WaveCtx<'_>, lanes: &mut [LanePhase]) {
+        // Hungry lanes reserve from the first queue with *visible*
+        // backlog: home first, then victims in rotation. Reservations are
+        // bounded by the visible backlog, so lanes rarely camp on slots
+        // that will never fill (it can still happen when two thieves race
+        // for the same backlog — those lanes wait out the run, which the
+        // termination counter makes safe).
+        let hungry: Vec<usize> = lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == LanePhase::Hungry)
+            .map(|(i, _)| i)
+            .collect();
+        if !hungry.is_empty() {
+            ctx.charge_alu(1);
+            ctx.lds_atomics(hungry.len() as u64);
+            let backlog = |ctx: &mut WaveCtx<'_>, layout: QueueLayout| -> u32 {
+                let front = ctx.global_read(layout.state, FRONT);
+                let rear = ctx.global_read_stale(layout.state, REAR);
+                rear.saturating_sub(front)
+            };
+            let mut target = None;
+            let home_backlog = backlog(ctx, self.queues[self.home]);
+            if home_backlog > 0 {
+                target = Some((self.home, home_backlog));
+            } else {
+                for _ in 0..self.queues.len().saturating_sub(1) {
+                    let victim = self.next_victim;
+                    self.next_victim = (self.next_victim + 1) % self.queues.len();
+                    if victim == self.home {
+                        continue;
+                    }
+                    let b = backlog(ctx, self.queues[victim]);
+                    if b > 0 {
+                        target = Some((victim, b));
+                        break;
+                    }
+                }
+            }
+            match target {
+                Some((q, b)) => {
+                    let cap = if q == self.home {
+                        u32::MAX
+                    } else {
+                        STEAL_BATCH
+                    };
+                    let n = (hungry.len() as u32).min(b).min(cap);
+                    let base = self.reserve(ctx, q, n);
+                    for (offset, &lane) in hungry.iter().take(n as usize).enumerate() {
+                        lanes[lane] = LanePhase::Monitoring(Self::pack(q, base + offset as u32));
+                    }
+                    if (hungry.len() as u32) > n {
+                        ctx.count_queue_empty_retries(u64::from(hungry.len() as u32 - n));
+                    }
+                }
+                None => {
+                    // Nothing visible anywhere: a failed steal scan is the
+                    // distributed design's version of the queue-empty
+                    // exception — the lanes retry next work cycle.
+                    ctx.count_queue_empty_retries(hungry.len() as u64);
+                }
+            }
+        }
+
+        // Poll monitored slots.
+        for lane in lanes.iter_mut() {
+            if let LanePhase::Monitoring(packed) = *lane {
+                let (q, slot) = Self::unpack(packed);
+                let layout = &self.queues[q];
+                ctx.charge_alu(1);
+                if slot < layout.capacity {
+                    let value = ctx.global_read_lane_stale(layout.slots, slot as usize);
+                    if value != DNA {
+                        ctx.poke(layout.slots, slot as usize, DNA);
+                        *lane = LanePhase::Ready(value);
+                    }
+                }
+            }
+        }
+    }
+
+    fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
+        if tokens.is_empty() {
+            return 0;
+        }
+        let home = &self.queues[self.home];
+        ctx.charge_alu(1);
+        ctx.lds_atomics(tokens.len() as u64);
+        let base = ctx.atomic_add(home.state, REAR, tokens.len() as u32);
+        ctx.count_scheduler_atomics(1);
+        let in_bounds = tokens
+            .len()
+            .min((home.capacity as usize).saturating_sub(base as usize));
+        ctx.charge_coalesced_access(home.slots, base as usize, in_bounds);
+        ctx.charge_coalesced_access(home.slots, base as usize, in_bounds);
+        for (i, &tok) in tokens.iter().enumerate() {
+            debug_assert!(tok < DNA);
+            let slot = base as usize + i;
+            if slot >= home.capacity as usize {
+                ctx.abort(format!(
+                    "queue full: CU {} rear slot {slot} exceeds capacity {}",
+                    self.home, home.capacity
+                ));
+                return i;
+            }
+            let current = ctx.peek(home.slots, slot);
+            if current != DNA {
+                ctx.abort(format!("queue full: CU {} slot {slot} occupied", self.home));
+                return i;
+            }
+            ctx.poke(home.slots, slot, tok);
+        }
+        tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for (q, s) in [(0usize, 0u32), (3, 12345), (255, (1 << 24) - 1)] {
+            assert_eq!(
+                StealingWaveQueue::unpack(StealingWaveQueue::pack(q, s)),
+                (q, s)
+            );
+        }
+    }
+
+    #[test]
+    fn setup_allocates_one_queue_per_cu() {
+        let mut mem = DeviceMemory::new();
+        let layout = StealingLayout::setup(&mut mem, "dq", 4, 32);
+        assert_eq!(layout.queues().len(), 4);
+        layout.host_seed(&mut mem, &[1, 2, 3]);
+        assert_eq!(layout.queues()[0].host_len(&mem), 3);
+        assert_eq!(layout.queues()[1].host_len(&mem), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "home CU out of range")]
+    fn home_cu_checked() {
+        let mut mem = DeviceMemory::new();
+        let layout = StealingLayout::setup(&mut mem, "dq", 2, 8);
+        let _ = StealingWaveQueue::new(&layout, 5);
+    }
+}

@@ -1,0 +1,240 @@
+//! Host-side AN queue: batch (arbitrary-n) reservation with CAS.
+//!
+//! One compare-exchange reserves a whole batch — the arbitrary-n property
+//! — but the reservation can fail under contention and must loop, and
+//! dequeue never reserves past the published `Rear` (no sentinel
+//! protocol), raising the queue-empty exception instead.
+
+use super::{QueueFull, QueueStats, StatsSnapshot};
+use crate::DNA;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Bounded CAS queue with batched reservations (non-wrapping; see
+/// [`super`] module docs for the capacity discipline).
+#[derive(Debug)]
+pub struct AnQueue {
+    slots: Box<[AtomicU32]>,
+    front: AtomicU64,
+    rear: AtomicU64,
+    stats: QueueStats,
+}
+
+impl AnQueue {
+    /// Creates a queue with room for `capacity` tokens.
+    pub fn new(capacity: usize) -> Self {
+        AnQueue {
+            slots: (0..capacity).map(|_| AtomicU32::new(DNA)).collect(),
+            front: AtomicU64::new(0),
+            rear: AtomicU64::new(0),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues a whole batch with one (looping) CAS reservation on
+    /// `Rear`, then publishes each token.
+    pub fn push_batch(&self, tokens: &[u32]) -> Result<(), QueueFull> {
+        if tokens.is_empty() {
+            return Ok(());
+        }
+        let n = tokens.len() as u64;
+        let mut rear = self.rear.load(Ordering::Acquire);
+        loop {
+            if rear as usize + tokens.len() > self.slots.len() {
+                return Err(QueueFull {
+                    capacity: self.slots.len(),
+                });
+            }
+            self.stats.cas_attempt();
+            match self.rear.compare_exchange_weak(
+                rear,
+                rear + n,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    for (i, &tok) in tokens.iter().enumerate() {
+                        debug_assert!(tok < DNA);
+                        self.slots[rear as usize + i].store(tok, Ordering::Release);
+                    }
+                    return Ok(());
+                }
+                Err(actual) => {
+                    self.stats.cas_failure();
+                    rear = actual;
+                }
+            }
+        }
+    }
+
+    /// Dequeues up to `max` tokens into `out` with one (looping) CAS
+    /// reservation on `Front`. Returns the number of tokens delivered;
+    /// `0` means the queue-empty exception fired.
+    pub fn pop_batch(&self, out: &mut Vec<u32>, max: usize) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut front = self.front.load(Ordering::Acquire);
+        loop {
+            let rear = self.rear.load(Ordering::Acquire);
+            let avail = rear.saturating_sub(front);
+            if avail == 0 {
+                self.stats.empty_retry();
+                return 0;
+            }
+            let n = avail.min(max as u64);
+            self.stats.cas_attempt();
+            match self.front.compare_exchange_weak(
+                front,
+                front + n,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    for s in front..front + n {
+                        let slot = &self.slots[s as usize];
+                        // Publication follows reservation on the producer
+                        // side; spin for the (brief) window.
+                        loop {
+                            let v = slot.load(Ordering::Acquire);
+                            if v != DNA {
+                                slot.store(DNA, Ordering::Relaxed);
+                                out.push(v);
+                                break;
+                            }
+                            self.stats.data_wait();
+                            std::hint::spin_loop();
+                        }
+                    }
+                    return n as usize;
+                }
+                Err(actual) => {
+                    self.stats.cas_failure();
+                    front = actual;
+                }
+            }
+        }
+    }
+
+    /// Published-token estimate.
+    pub fn len_hint(&self) -> u64 {
+        self.rear
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.front.load(Ordering::Relaxed))
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Restores the initial state (exclusive access required).
+    pub fn reset(&mut self) {
+        for s in self.slots.iter() {
+            s.store(DNA, Ordering::Relaxed);
+        }
+        self.front.store(0, Ordering::Relaxed);
+        self.rear.store(0, Ordering::Relaxed);
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrip() {
+        let q = AnQueue::new(8);
+        q.push_batch(&[1, 2, 3]).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 8), 3);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_respects_max() {
+        let q = AnQueue::new(8);
+        q.push_batch(&[1, 2, 3, 4]).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 2), 2);
+        assert_eq!(q.pop_batch(&mut out, 10), 2);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_pop_is_an_exception() {
+        let q = AnQueue::new(4);
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 4), 0);
+        assert_eq!(q.stats().empty_retries, 1);
+    }
+
+    #[test]
+    fn overflow_batch_is_rejected_whole() {
+        let q = AnQueue::new(3);
+        q.push_batch(&[1, 2]).unwrap();
+        assert_eq!(q.push_batch(&[3, 4]), Err(QueueFull { capacity: 3 }));
+        // the failed batch wrote nothing
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 10), 2);
+    }
+
+    #[test]
+    fn one_cas_per_uncontended_batch() {
+        let q = AnQueue::new(64);
+        q.push_batch(&(0..32).collect::<Vec<_>>()).unwrap();
+        assert_eq!(q.stats().cas_attempts, 1);
+    }
+
+    #[test]
+    fn concurrent_batches_conserve_tokens() {
+        const THREADS: usize = 4;
+        const PER: usize = 4_000;
+        let q = AnQueue::new(THREADS * PER);
+        let mut all: Vec<u32> = Vec::new();
+        crossbeam::scope(|scope| {
+            for t in 0..THREADS {
+                let q = &q;
+                scope.spawn(move |_| {
+                    let tokens: Vec<u32> = (0..PER as u32).map(|i| (t * PER) as u32 + i).collect();
+                    for chunk in tokens.chunks(23) {
+                        q.push_batch(chunk).unwrap();
+                    }
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..THREADS {
+                let q = &q;
+                handles.push(scope.spawn(move |_| {
+                    let mut got = Vec::new();
+                    let mut misses = 0;
+                    while misses < 20_000 {
+                        let before = got.len();
+                        q.pop_batch(&mut got, 16);
+                        if got.len() == before {
+                            misses += 1;
+                        } else {
+                            misses = 0;
+                        }
+                    }
+                    got
+                }));
+            }
+            all = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+        })
+        .unwrap();
+        let mut rest = Vec::new();
+        while q.pop_batch(&mut rest, 64) > 0 {}
+        all.extend(rest);
+        all.sort_unstable();
+        assert_eq!(all, (0..(THREADS * PER) as u32).collect::<Vec<_>>());
+    }
+}

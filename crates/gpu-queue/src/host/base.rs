@@ -1,0 +1,230 @@
+//! Host-side BASE queue: the traditional per-token CAS design.
+//!
+//! Every operation claims exactly one token with a compare-exchange ticket
+//! on `Front`/`Rear`; contention produces failed CAS attempts that loop,
+//! and dequeue on an empty queue raises the queue-empty exception
+//! (returns `None` after counting a retry) — the two overheads the
+//! paper's design eliminates.
+
+use super::{QueueFull, QueueStats, StatsSnapshot};
+use crate::DNA;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Traditional bounded lock-free queue (per-token CAS tickets,
+/// non-wrapping; see the module docs of [`super`]).
+#[derive(Debug)]
+pub struct BaseQueue {
+    slots: Box<[AtomicU32]>,
+    front: AtomicU64,
+    rear: AtomicU64,
+    stats: QueueStats,
+}
+
+impl BaseQueue {
+    /// Creates a queue with room for `capacity` tokens.
+    pub fn new(capacity: usize) -> Self {
+        BaseQueue {
+            slots: (0..capacity).map(|_| AtomicU32::new(DNA)).collect(),
+            front: AtomicU64::new(0),
+            rear: AtomicU64::new(0),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues one token: CAS-reserve a `Rear` ticket, then publish the
+    /// token with a release store. Loops on CAS failure.
+    pub fn push(&self, token: u32) -> Result<(), QueueFull> {
+        debug_assert!(token < DNA);
+        let mut rear = self.rear.load(Ordering::Acquire);
+        loop {
+            if rear as usize >= self.slots.len() {
+                return Err(QueueFull {
+                    capacity: self.slots.len(),
+                });
+            }
+            self.stats.cas_attempt();
+            match self.rear.compare_exchange_weak(
+                rear,
+                rear + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.slots[rear as usize].store(token, Ordering::Release);
+                    return Ok(());
+                }
+                Err(actual) => {
+                    self.stats.cas_failure();
+                    rear = actual;
+                }
+            }
+        }
+    }
+
+    /// Dequeues one token, or returns `None` (queue-empty exception) when
+    /// no published ticket is claimable. A claimed ticket whose data has
+    /// not landed yet is spin-waited briefly — the publishing store
+    /// follows the reservation immediately on the producer side.
+    pub fn try_pop(&self) -> Option<u32> {
+        let mut front = self.front.load(Ordering::Acquire);
+        loop {
+            let rear = self.rear.load(Ordering::Acquire);
+            if front >= rear {
+                self.stats.empty_retry();
+                return None;
+            }
+            self.stats.cas_attempt();
+            match self.front.compare_exchange_weak(
+                front,
+                front + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // Wait for the producer's publication store.
+                    let slot = &self.slots[front as usize];
+                    loop {
+                        let v = slot.load(Ordering::Acquire);
+                        if v != DNA {
+                            slot.store(DNA, Ordering::Relaxed);
+                            return Some(v);
+                        }
+                        self.stats.data_wait();
+                        std::hint::spin_loop();
+                    }
+                }
+                Err(actual) => {
+                    self.stats.cas_failure();
+                    front = actual;
+                }
+            }
+        }
+    }
+
+    /// Published-token estimate.
+    pub fn len_hint(&self) -> u64 {
+        self.rear
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.front.load(Ordering::Relaxed))
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Restores the initial state (exclusive access required).
+    pub fn reset(&mut self) {
+        for s in self.slots.iter() {
+            s.store(DNA, Ordering::Relaxed);
+        }
+        self.front.store(0, Ordering::Relaxed);
+        self.rear.store(0, Ordering::Relaxed);
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = BaseQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn empty_pop_counts_exception_retry() {
+        let q = BaseQueue::new(2);
+        assert_eq!(q.try_pop(), None);
+        assert_eq!(q.stats().empty_retries, 1);
+    }
+
+    #[test]
+    fn overflow_is_queue_full() {
+        let q = BaseQueue::new(1);
+        q.push(5).unwrap();
+        assert_eq!(q.push(6), Err(QueueFull { capacity: 1 }));
+    }
+
+    #[test]
+    fn every_op_is_a_cas() {
+        let q = BaseQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.try_pop().unwrap();
+        let s = q.stats();
+        assert_eq!(s.afa_ops, 0);
+        assert!(s.cas_attempts >= 3);
+    }
+
+    #[test]
+    fn concurrent_token_conservation() {
+        const THREADS: usize = 4;
+        const PER: usize = 5_000;
+        let q = BaseQueue::new(THREADS * PER);
+        let mut all: Vec<u32> = Vec::new();
+        crossbeam::scope(|scope| {
+            for t in 0..THREADS {
+                let q = &q;
+                scope.spawn(move |_| {
+                    for i in 0..PER as u32 {
+                        q.push((t * PER) as u32 + i).unwrap();
+                    }
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..THREADS {
+                let q = &q;
+                handles.push(scope.spawn(move |_| {
+                    let mut got = Vec::new();
+                    let mut misses = 0;
+                    while got.len() < PER || misses < 10_000 {
+                        match q.try_pop() {
+                            Some(v) => {
+                                got.push(v);
+                                misses = 0;
+                            }
+                            None => misses += 1,
+                        }
+                        if misses >= 10_000 {
+                            break;
+                        }
+                    }
+                    got
+                }));
+            }
+            all = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+        })
+        .unwrap();
+        // Drain whatever the consumers left behind.
+        while let Some(v) = q.try_pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..(THREADS * PER) as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reset_reuses_storage() {
+        let mut q = BaseQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.reset();
+        q.push(9).unwrap();
+        assert_eq!(q.try_pop(), Some(9));
+    }
+}

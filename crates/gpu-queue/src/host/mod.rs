@@ -1,0 +1,72 @@
+//! Host-side (real-thread) implementations of the three queue designs.
+//!
+//! These are genuine Rust concurrent data structures implementing the same
+//! algorithms as the device variants, so the paper's design can be
+//! exercised and benchmarked on real CPU hardware:
+//!
+//! * [`RfAnQueue`] — the proposed design: fetch-add ticket reservation
+//!   (never fails) plus *data-not-arrived* sentinel slots. Dequeuers
+//!   reserve slot tickets and poll them; enqueuers batch-publish. No
+//!   operation ever retries.
+//! * [`AnQueue`] — batch (arbitrary-n) reservation with compare-exchange:
+//!   retries on contention, raises queue-empty instead of reserving ahead.
+//! * [`BaseQueue`] — classic per-token CAS ticket queue.
+//! * [`MutexQueue`] — a `Mutex<VecDeque>` strawman for benchmarks.
+//! * [`TypedRfAnQueue`] — the RF/AN protocol carrying arbitrary `Send`
+//!   payloads (the sentinel word doubles as the publication flag).
+//! * [`WorkPool`] — a persistent-worker pool on the RF/AN queue: the
+//!   paper's Algorithm 1 on OS threads, with sound quiescence detection.
+//!
+//! All queues are **bounded and non-wrapping**: `capacity` must bound the
+//! total number of tokens ever enqueued between [`reset`](RfAnQueue::reset)
+//! calls, exactly like the device queues (and the paper's BFS, which sizes
+//! the queue by the vertex count). Overflow returns [`QueueFull`] — the
+//! paper's abort semantics, never a retry.
+//!
+//! Every queue keeps [`QueueStats`] so tests and benches can observe the
+//! atomic-operation and retry behaviour the paper measures.
+
+mod an;
+mod base;
+mod mutex;
+mod pool;
+mod rfan;
+mod stats;
+mod typed;
+
+pub use an::AnQueue;
+pub use base::BaseQueue;
+pub use mutex::MutexQueue;
+pub use pool::WorkPool;
+pub use rfan::{RfAnQueue, SlotTicket};
+pub use stats::{QueueStats, StatsSnapshot};
+pub use typed::{TypedRfAnQueue, TypedTicket};
+
+/// Error returned when an enqueue would exceed the queue's capacity.
+///
+/// Mirrors the paper's queue-full exception: "It indicates there are more
+/// available tasks ready for execution than can be stored in the queue …
+/// the user can retry the kernel with a larger queue."
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Capacity that was exceeded.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue full: capacity {} exceeded", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_full_displays_capacity() {
+        assert!(QueueFull { capacity: 64 }.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Blocking strawman: a `parking_lot::Mutex<VecDeque>`.
+//!
+//! Exists purely as a Criterion baseline — Cederman & Tsigas (cited by the
+//! paper) showed non-blocking designs beat blocking ones on GPUs; the
+//! host benchmarks let us confirm the same ordering on CPU threads.
+
+use super::{QueueFull, QueueStats, StatsSnapshot};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Mutex-guarded FIFO with the same bounded-capacity discipline as the
+/// lock-free queues.
+#[derive(Debug)]
+pub struct MutexQueue {
+    inner: Mutex<VecDeque<u32>>,
+    capacity: usize,
+    enqueued: Mutex<usize>,
+    stats: QueueStats,
+}
+
+impl MutexQueue {
+    /// Creates a queue bounding total enqueues at `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        MutexQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity.min(1 << 16))),
+            capacity,
+            enqueued: Mutex::new(0),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Enqueues a batch under the lock.
+    pub fn push_batch(&self, tokens: &[u32]) -> Result<(), QueueFull> {
+        let mut count = self.enqueued.lock();
+        if *count + tokens.len() > self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        *count += tokens.len();
+        let mut q = self.inner.lock();
+        q.extend(tokens.iter().copied());
+        Ok(())
+    }
+
+    /// Dequeues up to `max` tokens; `0` means empty.
+    pub fn pop_batch(&self, out: &mut Vec<u32>, max: usize) -> usize {
+        let mut q = self.inner.lock();
+        let n = q.len().min(max);
+        if n == 0 {
+            self.stats.empty_retry();
+        }
+        out.extend(q.drain(..n));
+        n
+    }
+
+    /// Tokens currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True if no tokens are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters (only empty retries are meaningful here).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let q = MutexQueue::new(8);
+        q.push_batch(&[1, 2, 3]).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 2), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_total_enqueues() {
+        let q = MutexQueue::new(2);
+        q.push_batch(&[1, 2]).unwrap();
+        let mut out = Vec::new();
+        q.pop_batch(&mut out, 2);
+        // Non-wrapping discipline: even after draining, the budget is spent.
+        assert_eq!(q.push_batch(&[3]), Err(QueueFull { capacity: 2 }));
+    }
+
+    #[test]
+    fn concurrent_conservation() {
+        const THREADS: usize = 4;
+        const PER: usize = 2_000;
+        let q = MutexQueue::new(THREADS * PER);
+        let mut all = Vec::new();
+        crossbeam::scope(|scope| {
+            for t in 0..THREADS {
+                let q = &q;
+                scope.spawn(move |_| {
+                    for i in 0..PER as u32 {
+                        q.push_batch(&[(t * PER) as u32 + i]).unwrap();
+                    }
+                });
+            }
+            let q = &q;
+            let h = scope.spawn(move |_| {
+                let mut got = Vec::new();
+                let mut misses = 0;
+                while got.len() < THREADS * PER && misses < 1_000_000 {
+                    if q.pop_batch(&mut got, 64) == 0 {
+                        misses += 1;
+                    }
+                }
+                got
+            });
+            all = h.join().unwrap();
+        })
+        .unwrap();
+        all.sort_unstable();
+        assert_eq!(all, (0..(THREADS * PER) as u32).collect::<Vec<_>>());
+    }
+}

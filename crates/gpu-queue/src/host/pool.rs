@@ -1,0 +1,220 @@
+//! A persistent-worker pool on the host RF/AN queue — the CPU analogue of
+//! the paper's persistent-thread model.
+//!
+//! [`WorkPool::run`] spawns workers that loop the paper's Algorithm 1:
+//! request a task token, process it through a user-supplied handler
+//! (which may produce new tokens), and repeat until no task is in flight
+//! anywhere. Termination uses the same outstanding-task counter the
+//! device kernels use: the pool increments it before publishing new
+//! tokens and decrements it after handling, so "counter == 0" is a sound
+//! quiescence signal.
+//!
+//! ```
+//! use gpu_queue::host::WorkPool;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! // Count down from each seed token: token t spawns t-1, ..., 1.
+//! let visited = AtomicU64::new(0);
+//! let pool = WorkPool::new(1024);
+//! pool.run(4, &[5, 3], |token, out| {
+//!     visited.fetch_add(1, Ordering::Relaxed);
+//!     if token > 1 {
+//!         out.push(token - 1);
+//!     }
+//! })
+//! .unwrap();
+//! assert_eq!(visited.load(Ordering::Relaxed), 5 + 3);
+//! ```
+
+use super::{QueueFull, RfAnQueue, SlotTicket, StatsSnapshot};
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Tokens a worker reserves per queue interaction.
+const BATCH: usize = 8;
+
+/// A bounded persistent-worker pool over the retry-free queue.
+///
+/// The capacity bounds the total number of tokens ever enqueued during one
+/// [`WorkPool::run`] (the queues are non-wrapping); size it like the
+/// paper sizes its device queue — by the workload's token bound.
+pub struct WorkPool {
+    queue: RfAnQueue,
+    pending: AtomicI64,
+}
+
+impl WorkPool {
+    /// Creates a pool whose queue holds up to `capacity` tokens per run.
+    pub fn new(capacity: usize) -> Self {
+        WorkPool {
+            queue: RfAnQueue::new(capacity),
+            pending: AtomicI64::new(0),
+        }
+    }
+
+    /// Runs `handler` over every token reachable from `seeds` using
+    /// `threads` persistent workers. The handler receives each token and
+    /// an outbox for newly discovered tokens; it is called exactly once
+    /// per enqueued token (the *application* decides whether a logical
+    /// task may be enqueued twice — see the BFS on-queue bit).
+    ///
+    /// # Errors
+    /// Returns [`QueueFull`] if the run tries to enqueue more than the
+    /// pool's capacity.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` or a worker panics.
+    pub fn run<F>(&self, threads: usize, seeds: &[u32], handler: F) -> Result<(), QueueFull>
+    where
+        F: Fn(u32, &mut Vec<u32>) + Sync,
+    {
+        assert!(threads > 0, "need at least one worker");
+        if seeds.is_empty() {
+            return Ok(());
+        }
+        self.pending.store(seeds.len() as i64, Ordering::Release);
+        self.queue.enqueue_batch(seeds)?;
+
+        let overflow = std::sync::atomic::AtomicBool::new(false);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut tickets: Vec<u64> = Vec::new();
+                    let mut outbox: Vec<u32> = Vec::new();
+                    loop {
+                        if self.pending.load(Ordering::Acquire) <= 0
+                            || overflow.load(Ordering::Relaxed)
+                        {
+                            return;
+                        }
+                        if tickets.is_empty() {
+                            tickets.extend(self.queue.reserve(BATCH));
+                        }
+                        let mut completed = 0i64;
+                        tickets.retain(|&slot| match self.queue.try_take(SlotTicket(slot)) {
+                            Some(token) => {
+                                handler(token, &mut outbox);
+                                completed += 1;
+                                false
+                            }
+                            None => true,
+                        });
+                        if !outbox.is_empty() {
+                            self.pending
+                                .fetch_add(outbox.len() as i64, Ordering::AcqRel);
+                            if self.queue.enqueue_batch(&outbox).is_err() {
+                                overflow.store(true, Ordering::Relaxed);
+                                // Unblock everyone: drop the in-flight count.
+                                self.pending.store(0, Ordering::Release);
+                                return;
+                            }
+                            outbox.clear();
+                        }
+                        if completed > 0 {
+                            self.pending.fetch_sub(completed, Ordering::AcqRel);
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        if overflow.load(Ordering::Relaxed) {
+            Err(QueueFull {
+                capacity: self.queue.capacity(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Queue operation counters accumulated so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.queue.stats()
+    }
+
+    /// Resets the pool for another run (exclusive access required).
+    pub fn reset(&mut self) {
+        self.queue.reset();
+        self.pending.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn processes_every_seed() {
+        let hits = AtomicU64::new(0);
+        let pool = WorkPool::new(64);
+        pool.run(3, &(0..32).collect::<Vec<_>>(), |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn follows_chains_of_discovered_work() {
+        // token t spawns t-1 ... total tokens = Σ seeds
+        let hits = AtomicU64::new(0);
+        let pool = WorkPool::new(256);
+        pool.run(4, &[10, 7, 1], |t, out| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if t > 1 {
+                out.push(t - 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 10 + 7 + 1);
+    }
+
+    #[test]
+    fn empty_seeds_is_a_noop() {
+        let pool = WorkPool::new(8);
+        pool.run(2, &[], |_, _| panic!("no tokens")).unwrap();
+    }
+
+    #[test]
+    fn overflow_reports_queue_full() {
+        let pool = WorkPool::new(4);
+        // Each token spawns two more forever: must overflow.
+        let result = pool.run(2, &[1_000_000], |t, out| {
+            out.push(t);
+            out.push(t);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reset_allows_reuse() {
+        let hits = AtomicU64::new(0);
+        let mut pool = WorkPool::new(16);
+        pool.run(2, &[1, 2], |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        pool.reset();
+        pool.run(2, &[3], |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let hits = AtomicU64::new(0);
+        let pool = WorkPool::new(64);
+        pool.run(1, &[8], |t, out| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if t > 1 {
+                out.push(t / 2);
+            }
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 4); // 8, 4, 2, 1
+    }
+}

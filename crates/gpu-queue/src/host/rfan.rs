@@ -1,0 +1,296 @@
+//! Host-side retry-free / arbitrary-n queue.
+//!
+//! The same algorithm as the device RF/AN queue, on real threads:
+//!
+//! * **Dequeue** is split into a wait-free slot reservation
+//!   ([`RfAnQueue::reserve`], one `fetch_add` for any batch size) and a
+//!   non-atomic poll ([`RfAnQueue::try_take`]) on the privately owned
+//!   slot. There is no queue-empty exception: reserving past `Rear` just
+//!   means the data hasn't arrived yet.
+//! * **Enqueue** ([`RfAnQueue::enqueue_batch`]) reserves a contiguous
+//!   region with one `fetch_add` on `Rear` and publishes each token with a
+//!   release store over the sentinel.
+//!
+//! Like the paper's queue, this is bounded and non-wrapping: `capacity`
+//! must bound the total tokens enqueued between [`RfAnQueue::reset`]
+//! calls; overflow is a [`QueueFull`] error (abort semantics). Tokens are
+//! `u32` values below [`DNA`].
+
+use super::{QueueFull, QueueStats, StatsSnapshot};
+use crate::DNA;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A reserved dequeue slot, obtained from [`RfAnQueue::reserve`].
+///
+/// The holder owns the slot exclusively; poll it with
+/// [`RfAnQueue::try_take`] until the token arrives (or until the
+/// application-level termination condition says it never will).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotTicket(pub u64);
+
+/// The retry-free, arbitrary-n concurrent queue on host threads.
+///
+/// ```
+/// use gpu_queue::host::{RfAnQueue, SlotTicket};
+///
+/// let q = RfAnQueue::new(8);
+/// // Consumers may reserve BEFORE data exists — that is the design.
+/// let ticket = SlotTicket(q.reserve(1).start);
+/// assert_eq!(q.try_take(ticket), None); // data not arrived
+/// q.enqueue_batch(&[42]).unwrap();      // one fetch-add for any batch
+/// assert_eq!(q.try_take(ticket), Some(42));
+/// assert_eq!(q.stats().total_retries(), 0);
+/// ```
+#[derive(Debug)]
+pub struct RfAnQueue {
+    slots: Box<[AtomicU32]>,
+    front: AtomicU64,
+    rear: AtomicU64,
+    stats: QueueStats,
+}
+
+impl RfAnQueue {
+    /// Creates a queue with room for `capacity` tokens, all slots painted
+    /// with the `dna` sentinel.
+    pub fn new(capacity: usize) -> Self {
+        let slots: Box<[AtomicU32]> = (0..capacity).map(|_| AtomicU32::new(DNA)).collect();
+        RfAnQueue {
+            slots,
+            front: AtomicU64::new(0),
+            rear: AtomicU64::new(0),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Slot capacity (= total token bound between resets).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Reserves `n` dequeue slots with a single fetch-add — the
+    /// arbitrary-n property: any batch for the price of one atomic.
+    /// Never fails; slots beyond the data simply stay pending.
+    pub fn reserve(&self, n: usize) -> Range<u64> {
+        self.stats.afa();
+        let base = self.front.fetch_add(n as u64, Ordering::Relaxed);
+        base..base + n as u64
+    }
+
+    /// Polls a reserved slot. Returns the token once it has arrived; no
+    /// atomics beyond a single acquire load (plus the sentinel restore,
+    /// which is private to this owner).
+    pub fn try_take(&self, ticket: SlotTicket) -> Option<u32> {
+        let idx = ticket.0 as usize;
+        if idx >= self.slots.len() {
+            // Out-of-bounds slots can never receive data (paper Listing 2
+            // line 3); report "not yet" so the caller's termination logic
+            // decides when to give up.
+            return None;
+        }
+        let v = self.slots[idx].load(Ordering::Acquire);
+        if v == DNA {
+            self.stats.data_wait();
+            None
+        } else {
+            // Restore the sentinel; we own this slot exclusively.
+            self.slots[idx].store(DNA, Ordering::Relaxed);
+            Some(v)
+        }
+    }
+
+    /// Enqueues a batch of tokens with a single fetch-add on `Rear`.
+    ///
+    /// # Errors
+    /// [`QueueFull`] if the reservation exceeds capacity. (The tokens up
+    /// to capacity are *not* written — like the paper's abort, the caller
+    /// should restart with a larger queue.)
+    ///
+    /// # Panics
+    /// Panics (debug) if a token equals the sentinel.
+    pub fn enqueue_batch(&self, tokens: &[u32]) -> Result<(), QueueFull> {
+        if tokens.is_empty() {
+            return Ok(());
+        }
+        self.stats.afa();
+        let base = self.rear.fetch_add(tokens.len() as u64, Ordering::Relaxed);
+        if base as usize + tokens.len() > self.slots.len() {
+            return Err(QueueFull {
+                capacity: self.slots.len(),
+            });
+        }
+        for (i, &tok) in tokens.iter().enumerate() {
+            debug_assert!(tok < DNA, "token collides with dna sentinel");
+            let slot = &self.slots[base as usize + i];
+            debug_assert_eq!(
+                slot.load(Ordering::Relaxed),
+                DNA,
+                "slot overwritten before consumption"
+            );
+            slot.store(tok, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Convenience single-token enqueue.
+    pub fn enqueue(&self, token: u32) -> Result<(), QueueFull> {
+        self.enqueue_batch(std::slice::from_ref(&token))
+    }
+
+    /// Number of published tokens not yet claimed by a reservation. Can
+    /// be negative conceptually (reservations ahead of data) — clamped to
+    /// zero, and only a hint under concurrency.
+    pub fn len_hint(&self) -> u64 {
+        let rear = self.rear.load(Ordering::Relaxed);
+        let front = self.front.load(Ordering::Relaxed);
+        rear.saturating_sub(front)
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Restores the queue to its initial state. Requires `&mut self`, so
+    /// no concurrent users can exist — this is the "retry the kernel with
+    /// a larger queue / next iteration" host-side step.
+    pub fn reset(&mut self) {
+        for s in self.slots.iter() {
+            s.store(DNA, Ordering::Relaxed);
+        }
+        self.front.store(0, Ordering::Relaxed);
+        self.rear.store(0, Ordering::Relaxed);
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let q = RfAnQueue::new(8);
+        q.enqueue_batch(&[10, 20, 30]).unwrap();
+        let r = q.reserve(3);
+        let toks: Vec<u32> = r
+            .clone()
+            .map(|s| q.try_take(SlotTicket(s)).expect("data present"))
+            .collect();
+        assert_eq!(toks, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn reservation_before_data_polls_pending() {
+        let q = RfAnQueue::new(4);
+        let r = q.reserve(1);
+        let t = SlotTicket(r.start);
+        assert_eq!(q.try_take(t), None);
+        q.enqueue(77).unwrap();
+        assert_eq!(q.try_take(t), Some(77));
+        // Sentinel restored: polling again reports pending, not stale data.
+        assert_eq!(q.try_take(t), None);
+    }
+
+    #[test]
+    fn out_of_bounds_ticket_is_pending_forever() {
+        let q = RfAnQueue::new(2);
+        let r = q.reserve(5);
+        assert_eq!(q.try_take(SlotTicket(r.end - 1)), None);
+    }
+
+    #[test]
+    fn overflow_returns_queue_full() {
+        let q = RfAnQueue::new(2);
+        assert_eq!(q.enqueue_batch(&[1, 2, 3]), Err(QueueFull { capacity: 2 }));
+    }
+
+    #[test]
+    fn batch_reservation_is_one_afa() {
+        let q = RfAnQueue::new(64);
+        q.enqueue_batch(&(0..32).collect::<Vec<_>>()).unwrap();
+        let before = q.stats().afa_ops;
+        q.reserve(32);
+        assert_eq!(q.stats().afa_ops - before, 1);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut q = RfAnQueue::new(4);
+        q.enqueue_batch(&[1, 2]).unwrap();
+        q.reserve(2);
+        q.reset();
+        assert_eq!(q.len_hint(), 0);
+        assert_eq!(q.stats(), StatsSnapshot::default());
+        q.enqueue(9).unwrap();
+        let r = q.reserve(1);
+        assert_eq!(q.try_take(SlotTicket(r.start)), Some(9));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_conserve_tokens() {
+        const PRODUCERS: usize = 4;
+        const CONSUMERS: usize = 4;
+        const PER_PRODUCER: usize = 2_000;
+        let q = RfAnQueue::new(PRODUCERS * PER_PRODUCER);
+        let taken = StdAtomicU64::new(0);
+        let mut seen: Vec<Vec<u32>> = Vec::new();
+        crossbeam::scope(|scope| {
+            for p in 0..PRODUCERS {
+                let q = &q;
+                scope.spawn(move |_| {
+                    let base = (p * PER_PRODUCER) as u32;
+                    for chunk in (0..PER_PRODUCER as u32).collect::<Vec<_>>().chunks(37) {
+                        let toks: Vec<u32> = chunk.iter().map(|i| base + i).collect();
+                        q.enqueue_batch(&toks).unwrap();
+                    }
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..CONSUMERS {
+                let q = &q;
+                let taken = &taken;
+                handles.push(scope.spawn(move |_| {
+                    let mut got = Vec::new();
+                    let total = (PRODUCERS * PER_PRODUCER) as u64;
+                    let mut pending: Vec<u64> = Vec::new();
+                    loop {
+                        if pending.is_empty() {
+                            if taken.load(Ordering::Relaxed) >= total {
+                                break;
+                            }
+                            pending.extend(q.reserve(16));
+                        }
+                        pending.retain(|&s| {
+                            if let Some(tok) = q.try_take(SlotTicket(s)) {
+                                got.push(tok);
+                                taken.fetch_add(1, Ordering::Relaxed);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        // Give up on slots that can never be filled once
+                        // everything has been consumed.
+                        if taken.load(Ordering::Relaxed) >= total {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                    got
+                }));
+            }
+            seen = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        })
+        .unwrap();
+        let mut all: Vec<u32> = seen.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..(PRODUCERS * PER_PRODUCER) as u32).collect();
+        assert_eq!(all, expect, "every token exactly once");
+        // Retry-free: no CAS, no empty exceptions — only data waits.
+        let s = q.stats();
+        assert_eq!(s.cas_attempts, 0);
+        assert_eq!(s.empty_retries, 0);
+    }
+}

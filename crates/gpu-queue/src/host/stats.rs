@@ -1,0 +1,111 @@
+//! Operation counters for the host queues.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by all threads using a queue. Counting uses
+/// relaxed ordering — the counts are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct QueueStats {
+    /// Fetch-add reservations (the RF/AN currency).
+    pub afa_ops: AtomicU64,
+    /// Compare-exchange attempts.
+    pub cas_attempts: AtomicU64,
+    /// Compare-exchange failures (each implies a retry loop iteration).
+    pub cas_failures: AtomicU64,
+    /// Dequeue attempts that found the queue empty (exception-style).
+    pub empty_retries: AtomicU64,
+    /// Spin iterations waiting for a reserved slot's data to arrive.
+    pub data_waits: AtomicU64,
+}
+
+impl QueueStats {
+    pub(crate) fn afa(&self) {
+        self.afa_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cas_attempt(&self) {
+        self.cas_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn cas_failure(&self) {
+        self.cas_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn empty_retry(&self) {
+        self.empty_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn data_wait(&self) {
+        self.data_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            afa_ops: self.afa_ops.load(Ordering::Relaxed),
+            cas_attempts: self.cas_attempts.load(Ordering::Relaxed),
+            cas_failures: self.cas_failures.load(Ordering::Relaxed),
+            empty_retries: self.empty_retries.load(Ordering::Relaxed),
+            data_waits: self.data_waits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.afa_ops.store(0, Ordering::Relaxed);
+        self.cas_attempts.store(0, Ordering::Relaxed);
+        self.cas_failures.store(0, Ordering::Relaxed);
+        self.empty_retries.store(0, Ordering::Relaxed);
+        self.data_waits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value copy of [`QueueStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub afa_ops: u64,
+    pub cas_attempts: u64,
+    pub cas_failures: u64,
+    pub empty_retries: u64,
+    pub data_waits: u64,
+}
+
+impl StatsSnapshot {
+    /// Total atomic reservation operations (AFA + CAS attempts).
+    pub fn total_atomics(&self) -> u64 {
+        self.afa_ops + self.cas_attempts
+    }
+
+    /// Total retry overhead of any kind.
+    pub fn total_retries(&self) -> u64 {
+        self.cas_failures + self.empty_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let s = QueueStats::default();
+        s.afa();
+        s.cas_attempt();
+        s.cas_failure();
+        s.empty_retry();
+        s.data_wait();
+        let snap = s.snapshot();
+        assert_eq!(snap.afa_ops, 1);
+        assert_eq!(snap.total_atomics(), 2);
+        assert_eq!(snap.total_retries(), 2);
+        assert_eq!(snap.data_waits, 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = QueueStats::default();
+        s.afa();
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,255 @@
+//! Structural analysis utilities: connectivity, degree histograms, and
+//! traversal-rate reporting.
+//!
+//! Used by the dataset-calibration reports (how closely a generated graph
+//! matches its published counterpart goes beyond the four summary columns
+//! of Tables 1–2) and by the benchmark harness for GTEPS figures.
+
+use crate::bfs::bfs_levels;
+use crate::csr::{Csr, VertexId};
+use crate::UNREACHED;
+
+/// Weakly connected components (edge direction ignored).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    /// `component[v]` is the 0-based component id of `v` (ids are dense,
+    /// assigned in order of discovery).
+    pub component: Vec<u32>,
+    /// Vertices per component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of weakly connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes weakly connected components with a union-find over all edges.
+pub fn weakly_connected_components(graph: &Csr) -> Components {
+    let n = graph.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            let grand = parent[parent[v as usize] as usize];
+            parent[v as usize] = grand; // path halving
+            v = grand;
+        }
+        v
+    }
+
+    for v in 0..n as u32 {
+        for &w in graph.neighbors(v) {
+            let rv = find(&mut parent, v);
+            let rw = find(&mut parent, w);
+            if rv != rw {
+                parent[rw as usize] = rv;
+            }
+        }
+    }
+
+    let mut component = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    for v in 0..n as u32 {
+        let root = find(&mut parent, v);
+        if component[root as usize] == u32::MAX {
+            component[root as usize] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        let c = component[root as usize];
+        component[v as usize] = c;
+        sizes[c as usize] += 1;
+    }
+    Components { component, sizes }
+}
+
+/// Out-degree histogram in power-of-two buckets: `buckets[i]` counts
+/// vertices with degree in `[2^(i-1)+1, 2^i]` (bucket 0 = degree 0,
+/// bucket 1 = degree 1).
+pub fn degree_histogram(graph: &Csr) -> Vec<usize> {
+    let mut buckets: Vec<usize> = Vec::new();
+    for v in 0..graph.num_vertices() as u32 {
+        let d = graph.degree(v);
+        let b = if d == 0 {
+            0
+        } else {
+            (u32::BITS - (d - 1).leading_zeros()) as usize + 1
+        };
+        if buckets.len() <= b {
+            buckets.resize(b + 1, 0);
+        }
+        buckets[b] += 1;
+    }
+    buckets
+}
+
+/// Approximates the graph's effective diameter: the BFS depth from
+/// `source`, re-rooted once at the deepest vertex found (a standard
+/// double-sweep lower bound).
+pub fn double_sweep_diameter(graph: &Csr, source: VertexId) -> u32 {
+    let first = bfs_levels(graph, source);
+    let farthest = first
+        .levels
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l != UNREACHED)
+        .max_by_key(|(_, &l)| l)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(source);
+    let second = bfs_levels(graph, farthest);
+    first.max_level.max(second.max_level)
+}
+
+/// Extracts the largest weakly connected component as a standalone graph.
+/// Returns the subgraph and, for each new vertex id, its original id —
+/// useful for benchmarking on real datasets whose interesting structure
+/// is one giant component plus debris.
+pub fn largest_component_subgraph(graph: &Csr) -> (Csr, Vec<VertexId>) {
+    let comps = weakly_connected_components(graph);
+    let target = comps
+        .sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &s)| s)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0);
+    let mut new_id = vec![u32::MAX; graph.num_vertices()];
+    let mut original = Vec::new();
+    for v in 0..graph.num_vertices() as u32 {
+        if comps.component[v as usize] == target {
+            new_id[v as usize] = original.len() as u32;
+            original.push(v);
+        }
+    }
+    let mut builder = crate::csr::CsrBuilder::new(original.len());
+    for &v in &original {
+        for &w in graph.neighbors(v) {
+            // Within a weakly connected component every edge endpoint is
+            // also in the component.
+            builder.add_edge(new_id[v as usize], new_id[w as usize]);
+        }
+    }
+    (builder.build(), original)
+}
+
+/// Traversed edges per second for a BFS that visited `edges` edges in
+/// `seconds` — the standard GTEPS throughput metric (reported in
+/// billions).
+pub fn gteps(edges: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    edges as f64 / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+    use crate::gen::{erdos_renyi, roadmap, synthetic_tree, RoadmapParams};
+
+    #[test]
+    fn single_component_tree() {
+        let g = synthetic_tree(500, 4);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.largest(), 500);
+    }
+
+    #[test]
+    fn disjoint_pieces_counted() {
+        let mut b = CsrBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        // 4 and 5 isolated
+        let g = b.build();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count(), 4);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(2, 0); // only a back edge: still one component {0,2}
+        let g = b.build();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.component[0], c.component[2]);
+        assert_ne!(c.component[0], c.component[1]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_correct() {
+        let mut b = CsrBuilder::new(4);
+        // degrees: 0, 1, 2, 5
+        b.add_edge(1, 0);
+        b.add_edge(2, 0);
+        b.add_edge(2, 1);
+        for _ in 0..5 {
+            b.add_edge(3, 0);
+        }
+        let g = b.build();
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 1); // degree 0
+        assert_eq!(h[1], 1); // degree 1
+        assert_eq!(h[2], 1); // degree 2
+        assert_eq!(h[4], 1); // degree 5 in (4, 8]
+    }
+
+    #[test]
+    fn double_sweep_at_least_single_sweep() {
+        let g = roadmap(RoadmapParams {
+            rows: 12,
+            cols: 30,
+            keep_prob: 0.6,
+            seed: 2,
+        });
+        // From the middle, the single sweep underestimates; the double
+        // sweep must not be smaller.
+        let mid = (6 * 30 + 15) as u32;
+        let single = crate::bfs::bfs_levels(&g, mid).max_level;
+        let double = double_sweep_diameter(&g, mid);
+        assert!(double >= single);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let mut b = CsrBuilder::new(7);
+        // component A: 0-1-2 (triangle-ish), component B: 3-4, isolated: 5, 6
+        b.add_undirected_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_undirected_edge(3, 4);
+        let g = b.build();
+        let (sub, original) = largest_component_subgraph(&g);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(original, vec![0, 1, 2]);
+        assert_eq!(sub.num_edges(), 3);
+        // relabeled edges preserved
+        assert_eq!(sub.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn gteps_math() {
+        assert!((gteps(2_000_000_000, 1.0) - 2.0).abs() < 1e-12);
+        assert_eq!(gteps(100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn random_graph_components_cover_all_vertices() {
+        let g = erdos_renyi(300, 200, 5);
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.component.len(), 300);
+        let total: usize = c.sizes.iter().sum();
+        assert_eq!(total, 300);
+        assert!(c.component.iter().all(|&x| (x as usize) < c.count()));
+    }
+}

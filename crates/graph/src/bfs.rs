@@ -1,0 +1,165 @@
+//! Sequential reference BFS.
+//!
+//! Every simulated or multi-threaded BFS run in this workspace is validated
+//! against this implementation: the parallel kernels must produce exactly
+//! the same level (cost) array. The paper's BFS stores per-vertex `Costs`,
+//! with the source at cost 0; unreached vertices keep [`crate::UNREACHED`].
+
+use crate::csr::{Csr, VertexId};
+use crate::UNREACHED;
+use std::collections::VecDeque;
+
+/// Outcome of a BFS traversal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `levels[v]` is the BFS depth of `v`, or [`UNREACHED`].
+    pub levels: Vec<u32>,
+    /// Number of vertices reached (including the source).
+    pub reached: usize,
+    /// Depth of the deepest reached vertex.
+    pub max_level: u32,
+}
+
+/// Runs a textbook queue-based BFS from `source` and returns per-vertex
+/// levels.
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn bfs_levels(graph: &Csr, source: VertexId) -> BfsResult {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut levels = vec![UNREACHED; n];
+    let mut queue = VecDeque::new();
+    levels[source as usize] = 0;
+    queue.push_back(source);
+    let mut reached = 1usize;
+    let mut max_level = 0u32;
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v as usize] + 1;
+        for &w in graph.neighbors(v) {
+            if levels[w as usize] == UNREACHED {
+                levels[w as usize] = next;
+                max_level = max_level.max(next);
+                reached += 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsResult {
+        levels,
+        reached,
+        max_level,
+    }
+}
+
+/// Checks that `candidate` is a valid BFS level assignment for `graph` from
+/// `source`, i.e. identical to the reference result. Returns the first
+/// discrepancy as `Err((vertex, expected, actual))`.
+pub fn validate_levels(
+    graph: &Csr,
+    source: VertexId,
+    candidate: &[u32],
+) -> Result<(), (VertexId, u32, u32)> {
+    let reference = bfs_levels(graph, source);
+    if candidate.len() != reference.levels.len() {
+        return Err((0, reference.levels.len() as u32, candidate.len() as u32));
+    }
+    for (v, (&expect, &got)) in reference.levels.iter().zip(candidate).enumerate() {
+        if expect != got {
+            return Err((v as VertexId, expect, got));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+
+    fn path(n: usize) -> Csr {
+        let mut b = CsrBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_undirected_edge(i as u32, i as u32 + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_levels_are_distances() {
+        let g = path(5);
+        let r = bfs_levels(&g, 0);
+        assert_eq!(r.levels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.reached, 5);
+        assert_eq!(r.max_level, 4);
+    }
+
+    #[test]
+    fn bfs_from_middle_of_path() {
+        let g = path(5);
+        let r = bfs_levels(&g, 2);
+        assert_eq!(r.levels, vec![2, 1, 0, 1, 2]);
+        assert_eq!(r.max_level, 2);
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unreached() {
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let r = bfs_levels(&g, 0);
+        assert_eq!(r.levels, vec![0, 1, UNREACHED, UNREACHED]);
+        assert_eq!(r.reached, 2);
+    }
+
+    #[test]
+    fn directed_edges_are_one_way() {
+        let mut b = CsrBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(bfs_levels(&g, 1).levels, vec![UNREACHED, 0]);
+    }
+
+    #[test]
+    fn shortest_path_wins_with_multiple_routes() {
+        // 0 -> 1 -> 2 and 0 -> 2 directly: level(2) must be 1.
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        let g = b.build();
+        assert_eq!(bfs_levels(&g, 0).levels, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_reference_and_rejects_corruption() {
+        let g = path(4);
+        let r = bfs_levels(&g, 0);
+        assert!(validate_levels(&g, 0, &r.levels).is_ok());
+        let mut bad = r.levels.clone();
+        bad[3] = 7;
+        assert_eq!(validate_levels(&g, 0, &bad), Err((3, 3, 7)));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        let g = path(4);
+        assert!(validate_levels(&g, 0, &[0, 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_panics_on_bad_source() {
+        let g = path(2);
+        let _ = bfs_levels(&g, 9);
+    }
+
+    #[test]
+    fn self_loop_does_not_break_bfs() {
+        let mut b = CsrBuilder::new(2);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(bfs_levels(&g, 0).levels, vec![0, 1]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Erdős–Rényi-style random graphs for tests and property-based checks.
+
+use crate::csr::{Csr, CsrBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed G(n, m) random graph: exactly `m` edges with
+/// independently uniform endpoints (self-loops and parallel edges allowed,
+/// as in the multigraph variant — the BFS kernels must tolerate both).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n > 0, "need at least one vertex");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xe6d0_5e6d_05e6_d05e);
+    let mut b = CsrBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let src = rng.gen_range(0..n as u32);
+        let dst = rng.gen_range(0..n as u32);
+        b.add_edge(src as VertexId, dst as VertexId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count() {
+        let g = erdos_renyi(100, 500, 9);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(50, 100, 1), erdos_renyi(50, 100, 1));
+        assert_ne!(erdos_renyi(50, 100, 1), erdos_renyi(50, 100, 2));
+    }
+
+    #[test]
+    fn zero_edges_is_fine() {
+        let g = erdos_renyi(10, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

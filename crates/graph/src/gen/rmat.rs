@@ -1,0 +1,172 @@
+//! R-MAT recursive-matrix graph generator (Chakrabarti et al., 2004).
+//!
+//! The de-facto standard synthetic generator for graph-processing
+//! benchmarks (Graph500 uses it): edges are placed by recursively
+//! descending a 2^k × 2^k adjacency matrix with quadrant probabilities
+//! `(a, b, c, d)`. Skewed parameters produce the power-law degree
+//! distributions and tiny diameters of real social networks — a useful
+//! alternative to [`super::social`] for stress-testing the scheduler.
+
+use crate::csr::{Csr, CsrBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`rmat`].
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// log2 of the vertex count (n = 2^scale).
+    pub scale: u32,
+    /// Edges per vertex (total edges = n * edge_factor).
+    pub edge_factor: usize,
+    /// Quadrant probabilities; must sum to ~1. Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    /// Upper-right quadrant probability.
+    pub b: f64,
+    /// Lower-left quadrant probability.
+    pub c: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams {
+            scale: 10,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// # Panics
+/// Panics if `scale` exceeds 31 or the quadrant probabilities are
+/// degenerate.
+pub fn rmat(params: RmatParams) -> Csr {
+    let RmatParams {
+        scale,
+        edge_factor,
+        a,
+        b,
+        c,
+        seed,
+    } = params;
+    assert!(scale <= 31, "scale too large for u32 vertex ids");
+    let d = 1.0 - a - b - c;
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+        "quadrant probabilities must be non-negative and sum to <= 1"
+    );
+    let n = 1usize << scale;
+    let m = n * edge_factor;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x12a7_12a7_12a7_12a7);
+    let mut builder = CsrBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let mut src = 0u32;
+        let mut dst = 0u32;
+        for _ in 0..scale {
+            src <<= 1;
+            dst <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // upper-left: no bits set
+            } else if r < a + b {
+                dst |= 1;
+            } else if r < a + b + c {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        builder.add_edge(src as VertexId, dst as VertexId);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_levels;
+
+    #[test]
+    fn sizes_match_parameters() {
+        let g = rmat(RmatParams {
+            scale: 8,
+            edge_factor: 8,
+            ..Default::default()
+        });
+        assert_eq!(g.num_vertices(), 256);
+        assert_eq!(g.num_edges(), 2048);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = RmatParams::default();
+        assert_eq!(rmat(p), rmat(p));
+        assert_ne!(rmat(p), rmat(RmatParams { seed: 2, ..p }));
+    }
+
+    #[test]
+    fn skew_produces_heavy_tail() {
+        let g = rmat(RmatParams {
+            scale: 12,
+            edge_factor: 16,
+            ..Default::default()
+        });
+        let s = g.degree_stats();
+        assert!(
+            s.max as f64 > 8.0 * s.avg,
+            "max {} should dwarf avg {}",
+            s.max,
+            s.avg
+        );
+    }
+
+    #[test]
+    fn low_vertex_ids_form_the_dense_core() {
+        // With a = 0.57 the recursion biases both endpoints toward low
+        // ids; vertex 0 sits in the densest corner and reaches most of
+        // the graph in a few hops.
+        let g = rmat(RmatParams {
+            scale: 11,
+            edge_factor: 16,
+            ..Default::default()
+        });
+        let r = bfs_levels(&g, 0);
+        assert!(r.reached > g.num_vertices() / 2);
+        assert!(
+            r.max_level <= 10,
+            "rmat diameter too large: {}",
+            r.max_level
+        );
+    }
+
+    #[test]
+    fn uniform_probabilities_give_uniformish_degrees() {
+        let g = rmat(RmatParams {
+            scale: 10,
+            edge_factor: 8,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            seed: 9,
+        });
+        let s = g.degree_stats();
+        assert!(s.std < s.avg, "uniform R-MAT should not be heavy-tailed");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale too large")]
+    fn rejects_oversized_scale() {
+        let _ = rmat(RmatParams {
+            scale: 32,
+            ..Default::default()
+        });
+    }
+}

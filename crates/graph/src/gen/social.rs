@@ -1,0 +1,170 @@
+//! Social-media graph generator (SNAP substitutes — paper Table 1, Fig 3b-c).
+//!
+//! The two SNAP datasets the paper uses have heavy-tailed fanout:
+//!
+//! | dataset | vertices | edges | avg | max | std |
+//! |---|---|---|---|---|---|
+//! | gplus_combined | 107,614 | 30,494,866 | 283.4 | 49,041 | 1,245.2 |
+//! | soc-LiveJournal1 | 4,847,571 | 68,993,773 | 14.2 | 20,293 | 36.1 |
+//!
+//! What matters for the queue experiments is (a) the heavy-tailed degree
+//! distribution — a handful of hubs enqueue enormous batches, exactly the
+//! case the arbitrary-n property targets — and (b) a shallow BFS (social
+//! graphs have small diameters), so parallelism ramps up within a few
+//! levels (Figure 3b/3c). We sample out-degrees from a truncated discrete
+//! Pareto tuned to hit a target mean, then attach edge endpoints with
+//! preferential bias so high-degree vertices are also *discovered* early,
+//! keeping the diameter small.
+
+use crate::csr::{Csr, CsrBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for [`social`].
+#[derive(Clone, Copy, Debug)]
+pub struct SocialParams {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Target mean out-degree (the generator lands within a few percent).
+    pub avg_degree: f64,
+    /// Pareto tail exponent; smaller = heavier tail = larger std.
+    /// gplus-like graphs need ~1.6, LiveJournal-like ~2.2.
+    pub alpha: f64,
+    /// Hard cap on a single vertex's out-degree.
+    pub max_degree: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a heavy-tailed directed graph with the given parameters.
+///
+/// Endpoint selection mixes 50% uniform targets with 50% "preferential"
+/// targets drawn from the low vertex ids (which receive the largest degree
+/// draws), producing the hub-and-spoke reachability of real social graphs.
+///
+/// # Panics
+/// Panics if `vertices == 0` or `avg_degree <= 0`.
+pub fn social(params: SocialParams) -> Csr {
+    let SocialParams {
+        vertices,
+        avg_degree,
+        alpha,
+        max_degree,
+        seed,
+    } = params;
+    assert!(vertices > 0, "need at least one vertex");
+    assert!(avg_degree > 0.0, "average degree must be positive");
+    assert!(alpha > 1.0, "pareto tail needs alpha > 1 for a finite mean");
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5050_c1a1_dead_beef);
+
+    // Discrete Pareto: P(X >= k) = (x_m / k)^alpha. The mean of the
+    // continuous Pareto is x_m * alpha / (alpha - 1); solve for x_m to hit
+    // the requested mean, then sample by inverse transform.
+    let x_m = avg_degree * (alpha - 1.0) / alpha;
+    let mut degrees = vec![0u32; vertices];
+    for d in degrees.iter_mut() {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let raw = x_m / u.powf(1.0 / alpha);
+        *d = (raw.round() as u64).min(u64::from(max_degree)) as u32;
+    }
+    // Plant the biggest draws on the lowest vertex ids so "preferential"
+    // endpoint selection below can simply target small ids.
+    degrees.sort_unstable_by(|a, b| b.cmp(a));
+
+    let total_edges: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+    let mut b = CsrBuilder::with_capacity(vertices, total_edges as usize);
+    let n = vertices as u64;
+    for (v, &deg) in degrees.iter().enumerate() {
+        for _ in 0..deg {
+            let dst = if rng.gen_bool(0.5) {
+                // Preferential: quadratic bias toward low ids (hubs).
+                let r: f64 = rng.gen::<f64>();
+                ((r * r * n as f64) as u64).min(n - 1)
+            } else {
+                rng.gen_range(0..n)
+            };
+            b.add_edge(v as VertexId, dst as VertexId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_levels;
+
+    fn small_params() -> SocialParams {
+        SocialParams {
+            vertices: 20_000,
+            avg_degree: 14.0,
+            alpha: 1.8,
+            max_degree: 2_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = social(small_params());
+        let b = social(small_params());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = social(small_params());
+        let b = social(SocialParams {
+            seed: 8,
+            ..small_params()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mean_degree_is_near_target() {
+        let g = social(small_params());
+        let s = g.degree_stats();
+        assert!(
+            (s.avg - 14.0).abs() / 14.0 < 0.25,
+            "avg degree {} too far from 14",
+            s.avg
+        );
+    }
+
+    #[test]
+    fn degree_std_exceeds_mean_like_social_graphs() {
+        // Both paper datasets have std > avg (heavy tail).
+        let g = social(small_params());
+        let s = g.degree_stats();
+        assert!(s.std > s.avg, "std {} <= avg {}", s.std, s.avg);
+    }
+
+    #[test]
+    fn bfs_from_hub_is_shallow_and_wide() {
+        let g = social(small_params());
+        // Vertex 0 holds the largest degree draw — the natural BFS source.
+        let r = bfs_levels(&g, 0);
+        assert!(r.reached > g.num_vertices() / 2, "reached {}", r.reached);
+        assert!(r.max_level <= 10, "social graph too deep: {}", r.max_level);
+    }
+
+    #[test]
+    fn max_degree_cap_is_respected() {
+        let g = social(SocialParams {
+            max_degree: 50,
+            ..small_params()
+        });
+        assert!(g.degree_stats().max <= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > 1")]
+    fn rejects_heavy_alpha() {
+        let _ = social(SocialParams {
+            alpha: 0.9,
+            ..small_params()
+        });
+    }
+}

@@ -1,0 +1,103 @@
+//! The paper's synthetic saturating dataset (§5.2, Figure 3a).
+//!
+//! "we constructed a synthetic dataset designed to keep all persistent
+//! threads busy … 10,485,760 vertices, with a fanout of 4 edges per vertex.
+//! After the first 8 levels, both the Spectre and Fiji GPUs are fully
+//! saturated."
+//!
+//! A complete fanout-`f` tree truncated at `n` vertices has exactly that
+//! profile: level `l` holds `f^l` vertices until the vertex budget runs
+//! out, so after `log_f(threads)` levels every persistent thread stays
+//! busy and queue-empty exceptions vanish — which is precisely what the
+//! paper wants this dataset to isolate (atomic contention without idle
+//! threads).
+
+use crate::csr::{Csr, CsrBuilder, VertexId};
+
+/// Builds the truncated complete `fanout`-ary tree with `n` vertices.
+/// Vertex `v`'s children are `fanout*v + 1 ..= fanout*v + fanout` (when in
+/// range), the classic implicit-heap layout, so no RNG is involved at all.
+///
+/// # Panics
+/// Panics if `n == 0` or `fanout == 0`.
+pub fn synthetic_tree(n: usize, fanout: u32) -> Csr {
+    assert!(n > 0, "tree needs at least the root");
+    assert!(fanout > 0, "fanout must be positive");
+    let mut b = CsrBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 0..n as u64 {
+        for c in 0..u64::from(fanout) {
+            let child = v * u64::from(fanout) + 1 + c;
+            if child >= n as u64 {
+                break;
+            }
+            b.add_edge(v as VertexId, child as VertexId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs_levels;
+    use crate::profile::level_profile;
+
+    #[test]
+    fn full_tree_has_n_minus_1_edges() {
+        let g = synthetic_tree(1 + 4 + 16, 4);
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    fn truncation_stops_at_vertex_budget() {
+        let g = synthetic_tree(7, 4); // root + 4 children + 2 grandchildren
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.neighbors(1), &[5, 6]);
+    }
+
+    #[test]
+    fn every_vertex_is_reached_from_root() {
+        let g = synthetic_tree(1000, 4);
+        let r = bfs_levels(&g, 0);
+        assert_eq!(r.reached, 1000);
+    }
+
+    #[test]
+    fn level_widths_are_powers_of_fanout() {
+        let g = synthetic_tree(1 + 3 + 9 + 27, 3);
+        let p = level_profile(&g, 0);
+        assert_eq!(p.counts, vec![1, 3, 9, 27]);
+    }
+
+    #[test]
+    fn saturates_after_log_levels_like_the_paper() {
+        // Paper: fanout 4, saturation of 2048 threads after ~6 levels
+        // (4^6 = 4096 > 2048).
+        let g = synthetic_tree(1_000_000, 4);
+        let p = level_profile(&g, 0);
+        assert!(p.counts[6] >= 2048);
+        assert!(p.counts[5] < 2048 * 2);
+    }
+
+    #[test]
+    fn fanout_one_is_a_path() {
+        let g = synthetic_tree(5, 1);
+        let r = bfs_levels(&g, 0);
+        assert_eq!(r.max_level, 4);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = synthetic_tree(1, 4);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the root")]
+    fn zero_vertices_rejected() {
+        let _ = synthetic_tree(0, 4);
+    }
+}

@@ -1,0 +1,38 @@
+//! Graph substrate for the ICPP'19 retry-free / arbitrary-n queue reproduction.
+//!
+//! The paper evaluates its concurrent queue with a persistent-thread top-down
+//! BFS over six graph datasets (one synthetic, two social-media graphs from
+//! SNAP, three DIMACS roadmaps) plus the datasets shipped with the Rodinia
+//! and CHAI benchmark suites. This crate provides everything those
+//! experiments need on the data side:
+//!
+//! * [`csr::Csr`] — compressed sparse row storage with degree statistics
+//!   (the `Edges Per Vertex` columns of the paper's Tables 1 and 2),
+//! * [`gen`] — deterministic generators calibrated to each dataset family's
+//!   published statistics (fanout distribution, depth, vertex/edge counts),
+//! * [`io`] — readers/writers for the DIMACS `.gr`, SNAP edge-list, and
+//!   Rodinia BFS file formats so the real datasets can be dropped in,
+//! * [`bfs`] — a sequential reference BFS used to validate every parallel
+//!   run, and
+//! * [`profile`] — per-level dynamic-parallelism profiles (Figure 3).
+//!
+//! All generators take explicit seeds and are fully deterministic.
+
+pub mod analysis;
+pub mod bfs;
+pub mod csr;
+pub mod datasets;
+pub mod gen;
+pub mod io;
+pub mod profile;
+pub mod weights;
+
+pub use analysis::{degree_histogram, gteps, weakly_connected_components, Components};
+pub use bfs::{bfs_levels, validate_levels, BfsResult};
+pub use csr::{Csr, CsrBuilder, DegreeStats, VertexId};
+pub use datasets::{Dataset, DatasetSpec};
+pub use profile::{level_profile, LevelProfile};
+pub use weights::{dijkstra, random_weights, validate_distances};
+
+/// Sentinel level for vertices not reached by a BFS.
+pub const UNREACHED: u32 = u32::MAX;

@@ -1,0 +1,133 @@
+//! Dynamic-parallelism (level) profiles — the paper's Figure 3.
+//!
+//! For a BFS-driven persistent-thread workload, the number of vertices that
+//! become available at each level *is* the instantaneous parallelism the
+//! scheduler can exploit. The paper plots these profiles for all six
+//! datasets (Figure 3) and repeatedly explains speedup differences in terms
+//! of whether the profile saturates the 2,048 (Spectre) or 14,336 (Fiji)
+//! persistent threads.
+
+use crate::bfs::bfs_levels;
+use crate::csr::{Csr, VertexId};
+
+/// Vertices available for thread assignment at each BFS level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelProfile {
+    /// `counts[l]` = number of vertices at BFS depth `l`.
+    pub counts: Vec<u64>,
+    /// Vertices never reached from the chosen source.
+    pub unreached: u64,
+}
+
+impl LevelProfile {
+    /// Number of BFS levels (depth of the traversal + 1).
+    pub fn num_levels(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Largest single-level width — the peak parallelism of the workload.
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total reached vertices.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of levels whose width is at least `threads` — i.e. how much
+    /// of the traversal keeps every persistent thread busy. The paper's
+    /// synthetic dataset is designed so this approaches 1.0 after the first
+    /// 8 levels; roadmaps sit near 0.0 on the Fiji GPU.
+    pub fn saturation(&self, threads: u64) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let sat = self.counts.iter().filter(|&&c| c >= threads).count();
+        sat as f64 / self.counts.len() as f64
+    }
+
+    /// Fraction of *work* (vertex visits) that happens on saturated levels.
+    /// Weighting by width is a better predictor of speedup than
+    /// [`Self::saturation`] because wide levels dominate runtime.
+    pub fn work_saturation(&self, threads: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sat: u64 = self.counts.iter().filter(|&&c| c >= threads).sum();
+        sat as f64 / total as f64
+    }
+}
+
+/// Computes the per-level vertex counts for a BFS from `source`.
+///
+/// ```
+/// use ptq_graph::{gen::synthetic_tree, level_profile};
+///
+/// let g = synthetic_tree(1 + 4 + 16, 4);
+/// let p = level_profile(&g, 0);
+/// assert_eq!(p.counts, vec![1, 4, 16]);
+/// assert_eq!(p.peak(), 16);
+/// ```
+pub fn level_profile(graph: &Csr, source: VertexId) -> LevelProfile {
+    let result = bfs_levels(graph, source);
+    let mut counts = vec![0u64; result.max_level as usize + 1];
+    let mut unreached = 0u64;
+    for &l in &result.levels {
+        if l == crate::UNREACHED {
+            unreached += 1;
+        } else {
+            counts[l as usize] += 1;
+        }
+    }
+    LevelProfile { counts, unreached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+    use crate::gen::synthetic_tree;
+
+    #[test]
+    fn tree_profile_is_powers_of_fanout() {
+        let g = synthetic_tree(1 + 4 + 16 + 64, 4);
+        let p = level_profile(&g, 0);
+        assert_eq!(p.counts, vec![1, 4, 16, 64]);
+        assert_eq!(p.unreached, 0);
+        assert_eq!(p.peak(), 64);
+        assert_eq!(p.total(), 85);
+    }
+
+    #[test]
+    fn saturation_counts_wide_levels() {
+        let g = synthetic_tree(85, 4);
+        let p = level_profile(&g, 0);
+        // levels of width 1,4,16,64; threshold 10 is met by 2 of 4 levels
+        assert!((p.saturation(10) - 0.5).abs() < 1e-12);
+        // by work: (16+64)/85
+        assert!((p.work_saturation(10) - 80.0 / 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreached_vertices_are_counted() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let p = level_profile(&g, 0);
+        assert_eq!(p.counts, vec![1, 1]);
+        assert_eq!(p.unreached, 1);
+    }
+
+    #[test]
+    fn empty_profile_edge_cases() {
+        let mut b = CsrBuilder::new(1);
+        b.ensure_vertices(1);
+        let g = b.build();
+        let p = level_profile(&g, 0);
+        assert_eq!(p.counts, vec![1]);
+        assert_eq!(p.peak(), 1);
+        assert_eq!(p.saturation(2), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Edge weights and a sequential shortest-path reference.
+//!
+//! The queue is a *task scheduler*, not a BFS engine: the SSSP driver in
+//! `pt-bfs` exercises it with a weighted label-correcting workload. This
+//! module supplies deterministic weight generation and the Dijkstra
+//! reference used to validate every parallel run.
+
+use crate::csr::{Csr, VertexId};
+use crate::UNREACHED;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Deterministically generates one weight per edge, uniform in
+/// `1..=max_weight`, aligned with the graph's adjacency array.
+pub fn random_weights(graph: &Csr, max_weight: u32, seed: u64) -> Vec<u32> {
+    assert!(max_weight >= 1, "weights must be positive");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e55_5e55_5e55_5e55);
+    (0..graph.num_edges())
+        .map(|_| rng.gen_range(1..=max_weight))
+        .collect()
+}
+
+/// Sequential Dijkstra over `(graph, weights)` from `source`; returns the
+/// exact distance array (`UNREACHED` = `u32::MAX` for unreachable).
+///
+/// # Panics
+/// Panics if `weights.len() != graph.num_edges()` or the source is out of
+/// range.
+pub fn dijkstra(graph: &Csr, weights: &[u32], source: VertexId) -> Vec<u32> {
+    assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![UNREACHED; n];
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let start = graph.edge_start(v) as usize;
+        for (offset, &w) in graph.neighbors(v).iter().enumerate() {
+            let nd = d.saturating_add(weights[start + offset]);
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+    dist
+}
+
+/// Checks a candidate distance array against the Dijkstra reference.
+pub fn validate_distances(
+    graph: &Csr,
+    weights: &[u32],
+    source: VertexId,
+    candidate: &[u32],
+) -> Result<(), (VertexId, u32, u32)> {
+    let reference = dijkstra(graph, weights, source);
+    if candidate.len() != reference.len() {
+        return Err((0, reference.len() as u32, candidate.len() as u32));
+    }
+    for (v, (&want, &got)) in reference.iter().zip(candidate).enumerate() {
+        if want != got {
+            return Err((v as VertexId, want, got));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+    use crate::gen::erdos_renyi;
+
+    fn weighted_diamond() -> (Csr, Vec<u32>) {
+        // 0 -> 1 (1), 0 -> 2 (5), 1 -> 3 (1), 2 -> 3 (1)
+        let mut b = CsrBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        (b.build(), vec![1, 5, 1, 1])
+    }
+
+    #[test]
+    fn dijkstra_picks_shortest_route() {
+        let (g, w) = weighted_diamond();
+        let dist = dijkstra(&g, &w, 0);
+        assert_eq!(dist, vec![0, 1, 5, 2]);
+    }
+
+    #[test]
+    fn unreachable_stays_unreached() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let dist = dijkstra(&g, &[2], 0);
+        assert_eq!(dist, vec![0, 2, UNREACHED]);
+    }
+
+    #[test]
+    fn weights_are_deterministic_and_bounded() {
+        let g = erdos_renyi(100, 400, 3);
+        let a = random_weights(&g, 10, 7);
+        let b = random_weights(&g, 10, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&w| (1..=10).contains(&w)));
+        assert_ne!(a, random_weights(&g, 10, 8));
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs_levels() {
+        let g = erdos_renyi(200, 900, 5);
+        let w = vec![1u32; g.num_edges()];
+        let dist = dijkstra(&g, &w, 0);
+        let bfs = crate::bfs::bfs_levels(&g, 0);
+        assert_eq!(dist, bfs.levels);
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let (g, w) = weighted_diamond();
+        let mut d = dijkstra(&g, &w, 0);
+        assert!(validate_distances(&g, &w, 0, &d).is_ok());
+        d[3] = 9;
+        assert_eq!(validate_distances(&g, &w, 0, &d), Err((3, 2, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per edge")]
+    fn weight_length_checked() {
+        let (g, _) = weighted_diamond();
+        let _ = dijkstra(&g, &[1, 2], 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! The external BFS implementations the paper compares against (§6.4).
+//!
+//! * [`rodinia`] — Rodinia's level-synchronous, one-thread-per-vertex BFS:
+//!   "It exits after each level and allocates 1 thread per node. Only
+//!   nodes with no dependencies process at each level. If the number of
+//!   levels is significant, this approach can have significant overhead."
+//! * [`chai`] — CHAI's collaborative CPU+GPU persistent BFS: a CAS-based
+//!   worklist shared across the cluster boundary, which only integrated
+//!   parts support ("The discrete Fiji GPU cannot run this heterogeneous
+//!   kernel because it does not support cross cluster CPU/GPU atomic
+//!   operations").
+
+pub mod chai;
+pub mod rodinia;
+
+pub use chai::run_chai;
+pub use rodinia::run_rodinia;

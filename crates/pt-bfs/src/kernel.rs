@@ -1,0 +1,252 @@
+//! The persistent-thread top-down BFS kernel.
+//!
+//! Structure follows the paper's Algorithm 1 exactly — every work cycle:
+//!
+//! 1. hungry lanes request task tokens from the scheduler queue
+//!    (`GetWorkToken`, variant-specific),
+//! 2. lanes holding a vertex process up to [`CHUNK`] of its out-edges
+//!    (`DoWorkUnit` — "work cycles of 4 sub-tasks works well", §3.3),
+//! 3. newly discovered vertices are enqueued
+//!    (`ScheduleNewlyDiscoveredWorkTokens`),
+//! 4. the wavefront checks the global outstanding-task counter
+//!    (`WorkRemains`).
+//!
+//! Child discovery claims the vertex's cost word with an atomic-min (an
+//! AFA-class operation that never retries and is identical across queue
+//! variants, so the queue comparison stays clean). A child is enqueued iff
+//! the atomic-min strictly improved its cost *and* the vertex is not
+//! already queued (a per-vertex on-queue bit claimed with an atomic
+//! exchange — the classic label-correcting worklist discipline). If an
+//! out-of-order race publishes a too-deep cost first, a later improvement
+//! re-enqueues the vertex, so the final costs always equal exact BFS
+//! levels; the on-queue bit bounds total enqueues near `|V|`.
+//!
+//! Lanes whose discoveries have not yet been accepted by the queue stall
+//! (real kernels hold discoveries in scarce registers/local memory): while
+//! the outbox is backlogged the wavefront neither requests new work nor
+//! expands edges, it just keeps offering the backlog.
+
+use gpu_queue::device::{LanePhase, WaveQueue};
+use simt::{Buffer, WaveCtx, WaveKernel, WaveStatus};
+
+/// Uniform sub-tasks (edges) per lane per work cycle — paper §3.3.
+pub const CHUNK: u32 = 4;
+
+/// Device buffer handles the kernel needs.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsBuffers {
+    /// CSR row offsets (`n + 1` words) — the paper's `Nodes`.
+    pub nodes: Buffer,
+    /// CSR adjacency — the paper's `Edges`.
+    pub edges: Buffer,
+    /// Per-vertex BFS cost — the paper's `Costs`.
+    pub costs: Buffer,
+    /// Per-vertex on-queue bit (1 while the vertex sits in the queue).
+    pub inqueue: Buffer,
+    /// One-word outstanding-task counter for termination detection.
+    pub pending: Buffer,
+}
+
+/// Per-lane execution state: the vertex being processed and the edge
+/// cursor within it.
+#[derive(Clone, Copy, Debug)]
+enum LaneWork {
+    None,
+    Node {
+        level: u32,
+        next_edge: u32,
+        end_edge: u32,
+    },
+}
+
+/// One wavefront's persistent BFS state.
+pub struct PersistentBfsKernel {
+    queue: Box<dyn WaveQueue>,
+    buffers: BfsBuffers,
+    phases: Vec<LanePhase>,
+    work: Vec<LaneWork>,
+    /// Newly discovered tokens awaiting queue acceptance.
+    outbox: Vec<u32>,
+    /// Finished tasks not yet retired against the pending counter
+    /// (held until the outbox drains so `pending == 0` really means the
+    /// traversal is complete).
+    completed: u32,
+    chunk: u32,
+}
+
+impl PersistentBfsKernel {
+    /// Creates the wavefront state. `lanes` is the wavefront width.
+    pub fn new(queue: Box<dyn WaveQueue>, buffers: BfsBuffers, lanes: usize) -> Self {
+        Self::with_chunk(queue, buffers, lanes, CHUNK)
+    }
+
+    /// Like [`PersistentBfsKernel::new`] with an explicit sub-task chunk
+    /// size (used by the chunk-size ablation).
+    pub fn with_chunk(
+        queue: Box<dyn WaveQueue>,
+        buffers: BfsBuffers,
+        lanes: usize,
+        chunk: u32,
+    ) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        PersistentBfsKernel {
+            queue,
+            buffers,
+            phases: vec![LanePhase::Idle; lanes],
+            work: vec![LaneWork::None; lanes],
+            outbox: Vec::new(),
+            completed: 0,
+            chunk,
+        }
+    }
+}
+
+impl WaveKernel for PersistentBfsKernel {
+    fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+        // Backpressure: a backlogged outbox means discoveries are waiting
+        // on queue acceptance; the wavefront stalls its own pipeline.
+        let stalled = self.outbox.len() >= self.phases.len() * self.chunk as usize;
+
+        // --- 1. hungry lanes request work ------------------------------
+        if !stalled {
+            for (phase, work) in self.phases.iter_mut().zip(&self.work) {
+                if *phase == LanePhase::Idle && matches!(work, LaneWork::None) {
+                    *phase = LanePhase::Hungry;
+                }
+            }
+        }
+        self.queue.acquire(ctx, &mut self.phases);
+
+        // Ready lanes load their node's metadata (enumeration prolog of
+        // Listing 2: starting edge, degree, current cost).
+        for (phase, work) in self.phases.iter_mut().zip(self.work.iter_mut()) {
+            if let LanePhase::Ready(vertex) = *phase {
+                // Release the on-queue bit *before* reading the cost so a
+                // concurrent improver either sees the bit set (and knows
+                // this processing will read its improved cost) or
+                // re-enqueues the vertex itself.
+                ctx.global_write_lane(self.buffers.inqueue, vertex as usize, 0);
+                // The two row offsets share a cache line almost always.
+                ctx.charge_coalesced_access(self.buffers.nodes, vertex as usize, 2);
+                let start = ctx.peek(self.buffers.nodes, vertex as usize);
+                let end = ctx.peek(self.buffers.nodes, vertex as usize + 1);
+                let level = ctx.global_read_lane(self.buffers.costs, vertex as usize);
+                *work = LaneWork::Node {
+                    level,
+                    next_edge: start,
+                    end_edge: end,
+                };
+                *phase = LanePhase::Idle;
+            }
+        }
+
+        // --- 2. DoWorkUnit: up to `chunk` edges per lane ---------------
+        if !stalled {
+            for work in self.work.iter_mut() {
+                if let LaneWork::Node {
+                    level,
+                    next_edge,
+                    end_edge,
+                } = work
+                {
+                    let stop = (*next_edge + self.chunk).min(*end_edge);
+                    // A lane's edge chunk is contiguous in CSR: one
+                    // coalesced transaction (usually a single line).
+                    ctx.charge_coalesced_access(
+                        self.buffers.edges,
+                        *next_edge as usize,
+                        (stop - *next_edge) as usize,
+                    );
+                    while *next_edge < stop {
+                        let child = ctx.peek(self.buffers.edges, *next_edge as usize);
+                        let new_cost = *level + 1;
+                        let old = ctx.atomic_min(self.buffers.costs, child as usize, new_cost);
+                        if old > new_cost {
+                            // Improving discovery: schedule it unless it is
+                            // already sitting in the queue.
+                            let was = ctx.atomic_exchange(self.buffers.inqueue, child as usize, 1);
+                            if was == 0 {
+                                self.outbox.push(child);
+                            }
+                        }
+                        *next_edge += 1;
+                    }
+                    if *next_edge == *end_edge {
+                        *work = LaneWork::None;
+                        self.completed += 1;
+                    }
+                }
+            }
+        }
+
+        // --- 3. ScheduleNewlyDiscoveredWorkTokens ----------------------
+        if !self.outbox.is_empty() {
+            let accepted = self.queue.enqueue(ctx, &self.outbox);
+            if accepted > 0 {
+                ctx.atomic_add(self.buffers.pending, 0, accepted as u32);
+                ctx.count_scheduler_atomics(1);
+                self.outbox.drain(..accepted);
+            }
+        }
+        // Retire completions only once their children are safely queued,
+        // so the pending counter can never under-report in-flight work.
+        if self.completed > 0 && self.outbox.is_empty() {
+            ctx.atomic_sub(self.buffers.pending, 0, self.completed);
+            ctx.count_scheduler_atomics(1);
+            self.completed = 0;
+        }
+
+        // --- 4. WorkRemains ---------------------------------------------
+        let pending = ctx.global_read(self.buffers.pending, 0);
+        if pending == 0 && self.outbox.is_empty() && self.completed == 0 {
+            WaveStatus::Done
+        } else {
+            WaveStatus::Active
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The kernel is exercised end-to-end through `runner`; see
+    // `runner::tests` and the crate's integration tests. Unit tests here
+    // cover construction contracts only.
+    use super::*;
+    use gpu_queue::device::{QueueLayout, RfAnWaveQueue};
+    use simt::DeviceMemory;
+
+    fn buffers(mem: &mut DeviceMemory) -> BfsBuffers {
+        BfsBuffers {
+            nodes: mem.alloc("nodes", 2),
+            edges: mem.alloc("edges", 1),
+            costs: mem.alloc("costs", 1),
+            inqueue: mem.alloc("inqueue", 1),
+            pending: mem.alloc("pending", 1),
+        }
+    }
+
+    #[test]
+    fn chunk_default_matches_paper() {
+        assert_eq!(CHUNK, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_rejected() {
+        let mut mem = DeviceMemory::new();
+        let b = buffers(&mut mem);
+        let layout = QueueLayout::setup(&mut mem, "q", 4);
+        let _ = PersistentBfsKernel::with_chunk(Box::new(RfAnWaveQueue::new(layout)), b, 4, 0);
+    }
+
+    #[test]
+    fn starts_with_idle_lanes_and_empty_outbox() {
+        let mut mem = DeviceMemory::new();
+        let b = buffers(&mut mem);
+        let layout = QueueLayout::setup(&mut mem, "q", 4);
+        let k = PersistentBfsKernel::new(Box::new(RfAnWaveQueue::new(layout)), b, 8);
+        assert_eq!(k.phases.len(), 8);
+        assert!(k.outbox.is_empty());
+        assert_eq!(k.completed, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! `pt-bfs` — the paper's driver application: top-down Breadth First
+//! Search under the persistent-thread model (§5.1), plus the external
+//! baselines it is compared against (§6.4).
+//!
+//! * [`kernel`] — the persistent-thread BFS kernel (Algorithm 1): every
+//!   wavefront loops work cycles of up to four uniform sub-tasks,
+//!   acquiring vertices through any of the three queue variants and
+//!   enqueuing newly discovered children.
+//! * [`runner`] — host-side orchestration: buffer setup, launch,
+//!   validation against the sequential reference, and [`runner::BfsRun`]
+//!   statistics (simulated seconds, atomic counts, retries).
+//! * [`baseline`] — the Rodinia-style level-synchronous BFS (relaunches a
+//!   kernel per level) and the CHAI-style collaborative CPU+GPU BFS.
+//! * [`host`] — a real-thread CPU BFS built on the host queues, used by
+//!   the Criterion benchmarks.
+//! * [`sssp`] — a second driver application (label-correcting shortest
+//!   paths), demonstrating the scheduler beyond BFS.
+
+pub mod baseline;
+pub mod host;
+pub mod kernel;
+pub mod runner;
+pub mod sssp;
+
+pub use kernel::{BfsBuffers, PersistentBfsKernel, CHUNK};
+pub use runner::{run_bfs, run_bfs_stealing, BfsConfig, BfsRun};
+pub use sssp::{run_sssp, SsspRun};
+
+/// Cost value for unvisited vertices (matches `ptq_graph::UNREACHED`).
+pub const UNVISITED: u32 = u32::MAX;

@@ -1,0 +1,412 @@
+//! Host-side orchestration of a persistent-thread BFS run.
+//!
+//! Mirrors what the paper's OpenCL host program does: allocate and
+//! initialize device buffers (graph in CSR form, cost array, the
+//! scheduler queue painted with sentinels, the outstanding-task counter),
+//! seed the source vertex, launch the persistent kernel once, then read
+//! back the costs and validate them against the sequential reference.
+
+use crate::kernel::{BfsBuffers, PersistentBfsKernel, CHUNK};
+use crate::UNVISITED;
+use gpu_queue::device::{make_wave_queue, QueueLayout};
+use gpu_queue::Variant;
+use ptq_graph::Csr;
+use simt::{Engine, GpuConfig, Launch, Metrics, SimError};
+
+/// Parameters of one BFS run.
+#[derive(Clone, Debug)]
+pub struct BfsConfig {
+    /// Which queue design schedules the tasks.
+    pub variant: Variant,
+    /// Number of workgroups to launch (the paper's sweep axis).
+    pub workgroups: usize,
+    /// Edges per lane per work cycle (paper default: 4).
+    pub chunk: u32,
+    /// Queue capacity as a multiple of the vertex count. 1.0 suffices for
+    /// pure first-discovery; the label-correcting re-enqueues of an
+    /// asynchronous traversal need a little headroom.
+    pub capacity_factor: f64,
+    /// Collaborating CPU groups (0 except for the CHAI baseline).
+    pub cpu_collab_groups: usize,
+    /// Safety cap on simulation rounds.
+    pub max_rounds: u64,
+}
+
+impl BfsConfig {
+    /// The paper's standard configuration for `variant` at `workgroups`.
+    pub fn new(variant: Variant, workgroups: usize) -> Self {
+        BfsConfig {
+            variant,
+            workgroups,
+            chunk: CHUNK,
+            capacity_factor: 2.0,
+            cpu_collab_groups: 0,
+            max_rounds: 50_000_000,
+        }
+    }
+}
+
+/// Result of a completed, validated BFS run.
+#[derive(Clone, Debug)]
+pub struct BfsRun {
+    /// Simulated kernel time in seconds.
+    pub seconds: f64,
+    /// Simulator counters (atomics, CAS failures, retries, rounds, …).
+    pub metrics: Metrics,
+    /// Final per-vertex costs (exact BFS levels).
+    pub costs: Vec<u32>,
+    /// Vertices reached.
+    pub reached: usize,
+}
+
+/// Runs a persistent-thread BFS over `graph` from `source` on `gpu`,
+/// applying the paper's queue-full recovery: "If more space can be
+/// allocated, the user can retry the kernel with a larger queue." The
+/// capacity doubles on each queue-full abort, up to 16× the configured
+/// factor.
+///
+/// ```
+/// use pt_bfs::{run_bfs, BfsConfig};
+/// use gpu_queue::Variant;
+/// use ptq_graph::gen::synthetic_tree;
+/// use simt::GpuConfig;
+///
+/// let graph = synthetic_tree(500, 4);
+/// let run = run_bfs(&GpuConfig::test_tiny(), &graph, 0,
+///                   &BfsConfig::new(Variant::RfAn, 2)).unwrap();
+/// assert_eq!(run.reached, 500);
+/// assert_eq!(run.metrics.total_retries(), 0); // retry-free
+/// ```
+///
+/// # Errors
+/// Propagates simulator faults (round-limit overruns, or queue-full even
+/// at the maximum capacity).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn run_bfs(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    source: u32,
+    config: &BfsConfig,
+) -> Result<BfsRun, SimError> {
+    let mut factor = config.capacity_factor;
+    loop {
+        let mut attempt = config.clone();
+        attempt.capacity_factor = factor;
+        match run_bfs_once(gpu, graph, source, &attempt) {
+            Err(SimError::KernelAbort(msg))
+                if msg.contains("queue full") && factor < 16.0 * config.capacity_factor =>
+            {
+                factor *= 2.0;
+            }
+            other => return other,
+        }
+    }
+}
+
+fn run_bfs_once(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    source: u32,
+    config: &BfsConfig,
+) -> Result<BfsRun, SimError> {
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+
+    let mut engine = Engine::new(gpu.clone());
+    let mem = engine.memory_mut();
+    mem.alloc_init("nodes", graph.row_offsets());
+    mem.alloc_init("edges", graph.adjacency());
+    let costs = mem.alloc("costs", n);
+    mem.fill(costs, UNVISITED);
+    mem.write_u32(costs, source as usize, 0);
+    let inqueue = mem.alloc("inqueue", n);
+    mem.write_u32(inqueue, source as usize, 1);
+    let pending = mem.alloc("pending", 1);
+    mem.write_u32(pending, 0, 1);
+
+    let capacity = ((n as f64 * config.capacity_factor) as usize)
+        .max(64)
+        .min(u32::MAX as usize) as u32;
+    let layout = QueueLayout::setup(mem, "workqueue", capacity);
+    layout.host_seed(mem, &[source]);
+
+    let buffers = BfsBuffers {
+        nodes: mem.buffer("nodes"),
+        edges: mem.buffer("edges"),
+        costs,
+        inqueue,
+        pending,
+    };
+
+    let launch = Launch::workgroups(config.workgroups)
+        .with_cpu_collab(config.cpu_collab_groups)
+        .with_max_rounds(config.max_rounds);
+    let variant = config.variant;
+    let chunk = config.chunk;
+    let report = engine.run(launch, |info| {
+        PersistentBfsKernel::with_chunk(
+            make_wave_queue(variant, layout),
+            buffers,
+            info.wave_size,
+            chunk,
+        )
+    })?;
+
+    let costs = engine.memory().read_slice(buffers.costs).to_vec();
+    let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
+    Ok(BfsRun {
+        seconds: report.seconds,
+        metrics: report.metrics,
+        costs,
+        reached,
+    })
+}
+
+/// Runs a persistent-thread BFS scheduled by the *distributed,
+/// work-stealing* variant of the retry-free queue (one queue per compute
+/// unit; see [`gpu_queue::device::StealingWaveQueue`]). An ablation
+/// against the paper's single shared queue: less hot-word pressure,
+/// more load imbalance.
+///
+/// # Errors
+/// Propagates simulator faults; queue-full is recovered by doubling the
+/// per-CU capacity, as in [`run_bfs`].
+pub fn run_bfs_stealing(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    source: u32,
+    workgroups: usize,
+) -> Result<BfsRun, SimError> {
+    use gpu_queue::device::{StealingLayout, StealingWaveQueue};
+
+    let n = graph.num_vertices();
+    assert!((source as usize) < n, "source vertex out of range");
+    let mut factor = 2.0f64;
+    loop {
+        let mut engine = Engine::new(gpu.clone());
+        let mem = engine.memory_mut();
+        mem.alloc_init("nodes", graph.row_offsets());
+        mem.alloc_init("edges", graph.adjacency());
+        let costs = mem.alloc("costs", n);
+        mem.fill(costs, UNVISITED);
+        mem.write_u32(costs, source as usize, 0);
+        let inqueue = mem.alloc("inqueue", n);
+        mem.write_u32(inqueue, source as usize, 1);
+        let pending = mem.alloc("pending", 1);
+        mem.write_u32(pending, 0, 1);
+        // A hub can land an outsized share on one CU: per-CU capacity is
+        // provisioned at `factor * n`, doubled on queue-full.
+        let capacity = ((n as f64 * factor) as usize).clamp(64, 1 << 24) as u32;
+        let layout = StealingLayout::setup(mem, "dqueue", gpu.num_cus, capacity);
+        layout.host_seed(mem, &[source]);
+        let buffers = BfsBuffers {
+            nodes: mem.buffer("nodes"),
+            edges: mem.buffer("edges"),
+            costs,
+            inqueue,
+            pending,
+        };
+        let result = engine.run(Launch::workgroups(workgroups), |info| {
+            PersistentBfsKernel::new(
+                Box::new(StealingWaveQueue::new(&layout, info.cu)),
+                buffers,
+                info.wave_size,
+            )
+        });
+        match result {
+            Err(SimError::KernelAbort(msg)) if msg.contains("queue full") && factor < 16.0 => {
+                factor *= 2.0;
+            }
+            Err(e) => return Err(e),
+            Ok(report) => {
+                let costs = engine.memory().read_slice(buffers.costs).to_vec();
+                let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
+                return Ok(BfsRun {
+                    seconds: report.seconds,
+                    metrics: report.metrics,
+                    costs,
+                    reached,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptq_graph::gen::{
+        erdos_renyi, roadmap, social, synthetic_tree, RoadmapParams, SocialParams,
+    };
+    use ptq_graph::{bfs_levels, validate_levels};
+    use simt::GpuConfig;
+
+    fn check_all_variants(graph: &Csr, source: u32, wgs: usize) {
+        let reference = bfs_levels(graph, source);
+        for variant in Variant::ALL {
+            let run = run_bfs(
+                &GpuConfig::test_tiny(),
+                graph,
+                source,
+                &BfsConfig::new(variant, wgs),
+            )
+            .unwrap_or_else(|e| panic!("{variant:?} failed: {e}"));
+            assert_eq!(
+                run.reached, reference.reached,
+                "{variant:?} reached mismatch"
+            );
+            validate_levels(graph, source, &run.costs).unwrap_or_else(|(v, want, got)| {
+                panic!("{variant:?}: vertex {v} expected level {want}, got {got}")
+            });
+        }
+    }
+
+    #[test]
+    fn tree_bfs_exact_for_all_variants() {
+        let g = synthetic_tree(400, 4);
+        check_all_variants(&g, 0, 3);
+    }
+
+    #[test]
+    fn roadmap_bfs_exact_for_all_variants() {
+        let g = roadmap(RoadmapParams {
+            rows: 16,
+            cols: 16,
+            keep_prob: 0.4,
+            seed: 3,
+        });
+        check_all_variants(&g, 0, 2);
+    }
+
+    #[test]
+    fn social_bfs_exact_for_all_variants() {
+        let g = social(SocialParams {
+            vertices: 600,
+            avg_degree: 8.0,
+            alpha: 1.8,
+            max_degree: 100,
+            seed: 5,
+        });
+        check_all_variants(&g, 0, 4);
+    }
+
+    #[test]
+    fn random_multigraph_with_self_loops() {
+        let g = erdos_renyi(300, 1200, 9);
+        check_all_variants(&g, 7, 2);
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = synthetic_tree(1, 4);
+        check_all_variants(&g, 0, 1);
+    }
+
+    #[test]
+    fn disconnected_graph_terminates() {
+        // Source's component has 2 vertices; 98 unreachable.
+        let mut b = ptq_graph::CsrBuilder::new(100);
+        b.add_undirected_edge(0, 1);
+        for i in 2..99 {
+            b.add_undirected_edge(i, i + 1);
+        }
+        let g = b.build();
+        let run = run_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &BfsConfig::new(Variant::RfAn, 2),
+        )
+        .unwrap();
+        assert_eq!(run.reached, 2);
+    }
+
+    #[test]
+    fn rfan_run_reports_zero_retries() {
+        let g = synthetic_tree(500, 4);
+        let run = run_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &BfsConfig::new(Variant::RfAn, 4),
+        )
+        .unwrap();
+        assert_eq!(run.metrics.cas_failures, 0);
+        assert_eq!(run.metrics.queue_empty_retries, 0);
+    }
+
+    #[test]
+    fn base_run_reports_retry_overhead() {
+        let g = synthetic_tree(500, 4);
+        let run = run_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &BfsConfig::new(Variant::Base, 4),
+        )
+        .unwrap();
+        assert!(run.metrics.total_retries() > 0);
+    }
+
+    #[test]
+    fn variant_ordering_on_saturating_workload() {
+        // The headline result at miniature scale: RF/AN strictly fastest.
+        let g = synthetic_tree(2_000, 4);
+        let mut secs = std::collections::HashMap::new();
+        for v in Variant::ALL {
+            let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &BfsConfig::new(v, 4)).unwrap();
+            secs.insert(v, run.seconds);
+        }
+        assert!(secs[&Variant::RfAn] < secs[&Variant::An]);
+        assert!(secs[&Variant::RfAn] < secs[&Variant::Base]);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = synthetic_tree(300, 4);
+        let cfg = BfsConfig::new(Variant::An, 3);
+        let a = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg).unwrap();
+        let b = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.costs, b.costs);
+    }
+
+    #[test]
+    fn stealing_scheduler_is_exact_on_all_dataset_shapes() {
+        for g in [
+            synthetic_tree(600, 4),
+            roadmap(RoadmapParams {
+                rows: 14,
+                cols: 14,
+                keep_prob: 0.4,
+                seed: 6,
+            }),
+            erdos_renyi(400, 1600, 3),
+        ] {
+            let run = run_bfs_stealing(&GpuConfig::test_tiny(), &g, 0, 4).unwrap();
+            validate_levels(&g, 0, &run.costs).unwrap_or_else(|(v, want, got)| {
+                panic!("stealing: vertex {v} level {got} != {want}")
+            });
+        }
+    }
+
+    #[test]
+    fn stealing_is_retry_free_locally() {
+        let g = synthetic_tree(2_000, 4);
+        let run = run_bfs_stealing(&GpuConfig::test_tiny(), &g, 0, 4).unwrap();
+        assert_eq!(run.metrics.cas_attempts, 0, "stealing queues never CAS");
+        // Failed steal scans count as queue-empty retries, which is the
+        // documented trade-off (may be zero on a saturating tree).
+    }
+
+    #[test]
+    fn cpu_collab_groups_participate() {
+        let g = synthetic_tree(300, 4);
+        let mut cfg = BfsConfig::new(Variant::Base, 1);
+        cfg.cpu_collab_groups = 2;
+        let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg).unwrap();
+        assert_eq!(run.reached, 300);
+    }
+}

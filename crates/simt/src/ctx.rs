@@ -1,0 +1,612 @@
+//! The wavefront execution context — what a kernel sees during one work
+//! cycle.
+//!
+//! A [`WaveKernel`] is a per-wavefront state machine. Each scheduling round
+//! the engine calls [`WaveKernel::work_cycle`] once per active wavefront
+//! with a fresh [`WaveCtx`]; the kernel performs its memory traffic and
+//! atomics through the context, which:
+//!
+//! * executes them against device memory (sequentially, hence atomically),
+//! * charges *issue* cycles (never hideable) and *latency* cycles (hidden
+//!   by other resident wavefronts — see `engine`), and
+//! * maintains the run [`Metrics`].
+//!
+//! Lane-private state lives inside the kernel struct itself; the simulator
+//! only needs to see traffic that leaves the wavefront.
+
+use crate::config::CostModel;
+use crate::error::SimError;
+use crate::memory::{Buffer, DeviceMemory};
+use crate::metrics::Metrics;
+use crate::round::RoundState;
+
+/// What a wavefront reports at the end of a work cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaveStatus {
+    /// The wavefront still has work (or is polling for it).
+    Active,
+    /// The wavefront exited its kernel.
+    Done,
+}
+
+/// Which cluster a wavefront runs on. CHAI's heterogeneous BFS shares its
+/// queue between GPU wavefronts and CPU threads; cross-cluster traffic
+/// pays the SVM penalty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaveClass {
+    /// An ordinary GPU wavefront.
+    Gpu,
+    /// A collaborating CPU thread-group (CHAI baseline): memory and atomic
+    /// costs are multiplied by [`CostModel::svm_penalty`].
+    CpuCollab,
+}
+
+/// Identity of one wavefront within a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaveInfo {
+    /// Global wavefront index within the launch.
+    pub wave_id: usize,
+    /// Workgroup this wavefront belongs to.
+    pub workgroup: usize,
+    /// Compute unit the workgroup is resident on.
+    pub cu: usize,
+    /// Lanes per wavefront (64 on GCN; smaller in test configs).
+    pub wave_size: usize,
+    /// Total wavefronts in the launch (used to normalize contention).
+    pub total_waves: usize,
+    /// GPU or collaborating-CPU.
+    pub class: WaveClass,
+}
+
+/// A kernel instantiated once per wavefront.
+pub trait WaveKernel {
+    /// Executes one work cycle (one pass through the persistent-thread
+    /// loop of the paper's Algorithm 1). Returns whether the wavefront
+    /// remains active.
+    fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus;
+}
+
+/// Execution context for one work cycle of one wavefront.
+pub struct WaveCtx<'a> {
+    pub(crate) memory: &'a mut DeviceMemory,
+    pub(crate) metrics: &'a mut Metrics,
+    pub(crate) round: &'a mut RoundState,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) info: WaveInfo,
+    /// Issue cycles accumulated this work cycle (summed).
+    pub(crate) issue: u64,
+    /// Latency watermark this work cycle (independent ops pipeline, so we
+    /// keep the max, including serialization delay).
+    pub(crate) latency: u64,
+    /// First device fault, if any (kernel keeps running with zeros, the
+    /// engine fails the run afterwards — mirrors GPU fault semantics but
+    /// deterministically).
+    pub(crate) fault: Option<SimError>,
+    /// Kernel-requested abort (queue-full exception).
+    pub(crate) abort: Option<String>,
+    /// Distinct-cache-line scratch for bandwidth accounting (engine-owned,
+    /// cleared per work cycle; deduplicated after the cycle).
+    pub(crate) lines: &'a mut Vec<u64>,
+    /// Global atomics issued this work cycle (feeds the per-CU atomic-unit
+    /// throughput pool).
+    pub(crate) atomic_ops: u64,
+}
+
+impl<'a> WaveCtx<'a> {
+    pub(crate) fn new(
+        memory: &'a mut DeviceMemory,
+        metrics: &'a mut Metrics,
+        round: &'a mut RoundState,
+        cost: &'a CostModel,
+        info: WaveInfo,
+        lines: &'a mut Vec<u64>,
+    ) -> Self {
+        WaveCtx {
+            memory,
+            metrics,
+            round,
+            cost,
+            info,
+            issue: 0,
+            latency: 0,
+            fault: None,
+            abort: None,
+            lines,
+            atomic_ops: 0,
+        }
+    }
+
+    /// Words per 64-byte cache line.
+    const LINE_WORDS: usize = 16;
+
+    #[inline]
+    fn touch_line(&mut self, buf: Buffer, index: usize) {
+        if let Ok(addr) = self.memory.flat_addr(buf, index) {
+            self.lines.push((addr / Self::LINE_WORDS) as u64);
+        }
+    }
+
+    /// Identity of the executing wavefront.
+    pub fn info(&self) -> WaveInfo {
+        self.info
+    }
+
+    /// Lanes per wavefront.
+    pub fn wave_size(&self) -> usize {
+        self.info.wave_size
+    }
+
+    /// Looks up a named device buffer (kernel-argument binding).
+    pub fn buffer(&self, name: &str) -> Buffer {
+        self.memory.buffer(name)
+    }
+
+    /// Multiplier for memory/atomic costs on this wavefront's cluster.
+    #[inline]
+    fn penalty(&self) -> u64 {
+        match self.info.class {
+            WaveClass::Gpu => 1,
+            WaveClass::CpuCollab => self.cost.svm_penalty,
+        }
+    }
+
+    #[inline]
+    fn record_fault(&mut self, e: SimError) {
+        if self.fault.is_none() {
+            self.fault = Some(e);
+        }
+    }
+
+    /// Charges `n` ALU instructions (wave-uniform bookkeeping work).
+    pub fn charge_alu(&mut self, n: u64) {
+        self.issue += n * self.cost.alu_issue;
+    }
+
+    /// Wave-coalesced global load: one memory transaction for the whole
+    /// wavefront (e.g. a broadcast read of the queue `Front`).
+    pub fn global_read(&mut self, buf: Buffer, index: usize) -> u32 {
+        let p = self.penalty();
+        self.issue += self.cost.mem_issue * p;
+        self.latency = self.latency.max(self.cost.mem_latency * p);
+        self.metrics.global_mem_ops += 1;
+        self.touch_line(buf, index);
+        match self.memory.load(buf, index) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Per-lane scattered global load (e.g. each lane fetching a different
+    /// slot or edge). Lock-step lanes share one *instruction* — the issue
+    /// cost is an address-math slot — while the per-lane transaction lands
+    /// on the memory system as a distinct cache line plus latency.
+    pub fn global_read_lane(&mut self, buf: Buffer, index: usize) -> u32 {
+        self.issue += self.cost.alu_issue * self.penalty();
+        self.latency = self.latency.max(self.cost.mem_latency * self.penalty());
+        self.metrics.global_mem_ops += 1;
+        self.touch_line(buf, index);
+        match self.memory.load(buf, index) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Wave-coalesced global load observing the *round-start* value: data
+    /// another wavefront published this round is not yet visible (the
+    /// one-work-cycle communication latency between wavefronts). Use for
+    /// dequeue-side polls of producer-published state.
+    pub fn global_read_stale(&mut self, buf: Buffer, index: usize) -> u32 {
+        let p = self.penalty();
+        self.issue += self.cost.mem_issue * p;
+        self.latency = self.latency.max(self.cost.mem_latency * p);
+        self.metrics.global_mem_ops += 1;
+        self.touch_line(buf, index);
+        match self.memory.stale_load(buf, index) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Per-lane variant of [`WaveCtx::global_read_stale`] (same lock-step
+    /// cost structure as [`WaveCtx::global_read_lane`]).
+    pub fn global_read_lane_stale(&mut self, buf: Buffer, index: usize) -> u32 {
+        self.issue += self.cost.alu_issue * self.penalty();
+        self.latency = self.latency.max(self.cost.mem_latency * self.penalty());
+        self.metrics.global_mem_ops += 1;
+        self.touch_line(buf, index);
+        match self.memory.stale_load(buf, index) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Wave-coalesced global store.
+    pub fn global_write(&mut self, buf: Buffer, index: usize, value: u32) {
+        let p = self.penalty();
+        self.issue += self.cost.mem_issue * p;
+        self.latency = self.latency.max(self.cost.mem_latency * p);
+        self.metrics.global_mem_ops += 1;
+        self.touch_line(buf, index);
+        if let Err(e) = self.memory.store(buf, index, value) {
+            self.record_fault(e);
+        }
+    }
+
+    /// Per-lane scattered global store (lock-step cost structure; see
+    /// [`WaveCtx::global_read_lane`]).
+    pub fn global_write_lane(&mut self, buf: Buffer, index: usize, value: u32) {
+        self.issue += self.cost.alu_issue * self.penalty();
+        self.latency = self.latency.max(self.cost.mem_latency * self.penalty());
+        self.metrics.global_mem_ops += 1;
+        self.touch_line(buf, index);
+        if let Err(e) = self.memory.store(buf, index, value) {
+            self.record_fault(e);
+        }
+    }
+
+    /// Global atomic fetch-add. Never fails; the k-th same-address atomic
+    /// in a round pays `k * atomic_serialize` extra (hideable) latency.
+    pub fn atomic_add(&mut self, buf: Buffer, index: usize, delta: u32) -> u32 {
+        self.global_atomic(buf, index, |v| v.wrapping_add(delta))
+    }
+
+    /// Global atomic fetch-sub (wrapping).
+    pub fn atomic_sub(&mut self, buf: Buffer, index: usize, delta: u32) -> u32 {
+        self.global_atomic(buf, index, |v| v.wrapping_sub(delta))
+    }
+
+    /// Global atomic exchange.
+    pub fn atomic_exchange(&mut self, buf: Buffer, index: usize, value: u32) -> u32 {
+        self.global_atomic(buf, index, |_| value)
+    }
+
+    /// Global atomic min (used by some BFS cost updates).
+    pub fn atomic_min(&mut self, buf: Buffer, index: usize, value: u32) -> u32 {
+        self.global_atomic(buf, index, |v| v.min(value))
+    }
+
+    fn global_atomic(&mut self, buf: Buffer, index: usize, f: impl FnOnce(u32) -> u32) -> u32 {
+        let p = self.penalty();
+        self.metrics.global_atomics += 1;
+        // Instruction replay + atomic-ALU time are charged through the
+        // per-CU atomic-unit pool (sub-cycle per op; see CostModel).
+        self.atomic_ops += p; // SVM atomics occupy the unit longer
+        self.touch_line(buf, index);
+        let rank = match self.memory.flat_addr(buf, index) {
+            Ok(addr) => self.round.next_rank(addr),
+            Err(e) => {
+                self.record_fault(e);
+                return 0;
+            }
+        };
+        // The memory partition pipelines same-address atomics up to its
+        // queue depth; beyond that the requester perceives no additional
+        // wait (throughput costs surface as the issuing waves' own issue
+        // slots instead).
+        let pipelined_rank = u64::from(rank).min(self.cost.atomic_pipe_depth);
+        let wait = (self.cost.atomic_latency + pipelined_rank * self.cost.atomic_serialize) * p;
+        self.latency = self.latency.max(wait);
+        match self.memory.rmw(buf, index, f) {
+            Ok(old) => old,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Global compare-and-swap. Succeeds iff the word still holds
+    /// `expected`; returns the value observed (callers compare against
+    /// `expected` to detect failure, as in OpenCL's `atomic_cmpxchg`).
+    ///
+    /// Failures are counted — they are the retry overhead the paper's
+    /// design eliminates — and like every atomic, a CAS occupies an issue
+    /// slot whether it succeeds or not: *that* cost is never hidden.
+    pub fn atomic_cas(&mut self, buf: Buffer, index: usize, expected: u32, new: u32) -> u32 {
+        self.metrics.cas_attempts += 1;
+        let observed = self.global_atomic(buf, index, |v| if v == expected { new } else { v });
+        if observed != expected {
+            self.metrics.cas_failures += 1;
+        }
+        observed
+    }
+
+    /// Charges one coalesced memory transaction per touched cache line for
+    /// a contiguous run of `len` words starting at `start`, without
+    /// reading values — pair with [`WaveCtx::peek`]/[`WaveCtx::peek_stale`]
+    /// to observe the data. This is how lock-step lanes accessing
+    /// consecutive addresses (monitored queue slots, CSR edge chunks)
+    /// hit memory: one transaction per line, not one per lane.
+    pub fn charge_coalesced_access(&mut self, buf: Buffer, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first_line = start / Self::LINE_WORDS;
+        let last_line = (start + len - 1) / Self::LINE_WORDS;
+        let txns = (last_line - first_line + 1) as u64;
+        let p = self.penalty();
+        // One lock-step instruction plus an address replay per extra line;
+        // the data movement itself is bandwidth + latency.
+        self.issue += (self.cost.alu_issue * txns) * p;
+        self.latency = self.latency.max(self.cost.mem_latency * p);
+        self.metrics.global_mem_ops += txns;
+        for line in first_line..=last_line {
+            let idx = line * Self::LINE_WORDS;
+            // Touch via a representative word (clamped into the run so the
+            // address is in bounds).
+            let idx = idx.max(start).min(start + len - 1);
+            self.touch_line(buf, idx);
+        }
+    }
+
+    /// Charges `txns` cache-resident read transactions: issue slots and a
+    /// short L2 latency, but no DRAM bandwidth. This is the cost of
+    /// polling lines that nobody has written since the last poll — the
+    /// RF/AN sentinel check, which the paper stresses is "a non-atomic
+    /// global memory read" and cheap precisely because the line stays
+    /// valid in cache until a producer writes it.
+    pub fn charge_cached_access(&mut self, txns: u64) {
+        if txns == 0 {
+            return;
+        }
+        let p = self.penalty();
+        self.issue += self.cost.mem_issue * txns * p;
+        self.latency = self.latency.max(self.cost.mem_latency / 4 * p);
+        self.metrics.global_mem_ops += txns;
+    }
+
+    /// Zero-cost data observation; only valid alongside a
+    /// [`WaveCtx::charge_coalesced_access`] covering the same words.
+    pub fn peek(&mut self, buf: Buffer, index: usize) -> u32 {
+        match self.memory.load(buf, index) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Round-stale zero-cost observation (see [`WaveCtx::peek`] and
+    /// [`WaveCtx::global_read_stale`]).
+    pub fn peek_stale(&mut self, buf: Buffer, index: usize) -> u32 {
+        match self.memory.stale_load(buf, index) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Zero-cost store companion of [`WaveCtx::charge_coalesced_access`].
+    pub fn poke(&mut self, buf: Buffer, index: usize, value: u32) {
+        if let Err(e) = self.memory.store(buf, index, value) {
+            self.record_fault(e);
+        }
+    }
+
+    /// Mutation version of a word — how many value-changing atomics have
+    /// landed on it. Free of charge: it piggybacks on a read the caller
+    /// performs anyway and exists to support the CAS staleness model
+    /// (stage a version with your read; compare at CAS time).
+    pub fn atomic_version(&mut self, buf: Buffer, index: usize) -> u64 {
+        match self.memory.version(buf, index) {
+            Ok(v) => v,
+            Err(e) => {
+                self.record_fault(e);
+                0
+            }
+        }
+    }
+
+    /// Charges a CAS retry storm: a reservation whose read-to-CAS window
+    /// was invalidated `delta` times burns `min(delta, cas_storm_cap)`
+    /// failed attempts before winning. Each failure is a dependent
+    /// re-read + re-CAS chain — unhideable issue, the cost the paper
+    /// eliminates. The per-failure charge scales with the contention
+    /// *density* (`delta / total wavefronts`): a retry only stretches when
+    /// competitors keep landing inside the retry window, which requires a
+    /// large fraction of the device to be hammering the same word.
+    /// Returns the number of failures charged.
+    pub fn charge_cas_retry_storm(&mut self, delta: u64) -> u64 {
+        let storms = delta.min(self.cost.cas_storm_cap);
+        if storms > 0 {
+            self.metrics.cas_attempts += storms;
+            self.metrics.cas_failures += storms;
+            self.metrics.global_atomics += storms;
+            let waves = self.info.total_waves.max(1) as u64;
+            let density_num = delta.min(waves);
+            self.issue += storms * self.cost.cas_retry_issue * self.penalty() * density_num / waves;
+        }
+        storms
+    }
+
+    /// Charges `n` workgroup-local (LDS) atomics. The *values* of local
+    /// aggregation live in the kernel's own wave-private state (a
+    /// workgroup is one wavefront here); only the cost and count are
+    /// simulated. LDS atomics serialize within the LDS banks — cheap, and
+    /// free of global-memory contention.
+    pub fn lds_atomics(&mut self, n: u64) {
+        self.metrics.lds_atomics += n;
+        self.issue += n * self.cost.lds_atomic;
+    }
+
+    /// Attributes the last `n` global atomics to the task scheduler
+    /// (queue reservations and retries). Feeds the Figure 5 ratio.
+    pub fn count_scheduler_atomics(&mut self, n: u64) {
+        self.metrics.scheduler_atomics += n;
+    }
+
+    /// Records `n` queue-operation retries caused by exceptions (the
+    /// traditional queue's dequeue-on-empty). Feeds Figure 1 / Figure 5.
+    pub fn count_queue_empty_retries(&mut self, n: u64) {
+        self.metrics.queue_empty_retries += n;
+    }
+
+    /// Raises the paper's queue-full exception: "When a queue full
+    /// exception occurs the problem is too large for the allocated queue
+    /// size" — the kernel aborts, it does not retry.
+    pub fn abort(&mut self, reason: impl Into<String>) {
+        if self.abort.is_none() {
+            self.abort = Some(reason.into());
+        }
+    }
+
+    /// Issue cycles accumulated so far in this work cycle (visible for
+    /// tests and custom cost probes).
+    pub fn issue_cycles(&self) -> u64 {
+        self.issue
+    }
+
+    /// Latency watermark accumulated so far in this work cycle.
+    pub fn latency_cycles(&self) -> u64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CostModel;
+
+    fn harness() -> (DeviceMemory, Metrics, RoundState, CostModel, Vec<u64>) {
+        let mut mem = DeviceMemory::new();
+        mem.alloc("buf", 8);
+        (
+            mem,
+            Metrics::default(),
+            RoundState::new(),
+            CostModel::unit(),
+            Vec::new(),
+        )
+    }
+
+    fn info() -> WaveInfo {
+        WaveInfo {
+            wave_id: 0,
+            workgroup: 0,
+            cu: 0,
+            wave_size: 4,
+            total_waves: 2,
+            class: WaveClass::Gpu,
+        }
+    }
+
+    #[test]
+    fn afa_returns_old_and_never_fails() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        assert_eq!(ctx.atomic_add(buf, 0, 5), 0);
+        assert_eq!(ctx.atomic_add(buf, 0, 5), 5);
+        assert_eq!(m.global_atomics, 2);
+        assert_eq!(m.cas_attempts, 0);
+    }
+
+    #[test]
+    fn cas_success_and_failure_accounting() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        // success: word holds 0
+        assert_eq!(ctx.atomic_cas(buf, 0, 0, 7), 0);
+        // failure: word now holds 7, expected 0
+        assert_eq!(ctx.atomic_cas(buf, 0, 0, 9), 7);
+        assert_eq!(m.cas_attempts, 2);
+        assert_eq!(m.cas_failures, 1);
+        assert_eq!(m.global_atomics, 2);
+        assert_eq!(mem.read_u32(buf, 0), 7);
+    }
+
+    #[test]
+    fn serialization_latency_grows_with_rank() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        ctx.atomic_add(buf, 0, 1); // rank 0: latency 10
+        assert_eq!(ctx.latency_cycles(), 10);
+        ctx.atomic_add(buf, 0, 1); // rank 1: latency 10 + 1
+        assert_eq!(ctx.latency_cycles(), 11);
+        ctx.atomic_add(buf, 1, 1); // different word: rank 0 again
+        assert_eq!(ctx.latency_cycles(), 11);
+    }
+
+    #[test]
+    fn issue_accumulates_latency_watermarks() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        ctx.global_read(buf, 0);
+        ctx.global_read(buf, 1);
+        ctx.charge_alu(3);
+        assert_eq!(ctx.issue_cycles(), 1 + 1 + 3);
+        assert_eq!(ctx.latency_cycles(), 10); // max, not sum
+    }
+
+    #[test]
+    fn cpu_collab_pays_svm_penalty() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let buf = mem.buffer("buf");
+        let cpu = WaveInfo {
+            class: WaveClass::CpuCollab,
+            ..info()
+        };
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, cpu, &mut lines);
+        ctx.atomic_add(buf, 0, 1);
+        // SVM atomics occupy the atomic unit longer and expose longer
+        // latency (the issue slot cost lives in the unit pool).
+        assert_eq!(ctx.atomic_ops, cost.svm_penalty);
+        assert_eq!(ctx.latency_cycles(), cost.atomic_latency * cost.svm_penalty);
+    }
+
+    #[test]
+    fn out_of_bounds_records_fault_and_returns_zero() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        assert_eq!(ctx.global_read(buf, 99), 0);
+        assert!(matches!(ctx.fault, Some(SimError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn abort_keeps_first_reason() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        ctx.abort("queue full");
+        ctx.abort("second");
+        assert_eq!(ctx.abort.as_deref(), Some("queue full"));
+    }
+
+    #[test]
+    fn lds_atomics_counted_and_cheap() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        ctx.lds_atomics(4);
+        assert_eq!(ctx.issue_cycles(), 4 * cost.lds_atomic);
+        assert_eq!(ctx.latency_cycles(), 0);
+        assert_eq!(m.lds_atomics, 4);
+    }
+
+    #[test]
+    fn atomic_min_and_exchange() {
+        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        ctx.atomic_exchange(buf, 0, 42);
+        assert_eq!(ctx.atomic_min(buf, 0, 17), 42);
+        assert_eq!(mem.read_u32(buf, 0), 17);
+    }
+}

@@ -1,0 +1,559 @@
+//! The simulation engine: workgroup dispatch, round scheduling, and the
+//! latency-hiding time model.
+//!
+//! # Time model
+//!
+//! Execution advances in *rounds*; each round, every active wavefront runs
+//! one work cycle. A compute unit's time for a round is
+//!
+//! ```text
+//! cu_round_cycles = max( ceil(Σ issue / simds_per_cu),  max latency )
+//! ```
+//!
+//! * `Σ issue` — every instruction issued by the CU's resident wavefronts
+//!   must pass through one of its SIMD issue slots; this cost is *never*
+//!   hidden. CAS retries re-issue and therefore show up here: "the
+//!   overhead of retrying an unsuccessful CAS cannot be hidden".
+//! * `max latency` — memory/atomic wait time overlaps with other
+//!   wavefronts' issues (zero-cost thread switching). With many resident
+//!   wavefronts, issue dominates and latency vanishes — exactly the GPU
+//!   behaviour the paper's AFA choice exploits. With a single wavefront
+//!   resident, its stalls are exposed.
+//!
+//! The kernel's makespan is the maximum accumulated cycle count over CUs
+//! plus the launch overhead; seconds follow from the configured clock.
+//!
+//! # Determinism
+//!
+//! Wavefronts execute in a fixed rotation (shifted by one each round so no
+//! wavefront permanently wins every atomic race). Two runs with the same
+//! config, kernel, and memory image produce byte-identical metrics.
+
+use crate::config::GpuConfig;
+use crate::ctx::{WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
+use crate::error::SimError;
+use crate::memory::DeviceMemory;
+use crate::metrics::Metrics;
+use crate::round::RoundState;
+use crate::trace::{RoundBound, RoundTrace, Trace};
+
+/// Launch geometry for one kernel run.
+#[derive(Clone, Copy, Debug)]
+pub struct Launch {
+    /// GPU workgroups to launch (each `waves_per_wg` wavefronts).
+    pub num_workgroups: usize,
+    /// Collaborating CPU thread-groups (CHAI baseline); each behaves like
+    /// a wavefront of class [`WaveClass::CpuCollab`] on its own
+    /// virtual compute unit.
+    pub cpu_collab_groups: usize,
+    /// Safety limit on scheduling rounds.
+    pub max_rounds: u64,
+    /// Record a per-round [`Trace`] (costs memory proportional to rounds).
+    pub trace: bool,
+}
+
+impl Launch {
+    /// A plain GPU launch of `n` workgroups.
+    pub fn workgroups(n: usize) -> Self {
+        Launch {
+            num_workgroups: n,
+            cpu_collab_groups: 0,
+            max_rounds: 50_000_000,
+            trace: false,
+        }
+    }
+
+    /// Enables per-round tracing for this run.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Adds collaborating CPU groups (CHAI-style heterogeneous launch).
+    pub fn with_cpu_collab(mut self, groups: usize) -> Self {
+        self.cpu_collab_groups = groups;
+        self
+    }
+
+    /// Overrides the round safety limit.
+    pub fn with_max_rounds(mut self, limit: u64) -> Self {
+        self.max_rounds = limit;
+        self
+    }
+}
+
+/// Result of a completed kernel run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Counters accumulated during the run.
+    pub metrics: Metrics,
+    /// Kernel wall time in simulated seconds.
+    pub seconds: f64,
+    /// Final cycle count of every compute unit (GPU CUs first, then
+    /// virtual CPU units).
+    pub per_cu_cycles: Vec<u64>,
+    /// Per-round trace, present iff the launch requested it.
+    pub trace: Option<Trace>,
+}
+
+/// A simulated GPU: configuration plus device memory. Memory persists
+/// across runs, so multi-launch algorithms (level-synchronous BFS) reuse
+/// their buffers exactly like a real host program would.
+pub struct Engine {
+    config: GpuConfig,
+    memory: DeviceMemory,
+}
+
+impl Engine {
+    /// Creates an engine with empty device memory.
+    pub fn new(config: GpuConfig) -> Self {
+        Engine {
+            config,
+            memory: DeviceMemory::new(),
+        }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Host access to device memory (allocate/init between launches).
+    pub fn memory_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.memory
+    }
+
+    /// Read-only host access to device memory.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// Runs one kernel to completion. `factory` builds the per-wavefront
+    /// kernel state (it receives each wavefront's identity).
+    ///
+    /// # Errors
+    /// Fails on device faults (out-of-bounds), kernel aborts (queue-full),
+    /// or exceeding the round limit.
+    pub fn run<K, F>(&mut self, launch: Launch, mut factory: F) -> Result<RunReport, SimError>
+    where
+        K: WaveKernel,
+        F: FnMut(WaveInfo) -> K,
+    {
+        assert!(
+            launch.num_workgroups > 0 || launch.cpu_collab_groups > 0,
+            "launch must contain at least one group"
+        );
+        let gpu_waves = launch.num_workgroups * self.config.waves_per_wg;
+        let total_waves = gpu_waves + launch.cpu_collab_groups;
+        let num_cus = self.config.num_cus + launch.cpu_collab_groups;
+
+        // Build wave table. GPU workgroups are distributed round-robin
+        // over CUs (matching how a hardware dispatcher fills the device);
+        // each CPU collab group gets its own virtual unit.
+        let mut infos = Vec::with_capacity(total_waves);
+        for wg in 0..launch.num_workgroups {
+            for w in 0..self.config.waves_per_wg {
+                infos.push(WaveInfo {
+                    wave_id: wg * self.config.waves_per_wg + w,
+                    workgroup: wg,
+                    cu: wg % self.config.num_cus,
+                    wave_size: self.config.wave_size,
+                    total_waves,
+                    class: WaveClass::Gpu,
+                });
+            }
+        }
+        for g in 0..launch.cpu_collab_groups {
+            infos.push(WaveInfo {
+                wave_id: gpu_waves + g,
+                workgroup: launch.num_workgroups + g,
+                cu: self.config.num_cus + g,
+                wave_size: self.config.wave_size,
+                total_waves,
+                class: WaveClass::CpuCollab,
+            });
+        }
+
+        let mut kernels: Vec<K> = infos.iter().map(|&i| factory(i)).collect();
+        let mut active: Vec<bool> = vec![true; total_waves];
+        let mut active_count = total_waves;
+
+        let mut metrics = Metrics::default();
+        let mut round_state = RoundState::new();
+        let mut cu_cycles = vec![0u64; num_cus];
+        let mut round_issue = vec![0u64; num_cus];
+        let mut round_latency = vec![0u64; num_cus];
+        let mut round_atomic = vec![0u64; num_cus];
+        let mut device_bw_millicycles: u64 = 0;
+        let mut device_hot_millicycles: u64 = 0;
+        let mut round_lines: u64;
+        let mut lines_scratch: Vec<u64> = Vec::new();
+        let mut trace = launch.trace.then(Trace::default);
+        let mut round: u64 = 0;
+
+        while active_count > 0 {
+            if round >= launch.max_rounds {
+                return Err(SimError::MaxRoundsExceeded {
+                    limit: launch.max_rounds,
+                });
+            }
+            round_state.begin_round();
+            self.memory.begin_round();
+            round_issue.iter_mut().for_each(|c| *c = 0);
+            round_latency.iter_mut().for_each(|c| *c = 0);
+            round_lines = 0;
+            round_atomic.iter_mut().for_each(|c| *c = 0);
+
+            let active_at_start = active_count;
+            // Rotate execution order so atomic arrival ranks are fair.
+            let offset = (round as usize) % total_waves;
+            for i in 0..total_waves {
+                let w = (i + offset) % total_waves;
+                if !active[w] {
+                    continue;
+                }
+                let info = infos[w];
+                lines_scratch.clear();
+                let mut ctx = WaveCtx::new(
+                    &mut self.memory,
+                    &mut metrics,
+                    &mut round_state,
+                    &self.config.cost,
+                    info,
+                    &mut lines_scratch,
+                );
+                let status = kernels[w].work_cycle(&mut ctx);
+                let issue = ctx.issue;
+                let latency = ctx.latency;
+                let atomic_ops = ctx.atomic_ops;
+                let fault = ctx.fault.take();
+                let abort = ctx.abort.take();
+                if let Some(e) = fault {
+                    return Err(e);
+                }
+                if let Some(reason) = abort {
+                    return Err(SimError::KernelAbort(reason));
+                }
+                metrics.work_cycles += 1;
+                round_issue[info.cu] += issue;
+                round_latency[info.cu] = round_latency[info.cu].max(latency);
+                round_atomic[info.cu] += atomic_ops * self.config.cost.atomic_unit_milli;
+                // Bandwidth: distinct cache lines this wavefront touched.
+                lines_scratch.sort_unstable();
+                lines_scratch.dedup();
+                round_lines += lines_scratch.len() as u64;
+                if status == WaveStatus::Done {
+                    active[w] = false;
+                    active_count -= 1;
+                }
+            }
+
+            let simds = self.config.simds_per_cu as u64;
+            let mut worst = (0u64, RoundBound::Issue);
+            for cu in 0..num_cus {
+                let issue_time = round_issue[cu].div_ceil(simds);
+                // A round lasts as long as its longest per-CU pole: SIMD
+                // issue, exposed latency, or the atomic unit's throughput.
+                // (DRAM bandwidth is a device-wide pool, applied to the
+                // makespan below.)
+                let cost = issue_time
+                    .max(round_latency[cu])
+                    .max(round_atomic[cu] / 1000);
+                cu_cycles[cu] += cost;
+                if cost > worst.0 {
+                    let bound = if cost == issue_time {
+                        RoundBound::Issue
+                    } else if cost == round_latency[cu] {
+                        RoundBound::Latency
+                    } else {
+                        RoundBound::AtomicUnit
+                    };
+                    worst = (cost, bound);
+                }
+            }
+            let round_bw_milli = round_lines * self.config.cost.mem_bw_line_milli;
+            device_bw_millicycles += round_bw_milli;
+            if round_bw_milli / 1000 > worst.0 {
+                worst = (round_bw_milli / 1000, RoundBound::Bandwidth);
+            }
+            // The round's hottest word serializes at a single L2 slice —
+            // a device-wide floor no amount of occupancy can hide.
+            let round_hot_milli = round_state.max_same_address() * self.config.cost.hot_word_milli;
+            device_hot_millicycles += round_hot_milli;
+            if round_hot_milli / 1000 > worst.0 {
+                worst = (round_hot_milli / 1000, RoundBound::AtomicUnit);
+            }
+            if let Some(t) = trace.as_mut() {
+                t.rounds.push(RoundTrace {
+                    cycles: worst.0,
+                    bound: worst.1,
+                    active_waves: active_at_start,
+                });
+            }
+            round += 1;
+        }
+
+        metrics.rounds = round;
+        metrics.launches = 1;
+        // The kernel can finish no faster than its slowest CU and no
+        // faster than the device-wide DRAM transfer time.
+        let compute = cu_cycles.iter().copied().max().unwrap_or(0);
+        let makespan = compute
+            .max(device_bw_millicycles / 1000)
+            .max(device_hot_millicycles / 1000)
+            + self.config.cost.launch_overhead;
+        metrics.makespan_cycles = makespan;
+        Ok(RunReport {
+            metrics,
+            seconds: self.config.cycles_to_seconds(makespan),
+            per_cu_cycles: cu_cycles,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::memory::Buffer;
+
+    /// Kernel that atomically increments a counter `n` times, one per
+    /// work cycle, then exits.
+    struct IncrKernel {
+        buf: Buffer,
+        remaining: u32,
+    }
+
+    impl WaveKernel for IncrKernel {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            if self.remaining == 0 {
+                return WaveStatus::Done;
+            }
+            ctx.atomic_add(self.buf, 0, 1);
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                WaveStatus::Done
+            } else {
+                WaveStatus::Active
+            }
+        }
+    }
+
+    fn tiny_engine() -> Engine {
+        let mut e = Engine::new(GpuConfig::test_tiny());
+        e.memory_mut().alloc("counter", 1);
+        e
+    }
+
+    #[test]
+    fn all_increments_land() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let report = e
+            .run(Launch::workgroups(3), |_| IncrKernel { buf, remaining: 5 })
+            .unwrap();
+        assert_eq!(e.memory().read_u32(buf, 0), 15);
+        assert_eq!(report.metrics.global_atomics, 15);
+        assert_eq!(report.metrics.rounds, 5);
+        assert_eq!(report.metrics.work_cycles, 15);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let run = || {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run(Launch::workgroups(4), |_| IncrKernel { buf, remaining: 3 })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.per_cu_cycles, b.per_cu_cycles);
+    }
+
+    #[test]
+    fn contention_slows_the_clock() {
+        // Same total atomics, but concentrated on fewer rounds => more
+        // same-round contention => serialization latency shows up.
+        let mut dense = tiny_engine();
+        let buf = dense.memory().buffer("counter");
+        // 8 waves x 1 increment: all 8 atomics land in round 0.
+        let r_dense = dense
+            .run(Launch::workgroups(4), |_| IncrKernel { buf, remaining: 1 })
+            .unwrap();
+        let mut sparse = tiny_engine();
+        let buf2 = sparse.memory().buffer("counter");
+        // 1 wave x 4 increments: one atomic per round, zero contention.
+        let r_sparse = sparse
+            .run(Launch::workgroups(1), |_| IncrKernel {
+                buf: buf2,
+                remaining: 4,
+            })
+            .unwrap();
+        // With unit costs: dense round 0 on the busiest CU has rank-7
+        // serialization => latency 10+? >= uncontended 10.
+        let dense_per_round =
+            r_dense.metrics.makespan_cycles as f64 / r_dense.metrics.rounds as f64;
+        let sparse_per_round =
+            r_sparse.metrics.makespan_cycles as f64 / r_sparse.metrics.rounds as f64;
+        assert!(
+            dense_per_round > sparse_per_round,
+            "contended rounds should cost more: {dense_per_round} vs {sparse_per_round}"
+        );
+    }
+
+    #[test]
+    fn makespan_tracks_slowest_cu() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        // 1 workgroup => only CU 0 works; CU 1 stays at zero cycles.
+        let report = e
+            .run(Launch::workgroups(1), |_| IncrKernel { buf, remaining: 2 })
+            .unwrap();
+        assert_eq!(report.per_cu_cycles.len(), 2);
+        assert_eq!(report.per_cu_cycles[1], 0);
+        assert!(report.per_cu_cycles[0] > 0);
+    }
+
+    struct NeverDone;
+    impl WaveKernel for NeverDone {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            ctx.charge_alu(1);
+            WaveStatus::Active
+        }
+    }
+
+    #[test]
+    fn round_limit_catches_livelock() {
+        let mut e = tiny_engine();
+        let err = e
+            .run(Launch::workgroups(1).with_max_rounds(100), |_| NeverDone)
+            .unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 100 });
+    }
+
+    struct Aborter;
+    impl WaveKernel for Aborter {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            ctx.abort("queue full");
+            WaveStatus::Active
+        }
+    }
+
+    #[test]
+    fn kernel_abort_propagates() {
+        let mut e = tiny_engine();
+        let err = e.run(Launch::workgroups(1), |_| Aborter).unwrap_err();
+        assert_eq!(err, SimError::KernelAbort("queue full".into()));
+    }
+
+    struct OobKernel {
+        buf: Buffer,
+    }
+    impl WaveKernel for OobKernel {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            ctx.global_read(self.buf, 999);
+            WaveStatus::Done
+        }
+    }
+
+    #[test]
+    fn device_fault_fails_run() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let err = e
+            .run(Launch::workgroups(1), |_| OobKernel { buf })
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn cpu_collab_waves_get_virtual_units() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let report = e
+            .run(Launch::workgroups(1).with_cpu_collab(2), |_| IncrKernel {
+                buf,
+                remaining: 1,
+            })
+            .unwrap();
+        assert_eq!(e.memory().read_u32(buf, 0), 3);
+        // 2 GPU CUs + 2 virtual CPU units.
+        assert_eq!(report.per_cu_cycles.len(), 4);
+        // CPU units pay the SVM penalty => strictly more cycles than the
+        // (equally loaded) GPU unit that ran one wave.
+        assert!(report.per_cu_cycles[2] > report.per_cu_cycles[0]);
+    }
+
+    #[test]
+    fn more_workgroups_shorten_fixed_total_work() {
+        // 12 increments split over k waves; perfect scaling halves time.
+        let time_for = |wgs: usize, per_wave: u32| {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run(Launch::workgroups(wgs), |_| IncrKernel {
+                buf,
+                remaining: per_wave,
+            })
+            .unwrap()
+            .metrics
+            .makespan_cycles
+        };
+        let t1 = time_for(1, 12);
+        let t4 = time_for(4, 3);
+        assert!(
+            t4 * 2 < t1,
+            "4 waves ({t4} cycles) should be well under half of 1 wave ({t1})"
+        );
+    }
+
+    #[test]
+    fn trace_records_every_round() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let report = e
+            .run(Launch::workgroups(2).with_trace(), |_| IncrKernel {
+                buf,
+                remaining: 3,
+            })
+            .unwrap();
+        let trace = report.trace.expect("trace requested");
+        assert_eq!(trace.rounds.len() as u64, report.metrics.rounds);
+        // The trace follows each round's busiest CU; summing it gives an
+        // upper envelope of the true makespan (a different CU may be the
+        // busiest in different rounds).
+        assert!(
+            trace.total_cycles() + e.config().cost.launch_overhead
+                >= report.metrics.makespan_cycles
+        );
+        assert_eq!(trace.rounds[0].active_waves, 2);
+        let (i, l, b) = trace.bound_breakdown();
+        assert!((i + l + b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_absent_unless_requested() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let report = e
+            .run(Launch::workgroups(1), |_| IncrKernel { buf, remaining: 1 })
+            .unwrap();
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn launch_overhead_added_once() {
+        let mut cfg = GpuConfig::test_tiny();
+        cfg.cost.launch_overhead = 1000;
+        let mut e = Engine::new(cfg);
+        e.memory_mut().alloc("counter", 1);
+        let buf = e.memory().buffer("counter");
+        let r = e
+            .run(Launch::workgroups(1), |_| IncrKernel { buf, remaining: 1 })
+            .unwrap();
+        assert!(r.metrics.makespan_cycles >= 1000);
+        assert!(r.metrics.makespan_cycles < 1100);
+    }
+}

@@ -1,0 +1,59 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors surfaced by a simulated kernel run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A kernel accessed a buffer outside its bounds.
+    OutOfBounds {
+        /// Offending word index.
+        index: usize,
+        /// Buffer length in words.
+        len: usize,
+    },
+    /// A kernel aborted (e.g. the paper's queue-full exception, which
+    /// "aborts the kernel because there is insufficient space to store
+    /// ready tasks").
+    KernelAbort(String),
+    /// The engine's round limit was exceeded — almost always a kernel
+    /// that fails to terminate (lost wakeup, bad termination detection).
+    MaxRoundsExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "device access out of bounds: index {index} in buffer of {len} words"
+                )
+            }
+            SimError::KernelAbort(reason) => write!(f, "kernel aborted: {reason}"),
+            SimError::MaxRoundsExceeded { limit } => {
+                write!(f, "simulation exceeded {limit} rounds without terminating")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::OutOfBounds { index: 5, len: 2 };
+        assert!(e.to_string().contains("index 5"));
+        let e = SimError::KernelAbort("queue full".into());
+        assert!(e.to_string().contains("queue full"));
+        let e = SimError::MaxRoundsExceeded { limit: 10 };
+        assert!(e.to_string().contains("10 rounds"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Statically allocated device memory.
+//!
+//! GPUs expose no dynamic allocation inside kernels (paper §3.1): every
+//! buffer — including the scheduler queue — must be allocated by the host
+//! before launch. [`DeviceMemory`] models this with a bump allocator over a
+//! flat `u32` arena; allocation is only possible between launches, and all
+//! kernel accesses are bounds-checked against their [`Buffer`] handle.
+
+use crate::error::SimError;
+use std::collections::HashMap;
+
+/// Handle to a named device allocation (offset + length in 32-bit words).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Buffer {
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+}
+
+impl Buffer {
+    /// Length of the buffer in `u32` words.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The flat device address of word `index`, bounds-checked.
+    #[inline]
+    pub(crate) fn addr(&self, index: usize) -> Result<usize, SimError> {
+        if index < self.len {
+            Ok(self.offset + index)
+        } else {
+            Err(SimError::OutOfBounds {
+                index,
+                len: self.len,
+            })
+        }
+    }
+}
+
+/// Flat, host-managed device memory.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceMemory {
+    words: Vec<u32>,
+    buffers: HashMap<String, Buffer>,
+    /// Successful-mutation counters for atomically accessed words, used by
+    /// the CAS staleness model: a staged reservation can ask how many
+    /// successful atomics landed on a word since it read it. Only words
+    /// that atomics actually touch appear here.
+    versions: HashMap<usize, u64>,
+    /// Round-start snapshot of every word mutated this round (first-write
+    /// records the old value). Backs the one-round visibility delay for
+    /// cross-wavefront data flow: a value published in round `r` becomes
+    /// observable through stale reads in round `r + 1`.
+    round_base: HashMap<usize, u32>,
+}
+
+impl DeviceMemory {
+    /// Creates an empty device memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `len` words under `name`, zero-initialized, and returns
+    /// the handle. Mirrors `clCreateBuffer` before kernel launch.
+    ///
+    /// # Panics
+    /// Panics if `name` is already allocated (host code bug).
+    pub fn alloc(&mut self, name: &str, len: usize) -> Buffer {
+        assert!(
+            !self.buffers.contains_key(name),
+            "buffer {name:?} allocated twice"
+        );
+        let offset = self.words.len();
+        self.words.resize(offset + len, 0);
+        let buf = Buffer { offset, len };
+        self.buffers.insert(name.to_owned(), buf);
+        buf
+    }
+
+    /// Allocates and initializes from a slice (host→device copy).
+    pub fn alloc_init(&mut self, name: &str, data: &[u32]) -> Buffer {
+        let buf = self.alloc(name, data.len());
+        self.words[buf.offset..buf.offset + buf.len].copy_from_slice(data);
+        buf
+    }
+
+    /// Looks up a previously allocated buffer by name.
+    ///
+    /// # Panics
+    /// Panics if the buffer does not exist.
+    pub fn buffer(&self, name: &str) -> Buffer {
+        *self
+            .buffers
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown buffer {name:?}"))
+    }
+
+    /// Host-side read of one word.
+    pub fn read_u32(&self, buf: Buffer, index: usize) -> u32 {
+        self.words[buf.addr(index).expect("host read out of bounds")]
+    }
+
+    /// Host-side write of one word.
+    pub fn write_u32(&mut self, buf: Buffer, index: usize, value: u32) {
+        let addr = buf.addr(index).expect("host write out of bounds");
+        self.words[addr] = value;
+    }
+
+    /// Host-side view of an entire buffer (device→host copy).
+    pub fn read_slice(&self, buf: Buffer) -> &[u32] {
+        &self.words[buf.offset..buf.offset + buf.len]
+    }
+
+    /// Fills a buffer with a value (e.g. painting the queue with the `dna`
+    /// sentinel before launch).
+    pub fn fill(&mut self, buf: Buffer, value: u32) {
+        self.words[buf.offset..buf.offset + buf.len].fill(value);
+    }
+
+    /// Total allocated words.
+    pub fn allocated_words(&self) -> usize {
+        self.words.len()
+    }
+
+    // ---- device-side accessors used by WaveCtx (crate-internal) ----
+
+    #[inline]
+    pub(crate) fn load(&self, buf: Buffer, index: usize) -> Result<u32, SimError> {
+        Ok(self.words[buf.addr(index)?])
+    }
+
+    #[inline]
+    pub(crate) fn store(&mut self, buf: Buffer, index: usize, value: u32) -> Result<(), SimError> {
+        let addr = buf.addr(index)?;
+        self.round_base.entry(addr).or_insert(self.words[addr]);
+        self.words[addr] = value;
+        Ok(())
+    }
+
+    /// Atomic read-modify-write: applies `f` to the current value, stores
+    /// the result, returns the old value. Simulator execution is
+    /// sequential, so atomicity is inherent; contention *cost* is charged
+    /// by the caller through the round state.
+    #[inline]
+    pub(crate) fn rmw(
+        &mut self,
+        buf: Buffer,
+        index: usize,
+        f: impl FnOnce(u32) -> u32,
+    ) -> Result<u32, SimError> {
+        let addr = buf.addr(index)?;
+        let old = self.words[addr];
+        let new = f(old);
+        if new != old {
+            *self.versions.entry(addr).or_insert(0) += 1;
+            self.round_base.entry(addr).or_insert(old);
+        }
+        self.words[addr] = new;
+        Ok(old)
+    }
+
+    /// The value a word held at the start of the current round (the
+    /// one-round-delayed view other wavefronts observe).
+    #[inline]
+    pub(crate) fn stale_load(&self, buf: Buffer, index: usize) -> Result<u32, SimError> {
+        let addr = buf.addr(index)?;
+        Ok(self
+            .round_base
+            .get(&addr)
+            .copied()
+            .unwrap_or(self.words[addr]))
+    }
+
+    /// Starts a new visibility round: everything written so far becomes
+    /// observable to stale reads.
+    pub(crate) fn begin_round(&mut self) {
+        self.round_base.clear();
+    }
+
+    /// Mutation version of a word: how many successful (value-changing)
+    /// atomics have landed on it. `0` for never-mutated words.
+    #[inline]
+    pub(crate) fn version(&self, buf: Buffer, index: usize) -> Result<u64, SimError> {
+        let addr = buf.addr(index)?;
+        Ok(self.versions.get(&addr).copied().unwrap_or(0))
+    }
+
+    /// Flat address for contention bookkeeping.
+    #[inline]
+    pub(crate) fn flat_addr(&self, buf: Buffer, index: usize) -> Result<usize, SimError> {
+        buf.addr(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroes_and_tracks_names() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 4);
+        let b = mem.alloc("b", 2);
+        assert_eq!(mem.allocated_words(), 6);
+        assert_eq!(mem.read_slice(a), &[0, 0, 0, 0]);
+        assert_eq!(mem.buffer("b"), b);
+    }
+
+    #[test]
+    fn alloc_init_copies_data() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_init("a", &[1, 2, 3]);
+        assert_eq!(mem.read_slice(a), &[1, 2, 3]);
+        assert_eq!(mem.read_u32(a, 2), 3);
+    }
+
+    #[test]
+    fn fill_paints_whole_buffer() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 3);
+        mem.fill(a, 0xFFFF_FFFF);
+        assert_eq!(mem.read_slice(a), &[u32::MAX; 3]);
+    }
+
+    #[test]
+    fn rmw_returns_old_value() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 1);
+        mem.write_u32(a, 0, 10);
+        let old = mem.rmw(a, 0, |v| v + 5).unwrap();
+        assert_eq!(old, 10);
+        assert_eq!(mem.read_u32(a, 0), 15);
+    }
+
+    #[test]
+    fn device_load_reports_out_of_bounds() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 1);
+        assert!(matches!(
+            mem.load(a, 1),
+            Err(SimError::OutOfBounds { index: 1, len: 1 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn duplicate_names_rejected() {
+        let mut mem = DeviceMemory::new();
+        mem.alloc("a", 1);
+        mem.alloc("a", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown buffer")]
+    fn unknown_buffer_panics() {
+        let mem = DeviceMemory::new();
+        mem.buffer("ghost");
+    }
+
+    #[test]
+    fn buffers_do_not_overlap() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 2);
+        let b = mem.alloc("b", 2);
+        mem.write_u32(a, 1, 7);
+        mem.write_u32(b, 0, 9);
+        assert_eq!(mem.read_u32(a, 1), 7);
+        assert_eq!(mem.read_u32(b, 0), 9);
+    }
+
+    #[test]
+    fn zero_length_buffer_is_legal_but_unreadable() {
+        let mut mem = DeviceMemory::new();
+        let z = mem.alloc("z", 0);
+        assert!(z.is_empty());
+        assert!(mem.load(z, 0).is_err());
+    }
+}

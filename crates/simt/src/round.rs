@@ -1,0 +1,83 @@
+//! Per-round atomic contention bookkeeping.
+//!
+//! Within one scheduling round, every global atomic that targets the same
+//! word queues up at that word's memory partition. The k-th arrival pays
+//! `k * atomic_serialize` extra latency — this is the "contended hot spot"
+//! behaviour of fetch-add the paper cites from Morrison & Afek, and it is
+//! what the proxy-thread optimization attacks: one AFA per wavefront
+//! instead of one per lane shortens every queue by 64×.
+
+use std::collections::HashMap;
+
+/// Tracks, for the current round, how many atomics have already targeted
+/// each flat device address.
+#[derive(Debug, Default)]
+pub struct RoundState {
+    counts: HashMap<usize, u32>,
+}
+
+impl RoundState {
+    /// Creates an empty round state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears all counts; called by the engine between rounds.
+    pub fn begin_round(&mut self) {
+        self.counts.clear();
+    }
+
+    /// Registers one more atomic against `addr` and returns its arrival
+    /// rank within this round (0 = first, pays no serialization delay).
+    pub fn next_rank(&mut self, addr: usize) -> u32 {
+        let slot = self.counts.entry(addr).or_insert(0);
+        let rank = *slot;
+        *slot += 1;
+        rank
+    }
+
+    /// Number of distinct contended addresses this round (diagnostics).
+    pub fn distinct_addresses(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Largest same-address atomic count this round — the queue length at
+    /// the hottest L2 slice.
+    pub fn max_same_address(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_increment_per_address() {
+        let mut rs = RoundState::new();
+        assert_eq!(rs.next_rank(10), 0);
+        assert_eq!(rs.next_rank(10), 1);
+        assert_eq!(rs.next_rank(10), 2);
+        assert_eq!(rs.next_rank(11), 0);
+    }
+
+    #[test]
+    fn max_same_address_tracks_hottest_word() {
+        let mut rs = RoundState::new();
+        assert_eq!(rs.max_same_address(), 0);
+        rs.next_rank(10);
+        rs.next_rank(10);
+        rs.next_rank(11);
+        assert_eq!(rs.max_same_address(), 2);
+    }
+
+    #[test]
+    fn begin_round_resets() {
+        let mut rs = RoundState::new();
+        rs.next_rank(5);
+        rs.next_rank(5);
+        rs.begin_round();
+        assert_eq!(rs.next_rank(5), 0);
+        assert_eq!(rs.distinct_addresses(), 1);
+    }
+}

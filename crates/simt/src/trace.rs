@@ -1,0 +1,132 @@
+//! Optional per-round execution traces.
+//!
+//! A trace records, for every scheduling round, what bounded that round on
+//! the busiest compute unit — SIMD issue, exposed latency, or the memory
+//! bandwidth share — plus how many wavefronts were still active. This is
+//! the simulator's answer to a hardware profiler's occupancy timeline:
+//! the ablation studies use it to show *why* a configuration is slow, not
+//! just that it is.
+
+/// What limited a round's duration on the busiest CU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundBound {
+    /// SIMD instruction issue (unhideable work, including CAS retries).
+    Issue,
+    /// Exposed memory/atomic latency (not enough wavefronts to hide it).
+    Latency,
+    /// The CU's memory-bandwidth share (scattered traffic).
+    Bandwidth,
+    /// The atomic unit's throughput (lock-step atomic volleys).
+    AtomicUnit,
+}
+
+/// One round's record.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundTrace {
+    /// Cycles this round added to the busiest CU.
+    pub cycles: u64,
+    /// Which resource bounded it.
+    pub bound: RoundBound,
+    /// Wavefronts still active at the start of the round.
+    pub active_waves: usize,
+}
+
+/// A full run's trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Per-round records, in execution order.
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl Trace {
+    /// Total cycles across rounds. Because each round records the busiest
+    /// CU — which can differ between rounds — this is an *upper envelope*
+    /// of the makespan (minus launch overhead), equal to it whenever one
+    /// CU stays the bottleneck throughout.
+    pub fn total_cycles(&self) -> u64 {
+        self.rounds.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Fraction of cycles bounded by each resource, in the order
+    /// (issue, latency, bandwidth + atomic unit).
+    pub fn bound_breakdown(&self) -> (f64, f64, f64) {
+        let total = self.total_cycles().max(1) as f64;
+        let mut by = [0u64; 3];
+        for r in &self.rounds {
+            let idx = match r.bound {
+                RoundBound::Issue => 0,
+                RoundBound::Latency => 1,
+                RoundBound::Bandwidth | RoundBound::AtomicUnit => 2,
+            };
+            by[idx] += r.cycles;
+        }
+        (
+            by[0] as f64 / total,
+            by[1] as f64 / total,
+            by[2] as f64 / total,
+        )
+    }
+
+    /// Average active wavefronts, weighted by round duration — an
+    /// occupancy measure.
+    pub fn weighted_occupancy(&self) -> f64 {
+        let total = self.total_cycles().max(1) as f64;
+        self.rounds
+            .iter()
+            .map(|r| r.active_waves as f64 * r.cycles as f64)
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            rounds: vec![
+                RoundTrace {
+                    cycles: 60,
+                    bound: RoundBound::Issue,
+                    active_waves: 4,
+                },
+                RoundTrace {
+                    cycles: 30,
+                    bound: RoundBound::Latency,
+                    active_waves: 2,
+                },
+                RoundTrace {
+                    cycles: 10,
+                    bound: RoundBound::Bandwidth,
+                    active_waves: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_breakdown() {
+        let t = sample();
+        assert_eq!(t.total_cycles(), 100);
+        let (i, l, b) = t.bound_breakdown();
+        assert!((i - 0.6).abs() < 1e-12);
+        assert!((l - 0.3).abs() < 1e-12);
+        assert!((b - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_weighted_by_duration() {
+        let t = sample();
+        // (4*60 + 2*30 + 1*10) / 100 = 3.1
+        assert!((t.weighted_occupancy() - 3.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let t = Trace::default();
+        assert_eq!(t.total_cycles(), 0);
+        assert_eq!(t.bound_breakdown(), (0.0, 0.0, 0.0));
+        assert_eq!(t.weighted_occupancy(), 0.0);
+    }
+}

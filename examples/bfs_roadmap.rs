@@ -1,0 +1,69 @@
+//! Roadmap BFS: the paper's low-parallelism regime (Table 3, rows NY/LKS/USA).
+//!
+//! Road networks are deep and narrow: most of the time there are fewer
+//! ready vertices than persistent threads, so the dominant overhead is not
+//! atomic contention but *queue-empty handling* — exactly where the RF/AN
+//! design's sentinel poll beats exception-retry designs.
+//!
+//! ```text
+//! cargo run --release --example bfs_roadmap [scale]
+//! ```
+
+use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::graph::{validate_levels, Dataset};
+use ptq::queue::Variant;
+use simt::GpuConfig;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let dataset = Dataset::RoadNY;
+    let graph = dataset.build(scale);
+    let stats = graph.degree_stats();
+    println!(
+        "{} (scaled {:.0}%): {} vertices, {} edges, degree avg {:.2} / max {}",
+        dataset.spec().name,
+        scale * 100.0,
+        graph.num_vertices(),
+        graph.num_edges(),
+        stats.avg,
+        stats.max
+    );
+    let profile = ptq::graph::level_profile(&graph, dataset.source());
+    println!(
+        "BFS depth {} levels, peak width {} — deep and narrow, as Figure 3d shows\n",
+        profile.num_levels(),
+        profile.peak()
+    );
+
+    for (gpu, wgs) in [(GpuConfig::fiji(), 224usize), (GpuConfig::spectre(), 32)] {
+        println!(
+            "--- {} ({} workgroups, {} threads) ---",
+            gpu.name,
+            wgs,
+            wgs * 64
+        );
+        for variant in Variant::ALL {
+            let run = run_bfs(
+                &gpu,
+                &graph,
+                dataset.source(),
+                &BfsConfig::new(variant, wgs),
+            )
+            .expect("simulation succeeds");
+            validate_levels(&graph, dataset.source(), &run.costs).expect("exact BFS levels");
+            println!(
+                "{:>6}: {:.6}s | empty-retries {:>9} | CAS failures {:>9}",
+                variant.label(),
+                run.seconds,
+                run.metrics.queue_empty_retries,
+                run.metrics.cas_failures
+            );
+        }
+        println!();
+    }
+    println!("note how RF/AN reports zero retries of either kind: hungry threads");
+    println!("monitor private slots instead of re-raising queue-empty exceptions.");
+}

@@ -1,0 +1,18 @@
+//! `ptq` — facade crate for the ICPP'19 retry-free / arbitrary-n GPU
+//! concurrent queue reproduction.
+//!
+//! Re-exports the workspace's public API under one roof:
+//!
+//! * [`queue`] — the paper's contribution: device-side queue variants for
+//!   the SIMT simulator and host-side real-thread implementations,
+//! * [`simt`] — the deterministic SIMT GPU simulator substrate,
+//! * [`graph`] — CSR graphs, calibrated dataset generators, file IO,
+//! * [`bfs`] — the persistent-thread BFS driver application and the
+//!   Rodinia/CHAI-style baselines.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use gpu_queue as queue;
+pub use pt_bfs as bfs;
+pub use ptq_graph as graph;
+pub use simt;

@@ -1,0 +1,192 @@
+//! Failure injection: the error paths a production library must handle
+//! gracefully — queue overflow, kernel aborts racing other wavefronts,
+//! device faults, and capacity-recovery loops.
+
+use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::graph::gen::synthetic_tree;
+use ptq::graph::validate_levels;
+use ptq::queue::device::{make_wave_queue, LanePhase, QueueLayout, WaveQueue};
+use ptq::queue::host::{RfAnQueue, WorkPool};
+use ptq::queue::Variant;
+use simt::{Buffer, Engine, GpuConfig, Launch, SimError, WaveCtx, WaveKernel, WaveStatus};
+
+/// A kernel where one wavefront floods the queue beyond capacity while
+/// the others behave: the abort must terminate the whole run promptly
+/// and deterministically.
+struct Flooder {
+    queue: Box<dyn WaveQueue>,
+    lanes: Vec<LanePhase>,
+    is_flooder: bool,
+    round: u32,
+}
+
+impl WaveKernel for Flooder {
+    fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+        self.round += 1;
+        if self.is_flooder {
+            let tokens: Vec<u32> = (0..64).map(|i| self.round * 64 + i).collect();
+            let _ = self.queue.enqueue(ctx, &tokens);
+        } else {
+            for l in self.lanes.iter_mut() {
+                if *l == LanePhase::Idle {
+                    *l = LanePhase::Hungry;
+                }
+            }
+            self.queue.acquire(ctx, &mut self.lanes);
+            for l in self.lanes.iter_mut() {
+                if matches!(*l, LanePhase::Ready(_)) {
+                    *l = LanePhase::Idle;
+                }
+            }
+        }
+        WaveStatus::Active
+    }
+}
+
+#[test]
+fn queue_full_abort_terminates_multi_wave_runs() {
+    for variant in Variant::ALL {
+        let mut engine = Engine::new(GpuConfig::test_tiny());
+        let layout = QueueLayout::setup(engine.memory_mut(), "q", 128);
+        let err = engine
+            .run(Launch::workgroups(4).with_max_rounds(10_000), |info| {
+                Flooder {
+                    queue: make_wave_queue(variant, layout),
+                    lanes: vec![LanePhase::Idle; info.wave_size],
+                    is_flooder: info.wave_id == 0,
+                    round: 0,
+                }
+            })
+            .unwrap_err();
+        match err {
+            SimError::KernelAbort(msg) => {
+                assert!(msg.contains("queue full"), "{variant:?}: {msg}")
+            }
+            other => panic!("{variant:?}: expected abort, got {other}"),
+        }
+    }
+}
+
+/// The BFS runner's capacity-doubling recovery: a tiny initial capacity
+/// factor must still converge to a correct traversal.
+#[test]
+fn bfs_recovers_from_undersized_queue() {
+    let graph = synthetic_tree(800, 4);
+    let mut config = BfsConfig::new(Variant::RfAn, 3);
+    config.capacity_factor = 0.2; // ~160 slots: forces several doublings
+    let run = run_bfs(&GpuConfig::test_tiny(), &graph, 0, &config).unwrap();
+    validate_levels(&graph, 0, &run.costs).unwrap();
+}
+
+/// A device fault (out-of-bounds access) in one wavefront fails the whole
+/// run with the precise fault, not a hang or a corrupted result.
+#[test]
+fn device_fault_is_reported_not_swallowed() {
+    struct Oob {
+        buf: Buffer,
+        trigger: bool,
+        count: u32,
+    }
+    impl WaveKernel for Oob {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            self.count += 1;
+            if self.trigger && self.count == 3 {
+                ctx.global_write(self.buf, 1 << 20, 7);
+            } else {
+                ctx.charge_alu(1);
+            }
+            if self.count > 100 {
+                WaveStatus::Done
+            } else {
+                WaveStatus::Active
+            }
+        }
+    }
+    let mut engine = Engine::new(GpuConfig::test_tiny());
+    engine.memory_mut().alloc("buf", 16);
+    let buf = engine.memory().buffer("buf");
+    let err = engine
+        .run(Launch::workgroups(4), |info| Oob {
+            buf,
+            trigger: info.wave_id == 2,
+            count: 0,
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::OutOfBounds { len: 16, .. }),
+        "{err}"
+    );
+}
+
+/// Host queue overflow mid-stream leaves already-published tokens intact
+/// and deliverable.
+#[test]
+fn host_overflow_preserves_published_tokens() {
+    let q = RfAnQueue::new(4);
+    q.enqueue_batch(&[1, 2]).unwrap();
+    assert!(q.enqueue_batch(&[3, 4, 5]).is_err()); // 2 + 3 > 4
+                                                   // The failed batch must not have corrupted anything readable.
+    let got: Vec<u32> = q
+        .reserve(2)
+        .filter_map(|s| q.try_take(ptq::queue::host::SlotTicket(s)))
+        .collect();
+    assert_eq!(got, vec![1, 2]);
+}
+
+/// WorkPool overflow unblocks every worker (no hang) and reports the
+/// error; the pool is reusable after reset.
+#[test]
+fn workpool_overflow_recovers_after_reset() {
+    let mut pool = WorkPool::new(8);
+    let result = pool.run(4, &[1], |t, out| {
+        out.push(t + 1);
+        out.push(t + 2);
+    });
+    assert!(result.is_err(), "exponential fanout must overflow");
+    pool.reset();
+    let counted = std::sync::atomic::AtomicU64::new(0);
+    pool.run(2, &[5, 6], |_, _| {
+        counted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    })
+    .unwrap();
+    assert_eq!(counted.load(std::sync::atomic::Ordering::Relaxed), 2);
+}
+
+/// SSSP's capacity-recovery loop: adversarial weights that maximize
+/// re-enqueues still converge to exact distances.
+#[test]
+fn sssp_recovers_under_reenqueue_pressure() {
+    use ptq::bfs::run_sssp;
+    use ptq::graph::{validate_distances, CsrBuilder};
+
+    // A graph designed for label-correction churn: long chain with heavy
+    // shortcuts that get improved late.
+    let n = 120;
+    let mut b = CsrBuilder::new(n);
+    for i in 0..n as u32 - 1 {
+        b.add_edge(i, i + 1);
+    }
+    for i in 0..n as u32 - 10 {
+        b.add_edge(i, i + 10);
+    }
+    let g = b.build();
+    // Chain edges cost 1, shortcut edges cost 5: shortcuts look good when
+    // discovered but get undercut by the chain later — ordering churn.
+    let mut weights_aligned = vec![0u32; g.num_edges()];
+    for v in 0..n as u32 {
+        let start = g.edge_start(v) as usize;
+        for (k, &w) in g.neighbors(v).iter().enumerate() {
+            weights_aligned[start + k] = if w == v + 1 { 1 } else { 5 };
+        }
+    }
+    let run = run_sssp(
+        &GpuConfig::test_tiny(),
+        &g,
+        &weights_aligned,
+        0,
+        Variant::RfAn,
+        2,
+    )
+    .unwrap();
+    validate_distances(&g, &weights_aligned, 0, &run.dist).unwrap();
+}

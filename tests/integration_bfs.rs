@@ -1,0 +1,170 @@
+//! End-to-end integration: every dataset family × every queue variant ×
+//! both GPU models must produce exact, validated BFS levels, with the
+//! metric invariants the paper's design promises.
+
+use ptq::bfs::baseline::{run_chai, run_rodinia};
+use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::graph::{bfs_levels, validate_levels, Dataset};
+use ptq::queue::Variant;
+use simt::GpuConfig;
+
+const SCALE: f64 = 0.004;
+
+fn datasets() -> Vec<Dataset> {
+    vec![
+        Dataset::Synthetic,
+        Dataset::GplusCombined,
+        Dataset::SocLiveJournal1,
+        Dataset::RoadNY,
+        Dataset::RodiniaGraph65536,
+        Dataset::ChaiBAY,
+    ]
+}
+
+#[test]
+fn every_variant_is_exact_on_every_dataset_family() {
+    for dataset in datasets() {
+        let graph = dataset.build(SCALE);
+        let reference = bfs_levels(&graph, dataset.source());
+        for (gpu, wgs) in [(GpuConfig::fiji(), 28usize), (GpuConfig::spectre(), 8)] {
+            for variant in Variant::ALL {
+                let run = run_bfs(
+                    &gpu,
+                    &graph,
+                    dataset.source(),
+                    &BfsConfig::new(variant, wgs),
+                )
+                .unwrap_or_else(|e| panic!("{dataset:?} {variant:?} on {}: {e}", gpu.name));
+                assert_eq!(
+                    run.reached, reference.reached,
+                    "{dataset:?} {variant:?} on {}",
+                    gpu.name
+                );
+                validate_levels(&graph, dataset.source(), &run.costs).unwrap_or_else(
+                    |(v, want, got)| {
+                        panic!(
+                            "{dataset:?} {variant:?} on {}: vertex {v} level {got} != {want}",
+                            gpu.name
+                        )
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rfan_never_retries_anywhere() {
+    for dataset in datasets() {
+        let graph = dataset.build(SCALE);
+        let run = run_bfs(
+            &GpuConfig::fiji(),
+            &graph,
+            dataset.source(),
+            &BfsConfig::new(Variant::RfAn, 56),
+        )
+        .unwrap();
+        assert_eq!(run.metrics.cas_attempts, 0, "{dataset:?}");
+        assert_eq!(run.metrics.cas_failures, 0, "{dataset:?}");
+        assert_eq!(run.metrics.queue_empty_retries, 0, "{dataset:?}");
+    }
+}
+
+#[test]
+fn cas_designs_always_retry_under_multi_wave_load() {
+    let graph = Dataset::Synthetic.build(SCALE);
+    for variant in [Variant::Base, Variant::An] {
+        let run = run_bfs(
+            &GpuConfig::spectre(),
+            &graph,
+            0,
+            &BfsConfig::new(variant, 16),
+        )
+        .unwrap();
+        assert!(
+            run.metrics.total_retries() > 0,
+            "{variant:?} reported no retries"
+        );
+    }
+}
+
+#[test]
+fn baselines_are_exact_too() {
+    let dataset = Dataset::RodiniaGraph4096;
+    let graph = dataset.build(1.0); // 4,096 vertices: full size is cheap
+    let rodinia = run_rodinia(&GpuConfig::spectre(), &graph, 0, 8).unwrap();
+    validate_levels(&graph, 0, &rodinia.costs).unwrap();
+
+    let road = Dataset::ChaiNYR.build(SCALE);
+    let chai = run_chai(&GpuConfig::spectre(), &road, 0, 8).unwrap();
+    validate_levels(&road, 0, &chai.costs).unwrap();
+}
+
+#[test]
+fn runs_are_deterministic_across_processes_worth_of_state() {
+    let graph = Dataset::SocLiveJournal1.build(SCALE);
+    let config = BfsConfig::new(Variant::An, 12);
+    let a = run_bfs(&GpuConfig::spectre(), &graph, 0, &config).unwrap();
+    let b = run_bfs(&GpuConfig::spectre(), &graph, 0, &config).unwrap();
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.seconds, b.seconds);
+    assert_eq!(a.costs, b.costs);
+}
+
+#[test]
+fn headline_ordering_rfan_fastest_on_saturating_load() {
+    // 2% scale: ~15 vertices per persistent thread, enough saturation for
+    // the contention gaps to open up.
+    let graph = Dataset::Synthetic.build(0.02);
+    let gpu = GpuConfig::fiji();
+    let time = |v| {
+        run_bfs(&gpu, &graph, 0, &BfsConfig::new(v, 224))
+            .unwrap()
+            .seconds
+    };
+    let base = time(Variant::Base);
+    let an = time(Variant::An);
+    let rfan = time(Variant::RfAn);
+    assert!(rfan < an, "RF/AN {rfan} vs AN {an}");
+    assert!(an < base, "AN {an} vs BASE {base}");
+    assert!(
+        base > 4.0 * rfan,
+        "synthetic gap should be large: BASE {base} vs RF/AN {rfan}"
+    );
+}
+
+#[test]
+fn atomic_ratio_matches_figure_5_direction() {
+    // Figure 5 counts *scheduler* atomics: reservations and their
+    // retries, per-lane for BASE vs per-wavefront for RF/AN.
+    let graph = Dataset::Synthetic.build(0.01);
+    let gpu = GpuConfig::fiji();
+    let atoms = |v| {
+        run_bfs(&gpu, &graph, 0, &BfsConfig::new(v, 224))
+            .unwrap()
+            .metrics
+            .scheduler_atomics
+    };
+    let ratio = atoms(Variant::Base) as f64 / atoms(Variant::RfAn) as f64;
+    assert!(
+        ratio > 20.0,
+        "BASE/RFAN scheduler-atomic ratio {ratio} too small"
+    );
+}
+
+#[test]
+fn more_threads_help_rfan_on_saturating_load() {
+    let graph = Dataset::Synthetic.build(0.01);
+    let gpu = GpuConfig::fiji();
+    let time = |wgs| {
+        run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
+            .unwrap()
+            .seconds
+    };
+    let t8 = time(8);
+    let t224 = time(224);
+    assert!(
+        t224 * 4.0 < t8,
+        "224 WGs ({t224}) should be far faster than 8 ({t8})"
+    );
+}

@@ -1,0 +1,235 @@
+//! Simulator-level integration: cost-model invariants that must hold for
+//! any kernel, exercised through the public API with custom kernels.
+
+use simt::{Buffer, Engine, GpuConfig, Launch, SimError, WaveCtx, WaveKernel, WaveStatus};
+
+/// A kernel that performs a fixed amount of mixed traffic then exits.
+struct TrafficKernel {
+    buf: Buffer,
+    cycles_left: u32,
+    scattered: bool,
+}
+
+impl WaveKernel for TrafficKernel {
+    fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+        if self.cycles_left == 0 {
+            return WaveStatus::Done;
+        }
+        let id = ctx.info().wave_id;
+        let len = ctx.buffer("data").len();
+        for lane in 0..ctx.wave_size() {
+            let idx = if self.scattered {
+                // Every lane touches its own cache line.
+                ((id * 64 + lane) * 16 + (self.cycles_left as usize * 1024)) % len
+            } else {
+                // All lanes inside one line.
+                (id * 4) % 16
+            };
+            ctx.global_read_lane(self.buf, idx);
+        }
+        ctx.atomic_add(self.buf, 0, 1);
+        self.cycles_left -= 1;
+        if self.cycles_left == 0 {
+            WaveStatus::Done
+        } else {
+            WaveStatus::Active
+        }
+    }
+}
+
+fn engine() -> Engine {
+    let mut e = Engine::new(GpuConfig::fiji());
+    e.memory_mut().alloc("data", 4096);
+    e
+}
+
+#[test]
+fn scattered_traffic_costs_more_than_coalesced() {
+    // Bandwidth is a device-wide pool; use the bandwidth-starved APU
+    // preset at full occupancy so line traffic is the binding resource.
+    let run = |scattered: bool| {
+        let mut e = Engine::new(GpuConfig::spectre());
+        e.memory_mut().alloc("data", 1 << 20);
+        let buf = e.memory().buffer("data");
+        e.run(Launch::workgroups(32), |_| TrafficKernel {
+            buf,
+            cycles_left: 200,
+            scattered,
+        })
+        .unwrap()
+        .metrics
+        .makespan_cycles
+    };
+    let scattered = run(true);
+    let coalesced = run(false);
+    assert!(
+        scattered > coalesced,
+        "bandwidth model should punish scatter: {scattered} vs {coalesced}"
+    );
+}
+
+#[test]
+fn makespan_components_are_consistent() {
+    let mut e = engine();
+    let buf = e.memory().buffer("data");
+    let report = e
+        .run(Launch::workgroups(4), |_| TrafficKernel {
+            buf,
+            cycles_left: 10,
+            scattered: true,
+        })
+        .unwrap();
+    // Makespan includes launch overhead and equals the slowest CU + it.
+    let max_cu = report.per_cu_cycles.iter().copied().max().unwrap();
+    assert_eq!(
+        report.metrics.makespan_cycles,
+        max_cu + GpuConfig::fiji().cost.launch_overhead
+    );
+    assert!(report.seconds > 0.0);
+    // Each wave ran exactly cycles_left work cycles.
+    assert_eq!(report.metrics.work_cycles, 4 * 10);
+}
+
+#[test]
+fn atomics_serialize_observably() {
+    // All waves hammer one word every cycle; one wave leaves it alone.
+    struct Hammer {
+        buf: Buffer,
+        n: u32,
+        wave: usize,
+        hammer: bool,
+    }
+    impl WaveKernel for Hammer {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            if self.n == 0 {
+                return WaveStatus::Done;
+            }
+            if self.hammer {
+                ctx.atomic_add(self.buf, 0, 1);
+            } else {
+                // Each wavefront owns a private word: zero contention.
+                ctx.atomic_add(self.buf, 1 + self.wave, 1);
+            }
+            self.n -= 1;
+            if self.n == 0 {
+                WaveStatus::Done
+            } else {
+                WaveStatus::Active
+            }
+        }
+    }
+    let time = |hammer: bool| {
+        let mut e = engine();
+        let buf = e.memory().buffer("data");
+        e.run(Launch::workgroups(224), |info| Hammer {
+            buf,
+            n: 50,
+            wave: info.wave_id,
+            hammer,
+        })
+        .unwrap()
+        .metrics
+        .makespan_cycles
+    };
+    let contended = time(true);
+    let spread = time(false);
+    assert!(
+        contended > spread,
+        "same-word atomics should serialize: {contended} vs {spread}"
+    );
+}
+
+#[test]
+fn round_limit_is_enforced() {
+    struct Forever;
+    impl WaveKernel for Forever {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            ctx.charge_alu(1);
+            WaveStatus::Active
+        }
+    }
+    let mut e = engine();
+    let err = e
+        .run(Launch::workgroups(1).with_max_rounds(10), |_| Forever)
+        .unwrap_err();
+    assert_eq!(err, SimError::MaxRoundsExceeded { limit: 10 });
+}
+
+#[test]
+fn visibility_delay_is_one_round() {
+    // Wave 0 writes a flag in its 4th work cycle; wave 1 spins on a
+    // *stale* read. The reader can only observe the write in a LATER
+    // round, never the round it happened.
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct Writer {
+        buf: Buffer,
+        round: u32,
+    }
+    impl WaveKernel for Writer {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            if self.round == 3 {
+                ctx.global_write(self.buf, 100, 7);
+                return WaveStatus::Done;
+            }
+            ctx.charge_alu(1);
+            self.round += 1;
+            WaveStatus::Active
+        }
+    }
+    struct Reader {
+        buf: Buffer,
+        rounds_waited: u32,
+        saw_at: Rc<Cell<Option<u32>>>,
+    }
+    impl WaveKernel for Reader {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            if ctx.global_read_stale(self.buf, 100) == 7 {
+                self.saw_at.set(Some(self.rounds_waited));
+                return WaveStatus::Done;
+            }
+            self.rounds_waited += 1;
+            if self.rounds_waited > 50 {
+                return WaveStatus::Done;
+            }
+            WaveStatus::Active
+        }
+    }
+    enum K {
+        W(Writer),
+        R(Reader),
+    }
+    impl WaveKernel for K {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            match self {
+                K::W(w) => w.work_cycle(ctx),
+                K::R(r) => r.work_cycle(ctx),
+            }
+        }
+    }
+    let mut e = engine();
+    let buf = e.memory().buffer("data");
+    let saw = Rc::new(Cell::new(None));
+    let saw_handle = Rc::clone(&saw);
+    e.run(Launch::workgroups(2), move |info| {
+        if info.wave_id == 0 {
+            K::W(Writer { buf, round: 0 })
+        } else {
+            K::R(Reader {
+                buf,
+                rounds_waited: 0,
+                saw_at: Rc::clone(&saw_handle),
+            })
+        }
+    })
+    .unwrap();
+    assert_eq!(e.memory().read_u32(buf, 100), 7);
+    let waited = saw.get().expect("reader must eventually see the flag");
+    // The write lands in round 3; a stale read can observe it in round 4
+    // at the earliest, i.e. after at least 4 failed polls.
+    assert!(
+        waited >= 4,
+        "stale read observed too early ({waited} polls)"
+    );
+}

@@ -1,0 +1,152 @@
+//! Property-based tests on the graph substrate: CSR invariants, BFS level
+//! properties, generator determinism, and file-format round trips.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ptq::graph::gen::{
+    erdos_renyi, roadmap, rodinia, social, synthetic_tree, RoadmapParams, SocialParams,
+};
+use ptq::graph::io::{dimacs, rodinia as rodinia_io, snap};
+use ptq::graph::{bfs_levels, Csr, CsrBuilder, UNREACHED};
+use std::io::Cursor;
+
+fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    vec((0..n as u32, 0..n as u32), 0..n * 4)
+}
+
+proptest! {
+    /// The CSR builder preserves the edge multiset and per-source order.
+    #[test]
+    fn csr_builder_preserves_edges(n in 1usize..60, edges in arb_edges(50)) {
+        let edges: Vec<(u32, u32)> =
+            edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
+        let mut builder = CsrBuilder::new(n);
+        for &(a, b) in &edges {
+            builder.add_edge(a, b);
+        }
+        let g = builder.build();
+        prop_assert_eq!(g.num_edges(), edges.len());
+        // Per-source insertion order is preserved by the stable sort.
+        for v in 0..n as u32 {
+            let expect: Vec<u32> =
+                edges.iter().filter(|(a, _)| *a == v).map(|&(_, b)| b).collect();
+            prop_assert_eq!(g.neighbors(v), &expect[..]);
+        }
+        // Offsets are consistent with degrees.
+        let total: u32 = (0..n as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total as usize, g.num_edges());
+    }
+
+    /// BFS levels satisfy the defining property: level(source) = 0, and
+    /// every edge (u, v) with u reached implies level(v) <= level(u) + 1,
+    /// with at least one incoming edge achieving equality for v != source.
+    #[test]
+    fn bfs_levels_are_valid_distances(n in 1usize..80, edges in arb_edges(60), src in 0usize..80) {
+        let edges: Vec<(u32, u32)> =
+            edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
+        let src = (src % n) as u32;
+        let mut b = CsrBuilder::new(n);
+        for &(x, y) in &edges {
+            b.add_edge(x, y);
+        }
+        let g = b.build();
+        let r = bfs_levels(&g, src);
+        prop_assert_eq!(r.levels[src as usize], 0);
+        for u in 0..n as u32 {
+            if r.levels[u as usize] == UNREACHED {
+                continue;
+            }
+            for &v in g.neighbors(u) {
+                prop_assert!(r.levels[v as usize] <= r.levels[u as usize] + 1);
+            }
+        }
+        for v in 0..n as u32 {
+            let lv = r.levels[v as usize];
+            if lv != UNREACHED && lv > 0 {
+                // some predecessor at exactly lv - 1
+                let has_pred = (0..n as u32).any(|u| {
+                    r.levels[u as usize] == lv - 1 && g.neighbors(u).contains(&v)
+                });
+                prop_assert!(has_pred, "vertex {} at level {} lacks a predecessor", v, lv);
+            }
+        }
+    }
+
+    /// All generators are deterministic functions of their parameters.
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..500) {
+        prop_assert_eq!(erdos_renyi(40, 120, seed), erdos_renyi(40, 120, seed));
+        prop_assert_eq!(rodinia(50, 6, seed), rodinia(50, 6, seed));
+        let sp = SocialParams {
+            vertices: 60,
+            avg_degree: 5.0,
+            alpha: 1.8,
+            max_degree: 30,
+            seed,
+        };
+        prop_assert_eq!(social(sp), social(sp));
+        let rp = RoadmapParams { rows: 8, cols: 9, keep_prob: 0.5, seed };
+        prop_assert_eq!(roadmap(rp), roadmap(rp));
+    }
+
+    /// The tree generator always yields a connected tree with n-1 edges.
+    #[test]
+    fn tree_invariants(n in 1usize..5000, fanout in 1u32..8) {
+        let g = synthetic_tree(n, fanout);
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(g.num_edges(), n - 1);
+        prop_assert_eq!(bfs_levels(&g, 0).reached, n);
+    }
+
+    /// DIMACS round trip is lossless for arbitrary graphs.
+    #[test]
+    fn dimacs_roundtrip(n in 1usize..40, edges in arb_edges(30)) {
+        let g = graph_of(n, edges);
+        let mut buf = Vec::new();
+        dimacs::write_gr(&g, &mut buf).unwrap();
+        prop_assert_eq!(dimacs::read_gr(Cursor::new(buf)).unwrap(), g);
+    }
+
+    /// Rodinia-format round trip is lossless.
+    #[test]
+    fn rodinia_roundtrip(n in 1usize..40, edges in arb_edges(30), src in 0usize..40) {
+        let g = graph_of(n, edges);
+        let src = (src % n) as u32;
+        let mut buf = Vec::new();
+        rodinia_io::write_rodinia(&g, src, &mut buf).unwrap();
+        let (g2, s2) = rodinia_io::read_rodinia(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g2, g);
+        prop_assert_eq!(s2, src);
+    }
+
+    /// SNAP round trip preserves the degree multiset (ids may be
+    /// renumbered and isolated vertices dropped by the format).
+    #[test]
+    fn snap_roundtrip_preserves_degrees(n in 1usize..40, edges in arb_edges(30)) {
+        let g = graph_of(n, edges);
+        let mut buf = Vec::new();
+        snap::write_edge_list(&g, &mut buf).unwrap();
+        let (g2, _) = snap::read_edge_list(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        let degrees = |g: &Csr| {
+            let mut d: Vec<u32> = (0..g.num_vertices() as u32)
+                .map(|v| g.degree(v))
+                .filter(|&d| d > 0)
+                .collect();
+            d.sort_unstable();
+            d
+        };
+        // Out-degree multiset of non-isolated sources is preserved...
+        // except vertices that appear only as destinations, which exist in
+        // both graphs with degree zero and are filtered out.
+        prop_assert_eq!(degrees(&g2), degrees(&g));
+    }
+}
+
+fn graph_of(n: usize, edges: Vec<(u32, u32)>) -> Csr {
+    let mut b = CsrBuilder::new(n);
+    for (a, x) in edges {
+        b.add_edge(a % n as u32, x % n as u32);
+    }
+    b.build()
+}

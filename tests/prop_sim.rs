@@ -1,0 +1,190 @@
+//! Property-based tests of the simulator itself: determinism, metric
+//! consistency, and cost-model monotonicity under arbitrary kernels.
+
+use proptest::prelude::*;
+use simt::{Buffer, Engine, GpuConfig, Launch, Metrics, WaveCtx, WaveKernel, WaveStatus};
+
+/// A kernel driven by a small script: per work cycle it performs a mix of
+/// reads, writes, AFAs, and CASes derived from its parameters.
+#[derive(Clone)]
+struct ScriptKernel {
+    buf: Buffer,
+    cycles: u32,
+    reads: u8,
+    afas: u8,
+    cas: u8,
+    stride: usize,
+    wave: usize,
+}
+
+impl WaveKernel for ScriptKernel {
+    fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+        if self.cycles == 0 {
+            return WaveStatus::Done;
+        }
+        let len = 512;
+        for i in 0..self.reads {
+            let idx = (self.wave * 31 + i as usize * self.stride) % len;
+            ctx.global_read_lane(self.buf, idx);
+        }
+        for _ in 0..self.afas {
+            ctx.atomic_add(self.buf, 0, 1);
+        }
+        for i in 0..self.cas {
+            // Half target the hot word, half a private word.
+            let idx = if i % 2 == 0 { 1 } else { 2 + self.wave % 100 };
+            ctx.atomic_cas(self.buf, idx, 0, 0);
+        }
+        ctx.charge_alu(1);
+        self.cycles -= 1;
+        if self.cycles == 0 {
+            WaveStatus::Done
+        } else {
+            WaveStatus::Active
+        }
+    }
+}
+
+fn run_script(
+    wgs: usize,
+    cycles: u32,
+    reads: u8,
+    afas: u8,
+    cas: u8,
+    stride: usize,
+) -> (Metrics, Vec<u64>) {
+    let mut e = Engine::new(GpuConfig::test_tiny());
+    e.memory_mut().alloc("buf", 512);
+    let buf = e.memory().buffer("buf");
+    let report = e
+        .run(Launch::workgroups(wgs), |info| ScriptKernel {
+            buf,
+            cycles,
+            reads,
+            afas,
+            cas,
+            stride: stride.max(1),
+            wave: info.wave_id,
+        })
+        .unwrap();
+    (report.metrics, report.per_cu_cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Identical inputs produce identical metrics and per-CU cycles.
+    #[test]
+    fn simulation_is_deterministic(
+        wgs in 1usize..6,
+        cycles in 1u32..20,
+        reads in 0u8..8,
+        afas in 0u8..4,
+        cas in 0u8..4,
+        stride in 1usize..40,
+    ) {
+        let a = run_script(wgs, cycles, reads, afas, cas, stride);
+        let b = run_script(wgs, cycles, reads, afas, cas, stride);
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.1, b.1);
+    }
+
+    /// Metric bookkeeping is exact: op counts follow directly from the
+    /// script parameters.
+    #[test]
+    fn metric_counts_are_exact(
+        wgs in 1usize..6,
+        cycles in 1u32..16,
+        reads in 0u8..8,
+        afas in 0u8..4,
+        cas in 0u8..4,
+    ) {
+        let (m, _) = run_script(wgs, cycles, reads, afas, cas, 3);
+        let waves = wgs as u64;
+        let per_wave = u64::from(cycles);
+        prop_assert_eq!(m.work_cycles, waves * per_wave);
+        prop_assert_eq!(m.rounds, u64::from(cycles));
+        prop_assert_eq!(m.cas_attempts, waves * per_wave * u64::from(cas));
+        prop_assert_eq!(
+            m.global_atomics,
+            waves * per_wave * (u64::from(afas) + u64::from(cas))
+        );
+        prop_assert_eq!(m.global_mem_ops, waves * per_wave * u64::from(reads));
+    }
+
+    /// Adding work never makes the makespan shorter (cost monotonicity).
+    #[test]
+    fn more_work_never_cheaper(
+        wgs in 1usize..5,
+        cycles in 1u32..10,
+        reads in 0u8..6,
+    ) {
+        let (m1, _) = run_script(wgs, cycles, reads, 1, 0, 5);
+        let (m2, _) = run_script(wgs, cycles + 1, reads, 1, 0, 5);
+        prop_assert!(m2.makespan_cycles >= m1.makespan_cycles);
+        let (m3, _) = run_script(wgs, cycles, reads + 1, 1, 0, 5);
+        prop_assert!(m3.makespan_cycles >= m1.makespan_cycles);
+    }
+
+    /// CAS against a zeroed word with expected 0 always "succeeds"
+    /// (value unchanged means observed == expected), so failure counts
+    /// stay zero regardless of interleaving.
+    #[test]
+    fn cas_failure_accounting_is_sound(
+        wgs in 1usize..6,
+        cycles in 1u32..10,
+        cas in 1u8..4,
+    ) {
+        let (m, _) = run_script(wgs, cycles, 0, 0, cas, 3);
+        prop_assert_eq!(m.cas_failures, 0);
+        prop_assert_eq!(m.cas_attempts, wgs as u64 * u64::from(cycles) * u64::from(cas));
+    }
+
+    /// The makespan always covers the launch overhead plus at least the
+    /// busiest CU's accumulated time.
+    #[test]
+    fn makespan_dominates_components(
+        wgs in 1usize..6,
+        cycles in 1u32..12,
+        reads in 0u8..6,
+        afas in 0u8..3,
+    ) {
+        let mut e = Engine::new(GpuConfig::test_tiny());
+        e.memory_mut().alloc("buf", 512);
+        let buf = e.memory().buffer("buf");
+        let report = e
+            .run(Launch::workgroups(wgs), |info| ScriptKernel {
+                buf,
+                cycles,
+                reads,
+                afas,
+                cas: 0,
+                stride: 7,
+                wave: info.wave_id,
+            })
+            .unwrap();
+        let max_cu = report.per_cu_cycles.iter().copied().max().unwrap();
+        prop_assert!(report.metrics.makespan_cycles >= max_cu);
+        prop_assert!(report.seconds > 0.0 || report.metrics.makespan_cycles == 0);
+    }
+}
+
+/// Memory state after a run reflects exactly the ops performed.
+#[test]
+fn memory_effects_are_exact() {
+    let mut e = Engine::new(GpuConfig::test_tiny());
+    e.memory_mut().alloc("buf", 512);
+    let buf = e.memory().buffer("buf");
+    e.run(Launch::workgroups(3), |info| ScriptKernel {
+        buf,
+        cycles: 5,
+        reads: 2,
+        afas: 2,
+        cas: 0,
+        stride: 3,
+        wave: info.wave_id,
+    })
+    .unwrap();
+    // 3 waves x 5 cycles x 2 AFAs of +1 on word 0.
+    assert_eq!(e.memory().read_u32(buf, 0), 30);
+}

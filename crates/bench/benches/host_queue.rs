@@ -1,180 +1,167 @@
-//! Criterion benchmarks of the host (real-thread) queue implementations.
+//! Benchmarks of the host (real-thread) queue implementations.
 //!
 //! Mirrors the paper's comparison on CPU hardware: the retry-free,
 //! arbitrary-n design against CAS batching, per-token CAS, and a blocking
 //! mutex queue, across thread counts and batch sizes.
+//!
+//! Self-timed (no external harness) so the workspace builds offline:
+//! `cargo bench --bench host_queue` prints one line per case with the
+//! mean wall time per iteration and per-element throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_queue::host::{AnQueue, BaseQueue, MutexQueue, RfAnQueue, SlotTicket};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 const TOKENS_PER_THREAD: usize = 20_000;
 
+/// Times `f` over `iters` iterations (after one warmup) and prints the
+/// mean time per iteration plus throughput for `elements` per iteration.
+fn bench(name: &str, iters: usize, elements: u64, mut f: impl FnMut()) {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per_iter = total / iters as u32;
+    let throughput = elements as f64 / per_iter.as_secs_f64();
+    println!("{name:<28} {per_iter:>12.2?}/iter   {throughput:>14.0} elems/s");
+}
+
 /// Single-threaded batch round-trip: isolates the per-operation atomic
 /// cost without contention.
-fn bench_single_thread(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_thread_batch32");
-    group.throughput(Throughput::Elements(32));
-    group.bench_function("rfan", |b| {
-        b.iter_batched(
-            || RfAnQueue::new(64),
-            |q| {
-                q.enqueue_batch(&[7u32; 32]).unwrap();
-                let r = q.reserve(32);
-                for s in r {
-                    q.try_take(SlotTicket(s)).unwrap();
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_single_thread() {
+    println!("-- single_thread_batch32 --");
+    bench("rfan", 10_000, 32, || {
+        let q = RfAnQueue::new(64);
+        q.enqueue_batch(&[7u32; 32]).unwrap();
+        let r = q.reserve(32);
+        for s in r {
+            q.try_take(SlotTicket(s)).unwrap();
+        }
     });
-    group.bench_function("an", |b| {
-        b.iter_batched(
-            || AnQueue::new(64),
-            |q| {
-                q.push_batch(&[7u32; 32]).unwrap();
-                let mut out = Vec::with_capacity(32);
-                q.pop_batch(&mut out, 32);
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("an", 10_000, 32, || {
+        let q = AnQueue::new(64);
+        q.push_batch(&[7u32; 32]).unwrap();
+        let mut out = Vec::with_capacity(32);
+        q.pop_batch(&mut out, 32);
     });
-    group.bench_function("base", |b| {
-        b.iter_batched(
-            || BaseQueue::new(64),
-            |q| {
-                for i in 0..32 {
-                    q.push(i).unwrap();
-                }
-                for _ in 0..32 {
-                    q.try_pop().unwrap();
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("base", 10_000, 32, || {
+        let q = BaseQueue::new(64);
+        for i in 0..32 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..32 {
+            q.try_pop().unwrap();
+        }
     });
-    group.bench_function("mutex", |b| {
-        b.iter_batched(
-            || MutexQueue::new(64),
-            |q| {
-                q.push_batch(&[7u32; 32]).unwrap();
-                let mut out = Vec::with_capacity(32);
-                q.pop_batch(&mut out, 32);
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("mutex", 10_000, 32, || {
+        let q = MutexQueue::new(64);
+        q.push_batch(&[7u32; 32]).unwrap();
+        let mut out = Vec::with_capacity(32);
+        q.pop_batch(&mut out, 32);
     });
-    group.finish();
 }
 
 /// Multi-threaded producer/consumer pipeline at several thread counts.
-fn bench_contended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("contended_pipeline");
-    group.sample_size(10);
+fn bench_contended() {
+    println!("-- contended_pipeline --");
     for threads in [2usize, 4, 8] {
         let pairs = threads / 2;
-        let total = (pairs * TOKENS_PER_THREAD) as u64;
-        group.throughput(Throughput::Elements(total));
-        group.bench_with_input(BenchmarkId::new("rfan", threads), &pairs, |b, &pairs| {
-            b.iter(|| {
-                let q = RfAnQueue::new(pairs * TOKENS_PER_THREAD);
-                let taken = AtomicU64::new(0);
-                let goal = (pairs * (TOKENS_PER_THREAD / 64) * 64) as u64;
-                crossbeam::scope(|s| {
-                    for _ in 0..pairs {
-                        s.spawn(|_| {
-                            let batch: Vec<u32> = (0..64).collect();
-                            for _ in 0..TOKENS_PER_THREAD / 64 {
-                                q.enqueue_batch(&batch).unwrap();
-                            }
-                        });
-                        s.spawn(|_| {
-                            let mut pending: Vec<u64> = Vec::new();
-                            loop {
-                                if pending.is_empty() {
-                                    if taken.load(Ordering::Relaxed) >= goal {
-                                        break;
-                                    }
-                                    pending.extend(q.reserve(64));
-                                }
-                                pending.retain(|&slot| {
-                                    if q.try_take(SlotTicket(slot)).is_some() {
-                                        taken.fetch_add(1, Ordering::Relaxed);
-                                        false
-                                    } else {
-                                        true
-                                    }
-                                });
+        let total = (pairs * (TOKENS_PER_THREAD / 64) * 64) as u64;
+        bench(&format!("rfan/{threads}t"), 10, total, || {
+            let q = RfAnQueue::new(pairs * TOKENS_PER_THREAD);
+            let taken = AtomicU64::new(0);
+            let goal = total;
+            std::thread::scope(|s| {
+                for _ in 0..pairs {
+                    s.spawn(|| {
+                        let batch: Vec<u32> = (0..64).collect();
+                        for _ in 0..TOKENS_PER_THREAD / 64 {
+                            q.enqueue_batch(&batch).unwrap();
+                        }
+                    });
+                    s.spawn(|| {
+                        let mut pending: Vec<u64> = Vec::new();
+                        loop {
+                            if pending.is_empty() {
                                 if taken.load(Ordering::Relaxed) >= goal {
                                     break;
                                 }
-                                std::hint::spin_loop();
+                                pending.extend(q.reserve(64));
                             }
-                        });
-                    }
-                })
-                .unwrap();
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("an", threads), &pairs, |b, &pairs| {
-            b.iter(|| {
-                let q = AnQueue::new(pairs * TOKENS_PER_THREAD);
-                let taken = AtomicU64::new(0);
-                // producers push in 64-token chunks: goal must match the
-                // actually-published multiple of 64
-                let goal = (pairs * (TOKENS_PER_THREAD / 64) * 64) as u64;
-                crossbeam::scope(|s| {
-                    for _ in 0..pairs {
-                        s.spawn(|_| {
-                            let batch: Vec<u32> = (0..64).collect();
-                            for _ in 0..TOKENS_PER_THREAD / 64 {
-                                q.push_batch(&batch).unwrap();
-                            }
-                        });
-                        s.spawn(|_| {
-                            let mut out = Vec::new();
-                            while taken.load(Ordering::Relaxed) < goal {
-                                out.clear();
-                                let n = q.pop_batch(&mut out, 64);
-                                if n > 0 {
-                                    taken.fetch_add(n as u64, Ordering::Relaxed);
-                                }
-                                std::hint::spin_loop();
-                            }
-                        });
-                    }
-                })
-                .unwrap();
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("base", threads), &pairs, |b, &pairs| {
-            b.iter(|| {
-                let q = BaseQueue::new(pairs * TOKENS_PER_THREAD);
-                let taken = AtomicU64::new(0);
-                let goal = (pairs * TOKENS_PER_THREAD) as u64;
-                crossbeam::scope(|s| {
-                    for _ in 0..pairs {
-                        s.spawn(|_| {
-                            for i in 0..TOKENS_PER_THREAD as u32 {
-                                q.push(i).unwrap();
-                            }
-                        });
-                        s.spawn(|_| {
-                            while taken.load(Ordering::Relaxed) < goal {
-                                if q.try_pop().is_some() {
+                            pending.retain(|&slot| {
+                                if q.try_take(SlotTicket(slot)).is_some() {
                                     taken.fetch_add(1, Ordering::Relaxed);
+                                    false
+                                } else {
+                                    true
                                 }
-                                std::hint::spin_loop();
+                            });
+                            if taken.load(Ordering::Relaxed) >= goal {
+                                break;
                             }
-                        });
-                    }
-                })
-                .unwrap();
-            })
+                            std::hint::spin_loop();
+                        }
+                    });
+                }
+            });
+        });
+        bench(&format!("an/{threads}t"), 10, total, || {
+            let q = AnQueue::new(pairs * TOKENS_PER_THREAD);
+            let taken = AtomicU64::new(0);
+            // producers push in 64-token chunks: goal must match the
+            // actually-published multiple of 64
+            let goal = total;
+            std::thread::scope(|s| {
+                for _ in 0..pairs {
+                    s.spawn(|| {
+                        let batch: Vec<u32> = (0..64).collect();
+                        for _ in 0..TOKENS_PER_THREAD / 64 {
+                            q.push_batch(&batch).unwrap();
+                        }
+                    });
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        while taken.load(Ordering::Relaxed) < goal {
+                            out.clear();
+                            let n = q.pop_batch(&mut out, 64);
+                            if n > 0 {
+                                taken.fetch_add(n as u64, Ordering::Relaxed);
+                            }
+                            std::hint::spin_loop();
+                        }
+                    });
+                }
+            });
+        });
+        let base_total = (pairs * TOKENS_PER_THREAD) as u64;
+        bench(&format!("base/{threads}t"), 10, base_total, || {
+            let q = BaseQueue::new(pairs * TOKENS_PER_THREAD);
+            let taken = AtomicU64::new(0);
+            let goal = base_total;
+            std::thread::scope(|s| {
+                for _ in 0..pairs {
+                    s.spawn(|| {
+                        for i in 0..TOKENS_PER_THREAD as u32 {
+                            q.push(i).unwrap();
+                        }
+                    });
+                    s.spawn(|| {
+                        while taken.load(Ordering::Relaxed) < goal {
+                            if q.try_pop().is_some() {
+                                taken.fetch_add(1, Ordering::Relaxed);
+                            }
+                            std::hint::spin_loop();
+                        }
+                    });
+                }
+            });
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_single_thread, bench_contended);
-criterion_main!(benches);
+fn main() {
+    bench_single_thread();
+    bench_contended();
+}

@@ -1,86 +1,85 @@
-//! Criterion benchmarks of the simulated persistent-thread BFS.
+//! Benchmarks of the simulated persistent-thread BFS.
 //!
 //! These measure *host* wall time of the simulator (a regression guard
 //! for the simulator's own performance) while reporting the simulated
 //! seconds of each variant as auxiliary output — one bench per headline
 //! experiment regime.
+//!
+//! Self-timed (no external harness) so the workspace builds offline:
+//! `cargo bench --bench sim_bfs`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_queue::Variant;
 use pt_bfs::baseline::run_rodinia;
 use pt_bfs::host::{host_bfs, HostVariant};
 use pt_bfs::{run_bfs, BfsConfig};
 use ptq_graph::Dataset;
 use simt::GpuConfig;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations (after one warmup) and prints the
+/// mean host wall time per iteration.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed() / iters as u32;
+    println!("{name:<40} {per_iter:>12.2?}/iter");
+}
 
 /// Simulated Table-3 cells: all three variants on the saturating
 /// synthetic dataset (miniature scale).
-fn bench_sim_variants(c: &mut Criterion) {
+fn bench_sim_variants() {
+    println!("-- sim_synthetic_spectre --");
     let graph = Dataset::Synthetic.build(0.002);
     let gpu = GpuConfig::spectre();
-    let mut group = c.benchmark_group("sim_synthetic_spectre");
-    group.sample_size(10);
     for variant in Variant::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant.label().replace('/', "_")),
-            &variant,
-            |b, &v| b.iter(|| run_bfs(&gpu, &graph, 0, &BfsConfig::new(v, 32)).expect("sim ok")),
-        );
+        bench(&variant.label().replace('/', "_"), 10, || {
+            run_bfs(&gpu, &graph, 0, &BfsConfig::new(variant, 32)).expect("sim ok");
+        });
     }
-    group.finish();
 }
 
 /// The deep-roadmap regime (queue-empty handling dominates).
-fn bench_sim_roadmap(c: &mut Criterion) {
+fn bench_sim_roadmap() {
+    println!("-- sim_roadmap_spectre --");
     let graph = Dataset::RoadNY.build(0.01);
     let gpu = GpuConfig::spectre();
-    let mut group = c.benchmark_group("sim_roadmap_spectre");
-    group.sample_size(10);
     for variant in Variant::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant.label().replace('/', "_")),
-            &variant,
-            |b, &v| b.iter(|| run_bfs(&gpu, &graph, 0, &BfsConfig::new(v, 32)).expect("sim ok")),
-        );
+        bench(&variant.label().replace('/', "_"), 10, || {
+            run_bfs(&gpu, &graph, 0, &BfsConfig::new(variant, 32)).expect("sim ok");
+        });
     }
-    group.finish();
 }
 
 /// The Rodinia level-synchronous baseline on its smallest dataset.
-fn bench_sim_rodinia(c: &mut Criterion) {
+fn bench_sim_rodinia() {
+    println!("-- sim_rodinia_baseline --");
     let graph = Dataset::RodiniaGraph4096.build(1.0);
     let gpu = GpuConfig::spectre();
-    let mut group = c.benchmark_group("sim_rodinia_baseline");
-    group.sample_size(10);
-    group.bench_function("rodinia_graph4096", |b| {
-        b.iter(|| run_rodinia(&gpu, &graph, 0, 32).expect("sim ok"))
+    bench("rodinia_graph4096", 10, || {
+        run_rodinia(&gpu, &graph, 0, 32).expect("sim ok");
     });
-    group.bench_function("rfan_graph4096", |b| {
-        b.iter(|| run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, 32)).expect("sim ok"))
+    bench("rfan_graph4096", 10, || {
+        run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, 32)).expect("sim ok");
     });
-    group.finish();
 }
 
 /// Real-thread host BFS (actual parallel wall time on this machine).
-fn bench_host_bfs(c: &mut Criterion) {
+fn bench_host_bfs() {
+    println!("-- host_bfs_tree100k --");
     let graph = ptq_graph::gen::synthetic_tree(100_000, 4);
-    let mut group = c.benchmark_group("host_bfs_tree100k");
-    group.sample_size(10);
     for variant in HostVariant::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(variant.label().replace('/', "_")),
-            &variant,
-            |b, &v| b.iter(|| host_bfs(&graph, 0, 4, v)),
-        );
+        bench(&variant.label().replace('/', "_"), 10, || {
+            host_bfs(&graph, 0, 4, variant);
+        });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sim_variants,
-    bench_sim_roadmap,
-    bench_sim_rodinia,
-    bench_host_bfs
-);
-criterion_main!(benches);
+fn main() {
+    bench_sim_variants();
+    bench_sim_roadmap();
+    bench_sim_rodinia();
+    bench_host_bfs();
+}

@@ -1,40 +1,51 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--scale F | --full] [--out DIR]
+//! repro <experiment> [--scale F | --full] [--jobs N] [--out DIR]
 //!
 //! experiments:
 //!   table1 table2 table3 table4 table5 table6
 //!   fig1 fig3 fig4 fig5
-//!   scaling ablate-matrix ablate-chunk ablate-occupancy
-//!   all          everything above
+//!   scaling ablate-matrix ablate-stealing ablate-chunk ablate-occupancy
+//!   verify       machine-checked reproduction verdicts
+//!   all          everything above (except verify)
 //!
 //! options:
 //!   --scale F    dataset scale in (0,1]   (default 0.05)
 //!   --full       shorthand for --scale 1.0 (the paper's sizes; slow)
+//!   --jobs N     worker threads (default 1; 0 = one per CPU)
 //!   --out DIR    where to write .md/.csv   (default results/)
 //! ```
 //!
 //! Every table is printed to stdout and written as markdown + CSV.
+//! Tables are byte-identical at any `--jobs` count. Each run also writes
+//! `BENCH_repro.json` (wall-clock per experiment, simulated-round
+//! throughput) next to the tables so performance has a trajectory.
 
 use repro_bench::experiments::{
     ablate, common, fig1, fig3, fig4, fig5, scaling, table12, table34, table5, table6, verify,
 };
-use repro_bench::{Scale, Table};
+use repro_bench::{Scale, Sched, Table};
 use simt::GpuConfig;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Options {
     scale: Scale,
     out: PathBuf,
+    sched: Sched,
 }
+
+/// Per-experiment wall-clock seconds, in execution order.
+type Timings = Vec<(String, f64)>;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut experiment: Option<String> = None;
     let mut scale = Scale::DEFAULT;
     let mut out = PathBuf::from("results");
+    let mut sched = Sched::serial();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
@@ -42,6 +53,11 @@ fn main() -> ExitCode {
                 _ => return usage("--scale needs a number in (0, 1]"),
             },
             "--full" => scale = Scale::FULL,
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(0) => sched = Sched::auto(),
+                Some(n) => sched = Sched::new(n),
+                None => return usage("--jobs needs a non-negative integer"),
+            },
             "--out" => match args.next() {
                 Some(dir) => out = PathBuf::from(dir),
                 None => return usage("--out needs a directory"),
@@ -56,17 +72,25 @@ fn main() -> ExitCode {
     let Some(experiment) = experiment else {
         return usage("missing experiment name");
     };
-    let opts = Options { scale, out };
+    let opts = Options { scale, out, sched };
     eprintln!(
-        "# scale = {} (vertex counts at {:.1}% of the paper's)",
+        "# scale = {} (vertex counts at {:.1}% of the paper's), jobs = {}",
         opts.scale.fraction(),
-        opts.scale.fraction() * 100.0
+        opts.scale.fraction() * 100.0,
+        opts.sched.jobs(),
     );
 
-    let known = run_experiment(&experiment, &opts);
+    let start = Instant::now();
+    let mut timings = Timings::new();
+    let known = run_experiment(&experiment, &opts, &mut timings);
     if !known {
         return usage(&format!("unknown experiment {experiment:?}"));
     }
+    let total = start.elapsed().as_secs_f64();
+    if timings.is_empty() {
+        timings.push((experiment.clone(), total));
+    }
+    write_bench(&opts, &experiment, total, &timings);
     ExitCode::SUCCESS
 }
 
@@ -75,16 +99,46 @@ fn usage(error: &str) -> ExitCode {
         eprintln!("error: {error}\n");
     }
     eprintln!(
-        "usage: repro <experiment> [--scale F | --full] [--out DIR]\n\
+        "usage: repro <experiment> [--scale F | --full] [--jobs N] [--out DIR]\n\
          experiments: table1 table2 table3 table4 table5 table6 \
          fig1 fig3 fig4 fig5 scaling ablate-matrix ablate-stealing ablate-chunk \
-         ablate-occupancy all"
+         ablate-occupancy verify all"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Writes `BENCH_repro.json` into the output directory: total and
+/// per-experiment wall-clock plus simulated-round throughput. Timings
+/// naturally vary run to run — every *table* stays byte-identical.
+fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
+    let rounds = common::rounds_simulated();
+    let per_experiment: Vec<String> = timings
+        .iter()
+        .map(|(name, secs)| format!("    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"command\": \"{command}\",\n  \"scale\": {},\n  \"jobs\": {},\n  \
+         \"total_seconds\": {total:.3},\n  \"rounds_simulated\": {rounds},\n  \
+         \"rounds_per_second\": {:.0},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+        opts.scale.fraction(),
+        opts.sched.jobs(),
+        rounds as f64 / total.max(1e-9),
+        per_experiment.join(",\n"),
+    );
+    if let Err(e) = std::fs::create_dir_all(&opts.out)
+        .and_then(|()| std::fs::write(opts.out.join("BENCH_repro.json"), &json))
+    {
+        eprintln!("warning: could not write BENCH_repro.json: {e}");
+        return;
+    }
+    eprintln!(
+        "# {total:.1}s wall, {rounds} rounds simulated -> {}",
+        opts.out.join("BENCH_repro.json").display()
+    );
 }
 
 fn emit(table: &Table, opts: &Options, stem: &str) {
@@ -94,31 +148,40 @@ fn emit(table: &Table, opts: &Options, stem: &str) {
     }
 }
 
-fn run_experiment(name: &str, opts: &Options) -> bool {
+fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
+    let sched = &opts.sched;
     match name {
-        "table1" => emit(&table12::table1(opts.scale), opts, "table1"),
-        "table2" => emit(&table12::table2(opts.scale), opts, "table2"),
+        "table1" => emit(&table12::table1(opts.scale, sched), opts, "table1"),
+        "table2" => emit(&table12::table2(opts.scale, sched), opts, "table2"),
         "table3" | "table4" => {
-            let times = table34::measure(opts.scale);
+            let times = table34::measure(opts.scale, sched);
             emit(&table34::table3(&times), opts, "table3");
             emit(&table34::table4(&times), opts, "table4");
         }
         "table5" => {
-            let rows = table5::measure(opts.scale);
+            let rows = table5::measure(opts.scale, sched);
             emit(&table5::table(&rows), opts, "table5");
         }
         "table6" => {
-            let rows = table6::measure(opts.scale);
+            let rows = table6::measure(opts.scale, sched);
             emit(&table6::table(&rows), opts, "table6");
         }
         "fig3" => {
-            emit(&fig3::profile_table(opts.scale), opts, "fig3_profiles");
-            emit(&fig3::saturation_table(opts.scale), opts, "fig3_saturation");
+            emit(
+                &fig3::profile_table(opts.scale, sched),
+                opts,
+                "fig3_profiles",
+            );
+            emit(
+                &fig3::saturation_table(opts.scale, sched),
+                opts,
+                "fig3_saturation",
+            );
         }
         "fig1" | "fig5" => run_retry_figures(opts),
         "fig4" => run_fig4(opts),
         "verify" => {
-            let verdicts = verify::run_checks(opts.scale);
+            let verdicts = verify::run_checks(opts.scale, sched);
             emit(&verify::table(&verdicts), opts, "verify");
             if verdicts.iter().any(|v| !v.pass) {
                 eprintln!("verification FAILED");
@@ -128,45 +191,45 @@ fn run_experiment(name: &str, opts: &Options) -> bool {
         }
         "scaling" => {
             emit(
-                &scaling::table(opts.scale, &GpuConfig::fiji()),
+                &scaling::table(opts.scale, &GpuConfig::fiji(), sched),
                 opts,
                 "scaling_fiji",
             );
             emit(
-                &scaling::table(opts.scale, &GpuConfig::spectre()),
+                &scaling::table(opts.scale, &GpuConfig::spectre(), sched),
                 opts,
                 "scaling_spectre",
             );
         }
         "ablate-matrix" => {
             emit(
-                &ablate::matrix_table(opts.scale, &GpuConfig::fiji()),
+                &ablate::matrix_table(opts.scale, &GpuConfig::fiji(), sched),
                 opts,
                 "ablate_matrix_fiji",
             );
         }
         "ablate-stealing" => {
             emit(
-                &ablate::stealing_table(opts.scale, &GpuConfig::fiji()),
+                &ablate::stealing_table(opts.scale, &GpuConfig::fiji(), sched),
                 opts,
                 "ablate_stealing_fiji",
             );
         }
         "ablate-chunk" => {
             emit(
-                &ablate::chunk_table(opts.scale, &GpuConfig::fiji()),
+                &ablate::chunk_table(opts.scale, &GpuConfig::fiji(), sched),
                 opts,
                 "ablate_chunk_fiji",
             );
             emit(
-                &ablate::chunk_table(opts.scale, &GpuConfig::spectre()),
+                &ablate::chunk_table(opts.scale, &GpuConfig::spectre(), sched),
                 opts,
                 "ablate_chunk_spectre",
             );
         }
         "ablate-occupancy" => {
             emit(
-                &ablate::occupancy_table(opts.scale, &GpuConfig::fiji()),
+                &ablate::occupancy_table(opts.scale, &GpuConfig::fiji(), sched),
                 opts,
                 "ablate_occupancy_fiji",
             );
@@ -188,7 +251,9 @@ fn run_experiment(name: &str, opts: &Options) -> bool {
                 "ablate-occupancy",
             ] {
                 eprintln!("== {exp} ==");
-                run_experiment(exp, opts);
+                let start = Instant::now();
+                run_experiment(exp, opts, timings);
+                timings.push((exp.to_owned(), start.elapsed().as_secs_f64()));
             }
         }
         _ => return false,
@@ -204,8 +269,9 @@ fn run_retry_figures(opts: &Options) {
             .into_iter()
             .map(|dataset| {
                 eprintln!("  sweeping {} on {} ...", dataset.spec().name, gpu.name);
-                let graph = dataset.build(opts.scale.fraction());
-                let points = common::sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep());
+                let graph = common::DatasetCache::global().get(dataset, opts.scale);
+                let points =
+                    common::sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep(), &opts.sched);
                 (dataset, points)
             })
             .collect();
@@ -237,7 +303,7 @@ fn run_fig4(opts: &Options) {
     for (gpu, _) in common::platforms() {
         for dataset in ptq_graph::Dataset::MAIN_SIX {
             eprintln!("  fig4 panel: {} / {} ...", gpu.name, dataset.spec().name);
-            let points = fig4::sweep_panel(&gpu, dataset, opts.scale);
+            let points = fig4::sweep_panel(&gpu, dataset, opts.scale, &opts.sched);
             let table = fig4::panel_table(&gpu, dataset, &points);
             let stem = format!(
                 "fig4_{}_{}",

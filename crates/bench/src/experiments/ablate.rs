@@ -9,8 +9,9 @@
 //!   facilitate zero-cost thread switching". The sweep varies resident
 //!   workgroups per CU and exposes the latency-hiding effect.
 
+use super::common::DatasetCache;
 use crate::report::{fmt_f64, Table};
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use pt_bfs::{run_bfs, BfsConfig};
 use ptq_graph::Dataset;
@@ -19,8 +20,8 @@ use simt::GpuConfig;
 /// The full 2×2 property matrix (adds the RF-only variant the paper does
 /// not evaluate): retry-free × arbitrary-n, on the saturating synthetic
 /// dataset where both properties matter most.
-pub fn matrix_table(scale: Scale, gpu: &GpuConfig) -> Table {
-    let graph = Dataset::Synthetic.build(scale.fraction());
+pub fn matrix_table(scale: Scale, gpu: &GpuConfig, sched: &Sched) -> Table {
+    let graph = DatasetCache::global().get(Dataset::Synthetic, scale);
     let wgs = gpu.num_cus * gpu.wgs_per_cu;
     let mut t = Table::new(
         format!(
@@ -36,10 +37,10 @@ pub fn matrix_table(scale: Scale, gpu: &GpuConfig) -> Table {
             "Retries",
         ],
     );
-    for variant in Variant::MATRIX {
+    let rows = sched.par_map(&Variant::MATRIX, |_, &variant| {
         let run = run_bfs(gpu, &graph, 0, &BfsConfig::new(variant, wgs))
             .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
-        t.row(vec![
+        vec![
             variant.label().to_owned(),
             if variant.is_retry_free() { "yes" } else { "no" }.to_owned(),
             if variant.is_arbitrary_n() {
@@ -51,7 +52,10 @@ pub fn matrix_table(scale: Scale, gpu: &GpuConfig) -> Table {
             fmt_f64(run.seconds),
             run.metrics.global_atomics.to_string(),
             run.metrics.total_retries().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -59,7 +63,7 @@ pub fn matrix_table(scale: Scale, gpu: &GpuConfig) -> Table {
 /// Single shared queue vs. one-queue-per-CU with work stealing (the
 /// Tzeng-style alternative the paper's related work surveys), across the
 /// three workload regimes.
-pub fn stealing_table(scale: Scale, gpu: &GpuConfig) -> Table {
+pub fn stealing_table(scale: Scale, gpu: &GpuConfig, sched: &Sched) -> Table {
     use pt_bfs::run_bfs_stealing;
     use ptq_graph::validate_levels;
 
@@ -76,24 +80,28 @@ pub fn stealing_table(scale: Scale, gpu: &GpuConfig) -> Table {
             "Stealing empty-scans",
         ],
     );
-    for dataset in [
+    let datasets = [
         Dataset::Synthetic,
         Dataset::SocLiveJournal1,
         Dataset::RoadNY,
-    ] {
-        let graph = dataset.build(scale.fraction());
+    ];
+    let rows = sched.par_map(&datasets, |_, &dataset| {
+        let graph = DatasetCache::global().get(dataset, scale);
         let shared = run_bfs(gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
             .unwrap_or_else(|e| panic!("shared on {dataset:?}: {e}"));
         let stealing = run_bfs_stealing(gpu, &graph, 0, wgs)
             .unwrap_or_else(|e| panic!("stealing on {dataset:?}: {e}"));
         validate_levels(&graph, 0, &stealing.costs)
             .unwrap_or_else(|_| panic!("stealing wrong levels on {dataset:?}"));
-        t.row(vec![
+        vec![
             dataset.spec().name.to_owned(),
             fmt_f64(shared.seconds),
             fmt_f64(stealing.seconds),
             stealing.metrics.queue_empty_retries.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -102,8 +110,8 @@ pub fn stealing_table(scale: Scale, gpu: &GpuConfig) -> Table {
 pub const CHUNKS: [u32; 5] = [1, 2, 4, 8, 16];
 
 /// Sweeps the work-cycle chunk size on the saturating synthetic dataset.
-pub fn chunk_table(scale: Scale, gpu: &GpuConfig) -> Table {
-    let graph = Dataset::Synthetic.build(scale.fraction());
+pub fn chunk_table(scale: Scale, gpu: &GpuConfig, sched: &Sched) -> Table {
+    let graph = DatasetCache::global().get(Dataset::Synthetic, scale);
     let wgs = gpu.num_cus * gpu.wgs_per_cu;
     let mut t = Table::new(
         format!(
@@ -112,24 +120,29 @@ pub fn chunk_table(scale: Scale, gpu: &GpuConfig) -> Table {
         ),
         &["Chunk", "BASE time (s)", "AN time (s)", "RF/AN time (s)"],
     );
-    for chunk in CHUNKS {
-        let mut row = vec![chunk.to_string()];
-        for variant in Variant::ALL {
-            let mut config = BfsConfig::new(variant, wgs);
-            config.chunk = chunk;
-            let run = run_bfs(gpu, &graph, 0, &config)
-                .unwrap_or_else(|e| panic!("chunk {chunk} {variant:?}: {e}"));
-            row.push(fmt_f64(run.seconds));
-        }
-        t.row(row);
+    let grid: Vec<(u32, Variant)> = CHUNKS
+        .into_iter()
+        .flat_map(|chunk| Variant::ALL.into_iter().map(move |v| (chunk, v)))
+        .collect();
+    let cells = sched.par_map(&grid, |_, &(chunk, variant)| {
+        let mut config = BfsConfig::new(variant, wgs);
+        config.chunk = chunk;
+        let run = run_bfs(gpu, &graph, 0, &config)
+            .unwrap_or_else(|e| panic!("chunk {chunk} {variant:?}: {e}"));
+        fmt_f64(run.seconds)
+    });
+    for (chunk, row) in CHUNKS.into_iter().zip(cells.chunks(Variant::ALL.len())) {
+        let mut cols = vec![chunk.to_string()];
+        cols.extend_from_slice(row);
+        t.row(cols);
     }
     t
 }
 
 /// Sweeps resident workgroups per CU (occupancy) at a fixed total number
 /// of CUs, isolating the latency-hiding effect of extra wavefronts.
-pub fn occupancy_table(scale: Scale, base_gpu: &GpuConfig) -> Table {
-    let graph = Dataset::Synthetic.build(scale.fraction());
+pub fn occupancy_table(scale: Scale, base_gpu: &GpuConfig, sched: &Sched) -> Table {
+    let graph = DatasetCache::global().get(Dataset::Synthetic, scale);
     let mut t = Table::new(
         format!(
             "Ablation ({}): workgroups per CU (paper launches 4)",
@@ -137,17 +150,20 @@ pub fn occupancy_table(scale: Scale, base_gpu: &GpuConfig) -> Table {
         ),
         &["WGs/CU", "Threads", "RF/AN time (s)"],
     );
-    for wgs_per_cu in [1usize, 2, 4, 8] {
+    let rows = sched.par_map(&[1usize, 2, 4, 8], |_, &wgs_per_cu| {
         let mut gpu = base_gpu.clone();
         gpu.wgs_per_cu = wgs_per_cu;
         let wgs = gpu.num_cus * wgs_per_cu;
         let run = run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
             .unwrap_or_else(|e| panic!("occupancy {wgs_per_cu}: {e}"));
-        t.row(vec![
+        vec![
             wgs_per_cu.to_string(),
             (wgs * gpu.wave_size).to_string(),
             fmt_f64(run.seconds),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -159,21 +175,21 @@ mod tests {
     #[test]
     fn matrix_shows_both_properties_matter() {
         let gpu = GpuConfig::spectre();
-        let t = matrix_table(Scale::new(0.01), &gpu);
+        let t = matrix_table(Scale::new(0.01), &gpu, &Sched::new(4));
         assert_eq!(t.num_rows(), 4);
     }
 
     #[test]
     fn stealing_table_runs_and_validates() {
         let gpu = GpuConfig::spectre();
-        let t = stealing_table(Scale::TEST, &gpu);
+        let t = stealing_table(Scale::TEST, &gpu, &Sched::new(3));
         assert_eq!(t.num_rows(), 3);
     }
 
     #[test]
     fn chunk_sweep_runs_and_default_is_competitive() {
         let gpu = GpuConfig::spectre();
-        let t = chunk_table(Scale::TEST, &gpu);
+        let t = chunk_table(Scale::TEST, &gpu, &Sched::new(4));
         assert_eq!(t.num_rows(), CHUNKS.len());
     }
 

@@ -1,11 +1,22 @@
 //! Shared plumbing for the experiments.
 
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use pt_bfs::{run_bfs, BfsConfig, BfsRun};
 use ptq_graph::{validate_levels, Csr, Dataset};
 use simt::GpuConfig;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Total simulated rounds across every validated BFS run of the process,
+/// the throughput denominator for `BENCH_repro.json`.
+static ROUNDS_SIMULATED: AtomicU64 = AtomicU64::new(0);
+
+/// Rounds simulated so far (all [`bfs_run`] calls in this process).
+pub fn rounds_simulated() -> u64 {
+    ROUNDS_SIMULATED.load(Ordering::Relaxed)
+}
 
 /// The two hardware platforms of the paper with their headline workgroup
 /// counts (Table 3's `nWG` column).
@@ -15,9 +26,17 @@ pub fn platforms() -> [(GpuConfig, usize); 2] {
 
 /// Caches built datasets per (dataset, scale) so multi-experiment runs do
 /// not regenerate multi-million-vertex graphs repeatedly.
+///
+/// Thread-safe: concurrent `get`s for the *same* key build the graph
+/// exactly once (the first caller builds, the rest block on its
+/// `OnceLock` cell), while different keys build in parallel — the map
+/// lock is only held to fetch or insert a cell, never during a build.
+/// One once-built graph cell, shared between the map and in-flight getters.
+type GraphCell = Arc<OnceLock<Arc<Csr>>>;
+
 #[derive(Default)]
 pub struct DatasetCache {
-    graphs: HashMap<(Dataset, u64), Csr>,
+    graphs: Mutex<HashMap<(Dataset, u64), GraphCell>>,
 }
 
 impl DatasetCache {
@@ -26,12 +45,22 @@ impl DatasetCache {
         Self::default()
     }
 
+    /// The process-wide cache shared by every experiment, so a `repro all`
+    /// run builds each (dataset, scale) graph exactly once no matter how
+    /// many experiments or worker threads touch it.
+    pub fn global() -> &'static DatasetCache {
+        static GLOBAL: OnceLock<DatasetCache> = OnceLock::new();
+        GLOBAL.get_or_init(DatasetCache::new)
+    }
+
     /// Builds (or returns the cached) graph for `dataset` at `scale`.
-    pub fn get(&mut self, dataset: Dataset, scale: Scale) -> &Csr {
+    pub fn get(&self, dataset: Dataset, scale: Scale) -> Arc<Csr> {
         let key = (dataset, scale.fraction().to_bits());
-        self.graphs
-            .entry(key)
-            .or_insert_with(|| dataset.build(scale.fraction()))
+        let cell = {
+            let mut graphs = self.graphs.lock().unwrap();
+            Arc::clone(graphs.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(dataset.build(scale.fraction()))))
     }
 }
 
@@ -51,6 +80,7 @@ pub fn bfs_run(gpu: &GpuConfig, graph: &Csr, variant: Variant, workgroups: usize
             gpu.name
         )
     });
+    ROUNDS_SIMULATED.fetch_add(run.metrics.rounds, Ordering::Relaxed);
     run
 }
 
@@ -69,21 +99,27 @@ pub struct SweepPoint {
 
 /// Runs all three variants at every workgroup count of the GPU's sweep
 /// (1, 2, 4, … max) over one graph — the shared measurement behind
-/// Figures 1, 4, and 5.
-pub fn sweep_dataset(gpu: &GpuConfig, graph: &Csr, wgs_list: &[usize]) -> Vec<SweepPoint> {
-    let mut points = Vec::with_capacity(wgs_list.len() * Variant::ALL.len());
-    for &wgs in wgs_list {
-        for variant in Variant::ALL {
-            let run = bfs_run(gpu, graph, variant, wgs);
-            points.push(SweepPoint {
-                wgs,
-                variant,
-                seconds: run.seconds,
-                metrics: run.metrics,
-            });
+/// Figures 1, 4, and 5. Points are simulated in parallel under `sched`;
+/// the returned order (and every value) is identical at any job count.
+pub fn sweep_dataset(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    wgs_list: &[usize],
+    sched: &Sched,
+) -> Vec<SweepPoint> {
+    let grid: Vec<(usize, Variant)> = wgs_list
+        .iter()
+        .flat_map(|&wgs| Variant::ALL.into_iter().map(move |v| (wgs, v)))
+        .collect();
+    sched.par_map(&grid, |_, &(wgs, variant)| {
+        let run = bfs_run(gpu, graph, variant, wgs);
+        SweepPoint {
+            wgs,
+            variant,
+            seconds: run.seconds,
+            metrics: run.metrics,
         }
-    }
-    points
+    })
 }
 
 /// Finds a sweep point.
@@ -109,9 +145,18 @@ mod tests {
 
     #[test]
     fn cache_returns_same_graph() {
-        let mut cache = DatasetCache::new();
-        let a = cache.get(Dataset::RoadNY, Scale::TEST).num_vertices();
-        let b = cache.get(Dataset::RoadNY, Scale::TEST).num_vertices();
-        assert_eq!(a, b);
+        let cache = DatasetCache::new();
+        let a = cache.get(Dataset::RoadNY, Scale::TEST);
+        let b = cache.get(Dataset::RoadNY, Scale::TEST);
+        assert!(Arc::ptr_eq(&a, &b), "second get must hit the cache");
+    }
+
+    #[test]
+    fn concurrent_gets_build_once_and_agree() {
+        let cache = DatasetCache::new();
+        let graphs: Vec<Arc<Csr>> = Sched::new(8).par_map(&[(); 16], |_, ()| {
+            cache.get(Dataset::Synthetic, Scale::TEST)
+        });
+        assert!(graphs.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
     }
 }

@@ -67,13 +67,13 @@ pub fn panel_chart(gpu: &GpuConfig, sweeps: &[(Dataset, Vec<SweepPoint>)]) -> Ch
 mod tests {
     use super::super::common::sweep_dataset;
     use super::*;
-    use crate::Scale;
+    use crate::{Scale, Sched};
 
     #[test]
     fn retries_grow_with_workgroups_on_saturating_data() {
         let gpu = GpuConfig::spectre();
         let graph = Dataset::Synthetic.build(Scale::new(0.01).fraction());
-        let points = sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep());
+        let points = sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep(), &Sched::new(4));
         let sweeps = vec![(Dataset::Synthetic, points)];
         let t = panel_table(&gpu, &sweeps);
         assert_eq!(t.num_rows(), gpu.workgroup_sweep().len());

@@ -3,21 +3,22 @@
 
 use super::common::DatasetCache;
 use crate::report::Table;
-use crate::Scale;
+use crate::{Scale, Sched};
 use ptq_graph::{level_profile, Dataset};
 use simt::GpuConfig;
 
 /// Per-level vertex counts for all six datasets (long-format table:
 /// one row per (dataset, level)).
-pub fn profile_table(scale: Scale) -> Table {
-    let mut cache = DatasetCache::new();
+pub fn profile_table(scale: Scale, sched: &Sched) -> Table {
     let mut t = Table::new(
         "Figure 3: vertices available for thread assignment at each BFS level",
         &["Dataset", "Level", "Vertices"],
     );
-    for dataset in Dataset::MAIN_SIX {
-        let graph = cache.get(dataset, scale);
-        let profile = level_profile(graph, dataset.source());
+    let profiles = sched.par_map(&Dataset::MAIN_SIX, |_, &dataset| {
+        let graph = DatasetCache::global().get(dataset, scale);
+        level_profile(&graph, dataset.source())
+    });
+    for (dataset, profile) in Dataset::MAIN_SIX.into_iter().zip(&profiles) {
         for (level, &count) in profile.counts.iter().enumerate() {
             t.row(vec![
                 dataset.spec().name.to_owned(),
@@ -33,8 +34,7 @@ pub fn profile_table(scale: Scale) -> Table {
 /// GPUs' persistent threads busy — the quantity the paper uses to explain
 /// every speedup difference ("idle threads do not contribute to
 /// acceleration").
-pub fn saturation_table(scale: Scale) -> Table {
-    let mut cache = DatasetCache::new();
+pub fn saturation_table(scale: Scale, sched: &Sched) -> Table {
     // At reduced scale the thread counts must shrink with the data to
     // preserve the saturation shape.
     let fiji = ((GpuConfig::fiji().max_threads() as f64 * scale.fraction()) as u64).max(64);
@@ -49,16 +49,19 @@ pub fn saturation_table(scale: Scale) -> Table {
             "Work sat. (Spectre-equiv)",
         ],
     );
-    for dataset in Dataset::MAIN_SIX {
-        let graph = cache.get(dataset, scale);
-        let p = level_profile(graph, dataset.source());
-        t.row(vec![
+    let rows = sched.par_map(&Dataset::MAIN_SIX, |_, &dataset| {
+        let graph = DatasetCache::global().get(dataset, scale);
+        let p = level_profile(&graph, dataset.source());
+        vec![
             dataset.spec().name.to_owned(),
             p.num_levels().to_string(),
             p.peak().to_string(),
             format!("{:.2}", p.work_saturation(fiji)),
             format!("{:.2}", p.work_saturation(spectre)),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -69,15 +72,15 @@ mod tests {
 
     #[test]
     fn tables_cover_all_datasets() {
-        assert_eq!(saturation_table(Scale::TEST).num_rows(), 6);
-        assert!(profile_table(Scale::TEST).num_rows() >= 6);
+        assert_eq!(saturation_table(Scale::TEST, &Sched::new(3)).num_rows(), 6);
+        assert!(profile_table(Scale::TEST, &Sched::serial()).num_rows() >= 6);
     }
 
     #[test]
     fn synthetic_saturates_and_roadmaps_do_not() {
-        let mut cache = DatasetCache::new();
-        let synth = ptq_graph::level_profile(cache.get(Dataset::Synthetic, Scale::TEST), 0);
-        let road = ptq_graph::level_profile(cache.get(Dataset::RoadNY, Scale::TEST), 0);
+        let cache = DatasetCache::new();
+        let synth = ptq_graph::level_profile(&cache.get(Dataset::Synthetic, Scale::TEST), 0);
+        let road = ptq_graph::level_profile(&cache.get(Dataset::RoadNY, Scale::TEST), 0);
         let threads = 64;
         assert!(
             synth.work_saturation(threads) > 0.9,

@@ -4,18 +4,23 @@
 //! Speedups are computed "relative to using one workgroup" (paper §6.2),
 //! per variant, with the ideal linear line alongside.
 
-use super::common::{point, sweep_dataset, SweepPoint};
+use super::common::{point, sweep_dataset, DatasetCache, SweepPoint};
 use crate::plot::{Chart, Scale as Axis};
 use crate::report::{fmt_f64, Table};
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use ptq_graph::Dataset;
 use simt::GpuConfig;
 
 /// Runs the sweep for one (GPU, dataset) panel.
-pub fn sweep_panel(gpu: &GpuConfig, dataset: Dataset, scale: Scale) -> Vec<SweepPoint> {
-    let graph = dataset.build(scale.fraction());
-    sweep_dataset(gpu, &graph, &gpu.workgroup_sweep())
+pub fn sweep_panel(
+    gpu: &GpuConfig,
+    dataset: Dataset,
+    scale: Scale,
+    sched: &Sched,
+) -> Vec<SweepPoint> {
+    let graph = DatasetCache::global().get(dataset, scale);
+    sweep_dataset(gpu, &graph, &gpu.workgroup_sweep(), sched)
 }
 
 /// Renders one panel of Figure 4 from its sweep points.
@@ -105,7 +110,7 @@ mod tests {
         // Shrunk device (Spectre) + miniature synthetic: the sweep runs
         // in test time and still shows RF/AN scaling best.
         let gpu = GpuConfig::spectre();
-        let points = sweep_panel(&gpu, Dataset::Synthetic, Scale::new(0.01));
+        let points = sweep_panel(&gpu, Dataset::Synthetic, Scale::new(0.01), &Sched::new(4));
         let t = panel_table(&gpu, Dataset::Synthetic, &points);
         assert_eq!(t.num_rows(), gpu.workgroup_sweep().len());
         let max = *gpu.workgroup_sweep().last().unwrap();
@@ -122,7 +127,7 @@ mod tests {
     #[test]
     fn rfan_scaling_efficiency_is_high_on_synthetic() {
         let gpu = GpuConfig::spectre();
-        let points = sweep_panel(&gpu, Dataset::Synthetic, Scale::new(0.01));
+        let points = sweep_panel(&gpu, Dataset::Synthetic, Scale::new(0.01), &Sched::serial());
         let eff = rfan_scaling_efficiency(&points, *gpu.workgroup_sweep().last().unwrap());
         // The paper claims within 10% of ideal at full scale on the big
         // GPU; at 1% scale on the bandwidth-starved APU preset, ramp-up

@@ -74,13 +74,13 @@ pub fn panel_chart(gpu: &GpuConfig, sweeps: &[(Dataset, Vec<SweepPoint>)]) -> Ch
 mod tests {
     use super::super::common::sweep_dataset;
     use super::*;
-    use crate::Scale;
+    use crate::{Scale, Sched};
 
     #[test]
     fn ratio_grows_with_workgroups_and_is_large_at_max() {
         let gpu = GpuConfig::spectre();
         let graph = Dataset::Synthetic.build(Scale::new(0.01).fraction());
-        let points = sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep());
+        let points = sweep_dataset(&gpu, &graph, &gpu.workgroup_sweep(), &Sched::new(4));
         let max_wgs = *gpu.workgroup_sweep().last().unwrap();
         let at_max = retry_ratio(&points, max_wgs);
         let at_one = retry_ratio(&points, 1);

@@ -2,8 +2,9 @@
 //! simulator's per-round bottleneck attribution (the quantitative story
 //! behind Figure 4's headline claim of near-linear scaling).
 
+use super::common::DatasetCache;
 use crate::report::Table;
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::device::{make_wave_queue, QueueLayout};
 use gpu_queue::Variant;
 use pt_bfs::{BfsBuffers, PersistentBfsKernel};
@@ -54,8 +55,8 @@ fn traced_run(gpu: &GpuConfig, graph: &ptq_graph::Csr, wgs: usize) -> (f64, f64,
 }
 
 /// Renders the scaling table for one GPU.
-pub fn table(scale: Scale, gpu: &GpuConfig) -> Table {
-    let graph = Dataset::Synthetic.build(scale.fraction());
+pub fn table(scale: Scale, gpu: &GpuConfig, sched: &Sched) -> Table {
+    let graph = DatasetCache::global().get(Dataset::Synthetic, scale);
     let mut t = Table::new(
         format!(
             "Scaling ({}): RF/AN speedup and bottleneck attribution on the synthetic dataset",
@@ -72,12 +73,10 @@ pub fn table(scale: Scale, gpu: &GpuConfig) -> Table {
             "Occupancy",
         ],
     );
-    let mut t1 = 0.0;
-    for wgs in gpu.workgroup_sweep() {
-        let (seconds, issue, latency, memory, occ) = traced_run(gpu, &graph, wgs);
-        if wgs == 1 {
-            t1 = seconds;
-        }
+    let sweep = gpu.workgroup_sweep();
+    let runs = sched.par_map(&sweep, |_, &wgs| traced_run(gpu, &graph, wgs));
+    let t1 = runs[0].0;
+    for (&wgs, &(seconds, issue, latency, memory, occ)) in sweep.iter().zip(&runs) {
         t.row(vec![
             wgs.to_string(),
             format!("{seconds:.6}"),
@@ -111,7 +110,7 @@ mod tests {
     #[test]
     fn table_has_one_row_per_sweep_point() {
         let gpu = GpuConfig::spectre();
-        let t = table(Scale::TEST, &gpu);
+        let t = table(Scale::TEST, &gpu, &Sched::new(2));
         assert_eq!(t.num_rows(), gpu.workgroup_sweep().len());
     }
 }

@@ -7,11 +7,10 @@
 
 use super::common::DatasetCache;
 use crate::report::Table;
-use crate::Scale;
+use crate::{Scale, Sched};
 use ptq_graph::Dataset;
 
-fn stats_table(title: &str, datasets: &[Dataset], scale: Scale) -> Table {
-    let mut cache = DatasetCache::new();
+fn stats_table(title: &str, datasets: &[Dataset], scale: Scale, sched: &Sched) -> Table {
     let mut t = Table::new(
         title,
         &[
@@ -28,11 +27,12 @@ fn stats_table(title: &str, datasets: &[Dataset], scale: Scale) -> Table {
             "Std (ours)",
         ],
     );
-    for &dataset in datasets {
+    // Dataset builds dominate here; build them in parallel, emit in order.
+    let rows = sched.par_map(datasets, |_, &dataset| {
         let spec = dataset.spec();
-        let graph = cache.get(dataset, scale);
+        let graph = DatasetCache::global().get(dataset, scale);
         let s = graph.degree_stats();
-        t.row(vec![
+        vec![
             spec.name.to_owned(),
             spec.vertices.to_string(),
             graph.num_vertices().to_string(),
@@ -44,26 +44,31 @@ fn stats_table(title: &str, datasets: &[Dataset], scale: Scale) -> Table {
             s.max.to_string(),
             format!("{:.2}", spec.std_degree),
             format!("{:.2}", s.std),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
 
 /// Table 1: SNAP social-media dataset statistics.
-pub fn table1(scale: Scale) -> Table {
+pub fn table1(scale: Scale, sched: &Sched) -> Table {
     stats_table(
         "Table 1: SNAP social media graph dataset statistics (paper vs generated)",
         &[Dataset::GplusCombined, Dataset::SocLiveJournal1],
         scale,
+        sched,
     )
 }
 
 /// Table 2: DIMACS roadmap dataset statistics.
-pub fn table2(scale: Scale) -> Table {
+pub fn table2(scale: Scale, sched: &Sched) -> Table {
     stats_table(
         "Table 2: 9th DIMACS roadmap dataset statistics (paper vs generated)",
         &[Dataset::RoadNY, Dataset::RoadLKS, Dataset::RoadUSA],
         scale,
+        sched,
     )
 }
 
@@ -73,13 +78,13 @@ mod tests {
 
     #[test]
     fn shapes() {
-        assert_eq!(table1(Scale::TEST).num_rows(), 2);
-        assert_eq!(table2(Scale::TEST).num_rows(), 3);
+        assert_eq!(table1(Scale::TEST, &Sched::serial()).num_rows(), 2);
+        assert_eq!(table2(Scale::TEST, &Sched::new(2)).num_rows(), 3);
     }
 
     #[test]
     fn generated_roadmap_avg_degree_close_to_paper() {
-        let mut cache = DatasetCache::new();
+        let cache = DatasetCache::new();
         for ds in [Dataset::RoadNY, Dataset::RoadLKS] {
             let g = cache.get(ds, Scale::new(0.05));
             let avg = g.degree_stats().avg;

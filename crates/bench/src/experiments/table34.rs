@@ -3,9 +3,10 @@
 
 use super::common::{bfs_run, platforms, DatasetCache};
 use crate::report::{fmt_f64, Table};
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use ptq_graph::Dataset;
+use simt::GpuConfig;
 use std::collections::HashMap;
 
 /// All execution times measured for Table 3, keyed by
@@ -13,24 +14,31 @@ use std::collections::HashMap;
 pub type Times = HashMap<(&'static str, Dataset, Variant), f64>;
 
 /// Measures every (GPU, dataset, variant) combination.
-pub fn measure(scale: Scale) -> Times {
-    measure_for(scale, &Dataset::MAIN_SIX)
+pub fn measure(scale: Scale, sched: &Sched) -> Times {
+    measure_for(scale, &Dataset::MAIN_SIX, sched)
 }
 
 /// Measures the given datasets only (used by reduced-scale tests).
-pub fn measure_for(scale: Scale, datasets: &[Dataset]) -> Times {
-    let mut cache = DatasetCache::new();
-    let mut times = Times::new();
-    for (gpu, wgs) in platforms() {
-        for &dataset in datasets {
-            let graph = cache.get(dataset, scale).clone();
-            for variant in Variant::ALL {
-                let run = bfs_run(&gpu, &graph, variant, wgs);
-                times.insert((gpu.name, dataset, variant), run.seconds);
-            }
-        }
-    }
-    times
+pub fn measure_for(scale: Scale, datasets: &[Dataset], sched: &Sched) -> Times {
+    let grid: Vec<(GpuConfig, usize, Dataset, Variant)> = platforms()
+        .into_iter()
+        .flat_map(|(gpu, wgs)| {
+            datasets.iter().flat_map(move |&dataset| {
+                let gpu = gpu.clone();
+                Variant::ALL
+                    .into_iter()
+                    .map(move |v| (gpu.clone(), wgs, dataset, v))
+            })
+        })
+        .collect();
+    sched
+        .par_map(&grid, |_, (gpu, wgs, dataset, variant)| {
+            let graph = DatasetCache::global().get(*dataset, scale);
+            let run = bfs_run(gpu, &graph, *variant, *wgs);
+            ((gpu.name, *dataset, *variant), run.seconds)
+        })
+        .into_iter()
+        .collect()
 }
 
 /// Renders Table 3 (execution times in seconds).
@@ -97,7 +105,7 @@ mod tests {
 
     #[test]
     fn rfan_wins_or_ties_at_test_scale() {
-        let times = measure_for(Scale::TEST, &TEST_SET);
+        let times = measure_for(Scale::TEST, &TEST_SET, &Sched::new(4));
         for (gpu, _) in platforms() {
             for dataset in TEST_SET {
                 let rfan = times[&(gpu.name, dataset, Variant::RfAn)];
@@ -126,8 +134,19 @@ mod tests {
 
     #[test]
     fn tables_render_one_row_per_dataset() {
-        let full = measure(Scale::TEST);
+        let full = measure(Scale::TEST, &Sched::new(4));
         assert_eq!(table3(&full).num_rows(), 12);
         assert_eq!(table4(&full).num_rows(), 6);
+    }
+
+    #[test]
+    fn parallel_measurement_matches_serial_exactly() {
+        let serial = measure_for(Scale::TEST, &TEST_SET, &Sched::serial());
+        let parallel = measure_for(Scale::TEST, &TEST_SET, &Sched::new(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (key, s) in &serial {
+            let p = parallel[key];
+            assert!(s == &p, "{key:?}: serial {s} vs parallel {p}");
+        }
     }
 }

@@ -5,9 +5,9 @@
 //! does not support cross cluster CPU/GPU atomic operations." The paper
 //! reports RF/AN beating CHAI by 2.57× and 4.21× on its two roadmaps.
 
-use super::common::bfs_run;
+use super::common::{bfs_run, DatasetCache};
 use crate::report::Table;
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use pt_bfs::baseline::run_chai;
 use ptq_graph::{validate_levels, Dataset};
@@ -32,25 +32,22 @@ impl Row {
 }
 
 /// Measures both CHAI datasets on the integrated GPU.
-pub fn measure(scale: Scale) -> Vec<Row> {
+pub fn measure(scale: Scale, sched: &Sched) -> Vec<Row> {
     let gpu = GpuConfig::spectre();
     let wgs = gpu.num_cus * gpu.wgs_per_cu;
-    [Dataset::ChaiNYR, Dataset::ChaiBAY]
-        .into_iter()
-        .map(|dataset| {
-            let graph = dataset.build(scale.fraction());
-            let chai = run_chai(&gpu, &graph, dataset.source(), wgs)
-                .unwrap_or_else(|e| panic!("CHAI on {dataset:?}: {e}"));
-            validate_levels(&graph, dataset.source(), &chai.costs)
-                .unwrap_or_else(|_| panic!("CHAI produced wrong levels on {dataset:?}"));
-            let rfan = bfs_run(&gpu, &graph, Variant::RfAn, wgs);
-            Row {
-                dataset: dataset.spec().name,
-                chai_ms: chai.seconds * 1e3,
-                rfan_ms: rfan.seconds * 1e3,
-            }
-        })
-        .collect()
+    sched.par_map(&[Dataset::ChaiNYR, Dataset::ChaiBAY], |_, &dataset| {
+        let graph = DatasetCache::global().get(dataset, scale);
+        let chai = run_chai(&gpu, &graph, dataset.source(), wgs)
+            .unwrap_or_else(|e| panic!("CHAI on {dataset:?}: {e}"));
+        validate_levels(&graph, dataset.source(), &chai.costs)
+            .unwrap_or_else(|_| panic!("CHAI produced wrong levels on {dataset:?}"));
+        let rfan = bfs_run(&gpu, &graph, Variant::RfAn, wgs);
+        Row {
+            dataset: dataset.spec().name,
+            chai_ms: chai.seconds * 1e3,
+            rfan_ms: rfan.seconds * 1e3,
+        }
+    })
 }
 
 /// Renders Table 5.
@@ -76,7 +73,7 @@ mod tests {
 
     #[test]
     fn rfan_beats_chai_on_both_datasets() {
-        let rows = measure(Scale::TEST);
+        let rows = measure(Scale::TEST, &Sched::new(2));
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!(

@@ -6,9 +6,9 @@
 //! the crossover the harness must reproduce: **the speedup shrinks as the
 //! dataset grows** because launch overhead amortizes away.
 
-use super::common::bfs_run;
+use super::common::{bfs_run, DatasetCache};
 use crate::report::Table;
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use pt_bfs::baseline::run_rodinia;
 use ptq_graph::{validate_levels, Dataset};
@@ -42,26 +42,27 @@ pub const DATASETS: [Dataset; 3] = [
 ];
 
 /// Measures all dataset × device combinations.
-pub fn measure(scale: Scale) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for dataset in DATASETS {
-        let graph = dataset.build(scale.fraction());
-        for gpu in [GpuConfig::spectre(), GpuConfig::fiji()] {
-            let wgs = gpu.num_cus * gpu.wgs_per_cu;
-            let rodinia = run_rodinia(&gpu, &graph, dataset.source(), wgs)
-                .unwrap_or_else(|e| panic!("Rodinia on {dataset:?}: {e}"));
-            validate_levels(&graph, dataset.source(), &rodinia.costs)
-                .unwrap_or_else(|_| panic!("Rodinia wrong levels on {dataset:?}"));
-            let rfan = bfs_run(&gpu, &graph, Variant::RfAn, wgs);
-            rows.push(Row {
-                dataset: dataset.spec().name,
-                device: gpu.name,
-                rodinia_ms: rodinia.seconds * 1e3,
-                rfan_ms: rfan.seconds * 1e3,
-            });
+pub fn measure(scale: Scale, sched: &Sched) -> Vec<Row> {
+    let grid: Vec<(Dataset, GpuConfig)> = DATASETS
+        .into_iter()
+        .flat_map(|d| [(d, GpuConfig::spectre()), (d, GpuConfig::fiji())])
+        .collect();
+    sched.par_map(&grid, |_, (dataset, gpu)| {
+        let dataset = *dataset;
+        let graph = DatasetCache::global().get(dataset, scale);
+        let wgs = gpu.num_cus * gpu.wgs_per_cu;
+        let rodinia = run_rodinia(gpu, &graph, dataset.source(), wgs)
+            .unwrap_or_else(|e| panic!("Rodinia on {dataset:?}: {e}"));
+        validate_levels(&graph, dataset.source(), &rodinia.costs)
+            .unwrap_or_else(|_| panic!("Rodinia wrong levels on {dataset:?}"));
+        let rfan = bfs_run(gpu, &graph, Variant::RfAn, wgs);
+        Row {
+            dataset: dataset.spec().name,
+            device: gpu.name,
+            rodinia_ms: rodinia.seconds * 1e3,
+            rfan_ms: rfan.seconds * 1e3,
         }
-    }
-    rows
+    })
 }
 
 /// Renders Table 6.
@@ -88,7 +89,7 @@ mod tests {
 
     #[test]
     fn rfan_beats_rodinia_on_every_dataset() {
-        let rows = measure(Scale::new(0.02));
+        let rows = measure(Scale::new(0.02), &Sched::new(4));
         assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(

@@ -6,9 +6,9 @@
 //! tables. Tolerances are generous on purpose: the claims are about
 //! *shape* (ordering, rough factors, crossovers), not absolute times.
 
-use super::common::{bfs_run, sweep_dataset};
+use super::common::{bfs_run, sweep_dataset, DatasetCache};
 use crate::report::Table;
-use crate::Scale;
+use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use pt_bfs::baseline::{run_chai, run_rodinia};
 use ptq_graph::Dataset;
@@ -29,16 +29,30 @@ pub struct Verdict {
 
 /// Runs every check at the given scale. Expensive (several minutes at
 /// 5% scale): it sweeps the synthetic dataset and runs both baselines.
-pub fn run_checks(scale: Scale) -> Vec<Verdict> {
+pub fn run_checks(scale: Scale, sched: &Sched) -> Vec<Verdict> {
     let mut verdicts = Vec::new();
     let fiji = GpuConfig::fiji();
     let spectre = GpuConfig::spectre();
 
     // --- Tables 3/4: saturating synthetic ratios -----------------------
-    let synth = Dataset::Synthetic.build(scale.fraction());
-    let f_base = bfs_run(&fiji, &synth, Variant::Base, 224);
-    let f_an = bfs_run(&fiji, &synth, Variant::An, 224);
-    let f_rfan = bfs_run(&fiji, &synth, Variant::RfAn, 224);
+    let synth = DatasetCache::global().get(Dataset::Synthetic, scale);
+    let grid = [
+        (&fiji, Variant::Base, 224usize),
+        (&fiji, Variant::An, 224),
+        (&fiji, Variant::RfAn, 224),
+        (&spectre, Variant::Base, 32),
+        (&spectre, Variant::RfAn, 32),
+    ];
+    let mut runs = sched
+        .par_map(&grid, |_, &(gpu, variant, wgs)| {
+            bfs_run(gpu, &synth, variant, wgs)
+        })
+        .into_iter();
+    let f_base = runs.next().unwrap();
+    let f_an = runs.next().unwrap();
+    let f_rfan = runs.next().unwrap();
+    let s_base = runs.next().unwrap();
+    let s_rfan = runs.next().unwrap();
     let base_ratio = f_base.seconds / f_rfan.seconds;
     let an_ratio = f_an.seconds / f_rfan.seconds;
     verdicts.push(Verdict {
@@ -54,8 +68,6 @@ pub fn run_checks(scale: Scale) -> Vec<Verdict> {
         pass: (3.0..20.0).contains(&an_ratio) && an_ratio < base_ratio,
     });
 
-    let s_base = bfs_run(&spectre, &synth, Variant::Base, 32);
-    let s_rfan = bfs_run(&spectre, &synth, Variant::RfAn, 32);
     let s_ratio = s_base.seconds / s_rfan.seconds;
     verdicts.push(Verdict {
         claim: "Spectre synthetic: BASE/RF-AN time ratio (smaller than Fiji's)",
@@ -86,8 +98,9 @@ pub fn run_checks(scale: Scale) -> Vec<Verdict> {
     });
 
     // --- Figure 1: retries grow with threads ----------------------------
-    let small = Dataset::Synthetic.build((scale.fraction() * 0.5).max(0.001));
-    let sweep = sweep_dataset(&fiji, &small, &[1, 16, 224]);
+    let small_scale = Scale::new((scale.fraction() * 0.5).max(0.001));
+    let small = DatasetCache::global().get(Dataset::Synthetic, small_scale);
+    let sweep = sweep_dataset(&fiji, &small, &[1, 16, 224], sched);
     let fail_at = |wgs: usize| {
         super::common::point(&sweep, wgs, Variant::Base)
             .metrics
@@ -114,7 +127,7 @@ pub fn run_checks(scale: Scale) -> Vec<Verdict> {
     });
 
     // --- Table 5: CHAI ---------------------------------------------------
-    let road = Dataset::ChaiNYR.build(scale.fraction());
+    let road = DatasetCache::global().get(Dataset::ChaiNYR, scale);
     let chai = run_chai(&spectre, &road, 0, 32).expect("chai runs");
     let chai_rfan = bfs_run(&spectre, &road, Variant::RfAn, 32);
     let chai_speedup = chai.seconds / chai_rfan.seconds;
@@ -126,7 +139,7 @@ pub fn run_checks(scale: Scale) -> Vec<Verdict> {
     });
 
     // --- Table 6: Rodinia + crossover ------------------------------------
-    let g4096 = Dataset::RodiniaGraph4096.build(1.0);
+    let g4096 = DatasetCache::global().get(Dataset::RodiniaGraph4096, Scale::FULL);
     let rod_small = run_rodinia(&fiji, &g4096, 0, 224).expect("rodinia runs");
     let rfan_small = bfs_run(&fiji, &g4096, Variant::RfAn, 224);
     let speedup_small = rod_small.seconds / rfan_small.seconds;
@@ -136,7 +149,10 @@ pub fn run_checks(scale: Scale) -> Vec<Verdict> {
         measured: format!("{speedup_small:.1}x"),
         pass: speedup_small > 3.0,
     });
-    let g1m = Dataset::RodiniaGraph1M.build(scale.fraction().max(0.25));
+    let g1m = DatasetCache::global().get(
+        Dataset::RodiniaGraph1M,
+        Scale::new(scale.fraction().max(0.25)),
+    );
     let rod_big = run_rodinia(&spectre, &g1m, 0, 32).expect("rodinia runs");
     let rfan_big = bfs_run(&spectre, &g1m, Variant::RfAn, 32);
     let speedup_big = rod_big.seconds / rfan_big.seconds;
@@ -175,7 +191,7 @@ mod tests {
     fn all_claims_pass_at_small_scale() {
         // A reduced-scale end-to-end audit; the full-scale audit is
         // `repro verify --scale 0.05`.
-        let verdicts = run_checks(Scale::new(0.02));
+        let verdicts = run_checks(Scale::new(0.02), &Sched::new(4));
         let failed: Vec<&Verdict> = verdicts.iter().filter(|v| !v.pass).collect();
         assert!(
             failed.is_empty(),

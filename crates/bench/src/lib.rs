@@ -12,7 +12,9 @@ pub mod experiments;
 pub mod plot;
 pub mod report;
 pub mod scale;
+pub mod sched;
 
 pub use plot::{Chart, Series};
 pub use report::Table;
 pub use scale::Scale;
+pub use sched::Sched;

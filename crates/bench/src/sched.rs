@@ -1,0 +1,168 @@
+//! Parallel experiment scheduler — the reproduction harness dogfoods the
+//! paper's queue.
+//!
+//! Each experiment is a list of independent simulation points (one BFS
+//! launch each). [`Sched::par_map`] fans them out over real threads, and
+//! the work distribution itself runs through the host
+//! [`RfAnQueue`]: every point index is enqueued up front with one
+//! batched fetch-add, and each worker claims points with the wait-free
+//! reserve + poll dequeue of paper Listing 2. Because all data is
+//! published before any worker starts, a pending poll can only mean the
+//! ticket is past `Rear` — i.e. the queue is drained — so the
+//! no-queue-empty-exception design doubles as the termination condition.
+//!
+//! # Determinism
+//!
+//! Thread scheduling only affects *which worker* runs a point, never the
+//! point itself: results are collected with their indices and re-sorted,
+//! so `par_map` returns exactly what the serial loop would. Experiments
+//! built on it emit byte-identical tables at any job count.
+
+use gpu_queue::host::{RfAnQueue, SlotTicket};
+use std::num::NonZeroUsize;
+
+/// Worker-pool configuration for an experiment run.
+#[derive(Clone, Copy, Debug)]
+pub struct Sched {
+    jobs: usize,
+}
+
+impl Sched {
+    /// A scheduler fanning out over `jobs` worker threads (clamped to at
+    /// least one). `Sched::new(1)` is exactly the serial loop.
+    pub fn new(jobs: usize) -> Self {
+        Sched { jobs: jobs.max(1) }
+    }
+
+    /// The serial scheduler.
+    pub fn serial() -> Self {
+        Sched::new(1)
+    }
+
+    /// One job per available CPU (falls back to serial if the parallelism
+    /// cannot be queried).
+    pub fn auto() -> Self {
+        Sched::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item and returns the results **in item
+    /// order**, regardless of which worker computed what.
+    ///
+    /// `f` receives `(index, &item)`. Worker panics propagate.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.jobs == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Publish every point index before any worker exists; `Rear` is
+        // final from the workers' perspective.
+        let queue = RfAnQueue::new(items.len());
+        let indices: Vec<u32> = (0..items.len() as u32).collect();
+        queue
+            .enqueue_batch(&indices)
+            .expect("queue sized to hold every item");
+
+        let workers = self.jobs.min(items.len());
+        let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let queue = &queue;
+                    let items = &items;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let slot = queue.reserve(1).start;
+                            match queue.try_take(SlotTicket(slot)) {
+                                Some(idx) => {
+                                    let idx = idx as usize;
+                                    local.push((idx, f(idx, &items[idx])));
+                                }
+                                // All tokens were published before this
+                                // thread started, so "no data" means the
+                                // ticket is past Rear: the queue is dry.
+                                None => return local,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                buckets.push(h.join().expect("worker panicked"));
+            }
+        });
+
+        let mut merged: Vec<(usize, R)> = buckets.into_iter().flatten().collect();
+        merged.sort_unstable_by_key(|&(i, _)| i);
+        merged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_item_order_at_any_job_count() {
+        let items: Vec<u32> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3 + 1).collect();
+        for jobs in [1, 2, 4, 7, 64] {
+            let got = Sched::new(jobs).par_map(&items, |_, &x| u64::from(x) * 3 + 1);
+            assert_eq!(got, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        Sched::new(8).par_map(&items, |i, _| hits[i].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn index_matches_item() {
+        let items: Vec<usize> = (0..50).collect();
+        let got = Sched::new(4).par_map(&items, |i, &x| (i, x));
+        assert!(got.iter().all(|&(i, x)| i == x));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(Sched::new(4).par_map(&none, |_, &x| x).is_empty());
+        assert_eq!(Sched::new(4).par_map(&[9u32], |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    fn jobs_clamped_to_at_least_one() {
+        assert_eq!(Sched::new(0).jobs(), 1);
+        assert!(Sched::auto().jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..8).collect();
+        Sched::new(2).par_map(&items, |_, &x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+}

@@ -1,12 +1,12 @@
-//! Blocking strawman: a `parking_lot::Mutex<VecDeque>`.
+//! Blocking strawman: a `std::sync::Mutex<VecDeque>`.
 //!
-//! Exists purely as a Criterion baseline — Cederman & Tsigas (cited by the
+//! Exists purely as a benchmark baseline — Cederman & Tsigas (cited by the
 //! paper) showed non-blocking designs beat blocking ones on GPUs; the
 //! host benchmarks let us confirm the same ordering on CPU threads.
 
 use super::{QueueFull, QueueStats, StatsSnapshot};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
 /// Mutex-guarded FIFO with the same bounded-capacity discipline as the
 /// lock-free queues.
@@ -36,21 +36,21 @@ impl MutexQueue {
 
     /// Enqueues a batch under the lock.
     pub fn push_batch(&self, tokens: &[u32]) -> Result<(), QueueFull> {
-        let mut count = self.enqueued.lock();
+        let mut count = self.enqueued.lock().unwrap();
         if *count + tokens.len() > self.capacity {
             return Err(QueueFull {
                 capacity: self.capacity,
             });
         }
         *count += tokens.len();
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().unwrap();
         q.extend(tokens.iter().copied());
         Ok(())
     }
 
     /// Dequeues up to `max` tokens; `0` means empty.
     pub fn pop_batch(&self, out: &mut Vec<u32>, max: usize) -> usize {
-        let mut q = self.inner.lock();
+        let mut q = self.inner.lock().unwrap();
         let n = q.len().min(max);
         if n == 0 {
             self.stats.empty_retry();
@@ -61,7 +61,7 @@ impl MutexQueue {
 
     /// Tokens currently stored.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().unwrap().len()
     }
 
     /// True if no tokens are stored.
@@ -105,17 +105,17 @@ mod tests {
         const PER: usize = 2_000;
         let q = MutexQueue::new(THREADS * PER);
         let mut all = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..THREADS {
                 let q = &q;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for i in 0..PER as u32 {
                         q.push_batch(&[(t * PER) as u32 + i]).unwrap();
                     }
                 });
             }
             let q = &q;
-            let h = scope.spawn(move |_| {
+            let h = scope.spawn(move || {
                 let mut got = Vec::new();
                 let mut misses = 0;
                 while got.len() < THREADS * PER && misses < 1_000_000 {
@@ -126,8 +126,7 @@ mod tests {
                 got
             });
             all = h.join().unwrap();
-        })
-        .unwrap();
+        });
         all.sort_unstable();
         assert_eq!(all, (0..(THREADS * PER) as u32).collect::<Vec<_>>());
     }

@@ -75,9 +75,9 @@ impl WorkPool {
         self.queue.enqueue_batch(seeds)?;
 
         let overflow = std::sync::atomic::AtomicBool::new(false);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| {
+                scope.spawn(|| {
                     let mut tickets: Vec<u64> = Vec::new();
                     let mut outbox: Vec<u32> = Vec::new();
                     loop {
@@ -116,8 +116,7 @@ impl WorkPool {
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
 
         if overflow.load(Ordering::Relaxed) {
             Err(QueueFull {

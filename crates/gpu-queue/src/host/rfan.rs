@@ -106,6 +106,16 @@ impl RfAnQueue {
     /// to capacity are *not* written — like the paper's abort, the caller
     /// should restart with a larger queue.)
     ///
+    /// **Abort-semantics invariant:** a failed batch leaves `Rear`
+    /// advanced past capacity — the fetch-add cannot be undone without
+    /// reintroducing the CAS retry loop the design exists to avoid. After
+    /// a `QueueFull` the queue is in abort state: no further tokens can be
+    /// published (every later reservation also lands past capacity), and
+    /// accounting views such as [`RfAnQueue::len_hint`] clamp `Rear` to
+    /// capacity so the overshoot never counts phantom tokens. The only way
+    /// forward is [`RfAnQueue::reset`] with a larger queue, exactly like
+    /// the paper's kernel abort.
+    ///
     /// # Panics
     /// Panics (debug) if a token equals the sentinel.
     pub fn enqueue_batch(&self, tokens: &[u32]) -> Result<(), QueueFull> {
@@ -140,8 +150,18 @@ impl RfAnQueue {
     /// Number of published tokens not yet claimed by a reservation. Can
     /// be negative conceptually (reservations ahead of data) — clamped to
     /// zero, and only a hint under concurrency.
+    ///
+    /// `Rear` is clamped to capacity first: a failed [`enqueue_batch`]
+    /// (abort semantics, see there) leaves `Rear` overshooting even though
+    /// none of those tokens were published, and the overshoot must not be
+    /// reported as queued data.
+    ///
+    /// [`enqueue_batch`]: RfAnQueue::enqueue_batch
     pub fn len_hint(&self) -> u64 {
-        let rear = self.rear.load(Ordering::Relaxed);
+        let rear = self
+            .rear
+            .load(Ordering::Relaxed)
+            .min(self.slots.len() as u64);
         let front = self.front.load(Ordering::Relaxed);
         rear.saturating_sub(front)
     }
@@ -207,6 +227,29 @@ mod tests {
     }
 
     #[test]
+    fn overflow_does_not_report_phantom_tokens() {
+        let q = RfAnQueue::new(2);
+        q.enqueue_batch(&[1, 2]).unwrap();
+        assert_eq!(q.len_hint(), 2);
+        // The failed batch advances Rear past capacity (abort semantics)
+        // but publishes nothing — len_hint must not count the overshoot.
+        assert_eq!(q.enqueue_batch(&[3, 4, 5]), Err(QueueFull { capacity: 2 }));
+        assert_eq!(q.len_hint(), 2);
+        // Draining the two real tokens empties the hint; the three
+        // phantom reservations never surface.
+        let r = q.reserve(2);
+        assert_eq!(q.try_take(SlotTicket(r.start)), Some(1));
+        assert_eq!(q.try_take(SlotTicket(r.start + 1)), Some(2));
+        assert_eq!(q.len_hint(), 0);
+        // Reset is the only recovery from abort state.
+        let mut q = q;
+        q.reset();
+        assert_eq!(q.len_hint(), 0);
+        q.enqueue_batch(&[7, 8]).unwrap();
+        assert_eq!(q.len_hint(), 2);
+    }
+
+    #[test]
     fn batch_reservation_is_one_afa() {
         let q = RfAnQueue::new(64);
         q.enqueue_batch(&(0..32).collect::<Vec<_>>()).unwrap();
@@ -236,10 +279,10 @@ mod tests {
         let q = RfAnQueue::new(PRODUCERS * PER_PRODUCER);
         let taken = StdAtomicU64::new(0);
         let mut seen: Vec<Vec<u32>> = Vec::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for p in 0..PRODUCERS {
                 let q = &q;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let base = (p * PER_PRODUCER) as u32;
                     for chunk in (0..PER_PRODUCER as u32).collect::<Vec<_>>().chunks(37) {
                         let toks: Vec<u32> = chunk.iter().map(|i| base + i).collect();
@@ -251,7 +294,7 @@ mod tests {
             for _ in 0..CONSUMERS {
                 let q = &q;
                 let taken = &taken;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut got = Vec::new();
                     let total = (PRODUCERS * PER_PRODUCER) as u64;
                     let mut pending: Vec<u64> = Vec::new();
@@ -282,8 +325,7 @@ mod tests {
                 }));
             }
             seen = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        })
-        .unwrap();
+        });
         let mut all: Vec<u32> = seen.into_iter().flatten().collect();
         all.sort_unstable();
         let expect: Vec<u32> = (0..(PRODUCERS * PER_PRODUCER) as u32).collect();

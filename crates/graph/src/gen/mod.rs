@@ -16,7 +16,8 @@
 //! | Graph500-style | [`rmat`] | recursive-matrix power law |
 //!
 //! Every generator takes an explicit seed and produces identical graphs on
-//! every run and platform (we rely only on `SmallRng` with fixed seeds).
+//! every run and platform (we rely only on the in-tree [`crate::rng::SplitMix64`]
+//! with fixed seeds; its output is pinned by golden-value tests).
 
 mod random;
 mod rmat;

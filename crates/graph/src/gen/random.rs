@@ -1,8 +1,7 @@
 //! Erdős–Rényi-style random graphs for tests and property-based checks.
 
 use crate::csr::{Csr, CsrBuilder, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Generates a directed G(n, m) random graph: exactly `m` edges with
 /// independently uniform endpoints (self-loops and parallel edges allowed,
@@ -12,11 +11,11 @@ use rand::{Rng, SeedableRng};
 /// Panics if `n == 0`.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
     assert!(n > 0, "need at least one vertex");
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xe6d0_5e6d_05e6_d05e);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xe6d0_5e6d_05e6_d05e);
     let mut b = CsrBuilder::with_capacity(n, m);
     for _ in 0..m {
-        let src = rng.gen_range(0..n as u32);
-        let dst = rng.gen_range(0..n as u32);
+        let src = rng.range_u32(0, n as u32);
+        let dst = rng.range_u32(0, n as u32);
         b.add_edge(src as VertexId, dst as VertexId);
     }
     b.build()

@@ -8,8 +8,7 @@
 //! alternative to [`super::social`] for stress-testing the scheduler.
 
 use crate::csr::{Csr, CsrBuilder, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Parameters for [`rmat`].
 #[derive(Clone, Copy, Debug)]
@@ -64,7 +63,7 @@ pub fn rmat(params: RmatParams) -> Csr {
     );
     let n = 1usize << scale;
     let m = n * edge_factor;
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x12a7_12a7_12a7_12a7);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x12a7_12a7_12a7_12a7);
     let mut builder = CsrBuilder::with_capacity(n, m);
     for _ in 0..m {
         let mut src = 0u32;
@@ -72,7 +71,7 @@ pub fn rmat(params: RmatParams) -> Csr {
         for _ in 0..scale {
             src <<= 1;
             dst <<= 1;
-            let r: f64 = rng.gen();
+            let r: f64 = rng.next_f64();
             if r < a {
                 // upper-left: no bits set
             } else if r < a + b {

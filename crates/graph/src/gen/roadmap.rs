@@ -14,8 +14,7 @@
 //! wavefront of Figure 3d-f).
 
 use crate::csr::{Csr, CsrBuilder, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Tuning knobs for [`roadmap`].
 #[derive(Clone, Copy, Debug)]
@@ -58,7 +57,7 @@ pub fn roadmap(params: RoadmapParams) -> Csr {
         .expect("grid too large for usize arithmetic");
     assert!(n <= u32::MAX as usize, "grid exceeds u32 vertex ids");
 
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0add_0add_0add_0add);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0add_0add_0add_0add);
     let id = |r: usize, c: usize| (r * cols + c) as VertexId;
     let mut b = CsrBuilder::with_capacity(n, 4 * n);
 

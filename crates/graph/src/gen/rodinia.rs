@@ -9,8 +9,7 @@
 //! dynamic parallelism, especially for the largest dataset."
 
 use crate::csr::{Csr, CsrBuilder, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Generates a Rodinia-style uniform random graph with `n` vertices whose
 /// out-degrees are uniform in `1..=max_degree`.
@@ -20,12 +19,12 @@ use rand::{Rng, SeedableRng};
 pub fn rodinia(n: usize, max_degree: u32, seed: u64) -> Csr {
     assert!(n > 0, "need at least one vertex");
     assert!(max_degree > 0, "max_degree must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0d1a_0000_1a2b_c0de);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x0d1a_0000_1a2b_c0de);
     let mut b = CsrBuilder::with_capacity(n, n * (max_degree as usize + 1) / 2);
     for v in 0..n as u32 {
-        let deg = rng.gen_range(1..=max_degree);
+        let deg = rng.range_u32_inclusive(1, max_degree);
         for _ in 0..deg {
-            let dst = rng.gen_range(0..n as u32);
+            let dst = rng.range_u32(0, n as u32);
             b.add_edge(v as VertexId, dst);
         }
     }

@@ -17,8 +17,7 @@
 //! keeping the diameter small.
 
 use crate::csr::{Csr, CsrBuilder, VertexId};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Tuning knobs for [`social`].
 #[derive(Clone, Copy, Debug)]
@@ -56,7 +55,7 @@ pub fn social(params: SocialParams) -> Csr {
     assert!(avg_degree > 0.0, "average degree must be positive");
     assert!(alpha > 1.0, "pareto tail needs alpha > 1 for a finite mean");
 
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5050_c1a1_dead_beef);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5050_c1a1_dead_beef);
 
     // Discrete Pareto: P(X >= k) = (x_m / k)^alpha. The mean of the
     // continuous Pareto is x_m * alpha / (alpha - 1); solve for x_m to hit
@@ -64,7 +63,7 @@ pub fn social(params: SocialParams) -> Csr {
     let x_m = avg_degree * (alpha - 1.0) / alpha;
     let mut degrees = vec![0u32; vertices];
     for d in degrees.iter_mut() {
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u: f64 = rng.range_f64(f64::EPSILON, 1.0);
         let raw = x_m / u.powf(1.0 / alpha);
         *d = (raw.round() as u64).min(u64::from(max_degree)) as u32;
     }
@@ -79,10 +78,10 @@ pub fn social(params: SocialParams) -> Csr {
         for _ in 0..deg {
             let dst = if rng.gen_bool(0.5) {
                 // Preferential: quadratic bias toward low ids (hubs).
-                let r: f64 = rng.gen::<f64>();
+                let r: f64 = rng.next_f64();
                 ((r * r * n as f64) as u64).min(n - 1)
             } else {
-                rng.gen_range(0..n)
+                rng.range_u64(0, n)
             };
             b.add_edge(v as VertexId, dst as VertexId);
         }

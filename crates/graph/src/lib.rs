@@ -25,6 +25,7 @@ pub mod datasets;
 pub mod gen;
 pub mod io;
 pub mod profile;
+pub mod rng;
 pub mod weights;
 
 pub use analysis::{degree_histogram, gteps, weakly_connected_components, Components};
@@ -32,6 +33,7 @@ pub use bfs::{bfs_levels, validate_levels, BfsResult};
 pub use csr::{Csr, CsrBuilder, DegreeStats, VertexId};
 pub use datasets::{Dataset, DatasetSpec};
 pub use profile::{level_profile, LevelProfile};
+pub use rng::SplitMix64;
 pub use weights::{dijkstra, random_weights, validate_distances};
 
 /// Sentinel level for vertices not reached by a BFS.

@@ -6,9 +6,8 @@
 //! reference used to validate every parallel run.
 
 use crate::csr::{Csr, VertexId};
+use crate::rng::SplitMix64;
 use crate::UNREACHED;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -16,9 +15,9 @@ use std::collections::BinaryHeap;
 /// `1..=max_weight`, aligned with the graph's adjacency array.
 pub fn random_weights(graph: &Csr, max_weight: u32, seed: u64) -> Vec<u32> {
     assert!(max_weight >= 1, "weights must be positive");
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5e55_5e55_5e55_5e55);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5e55_5e55_5e55_5e55);
     (0..graph.num_edges())
-        .map(|_| rng.gen_range(1..=max_weight))
+        .map(|_| rng.range_u32_inclusive(1, max_weight))
         .collect()
 }
 

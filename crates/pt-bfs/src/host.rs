@@ -124,12 +124,11 @@ pub fn host_bfs(graph: &Csr, source: u32, threads: usize, variant: HostVariant) 
 }
 
 fn run_workers<F: Fn() + Sync>(threads: usize, worker: F) {
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| worker());
+            scope.spawn(&worker);
         }
-    })
-    .expect("worker panicked");
+    });
 }
 
 /// Expands `vertex`, claiming children; pushes discoveries into `outbox`.

@@ -1,0 +1,84 @@
+//! Engine-optimization regression guard.
+//!
+//! The `simt` engine's hot loop was rewritten (dense active-wave list,
+//! generation-stamped round state, reusable scratch). None of that may
+//! change *behaviour*: the simulator is deterministic, so every metric of
+//! a seeded BFS — atomics, retries, rounds, makespan — must stay exactly
+//! as it was before the rewrite. These values were captured from the
+//! pre-rewrite engine; any diff means the optimization changed scheduling
+//! order or cost accounting, not just speed.
+
+use gpu_queue::Variant;
+use pt_bfs::{run_bfs, BfsConfig};
+use ptq_graph::gen::erdos_renyi;
+use simt::GpuConfig;
+
+/// Exact per-variant counters on a seeded 500-vertex random graph,
+/// 4 workgroups on the tiny test device.
+#[test]
+fn seeded_bfs_metrics_are_pinned() {
+    let graph = erdos_renyi(500, 1500, 42);
+    for (variant, golden) in [
+        (Variant::Base, GOLDEN_BASE),
+        (Variant::An, GOLDEN_AN),
+        (Variant::RfAn, GOLDEN_RFAN),
+    ] {
+        let run = run_bfs(
+            &GpuConfig::test_tiny(),
+            &graph,
+            0,
+            &BfsConfig::new(variant, 4),
+        )
+        .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        let m = &run.metrics;
+        let got = Golden {
+            rounds: m.rounds,
+            work_cycles: m.work_cycles,
+            global_atomics: m.global_atomics,
+            cas_attempts: m.cas_attempts,
+            cas_failures: m.cas_failures,
+            queue_empty_retries: m.queue_empty_retries,
+            makespan_cycles: m.makespan_cycles,
+        };
+        assert_eq!(got, golden, "{variant:?} metrics drifted");
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    rounds: u64,
+    work_cycles: u64,
+    global_atomics: u64,
+    cas_attempts: u64,
+    cas_failures: u64,
+    queue_empty_retries: u64,
+    makespan_cycles: u64,
+}
+
+const GOLDEN_BASE: Golden = Golden {
+    rounds: 43,
+    work_cycles: 172,
+    global_atomics: 4063,
+    cas_attempts: 1994,
+    cas_failures: 1069,
+    queue_empty_retries: 73,
+    makespan_cycles: 4021,
+};
+const GOLDEN_AN: Golden = Golden {
+    rounds: 40,
+    work_cycles: 159,
+    global_atomics: 3053,
+    cas_attempts: 796,
+    cas_failures: 524,
+    queue_empty_retries: 54,
+    makespan_cycles: 4107,
+};
+const GOLDEN_RFAN: Golden = Golden {
+    rounds: 40,
+    work_cycles: 158,
+    global_atomics: 2491,
+    cas_attempts: 0,
+    cas_failures: 0,
+    queue_empty_retries: 0,
+    makespan_cycles: 4083,
+};

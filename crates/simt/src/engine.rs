@@ -28,6 +28,14 @@
 //! Wavefronts execute in a fixed rotation (shifted by one each round so no
 //! wavefront permanently wins every atomic race). Two runs with the same
 //! config, kernel, and memory image produce byte-identical metrics.
+//!
+//! The scheduler keeps the active wavefronts in a dense, ascending list
+//! and realizes the rotation by splitting that list at the round's offset
+//! — visiting `[offset..]` then the wrap-around `[..offset]`. This visits
+//! exactly the same wave sequence as scanning a `Vec<bool>` from the
+//! offset, without paying O(total waves) per round in the long tail where
+//! only a few waves remain active. Any change here must preserve the
+//! visit order bit-for-bit; `pt-bfs`'s engine-regression test pins it.
 
 use crate::config::GpuConfig;
 use crate::ctx::{WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
@@ -96,12 +104,35 @@ pub struct RunReport {
     pub trace: Option<Trace>,
 }
 
+/// Reusable per-run scheduling state, owned by the engine so multi-launch
+/// algorithms (level-synchronous BFS fires thousands of kernels) never
+/// reallocate it.
+#[derive(Default)]
+struct Scratch {
+    /// Dense, ascending list of active wavefront ids.
+    active: Vec<usize>,
+    /// Liveness flag per wavefront, used to compact `active` after a
+    /// round retires waves.
+    alive: Vec<bool>,
+    /// Per-CU issue cycles accumulated this round.
+    round_issue: Vec<u64>,
+    /// Per-CU exposed-latency watermark this round.
+    round_latency: Vec<u64>,
+    /// Per-CU atomic-unit occupancy this round (millicycles).
+    round_atomic: Vec<u64>,
+    /// Distinct-cache-line scratch for bandwidth accounting, cleared per
+    /// work cycle.
+    lines: Vec<u64>,
+}
+
 /// A simulated GPU: configuration plus device memory. Memory persists
 /// across runs, so multi-launch algorithms (level-synchronous BFS) reuse
 /// their buffers exactly like a real host program would.
 pub struct Engine {
     config: GpuConfig,
     memory: DeviceMemory,
+    round_state: RoundState,
+    scratch: Scratch,
 }
 
 impl Engine {
@@ -110,6 +141,8 @@ impl Engine {
         Engine {
             config,
             memory: DeviceMemory::new(),
+            round_state: RoundState::new(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -175,52 +208,68 @@ impl Engine {
         }
 
         let mut kernels: Vec<K> = infos.iter().map(|&i| factory(i)).collect();
-        let mut active: Vec<bool> = vec![true; total_waves];
-        let mut active_count = total_waves;
+
+        let Scratch {
+            active,
+            alive,
+            round_issue,
+            round_latency,
+            round_atomic,
+            lines,
+        } = &mut self.scratch;
+        active.clear();
+        active.extend(0..total_waves);
+        alive.clear();
+        alive.resize(total_waves, true);
+        round_issue.clear();
+        round_issue.resize(num_cus, 0);
+        round_latency.clear();
+        round_latency.resize(num_cus, 0);
+        round_atomic.clear();
+        round_atomic.resize(num_cus, 0);
+        self.round_state
+            .ensure_capacity(self.memory.allocated_words());
 
         let mut metrics = Metrics::default();
-        let mut round_state = RoundState::new();
         let mut cu_cycles = vec![0u64; num_cus];
-        let mut round_issue = vec![0u64; num_cus];
-        let mut round_latency = vec![0u64; num_cus];
-        let mut round_atomic = vec![0u64; num_cus];
         let mut device_bw_millicycles: u64 = 0;
         let mut device_hot_millicycles: u64 = 0;
         let mut round_lines: u64;
-        let mut lines_scratch: Vec<u64> = Vec::new();
         let mut trace = launch.trace.then(Trace::default);
         let mut round: u64 = 0;
 
-        while active_count > 0 {
+        while !active.is_empty() {
             if round >= launch.max_rounds {
                 return Err(SimError::MaxRoundsExceeded {
                     limit: launch.max_rounds,
                 });
             }
-            round_state.begin_round();
+            self.round_state.begin_round();
             self.memory.begin_round();
             round_issue.iter_mut().for_each(|c| *c = 0);
             round_latency.iter_mut().for_each(|c| *c = 0);
             round_lines = 0;
             round_atomic.iter_mut().for_each(|c| *c = 0);
 
-            let active_at_start = active_count;
-            // Rotate execution order so atomic arrival ranks are fair.
+            let active_at_start = active.len();
+            // Rotate execution order so atomic arrival ranks are fair:
+            // visit active ids >= offset in order, then wrap. `active` is
+            // kept sorted, so this is the same sequence the historical
+            // full scan `w = (i + offset) % total_waves` produced.
             let offset = (round as usize) % total_waves;
-            for i in 0..total_waves {
-                let w = (i + offset) % total_waves;
-                if !active[w] {
-                    continue;
-                }
+            let split = active.partition_point(|&w| w < offset);
+            let mut retired = false;
+            for pos in (split..active.len()).chain(0..split) {
+                let w = active[pos];
                 let info = infos[w];
-                lines_scratch.clear();
+                lines.clear();
                 let mut ctx = WaveCtx::new(
                     &mut self.memory,
                     &mut metrics,
-                    &mut round_state,
+                    &mut self.round_state,
                     &self.config.cost,
                     info,
-                    &mut lines_scratch,
+                    lines,
                 );
                 let status = kernels[w].work_cycle(&mut ctx);
                 let issue = ctx.issue;
@@ -239,13 +288,17 @@ impl Engine {
                 round_latency[info.cu] = round_latency[info.cu].max(latency);
                 round_atomic[info.cu] += atomic_ops * self.config.cost.atomic_unit_milli;
                 // Bandwidth: distinct cache lines this wavefront touched.
-                lines_scratch.sort_unstable();
-                lines_scratch.dedup();
-                round_lines += lines_scratch.len() as u64;
+                lines.sort_unstable();
+                lines.dedup();
+                round_lines += lines.len() as u64;
                 if status == WaveStatus::Done {
-                    active[w] = false;
-                    active_count -= 1;
+                    alive[w] = false;
+                    retired = true;
                 }
+            }
+            if retired {
+                // Compact in place; retain keeps ascending order.
+                active.retain(|&w| alive[w]);
             }
 
             let simds = self.config.simds_per_cu as u64;
@@ -278,7 +331,8 @@ impl Engine {
             }
             // The round's hottest word serializes at a single L2 slice —
             // a device-wide floor no amount of occupancy can hide.
-            let round_hot_milli = round_state.max_same_address() * self.config.cost.hot_word_milli;
+            let round_hot_milli =
+                self.round_state.max_same_address() * self.config.cost.hot_word_milli;
             device_hot_millicycles += round_hot_milli;
             if round_hot_milli / 1000 > worst.0 {
                 worst = (round_hot_milli / 1000, RoundBound::AtomicUnit);

@@ -42,20 +42,45 @@ impl Buffer {
 }
 
 /// Flat, host-managed device memory.
-#[derive(Clone, Debug, Default)]
+///
+/// The per-word side tables (`versions`, round-start snapshots) are flat
+/// vectors indexed by device address and kept exactly as long as `words`
+/// by the allocator. The snapshot table is *generation stamped*: starting
+/// a round bumps `round_gen` instead of clearing anything, and a slot's
+/// recorded base value is live only while its stamp matches. Rounds are
+/// the simulator's innermost cadence, so this keeps the hot accessors
+/// (`store`/`rmw`/`stale_load`) free of hashing and per-round clears.
+#[derive(Clone, Debug)]
 pub struct DeviceMemory {
     words: Vec<u32>,
     buffers: HashMap<String, Buffer>,
-    /// Successful-mutation counters for atomically accessed words, used by
-    /// the CAS staleness model: a staged reservation can ask how many
-    /// successful atomics landed on a word since it read it. Only words
-    /// that atomics actually touch appear here.
-    versions: HashMap<usize, u64>,
+    /// Successful-mutation counter per word, used by the CAS staleness
+    /// model: a staged reservation can ask how many successful atomics
+    /// landed on a word since it read it. `0` for never-mutated words.
+    versions: Vec<u64>,
+    /// Generation stamp per word; `base_value[a]` is live iff
+    /// `base_stamp[a] == round_gen`.
+    base_stamp: Vec<u64>,
     /// Round-start snapshot of every word mutated this round (first-write
     /// records the old value). Backs the one-round visibility delay for
     /// cross-wavefront data flow: a value published in round `r` becomes
     /// observable through stale reads in round `r + 1`.
-    round_base: HashMap<usize, u32>,
+    base_value: Vec<u32>,
+    /// Current visibility round. Starts at 1 so zeroed stamps are stale.
+    round_gen: u64,
+}
+
+impl Default for DeviceMemory {
+    fn default() -> Self {
+        DeviceMemory {
+            words: Vec::new(),
+            buffers: HashMap::new(),
+            versions: Vec::new(),
+            base_stamp: Vec::new(),
+            base_value: Vec::new(),
+            round_gen: 1,
+        }
+    }
 }
 
 impl DeviceMemory {
@@ -76,6 +101,9 @@ impl DeviceMemory {
         );
         let offset = self.words.len();
         self.words.resize(offset + len, 0);
+        self.versions.resize(offset + len, 0);
+        self.base_stamp.resize(offset + len, 0);
+        self.base_value.resize(offset + len, 0);
         let buf = Buffer { offset, len };
         self.buffers.insert(name.to_owned(), buf);
         buf
@@ -133,10 +161,21 @@ impl DeviceMemory {
         Ok(self.words[buf.addr(index)?])
     }
 
+    /// Records the round-start value of `addr` if this is its first
+    /// mutation this round.
+    #[inline]
+    fn snapshot_base(&mut self, addr: usize, old: u32) {
+        if self.base_stamp[addr] != self.round_gen {
+            self.base_stamp[addr] = self.round_gen;
+            self.base_value[addr] = old;
+        }
+    }
+
     #[inline]
     pub(crate) fn store(&mut self, buf: Buffer, index: usize, value: u32) -> Result<(), SimError> {
         let addr = buf.addr(index)?;
-        self.round_base.entry(addr).or_insert(self.words[addr]);
+        let old = self.words[addr];
+        self.snapshot_base(addr, old);
         self.words[addr] = value;
         Ok(())
     }
@@ -156,8 +195,8 @@ impl DeviceMemory {
         let old = self.words[addr];
         let new = f(old);
         if new != old {
-            *self.versions.entry(addr).or_insert(0) += 1;
-            self.round_base.entry(addr).or_insert(old);
+            self.versions[addr] += 1;
+            self.snapshot_base(addr, old);
         }
         self.words[addr] = new;
         Ok(old)
@@ -168,17 +207,17 @@ impl DeviceMemory {
     #[inline]
     pub(crate) fn stale_load(&self, buf: Buffer, index: usize) -> Result<u32, SimError> {
         let addr = buf.addr(index)?;
-        Ok(self
-            .round_base
-            .get(&addr)
-            .copied()
-            .unwrap_or(self.words[addr]))
+        Ok(if self.base_stamp[addr] == self.round_gen {
+            self.base_value[addr]
+        } else {
+            self.words[addr]
+        })
     }
 
     /// Starts a new visibility round: everything written so far becomes
     /// observable to stale reads.
     pub(crate) fn begin_round(&mut self) {
-        self.round_base.clear();
+        self.round_gen += 1;
     }
 
     /// Mutation version of a word: how many successful (value-changing)
@@ -186,7 +225,7 @@ impl DeviceMemory {
     #[inline]
     pub(crate) fn version(&self, buf: Buffer, index: usize) -> Result<u64, SimError> {
         let addr = buf.addr(index)?;
-        Ok(self.versions.get(&addr).copied().unwrap_or(0))
+        Ok(self.versions[addr])
     }
 
     /// Flat address for contention bookkeeping.

@@ -6,14 +6,43 @@
 //! behaviour of fetch-add the paper cites from Morrison & Afek, and it is
 //! what the proxy-thread optimization attacks: one AFA per wavefront
 //! instead of one per lane shortens every queue by 64×.
-
-use std::collections::HashMap;
+//!
+//! # Representation
+//!
+//! Device addresses are small dense integers (flat word indices into
+//! [`crate::DeviceMemory`]), so the per-address counters live in a flat
+//! table indexed by address rather than a hash map. Rounds are extremely
+//! frequent — one per simulated work cycle — so the table is *generation
+//! stamped*: starting a round just bumps a counter, and a slot's count is
+//! live only if its stamp matches the current generation. No per-round
+//! clear, no rehashing, no allocation in the steady state.
 
 /// Tracks, for the current round, how many atomics have already targeted
 /// each flat device address.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RoundState {
-    counts: HashMap<usize, u32>,
+    /// Generation stamp per address; a slot is live iff `stamps[a] == gen`.
+    stamps: Vec<u64>,
+    /// Atomic count per address, valid only when the stamp is live.
+    counts: Vec<u32>,
+    /// Current round generation. Starts at 1 so zeroed stamps are stale.
+    gen: u64,
+    /// Live distinct addresses this round (maintained incrementally).
+    distinct: usize,
+    /// Largest live count this round (maintained incrementally).
+    max_count: u32,
+}
+
+impl Default for RoundState {
+    fn default() -> Self {
+        RoundState {
+            stamps: Vec::new(),
+            counts: Vec::new(),
+            gen: 1,
+            distinct: 0,
+            max_count: 0,
+        }
+    }
 }
 
 impl RoundState {
@@ -22,29 +51,49 @@ impl RoundState {
         Self::default()
     }
 
-    /// Clears all counts; called by the engine between rounds.
+    /// Pre-sizes the table for a device of `words` addressable words, so
+    /// the hot path never grows it. Addresses beyond this still work (the
+    /// table grows on demand).
+    pub fn ensure_capacity(&mut self, words: usize) {
+        if self.stamps.len() < words {
+            self.stamps.resize(words, 0);
+            self.counts.resize(words, 0);
+        }
+    }
+
+    /// Invalidates all counts; called by the engine between rounds.
     pub fn begin_round(&mut self) {
-        self.counts.clear();
+        self.gen += 1;
+        self.distinct = 0;
+        self.max_count = 0;
     }
 
     /// Registers one more atomic against `addr` and returns its arrival
     /// rank within this round (0 = first, pays no serialization delay).
     pub fn next_rank(&mut self, addr: usize) -> u32 {
-        let slot = self.counts.entry(addr).or_insert(0);
-        let rank = *slot;
-        *slot += 1;
+        if addr >= self.stamps.len() {
+            self.ensure_capacity(addr + 1);
+        }
+        if self.stamps[addr] != self.gen {
+            self.stamps[addr] = self.gen;
+            self.counts[addr] = 0;
+            self.distinct += 1;
+        }
+        let rank = self.counts[addr];
+        self.counts[addr] += 1;
+        self.max_count = self.max_count.max(self.counts[addr]);
         rank
     }
 
     /// Number of distinct contended addresses this round (diagnostics).
     pub fn distinct_addresses(&self) -> usize {
-        self.counts.len()
+        self.distinct
     }
 
     /// Largest same-address atomic count this round — the queue length at
     /// the hottest L2 slice.
     pub fn max_same_address(&self) -> u64 {
-        self.counts.values().copied().max().unwrap_or(0).into()
+        self.max_count.into()
     }
 }
 
@@ -79,5 +128,32 @@ mod tests {
         rs.begin_round();
         assert_eq!(rs.next_rank(5), 0);
         assert_eq!(rs.distinct_addresses(), 1);
+    }
+
+    #[test]
+    fn stale_generations_do_not_leak_counts() {
+        let mut rs = RoundState::new();
+        rs.next_rank(3);
+        rs.next_rank(3);
+        rs.next_rank(7);
+        assert_eq!(rs.distinct_addresses(), 2);
+        rs.begin_round();
+        assert_eq!(rs.distinct_addresses(), 0);
+        assert_eq!(rs.max_same_address(), 0);
+        // Address 7 untouched this round: its old count must not surface.
+        assert_eq!(rs.next_rank(7), 0);
+        assert_eq!(rs.max_same_address(), 1);
+    }
+
+    #[test]
+    fn capacity_hint_matches_on_demand_growth() {
+        let mut sized = RoundState::new();
+        sized.ensure_capacity(100);
+        let mut lazy = RoundState::new();
+        for addr in [99, 0, 99, 42] {
+            assert_eq!(sized.next_rank(addr), lazy.next_rank(addr));
+        }
+        assert_eq!(sized.max_same_address(), lazy.max_same_address());
+        assert_eq!(sized.distinct_addresses(), lazy.distinct_addresses());
     }
 }

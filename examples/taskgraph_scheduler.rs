@@ -13,10 +13,9 @@
 //! cargo run --release --example taskgraph_scheduler [tasks]
 //! ```
 
+use ptq::graph::rng::SplitMix64;
 use ptq::queue::device::{make_wave_queue, LanePhase, QueueLayout, WaveQueue};
 use ptq::queue::Variant;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use simt::{Buffer, Engine, GpuConfig, Launch, WaveCtx, WaveKernel, WaveStatus};
 
 /// A random layered DAG in CSR form: `succ_offsets`/`succ` list each
@@ -28,13 +27,13 @@ struct TaskDag {
 }
 
 fn random_dag(tasks: usize, seed: u64) -> TaskDag {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut edges: Vec<(u32, u32)> = Vec::new();
     // Each task depends on up to 3 earlier tasks (guaranteeing acyclicity).
     for t in 1..tasks as u32 {
-        let deps = rng.gen_range(0..=3.min(t));
+        let deps = rng.range_u32_inclusive(0, 3.min(t));
         for _ in 0..deps {
-            let d = rng.gen_range(0..t);
+            let d = rng.range_u32(0, t);
             edges.push((d, t));
         }
     }

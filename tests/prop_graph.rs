@@ -1,82 +1,110 @@
-//! Property-based tests on the graph substrate: CSR invariants, BFS level
-//! properties, generator determinism, and file-format round trips.
+//! Randomized property tests on the graph substrate: CSR invariants, BFS
+//! level properties, generator determinism, and file-format round trips.
+//!
+//! Each property runs as a seeded loop over a `SplitMix64` stream —
+//! deterministic across runs and platforms, with the failing case
+//! identified by its iteration index.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use ptq::graph::gen::{
     erdos_renyi, roadmap, rodinia, social, synthetic_tree, RoadmapParams, SocialParams,
 };
 use ptq::graph::io::{dimacs, rodinia as rodinia_io, snap};
+use ptq::graph::rng::SplitMix64;
 use ptq::graph::{bfs_levels, Csr, CsrBuilder, UNREACHED};
 use std::io::Cursor;
 
-fn arb_edges(n: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    vec((0..n as u32, 0..n as u32), 0..n * 4)
+const CASES: usize = 64;
+
+fn random_edges(rng: &mut SplitMix64, n: usize, max_edges: usize) -> Vec<(u32, u32)> {
+    let m = rng.range_u64(0, max_edges as u64 + 1) as usize;
+    (0..m)
+        .map(|_| (rng.range_u32(0, n as u32), rng.range_u32(0, n as u32)))
+        .collect()
 }
 
-proptest! {
-    /// The CSR builder preserves the edge multiset and per-source order.
-    #[test]
-    fn csr_builder_preserves_edges(n in 1usize..60, edges in arb_edges(50)) {
-        let edges: Vec<(u32, u32)> =
-            edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
+fn graph_of(n: usize, edges: &[(u32, u32)]) -> Csr {
+    let mut b = CsrBuilder::new(n);
+    for &(a, x) in edges {
+        b.add_edge(a % n as u32, x % n as u32);
+    }
+    b.build()
+}
+
+/// The CSR builder preserves the edge multiset and per-source order.
+#[test]
+fn csr_builder_preserves_edges() {
+    let mut rng = SplitMix64::seed_from_u64(0xC5_B11D);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 60) as usize;
+        let edges = random_edges(&mut rng, n, 200);
         let mut builder = CsrBuilder::new(n);
         for &(a, b) in &edges {
             builder.add_edge(a, b);
         }
         let g = builder.build();
-        prop_assert_eq!(g.num_edges(), edges.len());
+        assert_eq!(g.num_edges(), edges.len(), "case {case}");
         // Per-source insertion order is preserved by the stable sort.
         for v in 0..n as u32 {
-            let expect: Vec<u32> =
-                edges.iter().filter(|(a, _)| *a == v).map(|&(_, b)| b).collect();
-            prop_assert_eq!(g.neighbors(v), &expect[..]);
+            let expect: Vec<u32> = edges
+                .iter()
+                .filter(|(a, _)| *a == v)
+                .map(|&(_, b)| b)
+                .collect();
+            assert_eq!(g.neighbors(v), &expect[..], "case {case} vertex {v}");
         }
         // Offsets are consistent with degrees.
         let total: u32 = (0..n as u32).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(total as usize, g.num_edges());
+        assert_eq!(total as usize, g.num_edges(), "case {case}");
     }
+}
 
-    /// BFS levels satisfy the defining property: level(source) = 0, and
-    /// every edge (u, v) with u reached implies level(v) <= level(u) + 1,
-    /// with at least one incoming edge achieving equality for v != source.
-    #[test]
-    fn bfs_levels_are_valid_distances(n in 1usize..80, edges in arb_edges(60), src in 0usize..80) {
-        let edges: Vec<(u32, u32)> =
-            edges.into_iter().map(|(a, b)| (a % n as u32, b % n as u32)).collect();
-        let src = (src % n) as u32;
-        let mut b = CsrBuilder::new(n);
-        for &(x, y) in &edges {
-            b.add_edge(x, y);
-        }
-        let g = b.build();
+/// BFS levels satisfy the defining property: level(source) = 0, and every
+/// edge (u, v) with u reached implies level(v) <= level(u) + 1, with at
+/// least one incoming edge achieving equality for v != source.
+#[test]
+fn bfs_levels_are_valid_distances() {
+    let mut rng = SplitMix64::seed_from_u64(0xBF5_1E7E);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 80) as usize;
+        let edges = random_edges(&mut rng, n, 240);
+        let src = rng.range_u32(0, n as u32);
+        let g = graph_of(n, &edges);
         let r = bfs_levels(&g, src);
-        prop_assert_eq!(r.levels[src as usize], 0);
+        assert_eq!(r.levels[src as usize], 0, "case {case}");
         for u in 0..n as u32 {
             if r.levels[u as usize] == UNREACHED {
                 continue;
             }
             for &v in g.neighbors(u) {
-                prop_assert!(r.levels[v as usize] <= r.levels[u as usize] + 1);
+                assert!(
+                    r.levels[v as usize] <= r.levels[u as usize] + 1,
+                    "case {case}: edge {u}->{v} violates triangle"
+                );
             }
         }
         for v in 0..n as u32 {
             let lv = r.levels[v as usize];
             if lv != UNREACHED && lv > 0 {
                 // some predecessor at exactly lv - 1
-                let has_pred = (0..n as u32).any(|u| {
-                    r.levels[u as usize] == lv - 1 && g.neighbors(u).contains(&v)
-                });
-                prop_assert!(has_pred, "vertex {} at level {} lacks a predecessor", v, lv);
+                let has_pred = (0..n as u32)
+                    .any(|u| r.levels[u as usize] == lv - 1 && g.neighbors(u).contains(&v));
+                assert!(
+                    has_pred,
+                    "case {case}: vertex {v} at level {lv} lacks a predecessor"
+                );
             }
         }
     }
+}
 
-    /// All generators are deterministic functions of their parameters.
-    #[test]
-    fn generators_are_deterministic(seed in 0u64..500) {
-        prop_assert_eq!(erdos_renyi(40, 120, seed), erdos_renyi(40, 120, seed));
-        prop_assert_eq!(rodinia(50, 6, seed), rodinia(50, 6, seed));
+/// All generators are deterministic functions of their parameters.
+#[test]
+fn generators_are_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0x00DE_7E12);
+    for _ in 0..24 {
+        let seed = rng.range_u64(0, 500);
+        assert_eq!(erdos_renyi(40, 120, seed), erdos_renyi(40, 120, seed));
+        assert_eq!(rodinia(50, 6, seed), rodinia(50, 6, seed));
         let sp = SocialParams {
             vertices: 60,
             avg_degree: 5.0,
@@ -84,50 +112,75 @@ proptest! {
             max_degree: 30,
             seed,
         };
-        prop_assert_eq!(social(sp), social(sp));
-        let rp = RoadmapParams { rows: 8, cols: 9, keep_prob: 0.5, seed };
-        prop_assert_eq!(roadmap(rp), roadmap(rp));
+        assert_eq!(social(sp), social(sp));
+        let rp = RoadmapParams {
+            rows: 8,
+            cols: 9,
+            keep_prob: 0.5,
+            seed,
+        };
+        assert_eq!(roadmap(rp), roadmap(rp));
     }
+}
 
-    /// The tree generator always yields a connected tree with n-1 edges.
-    #[test]
-    fn tree_invariants(n in 1usize..5000, fanout in 1u32..8) {
+/// The tree generator always yields a connected tree with n-1 edges.
+#[test]
+fn tree_invariants() {
+    let mut rng = SplitMix64::seed_from_u64(0x7BEE);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 5000) as usize;
+        let fanout = rng.range_u32(1, 8);
         let g = synthetic_tree(n, fanout);
-        prop_assert_eq!(g.num_vertices(), n);
-        prop_assert_eq!(g.num_edges(), n - 1);
-        prop_assert_eq!(bfs_levels(&g, 0).reached, n);
+        assert_eq!(g.num_vertices(), n, "case {case}");
+        assert_eq!(g.num_edges(), n - 1, "case {case}");
+        assert_eq!(bfs_levels(&g, 0).reached, n, "case {case}");
     }
+}
 
-    /// DIMACS round trip is lossless for arbitrary graphs.
-    #[test]
-    fn dimacs_roundtrip(n in 1usize..40, edges in arb_edges(30)) {
-        let g = graph_of(n, edges);
+/// DIMACS round trip is lossless for arbitrary graphs.
+#[test]
+fn dimacs_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xD1_AC5);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 40) as usize;
+        let edges = random_edges(&mut rng, n, 120);
+        let g = graph_of(n, &edges);
         let mut buf = Vec::new();
         dimacs::write_gr(&g, &mut buf).unwrap();
-        prop_assert_eq!(dimacs::read_gr(Cursor::new(buf)).unwrap(), g);
+        assert_eq!(dimacs::read_gr(Cursor::new(buf)).unwrap(), g, "case {case}");
     }
+}
 
-    /// Rodinia-format round trip is lossless.
-    #[test]
-    fn rodinia_roundtrip(n in 1usize..40, edges in arb_edges(30), src in 0usize..40) {
-        let g = graph_of(n, edges);
-        let src = (src % n) as u32;
+/// Rodinia-format round trip is lossless.
+#[test]
+fn rodinia_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0x000D_1A10);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 40) as usize;
+        let edges = random_edges(&mut rng, n, 120);
+        let src = rng.range_u32(0, n as u32);
+        let g = graph_of(n, &edges);
         let mut buf = Vec::new();
         rodinia_io::write_rodinia(&g, src, &mut buf).unwrap();
         let (g2, s2) = rodinia_io::read_rodinia(Cursor::new(buf)).unwrap();
-        prop_assert_eq!(g2, g);
-        prop_assert_eq!(s2, src);
+        assert_eq!(g2, g, "case {case}");
+        assert_eq!(s2, src, "case {case}");
     }
+}
 
-    /// SNAP round trip preserves the degree multiset (ids may be
-    /// renumbered and isolated vertices dropped by the format).
-    #[test]
-    fn snap_roundtrip_preserves_degrees(n in 1usize..40, edges in arb_edges(30)) {
-        let g = graph_of(n, edges);
+/// SNAP round trip preserves the degree multiset (ids may be renumbered
+/// and isolated vertices dropped by the format).
+#[test]
+fn snap_roundtrip_preserves_degrees() {
+    let mut rng = SplitMix64::seed_from_u64(0x5A_A9);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 40) as usize;
+        let edges = random_edges(&mut rng, n, 120);
+        let g = graph_of(n, &edges);
         let mut buf = Vec::new();
         snap::write_edge_list(&g, &mut buf).unwrap();
         let (g2, _) = snap::read_edge_list(Cursor::new(buf)).unwrap();
-        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.num_edges(), g.num_edges(), "case {case}");
         let degrees = |g: &Csr| {
             let mut d: Vec<u32> = (0..g.num_vertices() as u32)
                 .map(|v| g.degree(v))
@@ -139,14 +192,6 @@ proptest! {
         // Out-degree multiset of non-isolated sources is preserved...
         // except vertices that appear only as destinations, which exist in
         // both graphs with degree zero and are filtered out.
-        prop_assert_eq!(degrees(&g2), degrees(&g));
+        assert_eq!(degrees(&g2), degrees(&g), "case {case}");
     }
-}
-
-fn graph_of(n: usize, edges: Vec<(u32, u32)>) -> Csr {
-    let mut b = CsrBuilder::new(n);
-    for (a, x) in edges {
-        b.add_edge(a % n as u32, x % n as u32);
-    }
-    b.build()
 }

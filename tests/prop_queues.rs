@@ -1,17 +1,29 @@
-//! Property-based tests on the queue implementations: token conservation,
-//! FIFO behaviour, and retry-freedom hold for *arbitrary* workloads, not
-//! just the hand-picked unit-test cases.
+//! Randomized property tests on the queue implementations: token
+//! conservation, FIFO behaviour, and retry-freedom hold for *arbitrary*
+//! workloads, not just the hand-picked unit-test cases.
+//!
+//! Each property runs as a seeded loop over a `SplitMix64` stream —
+//! deterministic across runs and platforms.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use ptq::graph::rng::SplitMix64;
 use ptq::queue::host::{AnQueue, BaseQueue, RfAnQueue, SlotTicket};
 use ptq::queue::DNA;
 
-proptest! {
-    /// RF/AN, single-threaded: any interleaving of batch enqueues and
-    /// reservations delivers every token exactly once, in FIFO order.
-    #[test]
-    fn rfan_fifo_and_conservation(batches in vec(vec(0u32..DNA - 1, 0..20), 1..20)) {
+const CASES: usize = 64;
+
+/// RF/AN, single-threaded: any interleaving of batch enqueues and
+/// reservations delivers every token exactly once, in FIFO order.
+#[test]
+fn rfan_fifo_and_conservation() {
+    let mut rng = SplitMix64::seed_from_u64(0xF1F0);
+    for case in 0..CASES {
+        let num_batches = rng.range_u64(1, 20) as usize;
+        let batches: Vec<Vec<u32>> = (0..num_batches)
+            .map(|_| {
+                let len = rng.range_u64(0, 20) as usize;
+                (0..len).map(|_| rng.range_u32(0, DNA - 1)).collect()
+            })
+            .collect();
         let total: usize = batches.iter().map(Vec::len).sum();
         let q = RfAnQueue::new(total.max(1));
         let mut expected = Vec::new();
@@ -37,15 +49,26 @@ proptest! {
                 got.push(tok);
             }
         }
-        prop_assert_eq!(got, expected, "FIFO order and conservation");
+        assert_eq!(got, expected, "case {case}: FIFO order and conservation");
         let stats = q.stats();
-        prop_assert_eq!(stats.cas_attempts, 0);
-        prop_assert_eq!(stats.empty_retries, 0);
+        assert_eq!(stats.cas_attempts, 0, "case {case}");
+        assert_eq!(stats.empty_retries, 0, "case {case}");
     }
+}
 
-    /// The AN queue conserves tokens for arbitrary push/pop batch shapes.
-    #[test]
-    fn an_conservation(ops in vec((vec(0u32..DNA - 1, 0..12), 0usize..16), 1..40)) {
+/// The AN queue conserves tokens for arbitrary push/pop batch shapes.
+#[test]
+fn an_conservation() {
+    let mut rng = SplitMix64::seed_from_u64(0xA9);
+    for case in 0..CASES {
+        let num_ops = rng.range_u64(1, 40) as usize;
+        let ops: Vec<(Vec<u32>, usize)> = (0..num_ops)
+            .map(|_| {
+                let len = rng.range_u64(0, 12) as usize;
+                let batch = (0..len).map(|_| rng.range_u32(0, DNA - 1)).collect();
+                (batch, rng.range_u64(0, 16) as usize)
+            })
+            .collect();
         let total: usize = ops.iter().map(|(b, _)| b.len()).sum();
         let q = AnQueue::new(total.max(1));
         let mut pushed = Vec::new();
@@ -56,12 +79,19 @@ proptest! {
             q.pop_batch(&mut popped, *pop_n);
         }
         while q.pop_batch(&mut popped, 64) > 0 {}
-        prop_assert_eq!(popped, pushed, "AN is FIFO single-threaded");
+        assert_eq!(popped, pushed, "case {case}: AN is FIFO single-threaded");
     }
+}
 
-    /// The BASE queue conserves tokens for arbitrary push/pop sequences.
-    #[test]
-    fn base_conservation(ops in vec((0u32..DNA - 1, prop::bool::ANY), 1..80)) {
+/// The BASE queue conserves tokens for arbitrary push/pop sequences.
+#[test]
+fn base_conservation() {
+    let mut rng = SplitMix64::seed_from_u64(0xBA5E);
+    for case in 0..CASES {
+        let num_ops = rng.range_u64(1, 80) as usize;
+        let ops: Vec<(u32, bool)> = (0..num_ops)
+            .map(|_| (rng.range_u32(0, DNA - 1), rng.gen_bool(0.5)))
+            .collect();
         let q = BaseQueue::new(ops.len());
         let mut pushed = Vec::new();
         let mut popped = Vec::new();
@@ -77,24 +107,27 @@ proptest! {
         while let Some(v) = q.try_pop() {
             popped.push(v);
         }
-        prop_assert_eq!(popped, pushed);
+        assert_eq!(popped, pushed, "case {case}");
     }
+}
 
-    /// Capacity is a hard bound: any overflowing batch is rejected whole
-    /// and the queue still functions.
-    #[test]
-    fn rfan_capacity_is_exact(cap in 1usize..40, extra in 1usize..20) {
+/// Capacity is a hard bound: any overflowing batch is rejected whole and
+/// the queue still functions.
+#[test]
+fn rfan_capacity_is_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0xCAFE);
+    for case in 0..CASES {
+        let cap = rng.range_u64(1, 40) as usize;
+        let extra = rng.range_u64(1, 20) as usize;
         let q = RfAnQueue::new(cap);
         let fits: Vec<u32> = (0..cap as u32).collect();
         q.enqueue_batch(&fits).unwrap();
         let overflow: Vec<u32> = (0..extra as u32).collect();
-        prop_assert!(q.enqueue_batch(&overflow).is_err());
+        assert!(q.enqueue_batch(&overflow).is_err(), "case {case}");
         // Everything already enqueued is still deliverable.
         let tickets = q.reserve(cap);
-        let got: Vec<u32> = tickets
-            .filter_map(|s| q.try_take(SlotTicket(s)))
-            .collect();
-        prop_assert_eq!(got, fits);
+        let got: Vec<u32> = tickets.filter_map(|s| q.try_take(SlotTicket(s))).collect();
+        assert_eq!(got, fits, "case {case}");
     }
 }
 
@@ -102,22 +135,21 @@ proptest! {
 /// once for arbitrary seeds/fanout/workgroup combinations. (Uses the BFS
 /// runner as the pump — it validates levels, which subsumes conservation.)
 mod device {
-    use proptest::prelude::*;
     use ptq::bfs::{run_bfs, BfsConfig};
     use ptq::graph::gen::erdos_renyi;
+    use ptq::graph::rng::SplitMix64;
     use ptq::graph::validate_levels;
     use ptq::queue::Variant;
     use simt::GpuConfig;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-        #[test]
-        fn all_variants_exact_on_random_graphs(
-            n in 2usize..200,
-            edge_factor in 1usize..6,
-            seed in 0u64..1000,
-            wgs in 1usize..5,
-        ) {
+    #[test]
+    fn all_variants_exact_on_random_graphs() {
+        let mut rng = SplitMix64::seed_from_u64(0xDEC1CE);
+        for case in 0..12 {
+            let n = rng.range_u64(2, 200) as usize;
+            let edge_factor = rng.range_u64(1, 6) as usize;
+            let seed = rng.range_u64(0, 1000);
+            let wgs = rng.range_u64(1, 5) as usize;
             let graph = erdos_renyi(n, n * edge_factor, seed);
             let source = (seed % n as u64) as u32;
             for variant in Variant::ALL {
@@ -128,8 +160,10 @@ mod device {
                     &BfsConfig::new(variant, wgs),
                 )
                 .unwrap();
-                prop_assert!(validate_levels(&graph, source, &run.costs).is_ok(),
-                    "{:?} wrong on n={} seed={}", variant, n, seed);
+                assert!(
+                    validate_levels(&graph, source, &run.costs).is_ok(),
+                    "case {case}: {variant:?} wrong on n={n} seed={seed}"
+                );
             }
         }
     }

@@ -1,7 +1,10 @@
-//! Property-based tests of the simulator itself: determinism, metric
+//! Randomized property tests of the simulator itself: determinism, metric
 //! consistency, and cost-model monotonicity under arbitrary kernels.
+//!
+//! Each property runs as a seeded loop over a `SplitMix64` stream —
+//! deterministic across runs and platforms.
 
-use proptest::prelude::*;
+use ptq::graph::rng::SplitMix64;
 use simt::{Buffer, Engine, GpuConfig, Launch, Metrics, WaveCtx, WaveKernel, WaveStatus};
 
 /// A kernel driven by a small script: per work cycle it performs a mix of
@@ -70,85 +73,108 @@ fn run_script(
     (report.metrics, report.per_cu_cycles)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Samples one script-parameter tuple from the stream.
+fn sample(rng: &mut SplitMix64) -> (usize, u32, u8, u8, u8, usize) {
+    (
+        rng.range_u64(1, 6) as usize,
+        rng.range_u64(1, 20) as u32,
+        rng.range_u64(0, 8) as u8,
+        rng.range_u64(0, 4) as u8,
+        rng.range_u64(0, 4) as u8,
+        rng.range_u64(1, 40) as usize,
+    )
+}
 
-    /// Identical inputs produce identical metrics and per-CU cycles.
-    #[test]
-    fn simulation_is_deterministic(
-        wgs in 1usize..6,
-        cycles in 1u32..20,
-        reads in 0u8..8,
-        afas in 0u8..4,
-        cas in 0u8..4,
-        stride in 1usize..40,
-    ) {
+/// Identical inputs produce identical metrics and per-CU cycles.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0xD3);
+    for case in 0..48 {
+        let (wgs, cycles, reads, afas, cas, stride) = sample(&mut rng);
         let a = run_script(wgs, cycles, reads, afas, cas, stride);
         let b = run_script(wgs, cycles, reads, afas, cas, stride);
-        prop_assert_eq!(a.0, b.0);
-        prop_assert_eq!(a.1, b.1);
+        assert_eq!(a.0, b.0, "case {case}");
+        assert_eq!(a.1, b.1, "case {case}");
     }
+}
 
-    /// Metric bookkeeping is exact: op counts follow directly from the
-    /// script parameters.
-    #[test]
-    fn metric_counts_are_exact(
-        wgs in 1usize..6,
-        cycles in 1u32..16,
-        reads in 0u8..8,
-        afas in 0u8..4,
-        cas in 0u8..4,
-    ) {
+/// Metric bookkeeping is exact: op counts follow directly from the script
+/// parameters.
+#[test]
+fn metric_counts_are_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0xE4AC7);
+    for case in 0..48 {
+        let (wgs, cycles, reads, afas, cas, _) = sample(&mut rng);
+        let cycles = cycles.min(16);
         let (m, _) = run_script(wgs, cycles, reads, afas, cas, 3);
         let waves = wgs as u64;
         let per_wave = u64::from(cycles);
-        prop_assert_eq!(m.work_cycles, waves * per_wave);
-        prop_assert_eq!(m.rounds, u64::from(cycles));
-        prop_assert_eq!(m.cas_attempts, waves * per_wave * u64::from(cas));
-        prop_assert_eq!(
-            m.global_atomics,
-            waves * per_wave * (u64::from(afas) + u64::from(cas))
+        assert_eq!(m.work_cycles, waves * per_wave, "case {case}");
+        assert_eq!(m.rounds, u64::from(cycles), "case {case}");
+        assert_eq!(
+            m.cas_attempts,
+            waves * per_wave * u64::from(cas),
+            "case {case}"
         );
-        prop_assert_eq!(m.global_mem_ops, waves * per_wave * u64::from(reads));
+        assert_eq!(
+            m.global_atomics,
+            waves * per_wave * (u64::from(afas) + u64::from(cas)),
+            "case {case}"
+        );
+        assert_eq!(
+            m.global_mem_ops,
+            waves * per_wave * u64::from(reads),
+            "case {case}"
+        );
     }
+}
 
-    /// Adding work never makes the makespan shorter (cost monotonicity).
-    #[test]
-    fn more_work_never_cheaper(
-        wgs in 1usize..5,
-        cycles in 1u32..10,
-        reads in 0u8..6,
-    ) {
+/// Adding work never makes the makespan shorter (cost monotonicity).
+#[test]
+fn more_work_never_cheaper() {
+    let mut rng = SplitMix64::seed_from_u64(0x30_0E);
+    for case in 0..48 {
+        let wgs = rng.range_u64(1, 5) as usize;
+        let cycles = rng.range_u64(1, 10) as u32;
+        let reads = rng.range_u64(0, 6) as u8;
         let (m1, _) = run_script(wgs, cycles, reads, 1, 0, 5);
         let (m2, _) = run_script(wgs, cycles + 1, reads, 1, 0, 5);
-        prop_assert!(m2.makespan_cycles >= m1.makespan_cycles);
+        assert!(m2.makespan_cycles >= m1.makespan_cycles, "case {case}");
         let (m3, _) = run_script(wgs, cycles, reads + 1, 1, 0, 5);
-        prop_assert!(m3.makespan_cycles >= m1.makespan_cycles);
+        assert!(m3.makespan_cycles >= m1.makespan_cycles, "case {case}");
     }
+}
 
-    /// CAS against a zeroed word with expected 0 always "succeeds"
-    /// (value unchanged means observed == expected), so failure counts
-    /// stay zero regardless of interleaving.
-    #[test]
-    fn cas_failure_accounting_is_sound(
-        wgs in 1usize..6,
-        cycles in 1u32..10,
-        cas in 1u8..4,
-    ) {
+/// CAS against a zeroed word with expected 0 always "succeeds" (value
+/// unchanged means observed == expected), so failure counts stay zero
+/// regardless of interleaving.
+#[test]
+fn cas_failure_accounting_is_sound() {
+    let mut rng = SplitMix64::seed_from_u64(0xCA5);
+    for case in 0..48 {
+        let wgs = rng.range_u64(1, 6) as usize;
+        let cycles = rng.range_u64(1, 10) as u32;
+        let cas = rng.range_u64(1, 4) as u8;
         let (m, _) = run_script(wgs, cycles, 0, 0, cas, 3);
-        prop_assert_eq!(m.cas_failures, 0);
-        prop_assert_eq!(m.cas_attempts, wgs as u64 * u64::from(cycles) * u64::from(cas));
+        assert_eq!(m.cas_failures, 0, "case {case}");
+        assert_eq!(
+            m.cas_attempts,
+            wgs as u64 * u64::from(cycles) * u64::from(cas),
+            "case {case}"
+        );
     }
+}
 
-    /// The makespan always covers the launch overhead plus at least the
-    /// busiest CU's accumulated time.
-    #[test]
-    fn makespan_dominates_components(
-        wgs in 1usize..6,
-        cycles in 1u32..12,
-        reads in 0u8..6,
-        afas in 0u8..3,
-    ) {
+/// The makespan always covers the launch overhead plus at least the
+/// busiest CU's accumulated time.
+#[test]
+fn makespan_dominates_components() {
+    let mut rng = SplitMix64::seed_from_u64(0xA4E5);
+    for case in 0..48 {
+        let wgs = rng.range_u64(1, 6) as usize;
+        let cycles = rng.range_u64(1, 12) as u32;
+        let reads = rng.range_u64(0, 6) as u8;
+        let afas = rng.range_u64(0, 3) as u8;
         let mut e = Engine::new(GpuConfig::test_tiny());
         e.memory_mut().alloc("buf", 512);
         let buf = e.memory().buffer("buf");
@@ -164,8 +190,11 @@ proptest! {
             })
             .unwrap();
         let max_cu = report.per_cu_cycles.iter().copied().max().unwrap();
-        prop_assert!(report.metrics.makespan_cycles >= max_cu);
-        prop_assert!(report.seconds > 0.0 || report.metrics.makespan_cycles == 0);
+        assert!(report.metrics.makespan_cycles >= max_cu, "case {case}");
+        assert!(
+            report.seconds > 0.0 || report.metrics.makespan_cycles == 0,
+            "case {case}"
+        );
     }
 }
 

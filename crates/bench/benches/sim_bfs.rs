@@ -7,6 +7,11 @@
 //!
 //! Self-timed (no external harness) so the workspace builds offline:
 //! `cargo bench --bench sim_bfs`.
+//!
+//! The final section replays a fixed engine-throughput workload and
+//! prints a `BENCH_repro.json`-shaped JSON summary (same field names as
+//! the repro binary writes), so simulator-throughput trendlines can be
+//! scraped from bench logs with the same tooling.
 
 use gpu_queue::Variant;
 use pt_bfs::baseline::run_rodinia;
@@ -77,9 +82,82 @@ fn bench_host_bfs() {
     }
 }
 
+/// Engine-throughput microbench: a fixed workload (deterministic graph
+/// generators, fixed source, fixed configs — no wall-clock or RNG input),
+/// reported as BENCH-shaped JSON on stdout. `rounds` is exact and
+/// identical run to run; only the wall-time fields vary.
+fn bench_engine_throughput() {
+    println!("-- engine_throughput (BENCH-shaped JSON) --");
+    let spectre = GpuConfig::spectre();
+    let fiji = GpuConfig::fiji();
+    let points: Vec<(&str, &GpuConfig, ptq_graph::Csr, Variant, usize)> = vec![
+        (
+            "synthetic_spectre_rfan",
+            &spectre,
+            Dataset::Synthetic.build(0.002),
+            Variant::RfAn,
+            32,
+        ),
+        (
+            "roadny_spectre_an",
+            &spectre,
+            Dataset::RoadNY.build(0.02),
+            Variant::An,
+            32,
+        ),
+        (
+            "roadny_fiji_rfan",
+            &fiji,
+            Dataset::RoadNY.build(0.02),
+            Variant::RfAn,
+            224,
+        ),
+        (
+            "gplus_spectre_base",
+            &spectre,
+            Dataset::GplusCombined.build(0.05),
+            Variant::Base,
+            32,
+        ),
+    ];
+    let mut experiments = Vec::new();
+    let mut total_rounds = 0u64;
+    let mut slowest: Option<(f64, &str)> = None;
+    let start = Instant::now();
+    for (name, gpu, graph, variant, wgs) in &points {
+        let wall = Instant::now();
+        let run = run_bfs(gpu, graph, 0, &BfsConfig::new(*variant, *wgs)).expect("sim ok");
+        let secs = wall.elapsed().as_secs_f64();
+        total_rounds += run.metrics.rounds;
+        if slowest.is_none_or(|(s, _)| secs > s) {
+            slowest = Some((secs, name));
+        }
+        experiments.push(format!(
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}, \"rounds\": {}, \
+             \"rounds_per_second\": {:.0}}}",
+            run.metrics.rounds,
+            run.metrics.rounds as f64 / secs.max(1e-9),
+        ));
+    }
+    let total = start.elapsed().as_secs_f64();
+    let slowest_json = match slowest {
+        Some((secs, name)) => format!("{{\"name\": \"{name}\", \"seconds\": {secs:.3}}}"),
+        None => "null".to_owned(),
+    };
+    println!(
+        "{{\n  \"command\": \"bench sim_bfs\",\n  \"jobs\": 1,\n  \
+         \"total_seconds\": {total:.3},\n  \"rounds_simulated\": {total_rounds},\n  \
+         \"rounds_per_second\": {:.0},\n  \"slowest_point\": {slowest_json},\n  \
+         \"experiments\": [\n{}\n  ]\n}}",
+        total_rounds as f64 / total.max(1e-9),
+        experiments.join(",\n"),
+    );
+}
+
 fn main() {
     bench_sim_variants();
     bench_sim_roadmap();
     bench_sim_rodinia();
     bench_host_bfs();
+    bench_engine_throughput();
 }

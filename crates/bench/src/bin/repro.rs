@@ -13,7 +13,10 @@
 //! options:
 //!   --scale F    dataset scale in (0,1]   (default 0.05)
 //!   --full       shorthand for --scale 1.0 (the paper's sizes; slow)
-//!   --jobs N     worker threads (default 1; 0 = one per CPU)
+//!   --jobs N     worker-thread cap (default 1; 0 = one per CPU).
+//!                The effective count never exceeds the machine's
+//!                available parallelism — points are CPU-bound, so
+//!                oversubscribing only adds scheduling overhead.
 //!   --out DIR    where to write .md/.csv   (default results/)
 //! ```
 //!
@@ -37,8 +40,9 @@ struct Options {
     sched: Sched,
 }
 
-/// Per-experiment wall-clock seconds, in execution order.
-type Timings = Vec<(String, f64)>;
+/// Per-experiment (name, wall-clock seconds, simulated rounds), in
+/// execution order.
+type Timings = Vec<(String, f64, u64)>;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -88,7 +92,7 @@ fn main() -> ExitCode {
     }
     let total = start.elapsed().as_secs_f64();
     if timings.is_empty() {
-        timings.push((experiment.clone(), total));
+        timings.push((experiment.clone(), total, common::rounds_simulated()));
     }
     write_bench(&opts, &experiment, total, &timings);
     ExitCode::SUCCESS
@@ -112,18 +116,35 @@ fn usage(error: &str) -> ExitCode {
 }
 
 /// Writes `BENCH_repro.json` into the output directory: total and
-/// per-experiment wall-clock plus simulated-round throughput. Timings
-/// naturally vary run to run — every *table* stays byte-identical.
+/// per-experiment wall-clock plus simulated-round throughput, the
+/// process-wide slowest simulation point, and the effective worker
+/// count (`--jobs 0` resolves to one per CPU; requests above the
+/// available parallelism are clamped to it). The schema is documented
+/// in `EXPERIMENTS.md`. Timings naturally vary run to run — every
+/// *table* stays byte-identical.
 fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
     let rounds = common::rounds_simulated();
     let per_experiment: Vec<String> = timings
         .iter()
-        .map(|(name, secs)| format!("    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}"))
+        .map(|(name, secs, exp_rounds)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}, \
+                 \"rounds\": {exp_rounds}, \"rounds_per_second\": {:.0}}}",
+                *exp_rounds as f64 / secs.max(1e-9),
+            )
+        })
         .collect();
+    let slowest = match common::slowest_point() {
+        Some((name, secs)) => {
+            format!("{{\"name\": \"{name}\", \"seconds\": {secs:.3}}}")
+        }
+        None => "null".to_owned(),
+    };
     let json = format!(
         "{{\n  \"command\": \"{command}\",\n  \"scale\": {},\n  \"jobs\": {},\n  \
          \"total_seconds\": {total:.3},\n  \"rounds_simulated\": {rounds},\n  \
-         \"rounds_per_second\": {:.0},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+         \"rounds_per_second\": {:.0},\n  \"slowest_point\": {slowest},\n  \
+         \"experiments\": [\n{}\n  ]\n}}\n",
         opts.scale.fraction(),
         opts.sched.jobs(),
         rounds as f64 / total.max(1e-9),
@@ -252,8 +273,13 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
             ] {
                 eprintln!("== {exp} ==");
                 let start = Instant::now();
+                let rounds_before = common::rounds_simulated();
                 run_experiment(exp, opts, timings);
-                timings.push((exp.to_owned(), start.elapsed().as_secs_f64()));
+                timings.push((
+                    exp.to_owned(),
+                    start.elapsed().as_secs_f64(),
+                    common::rounds_simulated() - rounds_before,
+                ));
             }
         }
         _ => return false,

@@ -85,23 +85,40 @@ pub fn stealing_table(scale: Scale, gpu: &GpuConfig, sched: &Sched) -> Table {
         Dataset::SocLiveJournal1,
         Dataset::RoadNY,
     ];
-    let rows = sched.par_map(&datasets, |_, &dataset| {
-        let graph = DatasetCache::global().get(dataset, scale);
-        let shared = run_bfs(gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
-            .unwrap_or_else(|e| panic!("shared on {dataset:?}: {e}"));
-        let stealing = run_bfs_stealing(gpu, &graph, 0, wgs)
-            .unwrap_or_else(|e| panic!("stealing on {dataset:?}: {e}"));
-        validate_levels(&graph, 0, &stealing.costs)
-            .unwrap_or_else(|_| panic!("stealing wrong levels on {dataset:?}"));
-        vec![
+    // The shared and stealing runs of a dataset are independent
+    // simulations: fan them out as separate points so the scheduler can
+    // overlap them instead of serializing each pair on one worker.
+    let grid: Vec<(Dataset, bool)> = datasets
+        .iter()
+        .flat_map(|&dataset| [(dataset, false), (dataset, true)])
+        .collect();
+    let runs = sched.par_map_lpt(
+        &grid,
+        |_, &(dataset, _)| dataset.spec().vertices as u64,
+        |_, &(dataset, steal)| {
+            let graph = DatasetCache::global().get(dataset, scale);
+            if steal {
+                let stealing = run_bfs_stealing(gpu, &graph, 0, wgs)
+                    .unwrap_or_else(|e| panic!("stealing on {dataset:?}: {e}"));
+                validate_levels(&graph, 0, &stealing.costs)
+                    .unwrap_or_else(|_| panic!("stealing wrong levels on {dataset:?}"));
+                (stealing.seconds, stealing.metrics.queue_empty_retries)
+            } else {
+                let shared = run_bfs(gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
+                    .unwrap_or_else(|e| panic!("shared on {dataset:?}: {e}"));
+                (shared.seconds, 0)
+            }
+        },
+    );
+    for (dataset, pair) in datasets.iter().zip(runs.chunks_exact(2)) {
+        let (shared_seconds, _) = pair[0];
+        let (stealing_seconds, empty_scans) = pair[1];
+        t.row(vec![
             dataset.spec().name.to_owned(),
-            fmt_f64(shared.seconds),
-            fmt_f64(stealing.seconds),
-            stealing.metrics.queue_empty_retries.to_string(),
-        ]
-    });
-    for row in rows {
-        t.row(row);
+            fmt_f64(shared_seconds),
+            fmt_f64(stealing_seconds),
+            empty_scans.to_string(),
+        ]);
     }
     t
 }

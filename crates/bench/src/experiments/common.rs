@@ -18,6 +18,26 @@ pub fn rounds_simulated() -> u64 {
     ROUNDS_SIMULATED.load(Ordering::Relaxed)
 }
 
+/// The single most expensive simulation point seen so far (wall seconds,
+/// human-readable point name) — the LPT scheduler's reason to exist, and
+/// `BENCH_repro.json`'s `slowest_point` entry.
+static SLOWEST_POINT: Mutex<Option<(f64, String)>> = Mutex::new(None);
+
+/// Name and wall-clock seconds of the most expensive [`bfs_run`] point of
+/// the process, if any ran.
+pub fn slowest_point() -> Option<(String, f64)> {
+    let guard = SLOWEST_POINT.lock().unwrap();
+    guard.as_ref().map(|(secs, name)| (name.clone(), *secs))
+}
+
+fn record_point_wall(name: impl FnOnce() -> String, secs: f64) {
+    let mut guard = SLOWEST_POINT.lock().unwrap();
+    match guard.as_mut() {
+        Some(slowest) if slowest.0 >= secs => {}
+        _ => *guard = Some((secs, name())),
+    }
+}
+
 /// The two hardware platforms of the paper with their headline workgroup
 /// counts (Table 3's `nWG` column).
 pub fn platforms() -> [(GpuConfig, usize); 2] {
@@ -71,6 +91,7 @@ impl DatasetCache {
 /// a reproduction harness must never silently report numbers from an
 /// incorrect traversal.
 pub fn bfs_run(gpu: &GpuConfig, graph: &Csr, variant: Variant, workgroups: usize) -> BfsRun {
+    let wall = std::time::Instant::now();
     let config = BfsConfig::new(variant, workgroups);
     let run = run_bfs(gpu, graph, 0, &config)
         .unwrap_or_else(|e| panic!("{} {variant:?} x{workgroups}: {e}", gpu.name));
@@ -81,6 +102,16 @@ pub fn bfs_run(gpu: &GpuConfig, graph: &Csr, variant: Variant, workgroups: usize
         )
     });
     ROUNDS_SIMULATED.fetch_add(run.metrics.rounds, Ordering::Relaxed);
+    record_point_wall(
+        || {
+            format!(
+                "{} {variant:?} x{workgroups} |V|={}",
+                gpu.name,
+                graph.num_vertices()
+            )
+        },
+        wall.elapsed().as_secs_f64(),
+    );
     run
 }
 
@@ -99,8 +130,10 @@ pub struct SweepPoint {
 
 /// Runs all three variants at every workgroup count of the GPU's sweep
 /// (1, 2, 4, … max) over one graph — the shared measurement behind
-/// Figures 1, 4, and 5. Points are simulated in parallel under `sched`;
-/// the returned order (and every value) is identical at any job count.
+/// Figures 1, 4, and 5. Points are simulated in parallel under `sched`,
+/// claimed in descending estimated-cost order (vertices × occupancy — a
+/// high-occupancy point simulates more wavefronts per round); the
+/// returned order (and every value) is identical at any job count.
 pub fn sweep_dataset(
     gpu: &GpuConfig,
     graph: &Csr,
@@ -111,15 +144,20 @@ pub fn sweep_dataset(
         .iter()
         .flat_map(|&wgs| Variant::ALL.into_iter().map(move |v| (wgs, v)))
         .collect();
-    sched.par_map(&grid, |_, &(wgs, variant)| {
-        let run = bfs_run(gpu, graph, variant, wgs);
-        SweepPoint {
-            wgs,
-            variant,
-            seconds: run.seconds,
-            metrics: run.metrics,
-        }
-    })
+    let verts = graph.num_vertices() as u64;
+    sched.par_map_lpt(
+        &grid,
+        |_, &(wgs, _)| verts * wgs as u64,
+        |_, &(wgs, variant)| {
+            let run = bfs_run(gpu, graph, variant, wgs);
+            SweepPoint {
+                wgs,
+                variant,
+                seconds: run.seconds,
+                metrics: run.metrics,
+            }
+        },
+    )
 }
 
 /// Finds a sweep point.

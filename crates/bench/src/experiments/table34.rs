@@ -32,11 +32,18 @@ pub fn measure_for(scale: Scale, datasets: &[Dataset], sched: &Sched) -> Times {
         })
         .collect();
     sched
-        .par_map(&grid, |_, (gpu, wgs, dataset, variant)| {
-            let graph = DatasetCache::global().get(*dataset, scale);
-            let run = bfs_run(gpu, &graph, *variant, *wgs);
-            ((gpu.name, *dataset, *variant), run.seconds)
-        })
+        .par_map_lpt(
+            &grid,
+            // Estimated point cost: dataset vertices × occupancy (the
+            // spec count is pre-scale, but a constant factor does not
+            // change the LPT order).
+            |_, (_, wgs, dataset, _)| dataset.spec().vertices as u64 * *wgs as u64,
+            |_, (gpu, wgs, dataset, variant)| {
+                let graph = DatasetCache::global().get(*dataset, scale);
+                let run = bfs_run(gpu, &graph, *variant, *wgs);
+                ((gpu.name, *dataset, *variant), run.seconds)
+            },
+        )
         .into_iter()
         .collect()
 }

@@ -17,6 +17,20 @@
 //! point itself: results are collected with their indices and re-sorted,
 //! so `par_map` returns exactly what the serial loop would. Experiments
 //! built on it emit byte-identical tables at any job count.
+//!
+//! # Cost-aware ordering
+//!
+//! Simulation points are wildly uneven — a full-occupancy sweep point on
+//! the largest dataset costs orders of magnitude more than a one-workgroup
+//! point on a toy graph. With a handful of workers, claiming points in
+//! index order regularly strands the longest point at the tail of the run,
+//! serializing it behind an otherwise-drained queue.
+//! [`Sched::par_map_lpt`] instead *enqueues* indices in descending
+//! estimated-cost order (longest processing time first, the classic LPT
+//! heuristic), so the expensive points start immediately and the cheap
+//! ones backfill the stragglers. Only the claim order changes; the result
+//! vector is still re-sorted by index, so the output bytes are identical
+//! to the serial loop's.
 
 use gpu_queue::host::{RfAnQueue, SlotTicket};
 use std::num::NonZeroUsize;
@@ -28,10 +42,16 @@ pub struct Sched {
 }
 
 impl Sched {
-    /// A scheduler fanning out over `jobs` worker threads (clamped to at
-    /// least one). `Sched::new(1)` is exactly the serial loop.
+    /// A scheduler fanning out over at most `jobs` worker threads. The
+    /// request is a *cap*, not a demand: simulation points are CPU-bound,
+    /// so the effective count is clamped to the machine's available
+    /// parallelism — oversubscribing a small box just adds context-switch
+    /// and cache-thrash overhead without touching the (order-independent,
+    /// re-sorted) results. `Sched::new(1)` is exactly the serial loop.
     pub fn new(jobs: usize) -> Self {
-        Sched { jobs: jobs.max(1) }
+        Sched {
+            jobs: jobs.max(1).min(Self::available()),
+        }
     }
 
     /// The serial scheduler.
@@ -42,11 +62,21 @@ impl Sched {
     /// One job per available CPU (falls back to serial if the parallelism
     /// cannot be queried).
     pub fn auto() -> Self {
-        Sched::new(
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-        )
+        Sched::new(Self::available())
+    }
+
+    fn available() -> usize {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Exactly `jobs` workers, bypassing the available-parallelism clamp —
+    /// the concurrent claim path must be testable even on a single-core
+    /// host, where [`Sched::new`] would resolve every request to serial.
+    #[cfg(test)]
+    fn exact(jobs: usize) -> Self {
+        Sched { jobs: jobs.max(1) }
     }
 
     /// Configured worker count.
@@ -64,14 +94,34 @@ impl Sched {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.par_map_lpt(items, |_, _| 0, f)
+    }
+
+    /// Like [`Sched::par_map`], but workers claim items in descending
+    /// `cost` order (longest processing time first) instead of index
+    /// order, which keeps the most expensive points off the tail of the
+    /// run. Ties (including the all-equal costs of `par_map`) fall back
+    /// to ascending index. The returned vector is in item order either
+    /// way — claim order never leaks into the results.
+    pub fn par_map_lpt<T, R, C, F>(&self, items: &[T], cost: C, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        C: Fn(usize, &T) -> u64,
+        F: Fn(usize, &T) -> R + Sync,
+    {
         if self.jobs == 1 || items.len() <= 1 {
             return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
 
+        // LPT order: descending estimated cost, index-ascending on ties
+        // (sort_by_key is stable, so equal costs keep item order).
+        let mut indices: Vec<u32> = (0..items.len() as u32).collect();
+        indices.sort_by_key(|&i| std::cmp::Reverse(cost(i as usize, &items[i as usize])));
+
         // Publish every point index before any worker exists; `Rear` is
         // final from the workers' perspective.
         let queue = RfAnQueue::new(items.len());
-        let indices: Vec<u32> = (0..items.len() as u32).collect();
         queue
             .enqueue_batch(&indices)
             .expect("queue sized to hold every item");
@@ -123,7 +173,7 @@ mod tests {
         let items: Vec<u32> = (0..257).collect();
         let expect: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3 + 1).collect();
         for jobs in [1, 2, 4, 7, 64] {
-            let got = Sched::new(jobs).par_map(&items, |_, &x| u64::from(x) * 3 + 1);
+            let got = Sched::exact(jobs).par_map(&items, |_, &x| u64::from(x) * 3 + 1);
             assert_eq!(got, expect, "jobs = {jobs}");
         }
     }
@@ -132,22 +182,22 @@ mod tests {
     fn every_item_runs_exactly_once() {
         let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
         let items: Vec<usize> = (0..100).collect();
-        Sched::new(8).par_map(&items, |i, _| hits[i].fetch_add(1, Ordering::Relaxed));
+        Sched::exact(8).par_map(&items, |i, _| hits[i].fetch_add(1, Ordering::Relaxed));
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
     fn index_matches_item() {
         let items: Vec<usize> = (0..50).collect();
-        let got = Sched::new(4).par_map(&items, |i, &x| (i, x));
+        let got = Sched::exact(4).par_map(&items, |i, &x| (i, x));
         assert!(got.iter().all(|&(i, x)| i == x));
     }
 
     #[test]
     fn empty_and_singleton_inputs() {
         let none: Vec<u32> = Vec::new();
-        assert!(Sched::new(4).par_map(&none, |_, &x| x).is_empty());
-        assert_eq!(Sched::new(4).par_map(&[9u32], |_, &x| x), vec![9]);
+        assert!(Sched::exact(4).par_map(&none, |_, &x| x).is_empty());
+        assert_eq!(Sched::exact(4).par_map(&[9u32], |_, &x| x), vec![9]);
     }
 
     #[test]
@@ -157,10 +207,45 @@ mod tests {
     }
 
     #[test]
+    fn lpt_results_match_serial_at_any_job_count() {
+        let items: Vec<u32> = (0..157).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| u64::from(x) * 7 + 2).collect();
+        for jobs in [1, 2, 4, 9] {
+            let got = Sched::exact(jobs).par_map_lpt(
+                &items,
+                |_, &x| u64::from(x % 13),
+                |_, &x| u64::from(x) * 7 + 2,
+            );
+            assert_eq!(got, expect, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn lpt_claims_expensive_items_first() {
+        // Two workers: the first two claims are necessarily the two
+        // front slots of the queue, which LPT fills with the two most
+        // expensive items.
+        let costs: Vec<u64> = (0..64)
+            .map(|i| if i == 40 { 1_000_000 } else { i })
+            .collect();
+        let seq = AtomicUsize::new(0);
+        let ranks = Sched::exact(2).par_map_lpt(
+            &costs,
+            |_, &c| c,
+            |_, _| seq.fetch_add(1, Ordering::Relaxed),
+        );
+        assert!(
+            ranks[40] <= 1,
+            "most expensive item claimed at rank {}",
+            ranks[40]
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "worker panicked")]
     fn worker_panics_propagate() {
         let items: Vec<u32> = (0..8).collect();
-        Sched::new(2).par_map(&items, |_, &x| {
+        Sched::exact(2).par_map(&items, |_, &x| {
             assert!(x != 5, "boom");
             x
         });

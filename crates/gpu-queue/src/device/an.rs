@@ -108,6 +108,21 @@ impl WaveQueue for AnWaveQueue {
         }
     }
 
+    fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
+        // AN has no monitoring phase: an empty-queue cycle leaves every
+        // lane Hungry and attempts no CAS (`n == 0` above), so the cycle
+        // is a pure poll of `Front` (fresh read) and `Rear` (stale read).
+        // `Front`'s mutation version only advances when its value changes,
+        // and the value is strictly monotonic, so watching the two words
+        // also covers the version delta the retry-storm model reads.
+        if !lanes.iter().all(|l| matches!(l, LanePhase::Hungry)) {
+            return false;
+        }
+        ctx.park_until_changed_now(self.layout.state, FRONT);
+        ctx.park_until_changed(self.layout.state, REAR);
+        true
+    }
+
     fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
         if tokens.is_empty() {
             return 0;

@@ -110,6 +110,20 @@ impl WaveQueue for BaseWaveQueue {
         self.front_seen = Some(ctx.atomic_version(self.layout.state, FRONT));
     }
 
+    fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
+        // Same pure-poll shape as AN: an empty-queue cycle serves zero
+        // lanes, so no per-lane CAS fires and no staleness attempts are
+        // wasted (`wasted = delta.min(served + 0) = 0`) — the cycle only
+        // reads `Front` (fresh) and `Rear` (stale), both strictly
+        // monotonic, so value watches are exact.
+        if !lanes.iter().all(|l| matches!(l, LanePhase::Hungry)) {
+            return false;
+        }
+        ctx.park_until_changed_now(self.layout.state, FRONT);
+        ctx.park_until_changed(self.layout.state, REAR);
+        true
+    }
+
     fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
         if tokens.is_empty() {
             return 0;

@@ -127,6 +127,20 @@ pub trait WaveQueue {
     /// re-offered next cycle (the CAS designs may fail their reservation).
     /// RF/AN always accepts everything or aborts on queue-full.
     fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize;
+
+    /// If this wavefront's dequeue side is a *pure poll* — every lane is
+    /// monitoring a slot, so the next `acquire` will re-execute an
+    /// identical cycle until a watched word changes — registers
+    /// stale-visibility park watches on the monitored in-bounds slots (see
+    /// `WaveCtx::park_until_changed`) and returns `true`. Kernels combine
+    /// this with their own watches (e.g. a pending-work counter) to let
+    /// the engine skip the idle long tail cycle-exactly. Designs whose
+    /// empty-queue cycle has side effects (CAS retries, steal scans) keep
+    /// the default `false` and simply never park.
+    fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
+        let _ = (ctx, lanes);
+        false
+    }
 }
 
 /// Builds the per-wavefront queue handle for `variant`.

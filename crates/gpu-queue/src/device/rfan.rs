@@ -23,16 +23,23 @@ use crate::{Variant, DNA};
 use simt::WaveCtx;
 
 /// Per-wavefront handle to an RF/AN device queue. Stateless beyond the
-/// layout: the design needs no staged reads and no retry bookkeeping.
-#[derive(Clone, Copy, Debug)]
+/// layout and a reusable poll scratch: the design needs no staged reads
+/// and no retry bookkeeping.
+#[derive(Clone, Debug)]
 pub struct RfAnWaveQueue {
     layout: QueueLayout,
+    /// Monitored-slot scratch reused across work cycles (registers, in GPU
+    /// terms) — keeps the per-cycle poll allocation-free.
+    watched: Vec<u32>,
 }
 
 impl RfAnWaveQueue {
     /// Creates the per-wavefront handle.
     pub fn new(layout: QueueLayout) -> Self {
-        RfAnWaveQueue { layout }
+        RfAnWaveQueue {
+            layout,
+            watched: Vec::new(),
+        }
     }
 }
 
@@ -65,14 +72,13 @@ impl WaveQueue for RfAnWaveQueue {
         // A wavefront's monitored slots are consecutive (they came from
         // batched reservations), so the lock-step poll coalesces into one
         // memory transaction per cache line.
-        let mut watched: Vec<u32> = lanes
-            .iter()
-            .filter_map(|l| match *l {
-                LanePhase::Monitoring(slot) if slot < self.layout.capacity => Some(slot),
-                _ => None,
-            })
-            .collect();
-        watched.sort_unstable();
+        self.watched.clear();
+        self.watched.extend(lanes.iter().filter_map(|l| match *l {
+            LanePhase::Monitoring(slot) if slot < self.layout.capacity => Some(slot),
+            _ => None,
+        }));
+        self.watched.sort_unstable();
+        let watched = &self.watched;
         // Lines still holding only sentinels are cache-resident (nobody
         // wrote them): polling costs issue but no DRAM bandwidth. Lines
         // where data has arrived were invalidated by the producer's write
@@ -155,6 +161,26 @@ impl WaveQueue for RfAnWaveQueue {
             ctx.poke(self.layout.slots, slot, tok);
         }
         tokens.len()
+    }
+
+    fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
+        // A pure poll requires *every* lane to be monitoring: a Hungry or
+        // Ready lane would make the next cycle reserve slots or do work,
+        // and an Idle lane is about to turn Hungry. Out-of-bounds slots
+        // are never read (data cannot arrive there), so they need no
+        // watch; the wave then waits only on its in-bounds slots plus
+        // whatever the kernel watches (the pending counter).
+        if !lanes.iter().all(|l| matches!(l, LanePhase::Monitoring(_))) {
+            return false;
+        }
+        for lane in lanes {
+            if let LanePhase::Monitoring(slot) = *lane {
+                if slot < self.layout.capacity {
+                    ctx.park_until_changed(self.layout.slots, slot as usize);
+                }
+            }
+        }
+        true
     }
 }
 

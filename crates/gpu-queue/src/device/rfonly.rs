@@ -16,15 +16,20 @@ use crate::{Variant, DNA};
 use simt::WaveCtx;
 
 /// Per-wavefront handle to an RF-only device queue.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RfOnlyWaveQueue {
     layout: QueueLayout,
+    /// Monitored-slot scratch reused across work cycles.
+    watched: Vec<u32>,
 }
 
 impl RfOnlyWaveQueue {
     /// Creates the per-wavefront handle.
     pub fn new(layout: QueueLayout) -> Self {
-        RfOnlyWaveQueue { layout }
+        RfOnlyWaveQueue {
+            layout,
+            watched: Vec::new(),
+        }
     }
 }
 
@@ -47,14 +52,13 @@ impl WaveQueue for RfOnlyWaveQueue {
 
         // Data-arrival poll, identical to RF/AN (the sentinel protocol is
         // what makes per-lane reservation safe at all).
-        let mut watched: Vec<u32> = lanes
-            .iter()
-            .filter_map(|l| match *l {
-                LanePhase::Monitoring(slot) if slot < self.layout.capacity => Some(slot),
-                _ => None,
-            })
-            .collect();
-        watched.sort_unstable();
+        self.watched.clear();
+        self.watched.extend(lanes.iter().filter_map(|l| match *l {
+            LanePhase::Monitoring(slot) if slot < self.layout.capacity => Some(slot),
+            _ => None,
+        }));
+        self.watched.sort_unstable();
+        let watched = &self.watched;
         let mut cached_lines = 0u64;
         let mut i = 0;
         while i < watched.len() {
@@ -114,6 +118,22 @@ impl WaveQueue for RfOnlyWaveQueue {
             ctx.global_write_lane(self.layout.slots, slot, tok);
         }
         tokens.len()
+    }
+
+    fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
+        // Same pure-poll contract as RF/AN: every lane monitoring, watches
+        // on the in-bounds slots only (out-of-bounds slots are never read).
+        if !lanes.iter().all(|l| matches!(l, LanePhase::Monitoring(_))) {
+            return false;
+        }
+        for lane in lanes {
+            if let LanePhase::Monitoring(slot) = *lane {
+                if slot < self.layout.capacity {
+                    ctx.park_until_changed(self.layout.slots, slot as usize);
+                }
+            }
+        }
+        true
     }
 }
 

@@ -191,6 +191,27 @@ impl WaveQueue for StealingWaveQueue {
         }
     }
 
+    fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
+        // Parkable only when *every* lane camps on a monitored ticket: a
+        // Hungry lane would run the steal scan next cycle, which advances
+        // the victim rotation and reads a different set of counters —
+        // not an invariant cycle. All-monitoring cycles skip the scan
+        // entirely and are a pure stale poll of the monitored slots.
+        if !lanes.iter().all(|l| matches!(l, LanePhase::Monitoring(_))) {
+            return false;
+        }
+        for lane in lanes {
+            if let LanePhase::Monitoring(packed) = *lane {
+                let (q, slot) = Self::unpack(packed);
+                let layout = &self.queues[q];
+                if slot < layout.capacity {
+                    ctx.park_until_changed(layout.slots, slot as usize);
+                }
+            }
+        }
+        true
+    }
+
     fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
         if tokens.is_empty() {
             return 0;

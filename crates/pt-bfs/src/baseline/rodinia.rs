@@ -158,6 +158,9 @@ pub fn run_rodinia(
         metrics,
         costs,
         reached,
+        // Level-synchronous launches overwrite per-CU cycles each level;
+        // only the merged totals are meaningful here.
+        per_cu_cycles: Vec::new(),
     })
 }
 

@@ -72,6 +72,8 @@ pub struct PersistentBfsKernel {
     /// traversal is complete).
     completed: u32,
     chunk: u32,
+    /// Reusable buffer for one lane's prevalidated CSR edge chunk.
+    edge_scratch: Vec<u32>,
 }
 
 impl PersistentBfsKernel {
@@ -97,6 +99,7 @@ impl PersistentBfsKernel {
             outbox: Vec::new(),
             completed: 0,
             chunk,
+            edge_scratch: Vec::new(),
         }
     }
 }
@@ -142,6 +145,7 @@ impl WaveKernel for PersistentBfsKernel {
 
         // --- 2. DoWorkUnit: up to `chunk` edges per lane ---------------
         if !stalled {
+            let mut edges = std::mem::take(&mut self.edge_scratch);
             for work in self.work.iter_mut() {
                 if let LaneWork::Node {
                     level,
@@ -151,14 +155,21 @@ impl WaveKernel for PersistentBfsKernel {
                 {
                     let stop = (*next_edge + self.chunk).min(*end_edge);
                     // A lane's edge chunk is contiguous in CSR: one
-                    // coalesced transaction (usually a single line).
+                    // coalesced transaction (usually a single line), read
+                    // through the prevalidated run path — one bounds check
+                    // per chunk instead of one per edge.
                     ctx.charge_coalesced_access(
                         self.buffers.edges,
                         *next_edge as usize,
                         (stop - *next_edge) as usize,
                     );
-                    while *next_edge < stop {
-                        let child = ctx.peek(self.buffers.edges, *next_edge as usize);
+                    ctx.peek_run(
+                        self.buffers.edges,
+                        *next_edge as usize,
+                        (stop - *next_edge) as usize,
+                        &mut edges,
+                    );
+                    for &child in &edges {
                         let new_cost = *level + 1;
                         let old = ctx.atomic_min(self.buffers.costs, child as usize, new_cost);
                         if old > new_cost {
@@ -169,14 +180,15 @@ impl WaveKernel for PersistentBfsKernel {
                                 self.outbox.push(child);
                             }
                         }
-                        *next_edge += 1;
                     }
+                    *next_edge = stop;
                     if *next_edge == *end_edge {
                         *work = LaneWork::None;
                         self.completed += 1;
                     }
                 }
             }
+            self.edge_scratch = edges;
         }
 
         // --- 3. ScheduleNewlyDiscoveredWorkTokens ----------------------
@@ -199,10 +211,21 @@ impl WaveKernel for PersistentBfsKernel {
         // --- 4. WorkRemains ---------------------------------------------
         let pending = ctx.global_read(self.buffers.pending, 0);
         if pending == 0 && self.outbox.is_empty() && self.completed == 0 {
-            WaveStatus::Done
-        } else {
-            WaveStatus::Active
+            return WaveStatus::Done;
         }
+        // Idle long tail: every lane is just monitoring its slot and the
+        // wavefront holds no work, discoveries, or unretired completions —
+        // the next cycle is an identical poll of the monitored slots plus
+        // the pending counter. Park on exactly those words; the engine
+        // replays this cycle's charges until one of them changes.
+        if self.outbox.is_empty()
+            && self.completed == 0
+            && self.work.iter().all(|w| matches!(w, LaneWork::None))
+            && self.queue.register_idle_watches(ctx, &self.phases)
+        {
+            ctx.park_until_changed_now(self.buffers.pending, 0);
+        }
+        WaveStatus::Active
     }
 }
 

@@ -57,6 +57,10 @@ pub struct BfsRun {
     pub costs: Vec<u32>,
     /// Vertices reached.
     pub reached: usize,
+    /// Final cycle count of every compute unit (regression goldens pin
+    /// these to prove engine fast paths are cycle-exact per CU, not just
+    /// in aggregate).
+    pub per_cu_cycles: Vec<u64>,
 }
 
 /// Runs a persistent-thread BFS over `graph` from `source` on `gpu`,
@@ -161,6 +165,7 @@ fn run_bfs_once(
         metrics: report.metrics,
         costs,
         reached,
+        per_cu_cycles: report.per_cu_cycles,
     })
 }
 
@@ -228,6 +233,7 @@ pub fn run_bfs_stealing(
                     metrics: report.metrics,
                     costs,
                     reached,
+                    per_cu_cycles: report.per_cu_cycles,
                 });
             }
         }

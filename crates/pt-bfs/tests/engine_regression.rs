@@ -10,7 +10,7 @@
 
 use gpu_queue::Variant;
 use pt_bfs::{run_bfs, BfsConfig};
-use ptq_graph::gen::erdos_renyi;
+use ptq_graph::gen::{erdos_renyi, synthetic_tree};
 use simt::GpuConfig;
 
 /// Exact per-variant counters on a seeded 500-vertex random graph,
@@ -82,3 +82,94 @@ const GOLDEN_RFAN: Golden = Golden {
     queue_empty_retries: 0,
     makespan_cycles: 4083,
 };
+
+/// Polling-heavy long tail: a 400-vertex chain keeps the frontier at one
+/// vertex, so with 8 workgroups nearly every wave spends nearly every
+/// round idle-polling its monitored `dna` slots (RF/AN, RF-only) or
+/// retrying dequeues (AN). This pins the exact cost of those poll rounds
+/// — metrics *and* per-CU cycle counts — so the engine's event-aware wave
+/// parking fast path is provably cycle-exact, not an approximation.
+#[test]
+fn polling_heavy_long_tail_is_pinned() {
+    let graph = synthetic_tree(400, 1);
+    for (variant, golden, cu_cycles) in [
+        (Variant::RfAn, GOLDEN_TAIL_RFAN, GOLDEN_TAIL_RFAN_CUS),
+        (Variant::RfOnly, GOLDEN_TAIL_RFONLY, GOLDEN_TAIL_RFONLY_CUS),
+        (Variant::An, GOLDEN_TAIL_AN, GOLDEN_TAIL_AN_CUS),
+        (Variant::Base, GOLDEN_TAIL_BASE, GOLDEN_TAIL_BASE_CUS),
+    ] {
+        let run = run_bfs(
+            &GpuConfig::test_tiny(),
+            &graph,
+            0,
+            &BfsConfig::new(variant, 8),
+        )
+        .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        let m = &run.metrics;
+        let got = Golden {
+            rounds: m.rounds,
+            work_cycles: m.work_cycles,
+            global_atomics: m.global_atomics,
+            cas_attempts: m.cas_attempts,
+            cas_failures: m.cas_failures,
+            queue_empty_retries: m.queue_empty_retries,
+            makespan_cycles: m.makespan_cycles,
+        };
+        assert_eq!(got, golden, "{variant:?} long-tail metrics drifted");
+        assert_eq!(
+            run.per_cu_cycles, cu_cycles,
+            "{variant:?} long-tail per-CU cycles drifted"
+        );
+        assert_eq!(m.global_mem_ops, golden_tail_mem_ops(variant));
+    }
+}
+
+fn golden_tail_mem_ops(variant: Variant) -> u64 {
+    match variant {
+        Variant::RfAn => 9130,
+        Variant::RfOnly => 9130,
+        Variant::An => 12422,
+        Variant::Base => 12422,
+    }
+}
+
+const GOLDEN_TAIL_RFAN: Golden = Golden {
+    rounds: 401,
+    work_cycles: 3204,
+    global_atomics: 2403,
+    cas_attempts: 0,
+    cas_failures: 0,
+    queue_empty_retries: 0,
+    makespan_cycles: 11800,
+};
+const GOLDEN_TAIL_RFAN_CUS: [u64; 2] = [11782, 11800];
+const GOLDEN_TAIL_RFONLY: Golden = Golden {
+    rounds: 401,
+    work_cycles: 3204,
+    global_atomics: 2427,
+    cas_attempts: 0,
+    cas_failures: 0,
+    queue_empty_retries: 0,
+    makespan_cycles: 10984,
+};
+const GOLDEN_TAIL_RFONLY_CUS: [u64; 2] = [10962, 10984];
+const GOLDEN_TAIL_AN: Golden = Golden {
+    rounds: 400,
+    work_cycles: 3200,
+    global_atomics: 3569,
+    cas_attempts: 1972,
+    cas_failures: 1173,
+    queue_empty_retries: 12400,
+    makespan_cycles: 15010,
+};
+const GOLDEN_TAIL_AN_CUS: [u64; 2] = [14992, 15010];
+const GOLDEN_TAIL_BASE: Golden = Golden {
+    rounds: 400,
+    work_cycles: 3200,
+    global_atomics: 2787,
+    cas_attempts: 1190,
+    cas_failures: 391,
+    queue_empty_retries: 12400,
+    makespan_cycles: 8482,
+};
+const GOLDEN_TAIL_BASE_CUS: [u64; 2] = [6200, 6222];

@@ -13,12 +13,31 @@
 //!
 //! Lane-private state lives inside the kernel struct itself; the simulator
 //! only needs to see traffic that leaves the wavefront.
+//!
+//! # Wave parking
+//!
+//! Persistent-thread kernels spend their long tail re-executing an
+//! *identical* polling cycle every round until a watched word changes. A
+//! kernel that recognizes such a cycle can call
+//! [`WaveCtx::park_until_changed`] (stale-visible watch) and/or
+//! [`WaveCtx::park_until_changed_now`] (current-value watch) to declare:
+//! *this work cycle read nothing but the watched words and wave-private
+//! state, and its observations fully determine its behaviour*. The engine
+//! then skips re-running the kernel on subsequent rounds, re-charging the
+//! captured issue/latency/bandwidth/metrics verbatim, and wakes the wave —
+//! at its exact rotation position — on the first round where any watched
+//! word's visible value differs from the parked expectation. Because an
+//! identical observation implies an identical cycle, the fast path is
+//! cycle-exact, and a spurious wake merely re-executes one polling cycle
+//! (which re-parks with the same charges). The engine refuses to park a
+//! cycle that wrote memory or issued atomics, so a buggy caller degrades
+//! to exact slow-path execution rather than wrong accounting.
 
 use crate::config::CostModel;
 use crate::error::SimError;
 use crate::memory::{Buffer, DeviceMemory};
 use crate::metrics::Metrics;
-use crate::round::RoundState;
+use crate::round::{RoundState, LINE_WORDS};
 
 /// What a wavefront reports at the end of a work cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +85,18 @@ pub trait WaveKernel {
     fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus;
 }
 
+/// One word a parked wave watches, with the value it observed when it
+/// parked. The wave wakes the round any watch's visible value differs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Watch {
+    /// Flat device address (validated at registration).
+    pub(crate) addr: usize,
+    /// Value observed at park time under this watch's visibility.
+    pub(crate) expected: u32,
+    /// True for round-stale visibility, false for current-value.
+    pub(crate) stale: bool,
+}
+
 /// Execution context for one work cycle of one wavefront.
 pub struct WaveCtx<'a> {
     pub(crate) memory: &'a mut DeviceMemory,
@@ -84,12 +115,15 @@ pub struct WaveCtx<'a> {
     pub(crate) fault: Option<SimError>,
     /// Kernel-requested abort (queue-full exception).
     pub(crate) abort: Option<String>,
-    /// Distinct-cache-line scratch for bandwidth accounting (engine-owned,
-    /// cleared per work cycle; deduplicated after the cycle).
-    pub(crate) lines: &'a mut Vec<u64>,
     /// Global atomics issued this work cycle (feeds the per-CU atomic-unit
     /// throughput pool).
     pub(crate) atomic_ops: u64,
+    /// Words this cycle asked to park on (engine-owned scratch; a
+    /// non-empty list at cycle end requests parking).
+    pub(crate) watches: &'a mut Vec<Watch>,
+    /// True once the cycle stored to device memory; such a cycle is never
+    /// parkable (its re-execution would not be idempotent).
+    pub(crate) wrote: bool,
 }
 
 impl<'a> WaveCtx<'a> {
@@ -99,7 +133,7 @@ impl<'a> WaveCtx<'a> {
         round: &'a mut RoundState,
         cost: &'a CostModel,
         info: WaveInfo,
-        lines: &'a mut Vec<u64>,
+        watches: &'a mut Vec<Watch>,
     ) -> Self {
         WaveCtx {
             memory,
@@ -111,18 +145,16 @@ impl<'a> WaveCtx<'a> {
             latency: 0,
             fault: None,
             abort: None,
-            lines,
             atomic_ops: 0,
+            watches,
+            wrote: false,
         }
     }
-
-    /// Words per 64-byte cache line.
-    const LINE_WORDS: usize = 16;
 
     #[inline]
     fn touch_line(&mut self, buf: Buffer, index: usize) {
         if let Ok(addr) = self.memory.flat_addr(buf, index) {
-            self.lines.push((addr / Self::LINE_WORDS) as u64);
+            self.round.touch_line(addr / LINE_WORDS);
         }
     }
 
@@ -239,6 +271,7 @@ impl<'a> WaveCtx<'a> {
         self.latency = self.latency.max(self.cost.mem_latency * p);
         self.metrics.global_mem_ops += 1;
         self.touch_line(buf, index);
+        self.wrote = true;
         if let Err(e) = self.memory.store(buf, index, value) {
             self.record_fault(e);
         }
@@ -251,6 +284,7 @@ impl<'a> WaveCtx<'a> {
         self.latency = self.latency.max(self.cost.mem_latency * self.penalty());
         self.metrics.global_mem_ops += 1;
         self.touch_line(buf, index);
+        self.wrote = true;
         if let Err(e) = self.memory.store(buf, index, value) {
             self.record_fault(e);
         }
@@ -284,8 +318,8 @@ impl<'a> WaveCtx<'a> {
         // per-CU atomic-unit pool (sub-cycle per op; see CostModel).
         self.atomic_ops += p; // SVM atomics occupy the unit longer
         self.touch_line(buf, index);
-        let rank = match self.memory.flat_addr(buf, index) {
-            Ok(addr) => self.round.next_rank(addr),
+        let rank = match self.memory.next_rank(buf, index, self.round) {
+            Ok(rank) => rank,
             Err(e) => {
                 self.record_fault(e);
                 return 0;
@@ -333,8 +367,8 @@ impl<'a> WaveCtx<'a> {
         if len == 0 {
             return;
         }
-        let first_line = start / Self::LINE_WORDS;
-        let last_line = (start + len - 1) / Self::LINE_WORDS;
+        let first_line = start / LINE_WORDS;
+        let last_line = (start + len - 1) / LINE_WORDS;
         let txns = (last_line - first_line + 1) as u64;
         let p = self.penalty();
         // One lock-step instruction plus an address replay per extra line;
@@ -343,7 +377,7 @@ impl<'a> WaveCtx<'a> {
         self.latency = self.latency.max(self.cost.mem_latency * p);
         self.metrics.global_mem_ops += txns;
         for line in first_line..=last_line {
-            let idx = line * Self::LINE_WORDS;
+            let idx = line * LINE_WORDS;
             // Touch via a representative word (clamped into the run so the
             // address is in bounds).
             let idx = idx.max(start).min(start + len - 1);
@@ -379,6 +413,20 @@ impl<'a> WaveCtx<'a> {
         }
     }
 
+    /// Zero-cost observation of `len` consecutive words starting at
+    /// `start`, appended into `out` (cleared first): the prevalidated
+    /// companion of [`WaveCtx::charge_coalesced_access`] for contiguous
+    /// blocks like CSR edge chunks — one bounds check per block instead of
+    /// one per word. Faults (leaving `out` empty) if the run leaves the
+    /// buffer.
+    pub fn peek_run(&mut self, buf: Buffer, start: usize, len: usize, out: &mut Vec<u32>) {
+        out.clear();
+        match self.memory.load_run(buf, start, len) {
+            Ok(words) => out.extend_from_slice(words),
+            Err(e) => self.record_fault(e),
+        }
+    }
+
     /// Round-stale zero-cost observation (see [`WaveCtx::peek`] and
     /// [`WaveCtx::global_read_stale`]).
     pub fn peek_stale(&mut self, buf: Buffer, index: usize) -> u32 {
@@ -393,8 +441,47 @@ impl<'a> WaveCtx<'a> {
 
     /// Zero-cost store companion of [`WaveCtx::charge_coalesced_access`].
     pub fn poke(&mut self, buf: Buffer, index: usize, value: u32) {
+        self.wrote = true;
         if let Err(e) = self.memory.store(buf, index, value) {
             self.record_fault(e);
+        }
+    }
+
+    /// Registers a *stale-visibility* park watch on one word (see the
+    /// module docs on wave parking). Calling this declares the whole work
+    /// cycle a pure poll: its observable inputs are exactly the registered
+    /// watch words, so the engine may replay its charges without
+    /// re-executing it until a watched word's stale-visible value differs
+    /// from the value observed now. Out-of-bounds watches fault.
+    pub fn park_until_changed(&mut self, buf: Buffer, index: usize) {
+        match self.memory.flat_addr(buf, index) {
+            Ok(addr) => {
+                let expected = self.memory.stale_value(addr);
+                self.watches.push(Watch {
+                    addr,
+                    expected,
+                    stale: true,
+                });
+            }
+            Err(e) => self.record_fault(e),
+        }
+    }
+
+    /// Current-value variant of [`WaveCtx::park_until_changed`], for
+    /// watches on words the cycle reads with non-stale loads (e.g. a
+    /// pending-work counter): the wave wakes the round the word's current
+    /// value, sampled at this wave's rotation position, differs.
+    pub fn park_until_changed_now(&mut self, buf: Buffer, index: usize) {
+        match self.memory.flat_addr(buf, index) {
+            Ok(addr) => {
+                let expected = self.memory.word(addr);
+                self.watches.push(Watch {
+                    addr,
+                    expected,
+                    stale: false,
+                });
+            }
+            Err(e) => self.record_fault(e),
         }
     }
 
@@ -482,7 +569,7 @@ mod tests {
     use super::*;
     use crate::config::CostModel;
 
-    fn harness() -> (DeviceMemory, Metrics, RoundState, CostModel, Vec<u64>) {
+    fn harness() -> (DeviceMemory, Metrics, RoundState, CostModel, Vec<Watch>) {
         let mut mem = DeviceMemory::new();
         mem.alloc("buf", 8);
         (
@@ -507,9 +594,9 @@ mod tests {
 
     #[test]
     fn afa_returns_old_and_never_fails() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
         let buf = mem.buffer("buf");
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         assert_eq!(ctx.atomic_add(buf, 0, 5), 0);
         assert_eq!(ctx.atomic_add(buf, 0, 5), 5);
         assert_eq!(m.global_atomics, 2);
@@ -518,9 +605,9 @@ mod tests {
 
     #[test]
     fn cas_success_and_failure_accounting() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
         let buf = mem.buffer("buf");
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         // success: word holds 0
         assert_eq!(ctx.atomic_cas(buf, 0, 0, 7), 0);
         // failure: word now holds 7, expected 0
@@ -533,9 +620,9 @@ mod tests {
 
     #[test]
     fn serialization_latency_grows_with_rank() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
         let buf = mem.buffer("buf");
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         ctx.atomic_add(buf, 0, 1); // rank 0: latency 10
         assert_eq!(ctx.latency_cycles(), 10);
         ctx.atomic_add(buf, 0, 1); // rank 1: latency 10 + 1
@@ -546,9 +633,9 @@ mod tests {
 
     #[test]
     fn issue_accumulates_latency_watermarks() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
         let buf = mem.buffer("buf");
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         ctx.global_read(buf, 0);
         ctx.global_read(buf, 1);
         ctx.charge_alu(3);
@@ -558,13 +645,13 @@ mod tests {
 
     #[test]
     fn cpu_collab_pays_svm_penalty() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
         let buf = mem.buffer("buf");
         let cpu = WaveInfo {
             class: WaveClass::CpuCollab,
             ..info()
         };
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, cpu, &mut lines);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, cpu, &mut w);
         ctx.atomic_add(buf, 0, 1);
         // SVM atomics occupy the atomic unit longer and expose longer
         // latency (the issue slot cost lives in the unit pool).
@@ -574,17 +661,17 @@ mod tests {
 
     #[test]
     fn out_of_bounds_records_fault_and_returns_zero() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
         let buf = mem.buffer("buf");
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         assert_eq!(ctx.global_read(buf, 99), 0);
         assert!(matches!(ctx.fault, Some(SimError::OutOfBounds { .. })));
     }
 
     #[test]
     fn abort_keeps_first_reason() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         ctx.abort("queue full");
         ctx.abort("second");
         assert_eq!(ctx.abort.as_deref(), Some("queue full"));
@@ -592,8 +679,8 @@ mod tests {
 
     #[test]
     fn lds_atomics_counted_and_cheap() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         ctx.lds_atomics(4);
         assert_eq!(ctx.issue_cycles(), 4 * cost.lds_atomic);
         assert_eq!(ctx.latency_cycles(), 0);
@@ -602,11 +689,53 @@ mod tests {
 
     #[test]
     fn atomic_min_and_exchange() {
-        let (mut mem, mut m, mut r, cost, mut lines) = harness();
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
         let buf = mem.buffer("buf");
-        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut lines);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
         ctx.atomic_exchange(buf, 0, 42);
         assert_eq!(ctx.atomic_min(buf, 0, 17), 42);
         assert_eq!(mem.read_u32(buf, 0), 17);
+    }
+
+    #[test]
+    fn peek_run_matches_per_word_peeks() {
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let buf = mem.buffer("buf");
+        mem.write_u32(buf, 2, 5);
+        mem.write_u32(buf, 3, 6);
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
+        let mut out = Vec::new();
+        ctx.peek_run(buf, 2, 2, &mut out);
+        assert_eq!(out, vec![5, 6]);
+        assert_eq!(ctx.issue_cycles(), 0, "peek_run is a zero-cost observer");
+        // Overrunning the buffer faults and yields nothing.
+        ctx.peek_run(buf, 6, 3, &mut out);
+        assert!(out.is_empty());
+        assert!(matches!(ctx.fault, Some(SimError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn park_watches_capture_expected_values() {
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let buf = mem.buffer("buf");
+        mem.write_u32(buf, 1, 9);
+        mem.begin_round();
+        mem.store(buf, 1, 11).unwrap(); // written this round
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
+        ctx.park_until_changed(buf, 1); // stale view: still 9
+        ctx.park_until_changed_now(buf, 1); // current view: 11
+        assert_eq!(w.len(), 2);
+        assert!(w[0].stale && w[0].expected == 9);
+        assert!(!w[1].stale && w[1].expected == 11);
+    }
+
+    #[test]
+    fn writes_mark_cycle_unparkable() {
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
+        assert!(!ctx.wrote);
+        ctx.poke(buf, 0, 1);
+        assert!(ctx.wrote);
     }
 }

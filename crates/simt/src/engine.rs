@@ -36,9 +36,22 @@
 //! offset, without paying O(total waves) per round in the long tail where
 //! only a few waves remain active. Any change here must preserve the
 //! visit order bit-for-bit; `pt-bfs`'s engine-regression test pins it.
+//!
+//! # Wave parking
+//!
+//! A kernel whose work cycle was a pure poll can register park watches
+//! (see [`WaveCtx::park_until_changed`]). The engine then stops invoking
+//! the kernel and instead, at the wave's exact rotation position each
+//! round, replays the parked cycle's captured charges (issue, latency,
+//! cache lines, metric deltas) — closed-form accrual of the identical
+//! cycle the kernel would have re-executed — until a watched word's
+//! visible value differs from the parked expectation, at which point the
+//! wave resumes real execution *that same round, at that same position*.
+//! Parking is refused (exact slow path) for cycles that wrote memory,
+//! issued atomics, faulted, aborted, or finished.
 
 use crate::config::GpuConfig;
-use crate::ctx::{WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
+use crate::ctx::{Watch, WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
 use crate::error::SimError;
 use crate::memory::DeviceMemory;
 use crate::metrics::Metrics;
@@ -104,6 +117,40 @@ pub struct RunReport {
     pub trace: Option<Trace>,
 }
 
+/// A parked wavefront: the watch list that wakes it and the captured
+/// charges of its (identical) polling cycle, replayed once per round.
+struct Park {
+    /// Words whose visible-value change wakes the wave.
+    watches: Vec<Watch>,
+    /// Issue cycles the polling cycle charged.
+    issue: u64,
+    /// Latency watermark the polling cycle charged.
+    latency: u64,
+    /// Distinct cache lines the polling cycle touched.
+    lines: u64,
+    /// Metric counters the polling cycle bumped (work_cycles included).
+    delta: Metrics,
+}
+
+/// Fieldwise `after - before` of the per-cycle metric counters. Fields a
+/// work cycle never touches (rounds, launches, makespan) stay zero, so
+/// accruing the delta via [`Metrics::merge`] is exact.
+fn metrics_delta(after: &Metrics, before: &Metrics) -> Metrics {
+    Metrics {
+        global_atomics: after.global_atomics - before.global_atomics,
+        scheduler_atomics: after.scheduler_atomics - before.scheduler_atomics,
+        cas_attempts: after.cas_attempts - before.cas_attempts,
+        cas_failures: after.cas_failures - before.cas_failures,
+        lds_atomics: after.lds_atomics - before.lds_atomics,
+        queue_empty_retries: after.queue_empty_retries - before.queue_empty_retries,
+        global_mem_ops: after.global_mem_ops - before.global_mem_ops,
+        work_cycles: after.work_cycles - before.work_cycles,
+        rounds: 0,
+        launches: 0,
+        makespan_cycles: 0,
+    }
+}
+
 /// Reusable per-run scheduling state, owned by the engine so multi-launch
 /// algorithms (level-synchronous BFS fires thousands of kernels) never
 /// reallocate it.
@@ -120,9 +167,10 @@ struct Scratch {
     round_latency: Vec<u64>,
     /// Per-CU atomic-unit occupancy this round (millicycles).
     round_atomic: Vec<u64>,
-    /// Distinct-cache-line scratch for bandwidth accounting, cleared per
-    /// work cycle.
-    lines: Vec<u64>,
+    /// Park state per wavefront (`None` = executing normally).
+    parks: Vec<Option<Park>>,
+    /// Watch-registration scratch handed to each work cycle.
+    watches: Vec<Watch>,
 }
 
 /// A simulated GPU: configuration plus device memory. Memory persists
@@ -215,7 +263,8 @@ impl Engine {
             round_issue,
             round_latency,
             round_atomic,
-            lines,
+            parks,
+            watches,
         } = &mut self.scratch;
         active.clear();
         active.extend(0..total_waves);
@@ -227,6 +276,8 @@ impl Engine {
         round_latency.resize(num_cus, 0);
         round_atomic.clear();
         round_atomic.resize(num_cus, 0);
+        parks.clear();
+        parks.resize_with(total_waves, || None);
         self.round_state
             .ensure_capacity(self.memory.allocated_words());
 
@@ -262,19 +313,43 @@ impl Engine {
             for pos in (split..active.len()).chain(0..split) {
                 let w = active[pos];
                 let info = infos[w];
-                lines.clear();
+                if let Some(park) = parks[w].as_ref() {
+                    // Wake check at the wave's exact rotation position:
+                    // identical observation ⟹ identical cycle, so replay
+                    // the captured charges and move on.
+                    let unchanged = park.watches.iter().all(|watch| {
+                        let v = if watch.stale {
+                            self.memory.stale_value(watch.addr)
+                        } else {
+                            self.memory.word(watch.addr)
+                        };
+                        v == watch.expected
+                    });
+                    if unchanged {
+                        round_issue[info.cu] += park.issue;
+                        round_latency[info.cu] = round_latency[info.cu].max(park.latency);
+                        round_lines += park.lines;
+                        metrics.merge(&park.delta);
+                        continue;
+                    }
+                    parks[w] = None;
+                }
+                watches.clear();
+                self.round_state.begin_cycle();
+                let before = metrics;
                 let mut ctx = WaveCtx::new(
                     &mut self.memory,
                     &mut metrics,
                     &mut self.round_state,
                     &self.config.cost,
                     info,
-                    lines,
+                    watches,
                 );
                 let status = kernels[w].work_cycle(&mut ctx);
                 let issue = ctx.issue;
                 let latency = ctx.latency;
                 let atomic_ops = ctx.atomic_ops;
+                let wrote = ctx.wrote;
                 let fault = ctx.fault.take();
                 let abort = ctx.abort.take();
                 if let Some(e) = fault {
@@ -288,12 +363,21 @@ impl Engine {
                 round_latency[info.cu] = round_latency[info.cu].max(latency);
                 round_atomic[info.cu] += atomic_ops * self.config.cost.atomic_unit_milli;
                 // Bandwidth: distinct cache lines this wavefront touched.
-                lines.sort_unstable();
-                lines.dedup();
-                round_lines += lines.len() as u64;
+                let cycle_lines = self.round_state.cycle_lines();
+                round_lines += cycle_lines;
                 if status == WaveStatus::Done {
                     alive[w] = false;
                     retired = true;
+                } else if !watches.is_empty() && !wrote && atomic_ops == 0 {
+                    // A pure polling cycle: park the wave and replay these
+                    // exact charges until a watched word changes.
+                    parks[w] = Some(Park {
+                        watches: std::mem::take(watches),
+                        issue,
+                        latency,
+                        lines: cycle_lines,
+                        delta: metrics_delta(&metrics, &before),
+                    });
                 }
             }
             if retired {

@@ -7,6 +7,7 @@
 //! kernel accesses are bounds-checked against their [`Buffer`] handle.
 
 use crate::error::SimError;
+use crate::round::RoundState;
 use std::collections::HashMap;
 
 /// Handle to a named device allocation (offset + length in 32-bit words).
@@ -41,52 +42,182 @@ impl Buffer {
     }
 }
 
+/// Per-word bookkeeping, one entry per device word, kept in a single table
+/// so the hot accessors (`rmw`, `stale_load`, rank lookup) touch one cache
+/// line instead of three to five parallel arrays.
+#[derive(Clone, Copy, Debug, Default)]
+struct WordMeta {
+    /// Successful-mutation counter, used by the CAS staleness model: a
+    /// staged reservation can ask how many successful atomics landed on a
+    /// word since it read it. Only deltas within one simulation are
+    /// meaningful — the counter carries across arena reuses.
+    version: u64,
+    /// Round-visibility stamp; `base_value` is live iff
+    /// `base_stamp == round_gen`.
+    base_stamp: u64,
+    /// Contention stamp; `rank_count` is live iff `rank_stamp` matches the
+    /// engine round generation ([`RoundState::rank_gen`]).
+    rank_stamp: u64,
+    /// Round-start snapshot of the word, recorded at its first mutation of
+    /// the round. Backs the one-round visibility delay for cross-wavefront
+    /// data flow: a value published in round `r` becomes observable
+    /// through stale reads in round `r + 1`.
+    base_value: u32,
+    /// Atomics that have targeted this word in the current round.
+    rank_count: u32,
+}
+
 /// Flat, host-managed device memory.
 ///
-/// The per-word side tables (`versions`, round-start snapshots) are flat
-/// vectors indexed by device address and kept exactly as long as `words`
-/// by the allocator. The snapshot table is *generation stamped*: starting
-/// a round bumps `round_gen` instead of clearing anything, and a slot's
-/// recorded base value is live only while its stamp matches. Rounds are
-/// the simulator's innermost cadence, so this keeps the hot accessors
-/// (`store`/`rmw`/`stale_load`) free of hashing and per-round clears.
+/// The per-word side table ([`WordMeta`]) is a flat vector indexed by
+/// device address and kept exactly as long as `words` by the allocator.
+/// It is *generation stamped*: starting a round bumps `round_gen` instead
+/// of clearing anything, and an entry's snapshot (or rank count) is live
+/// only while its stamp matches. Rounds are the simulator's innermost
+/// cadence, so this keeps the hot accessors (`store`/`rmw`/`stale_load`)
+/// free of hashing and per-round clears.
 #[derive(Clone, Debug)]
 pub struct DeviceMemory {
     words: Vec<u32>,
     buffers: HashMap<String, Buffer>,
-    /// Successful-mutation counter per word, used by the CAS staleness
-    /// model: a staged reservation can ask how many successful atomics
-    /// landed on a word since it read it. `0` for never-mutated words.
-    versions: Vec<u64>,
-    /// Generation stamp per word; `base_value[a]` is live iff
-    /// `base_stamp[a] == round_gen`.
-    base_stamp: Vec<u64>,
-    /// Round-start snapshot of every word mutated this round (first-write
-    /// records the old value). Backs the one-round visibility delay for
-    /// cross-wavefront data flow: a value published in round `r` becomes
-    /// observable through stale reads in round `r + 1`.
-    base_value: Vec<u32>,
-    /// Current visibility round. Starts at 1 so zeroed stamps are stale.
+    /// Merged per-word metadata (version + round snapshot + atomic rank).
+    meta: Vec<WordMeta>,
+    /// Current visibility round. Starts at 1 on a fresh arena (so zeroed
+    /// stamps are stale) and strictly above the previous life's final
+    /// round on a recycled one (so *its* stamps are stale too).
     round_gen: u64,
 }
 
 impl Default for DeviceMemory {
     fn default() -> Self {
-        DeviceMemory {
-            words: Vec::new(),
-            buffers: HashMap::new(),
-            versions: Vec::new(),
-            base_stamp: Vec::new(),
-            base_value: Vec::new(),
-            round_gen: 1,
-        }
+        Self::new()
     }
 }
 
+/// Recycled arena backing: the word and metadata vectors of the last
+/// dropped [`DeviceMemory`] on this thread. Simulation points run back to
+/// back on a worker thread and each allocates a fresh device memory;
+/// without recycling, every point re-faults hundreds of megabytes of
+/// arena pages in and unmaps them again (page-fault and `munmap` time
+/// dominated experiment setup).
+///
+/// On reuse the *word* prefix is re-zeroed (a memset of already-resident
+/// pages). The metadata table — 8× larger and mostly cold — is **not**
+/// zeroed; instead its staleness machinery absorbs the leftovers:
+///
+/// * `base_stamp` / `rank_stamp` are live only when they equal the
+///   current generation, and generations are carried forward across
+///   reuses (`round_gen` resumes from the arena's final value; rank
+///   generations are thread-monotonic via [`RoundState`]), so a stale
+///   stamp can never collide with a live one.
+/// * `version` is consumed exclusively as same-run deltas (a queue
+///   compares it against a version it captured earlier in the same
+///   simulation), so carrying it forward monotonically is unobservable.
+/// * `base_value` and `rank_count` are only read when their stamp is
+///   live.
+struct Arena {
+    words: Vec<u32>,
+    meta: Vec<WordMeta>,
+    /// Final visibility round of the previous life; the next life starts
+    /// above it so every stale `base_stamp` stays stale.
+    round_gen: u64,
+}
+
+thread_local! {
+    static ARENA_POOL: std::cell::RefCell<Option<Arena>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+impl Drop for DeviceMemory {
+    fn drop(&mut self) {
+        let words = std::mem::take(&mut self.words);
+        let meta = std::mem::take(&mut self.meta);
+        let round_gen = self.round_gen;
+        ARENA_POOL.with(|pool| {
+            let mut slot = pool.borrow_mut();
+            // Keep the larger arena: the biggest point's block serves
+            // every later point without regrowth.
+            if slot
+                .as_ref()
+                .is_none_or(|kept| kept.words.capacity() <= words.capacity())
+            {
+                *slot = Some(Arena {
+                    words,
+                    meta,
+                    round_gen,
+                });
+            }
+        });
+    }
+}
+
+/// Extends `v` to `new_len` elements *without* an explicit memset: fresh
+/// capacity comes from `alloc_zeroed`, so large tables start as
+/// lazily-mapped kernel zero pages and only the pages the simulation
+/// actually touches are ever faulted in. The word metadata table is 8×
+/// the data arena and mostly cold (read-only buffers like the CSR edge
+/// list never take a snapshot or a rank), which made the eager
+/// `Vec::resize` memset the dominant setup cost of large runs.
+///
+/// New elements are zero when the caller maintains the arena invariant:
+/// spare capacity beyond `len` is never written, so it is either pristine
+/// `alloc_zeroed` memory or a prefix explicitly re-zeroed on arena reuse.
+/// The recycled *metadata* table deliberately re-exposes its previous
+/// contents instead — see [`Arena`] for why that is sound.
+///
+/// `T` must be valid for any bit pattern reachable here (`u32` and
+/// `WordMeta` are plain integers).
+fn grow_zeroed<T: Copy>(v: &mut Vec<T>, new_len: usize) {
+    use std::alloc::{alloc_zeroed, handle_alloc_error, Layout};
+    if new_len > v.capacity() {
+        let cap = new_len.max(v.capacity() * 2).next_power_of_two();
+        let layout = Layout::array::<T>(cap).expect("device arena too large");
+        // SAFETY: `cap > 0` so the layout is non-zero-sized; the block is
+        // allocated by the global allocator with the exact layout a
+        // `Vec<T>` of capacity `cap` deallocates with, and the used prefix
+        // is copied before the old vector is dropped.
+        unsafe {
+            let ptr = alloc_zeroed(layout).cast::<T>();
+            if ptr.is_null() {
+                handle_alloc_error(layout);
+            }
+            let len = v.len();
+            std::ptr::copy_nonoverlapping(v.as_ptr(), ptr, len);
+            *v = Vec::from_raw_parts(ptr, len, cap);
+        }
+    }
+    // SAFETY: `new_len <= capacity`, and everything between the old length
+    // and `capacity` is zero by the invariant above — valid for `T`.
+    unsafe { v.set_len(new_len) };
+}
+
 impl DeviceMemory {
-    /// Creates an empty device memory.
+    /// Creates an empty device memory, recycling this thread's pooled
+    /// arena when one is available. A recycled arena has its word prefix
+    /// re-zeroed and its metadata carried forward under the staleness
+    /// rules documented on [`Arena`], so the result behaves exactly like
+    /// a fresh allocation — only the page faults are gone.
     pub fn new() -> Self {
-        Self::default()
+        let (words, meta, round_gen) = ARENA_POOL.with(|pool| match pool.borrow_mut().take() {
+            Some(mut arena) => {
+                // Restore `grow_zeroed`'s invariant for the *word* table:
+                // the used prefix is re-zeroed here, and everything
+                // between the old length and capacity was never written.
+                // The metadata table intentionally stays dirty (see
+                // `Arena`); its spare capacity likewise stays zero.
+                arena.words.fill(0);
+                arena.words.clear();
+                arena.meta.clear();
+                (arena.words, arena.meta, arena.round_gen + 1)
+            }
+            None => (Vec::new(), Vec::new(), 1),
+        });
+        DeviceMemory {
+            words,
+            buffers: HashMap::new(),
+            meta,
+            round_gen,
+        }
     }
 
     /// Allocates `len` words under `name`, zero-initialized, and returns
@@ -100,10 +231,8 @@ impl DeviceMemory {
             "buffer {name:?} allocated twice"
         );
         let offset = self.words.len();
-        self.words.resize(offset + len, 0);
-        self.versions.resize(offset + len, 0);
-        self.base_stamp.resize(offset + len, 0);
-        self.base_value.resize(offset + len, 0);
+        grow_zeroed(&mut self.words, offset + len);
+        grow_zeroed(&mut self.meta, offset + len);
         let buf = Buffer { offset, len };
         self.buffers.insert(name.to_owned(), buf);
         buf
@@ -161,13 +290,35 @@ impl DeviceMemory {
         Ok(self.words[buf.addr(index)?])
     }
 
+    /// Bounds-checks the whole run `[start, start + len)` once and returns
+    /// it as a slice — the prevalidated read path for contiguous blocks
+    /// (CSR edge chunks): one check per block instead of one per word.
+    #[inline]
+    pub(crate) fn load_run(
+        &self,
+        buf: Buffer,
+        start: usize,
+        len: usize,
+    ) -> Result<&[u32], SimError> {
+        let end =
+            start
+                .checked_add(len)
+                .filter(|&e| e <= buf.len)
+                .ok_or(SimError::OutOfBounds {
+                    index: start.saturating_add(len.saturating_sub(1)),
+                    len: buf.len,
+                })?;
+        Ok(&self.words[buf.offset + start..buf.offset + end])
+    }
+
     /// Records the round-start value of `addr` if this is its first
     /// mutation this round.
     #[inline]
     fn snapshot_base(&mut self, addr: usize, old: u32) {
-        if self.base_stamp[addr] != self.round_gen {
-            self.base_stamp[addr] = self.round_gen;
-            self.base_value[addr] = old;
+        let m = &mut self.meta[addr];
+        if m.base_stamp != self.round_gen {
+            m.base_stamp = self.round_gen;
+            m.base_value = old;
         }
     }
 
@@ -195,23 +346,63 @@ impl DeviceMemory {
         let old = self.words[addr];
         let new = f(old);
         if new != old {
-            self.versions[addr] += 1;
+            self.meta[addr].version += 1;
             self.snapshot_base(addr, old);
         }
         self.words[addr] = new;
         Ok(old)
     }
 
+    /// Registers one more atomic against `(buf, index)` in the current
+    /// round and returns its arrival rank (0 = first, pays no
+    /// serialization delay). The per-word count lives in the merged
+    /// metadata table so the subsequent `rmw` hits the same cache line;
+    /// round-scalar aggregates flow into `round`.
+    #[inline]
+    pub(crate) fn next_rank(
+        &mut self,
+        buf: Buffer,
+        index: usize,
+        round: &mut RoundState,
+    ) -> Result<u32, SimError> {
+        let addr = buf.addr(index)?;
+        let gen = round.rank_gen();
+        let m = &mut self.meta[addr];
+        if m.rank_stamp != gen {
+            m.rank_stamp = gen;
+            m.rank_count = 0;
+            round.note_new_address();
+        }
+        let rank = m.rank_count;
+        m.rank_count += 1;
+        round.note_count(m.rank_count);
+        Ok(rank)
+    }
+
     /// The value a word held at the start of the current round (the
     /// one-round-delayed view other wavefronts observe).
     #[inline]
     pub(crate) fn stale_load(&self, buf: Buffer, index: usize) -> Result<u32, SimError> {
-        let addr = buf.addr(index)?;
-        Ok(if self.base_stamp[addr] == self.round_gen {
-            self.base_value[addr]
+        Ok(self.stale_value(buf.addr(index)?))
+    }
+
+    /// Raw stale read by flat address — the engine's wake-check path for
+    /// parked waves. The address must come from a validated `flat_addr`.
+    #[inline]
+    pub(crate) fn stale_value(&self, addr: usize) -> u32 {
+        let m = &self.meta[addr];
+        if m.base_stamp == self.round_gen {
+            m.base_value
         } else {
             self.words[addr]
-        })
+        }
+    }
+
+    /// Raw current-value read by flat address (wake-check path; see
+    /// [`DeviceMemory::stale_value`]).
+    #[inline]
+    pub(crate) fn word(&self, addr: usize) -> u32 {
+        self.words[addr]
     }
 
     /// Starts a new visibility round: everything written so far becomes
@@ -225,7 +416,7 @@ impl DeviceMemory {
     #[inline]
     pub(crate) fn version(&self, buf: Buffer, index: usize) -> Result<u64, SimError> {
         let addr = buf.addr(index)?;
-        Ok(self.versions[addr])
+        Ok(self.meta[addr].version)
     }
 
     /// Flat address for contention bookkeeping.
@@ -286,6 +477,42 @@ mod tests {
     }
 
     #[test]
+    fn load_run_checks_bounds_once() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_init("a", &[1, 2, 3, 4]);
+        assert_eq!(mem.load_run(a, 1, 3).unwrap(), &[2, 3, 4]);
+        assert_eq!(mem.load_run(a, 4, 0).unwrap(), &[]);
+        assert!(mem.load_run(a, 2, 3).is_err());
+        assert!(mem.load_run(a, usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn stale_load_sees_round_start_value() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 1);
+        mem.begin_round();
+        mem.store(a, 0, 7).unwrap();
+        // Same round: stale view still shows the round-start value.
+        assert_eq!(mem.stale_load(a, 0).unwrap(), 0);
+        assert_eq!(mem.load(a, 0).unwrap(), 7);
+        mem.begin_round();
+        assert_eq!(mem.stale_load(a, 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn versions_count_value_changes_only() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 1);
+        // Versions carry across arena reuses, so only deltas are
+        // meaningful — which is also all the queue staleness models read.
+        let v0 = mem.version(a, 0).unwrap();
+        mem.rmw(a, 0, |v| v + 1).unwrap();
+        mem.rmw(a, 0, |v| v).unwrap(); // no change
+        mem.rmw(a, 0, |v| v + 1).unwrap();
+        assert_eq!(mem.version(a, 0).unwrap(), v0 + 2);
+    }
+
+    #[test]
     #[should_panic(expected = "allocated twice")]
     fn duplicate_names_rejected() {
         let mut mem = DeviceMemory::new();
@@ -298,6 +525,60 @@ mod tests {
     fn unknown_buffer_panics() {
         let mem = DeviceMemory::new();
         mem.buffer("ghost");
+    }
+
+    #[test]
+    fn arena_growth_preserves_contents_and_zeroes_new_space() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_init("a", &[7; 100]);
+        // Force several capacity growths past the first block.
+        let b = mem.alloc("b", 10_000);
+        let c = mem.alloc("c", 300_000);
+        assert_eq!(mem.read_slice(a), &[7u32; 100][..]);
+        assert!(mem.read_slice(b).iter().all(|&w| w == 0));
+        assert!(mem.read_slice(c).iter().all(|&w| w == 0));
+        let v0 = mem.version(c, 299_999).unwrap();
+        mem.write_u32(c, 299_999, 5);
+        mem.rmw(c, 299_999, |v| v + 1).unwrap();
+        assert_eq!(mem.read_u32(c, 299_999), 6);
+        assert_eq!(mem.version(c, 299_999).unwrap(), v0 + 1);
+    }
+
+    #[test]
+    fn recycled_arena_is_indistinguishable_from_fresh() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 1000);
+        mem.fill(a, 0xDEAD_BEEF);
+        mem.rmw(a, 5, |v| v.wrapping_add(1)).unwrap();
+        mem.begin_round();
+        mem.store(a, 7, 3).unwrap();
+        let gen_before = mem.round_gen;
+        drop(mem); // arena returns to this thread's pool
+        let mut mem2 = DeviceMemory::new();
+        let b = mem2.alloc("b", 2000);
+        // Words are re-zeroed; stale snapshots of the previous life are
+        // invisible because the visibility round carried forward past
+        // every old stamp.
+        assert!(mem2.round_gen > gen_before);
+        assert!(mem2.read_slice(b).iter().all(|&w| w == 0));
+        assert_eq!(mem2.stale_load(b, 7).unwrap(), 0);
+        assert_eq!(mem2.load(b, 7).unwrap(), 0);
+        // A version delta still starts at zero changes.
+        let v0 = mem2.version(b, 5).unwrap();
+        mem2.rmw(b, 5, |v| v).unwrap();
+        assert_eq!(mem2.version(b, 5).unwrap(), v0);
+    }
+
+    #[test]
+    fn grow_zeroed_is_idempotent_within_capacity() {
+        let mut v: Vec<u32> = Vec::new();
+        super::grow_zeroed(&mut v, 3);
+        v[1] = 9;
+        super::grow_zeroed(&mut v, 3);
+        let cap = v.capacity();
+        super::grow_zeroed(&mut v, cap);
+        assert_eq!(v[1], 9);
+        assert!(v.iter().enumerate().all(|(i, &w)| w == 0 || i == 1));
     }
 
     #[test]

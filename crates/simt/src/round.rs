@@ -1,4 +1,4 @@
-//! Per-round atomic contention bookkeeping.
+//! Per-round atomic contention and per-cycle bandwidth bookkeeping.
 //!
 //! Within one scheduling round, every global atomic that targets the same
 //! word queues up at that word's memory partition. The k-th arrival pays
@@ -10,40 +10,99 @@
 //! # Representation
 //!
 //! Device addresses are small dense integers (flat word indices into
-//! [`crate::DeviceMemory`]), so the per-address counters live in a flat
-//! table indexed by address rather than a hash map. Rounds are extremely
-//! frequent — one per simulated work cycle — so the table is *generation
-//! stamped*: starting a round just bumps a counter, and a slot's count is
-//! live only if its stamp matches the current generation. No per-round
-//! clear, no rehashing, no allocation in the steady state.
+//! [`crate::DeviceMemory`]), so per-address counters live in flat tables
+//! indexed by address rather than a hash map, and every table is
+//! *generation stamped*: starting a round (or a work cycle) just bumps a
+//! counter, and a slot is live only if its stamp matches the current
+//! generation. No per-round clear, no rehashing, no allocation in the
+//! steady state.
+//!
+//! The per-word rank table itself lives inside [`crate::DeviceMemory`]'s
+//! merged word-metadata table (one cache line fetch serves the atomic's
+//! value, version, round-start snapshot, *and* rank) — this struct holds
+//! the round-scalar aggregates plus the per-*cache-line* bandwidth table:
+//! each work cycle, the first touch of a cache line stamps it and bumps a
+//! counter, replacing the historical per-wave `Vec` + `sort_unstable` +
+//! `dedup` distinct-line accounting with O(1) per touch.
 
-/// Tracks, for the current round, how many atomics have already targeted
-/// each flat device address.
+/// Next rank generation, process-wide. Rank stamps live in
+/// [`crate::DeviceMemory`]'s pooled word-metadata table, which is reused
+/// *without* re-zeroing; generations must therefore never be reused, or a
+/// stale stamp from an arena's previous life could collide with a live
+/// one. Every [`RoundState`] draws its starting generation here and
+/// pushes the high-water mark back on each round, so any later round
+/// state's generations exceed every stamp ever written.
+static NEXT_RANK_GEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+thread_local! {
+    /// Recycled cache-line stamp table (with its final generation): the
+    /// same page-fault-avoidance as the device-memory arena pool.
+    static LINE_POOL: std::cell::RefCell<Option<(Vec<u64>, u64)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Round-scalar contention aggregates and the stamped cache-line table.
 #[derive(Debug)]
 pub struct RoundState {
-    /// Generation stamp per address; a slot is live iff `stamps[a] == gen`.
-    stamps: Vec<u64>,
-    /// Atomic count per address, valid only when the stamp is live.
-    counts: Vec<u32>,
-    /// Current round generation. Starts at 1 so zeroed stamps are stale.
+    /// Generation stamp per cache line; a line has been touched this work
+    /// cycle iff `line_stamp[l] == line_gen`.
+    line_stamp: Vec<u64>,
+    /// Current work-cycle generation for `line_stamp` (bumped every cycle,
+    /// never reused).
+    line_gen: u64,
+    /// Distinct cache lines touched in the current work cycle.
+    cycle_lines: u64,
+    /// Current round generation for the per-word rank stamps in
+    /// [`crate::DeviceMemory`]. Drawn from the process-wide
+    /// [`NEXT_RANK_GEN`] high-water mark, so it exceeds every stamp in
+    /// any recycled arena (and zeroed stamps are always stale).
     gen: u64,
-    /// Live distinct addresses this round (maintained incrementally).
+    /// Live distinct atomic addresses this round (maintained incrementally).
     distinct: usize,
-    /// Largest live count this round (maintained incrementally).
+    /// Largest live same-address atomic count this round.
     max_count: u32,
 }
 
 impl Default for RoundState {
     fn default() -> Self {
+        use std::sync::atomic::Ordering;
+        // A recycled line table carries its generation with it (+1 so the
+        // previous life's final cycle is stale); rank generations come
+        // from the process-wide counter so they can never collide with
+        // stamps left in a recycled device-memory arena.
+        let (line_stamp, line_gen) = LINE_POOL
+            .with(|pool| pool.borrow_mut().take())
+            .map(|(stamp, gen)| (stamp, gen + 1))
+            .unwrap_or((Vec::new(), 1));
         RoundState {
-            stamps: Vec::new(),
-            counts: Vec::new(),
-            gen: 1,
+            line_stamp,
+            line_gen,
+            cycle_lines: 0,
+            gen: NEXT_RANK_GEN.fetch_add(1, Ordering::Relaxed),
             distinct: 0,
             max_count: 0,
         }
     }
 }
+
+impl Drop for RoundState {
+    fn drop(&mut self) {
+        let stamp = std::mem::take(&mut self.line_stamp);
+        let gen = self.line_gen;
+        LINE_POOL.with(|pool| {
+            let mut slot = pool.borrow_mut();
+            if slot
+                .as_ref()
+                .is_none_or(|(kept, _)| kept.capacity() <= stamp.capacity())
+            {
+                *slot = Some((stamp, gen));
+            }
+        });
+    }
+}
+
+/// Words per 64-byte cache line (shared with [`crate::WaveCtx`]).
+pub(crate) const LINE_WORDS: usize = 16;
 
 impl RoundState {
     /// Creates an empty round state.
@@ -51,38 +110,71 @@ impl RoundState {
         Self::default()
     }
 
-    /// Pre-sizes the table for a device of `words` addressable words, so
-    /// the hot path never grows it. Addresses beyond this still work (the
-    /// table grows on demand).
+    /// Pre-sizes the cache-line table for a device of `words` addressable
+    /// words, so the hot path never grows it. Lines beyond this still work
+    /// (the table grows on demand).
     pub fn ensure_capacity(&mut self, words: usize) {
-        if self.stamps.len() < words {
-            self.stamps.resize(words, 0);
-            self.counts.resize(words, 0);
+        let lines = words.div_ceil(LINE_WORDS);
+        if self.line_stamp.len() < lines {
+            self.line_stamp.resize(lines, 0);
         }
     }
 
-    /// Invalidates all counts; called by the engine between rounds.
+    /// Invalidates all per-word rank counts; called by the engine between
+    /// rounds.
     pub fn begin_round(&mut self) {
         self.gen += 1;
+        // Publish the high-water mark so generations drawn later (by any
+        // round state, for any recycled arena) stay above our stamps.
+        NEXT_RANK_GEN.fetch_max(self.gen + 1, std::sync::atomic::Ordering::Relaxed);
         self.distinct = 0;
         self.max_count = 0;
     }
 
-    /// Registers one more atomic against `addr` and returns its arrival
-    /// rank within this round (0 = first, pays no serialization delay).
-    pub fn next_rank(&mut self, addr: usize) -> u32 {
-        if addr >= self.stamps.len() {
-            self.ensure_capacity(addr + 1);
+    /// Starts a new work cycle: invalidates the cache-line table and
+    /// resets the distinct-line counter. Called by the engine before every
+    /// kernel work cycle.
+    pub fn begin_cycle(&mut self) {
+        self.line_gen += 1;
+        self.cycle_lines = 0;
+    }
+
+    /// Registers a cache-line touch for bandwidth accounting. The first
+    /// touch of a line per work cycle counts; repeats are free — exactly
+    /// the distinct-line count the sort+dedup reference produced.
+    #[inline]
+    pub fn touch_line(&mut self, line: usize) {
+        if line >= self.line_stamp.len() {
+            self.line_stamp.resize(line + 1, 0);
         }
-        if self.stamps[addr] != self.gen {
-            self.stamps[addr] = self.gen;
-            self.counts[addr] = 0;
-            self.distinct += 1;
+        if self.line_stamp[line] != self.line_gen {
+            self.line_stamp[line] = self.line_gen;
+            self.cycle_lines += 1;
         }
-        let rank = self.counts[addr];
-        self.counts[addr] += 1;
-        self.max_count = self.max_count.max(self.counts[addr]);
-        rank
+    }
+
+    /// Distinct cache lines touched in the current work cycle.
+    pub fn cycle_lines(&self) -> u64 {
+        self.cycle_lines
+    }
+
+    /// The round generation used to stamp per-word rank slots in
+    /// [`crate::DeviceMemory`].
+    #[inline]
+    pub(crate) fn rank_gen(&self) -> u64 {
+        self.gen
+    }
+
+    /// Records that an address received its first atomic of this round.
+    #[inline]
+    pub(crate) fn note_new_address(&mut self) {
+        self.distinct += 1;
+    }
+
+    /// Records an address's updated same-round atomic count.
+    #[inline]
+    pub(crate) fn note_count(&mut self, count: u32) {
+        self.max_count = self.max_count.max(count);
     }
 
     /// Number of distinct contended addresses this round (diagnostics).
@@ -100,60 +192,103 @@ impl RoundState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::DeviceMemory;
+
+    /// Rank bookkeeping now flows through the merged word-metadata table;
+    /// exercise it the way `WaveCtx::global_atomic` does.
+    fn rank(mem: &mut DeviceMemory, rs: &mut RoundState, index: usize) -> u32 {
+        let buf = mem.buffer("a");
+        mem.next_rank(buf, index, rs).unwrap()
+    }
+
+    fn arena() -> DeviceMemory {
+        let mut mem = DeviceMemory::new();
+        mem.alloc("a", 64);
+        mem
+    }
 
     #[test]
     fn ranks_increment_per_address() {
+        let mut mem = arena();
         let mut rs = RoundState::new();
-        assert_eq!(rs.next_rank(10), 0);
-        assert_eq!(rs.next_rank(10), 1);
-        assert_eq!(rs.next_rank(10), 2);
-        assert_eq!(rs.next_rank(11), 0);
+        assert_eq!(rank(&mut mem, &mut rs, 10), 0);
+        assert_eq!(rank(&mut mem, &mut rs, 10), 1);
+        assert_eq!(rank(&mut mem, &mut rs, 10), 2);
+        assert_eq!(rank(&mut mem, &mut rs, 11), 0);
     }
 
     #[test]
     fn max_same_address_tracks_hottest_word() {
+        let mut mem = arena();
         let mut rs = RoundState::new();
         assert_eq!(rs.max_same_address(), 0);
-        rs.next_rank(10);
-        rs.next_rank(10);
-        rs.next_rank(11);
+        rank(&mut mem, &mut rs, 10);
+        rank(&mut mem, &mut rs, 10);
+        rank(&mut mem, &mut rs, 11);
         assert_eq!(rs.max_same_address(), 2);
     }
 
     #[test]
     fn begin_round_resets() {
+        let mut mem = arena();
         let mut rs = RoundState::new();
-        rs.next_rank(5);
-        rs.next_rank(5);
+        rank(&mut mem, &mut rs, 5);
+        rank(&mut mem, &mut rs, 5);
         rs.begin_round();
-        assert_eq!(rs.next_rank(5), 0);
+        assert_eq!(rank(&mut mem, &mut rs, 5), 0);
         assert_eq!(rs.distinct_addresses(), 1);
     }
 
     #[test]
     fn stale_generations_do_not_leak_counts() {
+        let mut mem = arena();
         let mut rs = RoundState::new();
-        rs.next_rank(3);
-        rs.next_rank(3);
-        rs.next_rank(7);
+        rank(&mut mem, &mut rs, 3);
+        rank(&mut mem, &mut rs, 3);
+        rank(&mut mem, &mut rs, 7);
         assert_eq!(rs.distinct_addresses(), 2);
         rs.begin_round();
         assert_eq!(rs.distinct_addresses(), 0);
         assert_eq!(rs.max_same_address(), 0);
         // Address 7 untouched this round: its old count must not surface.
-        assert_eq!(rs.next_rank(7), 0);
+        assert_eq!(rank(&mut mem, &mut rs, 7), 0);
         assert_eq!(rs.max_same_address(), 1);
+    }
+
+    #[test]
+    fn line_touches_dedup_within_a_cycle() {
+        let mut rs = RoundState::new();
+        rs.begin_cycle();
+        rs.touch_line(3);
+        rs.touch_line(3);
+        rs.touch_line(4);
+        rs.touch_line(3);
+        assert_eq!(rs.cycle_lines(), 2);
+    }
+
+    #[test]
+    fn begin_cycle_resets_line_counts() {
+        let mut rs = RoundState::new();
+        rs.begin_cycle();
+        rs.touch_line(9);
+        rs.begin_cycle();
+        assert_eq!(rs.cycle_lines(), 0);
+        // The same line counts again in the new cycle.
+        rs.touch_line(9);
+        assert_eq!(rs.cycle_lines(), 1);
     }
 
     #[test]
     fn capacity_hint_matches_on_demand_growth() {
         let mut sized = RoundState::new();
-        sized.ensure_capacity(100);
+        sized.ensure_capacity(100 * LINE_WORDS);
         let mut lazy = RoundState::new();
-        for addr in [99, 0, 99, 42] {
-            assert_eq!(sized.next_rank(addr), lazy.next_rank(addr));
+        sized.begin_cycle();
+        lazy.begin_cycle();
+        for line in [99, 0, 99, 42] {
+            sized.touch_line(line);
+            lazy.touch_line(line);
         }
-        assert_eq!(sized.max_same_address(), lazy.max_same_address());
-        assert_eq!(sized.distinct_addresses(), lazy.distinct_addresses());
+        assert_eq!(sized.cycle_lines(), lazy.cycle_lines());
     }
 }

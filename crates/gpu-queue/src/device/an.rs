@@ -19,7 +19,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::WaveCtx;
+use simt::{OpSpec, WaveCtx};
 
 /// Per-wavefront handle to an AN device queue.
 #[derive(Clone, Debug)]
@@ -53,7 +53,15 @@ impl WaveQueue for AnWaveQueue {
             return;
         }
         // Proxy aggregation of lane demand (the arbitrary-n property,
-        // same local-atomic pattern as RF/AN).
+        // same local-atomic pattern as RF/AN). Arbitrary-n without
+        // retry-free: never an AFA; zero or one real CAS (the single proxy
+        // reservation, declared on the path that reaches it); retry storms
+        // and queue-empty retries are this design's legitimate overhead.
+        ctx.audit_begin(
+            OpSpec::new("AN", "acquire")
+                .allow_storms()
+                .allow_empty_retries(),
+        );
         ctx.charge_alu(1);
         ctx.lds_atomics(u64::from(hungry));
 
@@ -74,12 +82,14 @@ impl WaveQueue for AnWaveQueue {
             // No CAS was attempted, so no retry storm either.
             ctx.count_queue_empty_retries(u64::from(hungry));
             self.front_seen = Some(version);
+            ctx.audit_end();
             return;
         }
         // Contention tax: every successful reservation that landed since
         // our previous visit invalidated one read-to-CAS window of the
         // retry loop this reservation runs through.
         let storms = ctx.charge_cas_retry_storm(delta);
+        ctx.audit_expect_cas(1);
         let observed = ctx.atomic_cas(self.layout.state, FRONT, front, front + n);
         ctx.count_scheduler_atomics(storms + 1);
         debug_assert_eq!(observed, front, "fresh-read CAS must win in-sim");
@@ -106,6 +116,7 @@ impl WaveQueue for AnWaveQueue {
         if hungry > n {
             ctx.count_queue_empty_retries(u64::from(hungry - n));
         }
+        ctx.audit_end();
     }
 
     fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
@@ -127,6 +138,7 @@ impl WaveQueue for AnWaveQueue {
         if tokens.is_empty() {
             return 0;
         }
+        ctx.audit_begin(OpSpec::new("AN", "enqueue").allow_storms());
         ctx.charge_alu(1);
         ctx.lds_atomics(tokens.len() as u64);
 
@@ -146,8 +158,12 @@ impl WaveQueue for AnWaveQueue {
                 "queue full: rear {rear} + {n} exceeds capacity {}",
                 self.layout.capacity
             ));
+            // Bound check precedes the CAS: zero reservations issued, so
+            // the scope validates cleanly even on the abort path.
+            ctx.audit_end();
             return 0;
         }
+        ctx.audit_expect_cas(1);
         let observed = ctx.atomic_cas(self.layout.state, REAR, rear, rear + n);
         ctx.count_scheduler_atomics(1);
         debug_assert_eq!(observed, rear, "fresh-read CAS must win in-sim");
@@ -159,6 +175,7 @@ impl WaveQueue for AnWaveQueue {
             debug_assert!(tok < DNA);
             ctx.poke(self.layout.slots, rear as usize + i, tok);
         }
+        ctx.audit_end();
         tokens.len()
     }
 }

@@ -25,7 +25,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::WaveCtx;
+use simt::{OpSpec, WaveCtx};
 
 /// Per-wavefront handle to a BASE device queue.
 #[derive(Clone, Debug)]
@@ -64,6 +64,14 @@ impl WaveQueue for BaseWaveQueue {
         if hungry.is_empty() {
             return;
         }
+        // BASE's budget is the anti-claim: never an AFA (reservations are
+        // all CAS), but the per-lane CAS count depends on occupancy and
+        // staleness, so it stays unconstrained.
+        ctx.audit_begin(
+            OpSpec::new("BASE", "acquire")
+                .any_cas()
+                .allow_empty_retries(),
+        );
 
         let version = ctx.atomic_version(self.layout.state, FRONT);
         let delta = self
@@ -108,6 +116,7 @@ impl WaveQueue for BaseWaveQueue {
         }
         ctx.count_scheduler_atomics(wasted);
         self.front_seen = Some(ctx.atomic_version(self.layout.state, FRONT));
+        ctx.audit_end();
     }
 
     fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
@@ -128,6 +137,7 @@ impl WaveQueue for BaseWaveQueue {
         if tokens.is_empty() {
             return 0;
         }
+        ctx.audit_begin(OpSpec::new("BASE", "enqueue").any_cas());
         // Staleness-wasted attempts, as on the dequeue side (halved:
         // enqueues visit the counter less often than dequeue polls).
         let version = ctx.atomic_version(self.layout.state, REAR);
@@ -160,6 +170,7 @@ impl WaveQueue for BaseWaveQueue {
             rear += 1;
         }
         self.rear_seen = Some(ctx.atomic_version(self.layout.state, REAR));
+        ctx.audit_end();
         accepted
     }
 }

@@ -244,7 +244,9 @@ pub(crate) mod testutil {
         let wave_size = engine.config().wave_size;
         let report = engine
             .run(
-                Launch::workgroups(wgs).with_max_rounds(2_000_000),
+                Launch::workgroups(wgs)
+                    .with_max_rounds(2_000_000)
+                    .with_audit(),
                 |_info| PumpKernel {
                     queue: make_wave_queue(variant, layout),
                     lanes: vec![LanePhase::Idle; wave_size],

@@ -20,7 +20,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::WaveCtx;
+use simt::{OpSpec, WaveCtx};
 
 /// Per-wavefront handle to an RF/AN device queue. Stateless beyond the
 /// layout and a reusable poll scratch: the design needs no staged reads
@@ -51,6 +51,9 @@ impl WaveQueue for RfAnWaveQueue {
     fn acquire(&mut self, ctx: &mut WaveCtx<'_>, lanes: &mut [LanePhase]) {
         // ---- Listing 1: slot reservation for hungry lanes ----
         let hungry = lanes.iter().filter(|l| **l == LanePhase::Hungry).count() as u32;
+        // The headline claim, auditable: one global AFA iff any lane is
+        // hungry, never a CAS, never a retry of any kind.
+        ctx.audit_begin(OpSpec::new("RF/AN", "acquire").afa_exact(u64::from(hungry > 0)));
         if hungry > 0 {
             // Proxy zeroes lQueueSlotsNeeded; hungry lanes atomic_inc it in
             // lock-step (local atomics never fail and are latency-hidden).
@@ -122,6 +125,7 @@ impl WaveQueue for RfAnWaveQueue {
                 // will release the lane.
             }
         }
+        ctx.audit_end();
     }
 
     fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
@@ -130,7 +134,11 @@ impl WaveQueue for RfAnWaveQueue {
         }
         // Lanes publish their per-lane counts with local atomics
         // (Listing 3 lines 8–11), then the proxy reserves the whole
-        // region with one AFA on Rear (lines 14–16).
+        // region with one AFA on Rear (lines 14–16). Exactly one global
+        // atomic regardless of batch size — the arbitrary-n claim. (Abort
+        // paths below leave the scope open unvalidated; the abort already
+        // fails the run.)
+        ctx.audit_begin(OpSpec::new("RF/AN", "enqueue").afa_exact(1));
         ctx.charge_alu(1);
         ctx.lds_atomics(tokens.len() as u64);
         let base = ctx.atomic_add(self.layout.state, REAR, tokens.len() as u32);
@@ -160,6 +168,7 @@ impl WaveQueue for RfAnWaveQueue {
             }
             ctx.poke(self.layout.slots, slot, tok);
         }
+        ctx.audit_end();
         tokens.len()
     }
 

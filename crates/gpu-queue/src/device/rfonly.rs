@@ -13,7 +13,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::WaveCtx;
+use simt::{OpSpec, WaveCtx};
 
 /// Per-wavefront handle to an RF-only device queue.
 #[derive(Clone, Debug)]
@@ -42,6 +42,10 @@ impl WaveQueue for RfOnlyWaveQueue {
         // Per-lane reservation: every hungry lane issues its own global
         // AFA in lock-step — they all succeed (AFA never fails), but each
         // occupies an issue slot and a place in the serialization queue.
+        // Retry-free without arbitrary-n: exactly one AFA *per hungry
+        // lane*, never a CAS, never a retry.
+        let hungry = lanes.iter().filter(|l| **l == LanePhase::Hungry).count() as u64;
+        ctx.audit_begin(OpSpec::new("RF-only", "acquire").afa_exact(hungry));
         for lane in lanes.iter_mut() {
             if *lane == LanePhase::Hungry {
                 let slot = ctx.atomic_add(self.layout.state, FRONT, 1);
@@ -92,6 +96,7 @@ impl WaveQueue for RfOnlyWaveQueue {
                 }
             }
         }
+        ctx.audit_end();
     }
 
     fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
@@ -99,6 +104,7 @@ impl WaveQueue for RfOnlyWaveQueue {
             return 0;
         }
         // One AFA per token — no proxy aggregation.
+        ctx.audit_begin(OpSpec::new("RF-only", "enqueue").afa_exact(tokens.len() as u64));
         for &tok in tokens {
             debug_assert!(tok < DNA);
             let slot = ctx.atomic_add(self.layout.state, REAR, 1) as usize;
@@ -117,6 +123,7 @@ impl WaveQueue for RfOnlyWaveQueue {
             }
             ctx.global_write_lane(self.layout.slots, slot, tok);
         }
+        ctx.audit_end();
         tokens.len()
     }
 

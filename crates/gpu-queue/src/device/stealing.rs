@@ -27,7 +27,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::{DeviceMemory, WaveCtx};
+use simt::{DeviceMemory, OpSpec, WaveCtx};
 
 /// Host-side handle to one queue per compute unit.
 #[derive(Clone, Debug)]
@@ -123,6 +123,9 @@ impl WaveQueue for StealingWaveQueue {
             .filter(|(_, l)| **l == LanePhase::Hungry)
             .map(|(i, _)| i)
             .collect();
+        // Locally retry-free: never a CAS; one AFA iff the scan found
+        // backlog (declared below); a failed scan counts empty retries.
+        ctx.audit_begin(OpSpec::new("stealing", "acquire").allow_empty_retries());
         if !hungry.is_empty() {
             ctx.charge_alu(1);
             ctx.lds_atomics(hungry.len() as u64);
@@ -157,6 +160,7 @@ impl WaveQueue for StealingWaveQueue {
                         STEAL_BATCH
                     };
                     let n = (hungry.len() as u32).min(b).min(cap);
+                    ctx.audit_expect_afa(1);
                     let base = self.reserve(ctx, q, n);
                     for (offset, &lane) in hungry.iter().take(n as usize).enumerate() {
                         lanes[lane] = LanePhase::Monitoring(Self::pack(q, base + offset as u32));
@@ -189,6 +193,7 @@ impl WaveQueue for StealingWaveQueue {
                 }
             }
         }
+        ctx.audit_end();
     }
 
     fn register_idle_watches(&self, ctx: &mut WaveCtx<'_>, lanes: &[LanePhase]) -> bool {
@@ -217,6 +222,7 @@ impl WaveQueue for StealingWaveQueue {
             return 0;
         }
         let home = &self.queues[self.home];
+        ctx.audit_begin(OpSpec::new("stealing", "enqueue").afa_exact(1));
         ctx.charge_alu(1);
         ctx.lds_atomics(tokens.len() as u64);
         let base = ctx.atomic_add(home.state, REAR, tokens.len() as u32);
@@ -243,6 +249,7 @@ impl WaveQueue for StealingWaveQueue {
             }
             ctx.poke(home.slots, slot, tok);
         }
+        ctx.audit_end();
         tokens.len()
     }
 }

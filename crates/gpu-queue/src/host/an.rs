@@ -35,6 +35,87 @@ impl AnQueue {
         self.slots.len()
     }
 
+    // ---- Step-decomposed primitives ----
+    //
+    // As in `BaseQueue`, the public batch operations are drivers over
+    // single-step shims so the `verify` explorer can interleave the exact
+    // production memory accesses. Strong CAS keeps explored schedules
+    // deterministic (a weak CAS may fail spuriously).
+
+    /// One step: read `Rear`.
+    pub(crate) fn step_load_rear(&self) -> u64 {
+        self.rear.load(Ordering::Acquire)
+    }
+
+    /// One step: read `Front`.
+    pub(crate) fn step_load_front(&self) -> u64 {
+        self.front.load(Ordering::Acquire)
+    }
+
+    /// One batch CAS attempt on `Rear`; `Ok` claims `expected..expected+n`.
+    pub(crate) fn step_cas_rear(&self, expected: u64, n: u64) -> Result<(), u64> {
+        self.stats.cas_attempt();
+        match self.rear.compare_exchange(
+            expected,
+            expected + n,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(actual) => {
+                self.stats.cas_failure();
+                Err(actual)
+            }
+        }
+    }
+
+    /// One batch CAS attempt on `Front`; `Ok` claims `expected..expected+n`.
+    pub(crate) fn step_cas_front(&self, expected: u64, n: u64) -> Result<(), u64> {
+        self.stats.cas_attempt();
+        match self.front.compare_exchange(
+            expected,
+            expected + n,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(actual) => {
+                self.stats.cas_failure();
+                Err(actual)
+            }
+        }
+    }
+
+    /// One step: publish `token` into the claimed `slot`.
+    pub(crate) fn step_publish(&self, slot: u64, token: u32) {
+        debug_assert!(token < DNA);
+        self.slots[slot as usize].store(token, Ordering::Release);
+    }
+
+    /// Non-counting probe: whether the claimed `slot` holds data yet.
+    pub(crate) fn slot_ready(&self, slot: u64) -> bool {
+        self.slots[slot as usize].load(Ordering::Acquire) != DNA
+    }
+
+    /// One step: take data from the claimed `slot` (restoring the
+    /// sentinel), or count a data wait if it has not been published yet.
+    pub(crate) fn step_take_slot(&self, slot: u64) -> Option<u32> {
+        let s = &self.slots[slot as usize];
+        let v = s.load(Ordering::Acquire);
+        if v == DNA {
+            self.stats.data_wait();
+            None
+        } else {
+            s.store(DNA, Ordering::Relaxed);
+            Some(v)
+        }
+    }
+
+    /// One step: record the queue-empty exception.
+    pub(crate) fn step_pop_empty(&self) {
+        self.stats.empty_retry();
+    }
+
     /// Enqueues a whole batch with one (looping) CAS reservation on
     /// `Rear`, then publishes each token.
     pub fn push_batch(&self, tokens: &[u32]) -> Result<(), QueueFull> {
@@ -42,31 +123,21 @@ impl AnQueue {
             return Ok(());
         }
         let n = tokens.len() as u64;
-        let mut rear = self.rear.load(Ordering::Acquire);
+        let mut rear = self.step_load_rear();
         loop {
             if rear as usize + tokens.len() > self.slots.len() {
                 return Err(QueueFull {
                     capacity: self.slots.len(),
                 });
             }
-            self.stats.cas_attempt();
-            match self.rear.compare_exchange_weak(
-                rear,
-                rear + n,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
+            match self.step_cas_rear(rear, n) {
+                Ok(()) => {
                     for (i, &tok) in tokens.iter().enumerate() {
-                        debug_assert!(tok < DNA);
-                        self.slots[rear as usize + i].store(tok, Ordering::Release);
+                        self.step_publish(rear + i as u64, tok);
                     }
                     return Ok(());
                 }
-                Err(actual) => {
-                    self.stats.cas_failure();
-                    rear = actual;
-                }
+                Err(actual) => rear = actual,
             }
         }
     }
@@ -78,44 +149,31 @@ impl AnQueue {
         if max == 0 {
             return 0;
         }
-        let mut front = self.front.load(Ordering::Acquire);
+        let mut front = self.step_load_front();
         loop {
-            let rear = self.rear.load(Ordering::Acquire);
+            let rear = self.step_load_rear();
             let avail = rear.saturating_sub(front);
             if avail == 0 {
-                self.stats.empty_retry();
+                self.step_pop_empty();
                 return 0;
             }
             let n = avail.min(max as u64);
-            self.stats.cas_attempt();
-            match self.front.compare_exchange_weak(
-                front,
-                front + n,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
+            match self.step_cas_front(front, n) {
+                Ok(()) => {
                     for s in front..front + n {
-                        let slot = &self.slots[s as usize];
                         // Publication follows reservation on the producer
                         // side; spin for the (brief) window.
                         loop {
-                            let v = slot.load(Ordering::Acquire);
-                            if v != DNA {
-                                slot.store(DNA, Ordering::Relaxed);
+                            if let Some(v) = self.step_take_slot(s) {
                                 out.push(v);
                                 break;
                             }
-                            self.stats.data_wait();
                             std::hint::spin_loop();
                         }
                     }
                     return n as usize;
                 }
-                Err(actual) => {
-                    self.stats.cas_failure();
-                    front = actual;
-                }
+                Err(actual) => front = actual,
             }
         }
     }

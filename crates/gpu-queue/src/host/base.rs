@@ -36,32 +36,108 @@ impl BaseQueue {
         self.slots.len()
     }
 
+    // ---- Step-decomposed primitives ----
+    //
+    // The public operations are thin drivers over these single-step shims
+    // so the `verify` explorer can interleave *the same* shared-memory
+    // accesses the production path executes, one step at a time. The CAS
+    // shims use the strong `compare_exchange` (a weak CAS may fail
+    // spuriously, which would make explored schedules nondeterministic;
+    // on the architectures we run, strong and weak compile identically
+    // for this pattern).
+
+    /// One step: read `Rear`.
+    pub(crate) fn step_load_rear(&self) -> u64 {
+        self.rear.load(Ordering::Acquire)
+    }
+
+    /// One step: read `Front`.
+    pub(crate) fn step_load_front(&self) -> u64 {
+        self.front.load(Ordering::Acquire)
+    }
+
+    /// One push CAS attempt on `Rear`; `Ok` claims slot `expected`.
+    pub(crate) fn step_cas_rear(&self, expected: u64) -> Result<(), u64> {
+        self.stats.cas_attempt();
+        match self.rear.compare_exchange(
+            expected,
+            expected + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(actual) => {
+                self.stats.cas_failure();
+                Err(actual)
+            }
+        }
+    }
+
+    /// One pop CAS attempt on `Front`; `Ok` claims slot `expected`.
+    pub(crate) fn step_cas_front(&self, expected: u64) -> Result<(), u64> {
+        self.stats.cas_attempt();
+        match self.front.compare_exchange(
+            expected,
+            expected + 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => Ok(()),
+            Err(actual) => {
+                self.stats.cas_failure();
+                Err(actual)
+            }
+        }
+    }
+
+    /// One step: publish `token` into the claimed `slot`.
+    pub(crate) fn step_publish(&self, slot: u64, token: u32) {
+        self.slots[slot as usize].store(token, Ordering::Release);
+    }
+
+    /// Non-counting probe: whether the claimed `slot` holds data yet. The
+    /// explorer uses it to decide when a blocked consumer can progress;
+    /// it performs no step of its own.
+    pub(crate) fn slot_ready(&self, slot: u64) -> bool {
+        self.slots[slot as usize].load(Ordering::Acquire) != DNA
+    }
+
+    /// One step: take data from the claimed `slot` (restoring the
+    /// sentinel), or count a data wait if it has not been published yet.
+    pub(crate) fn step_take_slot(&self, slot: u64) -> Option<u32> {
+        let s = &self.slots[slot as usize];
+        let v = s.load(Ordering::Acquire);
+        if v == DNA {
+            self.stats.data_wait();
+            None
+        } else {
+            s.store(DNA, Ordering::Relaxed);
+            Some(v)
+        }
+    }
+
+    /// One step: record the queue-empty exception.
+    pub(crate) fn step_pop_empty(&self) {
+        self.stats.empty_retry();
+    }
+
     /// Enqueues one token: CAS-reserve a `Rear` ticket, then publish the
     /// token with a release store. Loops on CAS failure.
     pub fn push(&self, token: u32) -> Result<(), QueueFull> {
         debug_assert!(token < DNA);
-        let mut rear = self.rear.load(Ordering::Acquire);
+        let mut rear = self.step_load_rear();
         loop {
             if rear as usize >= self.slots.len() {
                 return Err(QueueFull {
                     capacity: self.slots.len(),
                 });
             }
-            self.stats.cas_attempt();
-            match self.rear.compare_exchange_weak(
-                rear,
-                rear + 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    self.slots[rear as usize].store(token, Ordering::Release);
+            match self.step_cas_rear(rear) {
+                Ok(()) => {
+                    self.step_publish(rear, token);
                     return Ok(());
                 }
-                Err(actual) => {
-                    self.stats.cas_failure();
-                    rear = actual;
-                }
+                Err(actual) => rear = actual,
             }
         }
     }
@@ -71,37 +147,21 @@ impl BaseQueue {
     /// not landed yet is spin-waited briefly — the publishing store
     /// follows the reservation immediately on the producer side.
     pub fn try_pop(&self) -> Option<u32> {
-        let mut front = self.front.load(Ordering::Acquire);
+        let mut front = self.step_load_front();
         loop {
-            let rear = self.rear.load(Ordering::Acquire);
+            let rear = self.step_load_rear();
             if front >= rear {
-                self.stats.empty_retry();
+                self.step_pop_empty();
                 return None;
             }
-            self.stats.cas_attempt();
-            match self.front.compare_exchange_weak(
-                front,
-                front + 1,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    // Wait for the producer's publication store.
-                    let slot = &self.slots[front as usize];
-                    loop {
-                        let v = slot.load(Ordering::Acquire);
-                        if v != DNA {
-                            slot.store(DNA, Ordering::Relaxed);
-                            return Some(v);
-                        }
-                        self.stats.data_wait();
-                        std::hint::spin_loop();
+            match self.step_cas_front(front) {
+                Ok(()) => loop {
+                    if let Some(v) = self.step_take_slot(front) {
+                        return Some(v);
                     }
-                }
-                Err(actual) => {
-                    self.stats.cas_failure();
-                    front = actual;
-                }
+                    std::hint::spin_loop();
+                },
+                Err(actual) => front = actual,
             }
         }
     }

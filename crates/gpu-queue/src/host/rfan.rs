@@ -59,7 +59,9 @@ impl RfAnQueue {
             slots,
             front: AtomicU64::new(0),
             rear: AtomicU64::new(0),
-            stats: QueueStats::default(),
+            // Variant-gated counters: any CAS or empty-retry count on this
+            // queue is a bug and panics instead of polluting the stats.
+            stats: QueueStats::retry_free(),
         }
     }
 
@@ -68,12 +70,42 @@ impl RfAnQueue {
         self.slots.len()
     }
 
+    // ---- Step-decomposed primitives ----
+    //
+    // Unlike the CAS queues there is no loop to unroll — every RF/AN
+    // operation is already a single wait-free atomic — but the `verify`
+    // explorer still drives these shims directly so its recorded histories
+    // map one step to one shared-memory access.
+
+    /// One step: reserve `n` dequeue slots on `Front`, returning the base.
+    pub(crate) fn step_reserve_front(&self, n: u64) -> u64 {
+        self.stats.afa();
+        self.front.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// One step: reserve `n` enqueue slots on `Rear`, returning the base.
+    pub(crate) fn step_reserve_rear(&self, n: u64) -> u64 {
+        self.stats.afa();
+        self.rear.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// One step: publish `token` into the reserved `slot`.
+    pub(crate) fn step_publish(&self, slot: u64, token: u32) {
+        debug_assert!(token < DNA, "token collides with dna sentinel");
+        let s = &self.slots[slot as usize];
+        debug_assert_eq!(
+            s.load(Ordering::Relaxed),
+            DNA,
+            "slot overwritten before consumption"
+        );
+        s.store(token, Ordering::Release);
+    }
+
     /// Reserves `n` dequeue slots with a single fetch-add — the
     /// arbitrary-n property: any batch for the price of one atomic.
     /// Never fails; slots beyond the data simply stay pending.
     pub fn reserve(&self, n: usize) -> Range<u64> {
-        self.stats.afa();
-        let base = self.front.fetch_add(n as u64, Ordering::Relaxed);
+        let base = self.step_reserve_front(n as u64);
         base..base + n as u64
     }
 
@@ -122,22 +154,14 @@ impl RfAnQueue {
         if tokens.is_empty() {
             return Ok(());
         }
-        self.stats.afa();
-        let base = self.rear.fetch_add(tokens.len() as u64, Ordering::Relaxed);
+        let base = self.step_reserve_rear(tokens.len() as u64);
         if base as usize + tokens.len() > self.slots.len() {
             return Err(QueueFull {
                 capacity: self.slots.len(),
             });
         }
         for (i, &tok) in tokens.iter().enumerate() {
-            debug_assert!(tok < DNA, "token collides with dna sentinel");
-            let slot = &self.slots[base as usize + i];
-            debug_assert_eq!(
-                slot.load(Ordering::Relaxed),
-                DNA,
-                "slot overwritten before consumption"
-            );
-            slot.store(tok, Ordering::Release);
+            self.step_publish(base + i as u64, tok);
         }
         Ok(())
     }

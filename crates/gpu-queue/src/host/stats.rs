@@ -16,22 +16,48 @@ pub struct QueueStats {
     pub empty_retries: AtomicU64,
     /// Spin iterations waiting for a reserved slot's data to arrive.
     pub data_waits: AtomicU64,
+    /// Variant gate (see [`QueueStats::retry_free`]): when set, the
+    /// CAS/empty-retry helpers panic — a retry-free queue has no code path
+    /// that may legally count a retry, so any such count is a bug, not a
+    /// statistic.
+    retry_free: bool,
 }
 
 impl QueueStats {
+    /// Counters for a retry-free queue (RF/AN, RF-only): the shared
+    /// CAS-attempt, CAS-failure, and empty-retry helpers become
+    /// unreachable — they panic instead of counting — so a future change
+    /// that routes an RF variant through a retrying code path fails
+    /// loudly instead of silently polluting the stats.
+    pub fn retry_free() -> Self {
+        QueueStats {
+            retry_free: true,
+            ..QueueStats::default()
+        }
+    }
+
     pub(crate) fn afa(&self) {
         self.afa_ops.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn cas_attempt(&self) {
+        assert!(
+            !self.retry_free,
+            "retry-free queue attempted a CAS reservation"
+        );
         self.cas_attempts.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn cas_failure(&self) {
+        assert!(!self.retry_free, "retry-free queue recorded a CAS failure");
         self.cas_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn empty_retry(&self) {
+        assert!(
+            !self.retry_free,
+            "retry-free queue raised a queue-empty retry"
+        );
         self.empty_retries.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -107,5 +133,34 @@ mod tests {
         s.afa();
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn retry_free_mode_still_counts_afa_and_waits() {
+        let s = QueueStats::retry_free();
+        s.afa();
+        s.data_wait();
+        let snap = s.snapshot();
+        assert_eq!(snap.afa_ops, 1);
+        assert_eq!(snap.data_waits, 1);
+        assert_eq!(snap.total_retries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry-free queue attempted a CAS")]
+    fn retry_free_mode_rejects_cas_attempts() {
+        QueueStats::retry_free().cas_attempt();
+    }
+
+    #[test]
+    #[should_panic(expected = "retry-free queue raised a queue-empty retry")]
+    fn retry_free_mode_rejects_empty_retries() {
+        QueueStats::retry_free().empty_retry();
+    }
+
+    #[test]
+    #[should_panic(expected = "retry-free queue recorded a CAS failure")]
+    fn retry_free_mode_rejects_cas_failures() {
+        QueueStats::retry_free().cas_failure();
     }
 }

@@ -51,7 +51,8 @@ impl<T: Send> TypedRfAnQueue<T> {
                 .collect(),
             front: AtomicU64::new(0),
             rear: AtomicU64::new(0),
-            stats: QueueStats::default(),
+            // Retry-free variant gate: CAS/empty-retry counts panic here.
+            stats: QueueStats::retry_free(),
         }
     }
 

@@ -25,6 +25,7 @@
 
 pub mod device;
 pub mod host;
+pub mod verify;
 
 /// The *data-not-arrived* sentinel. Stored in every queue slot where valid
 /// data has not yet arrived; task tokens must therefore be `< DNA`.

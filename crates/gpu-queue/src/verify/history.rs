@@ -1,0 +1,597 @@
+//! Operation histories and a Wing–Gong linearizability checker.
+//!
+//! The explorer ([`super::explorer`]) records every completed queue
+//! operation as a [`CompletedOp`] with start/end timestamps from a global
+//! logical clock (one tick per explored step). The checker then searches
+//! for a *linearization*: a total order of the operations that (a) respects
+//! real-time precedence (if `a` finished before `b` started, `a` comes
+//! first) and (b) is legal for a sequential queue specification.
+//!
+//! Specs are **batch-aware**: `reserve(n)` is one linearization point that
+//! claims `n` slots atomically, and `enqueue_batch` publishes a whole
+//! region from a single `Rear` ticket — matching the paper's arbitrary-n
+//! property rather than decomposing batches into per-token operations.
+
+use std::collections::{HashMap, VecDeque};
+
+/// One queue operation with its observed outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Single-token enqueue; `ok = false` means the queue was full.
+    Push { token: u32, ok: bool },
+    /// Single-token dequeue; `None` is the queue-empty exception.
+    Pop { result: Option<u32> },
+    /// All-or-nothing batch enqueue (AN queue).
+    PushBatch { tokens: Vec<u32>, ok: bool },
+    /// Batch dequeue of up to `max` tokens (AN queue); `taken` is what
+    /// actually arrived (empty = queue-empty exception).
+    PopBatch { max: usize, taken: Vec<u32> },
+    /// RF/AN dequeue-side reservation: one AFA claiming `n` slots
+    /// starting at `base`.
+    Reserve { n: u64, base: u64 },
+    /// RF/AN enqueue reservation: one AFA claiming a region at `base` —
+    /// the single linearization point of the whole batch. `ok = false` is
+    /// the overflow abort (the reservation still advanced `Rear`, nothing
+    /// gets published). Data lands per-slot afterwards via [`Op::Publish`]
+    /// — batch publication is *not* atomic; that is the sentinel design.
+    EnqueueBatch {
+        base: u64,
+        tokens: Vec<u32>,
+        ok: bool,
+    },
+    /// RF/AN per-slot publication: the release store flipping `slot` from
+    /// the sentinel to `token`.
+    Publish { slot: u64, token: u32 },
+    /// RF/AN slot poll: `Some` consumed the published token, `None` found
+    /// the sentinel (data not yet arrived).
+    TryTake { slot: u64, result: Option<u32> },
+}
+
+/// An operation together with who ran it and when.
+#[derive(Clone, Debug)]
+pub struct CompletedOp {
+    /// Explorer thread index.
+    pub thread: usize,
+    /// Logical time of the operation's first step.
+    pub start: u64,
+    /// Logical time of the operation's last step.
+    pub end: u64,
+    /// What happened.
+    pub op: Op,
+}
+
+/// A complete run: every operation observed under one schedule.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// Completed operations, in completion order.
+    pub ops: Vec<CompletedOp>,
+}
+
+/// Records operations against a global logical clock.
+///
+/// The explorer advances the clock once per scheduled step, so two
+/// operations overlap in the history exactly when their steps interleave
+/// in the schedule.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    clock: u64,
+    history: History,
+}
+
+impl Recorder {
+    /// Current logical time (= steps scheduled so far).
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the clock by one step.
+    pub fn advance(&mut self) {
+        self.clock += 1;
+    }
+
+    /// Records an operation whose single linearizable step happened *now*
+    /// (start == end) — e.g. an RF/AN AFA reservation.
+    pub fn atomic(&mut self, thread: usize, op: Op) {
+        let t = self.clock;
+        self.record(thread, t, op);
+    }
+
+    /// Records an operation that began at `start` and completed now.
+    pub fn record(&mut self, thread: usize, start: u64, op: Op) {
+        debug_assert!(start <= self.clock);
+        self.history.ops.push(CompletedOp {
+            thread,
+            start,
+            end: self.clock,
+            op,
+        });
+    }
+
+    /// Consumes the recorder, yielding the history.
+    pub fn into_history(self) -> History {
+        self.history
+    }
+}
+
+/// A sequential specification: can `op` legally happen next?
+///
+/// `apply` may leave the state corrupted when it returns `false` — the
+/// checker always clones before applying.
+pub trait SeqSpec: Clone {
+    /// Applies `op`; `true` iff the recorded outcome is legal here.
+    fn apply(&mut self, op: &Op) -> bool;
+}
+
+/// Sequential spec of a bounded FIFO queue of single tokens
+/// ([`crate::host::BaseQueue`]).
+#[derive(Clone, Debug)]
+pub struct FifoSpec {
+    capacity: usize,
+    /// Total tokens ever pushed (the queues are non-wrapping: capacity
+    /// bounds lifetime pushes, not occupancy).
+    pushed: usize,
+    queue: VecDeque<u32>,
+}
+
+impl FifoSpec {
+    /// Empty queue with `capacity` lifetime slots.
+    pub fn new(capacity: usize) -> Self {
+        FifoSpec {
+            capacity,
+            pushed: 0,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl SeqSpec for FifoSpec {
+    fn apply(&mut self, op: &Op) -> bool {
+        match op {
+            Op::Push { token, ok } => {
+                let fits = self.pushed < self.capacity;
+                if fits {
+                    self.pushed += 1;
+                    self.queue.push_back(*token);
+                }
+                fits == *ok
+            }
+            Op::Pop { result } => match result {
+                None => self.queue.is_empty(),
+                Some(v) => {
+                    self.queue.front() == Some(v) && {
+                        self.queue.pop_front();
+                        true
+                    }
+                }
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Sequential spec of the batched CAS queue ([`crate::host::AnQueue`]):
+/// all-or-nothing batch pushes, batch pops that take exactly
+/// `min(available, max)` tokens in FIFO order.
+#[derive(Clone, Debug)]
+pub struct BatchFifoSpec {
+    capacity: usize,
+    pushed: usize,
+    queue: VecDeque<u32>,
+}
+
+impl BatchFifoSpec {
+    /// Empty queue with `capacity` lifetime slots.
+    pub fn new(capacity: usize) -> Self {
+        BatchFifoSpec {
+            capacity,
+            pushed: 0,
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+impl SeqSpec for BatchFifoSpec {
+    fn apply(&mut self, op: &Op) -> bool {
+        match op {
+            Op::PushBatch { tokens, ok } => {
+                let fits = self.pushed + tokens.len() <= self.capacity;
+                if fits {
+                    self.pushed += tokens.len();
+                    self.queue.extend(tokens.iter().copied());
+                }
+                fits == *ok
+            }
+            Op::PopBatch { max, taken } => {
+                let n = self.queue.len().min(*max);
+                if taken.len() != n {
+                    return false;
+                }
+                for want in taken {
+                    if self.queue.pop_front() != Some(*want) {
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Sequential spec of the RF/AN ticket protocol
+/// ([`crate::host::RfAnQueue`]).
+///
+/// `Front`/`Rear` are explicit because the protocol's linearization
+/// points are the AFA reservations themselves: a `Reserve { n, base }` is
+/// legal exactly when `base` equals the current `Front` (then `Front`
+/// advances by `n` — one point for `n` slots). An `EnqueueBatch` advances
+/// `Rear` even when it overflows (abort semantics) and, on success, makes
+/// its region *writable*; each token then arrives via its own
+/// [`Op::Publish`] point (batch publication is not atomic — consumers may
+/// observe any prefix through the sentinel). `TryTake` consumes a
+/// published slot or legally observes the sentinel.
+#[derive(Clone, Debug)]
+pub struct TicketSpec {
+    capacity: u64,
+    front: u64,
+    rear: u64,
+    /// Reserved-but-unpublished slots and the token each must receive.
+    writable: HashMap<u64, u32>,
+    published: HashMap<u64, u32>,
+}
+
+impl TicketSpec {
+    /// Empty queue with `capacity` slots.
+    pub fn new(capacity: usize) -> Self {
+        TicketSpec {
+            capacity: capacity as u64,
+            front: 0,
+            rear: 0,
+            writable: HashMap::new(),
+            published: HashMap::new(),
+        }
+    }
+}
+
+impl SeqSpec for TicketSpec {
+    fn apply(&mut self, op: &Op) -> bool {
+        match op {
+            Op::Reserve { n, base } => {
+                if *base != self.front {
+                    return false;
+                }
+                self.front += n;
+                true
+            }
+            Op::EnqueueBatch { base, tokens, ok } => {
+                if *base != self.rear {
+                    return false;
+                }
+                // Abort semantics: Rear advances even on overflow.
+                self.rear += tokens.len() as u64;
+                let fits = base + tokens.len() as u64 <= self.capacity;
+                if fits {
+                    for (i, &tok) in tokens.iter().enumerate() {
+                        self.writable.insert(base + i as u64, tok);
+                    }
+                }
+                fits == *ok
+            }
+            Op::Publish { slot, token } => {
+                self.writable.remove(slot) == Some(*token) && {
+                    self.published.insert(*slot, *token);
+                    true
+                }
+            }
+            Op::TryTake { slot, result } => match result {
+                Some(v) => self.published.remove(slot) == Some(*v),
+                None => !self.published.contains_key(slot),
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Upper bound on checkable history size (the search is exponential in
+/// the worst case; explored scenarios stay far below this).
+pub const MAX_CHECKED_OPS: usize = 64;
+
+/// Wing–Gong linearizability check: is there a total order of `history`
+/// that respects real-time precedence and is legal for `spec`?
+///
+/// Recursive search over candidates whose predecessors are all placed,
+/// cloning the spec state before each tentative apply. No memoization —
+/// with a stateful spec the reachable state depends on the order chosen,
+/// so caching on the "done" set alone would be unsound.
+///
+/// # Panics
+/// Panics if the history exceeds [`MAX_CHECKED_OPS`] operations.
+pub fn check_linearizable<S: SeqSpec>(history: &History, spec: S) -> bool {
+    let n = history.ops.len();
+    assert!(
+        n <= MAX_CHECKED_OPS,
+        "history too large for the checker: {n} ops"
+    );
+    // pred[i] = bitmask of ops that must precede op i (real-time order).
+    let mut pred = vec![0u64; n];
+    for (i, mask) in pred.iter_mut().enumerate() {
+        for j in 0..n {
+            if i != j && history.ops[j].end < history.ops[i].start {
+                *mask |= 1 << j;
+            }
+        }
+    }
+    fn search<S: SeqSpec>(history: &History, pred: &[u64], done: u64, spec: &S) -> bool {
+        let n = history.ops.len();
+        if done.count_ones() as usize == n {
+            return true;
+        }
+        for i in 0..n {
+            if done & (1 << i) != 0 {
+                continue;
+            }
+            // Every real-time predecessor must already be linearized.
+            if pred[i] & !done != 0 {
+                continue;
+            }
+            let mut next = spec.clone();
+            if next.apply(&history.ops[i].op) && search(history, pred, done | (1 << i), &next) {
+                return true;
+            }
+        }
+        false
+    }
+    search(history, &pred, 0, &spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(ops: Vec<Op>) -> History {
+        // Fully sequential history: op k occupies [k, k].
+        History {
+            ops: ops
+                .into_iter()
+                .enumerate()
+                .map(|(k, op)| CompletedOp {
+                    thread: 0,
+                    start: k as u64,
+                    end: k as u64,
+                    op,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn sequential_fifo_history_passes() {
+        let h = seq(vec![
+            Op::Push { token: 1, ok: true },
+            Op::Push { token: 2, ok: true },
+            Op::Pop { result: Some(1) },
+            Op::Pop { result: Some(2) },
+            Op::Pop { result: None },
+        ]);
+        assert!(check_linearizable(&h, FifoSpec::new(4)));
+    }
+
+    #[test]
+    fn value_invention_is_rejected() {
+        let h = seq(vec![
+            Op::Push { token: 1, ok: true },
+            Op::Pop { result: Some(9) },
+        ]);
+        assert!(!check_linearizable(&h, FifoSpec::new(4)));
+    }
+
+    #[test]
+    fn double_delivery_is_rejected() {
+        let h = seq(vec![
+            Op::Push { token: 1, ok: true },
+            Op::Pop { result: Some(1) },
+            Op::Pop { result: Some(1) },
+        ]);
+        assert!(!check_linearizable(&h, FifoSpec::new(4)));
+    }
+
+    #[test]
+    fn fifo_order_violation_is_rejected() {
+        let h = seq(vec![
+            Op::Push { token: 1, ok: true },
+            Op::Push { token: 2, ok: true },
+            Op::Pop { result: Some(2) },
+        ]);
+        assert!(!check_linearizable(&h, FifoSpec::new(4)));
+    }
+
+    #[test]
+    fn overlap_permits_reordering_but_precedence_binds() {
+        // Twist: pop(2) completes before pop(1) in completion order, but
+        // the pops overlap both pushes — a legal linearization exists.
+        let h = History {
+            ops: vec![
+                CompletedOp {
+                    thread: 0,
+                    start: 0,
+                    end: 3,
+                    op: Op::Push { token: 1, ok: true },
+                },
+                CompletedOp {
+                    thread: 0,
+                    start: 0,
+                    end: 4,
+                    op: Op::Push { token: 2, ok: true },
+                },
+                CompletedOp {
+                    thread: 1,
+                    start: 1,
+                    end: 5,
+                    op: Op::Pop { result: Some(2) },
+                },
+                CompletedOp {
+                    thread: 2,
+                    start: 1,
+                    end: 6,
+                    op: Op::Pop { result: Some(1) },
+                },
+            ],
+        };
+        assert!(check_linearizable(&h, FifoSpec::new(4)));
+        // Same outcomes forced sequential: pop(2) before pop(1) with both
+        // pushes already linearized is a FIFO violation.
+        let h2 = seq(vec![
+            Op::Push { token: 1, ok: true },
+            Op::Push { token: 2, ok: true },
+            Op::Pop { result: Some(2) },
+            Op::Pop { result: Some(1) },
+        ]);
+        assert!(!check_linearizable(&h2, FifoSpec::new(4)));
+    }
+
+    #[test]
+    fn batch_spec_is_all_or_nothing() {
+        let h = seq(vec![
+            Op::PushBatch {
+                tokens: vec![1, 2],
+                ok: true,
+            },
+            Op::PushBatch {
+                tokens: vec![3, 4],
+                ok: false, // capacity 3: whole batch rejected
+            },
+            Op::PopBatch {
+                max: 10,
+                taken: vec![1, 2],
+            },
+        ]);
+        assert!(check_linearizable(&h, BatchFifoSpec::new(3)));
+        // A partial batch take is illegal: must take min(avail, max).
+        let h2 = seq(vec![
+            Op::PushBatch {
+                tokens: vec![1, 2],
+                ok: true,
+            },
+            Op::PopBatch {
+                max: 10,
+                taken: vec![1],
+            },
+        ]);
+        assert!(!check_linearizable(&h2, BatchFifoSpec::new(3)));
+    }
+
+    #[test]
+    fn ticket_spec_reservation_is_one_point_for_n_slots() {
+        let h = seq(vec![
+            Op::EnqueueBatch {
+                base: 0,
+                tokens: vec![5, 6, 7],
+                ok: true,
+            },
+            Op::Publish { slot: 0, token: 5 },
+            Op::Publish { slot: 1, token: 6 },
+            Op::Reserve { n: 3, base: 0 },
+            Op::TryTake {
+                slot: 1,
+                result: Some(6),
+            },
+            Op::TryTake {
+                slot: 0,
+                result: Some(5),
+            },
+            // Slot 2 not yet published: the sentinel is a legal read.
+            Op::TryTake {
+                slot: 2,
+                result: None,
+            },
+            Op::Publish { slot: 2, token: 7 },
+            Op::TryTake {
+                slot: 2,
+                result: Some(7),
+            },
+        ]);
+        assert!(check_linearizable(&h, TicketSpec::new(4)));
+    }
+
+    #[test]
+    fn ticket_spec_rejects_publish_to_unreserved_slot() {
+        let h = seq(vec![Op::Publish { slot: 0, token: 5 }]);
+        assert!(!check_linearizable(&h, TicketSpec::new(4)));
+        // Double publish of a reserved slot is equally illegal.
+        let h2 = seq(vec![
+            Op::EnqueueBatch {
+                base: 0,
+                tokens: vec![5],
+                ok: true,
+            },
+            Op::Publish { slot: 0, token: 5 },
+            Op::Publish { slot: 0, token: 5 },
+        ]);
+        assert!(!check_linearizable(&h2, TicketSpec::new(4)));
+    }
+
+    #[test]
+    fn ticket_spec_rejects_wrong_reservation_base() {
+        // Two overlapping reserves cannot both start at base 0.
+        let h = seq(vec![
+            Op::Reserve { n: 2, base: 0 },
+            Op::Reserve { n: 2, base: 0 },
+        ]);
+        assert!(!check_linearizable(&h, TicketSpec::new(8)));
+    }
+
+    #[test]
+    fn ticket_spec_abort_advances_rear() {
+        // Capacity 2: first batch fills it, second overflows (ok: false)
+        // but still advances Rear — a third batch claiming base 2 would
+        // also be illegal at base 2? No: Rear is now 4, so base must be 4.
+        let h = seq(vec![
+            Op::EnqueueBatch {
+                base: 0,
+                tokens: vec![1, 2],
+                ok: true,
+            },
+            Op::EnqueueBatch {
+                base: 2,
+                tokens: vec![3, 4],
+                ok: false,
+            },
+            Op::EnqueueBatch {
+                base: 4,
+                tokens: vec![5],
+                ok: false,
+            },
+        ]);
+        assert!(check_linearizable(&h, TicketSpec::new(2)));
+    }
+
+    #[test]
+    fn ticket_spec_taking_unpublished_slot_is_rejected() {
+        let h = seq(vec![
+            Op::EnqueueBatch {
+                base: 0,
+                tokens: vec![1, 2],
+                ok: false, // claims overflow, but capacity holds both
+            },
+            Op::TryTake {
+                slot: 0,
+                result: Some(1),
+            },
+        ]);
+        assert!(!check_linearizable(&h, TicketSpec::new(8)));
+    }
+
+    #[test]
+    fn recorder_tracks_overlap() {
+        let mut rec = Recorder::default();
+        let start = rec.now();
+        rec.advance();
+        rec.advance();
+        rec.record(0, start, Op::Pop { result: None });
+        rec.atomic(1, Op::Reserve { n: 1, base: 0 });
+        let h = rec.into_history();
+        assert_eq!(h.ops[0].start, 0);
+        assert_eq!(h.ops[0].end, 2);
+        assert_eq!(h.ops[1].start, h.ops[1].end);
+    }
+}

@@ -1,0 +1,35 @@
+//! Model-checking-style verification of the host queues.
+//!
+//! Three layers (the third lives in [`simt::audit`]):
+//!
+//! 1. **Interleaving explorer** ([`explorer`]) — a deterministic
+//!    controlled scheduler over the queues' single-step shims. A DFS
+//!    odometer enumerates distinct schedules of 2–4 threads exhaustively
+//!    up to a budget; a seeded sampler adds random coverage beyond it
+//!    (`PTQ_SCHEDULES` scales both in CI's `verify-deep` job).
+//! 2. **History recorder + linearizability checker** ([`history`]) — a
+//!    Wing–Gong search for a precedence-respecting legal total order,
+//!    against batch-aware sequential specs: `reserve(n)` is *one*
+//!    linearization point for `n` slots, and a failed RF/AN batch
+//!    enqueue advances `Rear` anyway (the paper's abort semantics).
+//! 3. **Device-path claim auditor** (`simt::audit`) — per-wavefront
+//!    atomic budgets asserted inside the simulator: RF variants issue
+//!    zero CAS, AN issues exactly one CAS per wavefront queue op, BASE
+//!    alone retries.
+//!
+//! [`scenarios`] wires concrete producer/consumer programs for
+//! [`BaseQueue`](crate::host::BaseQueue),
+//! [`AnQueue`](crate::host::AnQueue) and
+//! [`RfAnQueue`](crate::host::RfAnQueue) into both drivers; the
+//! top-level `tests/linearizability.rs` suite runs them.
+
+pub mod explorer;
+pub mod history;
+pub mod scenarios;
+
+pub use explorer::{explore, explore_random, schedule_budget, ExploreStats, Program};
+pub use history::{
+    check_linearizable, BatchFifoSpec, CompletedOp, FifoSpec, History, Op, Recorder, SeqSpec,
+    TicketSpec,
+};
+pub use scenarios::{AnScenario, BaseScenario, RfAnScenario, ScenarioReport};

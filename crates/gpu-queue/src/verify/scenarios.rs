@@ -1,0 +1,818 @@
+//! Concrete explorer scenarios for the three host queues.
+//!
+//! Each scenario instantiates a fresh queue per schedule and drives the
+//! production `step_*` shims through small per-thread state machines —
+//! the explorer interleaves the *same* shared-memory accesses the public
+//! `push`/`try_pop`/`push_batch`/`reserve` paths execute, one at a time.
+//! Every completed schedule's history is checked against the matching
+//! sequential spec ([`FifoSpec`], [`BatchFifoSpec`], [`TicketSpec`]); a
+//! non-linearizable history panics with the schedule's choice stack.
+//!
+//! Blocking discipline: Base/AN consumers that claimed a slot gate on
+//! [`Program::ready`] until the owning producer publishes (the producer
+//! is always runnable, so this cannot deadlock); the RF/AN consumer never
+//! blocks — reservations may outrun data by design, so it polls each
+//! ticket under a bounded budget and records every `TryTake` outcome,
+//! `None`s included.
+
+use super::explorer::{explore, explore_random, Program};
+use super::history::{
+    check_linearizable, BatchFifoSpec, FifoSpec, History, Op, Recorder, TicketSpec,
+};
+use crate::host::{AnQueue, BaseQueue, RfAnQueue, SlotTicket};
+use std::collections::{BTreeSet, VecDeque};
+
+/// What a scenario run observed across all explored schedules.
+#[derive(Clone, Debug, Default)]
+pub struct ScenarioReport {
+    /// Schedules executed (distinct ones for random sampling).
+    pub schedules: usize,
+    /// Whole schedule space enumerated (DFS only).
+    pub exhausted: bool,
+    /// Longest schedule (steps).
+    pub max_depth: usize,
+    /// Histories checked for linearizability (all of them passed, or the
+    /// run panicked).
+    pub histories_checked: usize,
+    /// Distinct delivered-token multisets (sorted) across schedules.
+    pub delivered: BTreeSet<Vec<u32>>,
+    /// Distinct rejected-operation counts (full-queue outcomes) across
+    /// schedules.
+    pub rejections: BTreeSet<usize>,
+}
+
+fn digest(h: &History, report: &mut ScenarioReport) {
+    let mut delivered = Vec::new();
+    let mut rejected = 0usize;
+    for c in &h.ops {
+        match &c.op {
+            Op::Pop { result: Some(v) } => delivered.push(*v),
+            Op::PopBatch { taken, .. } => delivered.extend(taken.iter().copied()),
+            Op::TryTake {
+                result: Some(v), ..
+            } => delivered.push(*v),
+            Op::Push { ok: false, .. }
+            | Op::PushBatch { ok: false, .. }
+            | Op::EnqueueBatch { ok: false, .. } => rejected += 1,
+            _ => {}
+        }
+    }
+    delivered.sort_unstable();
+    report.delivered.insert(delivered);
+    report.rejections.insert(rejected);
+    report.histories_checked += 1;
+}
+
+// ---------------------------------------------------------------- BASE --
+
+enum BasePush {
+    Idle,
+    Cas { rear: u64, start: u64 },
+    Publish { slot: u64, start: u64 },
+}
+
+struct BaseProducer {
+    thread: usize,
+    tokens: Vec<u32>,
+    next: usize,
+    state: BasePush,
+}
+
+impl Program<BaseQueue> for BaseProducer {
+    fn done(&self) -> bool {
+        self.next >= self.tokens.len() && matches!(self.state, BasePush::Idle)
+    }
+
+    fn step(&mut self, q: &BaseQueue, rec: &mut Recorder) {
+        match self.state {
+            BasePush::Idle => {
+                let start = rec.now();
+                let rear = q.step_load_rear();
+                self.state = BasePush::Cas { rear, start };
+            }
+            BasePush::Cas { rear, start } => {
+                // Bound check precedes the CAS (production order): a full
+                // queue rejects without touching `Rear`.
+                if rear as usize >= q.capacity() {
+                    rec.record(
+                        self.thread,
+                        start,
+                        Op::Push {
+                            token: self.tokens[self.next],
+                            ok: false,
+                        },
+                    );
+                    self.next += 1;
+                    self.state = BasePush::Idle;
+                } else {
+                    match q.step_cas_rear(rear) {
+                        Ok(()) => self.state = BasePush::Publish { slot: rear, start },
+                        Err(actual) => {
+                            self.state = BasePush::Cas {
+                                rear: actual,
+                                start,
+                            }
+                        }
+                    }
+                }
+            }
+            BasePush::Publish { slot, start } => {
+                let token = self.tokens[self.next];
+                q.step_publish(slot, token);
+                rec.record(self.thread, start, Op::Push { token, ok: true });
+                self.next += 1;
+                self.state = BasePush::Idle;
+            }
+        }
+    }
+}
+
+enum BasePop {
+    Idle,
+    SeenFront { front: u64, start: u64 },
+    Cas { front: u64, start: u64 },
+    Take { slot: u64, start: u64 },
+}
+
+struct BaseConsumer {
+    thread: usize,
+    pops_left: usize,
+    state: BasePop,
+}
+
+impl Program<BaseQueue> for BaseConsumer {
+    fn done(&self) -> bool {
+        self.pops_left == 0 && matches!(self.state, BasePop::Idle)
+    }
+
+    fn ready(&self, q: &BaseQueue) -> bool {
+        // A claimed-but-unpublished slot blocks (the owning producer's
+        // next step is the publish, so progress is guaranteed).
+        match self.state {
+            BasePop::Take { slot, .. } => q.slot_ready(slot),
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, q: &BaseQueue, rec: &mut Recorder) {
+        match self.state {
+            BasePop::Idle => {
+                let start = rec.now();
+                let front = q.step_load_front();
+                self.state = BasePop::SeenFront { front, start };
+            }
+            BasePop::SeenFront { front, start } => {
+                let rear = q.step_load_rear();
+                if front >= rear {
+                    q.step_pop_empty();
+                    rec.record(self.thread, start, Op::Pop { result: None });
+                    self.pops_left -= 1;
+                    self.state = BasePop::Idle;
+                } else {
+                    self.state = BasePop::Cas { front, start };
+                }
+            }
+            BasePop::Cas { front, start } => match q.step_cas_front(front) {
+                Ok(()) => self.state = BasePop::Take { slot: front, start },
+                Err(actual) => {
+                    self.state = BasePop::SeenFront {
+                        front: actual,
+                        start,
+                    }
+                }
+            },
+            BasePop::Take { slot, start } => {
+                let v = q.step_take_slot(slot).expect("gated on slot_ready");
+                rec.record(self.thread, start, Op::Pop { result: Some(v) });
+                self.pops_left -= 1;
+                self.state = BasePop::Idle;
+            }
+        }
+    }
+}
+
+/// Producers pushing token lists and consumers popping a fixed number of
+/// times against one [`BaseQueue`].
+#[derive(Clone, Debug)]
+pub struct BaseScenario {
+    /// Queue capacity (lifetime tokens).
+    pub capacity: usize,
+    /// Token list per producer thread.
+    pub producers: Vec<Vec<u32>>,
+    /// Pop attempts per consumer thread.
+    pub consumers: Vec<usize>,
+}
+
+impl BaseScenario {
+    fn mk(&self) -> (BaseQueue, Vec<Box<dyn Program<BaseQueue>>>) {
+        let mut programs: Vec<Box<dyn Program<BaseQueue>>> = Vec::new();
+        for (i, tokens) in self.producers.iter().enumerate() {
+            programs.push(Box::new(BaseProducer {
+                thread: i,
+                tokens: tokens.clone(),
+                next: 0,
+                state: BasePush::Idle,
+            }));
+        }
+        for (j, &pops) in self.consumers.iter().enumerate() {
+            programs.push(Box::new(BaseConsumer {
+                thread: self.producers.len() + j,
+                pops_left: pops,
+                state: BasePop::Idle,
+            }));
+        }
+        (BaseQueue::new(self.capacity), programs)
+    }
+
+    /// DFS over at most `budget` schedules, checking every history.
+    pub fn run(&self, budget: usize) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let cap = self.capacity;
+        let stats = explore(
+            || self.mk(),
+            budget,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, FifoSpec::new(cap)),
+                    "BASE history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = stats.schedules;
+        report.exhausted = stats.exhausted;
+        report.max_depth = stats.max_depth;
+        report
+    }
+
+    /// Seeded random sampling; `schedules` counts distinct ones.
+    pub fn run_random(&self, samples: usize, seed: u64) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let cap = self.capacity;
+        let distinct = explore_random(
+            || self.mk(),
+            samples,
+            seed,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, FifoSpec::new(cap)),
+                    "BASE history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = distinct;
+        report
+    }
+}
+
+// ------------------------------------------------------------------ AN --
+
+enum AnPush {
+    Idle,
+    Cas { rear: u64, start: u64 },
+    Publish { base: u64, i: usize, start: u64 },
+}
+
+struct AnProducer {
+    thread: usize,
+    batches: Vec<Vec<u32>>,
+    next: usize,
+    state: AnPush,
+}
+
+impl Program<AnQueue> for AnProducer {
+    fn done(&self) -> bool {
+        self.next >= self.batches.len() && matches!(self.state, AnPush::Idle)
+    }
+
+    fn step(&mut self, q: &AnQueue, rec: &mut Recorder) {
+        match self.state {
+            AnPush::Idle => {
+                let start = rec.now();
+                let rear = q.step_load_rear();
+                self.state = AnPush::Cas { rear, start };
+            }
+            AnPush::Cas { rear, start } => {
+                let batch = &self.batches[self.next];
+                if rear as usize + batch.len() > q.capacity() {
+                    rec.record(
+                        self.thread,
+                        start,
+                        Op::PushBatch {
+                            tokens: batch.clone(),
+                            ok: false,
+                        },
+                    );
+                    self.next += 1;
+                    self.state = AnPush::Idle;
+                } else {
+                    match q.step_cas_rear(rear, batch.len() as u64) {
+                        Ok(()) => {
+                            self.state = AnPush::Publish {
+                                base: rear,
+                                i: 0,
+                                start,
+                            }
+                        }
+                        Err(actual) => {
+                            self.state = AnPush::Cas {
+                                rear: actual,
+                                start,
+                            }
+                        }
+                    }
+                }
+            }
+            AnPush::Publish { base, i, start } => {
+                let batch = &self.batches[self.next];
+                q.step_publish(base + i as u64, batch[i]);
+                if i + 1 == batch.len() {
+                    rec.record(
+                        self.thread,
+                        start,
+                        Op::PushBatch {
+                            tokens: batch.clone(),
+                            ok: true,
+                        },
+                    );
+                    self.next += 1;
+                    self.state = AnPush::Idle;
+                } else {
+                    self.state = AnPush::Publish {
+                        base,
+                        i: i + 1,
+                        start,
+                    };
+                }
+            }
+        }
+    }
+}
+
+enum AnPop {
+    Idle,
+    SeenFront {
+        front: u64,
+        start: u64,
+    },
+    Cas {
+        front: u64,
+        n: u64,
+        start: u64,
+    },
+    Take {
+        next: u64,
+        end: u64,
+        taken: Vec<u32>,
+        start: u64,
+    },
+}
+
+struct AnConsumer {
+    thread: usize,
+    pops_left: usize,
+    max: usize,
+    state: AnPop,
+}
+
+impl Program<AnQueue> for AnConsumer {
+    fn done(&self) -> bool {
+        self.pops_left == 0 && matches!(self.state, AnPop::Idle)
+    }
+
+    fn ready(&self, q: &AnQueue) -> bool {
+        match self.state {
+            AnPop::Take { next, .. } => q.slot_ready(next),
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, q: &AnQueue, rec: &mut Recorder) {
+        match &mut self.state {
+            AnPop::Idle => {
+                let start = rec.now();
+                let front = q.step_load_front();
+                self.state = AnPop::SeenFront { front, start };
+            }
+            AnPop::SeenFront { front, start } => {
+                let (front, start) = (*front, *start);
+                let rear = q.step_load_rear();
+                let avail = rear.saturating_sub(front);
+                if avail == 0 {
+                    q.step_pop_empty();
+                    rec.record(
+                        self.thread,
+                        start,
+                        Op::PopBatch {
+                            max: self.max,
+                            taken: Vec::new(),
+                        },
+                    );
+                    self.pops_left -= 1;
+                    self.state = AnPop::Idle;
+                } else {
+                    self.state = AnPop::Cas {
+                        front,
+                        n: avail.min(self.max as u64),
+                        start,
+                    };
+                }
+            }
+            AnPop::Cas { front, n, start } => {
+                let (front, n, start) = (*front, *n, *start);
+                match q.step_cas_front(front, n) {
+                    Ok(()) => {
+                        self.state = AnPop::Take {
+                            next: front,
+                            end: front + n,
+                            taken: Vec::new(),
+                            start,
+                        }
+                    }
+                    Err(actual) => {
+                        self.state = AnPop::SeenFront {
+                            front: actual,
+                            start,
+                        }
+                    }
+                }
+            }
+            AnPop::Take {
+                next,
+                end,
+                taken,
+                start,
+            } => {
+                let v = q.step_take_slot(*next).expect("gated on slot_ready");
+                taken.push(v);
+                *next += 1;
+                if next == end {
+                    rec.record(
+                        self.thread,
+                        *start,
+                        Op::PopBatch {
+                            max: self.max,
+                            taken: std::mem::take(taken),
+                        },
+                    );
+                    self.pops_left -= 1;
+                    self.state = AnPop::Idle;
+                }
+            }
+        }
+    }
+}
+
+/// Batch producers and batch consumers against one [`AnQueue`].
+#[derive(Clone, Debug)]
+pub struct AnScenario {
+    /// Queue capacity (lifetime tokens).
+    pub capacity: usize,
+    /// Batches per producer thread.
+    pub producers: Vec<Vec<Vec<u32>>>,
+    /// `(pop attempts, max per pop)` per consumer thread.
+    pub consumers: Vec<(usize, usize)>,
+}
+
+impl AnScenario {
+    fn mk(&self) -> (AnQueue, Vec<Box<dyn Program<AnQueue>>>) {
+        let mut programs: Vec<Box<dyn Program<AnQueue>>> = Vec::new();
+        for (i, batches) in self.producers.iter().enumerate() {
+            programs.push(Box::new(AnProducer {
+                thread: i,
+                batches: batches.clone(),
+                next: 0,
+                state: AnPush::Idle,
+            }));
+        }
+        for (j, &(pops, max)) in self.consumers.iter().enumerate() {
+            programs.push(Box::new(AnConsumer {
+                thread: self.producers.len() + j,
+                pops_left: pops,
+                max,
+                state: AnPop::Idle,
+            }));
+        }
+        (AnQueue::new(self.capacity), programs)
+    }
+
+    /// DFS over at most `budget` schedules, checking every history.
+    pub fn run(&self, budget: usize) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let cap = self.capacity;
+        let stats = explore(
+            || self.mk(),
+            budget,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, BatchFifoSpec::new(cap)),
+                    "AN history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = stats.schedules;
+        report.exhausted = stats.exhausted;
+        report.max_depth = stats.max_depth;
+        report
+    }
+
+    /// Seeded random sampling; `schedules` counts distinct ones.
+    pub fn run_random(&self, samples: usize, seed: u64) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let cap = self.capacity;
+        let distinct = explore_random(
+            || self.mk(),
+            samples,
+            seed,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, BatchFifoSpec::new(cap)),
+                    "AN history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = distinct;
+        report
+    }
+}
+
+// --------------------------------------------------------------- RF/AN --
+
+enum RfPush {
+    Idle,
+    Publish { base: u64, i: usize },
+}
+
+struct RfProducer {
+    thread: usize,
+    batches: Vec<Vec<u32>>,
+    next: usize,
+    state: RfPush,
+}
+
+impl Program<RfAnQueue> for RfProducer {
+    fn done(&self) -> bool {
+        self.next >= self.batches.len() && matches!(self.state, RfPush::Idle)
+    }
+
+    fn step(&mut self, q: &RfAnQueue, rec: &mut Recorder) {
+        match self.state {
+            RfPush::Idle => {
+                let batch = &self.batches[self.next];
+                // One AFA reserves the whole region — the batch's single
+                // linearization point, recorded as an atomic op. The
+                // per-slot publishes that follow are their own points:
+                // batch publication is NOT atomic (consumers may observe
+                // any prefix through the sentinel).
+                let base = q.step_reserve_rear(batch.len() as u64);
+                let ok = base as usize + batch.len() <= q.capacity();
+                rec.atomic(
+                    self.thread,
+                    Op::EnqueueBatch {
+                        base,
+                        tokens: batch.clone(),
+                        ok,
+                    },
+                );
+                if ok {
+                    self.state = RfPush::Publish { base, i: 0 };
+                } else {
+                    // Abort semantics: Rear stays advanced, nothing is
+                    // published (the spec models exactly this).
+                    self.next += 1;
+                }
+            }
+            RfPush::Publish { base, i } => {
+                let batch = &self.batches[self.next];
+                q.step_publish(base + i as u64, batch[i]);
+                rec.atomic(
+                    self.thread,
+                    Op::Publish {
+                        slot: base + i as u64,
+                        token: batch[i],
+                    },
+                );
+                if i + 1 == batch.len() {
+                    self.next += 1;
+                    self.state = RfPush::Idle;
+                } else {
+                    self.state = RfPush::Publish { base, i: i + 1 };
+                }
+            }
+        }
+    }
+}
+
+struct RfConsumer {
+    thread: usize,
+    reserve_n: u64,
+    polls_left: usize,
+    reserved: bool,
+    pending: VecDeque<u64>,
+}
+
+impl Program<RfAnQueue> for RfConsumer {
+    fn done(&self) -> bool {
+        self.reserved && (self.polls_left == 0 || self.pending.is_empty())
+    }
+
+    // Never blocks: reserving past `Rear` is legal (the design), so the
+    // consumer polls under a bounded budget instead of gating on data.
+
+    fn step(&mut self, q: &RfAnQueue, rec: &mut Recorder) {
+        if !self.reserved {
+            let base = q.step_reserve_front(self.reserve_n);
+            rec.atomic(
+                self.thread,
+                Op::Reserve {
+                    n: self.reserve_n,
+                    base,
+                },
+            );
+            self.pending.extend(base..base + self.reserve_n);
+            self.reserved = true;
+            return;
+        }
+        let slot = self.pending.pop_front().expect("done() gates empty");
+        let result = q.try_take(SlotTicket(slot));
+        rec.atomic(self.thread, Op::TryTake { slot, result });
+        if result.is_none() {
+            self.pending.push_back(slot);
+        }
+        self.polls_left -= 1;
+    }
+}
+
+/// Batch producers and ticket-polling consumers against one
+/// [`RfAnQueue`].
+#[derive(Clone, Debug)]
+pub struct RfAnScenario {
+    /// Queue capacity (lifetime tokens).
+    pub capacity: usize,
+    /// Batches per producer thread.
+    pub producers: Vec<Vec<Vec<u32>>>,
+    /// `(slots reserved, poll budget)` per consumer thread.
+    pub consumers: Vec<(u64, usize)>,
+}
+
+impl RfAnScenario {
+    fn mk(&self) -> (RfAnQueue, Vec<Box<dyn Program<RfAnQueue>>>) {
+        let mut programs: Vec<Box<dyn Program<RfAnQueue>>> = Vec::new();
+        for (i, batches) in self.producers.iter().enumerate() {
+            programs.push(Box::new(RfProducer {
+                thread: i,
+                batches: batches.clone(),
+                next: 0,
+                state: RfPush::Idle,
+            }));
+        }
+        for (j, &(reserve_n, polls)) in self.consumers.iter().enumerate() {
+            programs.push(Box::new(RfConsumer {
+                thread: self.producers.len() + j,
+                reserve_n,
+                polls_left: polls,
+                reserved: false,
+                pending: VecDeque::new(),
+            }));
+        }
+        (RfAnQueue::new(self.capacity), programs)
+    }
+
+    /// DFS over at most `budget` schedules, checking every history.
+    pub fn run(&self, budget: usize) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let cap = self.capacity;
+        let stats = explore(
+            || self.mk(),
+            budget,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, TicketSpec::new(cap)),
+                    "RF/AN history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = stats.schedules;
+        report.exhausted = stats.exhausted;
+        report.max_depth = stats.max_depth;
+        report
+    }
+
+    /// Seeded random sampling; `schedules` counts distinct ones.
+    pub fn run_random(&self, samples: usize, seed: u64) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let cap = self.capacity;
+        let distinct = explore_random(
+            || self.mk(),
+            samples,
+            seed,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, TicketSpec::new(cap)),
+                    "RF/AN history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = distinct;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_two_producers_one_consumer_exhaustive() {
+        let s = BaseScenario {
+            capacity: 4,
+            producers: vec![vec![1], vec![2]],
+            consumers: vec![2],
+        };
+        let r = s.run(100_000);
+        assert!(r.exhausted, "small scenario should enumerate fully");
+        assert!(r.schedules > 10);
+        assert_eq!(r.histories_checked, r.schedules);
+        // Depending on the interleaving the consumer sees 0, 1, or 2
+        // tokens — but never invents or duplicates one.
+        for d in &r.delivered {
+            assert!(d.len() <= 2);
+        }
+        assert_eq!(r.rejections, BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn base_overflow_rejects_deterministically() {
+        // Capacity 2, two producers of two tokens each: exactly two pushes
+        // are rejected in every schedule.
+        let s = BaseScenario {
+            capacity: 2,
+            producers: vec![vec![1, 2], vec![3, 4]],
+            consumers: vec![],
+        };
+        let r = s.run(100_000);
+        assert!(r.exhausted);
+        assert_eq!(r.rejections, BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn an_batches_are_all_or_nothing_under_every_schedule() {
+        let s = AnScenario {
+            capacity: 3,
+            producers: vec![vec![vec![1]], vec![vec![2, 3]]],
+            consumers: vec![(1, 4)],
+        };
+        let r = s.run(100_000);
+        assert!(r.exhausted);
+        assert_eq!(r.rejections, BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn rfan_every_schedule_linearizes() {
+        let s = RfAnScenario {
+            capacity: 4,
+            producers: vec![vec![vec![1, 2]], vec![vec![3]]],
+            consumers: vec![(2, 4)],
+        };
+        let r = s.run(100_000);
+        assert!(r.exhausted);
+        assert_eq!(r.rejections, BTreeSet::from([0]));
+        // No schedule delivers a token twice.
+        for d in &r.delivered {
+            let mut dd = d.clone();
+            dd.dedup();
+            assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+        }
+    }
+
+    #[test]
+    fn rfan_overflow_aborts_exactly_one_batch() {
+        // Capacity 2, two 2-token batches racing: whichever reserves
+        // second overflows — exactly one rejection in every schedule.
+        let s = RfAnScenario {
+            capacity: 2,
+            producers: vec![vec![vec![1, 2]], vec![vec![3, 4]]],
+            consumers: vec![],
+        };
+        let r = s.run(100_000);
+        assert!(r.exhausted);
+        assert_eq!(r.rejections, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn random_sampling_matches_dfs_verdicts() {
+        let s = BaseScenario {
+            capacity: 4,
+            producers: vec![vec![1], vec![2]],
+            consumers: vec![2],
+        };
+        let r = s.run_random(200, 0xDEADBEEF);
+        assert!(r.schedules > 1);
+        assert_eq!(r.histories_checked, 200);
+    }
+}

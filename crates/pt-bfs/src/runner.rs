@@ -30,6 +30,11 @@ pub struct BfsConfig {
     pub cpu_collab_groups: usize,
     /// Safety cap on simulation rounds.
     pub max_rounds: u64,
+    /// Audit mode: assert the per-wavefront atomic budgets declared by
+    /// the queue variants (`simt::audit`) inside the run, and the
+    /// run-level retry-free claims afterwards. On by default — auditing
+    /// is pure bookkeeping with no effect on metrics or timing.
+    pub audit: bool,
 }
 
 impl BfsConfig {
@@ -42,6 +47,7 @@ impl BfsConfig {
             capacity_factor: 2.0,
             cpu_collab_groups: 0,
             max_rounds: 50_000_000,
+            audit: true,
         }
     }
 }
@@ -109,6 +115,19 @@ pub fn run_bfs(
     }
 }
 
+/// Run-level enforcement of the paper's central claim: a successful run
+/// scheduled by a retry-free variant must report zero CAS attempts, zero
+/// CAS failures, and zero queue-empty retries. Complements the
+/// per-wavefront scopes (`simt::audit`) that already validated each
+/// queue op inside the run.
+pub(crate) fn enforce_retry_free(variant: Variant, metrics: &Metrics) -> Result<(), SimError> {
+    if !variant.is_retry_free() {
+        return Ok(());
+    }
+    simt::audit::check_retry_free(metrics)
+        .map_err(|msg| SimError::AuditViolation(format!("{} run: {msg}", variant.label())))
+}
+
 fn run_bfs_once(
     gpu: &GpuConfig,
     graph: &Csr,
@@ -144,9 +163,12 @@ fn run_bfs_once(
         pending,
     };
 
-    let launch = Launch::workgroups(config.workgroups)
+    let mut launch = Launch::workgroups(config.workgroups)
         .with_cpu_collab(config.cpu_collab_groups)
         .with_max_rounds(config.max_rounds);
+    if config.audit {
+        launch = launch.with_audit();
+    }
     let variant = config.variant;
     let chunk = config.chunk;
     let report = engine.run(launch, |info| {
@@ -157,6 +179,9 @@ fn run_bfs_once(
             chunk,
         )
     })?;
+    if config.audit {
+        enforce_retry_free(variant, &report.metrics)?;
+    }
 
     let costs = engine.memory().read_slice(buffers.costs).to_vec();
     let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
@@ -213,7 +238,7 @@ pub fn run_bfs_stealing(
             inqueue,
             pending,
         };
-        let result = engine.run(Launch::workgroups(workgroups), |info| {
+        let result = engine.run(Launch::workgroups(workgroups).with_audit(), |info| {
             PersistentBfsKernel::new(
                 Box::new(StealingWaveQueue::new(&layout, info.cu)),
                 buffers,
@@ -226,6 +251,15 @@ pub fn run_bfs_stealing(
             }
             Err(e) => return Err(e),
             Ok(report) => {
+                // Locally retry-free: never a CAS. (Failed steal scans DO
+                // count queue-empty retries — the documented trade-off —
+                // so only the CAS half of the claim is enforced here.)
+                if report.metrics.cas_attempts != 0 || report.metrics.cas_failures != 0 {
+                    return Err(SimError::AuditViolation(format!(
+                        "stealing run: {} CAS attempts, {} failures (expected none)",
+                        report.metrics.cas_attempts, report.metrics.cas_failures
+                    )));
+                }
                 let costs = engine.memory().read_slice(buffers.costs).to_vec();
                 let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
                 return Ok(BfsRun {
@@ -341,6 +375,46 @@ mod tests {
         .unwrap();
         assert_eq!(run.metrics.cas_failures, 0);
         assert_eq!(run.metrics.queue_empty_retries, 0);
+    }
+
+    #[test]
+    fn retry_free_variants_pin_zero_retry_counters() {
+        // The central claim, pinned as a regression over full audited
+        // BFS runs: both retry-free variants issue NO CAS at all (not
+        // merely zero failures) and never raise the queue-empty
+        // exception. The AuditMode scopes already assert this per
+        // wavefront op; this pins the run-level aggregate.
+        let g = social(SocialParams {
+            vertices: 800,
+            avg_degree: 8.0,
+            alpha: 1.8,
+            max_degree: 120,
+            seed: 11,
+        });
+        for variant in [Variant::RfAn, Variant::RfOnly] {
+            let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &BfsConfig::new(variant, 4))
+                .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+            assert_eq!(run.metrics.total_retries(), 0, "{variant:?}");
+            assert_eq!(run.metrics.cas_attempts, 0, "{variant:?}");
+            assert_eq!(run.metrics.queue_empty_retries, 0, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn audit_mode_never_perturbs_results_or_metrics() {
+        // Auditing is pure bookkeeping: byte-identical costs and metrics
+        // with it on or off.
+        let g = synthetic_tree(600, 4);
+        for variant in Variant::ALL {
+            let audited =
+                run_bfs(&GpuConfig::test_tiny(), &g, 0, &BfsConfig::new(variant, 3)).unwrap();
+            let mut plain_cfg = BfsConfig::new(variant, 3);
+            plain_cfg.audit = false;
+            let plain = run_bfs(&GpuConfig::test_tiny(), &g, 0, &plain_cfg).unwrap();
+            assert_eq!(audited.metrics, plain.metrics, "{variant:?}");
+            assert_eq!(audited.costs, plain.costs, "{variant:?}");
+            assert_eq!(audited.seconds, plain.seconds, "{variant:?}");
+        }
     }
 
     #[test]

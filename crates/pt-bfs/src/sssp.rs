@@ -214,15 +214,18 @@ fn run_sssp_once(
         inqueue,
         pending,
     };
-    let report = engine.run(Launch::workgroups(workgroups), |info| SsspKernel {
-        queue: make_wave_queue(variant, layout),
-        buffers,
-        phases: vec![LanePhase::Idle; info.wave_size],
-        work: vec![LaneWork::None; info.wave_size],
-        outbox: Vec::new(),
-        completed: 0,
-        chunk: CHUNK,
+    let report = engine.run(Launch::workgroups(workgroups).with_audit(), |info| {
+        SsspKernel {
+            queue: make_wave_queue(variant, layout),
+            buffers,
+            phases: vec![LanePhase::Idle; info.wave_size],
+            work: vec![LaneWork::None; info.wave_size],
+            outbox: Vec::new(),
+            completed: 0,
+            chunk: CHUNK,
+        }
     })?;
+    crate::runner::enforce_retry_free(variant, &report.metrics)?;
     Ok(SsspRun {
         seconds: report.seconds,
         metrics: report.metrics,

@@ -33,6 +33,7 @@
 //! cycle that wrote memory or issued atomics, so a buggy caller degrades
 //! to exact slow-path execution rather than wrong accounting.
 
+use crate::audit::{AuditScope, OpSpec};
 use crate::config::CostModel;
 use crate::error::SimError;
 use crate::memory::{Buffer, DeviceMemory};
@@ -124,6 +125,11 @@ pub struct WaveCtx<'a> {
     /// True once the cycle stored to device memory; such a cycle is never
     /// parkable (its re-execution would not be idempotent).
     pub(crate) wrote: bool,
+    /// Whether AuditMode is on for this run (set by the engine from
+    /// `Launch::audit`); when off, `audit_begin` is a no-op.
+    pub(crate) audit: bool,
+    /// The open audit scope, if a queue operation is being audited.
+    pub(crate) audit_scope: Option<AuditScope>,
 }
 
 impl<'a> WaveCtx<'a> {
@@ -148,6 +154,8 @@ impl<'a> WaveCtx<'a> {
             atomic_ops: 0,
             watches,
             wrote: false,
+            audit: false,
+            audit_scope: None,
         }
     }
 
@@ -290,24 +298,39 @@ impl<'a> WaveCtx<'a> {
         }
     }
 
+    /// Counts one fetch-add-family atomic against the open audit scope.
+    /// Placed in the public non-CAS entry points (not `global_atomic`) so
+    /// a CAS — which routes through `global_atomic` too — is not
+    /// double-counted as an AFA.
+    #[inline]
+    fn audit_count_afa(&mut self) {
+        if let Some(scope) = self.audit_scope.as_mut() {
+            scope.afa += 1;
+        }
+    }
+
     /// Global atomic fetch-add. Never fails; the k-th same-address atomic
     /// in a round pays `k * atomic_serialize` extra (hideable) latency.
     pub fn atomic_add(&mut self, buf: Buffer, index: usize, delta: u32) -> u32 {
+        self.audit_count_afa();
         self.global_atomic(buf, index, |v| v.wrapping_add(delta))
     }
 
     /// Global atomic fetch-sub (wrapping).
     pub fn atomic_sub(&mut self, buf: Buffer, index: usize, delta: u32) -> u32 {
+        self.audit_count_afa();
         self.global_atomic(buf, index, |v| v.wrapping_sub(delta))
     }
 
     /// Global atomic exchange.
     pub fn atomic_exchange(&mut self, buf: Buffer, index: usize, value: u32) -> u32 {
+        self.audit_count_afa();
         self.global_atomic(buf, index, |_| value)
     }
 
     /// Global atomic min (used by some BFS cost updates).
     pub fn atomic_min(&mut self, buf: Buffer, index: usize, value: u32) -> u32 {
+        self.audit_count_afa();
         self.global_atomic(buf, index, |v| v.min(value))
     }
 
@@ -349,6 +372,9 @@ impl<'a> WaveCtx<'a> {
     /// design eliminates — and like every atomic, a CAS occupies an issue
     /// slot whether it succeeds or not: *that* cost is never hidden.
     pub fn atomic_cas(&mut self, buf: Buffer, index: usize, expected: u32, new: u32) -> u32 {
+        if let Some(scope) = self.audit_scope.as_mut() {
+            scope.cas += 1;
+        }
         self.metrics.cas_attempts += 1;
         let observed = self.global_atomic(buf, index, |v| if v == expected { new } else { v });
         if observed != expected {
@@ -510,6 +536,9 @@ impl<'a> WaveCtx<'a> {
     /// Returns the number of failures charged.
     pub fn charge_cas_retry_storm(&mut self, delta: u64) -> u64 {
         let storms = delta.min(self.cost.cas_storm_cap);
+        if let Some(scope) = self.audit_scope.as_mut() {
+            scope.storms += storms;
+        }
         if storms > 0 {
             self.metrics.cas_attempts += storms;
             self.metrics.cas_failures += storms;
@@ -540,7 +569,49 @@ impl<'a> WaveCtx<'a> {
     /// Records `n` queue-operation retries caused by exceptions (the
     /// traditional queue's dequeue-on-empty). Feeds Figure 1 / Figure 5.
     pub fn count_queue_empty_retries(&mut self, n: u64) {
+        if let Some(scope) = self.audit_scope.as_mut() {
+            scope.empty_retries += n;
+        }
         self.metrics.queue_empty_retries += n;
+    }
+
+    /// Opens an audit scope for one wavefront queue operation declaring its
+    /// atomic budget (see [`crate::audit`]). A no-op unless the launch
+    /// enabled AuditMode. Scopes do not nest: a new `audit_begin` replaces
+    /// any scope still open (an aborting operation may leave its scope
+    /// unvalidated — harmless, since the abort fails the run anyway).
+    pub fn audit_begin(&mut self, spec: OpSpec) {
+        if self.audit {
+            self.audit_scope = Some(AuditScope::new(spec));
+        }
+    }
+
+    /// Amends the open scope's expected AFA count — for operations whose
+    /// budget is decided mid-flight (e.g. a steal scan that only reserves
+    /// when it finds backlog).
+    pub fn audit_expect_afa(&mut self, n: u64) {
+        if let Some(scope) = self.audit_scope.as_mut() {
+            scope.spec.afa = Some(n);
+        }
+    }
+
+    /// Amends the open scope's expected CAS count (AN's single proxy CAS,
+    /// declared only on the path that reaches the reservation).
+    pub fn audit_expect_cas(&mut self, n: u64) {
+        if let Some(scope) = self.audit_scope.as_mut() {
+            scope.spec.cas = Some(n);
+        }
+    }
+
+    /// Closes the open audit scope and validates the observed counts
+    /// against its spec; a violation is recorded as a device fault and
+    /// fails the run with [`SimError::AuditViolation`].
+    pub fn audit_end(&mut self) {
+        if let Some(scope) = self.audit_scope.take() {
+            if let Err(e) = scope.validate() {
+                self.record_fault(e);
+            }
+        }
     }
 
     /// Raises the paper's queue-full exception: "When a queue full
@@ -727,6 +798,65 @@ mod tests {
         assert_eq!(w.len(), 2);
         assert!(w[0].stale && w[0].expected == 9);
         assert!(!w[1].stale && w[1].expected == 11);
+    }
+
+    #[test]
+    fn audit_scope_counts_and_validates() {
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
+        ctx.audit = true;
+        ctx.audit_begin(OpSpec::new("RF/AN", "enqueue").afa_exact(1));
+        ctx.atomic_add(buf, 0, 3);
+        ctx.audit_end();
+        assert!(ctx.fault.is_none(), "one AFA matches the spec");
+        // A CAS inside a retry-free scope is a violation.
+        ctx.audit_begin(OpSpec::new("RF/AN", "acquire").afa_exact(0));
+        ctx.atomic_cas(buf, 0, 3, 4);
+        ctx.audit_end();
+        assert!(
+            matches!(ctx.fault, Some(SimError::AuditViolation(_))),
+            "{:?}",
+            ctx.fault
+        );
+    }
+
+    #[test]
+    fn audit_disabled_scopes_are_noops() {
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
+        ctx.audit_begin(OpSpec::new("RF/AN", "acquire"));
+        ctx.atomic_cas(buf, 0, 0, 1); // would violate if auditing
+        ctx.audit_end();
+        assert!(ctx.fault.is_none());
+    }
+
+    #[test]
+    fn audit_expectations_amend_open_scope() {
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
+        ctx.audit = true;
+        ctx.audit_begin(OpSpec::new("AN", "acquire").allow_empty_retries());
+        ctx.audit_expect_cas(1);
+        ctx.atomic_cas(buf, 0, 0, 1);
+        ctx.count_queue_empty_retries(3);
+        ctx.audit_end();
+        assert!(ctx.fault.is_none(), "{:?}", ctx.fault);
+    }
+
+    #[test]
+    fn data_atomics_outside_scopes_are_unaudited() {
+        let (mut mem, mut m, mut r, cost, mut w) = harness();
+        let buf = mem.buffer("buf");
+        let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
+        ctx.audit = true;
+        // SSSP's relaxation atomics run between queue ops — no open scope.
+        ctx.atomic_min(buf, 0, 5);
+        ctx.atomic_cas(buf, 1, 0, 2);
+        assert!(ctx.fault.is_none());
+        assert!(ctx.audit_scope.is_none());
     }
 
     #[test]

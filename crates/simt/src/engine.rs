@@ -71,6 +71,11 @@ pub struct Launch {
     pub max_rounds: u64,
     /// Record a per-round [`Trace`] (costs memory proportional to rounds).
     pub trace: bool,
+    /// Enable AuditMode: queue operations that open audit scopes (see
+    /// [`crate::audit`]) are validated against their declared atomic
+    /// budgets; a violation fails the run. Pure bookkeeping — metrics and
+    /// timing are identical with or without it.
+    pub audit: bool,
 }
 
 impl Launch {
@@ -81,6 +86,7 @@ impl Launch {
             cpu_collab_groups: 0,
             max_rounds: 50_000_000,
             trace: false,
+            audit: false,
         }
     }
 
@@ -99,6 +105,12 @@ impl Launch {
     /// Overrides the round safety limit.
     pub fn with_max_rounds(mut self, limit: u64) -> Self {
         self.max_rounds = limit;
+        self
+    }
+
+    /// Enables AuditMode for this run (see [`Launch::audit`]).
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
         self
     }
 }
@@ -345,6 +357,7 @@ impl Engine {
                     info,
                     watches,
                 );
+                ctx.audit = launch.audit;
                 let status = kernels[w].work_cycle(&mut ctx);
                 let issue = ctx.issue;
                 let latency = ctx.latency;
@@ -679,6 +692,55 @@ mod tests {
             .run(Launch::workgroups(1), |_| IncrKernel { buf, remaining: 1 })
             .unwrap();
         assert!(report.trace.is_none());
+    }
+
+    /// Kernel claiming to be retry-free while actually issuing a CAS.
+    struct LyingKernel {
+        buf: Buffer,
+    }
+    impl WaveKernel for LyingKernel {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            ctx.audit_begin(crate::audit::OpSpec::new("RF/AN", "acquire"));
+            ctx.atomic_cas(self.buf, 0, 0, 1);
+            ctx.audit_end();
+            WaveStatus::Done
+        }
+    }
+
+    #[test]
+    fn audit_violation_fails_the_run() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let err = e
+            .run(Launch::workgroups(1).with_audit(), |_| LyingKernel { buf })
+            .unwrap_err();
+        assert!(matches!(err, SimError::AuditViolation(_)), "{err}");
+    }
+
+    #[test]
+    fn audit_off_ignores_scopes_and_audit_never_perturbs_metrics() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let quiet = e
+            .run(Launch::workgroups(1), |_| LyingKernel { buf })
+            .unwrap();
+        // Audited well-behaved run matches the unaudited one field for
+        // field: auditing is pure bookkeeping.
+        let run = |audit: bool| {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            let launch = if audit {
+                Launch::workgroups(3).with_audit()
+            } else {
+                Launch::workgroups(3)
+            };
+            e.run(launch, |_| IncrKernel { buf, remaining: 4 }).unwrap()
+        };
+        let plain = run(false);
+        let audited = run(true);
+        assert_eq!(plain.metrics, audited.metrics);
+        assert_eq!(plain.per_cu_cycles, audited.per_cu_cycles);
+        assert_eq!(quiet.metrics.cas_attempts, 1);
     }
 
     #[test]

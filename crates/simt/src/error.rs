@@ -22,6 +22,10 @@ pub enum SimError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// AuditMode caught a queue operation exceeding its declared atomic
+    /// budget (e.g. a retry-free design issuing a CAS, or an arbitrary-n
+    /// design issuing more than one reservation per wavefront op).
+    AuditViolation(String),
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +41,7 @@ impl fmt::Display for SimError {
             SimError::MaxRoundsExceeded { limit } => {
                 write!(f, "simulation exceeded {limit} rounds without terminating")
             }
+            SimError::AuditViolation(detail) => write!(f, "audit violation: {detail}"),
         }
     }
 }
@@ -55,5 +60,7 @@ mod tests {
         assert!(e.to_string().contains("queue full"));
         let e = SimError::MaxRoundsExceeded { limit: 10 };
         assert!(e.to_string().contains("10 rounds"));
+        let e = SimError::AuditViolation("RF/AN enqueue: 2 CAS".into());
+        assert!(e.to_string().contains("audit violation"));
     }
 }

@@ -49,6 +49,7 @@
 //! assert_eq!(report.metrics.global_atomics, 128);
 //! ```
 
+pub mod audit;
 pub mod config;
 pub mod ctx;
 pub mod engine;
@@ -58,6 +59,7 @@ pub mod metrics;
 pub mod round;
 pub mod trace;
 
+pub use audit::OpSpec;
 pub use config::{CostModel, GpuConfig};
 pub use ctx::{WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
 pub use engine::{Engine, Launch, RunReport};

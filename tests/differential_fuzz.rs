@@ -1,0 +1,211 @@
+//! Differential fuzzing: all five device schedulers (BASE, AN, RF-only,
+//! RF/AN, and the distributed stealing queue) are run on identical
+//! seeded workloads and must deliver identical token multisets — and
+//! identical BFS levels on identical graphs. Any divergence means one of
+//! the queue designs lost, duplicated, or invented a token.
+
+use ptq::bfs::{run_bfs, run_bfs_stealing, BfsConfig};
+use ptq::graph::gen::social;
+use ptq::graph::gen::SocialParams;
+use ptq::queue::device::{
+    make_wave_queue, LanePhase, QueueLayout, StealingLayout, StealingWaveQueue, WaveQueue,
+};
+use ptq::queue::Variant;
+use simt::{Buffer, Engine, GpuConfig, Launch, WaveCtx, WaveKernel, WaveStatus};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// SplitMix64 — the crate-wide seeded PRNG idiom.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Children per fanned-out token.
+const CHILDREN: u32 = 3;
+/// Tokens below this fan out once; derived children (>= 1,000) never do.
+const FANOUT_UNTIL: u32 = 600;
+
+/// Producer/consumer kernel: consumes tokens, fans out children for
+/// seeds, terminates on a pending-task counter — the same shape as the
+/// BFS driver, generic over any [`WaveQueue`].
+struct FuzzPump {
+    queue: Box<dyn WaveQueue>,
+    lanes: Vec<LanePhase>,
+    pending: Buffer,
+    consumed: Rc<RefCell<Vec<u32>>>,
+    outbox: Vec<u32>,
+    completed: u32,
+}
+
+impl WaveKernel for FuzzPump {
+    fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+        for l in self.lanes.iter_mut() {
+            if *l == LanePhase::Idle {
+                *l = LanePhase::Hungry;
+            }
+        }
+        self.queue.acquire(ctx, &mut self.lanes);
+        for l in self.lanes.iter_mut() {
+            if let LanePhase::Ready(tok) = *l {
+                self.consumed.borrow_mut().push(tok);
+                if tok < FANOUT_UNTIL {
+                    for c in 0..CHILDREN {
+                        self.outbox.push(tok * CHILDREN + c + 1_000);
+                    }
+                }
+                self.completed += 1;
+                *l = LanePhase::Idle;
+            }
+        }
+        if !self.outbox.is_empty() {
+            let accepted = self.queue.enqueue(ctx, &self.outbox);
+            if accepted > 0 {
+                ctx.atomic_add(self.pending, 0, accepted as u32);
+                self.outbox.drain(..accepted);
+            }
+        }
+        if self.completed > 0 {
+            ctx.atomic_sub(self.pending, 0, self.completed);
+            self.completed = 0;
+        }
+        let pending = ctx.global_read(self.pending, 0);
+        if pending == 0 && self.outbox.is_empty() {
+            WaveStatus::Done
+        } else {
+            WaveStatus::Active
+        }
+    }
+}
+
+/// Delivered-token multiset (sorted) for a monolithic-queue variant.
+fn pump_variant(variant: Variant, seeds: &[u32], wgs: usize, capacity: u32) -> Vec<u32> {
+    let mut engine = Engine::new(GpuConfig::test_tiny());
+    let layout = QueueLayout::setup(engine.memory_mut(), "q", capacity);
+    let pending = engine.memory_mut().alloc("pending", 1);
+    layout.host_seed(engine.memory_mut(), seeds);
+    engine
+        .memory_mut()
+        .write_u32(pending, 0, seeds.len() as u32);
+    let consumed = Rc::new(RefCell::new(Vec::new()));
+    let wave_size = engine.config().wave_size;
+    engine
+        .run(
+            Launch::workgroups(wgs)
+                .with_max_rounds(2_000_000)
+                .with_audit(),
+            |_info| FuzzPump {
+                queue: make_wave_queue(variant, layout),
+                lanes: vec![LanePhase::Idle; wave_size],
+                pending,
+                consumed: Rc::clone(&consumed),
+                outbox: Vec::new(),
+                completed: 0,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{variant:?} pump failed: {e}"));
+    let mut out = consumed.borrow().clone();
+    out.sort_unstable();
+    out
+}
+
+/// Delivered-token multiset (sorted) for the distributed stealing queue.
+fn pump_stealing(seeds: &[u32], wgs: usize, capacity: u32) -> Vec<u32> {
+    let gpu = GpuConfig::test_tiny();
+    let mut engine = Engine::new(gpu.clone());
+    let layout = StealingLayout::setup(engine.memory_mut(), "dq", gpu.num_cus, capacity);
+    let pending = engine.memory_mut().alloc("pending", 1);
+    layout.host_seed(engine.memory_mut(), seeds);
+    engine
+        .memory_mut()
+        .write_u32(pending, 0, seeds.len() as u32);
+    let consumed = Rc::new(RefCell::new(Vec::new()));
+    let wave_size = engine.config().wave_size;
+    engine
+        .run(
+            Launch::workgroups(wgs)
+                .with_max_rounds(2_000_000)
+                .with_audit(),
+            |info| FuzzPump {
+                queue: Box::new(StealingWaveQueue::new(&layout, info.cu)),
+                lanes: vec![LanePhase::Idle; wave_size],
+                pending,
+                consumed: Rc::clone(&consumed),
+                outbox: Vec::new(),
+                completed: 0,
+            },
+        )
+        .unwrap_or_else(|e| panic!("stealing pump failed: {e}"));
+    let mut out = consumed.borrow().clone();
+    out.sort_unstable();
+    out
+}
+
+/// Seeded workload: `count` tokens below `FANOUT_UNTIL * 2` (so roughly
+/// half fan out), plus the exact multiset every scheduler must deliver.
+fn workload(seed: u64, count: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut s = seed;
+    let seeds: Vec<u32> = (0..count)
+        .map(|_| (splitmix64(&mut s) % u64::from(FANOUT_UNTIL * 2)) as u32)
+        .collect();
+    let mut expect = seeds.clone();
+    for &t in &seeds {
+        if t < FANOUT_UNTIL {
+            for c in 0..CHILDREN {
+                expect.push(t * CHILDREN + c + 1_000);
+            }
+        }
+    }
+    expect.sort_unstable();
+    (seeds, expect)
+}
+
+#[test]
+fn all_five_schedulers_deliver_identical_multisets() {
+    for (round, &seed) in [0xFEED_0001u64, 0xFEED_0002, 0xFEED_0003]
+        .iter()
+        .enumerate()
+    {
+        let count = 24 + round * 40;
+        let (seeds, expect) = workload(seed, count);
+        let capacity = (expect.len() as u32 + 64).next_power_of_two();
+        // Audited runs (with_audit in the pumps): every wavefront queue
+        // op validates its variant's atomic budget while we fuzz.
+        for variant in Variant::MATRIX {
+            let got = pump_variant(variant, &seeds, 4, capacity);
+            assert_eq!(
+                got, expect,
+                "{variant:?} diverged on seed {seed:#x} ({count} seeds)"
+            );
+        }
+        let got = pump_stealing(&seeds, 4, capacity);
+        assert_eq!(got, expect, "stealing diverged on seed {seed:#x}");
+    }
+}
+
+#[test]
+fn all_five_schedulers_agree_on_bfs_levels() {
+    // One seeded scale-free graph, five schedulers: identical levels.
+    let mut rng = 0xB0B0_CAFEu64;
+    let graph = social(SocialParams {
+        vertices: 700,
+        avg_degree: 7.0,
+        alpha: 1.9,
+        max_degree: 90,
+        seed: splitmix64(&mut rng) % 1_000,
+    });
+    let gpu = GpuConfig::test_tiny();
+    let reference = run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::Base, 4))
+        .unwrap()
+        .costs;
+    for variant in [Variant::An, Variant::RfOnly, Variant::RfAn] {
+        let run = run_bfs(&gpu, &graph, 0, &BfsConfig::new(variant, 4))
+            .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        assert_eq!(run.costs, reference, "{variant:?} BFS levels diverged");
+    }
+    let stealing = run_bfs_stealing(&gpu, &graph, 0, 4).unwrap();
+    assert_eq!(stealing.costs, reference, "stealing BFS levels diverged");
+}

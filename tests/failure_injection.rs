@@ -7,8 +7,10 @@ use ptq::graph::gen::synthetic_tree;
 use ptq::graph::validate_levels;
 use ptq::queue::device::{make_wave_queue, LanePhase, QueueLayout, WaveQueue};
 use ptq::queue::host::{RfAnQueue, WorkPool};
+use ptq::queue::verify::{AnScenario, BaseScenario, RfAnScenario};
 use ptq::queue::Variant;
 use simt::{Buffer, Engine, GpuConfig, Launch, SimError, WaveCtx, WaveKernel, WaveStatus};
+use std::collections::BTreeSet;
 
 /// A kernel where one wavefront floods the queue beyond capacity while
 /// the others behave: the abort must terminate the whole run promptly
@@ -150,6 +152,65 @@ fn workpool_overflow_recovers_after_reset() {
     })
     .unwrap();
     assert_eq!(counted.load(std::sync::atomic::Ordering::Relaxed), 2);
+}
+
+/// Queue-full under the interleaving explorer: every schedule of a BASE
+/// overflow race terminates (the explorer panics on deadlock), rejects a
+/// deterministic number of pushes, and never double-delivers.
+#[test]
+fn explored_base_overflow_aborts_deterministically() {
+    let s = BaseScenario {
+        capacity: 2,
+        producers: vec![vec![1, 2], vec![3]],
+        consumers: vec![1],
+    };
+    let r = s.run(200_000);
+    assert!(r.exhausted, "overflow race should enumerate fully");
+    // Three pushes into two lifetime slots: exactly one rejection in
+    // EVERY interleaving — which token loses varies, how many never does.
+    assert_eq!(r.rejections, BTreeSet::from([1]));
+    for d in &r.delivered {
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+    }
+}
+
+/// AN overflow under the explorer: the losing batch is rejected whole in
+/// every schedule (all-or-nothing), never partially published.
+#[test]
+fn explored_an_overflow_rejects_whole_batch() {
+    let s = AnScenario {
+        capacity: 3,
+        producers: vec![vec![vec![1]], vec![vec![2, 3]], vec![vec![4, 5]]],
+        consumers: vec![],
+    };
+    let r = s.run(50_000);
+    assert!(r.exhausted);
+    // 1 + 2 + 2 tokens into 3 slots: exactly one 2-batch loses, whole.
+    assert_eq!(r.rejections, BTreeSet::from([1]));
+}
+
+/// RF/AN overflow under the explorer: abort semantics — the overshooting
+/// batch publishes nothing, `Rear` stays advanced, and every schedule
+/// still linearizes (the spec models the abort explicitly).
+#[test]
+fn explored_rfan_overflow_has_abort_semantics() {
+    let s = RfAnScenario {
+        capacity: 2,
+        producers: vec![vec![vec![1, 2]], vec![vec![3, 4]]],
+        consumers: vec![(2, 4)],
+    };
+    let r = s.run(50_000);
+    assert!(r.exhausted);
+    // Whichever batch reserves second overflows: exactly one abort.
+    assert_eq!(r.rejections, BTreeSet::from([1]));
+    for d in &r.delivered {
+        assert!(d.len() <= 2, "aborted batch leaked tokens: {d:?}");
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+    }
 }
 
 /// SSSP's capacity-recovery loop: adversarial weights that maximize

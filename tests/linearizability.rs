@@ -1,0 +1,201 @@
+//! Linearizability of the host queues under exhaustive + sampled
+//! interleaving exploration (`gpu_queue::verify`).
+//!
+//! Every scenario here runs its schedules through the Wing–Gong checker
+//! against the batch-aware sequential specs; a single non-linearizable
+//! history panics inside the scenario runner. The default budgets keep
+//! the suite in CI's PR-gating time box; the `verify-deep` job raises
+//! them via `PTQ_SCHEDULES` (see `.github/workflows/ci.yml`).
+
+use ptq::queue::verify::{schedule_budget, AnScenario, BaseScenario, RfAnScenario, ScenarioReport};
+use std::collections::BTreeSet;
+
+/// Default DFS budget per scenario. The acceptance bar is >= 1,000
+/// distinct interleavings per host-queue scenario in the default run;
+/// leave headroom above it.
+const DEFAULT_BUDGET: usize = 1_500;
+
+fn assert_coverage(r: &ScenarioReport, what: &str) {
+    // Either the scenario's whole schedule space was smaller than the
+    // budget and fully enumerated, or we explored at least 1,000 distinct
+    // schedules of it.
+    assert!(
+        r.exhausted || r.schedules >= 1_000,
+        "{what}: only {} schedules (exhausted: {})",
+        r.schedules,
+        r.exhausted
+    );
+    assert_eq!(
+        r.histories_checked, r.schedules,
+        "{what}: unchecked history"
+    );
+}
+
+// ------------------------------------------------------------- BASE ----
+
+#[test]
+fn base_two_producers_two_consumers() {
+    let s = BaseScenario {
+        capacity: 8,
+        producers: vec![vec![1, 2], vec![3]],
+        consumers: vec![2, 1],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "BASE 2p2c");
+    assert_eq!(r.rejections, BTreeSet::from([0]), "capacity 8 never fills");
+    // Conservation: no schedule delivers a token twice or invents one.
+    for d in &r.delivered {
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+        for t in d {
+            assert!([1, 2, 3].contains(t), "invented token {t}");
+        }
+    }
+}
+
+#[test]
+fn base_three_producers_one_consumer() {
+    let s = BaseScenario {
+        capacity: 8,
+        producers: vec![vec![10], vec![20], vec![30]],
+        consumers: vec![2],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "BASE 3p1c");
+}
+
+#[test]
+fn base_contended_single_slot_cas_storm() {
+    // Four threads racing tiny state maximizes CAS failure paths.
+    let s = BaseScenario {
+        capacity: 2,
+        producers: vec![vec![1], vec![2], vec![3]],
+        consumers: vec![1],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "BASE cas storm");
+    // Capacity 2, three pushes: exactly one rejection in every schedule.
+    assert_eq!(r.rejections, BTreeSet::from([1]));
+}
+
+#[test]
+fn base_random_sampling_beyond_dfs() {
+    let s = BaseScenario {
+        capacity: 8,
+        producers: vec![vec![1, 2], vec![3, 4]],
+        consumers: vec![2, 2],
+    };
+    let r = s.run_random(schedule_budget(DEFAULT_BUDGET), 0x5EED_0001);
+    assert!(r.schedules >= 100, "only {} distinct samples", r.schedules);
+    assert_eq!(r.histories_checked, schedule_budget(DEFAULT_BUDGET));
+}
+
+// --------------------------------------------------------------- AN ----
+
+#[test]
+fn an_batch_producers_and_consumers() {
+    let s = AnScenario {
+        capacity: 8,
+        producers: vec![vec![vec![1, 2]], vec![vec![3, 4, 5]]],
+        consumers: vec![(2, 4)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "AN 2p1c");
+    assert_eq!(r.rejections, BTreeSet::from([0]));
+    for d in &r.delivered {
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+    }
+}
+
+#[test]
+fn an_three_threads_batch_races() {
+    let s = AnScenario {
+        capacity: 8,
+        producers: vec![vec![vec![1], vec![2]], vec![vec![3, 4]]],
+        consumers: vec![(2, 2)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "AN batch races");
+}
+
+#[test]
+fn an_overflow_batch_rejected_whole_every_schedule() {
+    // Capacity 3: [1,2] fits, then [3,4] must be rejected whole in every
+    // interleaving (all-or-nothing), and [5] fits after.
+    let s = AnScenario {
+        capacity: 3,
+        producers: vec![vec![vec![1, 2]], vec![vec![3, 4]]],
+        consumers: vec![],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert!(r.exhausted);
+    assert_eq!(r.rejections, BTreeSet::from([1]));
+}
+
+#[test]
+fn an_random_sampling() {
+    let s = AnScenario {
+        capacity: 8,
+        producers: vec![vec![vec![1, 2], vec![3]], vec![vec![4, 5]]],
+        consumers: vec![(2, 3)],
+    };
+    let r = s.run_random(schedule_budget(DEFAULT_BUDGET), 0x5EED_0002);
+    assert!(r.schedules >= 100, "only {} distinct samples", r.schedules);
+}
+
+// ------------------------------------------------------------ RF/AN ----
+
+#[test]
+fn rfan_reservation_races_publication() {
+    let s = RfAnScenario {
+        capacity: 8,
+        producers: vec![vec![vec![1, 2]], vec![vec![3]]],
+        consumers: vec![(2, 5), (1, 3)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "RF/AN 2p2c");
+    assert_eq!(r.rejections, BTreeSet::from([0]));
+    for d in &r.delivered {
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+    }
+}
+
+#[test]
+fn rfan_reserve_before_data_exists() {
+    // Consumers may reserve before any producer has published — the
+    // design's signature move. Every interleaving must linearize.
+    let s = RfAnScenario {
+        capacity: 4,
+        producers: vec![vec![vec![7, 8]]],
+        consumers: vec![(2, 6), (2, 4)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "RF/AN early reserve");
+}
+
+#[test]
+fn rfan_four_threads() {
+    let s = RfAnScenario {
+        capacity: 8,
+        producers: vec![vec![vec![1]], vec![vec![2, 3]]],
+        consumers: vec![(1, 3), (2, 3)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "RF/AN 4 threads");
+}
+
+#[test]
+fn rfan_random_sampling() {
+    let s = RfAnScenario {
+        capacity: 8,
+        producers: vec![vec![vec![1, 2], vec![3]], vec![vec![4]]],
+        consumers: vec![(3, 6)],
+    };
+    let r = s.run_random(schedule_budget(DEFAULT_BUDGET), 0x5EED_0003);
+    assert!(r.schedules >= 100, "only {} distinct samples", r.schedules);
+}

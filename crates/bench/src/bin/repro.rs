@@ -7,6 +7,7 @@
 //!   table1 table2 table3 table4 table5 table6
 //!   fig1 fig3 fig4 fig5
 //!   scaling ablate-matrix ablate-stealing ablate-chunk ablate-occupancy
+//!   chaos        seeded fault injection + checkpoint/resume recovery
 //!   verify       machine-checked reproduction verdicts
 //!   all          everything above (except verify)
 //!
@@ -26,7 +27,8 @@
 //! throughput) next to the tables so performance has a trajectory.
 
 use repro_bench::experiments::{
-    ablate, common, fig1, fig3, fig4, fig5, scaling, table12, table34, table5, table6, verify,
+    ablate, chaos, common, fig1, fig3, fig4, fig5, scaling, table12, table34, table5, table6,
+    verify,
 };
 use repro_bench::{Scale, Sched, Table};
 use simt::GpuConfig;
@@ -106,7 +108,7 @@ fn usage(error: &str) -> ExitCode {
         "usage: repro <experiment> [--scale F | --full] [--jobs N] [--out DIR]\n\
          experiments: table1 table2 table3 table4 table5 table6 \
          fig1 fig3 fig4 fig5 scaling ablate-matrix ablate-stealing ablate-chunk \
-         ablate-occupancy verify all"
+         ablate-occupancy chaos verify all"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -140,10 +142,17 @@ fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
         }
         None => "null".to_owned(),
     };
+    let recovery = format!(
+        "{{\"faults_injected\": {}, \"aborts_recovered\": {}, \"rounds_replayed\": {}}}",
+        common::faults_injected(),
+        common::aborts_recovered(),
+        common::rounds_replayed(),
+    );
     let json = format!(
         "{{\n  \"command\": \"{command}\",\n  \"scale\": {},\n  \"jobs\": {},\n  \
          \"total_seconds\": {total:.3},\n  \"rounds_simulated\": {rounds},\n  \
          \"rounds_per_second\": {:.0},\n  \"slowest_point\": {slowest},\n  \
+         \"recovery\": {recovery},\n  \
          \"experiments\": [\n{}\n  ]\n}}\n",
         opts.scale.fraction(),
         opts.sched.jobs(),
@@ -255,6 +264,10 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
                 "ablate_occupancy_fiji",
             );
         }
+        "chaos" => {
+            let rows = chaos::measure(opts.scale, sched);
+            emit(&chaos::table(&rows), opts, "chaos");
+        }
         "all" => {
             for exp in [
                 "table1",
@@ -270,6 +283,7 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
                 "ablate-stealing",
                 "ablate-chunk",
                 "ablate-occupancy",
+                "chaos",
             ] {
                 eprintln!("== {exp} ==");
                 let start = Instant::now();

@@ -18,6 +18,38 @@ pub fn rounds_simulated() -> u64 {
     ROUNDS_SIMULATED.load(Ordering::Relaxed)
 }
 
+/// Faults scheduled by the chaos experiment's seeded plans.
+static FAULTS_INJECTED: AtomicU64 = AtomicU64::new(0);
+/// Aborts the chaos experiment's recoverable runs survived.
+static ABORTS_RECOVERED: AtomicU64 = AtomicU64::new(0);
+/// Rounds re-executed by retries after those aborts.
+static ROUNDS_REPLAYED: AtomicU64 = AtomicU64::new(0);
+
+/// Faults scheduled so far (chaos experiment).
+pub fn faults_injected() -> u64 {
+    FAULTS_INJECTED.load(Ordering::Relaxed)
+}
+
+/// Aborts survived so far (chaos experiment).
+pub fn aborts_recovered() -> u64 {
+    ABORTS_RECOVERED.load(Ordering::Relaxed)
+}
+
+/// Rounds replayed by recovery so far (chaos experiment).
+pub fn rounds_replayed() -> u64 {
+    ROUNDS_REPLAYED.load(Ordering::Relaxed)
+}
+
+/// Records one chaos run: faults its plan scheduled, aborts it survived,
+/// rounds its retries replayed, and rounds it simulated (the last feeds
+/// the process-wide throughput denominator like [`bfs_run`] does).
+pub fn record_recovery(faults: u64, aborts: u64, replayed: u64, rounds: u64) {
+    FAULTS_INJECTED.fetch_add(faults, Ordering::Relaxed);
+    ABORTS_RECOVERED.fetch_add(aborts, Ordering::Relaxed);
+    ROUNDS_REPLAYED.fetch_add(replayed, Ordering::Relaxed);
+    ROUNDS_SIMULATED.fetch_add(rounds, Ordering::Relaxed);
+}
+
 /// The single most expensive simulation point seen so far (wall seconds,
 /// human-readable point name) — the LPT scheduler's reason to exist, and
 /// `BENCH_repro.json`'s `slowest_point` entry.

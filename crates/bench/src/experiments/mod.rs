@@ -14,8 +14,10 @@
 //! | Table 6 | [`table6::run`] | `table6` |
 //! | ablations | [`ablate`] | `ablate_*` |
 //! | scaling deep-dive | [`scaling::table`] | `scaling_<gpu>` |
+//! | chaos / recovery | [`chaos::table`] | `chaos` |
 
 pub mod ablate;
+pub mod chaos;
 pub mod common;
 pub mod fig1;
 pub mod fig3;

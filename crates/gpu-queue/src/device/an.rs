@@ -19,7 +19,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::{OpSpec, WaveCtx};
+use simt::{AbortReason, OpSpec, WaveCtx};
 
 /// Per-wavefront handle to an AN device queue.
 #[derive(Clone, Debug)]
@@ -154,10 +154,10 @@ impl WaveQueue for AnWaveQueue {
         let rear = ctx.global_read(self.layout.state, REAR);
         let n = tokens.len() as u32;
         if rear as usize + n as usize > self.layout.capacity as usize {
-            ctx.abort(format!(
-                "queue full: rear {rear} + {n} exceeds capacity {}",
-                self.layout.capacity
-            ));
+            ctx.abort(AbortReason::QueueFull {
+                requested: rear as u64 + n as u64,
+                capacity: self.layout.capacity,
+            });
             // Bound check precedes the CAS: zero reservations issued, so
             // the scope validates cleanly even on the abort path.
             ctx.audit_end();

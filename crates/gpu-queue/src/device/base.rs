@@ -25,7 +25,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::{OpSpec, WaveCtx};
+use simt::{AbortReason, OpSpec, WaveCtx};
 
 /// Per-wavefront handle to a BASE device queue.
 #[derive(Clone, Debug)]
@@ -156,10 +156,10 @@ impl WaveQueue for BaseWaveQueue {
         let mut accepted = 0usize;
         while accepted < budget {
             if rear as usize >= self.layout.capacity as usize {
-                ctx.abort(format!(
-                    "queue full: rear {rear} reached capacity {}",
-                    self.layout.capacity
-                ));
+                ctx.abort(AbortReason::QueueFull {
+                    requested: rear as u64,
+                    capacity: self.layout.capacity,
+                });
                 return accepted;
             }
             let observed = ctx.atomic_cas(self.layout.state, REAR, rear, rear + 1);

@@ -20,7 +20,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::{OpSpec, WaveCtx};
+use simt::{AbortReason, OpSpec, WaveCtx};
 
 /// Per-wavefront handle to an RF/AN device queue. Stateless beyond the
 /// layout and a reusable poll scratch: the design needs no staged reads
@@ -154,16 +154,21 @@ impl WaveQueue for RfAnWaveQueue {
             debug_assert!(tok < DNA, "token collides with dna sentinel");
             let slot = base as usize + i;
             if slot >= self.layout.capacity as usize {
-                ctx.abort(format!(
-                    "queue full: rear slot {slot} exceeds capacity {}",
-                    self.layout.capacity
-                ));
+                ctx.abort(AbortReason::QueueFull {
+                    requested: slot as u64,
+                    capacity: self.layout.capacity,
+                });
                 return i;
             }
             // Line 25: the slot must still hold the sentinel.
             let current = ctx.peek(self.layout.slots, slot);
             if current != DNA {
-                ctx.abort(format!("queue full: slot {slot} not a sentinel"));
+                // An occupied slot in a non-wrapping queue means the
+                // reservation overran live data: same capacity exhaustion.
+                ctx.abort(AbortReason::QueueFull {
+                    requested: slot as u64,
+                    capacity: self.layout.capacity,
+                });
                 return i;
             }
             ctx.poke(self.layout.slots, slot, tok);
@@ -242,7 +247,7 @@ mod tests {
     fn queue_full_aborts() {
         use super::super::testutil::PumpKernel;
         use super::super::{make_wave_queue, LanePhase, QueueLayout};
-        use simt::{Engine, GpuConfig, Launch, SimError};
+        use simt::{Engine, GpuConfig, Launch};
         use std::cell::RefCell;
         use std::rc::Rc;
 
@@ -266,7 +271,7 @@ mod tests {
                 completed: 0,
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::KernelAbort(ref m) if m.contains("queue full")));
+        assert!(err.is_queue_full(), "{err:?}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::{OpSpec, WaveCtx};
+use simt::{AbortReason, OpSpec, WaveCtx};
 
 /// Per-wavefront handle to an RF-only device queue.
 #[derive(Clone, Debug)]
@@ -110,15 +110,18 @@ impl WaveQueue for RfOnlyWaveQueue {
             let slot = ctx.atomic_add(self.layout.state, REAR, 1) as usize;
             ctx.count_scheduler_atomics(1);
             if slot >= self.layout.capacity as usize {
-                ctx.abort(format!(
-                    "queue full: rear slot {slot} exceeds capacity {}",
-                    self.layout.capacity
-                ));
+                ctx.abort(AbortReason::QueueFull {
+                    requested: slot as u64,
+                    capacity: self.layout.capacity,
+                });
                 return 0;
             }
             let current = ctx.global_read_lane(self.layout.slots, slot);
             if current != DNA {
-                ctx.abort(format!("queue full: slot {slot} not a sentinel"));
+                ctx.abort(AbortReason::QueueFull {
+                    requested: slot as u64,
+                    capacity: self.layout.capacity,
+                });
                 return 0;
             }
             ctx.global_write_lane(self.layout.slots, slot, tok);

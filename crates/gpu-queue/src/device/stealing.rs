@@ -27,7 +27,7 @@
 
 use super::{LanePhase, QueueLayout, WaveQueue, FRONT, REAR};
 use crate::{Variant, DNA};
-use simt::{DeviceMemory, OpSpec, WaveCtx};
+use simt::{AbortReason, DeviceMemory, OpSpec, WaveCtx};
 
 /// Host-side handle to one queue per compute unit.
 #[derive(Clone, Debug)]
@@ -236,15 +236,18 @@ impl WaveQueue for StealingWaveQueue {
             debug_assert!(tok < DNA);
             let slot = base as usize + i;
             if slot >= home.capacity as usize {
-                ctx.abort(format!(
-                    "queue full: CU {} rear slot {slot} exceeds capacity {}",
-                    self.home, home.capacity
-                ));
+                ctx.abort(AbortReason::QueueFull {
+                    requested: slot as u64,
+                    capacity: home.capacity,
+                });
                 return i;
             }
             let current = ctx.peek(home.slots, slot);
             if current != DNA {
-                ctx.abort(format!("queue full: CU {} slot {slot} occupied", self.home));
+                ctx.abort(AbortReason::QueueFull {
+                    requested: slot as u64,
+                    capacity: home.capacity,
+                });
                 return i;
             }
             ctx.poke(home.slots, slot, tok);

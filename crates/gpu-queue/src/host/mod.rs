@@ -61,6 +61,43 @@ impl std::fmt::Display for QueueFull {
 
 impl std::error::Error for QueueFull {}
 
+/// Error returned by the non-panicking enqueue surface
+/// ([`RfAnQueue::try_enqueue_batch`]), used where the input may be
+/// untrusted — e.g. a checkpoint mirror replaying a snapshotted queue
+/// window, where a corrupt snapshot must surface as an error rather than
+/// a debug-assert panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The batch does not fit; nothing was published (see the
+    /// abort-semantics notes on [`RfAnQueue::try_enqueue_batch`]).
+    Full(QueueFull),
+    /// A token collides with the `dna` sentinel — corrupt input; nothing
+    /// was published and the queue state is untouched.
+    InvalidToken {
+        /// The offending token value.
+        token: u32,
+    },
+}
+
+impl std::fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnqueueError::Full(e) => e.fmt(f),
+            EnqueueError::InvalidToken { token } => {
+                write!(f, "token {token:#x} collides with the dna sentinel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
+
+impl From<QueueFull> for EnqueueError {
+    fn from(e: QueueFull) -> Self {
+        EnqueueError::Full(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +105,13 @@ mod tests {
     #[test]
     fn queue_full_displays_capacity() {
         assert!(QueueFull { capacity: 64 }.to_string().contains("64"));
+    }
+
+    #[test]
+    fn enqueue_error_displays_both_variants() {
+        let e = EnqueueError::from(QueueFull { capacity: 8 });
+        assert!(e.to_string().contains("capacity 8"));
+        let e = EnqueueError::InvalidToken { token: u32::MAX };
+        assert!(e.to_string().contains("sentinel"));
     }
 }

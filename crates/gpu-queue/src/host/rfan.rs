@@ -16,7 +16,7 @@
 //! calls; overflow is a [`QueueFull`] error (abort semantics). Tokens are
 //! `u32` values below [`DNA`].
 
-use super::{QueueFull, QueueStats, StatsSnapshot};
+use super::{EnqueueError, QueueFull, QueueStats, StatsSnapshot};
 use crate::DNA;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -171,6 +171,49 @@ impl RfAnQueue {
         self.enqueue_batch(std::slice::from_ref(&token))
     }
 
+    /// Non-overshooting variant of [`RfAnQueue::reserve`]: refuses a
+    /// reservation that would land (even partly) past capacity — slots
+    /// that can never receive data in a non-wrapping queue — *without*
+    /// advancing `Front`. The pre-check reads `Front` non-atomically with
+    /// the reservation, so under concurrent reservers it is best-effort;
+    /// with exclusive access (the checkpoint-mirror use) it is exact.
+    pub fn try_reserve(&self, n: usize) -> Result<Range<u64>, QueueFull> {
+        let front = self.front.load(Ordering::Relaxed);
+        if front as usize + n > self.slots.len() {
+            return Err(QueueFull {
+                capacity: self.slots.len(),
+            });
+        }
+        Ok(self.reserve(n))
+    }
+
+    /// Non-panicking [`RfAnQueue::enqueue_batch`] for untrusted input
+    /// (e.g. a checkpoint mirror replaying a snapshotted queue window).
+    ///
+    /// Validates every token against the sentinel *before* touching the
+    /// queue ([`EnqueueError::InvalidToken`] leaves the state untouched)
+    /// and pre-checks capacity so a visibly over-large batch is refused
+    /// without burning the `Rear` reservation. Only when a concurrent
+    /// racer steals the headroom between the pre-check and the fetch-add
+    /// does the reservation overshoot — then the queue is in the same
+    /// abort state as a failed [`RfAnQueue::enqueue_batch`].
+    pub fn try_enqueue_batch(&self, tokens: &[u32]) -> Result<(), EnqueueError> {
+        if tokens.is_empty() {
+            return Ok(());
+        }
+        if let Some(&bad) = tokens.iter().find(|&&t| t == DNA) {
+            return Err(EnqueueError::InvalidToken { token: bad });
+        }
+        let rear = self.rear.load(Ordering::Relaxed);
+        if rear as usize + tokens.len() > self.slots.len() {
+            return Err(QueueFull {
+                capacity: self.slots.len(),
+            }
+            .into());
+        }
+        self.enqueue_batch(tokens).map_err(EnqueueError::from)
+    }
+
     /// Number of published tokens not yet claimed by a reservation. Can
     /// be negative conceptually (reservations ahead of data) — clamped to
     /// zero, and only a hint under concurrency.
@@ -271,6 +314,49 @@ mod tests {
         assert_eq!(q.len_hint(), 0);
         q.enqueue_batch(&[7, 8]).unwrap();
         assert_eq!(q.len_hint(), 2);
+    }
+
+    #[test]
+    fn try_enqueue_refuses_without_burning_the_reservation() {
+        let q = RfAnQueue::new(2);
+        q.enqueue_batch(&[1]).unwrap();
+        // A visibly over-large batch is refused and Rear is untouched —
+        // unlike enqueue_batch's abort semantics.
+        assert_eq!(
+            q.try_enqueue_batch(&[2, 3, 4]),
+            Err(EnqueueError::Full(QueueFull { capacity: 2 }))
+        );
+        // The queue still works: the remaining slot is usable.
+        q.try_enqueue_batch(&[2]).unwrap();
+        assert_eq!(q.len_hint(), 2);
+        let r = q.reserve(2);
+        assert_eq!(q.try_take(SlotTicket(r.start)), Some(1));
+        assert_eq!(q.try_take(SlotTicket(r.start + 1)), Some(2));
+    }
+
+    #[test]
+    fn try_enqueue_rejects_sentinel_collisions_untouched() {
+        let q = RfAnQueue::new(4);
+        assert_eq!(
+            q.try_enqueue_batch(&[1, DNA, 3]),
+            Err(EnqueueError::InvalidToken { token: DNA })
+        );
+        assert_eq!(q.len_hint(), 0, "nothing published, Rear untouched");
+        q.try_enqueue_batch(&[1, 2, 3]).unwrap();
+        assert_eq!(q.len_hint(), 3);
+    }
+
+    #[test]
+    fn try_reserve_refuses_past_capacity() {
+        let q = RfAnQueue::new(3);
+        q.enqueue_batch(&[5, 6]).unwrap();
+        let r = q.try_reserve(2).unwrap();
+        assert_eq!(q.try_take(SlotTicket(r.start)), Some(5));
+        assert_eq!(q.try_take(SlotTicket(r.start + 1)), Some(6));
+        // Front is at 2; reserving 2 more would cross capacity 3.
+        assert_eq!(q.try_reserve(2), Err(QueueFull { capacity: 3 }));
+        // Front unchanged: a fitting reservation still works.
+        assert!(q.try_reserve(1).is_ok());
     }
 
     #[test]

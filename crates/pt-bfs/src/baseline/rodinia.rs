@@ -161,6 +161,7 @@ pub fn run_rodinia(
         // Level-synchronous launches overwrite per-CU cycles each level;
         // only the merged totals are meaningful here.
         per_cu_cycles: Vec::new(),
+        recovery: crate::recovery::RecoveryLog::default(),
     })
 }
 

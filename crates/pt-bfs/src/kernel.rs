@@ -47,6 +47,22 @@ pub struct BfsBuffers {
     pub pending: Buffer,
 }
 
+/// Optional frontier fence for checkpoint/resume epochs (see
+/// `crate::recovery`). Discoveries *deeper* than `depth` are still
+/// claimed (cost atomic-min + on-queue bit), but instead of entering the
+/// scheduler queue they are appended to the `spill` buffer
+/// (`spill[0]` = atomic cursor, `spill[1..]` = spilled tokens). The
+/// launch then terminates at a frontier boundary — `pending == 0` with
+/// every vertex at depth ≤ `depth` fully expanded — which is exactly the
+/// point where a host checkpoint contains no partially-expanded state.
+#[derive(Clone, Copy, Debug)]
+pub struct SpillFence {
+    /// Deepest BFS level scheduled through the queue this epoch.
+    pub depth: u32,
+    /// Spill buffer: one cursor word followed by up to `n` tokens.
+    pub spill: Buffer,
+}
+
 /// Per-lane execution state: the vertex being processed and the edge
 /// cursor within it.
 #[derive(Clone, Copy, Debug)]
@@ -74,6 +90,10 @@ pub struct PersistentBfsKernel {
     chunk: u32,
     /// Reusable buffer for one lane's prevalidated CSR edge chunk.
     edge_scratch: Vec<u32>,
+    /// Frontier fence for epoch-bounded (checkpointable) launches.
+    /// `None` for plain runs — the fence branch is then never taken and
+    /// the kernel's behaviour is bit-identical to the unfenced original.
+    fence: Option<SpillFence>,
 }
 
 impl PersistentBfsKernel {
@@ -100,7 +120,15 @@ impl PersistentBfsKernel {
             completed: 0,
             chunk,
             edge_scratch: Vec::new(),
+            fence: None,
         }
+    }
+
+    /// Bounds this launch to BFS levels `<= depth`: deeper discoveries go
+    /// to the `spill` buffer instead of the queue (see [`SpillFence`]).
+    pub fn with_fence(mut self, depth: u32, spill: Buffer) -> Self {
+        self.fence = Some(SpillFence { depth, spill });
+        self
     }
 }
 
@@ -177,7 +205,16 @@ impl WaveKernel for PersistentBfsKernel {
                             // already sitting in the queue.
                             let was = ctx.atomic_exchange(self.buffers.inqueue, child as usize, 1);
                             if was == 0 {
-                                self.outbox.push(child);
+                                match self.fence {
+                                    Some(f) if new_cost > f.depth => {
+                                        // Beyond the epoch fence: park the
+                                        // claimed token in the spill buffer
+                                        // for the next launch to seed from.
+                                        let at = ctx.atomic_add(f.spill, 0, 1);
+                                        ctx.global_write_lane(f.spill, 1 + at as usize, child);
+                                    }
+                                    _ => self.outbox.push(child),
+                                }
                             }
                         }
                     }
@@ -271,5 +308,19 @@ mod tests {
         assert_eq!(k.phases.len(), 8);
         assert!(k.outbox.is_empty());
         assert_eq!(k.completed, 0);
+        assert!(k.fence.is_none(), "plain construction is unfenced");
+    }
+
+    #[test]
+    fn fence_builder_attaches_depth_and_spill() {
+        let mut mem = DeviceMemory::new();
+        let b = buffers(&mut mem);
+        let spill = mem.alloc("spill", 8);
+        let layout = QueueLayout::setup(&mut mem, "q", 4);
+        let k = PersistentBfsKernel::new(Box::new(RfAnWaveQueue::new(layout)), b, 4)
+            .with_fence(3, spill);
+        let f = k.fence.expect("fence installed");
+        assert_eq!(f.depth, 3);
+        assert_eq!(f.spill, spill);
     }
 }

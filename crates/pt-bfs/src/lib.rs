@@ -15,14 +15,22 @@
 //!   the Criterion benchmarks.
 //! * [`sssp`] — a second driver application (label-correcting shortest
 //!   paths), demonstrating the scheduler beyond BFS.
+//! * [`recovery`] — checkpoint/resume recovery: frontier-fenced epochs,
+//!   a [`recovery::RecoveryPolicy`] (bounded attempts, geometric capacity
+//!   regrow, backoff, watchdog), and the [`recovery::RecoveryLog`] every
+//!   run report carries.
 
 pub mod baseline;
 pub mod host;
 pub mod kernel;
+pub mod recovery;
 pub mod runner;
 pub mod sssp;
 
-pub use kernel::{BfsBuffers, PersistentBfsKernel, CHUNK};
+pub use kernel::{BfsBuffers, PersistentBfsKernel, SpillFence, CHUNK};
+pub use recovery::{
+    resume_bfs, run_bfs_recoverable, Checkpoint, RecoveryAttempt, RecoveryLog, RecoveryPolicy,
+};
 pub use runner::{run_bfs, run_bfs_stealing, BfsConfig, BfsRun};
 pub use sssp::{run_sssp, SsspRun};
 

@@ -1,0 +1,683 @@
+//! Checkpoint/resume recovery for persistent-thread BFS runs.
+//!
+//! The paper's only recovery story is capacity regrow: "If more space can
+//! be allocated, the user can retry the kernel with a larger queue." This
+//! module generalizes that into a [`RecoveryPolicy`] — bounded attempts,
+//! geometric capacity regrow (subsuming the ad-hoc doubling in
+//! [`crate::run_bfs`]), per-attempt backoff in simulated cycles, and a
+//! per-epoch watchdog — and adds *checkpointing* so a failed launch does
+//! not restart the traversal from scratch.
+//!
+//! # Frontier-fenced epochs
+//!
+//! A persistent kernel normally runs the whole traversal in one launch,
+//! so there is no iteration-safe point to snapshot: an abort mid-launch
+//! leaves vertices half-expanded (a lane clears the on-queue bit before
+//! walking the adjacency list, so its unexpanded edges are unrecoverable
+//! from device state). Instead, the recoverable runner *fences* each
+//! launch at a BFS depth (see [`crate::kernel::SpillFence`]): discoveries
+//! deeper than the fence are claimed as usual (cost atomic-min + on-queue
+//! bit) but parked in a spill buffer rather than the scheduler queue.
+//! Each launch therefore terminates at a frontier boundary —
+//! `pending == 0` with nothing half-expanded — and the host snapshots a
+//! [`Checkpoint`]: the cost array, the on-queue bits, and the spilled
+//! frontier. The next epoch relaunches from that snapshot.
+//!
+//! On an abort (queue-full, injected fault, watchdog) the epoch is
+//! retried from the last checkpoint, so only the current epoch's rounds
+//! are lost, not the whole run. Because the kernel is label-correcting
+//! (an atomic-min worklist converges to exact levels in any execution
+//! order), a recovered run produces levels **byte-identical** to an
+//! uninterrupted one — the integration tests pin this.
+//!
+//! Faults are transient: after an injected-fault abort the plan is pruned
+//! with [`FaultPlan::expire_through`], so the retry makes progress.
+//! The snapshotted frontier is validated through the *host* RF/AN queue
+//! mirror ([`RfAnQueue::try_enqueue_batch`] / `try_reserve`) before each
+//! relaunch, so a corrupt snapshot surfaces as a structured error instead
+//! of poisoning a device launch.
+
+use crate::kernel::{BfsBuffers, PersistentBfsKernel};
+use crate::runner::{enforce_retry_free, BfsConfig, BfsRun};
+use crate::UNVISITED;
+use gpu_queue::device::{make_wave_queue, QueueLayout};
+use gpu_queue::host::{EnqueueError, RfAnQueue};
+use ptq_graph::Csr;
+use simt::{AbortReason, Engine, FaultPlan, GpuConfig, Launch, Metrics, SimError};
+
+/// How the recoverable runner reacts to aborts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Total relaunch attempts allowed across the run; the abort that
+    /// exhausts the budget propagates as the run's error.
+    pub max_attempts: u32,
+    /// Multiplier applied to the capacity factor on a queue-full abort
+    /// (the paper's doubling generalized).
+    pub capacity_regrow: f64,
+    /// Ceiling on the capacity factor (multiple of the vertex count).
+    pub max_capacity_factor: f64,
+    /// Simulated backoff cycles added per retry: attempt `k` waits
+    /// `k * backoff_cycles` before relaunching (charged to the run's
+    /// simulated seconds, recorded in the log).
+    pub backoff_cycles: u64,
+    /// BFS levels per epoch — the checkpoint stride. Small strides bound
+    /// lost work tightly; `u32::MAX` degenerates to one unfenced launch
+    /// (recovery then restarts from scratch, like [`crate::run_bfs`]).
+    pub checkpoint_levels: u32,
+    /// Per-epoch round budget. An epoch exceeding it aborts with
+    /// [`AbortReason::Watchdog`] and retries with a doubled budget.
+    /// `0` disables the watchdog (the launch-wide `max_rounds` of
+    /// [`BfsConfig`] still applies, but exceeding *that* is a hard
+    /// non-termination error, not a recoverable abort).
+    pub watchdog_rounds: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 8,
+            capacity_regrow: 2.0,
+            max_capacity_factor: 32.0,
+            backoff_cycles: 1_000,
+            checkpoint_levels: 4,
+            watchdog_rounds: 0,
+        }
+    }
+}
+
+/// One logged relaunch: why the previous attempt died and what the
+/// policy changed before retrying.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RecoveryAttempt {
+    /// Epoch (checkpoint interval) in which the abort happened.
+    pub epoch: u32,
+    /// 1-based attempt number across the whole run.
+    pub attempt: u32,
+    /// Structured abort classification.
+    pub reason: AbortReason,
+    /// Rounds executed by the aborted launch — work thrown away.
+    pub rounds_lost: u64,
+    /// Simulated backoff charged before the relaunch.
+    pub backoff_cycles: u64,
+    /// Capacity factor the aborted launch ran with.
+    pub capacity_factor: f64,
+}
+
+/// The recovery log a run's report carries: every abort/relaunch, plus
+/// aggregate lost/replayed round accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryLog {
+    /// Every abort the run recovered from, in order.
+    pub attempts: Vec<RecoveryAttempt>,
+    /// Checkpoints taken (resume points with a non-empty frontier).
+    pub checkpoints: u32,
+    /// Epochs (fenced launches) that completed successfully.
+    pub epochs: u32,
+    /// Rounds executed by aborted launches (discarded work).
+    pub rounds_lost: u64,
+    /// Rounds re-executed by the successful retries of epochs that had
+    /// previously aborted — the cost of recovery. Checkpointing exists to
+    /// make this small: a from-scratch restart replays the whole run.
+    pub rounds_replayed: u64,
+    /// Rounds of successful epochs (committed forward progress).
+    pub rounds_committed: u64,
+    /// Capacity factor the run finished with (grown on queue-full).
+    pub final_capacity_factor: f64,
+}
+
+impl RecoveryLog {
+    /// Number of aborts the run survived.
+    pub fn aborts(&self) -> usize {
+        self.attempts.len()
+    }
+}
+
+/// A resumable snapshot taken at a frontier boundary (end of a fenced
+/// epoch): nothing in it is half-expanded, so a relaunch seeded from it
+/// is indistinguishable from a run that never stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Per-vertex cost array (exact levels up to `depth`, claimed-cost
+    /// upper bounds beyond it).
+    pub costs: Vec<u32>,
+    /// Per-vertex on-queue bits (1 exactly for `frontier` members).
+    pub inqueue: Vec<u32>,
+    /// Spilled frontier: vertices claimed past the fence, to seed the
+    /// next epoch's queue.
+    pub frontier: Vec<u32>,
+    /// Deepest level the completed epochs scheduled through the queue.
+    pub depth: u32,
+    /// Rounds committed by the epochs behind this snapshot.
+    pub rounds_committed: u64,
+}
+
+impl Checkpoint {
+    /// The pre-traversal snapshot: only `source` discovered, at level 0.
+    pub fn initial(num_vertices: usize, source: u32) -> Self {
+        assert!(
+            (source as usize) < num_vertices,
+            "source vertex out of range"
+        );
+        let mut costs = vec![UNVISITED; num_vertices];
+        costs[source as usize] = 0;
+        let mut inqueue = vec![0u32; num_vertices];
+        inqueue[source as usize] = 1;
+        Checkpoint {
+            costs,
+            inqueue,
+            frontier: vec![source],
+            depth: 0,
+            rounds_committed: 0,
+        }
+    }
+}
+
+/// What one fenced launch hands back to the epoch loop.
+struct EpochOutcome {
+    metrics: Metrics,
+    seconds: f64,
+    per_cu_cycles: Vec<u64>,
+    costs: Vec<u32>,
+    inqueue: Vec<u32>,
+    spilled: Vec<u32>,
+}
+
+/// Runs a recoverable persistent-thread BFS: epochs of
+/// `policy.checkpoint_levels` BFS levels, each checkpointed, each retried
+/// from its checkpoint on abort under `policy`, with the deterministic
+/// `plan` injecting faults.
+///
+/// The returned [`BfsRun::recovery`] log records every abort survived.
+/// With an empty plan and a fault-free workload the result's costs are
+/// byte-identical to [`crate::run_bfs`]'s.
+///
+/// # Errors
+/// Propagates the final abort when `policy.max_attempts` is exhausted,
+/// and all non-recoverable errors (out-of-bounds, audit violations, hard
+/// round-limit overruns) immediately.
+///
+/// # Panics
+/// Panics if `source` is out of range or the policy's checkpoint stride
+/// is zero.
+pub fn run_bfs_recoverable(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    source: u32,
+    config: &BfsConfig,
+    policy: &RecoveryPolicy,
+    plan: &FaultPlan,
+) -> Result<BfsRun, SimError> {
+    resume_bfs(
+        gpu,
+        graph,
+        config,
+        policy,
+        plan,
+        Checkpoint::initial(graph.num_vertices(), source),
+    )
+}
+
+/// [`run_bfs_recoverable`] continued from an existing [`Checkpoint`] —
+/// the relaunch path a host takes after deciding to resume rather than
+/// restart (e.g. after a process-level failure with the snapshot
+/// persisted).
+///
+/// # Errors
+/// See [`run_bfs_recoverable`].
+pub fn resume_bfs(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    config: &BfsConfig,
+    policy: &RecoveryPolicy,
+    plan: &FaultPlan,
+    checkpoint: Checkpoint,
+) -> Result<BfsRun, SimError> {
+    assert!(
+        policy.checkpoint_levels > 0,
+        "checkpoint stride must be positive"
+    );
+    let n = graph.num_vertices();
+    assert_eq!(checkpoint.costs.len(), n, "checkpoint does not match graph");
+    assert_eq!(
+        checkpoint.inqueue.len(),
+        n,
+        "checkpoint does not match graph"
+    );
+
+    let mut ckpt = checkpoint;
+    let mut plan = plan.clone();
+    let mut factor = config.capacity_factor;
+    let mut watchdog = if policy.watchdog_rounds == 0 {
+        config.max_rounds
+    } else {
+        policy.watchdog_rounds
+    };
+    let mut log = RecoveryLog::default();
+    let mut metrics = Metrics::default();
+    let mut seconds = 0.0f64;
+    let mut per_cu_cycles: Vec<u64> = Vec::new();
+    let mut attempts = 0u32;
+    let mut epoch = 0u32;
+    let mut epoch_had_abort = false;
+
+    loop {
+        let capacity = ((n as f64 * factor) as usize)
+            .max(64)
+            .min(u32::MAX as usize) as u32;
+
+        // Validate the snapshotted frontier through the host RF/AN mirror
+        // before burning a device launch: corrupt tokens fail fast with a
+        // structured error; an over-full frontier regrows capacity
+        // host-side (no device attempt consumed).
+        match mirror_check(&ckpt.frontier, capacity) {
+            Ok(()) => {}
+            Err(EnqueueError::InvalidToken { token }) => {
+                return Err(SimError::AuditViolation(format!(
+                    "corrupt checkpoint: frontier token {token:#x} collides with the dna sentinel"
+                )));
+            }
+            Err(EnqueueError::Full(full)) => {
+                if factor < policy.max_capacity_factor {
+                    factor = (factor * policy.capacity_regrow).min(policy.max_capacity_factor);
+                    continue;
+                }
+                return Err(SimError::KernelAbort {
+                    reason: AbortReason::QueueFull {
+                        requested: ckpt.frontier.len() as u64,
+                        capacity: full.capacity as u32,
+                    },
+                    round: 0,
+                });
+            }
+        }
+
+        let fence = ckpt.depth.saturating_add(policy.checkpoint_levels);
+        match run_epoch(gpu, graph, config, &ckpt, fence, capacity, watchdog, &plan) {
+            Ok(out) => {
+                metrics.merge(&out.metrics);
+                seconds += out.seconds;
+                accumulate_cycles(&mut per_cu_cycles, &out.per_cu_cycles);
+                log.rounds_committed += out.metrics.rounds;
+                if epoch_had_abort {
+                    log.rounds_replayed += out.metrics.rounds;
+                    epoch_had_abort = false;
+                }
+                log.epochs += 1;
+                let rounds_committed = ckpt.rounds_committed + out.metrics.rounds;
+                ckpt = Checkpoint {
+                    costs: out.costs,
+                    inqueue: out.inqueue,
+                    frontier: out.spilled,
+                    depth: fence,
+                    rounds_committed,
+                };
+                if ckpt.frontier.is_empty() {
+                    log.final_capacity_factor = factor;
+                    let reached = ckpt.costs.iter().filter(|&&c| c != UNVISITED).count();
+                    return Ok(BfsRun {
+                        seconds,
+                        metrics,
+                        costs: ckpt.costs,
+                        reached,
+                        per_cu_cycles,
+                        recovery: log,
+                    });
+                }
+                log.checkpoints += 1;
+                epoch += 1;
+            }
+            Err(e) => {
+                let (reason, rounds_lost) = match &e {
+                    SimError::KernelAbort { reason, round } => (*reason, *round),
+                    // A watchdog-capped launch hitting its round budget is
+                    // a recoverable supervisory abort; hitting the
+                    // launch-wide limit is hard non-termination.
+                    SimError::MaxRoundsExceeded { limit } if *limit < config.max_rounds => {
+                        (AbortReason::Watchdog, *limit)
+                    }
+                    _ => return Err(e),
+                };
+                attempts += 1;
+                if attempts > policy.max_attempts {
+                    return Err(e);
+                }
+                let backoff = policy.backoff_cycles.saturating_mul(attempts as u64);
+                log.attempts.push(RecoveryAttempt {
+                    epoch,
+                    attempt: attempts,
+                    reason,
+                    rounds_lost,
+                    backoff_cycles: backoff,
+                    capacity_factor: factor,
+                });
+                log.rounds_lost += rounds_lost;
+                seconds += gpu.cycles_to_seconds(backoff);
+                epoch_had_abort = true;
+                match reason {
+                    AbortReason::QueueFull { .. } => {
+                        factor = (factor * policy.capacity_regrow).min(policy.max_capacity_factor);
+                    }
+                    AbortReason::InjectedFault { .. } => {
+                        // Transient fault: prune everything that fired so
+                        // the retry makes progress.
+                        plan = plan.expire_through(rounds_lost);
+                    }
+                    AbortReason::Watchdog => {
+                        watchdog = watchdog.saturating_mul(2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replays the snapshotted frontier through a host RF/AN mirror:
+/// `try_enqueue_batch` rejects sentinel collisions and over-capacity
+/// windows without touching state, and `try_reserve` proves the published
+/// window is drainable by a consumer.
+fn mirror_check(frontier: &[u32], capacity: u32) -> Result<(), EnqueueError> {
+    let mirror = RfAnQueue::new(capacity as usize);
+    mirror.try_enqueue_batch(frontier)?;
+    mirror
+        .try_reserve(frontier.len())
+        .map_err(EnqueueError::from)?;
+    Ok(())
+}
+
+fn accumulate_cycles(total: &mut Vec<u64>, add: &[u64]) {
+    if total.len() < add.len() {
+        total.resize(add.len(), 0);
+    }
+    for (t, a) in total.iter_mut().zip(add) {
+        *t += a;
+    }
+}
+
+/// One fenced launch from `ckpt`: seed the queue with the frontier, run
+/// the kernel with a [`crate::kernel::SpillFence`] at `fence`, and read
+/// back the post-epoch snapshot.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    config: &BfsConfig,
+    ckpt: &Checkpoint,
+    fence: u32,
+    capacity: u32,
+    watchdog: u64,
+    plan: &FaultPlan,
+) -> Result<EpochOutcome, SimError> {
+    let n = graph.num_vertices();
+    let mut engine = Engine::new(gpu.clone());
+    let mem = engine.memory_mut();
+    mem.alloc_init("nodes", graph.row_offsets());
+    mem.alloc_init("edges", graph.adjacency());
+    let costs = mem.alloc_init("costs", &ckpt.costs);
+    let inqueue = mem.alloc_init("inqueue", &ckpt.inqueue);
+    let pending = mem.alloc("pending", 1);
+    mem.write_u32(pending, 0, ckpt.frontier.len() as u32);
+    // Spill cursor + at most one entry per vertex (the on-queue bit
+    // guarantees a vertex spills at most once per epoch).
+    let spill = mem.alloc("spill", n + 1);
+    let layout = QueueLayout::setup(mem, "workqueue", capacity);
+    layout.host_seed(mem, &ckpt.frontier);
+
+    let buffers = BfsBuffers {
+        nodes: mem.buffer("nodes"),
+        edges: mem.buffer("edges"),
+        costs,
+        inqueue,
+        pending,
+    };
+    let mut launch = Launch::workgroups(config.workgroups)
+        .with_cpu_collab(config.cpu_collab_groups)
+        .with_max_rounds(watchdog.min(config.max_rounds));
+    if config.audit {
+        launch = launch.with_audit();
+    }
+    let variant = config.variant;
+    let chunk = config.chunk;
+    let report = engine.run_with_faults(launch, plan, |info| {
+        PersistentBfsKernel::with_chunk(
+            make_wave_queue(variant, layout),
+            buffers,
+            info.wave_size,
+            chunk,
+        )
+        .with_fence(fence, spill)
+    })?;
+    if config.audit {
+        enforce_retry_free(variant, &report.metrics)?;
+    }
+
+    let spill_count = engine.memory().read_u32(spill, 0) as usize;
+    let spilled = engine.memory().read_slice(spill)[1..1 + spill_count].to_vec();
+    Ok(EpochOutcome {
+        metrics: report.metrics,
+        seconds: report.seconds,
+        per_cu_cycles: report.per_cu_cycles,
+        costs: engine.memory().read_slice(buffers.costs).to_vec(),
+        inqueue: engine.memory().read_slice(buffers.inqueue).to_vec(),
+        spilled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_bfs;
+    use gpu_queue::Variant;
+    use ptq_graph::gen::synthetic_tree;
+    use simt::GpuConfig;
+
+    fn cfg(variant: Variant) -> BfsConfig {
+        BfsConfig::new(variant, 3)
+    }
+
+    #[test]
+    fn fault_free_epochs_match_single_launch_costs() {
+        let g = synthetic_tree(700, 4);
+        let plain = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg(Variant::RfAn)).unwrap();
+        for stride in [1u32, 2, 3, u32::MAX] {
+            let policy = RecoveryPolicy {
+                checkpoint_levels: stride,
+                ..RecoveryPolicy::default()
+            };
+            let run = run_bfs_recoverable(
+                &GpuConfig::test_tiny(),
+                &g,
+                0,
+                &cfg(Variant::RfAn),
+                &policy,
+                &FaultPlan::EMPTY,
+            )
+            .unwrap();
+            assert_eq!(run.costs, plain.costs, "stride {stride}");
+            assert_eq!(run.reached, plain.reached);
+            assert!(run.recovery.attempts.is_empty());
+            assert_eq!(run.recovery.rounds_lost, 0);
+            assert_eq!(run.recovery.rounds_replayed, 0);
+        }
+    }
+
+    #[test]
+    fn unfenced_stride_is_one_epoch() {
+        let g = synthetic_tree(300, 4);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: u32::MAX,
+            ..RecoveryPolicy::default()
+        };
+        let run = run_bfs_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &cfg(Variant::RfAn),
+            &policy,
+            &FaultPlan::EMPTY,
+        )
+        .unwrap();
+        assert_eq!(run.recovery.epochs, 1);
+        assert_eq!(run.recovery.checkpoints, 0);
+    }
+
+    #[test]
+    fn wave_kill_is_survived_and_logged() {
+        let g = synthetic_tree(700, 4);
+        let plain = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg(Variant::RfAn)).unwrap();
+        let plan = FaultPlan::new().kill_wave(3, 1);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: 2,
+            ..RecoveryPolicy::default()
+        };
+        let run = run_bfs_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &cfg(Variant::RfAn),
+            &policy,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(run.costs, plain.costs, "recovered run must be exact");
+        assert_eq!(run.recovery.aborts(), 1);
+        let a = run.recovery.attempts[0];
+        assert!(matches!(
+            a.reason,
+            AbortReason::InjectedFault {
+                kind: simt::FaultKind::WaveKill,
+                wave: 1,
+                round: 3,
+            }
+        ));
+        assert_eq!(a.rounds_lost, 3);
+        assert!(run.recovery.rounds_replayed > 0);
+    }
+
+    #[test]
+    fn queue_full_regrows_capacity_through_policy() {
+        let g = synthetic_tree(800, 4);
+        let mut config = cfg(Variant::RfAn);
+        config.capacity_factor = 0.05; // ~64 slots: guaranteed overflow
+        let policy = RecoveryPolicy {
+            checkpoint_levels: u32::MAX,
+            ..RecoveryPolicy::default()
+        };
+        let run = run_bfs_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &config,
+            &policy,
+            &FaultPlan::EMPTY,
+        )
+        .unwrap();
+        assert_eq!(run.reached, 800);
+        assert!(run.recovery.aborts() >= 1);
+        assert!(run
+            .recovery
+            .attempts
+            .iter()
+            .all(|a| matches!(a.reason, AbortReason::QueueFull { .. })));
+        assert!(run.recovery.final_capacity_factor > config.capacity_factor);
+    }
+
+    #[test]
+    fn watchdog_abort_doubles_budget_and_recovers() {
+        let g = synthetic_tree(600, 4);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: u32::MAX,
+            watchdog_rounds: 4, // far too small: must trip, then double
+            ..RecoveryPolicy::default()
+        };
+        let run = run_bfs_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &cfg(Variant::RfAn),
+            &policy,
+            &FaultPlan::EMPTY,
+        )
+        .unwrap();
+        assert_eq!(run.reached, 600);
+        assert!(run.recovery.aborts() >= 1);
+        assert!(run
+            .recovery
+            .attempts
+            .iter()
+            .all(|a| a.reason == AbortReason::Watchdog));
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_propagates_the_abort() {
+        let g = synthetic_tree(500, 4);
+        // Kill a wave at round 1 of every launch; zero retries allowed.
+        let plan = FaultPlan::new().kill_wave(1, 0);
+        let policy = RecoveryPolicy {
+            max_attempts: 0,
+            ..RecoveryPolicy::default()
+        };
+        let err = run_bfs_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &cfg(Variant::RfAn),
+            &policy,
+            &plan,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err.abort_reason(),
+            Some(AbortReason::InjectedFault { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_by_the_host_mirror() {
+        let g = synthetic_tree(64, 4);
+        let mut ckpt = Checkpoint::initial(64, 0);
+        ckpt.frontier = vec![u32::MAX]; // dna sentinel collision
+        let err = resume_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            &cfg(Variant::RfAn),
+            &RecoveryPolicy::default(),
+            &FaultPlan::EMPTY,
+            ckpt,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SimError::AuditViolation(msg) if msg.contains("corrupt checkpoint")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn resume_from_initial_checkpoint_equals_full_run() {
+        let g = synthetic_tree(400, 4);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: 2,
+            ..RecoveryPolicy::default()
+        };
+        let a = run_bfs_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &cfg(Variant::An),
+            &policy,
+            &FaultPlan::EMPTY,
+        )
+        .unwrap();
+        let b = resume_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            &cfg(Variant::An),
+            &policy,
+            &FaultPlan::EMPTY,
+            Checkpoint::initial(400, 0),
+        )
+        .unwrap();
+        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.seconds, b.seconds);
+    }
+}

@@ -7,6 +7,7 @@
 //! back the costs and validate them against the sequential reference.
 
 use crate::kernel::{BfsBuffers, PersistentBfsKernel, CHUNK};
+use crate::recovery::{RecoveryAttempt, RecoveryLog};
 use crate::UNVISITED;
 use gpu_queue::device::{make_wave_queue, QueueLayout};
 use gpu_queue::Variant;
@@ -67,6 +68,11 @@ pub struct BfsRun {
     /// these to prove engine fast paths are cycle-exact per CU, not just
     /// in aggregate).
     pub per_cu_cycles: Vec<u64>,
+    /// Recovery log: every abort the run survived (capacity regrows here;
+    /// injected faults and watchdog trips under
+    /// [`crate::recovery::run_bfs_recoverable`]). Empty `attempts` for a
+    /// first-try success.
+    pub recovery: RecoveryLog,
 }
 
 /// Runs a persistent-thread BFS over `graph` from `source` on `gpu`,
@@ -101,14 +107,34 @@ pub fn run_bfs(
     config: &BfsConfig,
 ) -> Result<BfsRun, SimError> {
     let mut factor = config.capacity_factor;
+    let mut log = RecoveryLog::default();
     loop {
         let mut attempt = config.clone();
         attempt.capacity_factor = factor;
         match run_bfs_once(gpu, graph, source, &attempt) {
-            Err(SimError::KernelAbort(msg))
-                if msg.contains("queue full") && factor < 16.0 * config.capacity_factor =>
+            Err(SimError::KernelAbort { reason, round })
+                if reason.is_queue_full() && factor < 16.0 * config.capacity_factor =>
             {
+                log.attempts.push(RecoveryAttempt {
+                    epoch: 0,
+                    attempt: log.attempts.len() as u32 + 1,
+                    reason,
+                    rounds_lost: round,
+                    backoff_cycles: 0,
+                    capacity_factor: factor,
+                });
+                log.rounds_lost += round;
                 factor *= 2.0;
+            }
+            Ok(mut run) => {
+                log.epochs = 1;
+                log.rounds_committed = run.metrics.rounds;
+                if !log.attempts.is_empty() {
+                    log.rounds_replayed = run.metrics.rounds;
+                }
+                log.final_capacity_factor = factor;
+                run.recovery = log;
+                return Ok(run);
             }
             other => return other,
         }
@@ -191,6 +217,7 @@ fn run_bfs_once(
         costs,
         reached,
         per_cu_cycles: report.per_cu_cycles,
+        recovery: RecoveryLog::default(),
     })
 }
 
@@ -214,6 +241,7 @@ pub fn run_bfs_stealing(
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source vertex out of range");
     let mut factor = 2.0f64;
+    let mut log = RecoveryLog::default();
     loop {
         let mut engine = Engine::new(gpu.clone());
         let mem = engine.memory_mut();
@@ -246,7 +274,18 @@ pub fn run_bfs_stealing(
             )
         });
         match result {
-            Err(SimError::KernelAbort(msg)) if msg.contains("queue full") && factor < 16.0 => {
+            Err(SimError::KernelAbort { reason, round })
+                if reason.is_queue_full() && factor < 16.0 =>
+            {
+                log.attempts.push(RecoveryAttempt {
+                    epoch: 0,
+                    attempt: log.attempts.len() as u32 + 1,
+                    reason,
+                    rounds_lost: round,
+                    backoff_cycles: 0,
+                    capacity_factor: factor,
+                });
+                log.rounds_lost += round;
                 factor *= 2.0;
             }
             Err(e) => return Err(e),
@@ -262,12 +301,19 @@ pub fn run_bfs_stealing(
                 }
                 let costs = engine.memory().read_slice(buffers.costs).to_vec();
                 let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
+                log.epochs = 1;
+                log.rounds_committed = report.metrics.rounds;
+                if !log.attempts.is_empty() {
+                    log.rounds_replayed = report.metrics.rounds;
+                }
+                log.final_capacity_factor = factor;
                 return Ok(BfsRun {
                     seconds: report.seconds,
                     metrics: report.metrics,
                     costs,
                     reached,
                     per_cu_cycles: report.per_cu_cycles,
+                    recovery: log,
                 });
             }
         }

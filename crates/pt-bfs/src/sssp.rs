@@ -166,7 +166,7 @@ pub fn run_sssp(
     let mut factor = 4.0;
     loop {
         match run_sssp_once(gpu, graph, weights, source, variant, workgroups, factor) {
-            Err(SimError::KernelAbort(msg)) if msg.contains("queue full") && factor < 64.0 => {
+            Err(e) if e.is_queue_full() && factor < 64.0 => {
                 factor *= 2.0;
             }
             other => return other,

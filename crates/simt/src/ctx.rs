@@ -35,7 +35,7 @@
 
 use crate::audit::{AuditScope, OpSpec};
 use crate::config::CostModel;
-use crate::error::SimError;
+use crate::error::{AbortReason, SimError};
 use crate::memory::{Buffer, DeviceMemory};
 use crate::metrics::Metrics;
 use crate::round::{RoundState, LINE_WORDS};
@@ -114,8 +114,8 @@ pub struct WaveCtx<'a> {
     /// engine fails the run afterwards — mirrors GPU fault semantics but
     /// deterministically).
     pub(crate) fault: Option<SimError>,
-    /// Kernel-requested abort (queue-full exception).
-    pub(crate) abort: Option<String>,
+    /// Kernel-requested abort (queue-full exception), already classified.
+    pub(crate) abort: Option<AbortReason>,
     /// Global atomics issued this work cycle (feeds the per-CU atomic-unit
     /// throughput pool).
     pub(crate) atomic_ops: u64,
@@ -616,10 +616,12 @@ impl<'a> WaveCtx<'a> {
 
     /// Raises the paper's queue-full exception: "When a queue full
     /// exception occurs the problem is too large for the allocated queue
-    /// size" — the kernel aborts, it does not retry.
-    pub fn abort(&mut self, reason: impl Into<String>) {
+    /// size" — the kernel aborts, it does not retry. The reason is a
+    /// structured [`AbortReason`] so host-side recovery can match on it;
+    /// the engine attaches the observing round. The first reason wins.
+    pub fn abort(&mut self, reason: AbortReason) {
         if self.abort.is_none() {
-            self.abort = Some(reason.into());
+            self.abort = Some(reason);
         }
     }
 
@@ -743,9 +745,18 @@ mod tests {
     fn abort_keeps_first_reason() {
         let (mut mem, mut m, mut r, cost, mut w) = harness();
         let mut ctx = WaveCtx::new(&mut mem, &mut m, &mut r, &cost, info(), &mut w);
-        ctx.abort("queue full");
-        ctx.abort("second");
-        assert_eq!(ctx.abort.as_deref(), Some("queue full"));
+        ctx.abort(AbortReason::QueueFull {
+            requested: 10,
+            capacity: 8,
+        });
+        ctx.abort(AbortReason::Watchdog);
+        assert_eq!(
+            ctx.abort,
+            Some(AbortReason::QueueFull {
+                requested: 10,
+                capacity: 8
+            })
+        );
     }
 
     #[test]

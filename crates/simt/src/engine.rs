@@ -52,7 +52,8 @@
 
 use crate::config::GpuConfig;
 use crate::ctx::{Watch, WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
-use crate::error::SimError;
+use crate::error::{AbortReason, FaultKind, SimError};
+use crate::fault::FaultPlan;
 use crate::memory::DeviceMemory;
 use crate::metrics::Metrics;
 use crate::round::RoundState;
@@ -160,6 +161,8 @@ fn metrics_delta(after: &Metrics, before: &Metrics) -> Metrics {
         rounds: 0,
         launches: 0,
         makespan_cycles: 0,
+        injected_faults: after.injected_faults - before.injected_faults,
+        injected_stall_cycles: after.injected_stall_cycles - before.injected_stall_cycles,
     }
 }
 
@@ -227,7 +230,26 @@ impl Engine {
     /// # Errors
     /// Fails on device faults (out-of-bounds), kernel aborts (queue-full),
     /// or exceeding the round limit.
-    pub fn run<K, F>(&mut self, launch: Launch, mut factory: F) -> Result<RunReport, SimError>
+    pub fn run<K, F>(&mut self, launch: Launch, factory: F) -> Result<RunReport, SimError>
+    where
+        K: WaveKernel,
+        F: FnMut(WaveInfo) -> K,
+    {
+        self.run_with_faults(launch, &FaultPlan::EMPTY, factory)
+    }
+
+    /// [`Engine::run`] under a deterministic [`FaultPlan`]. Injection is a
+    /// pure overlay: with an empty plan this is exactly `run` — same wave
+    /// visit order, same metrics, same cycles, bit for bit. A non-empty
+    /// plan may kill waves (structured abort), stall CUs (extra cycles,
+    /// recorded in `Metrics::injected_stall_cycles`), or poison memory
+    /// words (abort on next kernel access).
+    pub fn run_with_faults<K, F>(
+        &mut self,
+        launch: Launch,
+        plan: &FaultPlan,
+        mut factory: F,
+    ) -> Result<RunReport, SimError>
     where
         K: WaveKernel,
         F: FnMut(WaveInfo) -> K,
@@ -301,6 +323,22 @@ impl Engine {
         let mut trace = launch.trace.then(Trace::default);
         let mut round: u64 = 0;
 
+        // Fault-injection overlay. With an empty plan `faults_on` is false
+        // and every injection site below is a single untaken branch, so
+        // the simulated schedule and timing are bit-identical to `run`.
+        let faults_on = !plan.is_empty();
+        let fplan = if faults_on {
+            self.memory.clear_poisons();
+            let mut p = plan.clone();
+            p.normalize();
+            p
+        } else {
+            FaultPlan::EMPTY
+        };
+        let mut next_kill = 0usize;
+        let mut next_poison = 0usize;
+        let mut round_kills: Vec<usize> = Vec::new();
+
         while !active.is_empty() {
             if round >= launch.max_rounds {
                 return Err(SimError::MaxRoundsExceeded {
@@ -314,6 +352,32 @@ impl Engine {
             round_lines = 0;
             round_atomic.iter_mut().for_each(|c| *c = 0);
 
+            if faults_on {
+                // Collect this round's wave-kills and arm this round's
+                // poisons (both lists are sorted by round).
+                round_kills.clear();
+                while next_kill < fplan.wave_kills.len()
+                    && fplan.wave_kills[next_kill].round <= round
+                {
+                    if fplan.wave_kills[next_kill].round == round {
+                        round_kills.push(fplan.wave_kills[next_kill].wave);
+                    }
+                    next_kill += 1;
+                }
+                while next_poison < fplan.mem_poisons.len()
+                    && fplan.mem_poisons[next_poison].round <= round
+                {
+                    let p = &fplan.mem_poisons[next_poison];
+                    if let Some(buf) = self.memory.try_buffer(&p.buffer) {
+                        if let Ok(addr) = self.memory.flat_addr(buf, p.index) {
+                            self.memory.arm_poison(addr, p.round);
+                            metrics.injected_faults += 1;
+                        }
+                    }
+                    next_poison += 1;
+                }
+            }
+
             let active_at_start = active.len();
             // Rotate execution order so atomic arrival ranks are fair:
             // visit active ids >= offset in order, then wrap. `active` is
@@ -325,6 +389,18 @@ impl Engine {
             for pos in (split..active.len()).chain(0..split) {
                 let w = active[pos];
                 let info = infos[w];
+                if faults_on && !round_kills.is_empty() && round_kills.contains(&w) {
+                    // The abort discards metrics; the kill is recorded in
+                    // the structured error itself.
+                    return Err(SimError::KernelAbort {
+                        reason: AbortReason::InjectedFault {
+                            kind: FaultKind::WaveKill,
+                            wave: w,
+                            round,
+                        },
+                        round,
+                    });
+                }
                 if let Some(park) = parks[w].as_ref() {
                     // Wake check at the wave's exact rotation position:
                     // identical observation ⟹ identical cycle, so replay
@@ -366,10 +442,31 @@ impl Engine {
                 let fault = ctx.fault.take();
                 let abort = ctx.abort.take();
                 if let Some(e) = fault {
+                    // Poison faults are detected inside DeviceMemory,
+                    // which does not know the observing wave: fill in the
+                    // wave here (keeping the armed round) and stamp the
+                    // observation round on the abort.
+                    let e = match e {
+                        SimError::KernelAbort {
+                            reason:
+                                AbortReason::InjectedFault {
+                                    kind, round: armed, ..
+                                },
+                            ..
+                        } => SimError::KernelAbort {
+                            reason: AbortReason::InjectedFault {
+                                kind,
+                                wave: w,
+                                round: armed,
+                            },
+                            round,
+                        },
+                        other => other,
+                    };
                     return Err(e);
                 }
                 if let Some(reason) = abort {
-                    return Err(SimError::KernelAbort(reason));
+                    return Err(SimError::KernelAbort { reason, round });
                 }
                 metrics.work_cycles += 1;
                 round_issue[info.cu] += issue;
@@ -419,6 +516,20 @@ impl Engine {
                         RoundBound::AtomicUnit
                     };
                     worst = (cost, bound);
+                }
+            }
+            if faults_on {
+                // Stall windows charge extra cycles to their CU. Timing
+                // only: the run proceeds, the makespan grows. Each window
+                // is recorded once (on entry) in `injected_faults`.
+                for s in &fplan.cu_stalls {
+                    if s.cu < num_cus && s.covers(round) {
+                        cu_cycles[s.cu] += s.extra_cycles;
+                        metrics.injected_stall_cycles += s.extra_cycles;
+                        if s.from_round == round {
+                            metrics.injected_faults += 1;
+                        }
+                    }
                 }
             }
             let round_bw_milli = round_lines * self.config.cost.mem_bw_line_milli;
@@ -588,16 +699,29 @@ mod tests {
     struct Aborter;
     impl WaveKernel for Aborter {
         fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
-            ctx.abort("queue full");
+            ctx.abort(AbortReason::QueueFull {
+                requested: 64,
+                capacity: 64,
+            });
             WaveStatus::Active
         }
     }
 
     #[test]
-    fn kernel_abort_propagates() {
+    fn kernel_abort_propagates_with_round() {
         let mut e = tiny_engine();
         let err = e.run(Launch::workgroups(1), |_| Aborter).unwrap_err();
-        assert_eq!(err, SimError::KernelAbort("queue full".into()));
+        assert_eq!(
+            err,
+            SimError::KernelAbort {
+                reason: AbortReason::QueueFull {
+                    requested: 64,
+                    capacity: 64,
+                },
+                round: 0,
+            }
+        );
+        assert!(err.is_queue_full());
     }
 
     struct OobKernel {
@@ -741,6 +865,141 @@ mod tests {
         assert_eq!(plain.metrics, audited.metrics);
         assert_eq!(plain.per_cu_cycles, audited.per_cu_cycles);
         assert_eq!(quiet.metrics.cas_attempts, 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_run() {
+        let run_plain = || {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run(Launch::workgroups(4), |_| IncrKernel { buf, remaining: 6 })
+                .unwrap()
+        };
+        let run_faulted = || {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run_with_faults(Launch::workgroups(4), &FaultPlan::EMPTY, |_| IncrKernel {
+                buf,
+                remaining: 6,
+            })
+            .unwrap()
+        };
+        let a = run_plain();
+        let b = run_faulted();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.per_cu_cycles, b.per_cu_cycles);
+        assert_eq!(a.seconds, b.seconds);
+        assert_eq!(b.metrics.injected_faults, 0);
+        assert_eq!(b.metrics.injected_stall_cycles, 0);
+    }
+
+    #[test]
+    fn wave_kill_aborts_with_structured_reason() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let plan = FaultPlan::new().kill_wave(2, 1);
+        let err = e
+            .run_with_faults(Launch::workgroups(4), &plan, |_| IncrKernel {
+                buf,
+                remaining: 10,
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::KernelAbort {
+                reason: AbortReason::InjectedFault {
+                    kind: FaultKind::WaveKill,
+                    wave: 1,
+                    round: 2,
+                },
+                round: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn kill_of_retired_wave_is_a_miss() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        // Wave 0 does 2 cycles; a kill scheduled long after termination
+        // never fires and the run completes normally.
+        let plan = FaultPlan::new().kill_wave(100, 0);
+        let r = e
+            .run_with_faults(Launch::workgroups(1), &plan, |_| IncrKernel {
+                buf,
+                remaining: 2,
+            })
+            .unwrap();
+        assert_eq!(r.metrics.injected_faults, 0);
+    }
+
+    #[test]
+    fn cu_stall_grows_makespan_deterministically() {
+        let run = |plan: &FaultPlan| {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run_with_faults(Launch::workgroups(1), plan, |_| IncrKernel {
+                buf,
+                remaining: 4,
+            })
+            .unwrap()
+        };
+        let clean = run(&FaultPlan::EMPTY);
+        let stalled = run(&FaultPlan::new().stall_cu(0, 1, 2, 50));
+        assert_eq!(
+            stalled.metrics.makespan_cycles,
+            clean.metrics.makespan_cycles + 100,
+            "2 rounds x 50 extra cycles on the only busy CU"
+        );
+        assert_eq!(stalled.metrics.injected_stall_cycles, 100);
+        assert_eq!(stalled.metrics.injected_faults, 1);
+        assert_eq!(stalled.per_cu_cycles[0], clean.per_cu_cycles[0] + 100);
+        // Everything else is untouched.
+        assert_eq!(stalled.metrics.global_atomics, clean.metrics.global_atomics);
+        assert_eq!(stalled.metrics.rounds, clean.metrics.rounds);
+    }
+
+    #[test]
+    fn mem_poison_faults_next_access_with_wave_attached() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let plan = FaultPlan::new().poison(1, "counter", 0);
+        let err = e
+            .run_with_faults(Launch::workgroups(2), &plan, |_| IncrKernel {
+                buf,
+                remaining: 5,
+            })
+            .unwrap_err();
+        match err {
+            SimError::KernelAbort {
+                reason:
+                    AbortReason::InjectedFault {
+                        kind: FaultKind::MemPoison,
+                        wave,
+                        round: armed,
+                    },
+                round,
+            } => {
+                assert_eq!(armed, 1, "poison was armed at round 1");
+                assert_eq!(round, 1, "first atomic after arming is in round 1");
+                assert!(wave < 4, "observing wave is attached, got {wave}");
+            }
+            other => panic!("expected poison abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_on_unbound_buffer_is_skipped() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let plan = FaultPlan::new().poison(0, "workqueue", 3);
+        let r = e
+            .run_with_faults(Launch::workgroups(1), &plan, |_| IncrKernel {
+                buf,
+                remaining: 2,
+            })
+            .unwrap();
+        assert_eq!(r.metrics.injected_faults, 0);
     }
 
     #[test]

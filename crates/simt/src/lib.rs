@@ -54,6 +54,7 @@ pub mod config;
 pub mod ctx;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod memory;
 pub mod metrics;
 pub mod round;
@@ -63,7 +64,8 @@ pub use audit::OpSpec;
 pub use config::{CostModel, GpuConfig};
 pub use ctx::{WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
 pub use engine::{Engine, Launch, RunReport};
-pub use error::SimError;
+pub use error::{AbortReason, FaultKind, SimError};
+pub use fault::{CuStall, FaultPlan, FaultSpec, MemPoison, WaveKill};
 pub use memory::{Buffer, DeviceMemory};
 pub use metrics::Metrics;
 pub use trace::{RoundBound, RoundTrace, Trace};

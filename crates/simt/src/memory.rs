@@ -6,7 +6,7 @@
 //! flat `u32` arena; allocation is only possible between launches, and all
 //! kernel accesses are bounds-checked against their [`Buffer`] handle.
 
-use crate::error::SimError;
+use crate::error::{AbortReason, FaultKind, SimError};
 use crate::round::RoundState;
 use std::collections::HashMap;
 
@@ -86,6 +86,13 @@ pub struct DeviceMemory {
     /// stamps are stale) and strictly above the previous life's final
     /// round on a recycled one (so *its* stamps are stale too).
     round_gen: u64,
+    /// ECC-style poisoned words armed by fault injection: `(flat address,
+    /// round armed)`. Kernel accesses to a poisoned word fault; host reads
+    /// (`read_u32`/`read_slice`) do not, so a checkpoint snapshot can
+    /// still be taken. Per-instance state — never recycled with the arena
+    /// — and empty outside fault-injected runs, so the single emptiness
+    /// branch on the access paths is the entire overlay cost.
+    poisoned: Vec<(usize, u64)>,
 }
 
 impl Default for DeviceMemory {
@@ -217,6 +224,7 @@ impl DeviceMemory {
             buffers: HashMap::new(),
             meta,
             round_gen,
+            poisoned: Vec::new(),
         }
     }
 
@@ -243,6 +251,13 @@ impl DeviceMemory {
         let buf = self.alloc(name, data.len());
         self.words[buf.offset..buf.offset + buf.len].copy_from_slice(data);
         buf
+    }
+
+    /// Looks up a buffer by name, returning `None` when it was never
+    /// allocated. Used by fault injection, whose plans name buffers that
+    /// a given kernel may not bind (such poisons are skipped).
+    pub fn try_buffer(&self, name: &str) -> Option<Buffer> {
+        self.buffers.get(name).copied()
     }
 
     /// Looks up a previously allocated buffer by name.
@@ -283,11 +298,56 @@ impl DeviceMemory {
         self.words.len()
     }
 
+    // ---- fault-injection poison overlay (crate-internal) ----
+
+    /// Arms an ECC-style poison on flat address `addr` (armed at `round`).
+    /// Idempotent per address.
+    pub(crate) fn arm_poison(&mut self, addr: usize, round: u64) {
+        if !self.poisoned.iter().any(|&(a, _)| a == addr) {
+            self.poisoned.push((addr, round));
+        }
+    }
+
+    /// Disarms every poisoned word (a fresh launch starts clean).
+    pub(crate) fn clear_poisons(&mut self) {
+        self.poisoned.clear();
+    }
+
+    /// Faults if `addr` is poisoned. The fast path is a single emptiness
+    /// check; the wave/round placeholders in the error are filled in by
+    /// the engine, which knows the observing wave.
+    #[inline]
+    fn check_poison(&self, addr: usize) -> Result<(), SimError> {
+        if self.poisoned.is_empty() {
+            return Ok(());
+        }
+        self.check_poison_slow(addr, 1)
+    }
+
+    #[cold]
+    fn check_poison_slow(&self, addr: usize, len: usize) -> Result<(), SimError> {
+        for &(p, armed) in &self.poisoned {
+            if p >= addr && p < addr + len {
+                return Err(SimError::KernelAbort {
+                    reason: AbortReason::InjectedFault {
+                        kind: FaultKind::MemPoison,
+                        wave: usize::MAX,
+                        round: armed,
+                    },
+                    round: armed,
+                });
+            }
+        }
+        Ok(())
+    }
+
     // ---- device-side accessors used by WaveCtx (crate-internal) ----
 
     #[inline]
     pub(crate) fn load(&self, buf: Buffer, index: usize) -> Result<u32, SimError> {
-        Ok(self.words[buf.addr(index)?])
+        let addr = buf.addr(index)?;
+        self.check_poison(addr)?;
+        Ok(self.words[addr])
     }
 
     /// Bounds-checks the whole run `[start, start + len)` once and returns
@@ -308,6 +368,9 @@ impl DeviceMemory {
                     index: start.saturating_add(len.saturating_sub(1)),
                     len: buf.len,
                 })?;
+        if !self.poisoned.is_empty() && len > 0 {
+            self.check_poison_slow(buf.offset + start, len)?;
+        }
         Ok(&self.words[buf.offset + start..buf.offset + end])
     }
 
@@ -325,6 +388,7 @@ impl DeviceMemory {
     #[inline]
     pub(crate) fn store(&mut self, buf: Buffer, index: usize, value: u32) -> Result<(), SimError> {
         let addr = buf.addr(index)?;
+        self.check_poison(addr)?;
         let old = self.words[addr];
         self.snapshot_base(addr, old);
         self.words[addr] = value;
@@ -343,6 +407,7 @@ impl DeviceMemory {
         f: impl FnOnce(u32) -> u32,
     ) -> Result<u32, SimError> {
         let addr = buf.addr(index)?;
+        self.check_poison(addr)?;
         let old = self.words[addr];
         let new = f(old);
         if new != old {
@@ -383,7 +448,9 @@ impl DeviceMemory {
     /// one-round-delayed view other wavefronts observe).
     #[inline]
     pub(crate) fn stale_load(&self, buf: Buffer, index: usize) -> Result<u32, SimError> {
-        Ok(self.stale_value(buf.addr(index)?))
+        let addr = buf.addr(index)?;
+        self.check_poison(addr)?;
+        Ok(self.stale_value(addr))
     }
 
     /// Raw stale read by flat address — the engine's wake-check path for
@@ -590,6 +657,54 @@ mod tests {
         mem.write_u32(b, 0, 9);
         assert_eq!(mem.read_u32(a, 1), 7);
         assert_eq!(mem.read_u32(b, 0), 9);
+    }
+
+    #[test]
+    fn poisoned_word_faults_device_paths_but_not_host_reads() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_init("a", &[1, 2, 3, 4]);
+        let addr = mem.flat_addr(a, 2).unwrap();
+        mem.arm_poison(addr, 5);
+        for r in [
+            mem.load(a, 2),
+            mem.stale_load(a, 2),
+            mem.rmw(a, 2, |v| v + 1),
+        ] {
+            assert!(
+                matches!(
+                    r,
+                    Err(SimError::KernelAbort {
+                        reason: AbortReason::InjectedFault {
+                            kind: FaultKind::MemPoison,
+                            ..
+                        },
+                        ..
+                    })
+                ),
+                "{r:?}"
+            );
+        }
+        assert!(mem.store(a, 2, 9).is_err());
+        assert!(mem.load_run(a, 1, 3).is_err());
+        // Neighbours and host reads are unaffected.
+        assert_eq!(mem.load(a, 1).unwrap(), 2);
+        assert!(mem.load_run(a, 0, 2).is_ok());
+        assert_eq!(mem.read_u32(a, 2), 3);
+        assert_eq!(mem.read_slice(a), &[1, 2, 3, 4]);
+        mem.clear_poisons();
+        assert_eq!(mem.load(a, 2).unwrap(), 3);
+    }
+
+    #[test]
+    fn recycled_arena_does_not_carry_poison() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 8);
+        let addr = mem.flat_addr(a, 3).unwrap();
+        mem.arm_poison(addr, 0);
+        drop(mem);
+        let mut mem2 = DeviceMemory::new();
+        let b = mem2.alloc("b", 8);
+        assert!(mem2.load(b, 3).is_ok());
     }
 
     #[test]

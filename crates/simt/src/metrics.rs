@@ -36,6 +36,13 @@ pub struct Metrics {
     pub launches: u64,
     /// Device cycles of the slowest compute unit — the kernel makespan.
     pub makespan_cycles: u64,
+    /// Faults injected by the run's `FaultPlan` (poisons armed, stall
+    /// windows entered; wave-kills abort the run, so they surface in the
+    /// structured error instead). Zero unless fault injection is on.
+    pub injected_faults: u64,
+    /// Extra CU cycles charged by injected stall windows. Zero unless
+    /// fault injection is on.
+    pub injected_stall_cycles: u64,
 }
 
 impl Metrics {
@@ -68,6 +75,8 @@ impl Metrics {
         self.launches += other.launches;
         // Sequential launches: makespans add up.
         self.makespan_cycles += other.makespan_cycles;
+        self.injected_faults += other.injected_faults;
+        self.injected_stall_cycles += other.injected_stall_cycles;
     }
 }
 
@@ -110,10 +119,14 @@ mod tests {
             rounds: 3,
             launches: 1,
             makespan_cycles: 100,
+            injected_faults: 2,
+            injected_stall_cycles: 40,
         };
         a.merge(&a.clone());
         assert_eq!(a.global_atomics, 2);
         assert_eq!(a.makespan_cycles, 200);
         assert_eq!(a.launches, 2);
+        assert_eq!(a.injected_faults, 4);
+        assert_eq!(a.injected_stall_cycles, 80);
     }
 }

@@ -1,0 +1,241 @@
+//! Chaos differential tests: seeded fault matrices (wave-kill × CU stall
+//! × memory poison) injected into recoverable BFS runs over the paper's
+//! six dataset shapes, checked byte-for-byte against fault-free goldens.
+//!
+//! The BFS kernel is label-correcting — an atomic-min worklist converges
+//! to exact levels in any execution order — so a run that survives
+//! aborts via checkpoint/resume must finish with a cost array *identical*
+//! to an uninterrupted run's. These tests pin that property, plus the
+//! acceptance scenario: resuming from a checkpoint replays strictly fewer
+//! rounds than restarting from scratch under the same fault plan.
+
+use ptq::bfs::{run_bfs, run_bfs_recoverable, BfsConfig, RecoveryPolicy};
+use ptq::graph::Dataset;
+use ptq::queue::Variant;
+use simt::{FaultPlan, FaultSpec, GpuConfig};
+
+/// The six dataset shapes at chaos-test scale: fractions chosen so every
+/// graph lands at roughly 1–2.5k vertices (seconds per run, not minutes).
+const CHAOS_SCALE: [(Dataset, f64); 6] = [
+    (Dataset::Synthetic, 0.0002),
+    (Dataset::GplusCombined, 0.005),
+    (Dataset::SocLiveJournal1, 0.0003),
+    (Dataset::RoadNY, 0.005),
+    (Dataset::RoadLKS, 0.0005),
+    (Dataset::RoadUSA, 0.0001),
+];
+
+/// A seeded fault matrix covering all three fault kinds, scaled to the
+/// tiny test GPU (3 workgroups on `test_tiny`).
+fn chaos_plan(seed: u64, num_vertices: usize) -> FaultPlan {
+    FaultPlan::seeded(
+        seed,
+        &FaultSpec {
+            wave_kills: 2,
+            cu_stalls: 2,
+            mem_poisons: 2,
+            max_round: 8, // early rounds: every launch reaches them
+            waves: 3,
+            cus: 2,
+            max_stall_rounds: 4,
+            max_stall_cycles: 200,
+            poison_buffer: "costs".into(),
+            poison_words: num_vertices,
+        },
+    )
+}
+
+fn chaos_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        checkpoint_levels: 3,
+        max_attempts: 16,
+        ..RecoveryPolicy::default()
+    }
+}
+
+/// The chaos differential: on every dataset shape, a recoverable run
+/// under a seeded fault matrix converges to levels byte-identical to the
+/// fault-free golden, and the RF/AN variant still audits retry-free
+/// (zero CAS failures, zero empty-queue retries) on every surviving
+/// launch — recovery must not silently degrade the queue's claims.
+#[test]
+fn seeded_chaos_matrix_converges_on_all_six_datasets() {
+    let gpu = GpuConfig::test_tiny();
+    for (i, (dataset, fraction)) in CHAOS_SCALE.iter().enumerate() {
+        let graph = dataset.build(*fraction);
+        let source = dataset.source();
+        let config = BfsConfig::new(Variant::RfAn, 3);
+        let golden = run_bfs(&gpu, &graph, source, &config)
+            .unwrap_or_else(|e| panic!("{dataset:?}: golden run failed: {e}"));
+
+        let plan = chaos_plan(0xC4A05 ^ (i as u64) << 8, graph.num_vertices());
+        assert_eq!(plan.len(), 6, "{dataset:?}: fault matrix incomplete");
+        let run = run_bfs_recoverable(&gpu, &graph, source, &config, &chaos_policy(), &plan)
+            .unwrap_or_else(|e| panic!("{dataset:?}: chaos run failed: {e}"));
+
+        assert_eq!(
+            run.costs, golden.costs,
+            "{dataset:?}: recovered levels diverge from fault-free golden"
+        );
+        assert_eq!(run.reached, golden.reached, "{dataset:?}");
+        // The retry-free claim survives chaos: audited inside every epoch,
+        // and visible in the merged counters.
+        assert_eq!(run.metrics.cas_failures, 0, "{dataset:?}: RF/AN retried");
+        assert_eq!(
+            run.metrics.queue_empty_retries, 0,
+            "{dataset:?}: RF/AN spun on empty"
+        );
+    }
+}
+
+/// Same chaos matrix through the AN variant (CAS-based enqueue): recovery
+/// is queue-agnostic, so the differential must hold there too.
+#[test]
+fn chaos_matrix_converges_on_an_variant() {
+    let gpu = GpuConfig::test_tiny();
+    let (dataset, fraction) = CHAOS_SCALE[3]; // RoadNY: deep frontier
+    let graph = dataset.build(fraction);
+    let config = BfsConfig::new(Variant::An, 3);
+    let golden = run_bfs(&gpu, &graph, dataset.source(), &config).unwrap();
+    let plan = chaos_plan(0xA17, graph.num_vertices());
+    let run = run_bfs_recoverable(
+        &gpu,
+        &graph,
+        dataset.source(),
+        &config,
+        &chaos_policy(),
+        &plan,
+    )
+    .unwrap();
+    assert_eq!(run.costs, golden.costs);
+}
+
+/// Determinism: the same seed yields the same fault plan, and the same
+/// (graph, plan, policy) yields bit-identical metrics, recovery log, and
+/// simulated time across repeated runs — the property that lets the CI
+/// chaos job byte-diff its report against a pinned golden.
+#[test]
+fn chaos_runs_are_deterministic() {
+    let gpu = GpuConfig::test_tiny();
+    let (dataset, fraction) = CHAOS_SCALE[4]; // RoadLKS
+    let graph = dataset.build(fraction);
+    let config = BfsConfig::new(Variant::RfAn, 3);
+    let plan_a = chaos_plan(99, graph.num_vertices());
+    let plan_b = chaos_plan(99, graph.num_vertices());
+    assert_eq!(plan_a, plan_b, "seeded plans must be identical");
+
+    let a = run_bfs_recoverable(
+        &gpu,
+        &graph,
+        dataset.source(),
+        &config,
+        &chaos_policy(),
+        &plan_a,
+    )
+    .unwrap();
+    let b = run_bfs_recoverable(
+        &gpu,
+        &graph,
+        dataset.source(),
+        &config,
+        &chaos_policy(),
+        &plan_b,
+    )
+    .unwrap();
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.recovery, b.recovery);
+    assert_eq!(a.costs, b.costs);
+    assert_eq!(a.seconds, b.seconds);
+}
+
+/// The acceptance scenario: the same graph and the same fault plan, run
+/// once with tight checkpoints and once with `checkpoint_levels: u32::MAX`
+/// (the from-scratch degenerate — one unfenced launch, recovery restarts
+/// the traversal). Both must converge to the identical golden levels, both
+/// must survive exactly one injected abort, and the checkpointed run must
+/// replay strictly fewer rounds.
+#[test]
+fn checkpoint_resume_replays_fewer_rounds_than_restart() {
+    let gpu = GpuConfig::test_tiny();
+    let (dataset, fraction) = CHAOS_SCALE[3]; // RoadNY: deep, many epochs
+    let graph = dataset.build(fraction);
+    let source = dataset.source();
+    let config = BfsConfig::new(Variant::RfAn, 3);
+    let golden = run_bfs(&gpu, &graph, source, &config).unwrap();
+
+    // One wave-kill early in the launch: fires in epoch 0 of the fenced
+    // run and at round 2 of the unfenced run alike.
+    let plan = FaultPlan::new().kill_wave(2, 1);
+
+    let fenced_policy = RecoveryPolicy {
+        checkpoint_levels: 2,
+        ..RecoveryPolicy::default()
+    };
+    let scratch_policy = RecoveryPolicy {
+        checkpoint_levels: u32::MAX,
+        ..RecoveryPolicy::default()
+    };
+    let fenced = run_bfs_recoverable(&gpu, &graph, source, &config, &fenced_policy, &plan).unwrap();
+    let scratch =
+        run_bfs_recoverable(&gpu, &graph, source, &config, &scratch_policy, &plan).unwrap();
+
+    assert_eq!(fenced.costs, golden.costs, "checkpointed run diverged");
+    assert_eq!(scratch.costs, golden.costs, "from-scratch run diverged");
+    assert_eq!(
+        fenced.recovery.aborts(),
+        1,
+        "fenced run must be interrupted"
+    );
+    assert_eq!(
+        scratch.recovery.aborts(),
+        1,
+        "scratch run must be interrupted"
+    );
+    assert!(
+        fenced.recovery.rounds_replayed < scratch.recovery.rounds_replayed,
+        "checkpointing must replay fewer rounds: fenced {} vs scratch {}",
+        fenced.recovery.rounds_replayed,
+        scratch.recovery.rounds_replayed
+    );
+}
+
+/// An empty fault plan through the recoverable runner leaves the result
+/// identical to the plain runner on a real dataset shape — the overlay
+/// costs nothing when unused.
+#[test]
+fn empty_plan_matches_plain_runner_on_dataset() {
+    let gpu = GpuConfig::test_tiny();
+    let (dataset, fraction) = CHAOS_SCALE[1]; // Gplus: dense hub
+    let graph = dataset.build(fraction);
+    let config = BfsConfig::new(Variant::RfAn, 3);
+    let plain = run_bfs(&gpu, &graph, dataset.source(), &config).unwrap();
+    let policy = RecoveryPolicy {
+        checkpoint_levels: u32::MAX,
+        ..RecoveryPolicy::default()
+    };
+    let run = run_bfs_recoverable(
+        &gpu,
+        &graph,
+        dataset.source(),
+        &config,
+        &policy,
+        &FaultPlan::EMPTY,
+    )
+    .unwrap();
+    assert_eq!(run.costs, plain.costs);
+    // Every behavioral counter matches the plain runner exactly. Timing
+    // (makespan) may drift a few cycles: the epoch runner allocates a
+    // spill buffer, which shifts the queue's flat address and thus
+    // coalescing segment alignment.
+    assert_eq!(run.metrics.rounds, plain.metrics.rounds);
+    assert_eq!(run.metrics.work_cycles, plain.metrics.work_cycles);
+    assert_eq!(run.metrics.global_atomics, plain.metrics.global_atomics);
+    assert_eq!(
+        run.metrics.scheduler_atomics,
+        plain.metrics.scheduler_atomics
+    );
+    assert_eq!(run.metrics.global_mem_ops, plain.metrics.global_mem_ops);
+    assert_eq!(run.metrics.injected_faults, 0);
+    assert_eq!(run.metrics.injected_stall_cycles, 0);
+    assert!(run.recovery.attempts.is_empty());
+}

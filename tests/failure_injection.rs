@@ -9,7 +9,9 @@ use ptq::queue::device::{make_wave_queue, LanePhase, QueueLayout, WaveQueue};
 use ptq::queue::host::{RfAnQueue, WorkPool};
 use ptq::queue::verify::{AnScenario, BaseScenario, RfAnScenario};
 use ptq::queue::Variant;
-use simt::{Buffer, Engine, GpuConfig, Launch, SimError, WaveCtx, WaveKernel, WaveStatus};
+use simt::{
+    AbortReason, Buffer, Engine, GpuConfig, Launch, SimError, WaveCtx, WaveKernel, WaveStatus,
+};
 use std::collections::BTreeSet;
 
 /// A kernel where one wavefront floods the queue beyond capacity while
@@ -61,10 +63,21 @@ fn queue_full_abort_terminates_multi_wave_runs() {
             })
             .unwrap_err();
         match err {
-            SimError::KernelAbort(msg) => {
-                assert!(msg.contains("queue full"), "{variant:?}: {msg}")
+            SimError::KernelAbort {
+                reason:
+                    AbortReason::QueueFull {
+                        requested,
+                        capacity,
+                    },
+                ..
+            } => {
+                assert_eq!(capacity, 128, "{variant:?}: wrong capacity reported");
+                assert!(
+                    requested >= capacity as u64,
+                    "{variant:?}: requested {requested} should exceed capacity"
+                );
             }
-            other => panic!("{variant:?}: expected abort, got {other}"),
+            other => panic!("{variant:?}: expected structured queue-full abort, got {other}"),
         }
     }
 }
@@ -78,6 +91,18 @@ fn bfs_recovers_from_undersized_queue() {
     config.capacity_factor = 0.2; // ~160 slots: forces several doublings
     let run = run_bfs(&GpuConfig::test_tiny(), &graph, 0, &config).unwrap();
     validate_levels(&graph, 0, &run.costs).unwrap();
+    // The recovery log classifies every abort structurally.
+    assert!(run.recovery.aborts() >= 1, "undersized queue must abort");
+    assert!(
+        run.recovery
+            .attempts
+            .iter()
+            .all(|a| a.reason.is_queue_full()),
+        "every logged abort is a queue-full: {:?}",
+        run.recovery.attempts
+    );
+    assert!(run.recovery.final_capacity_factor > config.capacity_factor);
+    assert_eq!(run.recovery.rounds_replayed, run.metrics.rounds);
 }
 
 /// A device fault (out-of-bounds access) in one wavefront fails the whole

@@ -16,7 +16,7 @@
 use gpu_queue::Variant;
 use pt_bfs::baseline::run_rodinia;
 use pt_bfs::host::{host_bfs, HostVariant};
-use pt_bfs::{run_bfs, BfsConfig};
+use pt_bfs::{run_bfs, PtConfig};
 use ptq_graph::Dataset;
 use simt::GpuConfig;
 use std::time::Instant;
@@ -41,7 +41,7 @@ fn bench_sim_variants() {
     let gpu = GpuConfig::spectre();
     for variant in Variant::ALL {
         bench(&variant.label().replace('/', "_"), 10, || {
-            run_bfs(&gpu, &graph, 0, &BfsConfig::new(variant, 32)).expect("sim ok");
+            run_bfs(&gpu, &graph, 0, &PtConfig::new(variant, 32)).expect("sim ok");
         });
     }
 }
@@ -53,7 +53,7 @@ fn bench_sim_roadmap() {
     let gpu = GpuConfig::spectre();
     for variant in Variant::ALL {
         bench(&variant.label().replace('/', "_"), 10, || {
-            run_bfs(&gpu, &graph, 0, &BfsConfig::new(variant, 32)).expect("sim ok");
+            run_bfs(&gpu, &graph, 0, &PtConfig::new(variant, 32)).expect("sim ok");
         });
     }
 }
@@ -67,7 +67,7 @@ fn bench_sim_rodinia() {
         run_rodinia(&gpu, &graph, 0, 32).expect("sim ok");
     });
     bench("rfan_graph4096", 10, || {
-        run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, 32)).expect("sim ok");
+        run_bfs(&gpu, &graph, 0, &PtConfig::new(Variant::RfAn, 32)).expect("sim ok");
     });
 }
 
@@ -126,7 +126,7 @@ fn bench_engine_throughput() {
     let start = Instant::now();
     for (name, gpu, graph, variant, wgs) in &points {
         let wall = Instant::now();
-        let run = run_bfs(gpu, graph, 0, &BfsConfig::new(*variant, *wgs)).expect("sim ok");
+        let run = run_bfs(gpu, graph, 0, &PtConfig::new(*variant, *wgs)).expect("sim ok");
         let secs = wall.elapsed().as_secs_f64();
         total_rounds += run.metrics.rounds;
         if slowest.is_none_or(|(s, _)| secs > s) {

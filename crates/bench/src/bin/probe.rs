@@ -1,6 +1,6 @@
 //! Calibration probe: variant time ratios vs the paper's Table 3/4.
 use gpu_queue::Variant;
-use pt_bfs::{run_bfs, BfsConfig};
+use pt_bfs::{run_bfs, PtConfig};
 use ptq_graph::Dataset;
 use simt::GpuConfig;
 
@@ -19,7 +19,7 @@ fn main() {
             let mut secs = vec![];
             let mut sched = vec![];
             for v in Variant::ALL {
-                let run = run_bfs(&gpu, &g, 0, &BfsConfig::new(v, wgs)).unwrap();
+                let run = run_bfs(&gpu, &g, 0, &PtConfig::new(v, wgs)).unwrap();
                 secs.push(run.seconds);
                 sched.push(run.metrics.scheduler_atomics);
             }

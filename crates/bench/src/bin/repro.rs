@@ -8,6 +8,7 @@
 //!   fig1 fig3 fig4 fig5
 //!   scaling ablate-matrix ablate-stealing ablate-chunk ablate-occupancy
 //!   chaos        seeded fault injection + checkpoint/resume recovery
+//!   workloads    all four workloads (BFS/SSSP/CC/PR-delta) vs oracles
 //!   verify       machine-checked reproduction verdicts
 //!   all          everything above (except verify)
 //!
@@ -28,7 +29,7 @@
 
 use repro_bench::experiments::{
     ablate, chaos, common, fig1, fig3, fig4, fig5, scaling, table12, table34, table5, table6,
-    verify,
+    verify, workloads,
 };
 use repro_bench::{Scale, Sched, Table};
 use simt::GpuConfig;
@@ -108,7 +109,7 @@ fn usage(error: &str) -> ExitCode {
         "usage: repro <experiment> [--scale F | --full] [--jobs N] [--out DIR]\n\
          experiments: table1 table2 table3 table4 table5 table6 \
          fig1 fig3 fig4 fig5 scaling ablate-matrix ablate-stealing ablate-chunk \
-         ablate-occupancy chaos verify all"
+         ablate-occupancy chaos workloads verify all"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -148,11 +149,26 @@ fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
         common::aborts_recovered(),
         common::rounds_replayed(),
     );
+    let workload_entries: Vec<String> = common::workload_stats()
+        .iter()
+        .map(|(name, w_rounds, wall, retry_free)| {
+            format!(
+                "    {{\"name\": \"{name}\", \"rounds\": {w_rounds}, \
+                 \"rounds_per_second\": {:.0}, \"retry_free\": {retry_free}}}",
+                *w_rounds as f64 / wall.max(1e-9),
+            )
+        })
+        .collect();
+    let workloads_json = if workload_entries.is_empty() {
+        "[]".to_owned()
+    } else {
+        format!("[\n{}\n  ]", workload_entries.join(",\n"))
+    };
     let json = format!(
         "{{\n  \"command\": \"{command}\",\n  \"scale\": {},\n  \"jobs\": {},\n  \
          \"total_seconds\": {total:.3},\n  \"rounds_simulated\": {rounds},\n  \
          \"rounds_per_second\": {:.0},\n  \"slowest_point\": {slowest},\n  \
-         \"recovery\": {recovery},\n  \
+         \"recovery\": {recovery},\n  \"workloads\": {workloads_json},\n  \
          \"experiments\": [\n{}\n  ]\n}}\n",
         opts.scale.fraction(),
         opts.sched.jobs(),
@@ -268,6 +284,10 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
             let rows = chaos::measure(opts.scale, sched);
             emit(&chaos::table(&rows), opts, "chaos");
         }
+        "workloads" => {
+            let rows = workloads::measure(opts.scale, sched);
+            emit(&workloads::table(&rows), opts, "workloads");
+        }
         "all" => {
             for exp in [
                 "table1",
@@ -284,6 +304,7 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
                 "ablate-chunk",
                 "ablate-occupancy",
                 "chaos",
+                "workloads",
             ] {
                 eprintln!("== {exp} ==");
                 let start = Instant::now();

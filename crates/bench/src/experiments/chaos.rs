@@ -18,7 +18,7 @@ use super::common::{bfs_run, record_recovery, DatasetCache};
 use crate::report::Table;
 use crate::{Scale, Sched};
 use gpu_queue::Variant;
-use pt_bfs::{run_bfs_recoverable, BfsConfig, RecoveryPolicy};
+use pt_bfs::{run_bfs_recoverable, PtConfig, RecoveryPolicy};
 use ptq_graph::{validate_levels, Dataset};
 use simt::{FaultPlan, FaultSpec, GpuConfig};
 
@@ -104,7 +104,7 @@ pub fn measure(scale: Scale, sched: &Sched) -> Vec<Row> {
         let source = dataset.source();
         let golden = bfs_run(&gpu, &graph, Variant::RfAn, wgs);
 
-        let config = BfsConfig::new(Variant::RfAn, wgs);
+        let config = PtConfig::new(Variant::RfAn, wgs);
         let plan = plan_for(&gpu, wgs, graph.num_vertices(), SEED ^ ((i as u64) << 8));
         let policy = RecoveryPolicy {
             checkpoint_levels: 4,
@@ -113,10 +113,10 @@ pub fn measure(scale: Scale, sched: &Sched) -> Vec<Row> {
         };
         let run = run_bfs_recoverable(&gpu, &graph, source, &config, &policy, &plan)
             .unwrap_or_else(|e| panic!("chaos on {dataset:?}: {e}"));
-        validate_levels(&graph, source, &run.costs)
+        validate_levels(&graph, source, &run.values)
             .unwrap_or_else(|_| panic!("chaos on {dataset:?}: wrong levels"));
         assert_eq!(
-            run.costs, golden.costs,
+            run.values, golden.values,
             "chaos on {dataset:?}: recovered levels diverge from golden"
         );
         record_recovery(

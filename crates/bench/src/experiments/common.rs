@@ -2,10 +2,10 @@
 
 use crate::{Scale, Sched};
 use gpu_queue::Variant;
-use pt_bfs::{run_bfs, BfsConfig, BfsRun};
+use pt_bfs::{run_bfs, PtConfig, Run};
 use ptq_graph::{validate_levels, Csr, Dataset};
 use simt::GpuConfig;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -48,6 +48,35 @@ pub fn record_recovery(faults: u64, aborts: u64, replayed: u64, rounds: u64) {
     ABORTS_RECOVERED.fetch_add(aborts, Ordering::Relaxed);
     ROUNDS_REPLAYED.fetch_add(replayed, Ordering::Relaxed);
     ROUNDS_SIMULATED.fetch_add(rounds, Ordering::Relaxed);
+}
+
+/// Per-workload aggregates from the `workloads` experiment: simulated
+/// rounds, wall seconds, and whether every audited run was retry-free.
+/// Keyed by workload name; `BTreeMap` so the JSON section is emitted in
+/// a stable order regardless of completion order under `--jobs`.
+static WORKLOAD_STATS: Mutex<BTreeMap<&'static str, (u64, f64, bool)>> =
+    Mutex::new(BTreeMap::new());
+
+/// Records one oracle-validated workload run for the `workloads` section
+/// of `BENCH_repro.json` (and the process-wide round counter).
+pub fn record_workload(name: &'static str, rounds: u64, wall_seconds: f64, retry_free: bool) {
+    ROUNDS_SIMULATED.fetch_add(rounds, Ordering::Relaxed);
+    let mut stats = WORKLOAD_STATS.lock().unwrap();
+    let entry = stats.entry(name).or_insert((0, 0.0, true));
+    entry.0 += rounds;
+    entry.1 += wall_seconds;
+    entry.2 &= retry_free;
+}
+
+/// Per-workload `(name, rounds, wall_seconds, retry_free)` aggregates,
+/// in stable (alphabetical) order. Empty if the `workloads` experiment
+/// did not run.
+pub fn workload_stats() -> Vec<(String, u64, f64, bool)> {
+    let stats = WORKLOAD_STATS.lock().unwrap();
+    stats
+        .iter()
+        .map(|(&name, &(rounds, wall, rf))| (name.to_owned(), rounds, wall, rf))
+        .collect()
 }
 
 /// The single most expensive simulation point seen so far (wall seconds,
@@ -122,12 +151,12 @@ impl DatasetCache {
 /// Panics if the simulation faults or the resulting levels are wrong —
 /// a reproduction harness must never silently report numbers from an
 /// incorrect traversal.
-pub fn bfs_run(gpu: &GpuConfig, graph: &Csr, variant: Variant, workgroups: usize) -> BfsRun {
+pub fn bfs_run(gpu: &GpuConfig, graph: &Csr, variant: Variant, workgroups: usize) -> Run {
     let wall = std::time::Instant::now();
-    let config = BfsConfig::new(variant, workgroups);
+    let config = PtConfig::new(variant, workgroups);
     let run = run_bfs(gpu, graph, 0, &config)
         .unwrap_or_else(|e| panic!("{} {variant:?} x{workgroups}: {e}", gpu.name));
-    validate_levels(graph, 0, &run.costs).unwrap_or_else(|(v, want, got)| {
+    validate_levels(graph, 0, &run.values).unwrap_or_else(|(v, want, got)| {
         panic!(
             "{} {variant:?}: wrong level at vertex {v}: want {want} got {got}",
             gpu.name

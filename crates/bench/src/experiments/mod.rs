@@ -15,6 +15,7 @@
 //! | ablations | [`ablate`] | `ablate_*` |
 //! | scaling deep-dive | [`scaling::table`] | `scaling_<gpu>` |
 //! | chaos / recovery | [`chaos::table`] | `chaos` |
+//! | workload matrix | [`workloads::table`] | `workloads` |
 
 pub mod ablate;
 pub mod chaos;
@@ -29,3 +30,4 @@ pub mod table34;
 pub mod table5;
 pub mod table6;
 pub mod verify;
+pub mod workloads;

@@ -7,7 +7,8 @@ use crate::report::Table;
 use crate::{Scale, Sched};
 use gpu_queue::device::{make_wave_queue, QueueLayout};
 use gpu_queue::Variant;
-use pt_bfs::{BfsBuffers, PersistentBfsKernel};
+use pt_bfs::workload::Bfs;
+use pt_bfs::{PtKernel, WorkBuffers};
 use ptq_graph::Dataset;
 use simt::{Engine, GpuConfig, Launch};
 
@@ -27,17 +28,18 @@ fn traced_run(gpu: &GpuConfig, graph: &ptq_graph::Csr, wgs: usize) -> (f64, f64,
     mem.write_u32(pending, 0, 1);
     let layout = QueueLayout::setup(mem, "q", (2 * n) as u32);
     layout.host_seed(mem, &[0]);
-    let buffers = BfsBuffers {
+    let buffers = WorkBuffers {
         nodes: mem.buffer("nodes"),
         edges: mem.buffer("edges"),
-        costs,
+        values: costs,
         inqueue,
         pending,
     };
     let report = engine
         .run(Launch::workgroups(wgs).with_trace(), |info| {
-            PersistentBfsKernel::new(
+            PtKernel::new(
                 make_wave_queue(Variant::RfAn, layout),
+                Bfs::new(0),
                 buffers,
                 info.wave_size,
             )

@@ -39,7 +39,7 @@ pub fn measure(scale: Scale, sched: &Sched) -> Vec<Row> {
         let graph = DatasetCache::global().get(dataset, scale);
         let chai = run_chai(&gpu, &graph, dataset.source(), wgs)
             .unwrap_or_else(|e| panic!("CHAI on {dataset:?}: {e}"));
-        validate_levels(&graph, dataset.source(), &chai.costs)
+        validate_levels(&graph, dataset.source(), &chai.values)
             .unwrap_or_else(|_| panic!("CHAI produced wrong levels on {dataset:?}"));
         let rfan = bfs_run(&gpu, &graph, Variant::RfAn, wgs);
         Row {

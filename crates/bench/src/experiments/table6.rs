@@ -53,7 +53,7 @@ pub fn measure(scale: Scale, sched: &Sched) -> Vec<Row> {
         let wgs = gpu.num_cus * gpu.wgs_per_cu;
         let rodinia = run_rodinia(gpu, &graph, dataset.source(), wgs)
             .unwrap_or_else(|e| panic!("Rodinia on {dataset:?}: {e}"));
-        validate_levels(&graph, dataset.source(), &rodinia.costs)
+        validate_levels(&graph, dataset.source(), &rodinia.values)
             .unwrap_or_else(|_| panic!("Rodinia wrong levels on {dataset:?}"));
         let rfan = bfs_run(gpu, &graph, Variant::RfAn, wgs);
         Row {

@@ -11,7 +11,7 @@ use crate::report::Table;
 use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use pt_bfs::baseline::{run_chai, run_rodinia};
-use pt_bfs::{run_bfs, BfsConfig};
+use pt_bfs::{run_bfs, PtConfig};
 use ptq_graph::Dataset;
 use simt::GpuConfig;
 
@@ -96,7 +96,7 @@ pub fn run_checks(scale: Scale, sched: &Sched) -> Vec<Verdict> {
     // tables.
     let audited = sched.par_map(&Dataset::MAIN_SIX, |_, &dataset| {
         let graph = DatasetCache::global().get(dataset, scale);
-        let config = BfsConfig::new(Variant::RfAn, 56);
+        let config = PtConfig::new(Variant::RfAn, 56);
         match run_bfs(&fiji, &graph, dataset.source(), &config) {
             Ok(run) => (run.metrics.total_retries(), None),
             Err(e) => (0, Some(format!("{}: {e}", dataset.spec().name))),

@@ -10,14 +10,14 @@
 //!
 //! The queue is **non-wrapping**: `Front` and `Rear` increase monotonically
 //! and the capacity must bound the total number of tokens ever enqueued
-//! (for BFS, the vertex count — each vertex is claimed exactly once before
-//! being enqueued). This matches the paper's usage: buffers are sized by
+//! (for a graph traversal, the vertex count — each vertex is claimed
+//! exactly once before being enqueued). This matches the paper's usage: buffers are sized by
 //! the host before launch, and over-running the allocation raises the
 //! queue-full exception, which *aborts* rather than retries. The paper's
 //! "circular" formulation (modulus on `Front`/`Rear`) recycles slots only
 //! after consumers restore the sentinel; the non-wrapping layout is the
-//! same algorithm with the modulus elided, which is also exactly what its
-//! BFS driver needs.
+//! same algorithm with the modulus elided, which is also exactly what the
+//! persistent-thread driver needs.
 //!
 //! Dequeue-side lane states flow `Hungry → (Ready | Monitoring → Ready)`:
 //! the CAS variants hand tokens out directly (or raise queue-empty
@@ -84,8 +84,8 @@ impl QueueLayout {
         }
     }
 
-    /// Host-side enqueue used to seed initial tasks before launch (the BFS
-    /// source vertex). Not a simulated operation — it models the host
+    /// Host-side enqueue used to seed initial tasks before launch (the
+    /// workload's seed tokens, e.g. a traversal's source vertex). Not a simulated operation — it models the host
     /// writing the buffer before `clEnqueueNDRangeKernel`.
     pub fn host_seed(&self, memory: &mut DeviceMemory, tokens: &[u32]) {
         let rear = memory.read_u32(self.state, REAR);
@@ -166,7 +166,7 @@ pub(crate) mod testutil {
     /// Kernel: each wavefront dequeues tokens; every token `t` with
     /// `t < fanout_until` enqueues `children` child tokens derived from
     /// it. Records every consumed token. Terminates via a pending-task
-    /// counter exactly like the BFS driver.
+    /// counter exactly like the persistent-thread driver.
     pub struct PumpKernel {
         pub queue: Box<dyn WaveQueue>,
         pub lanes: Vec<LanePhase>,

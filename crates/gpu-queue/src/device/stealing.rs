@@ -44,7 +44,7 @@ impl StealingLayout {
         StealingLayout { queues }
     }
 
-    /// Seeds initial tokens into CU 0's queue (like the BFS source).
+    /// Seeds initial tokens into CU 0's queue (the workload's seeds).
     pub fn host_seed(&self, memory: &mut DeviceMemory, tokens: &[u32]) {
         self.queues[0].host_seed(memory, tokens);
     }

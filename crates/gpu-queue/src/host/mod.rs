@@ -19,8 +19,8 @@
 //!
 //! All queues are **bounded and non-wrapping**: `capacity` must bound the
 //! total number of tokens ever enqueued between [`reset`](RfAnQueue::reset)
-//! calls, exactly like the device queues (and the paper's BFS, which sizes
-//! the queue by the vertex count). Overflow returns [`QueueFull`] — the
+//! calls, exactly like the device queues (and the paper's driver, which sizes
+//! the queue by the task count — the vertex count for a traversal). Overflow returns [`QueueFull`] — the
 //! paper's abort semantics, never a retry.
 //!
 //! Every queue keeps [`QueueStats`] so tests and benches can observe the

@@ -55,7 +55,7 @@ impl WorkPool {
     /// `threads` persistent workers. The handler receives each token and
     /// an outbox for newly discovered tokens; it is called exactly once
     /// per enqueued token (the *application* decides whether a logical
-    /// task may be enqueued twice — see the BFS on-queue bit).
+    /// task may be enqueued twice — see the workload layer's on-queue bit).
     ///
     /// # Errors
     /// Returns [`QueueFull`] if the run tries to enqueue more than the

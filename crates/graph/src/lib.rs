@@ -25,6 +25,7 @@ pub mod datasets;
 pub mod gen;
 pub mod io;
 pub mod profile;
+pub mod propagate;
 pub mod rng;
 pub mod weights;
 
@@ -33,6 +34,7 @@ pub use bfs::{bfs_levels, validate_levels, BfsResult};
 pub use csr::{Csr, CsrBuilder, DegreeStats, VertexId};
 pub use datasets::{Dataset, DatasetSpec};
 pub use profile::{level_profile, LevelProfile};
+pub use propagate::{decay_fixpoint, min_label_fixpoint, validate_contributions, validate_labels};
 pub use rng::SplitMix64;
 pub use weights::{dijkstra, random_weights, validate_distances};
 

@@ -15,7 +15,7 @@
 //! per-cycle discovery budget, which the persistent kernel already models
 //! through the work-cycle chunk.
 
-use crate::runner::{run_bfs, BfsConfig, BfsRun};
+use crate::runner::{run_bfs, PtConfig, Run};
 use gpu_queue::Variant;
 use ptq_graph::Csr;
 use simt::{GpuConfig, SimError};
@@ -34,12 +34,12 @@ pub fn run_chai(
     graph: &Csr,
     source: u32,
     workgroups: usize,
-) -> Result<BfsRun, SimError> {
+) -> Result<Run, SimError> {
     assert!(
         gpu.name != "Fiji",
         "CHAI's heterogeneous kernel needs cross-cluster atomics (integrated GPUs only)"
     );
-    let mut config = BfsConfig::new(Variant::Base, workgroups);
+    let mut config = PtConfig::new(Variant::Base, workgroups);
     config.cpu_collab_groups = CHAI_CPU_GROUPS;
     run_bfs(gpu, graph, source, &config)
 }
@@ -47,7 +47,7 @@ pub fn run_chai(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run_bfs, BfsConfig};
+    use crate::runner::{run_bfs, PtConfig};
     use ptq_graph::gen::{roadmap, RoadmapParams};
     use ptq_graph::validate_levels;
 
@@ -64,7 +64,7 @@ mod tests {
     fn chai_produces_exact_levels() {
         let g = small_road();
         let run = run_chai(&GpuConfig::test_tiny(), &g, 0, 2).unwrap();
-        validate_levels(&g, 0, &run.costs).unwrap();
+        validate_levels(&g, 0, &run.values).unwrap();
     }
 
     #[test]
@@ -75,7 +75,7 @@ mod tests {
             &GpuConfig::test_tiny(),
             &g,
             0,
-            &BfsConfig::new(Variant::RfAn, 2),
+            &PtConfig::new(Variant::RfAn, 2),
         )
         .unwrap();
         assert!(

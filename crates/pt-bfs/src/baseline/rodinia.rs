@@ -9,7 +9,7 @@
 //! scans, which is exactly why the paper beats it by 36× on shallow
 //! small inputs and only 1.26× on the wide 1M-vertex one.
 
-use crate::runner::BfsRun;
+use crate::runner::Run;
 use crate::UNVISITED;
 use ptq_graph::Csr;
 use simt::{Buffer, Engine, GpuConfig, Launch, Metrics, SimError, WaveCtx, WaveKernel, WaveStatus};
@@ -85,7 +85,7 @@ pub fn run_rodinia(
     graph: &Csr,
     source: u32,
     workgroups: usize,
-) -> Result<BfsRun, SimError> {
+) -> Result<Run, SimError> {
     let n = graph.num_vertices();
     assert!((source as usize) < n, "source out of range");
     let mut engine = Engine::new(gpu.clone());
@@ -151,12 +151,12 @@ pub fn run_rodinia(
         mem.write_u32(changed, 0, 0);
     }
 
-    let costs = engine.memory().read_slice(costs).to_vec();
-    let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
-    Ok(BfsRun {
+    let values = engine.memory().read_slice(costs).to_vec();
+    let reached = values.iter().filter(|&&c| c != UNVISITED).count();
+    Ok(Run {
         seconds,
         metrics,
-        costs,
+        values,
         reached,
         // Level-synchronous launches overwrite per-CU cycles each level;
         // only the merged totals are meaningful here.
@@ -175,7 +175,7 @@ mod tests {
     fn exact_levels_on_tree() {
         let g = synthetic_tree(300, 4);
         let run = run_rodinia(&GpuConfig::test_tiny(), &g, 0, 2).unwrap();
-        validate_levels(&g, 0, &run.costs).unwrap();
+        validate_levels(&g, 0, &run.values).unwrap();
     }
 
     #[test]
@@ -184,7 +184,7 @@ mod tests {
         let run = run_rodinia(&GpuConfig::test_tiny(), &g, 0, 3).unwrap();
         let reference = bfs_levels(&g, 0);
         assert_eq!(run.reached, reference.reached);
-        validate_levels(&g, 0, &run.costs).unwrap();
+        validate_levels(&g, 0, &run.values).unwrap();
     }
 
     #[test]

@@ -1,84 +1,82 @@
-//! The persistent-thread top-down BFS kernel.
+//! The generic persistent-thread kernel.
 //!
 //! Structure follows the paper's Algorithm 1 exactly — every work cycle:
 //!
 //! 1. hungry lanes request task tokens from the scheduler queue
 //!    (`GetWorkToken`, variant-specific),
-//! 2. lanes holding a vertex process up to [`CHUNK`] of its out-edges
-//!    (`DoWorkUnit` — "work cycles of 4 sub-tasks works well", §3.3),
-//! 3. newly discovered vertices are enqueued
+//! 2. lanes holding a token process up to [`CHUNK`] of its out-edges
+//!    (`DoWorkUnit` — "work cycles of 4 sub-tasks works well", §3.3) by
+//!    delegating the expansion to the [`PtWorkload`],
+//! 3. newly discovered tokens are enqueued
 //!    (`ScheduleNewlyDiscoveredWorkTokens`),
 //! 4. the wavefront checks the global outstanding-task counter
 //!    (`WorkRemains`).
 //!
-//! Child discovery claims the vertex's cost word with an atomic-min (an
-//! AFA-class operation that never retries and is identical across queue
-//! variants, so the queue comparison stays clean). A child is enqueued iff
-//! the atomic-min strictly improved its cost *and* the vertex is not
-//! already queued (a per-vertex on-queue bit claimed with an atomic
-//! exchange — the classic label-correcting worklist discipline). If an
-//! out-of-order race publishes a too-deep cost first, a later improvement
-//! re-enqueues the vertex, so the final costs always equal exact BFS
-//! levels; the on-queue bit bounds total enqueues near `|V|`.
+//! Child discovery claims the vertex's value word with a directed atomic
+//! (min or max per the workload's [`Claim`] — an AFA-class operation
+//! that never retries and is identical across queue variants, so the
+//! queue comparison stays clean). A child is enqueued iff the claim
+//! strictly improved its value *and* the vertex is not already queued (a
+//! per-vertex on-queue bit claimed with an atomic exchange — the classic
+//! label-correcting worklist discipline). If an out-of-order race
+//! publishes a worse value first, a later improvement re-enqueues the
+//! vertex, so the final values always equal the workload's sequential
+//! fixed point; the on-queue bit bounds total enqueues near `|V|` per
+//! improvement wave.
 //!
 //! Lanes whose discoveries have not yet been accepted by the queue stall
-//! (real kernels hold discoveries in scarce registers/local memory): while
-//! the outbox is backlogged the wavefront neither requests new work nor
-//! expands edges, it just keeps offering the backlog.
+//! (real kernels hold discoveries in scarce registers/local memory):
+//! while the outbox is backlogged the wavefront neither requests new
+//! work nor expands edges, it just keeps offering the backlog.
+//!
+//! [`Claim`]: crate::workload::Claim
 
+use crate::workload::{PtWorkload, TokenSink, WorkBuffers};
 use gpu_queue::device::{LanePhase, WaveQueue};
 use simt::{Buffer, WaveCtx, WaveKernel, WaveStatus};
 
 /// Uniform sub-tasks (edges) per lane per work cycle — paper §3.3.
 pub const CHUNK: u32 = 4;
 
-/// Device buffer handles the kernel needs.
-#[derive(Clone, Copy, Debug)]
-pub struct BfsBuffers {
-    /// CSR row offsets (`n + 1` words) — the paper's `Nodes`.
-    pub nodes: Buffer,
-    /// CSR adjacency — the paper's `Edges`.
-    pub edges: Buffer,
-    /// Per-vertex BFS cost — the paper's `Costs`.
-    pub costs: Buffer,
-    /// Per-vertex on-queue bit (1 while the vertex sits in the queue).
-    pub inqueue: Buffer,
-    /// One-word outstanding-task counter for termination detection.
-    pub pending: Buffer,
-}
+/// Legacy name for the generic buffer schema.
+#[deprecated(note = "renamed to `WorkBuffers` (the value array is workload-generic)")]
+pub type BfsBuffers = WorkBuffers;
 
 /// Optional frontier fence for checkpoint/resume epochs (see
-/// `crate::recovery`). Discoveries *deeper* than `depth` are still
-/// claimed (cost atomic-min + on-queue bit), but instead of entering the
-/// scheduler queue they are appended to the `spill` buffer
-/// (`spill[0]` = atomic cursor, `spill[1..]` = spilled tokens). The
-/// launch then terminates at a frontier boundary — `pending == 0` with
-/// every vertex at depth ≤ `depth` fully expanded — which is exactly the
-/// point where a host checkpoint contains no partially-expanded state.
+/// `crate::recovery`). Discoveries claimed *past* `depth` — deeper than
+/// the fence value, for min-directed workloads — still claim normally
+/// (value atomic + on-queue bit), but instead of entering the scheduler
+/// queue they are appended to the `spill` buffer (`spill[0]` = atomic
+/// cursor, `spill[1..]` = spilled tokens). The launch then terminates at
+/// a frontier boundary — `pending == 0` with every vertex at value ≤
+/// `depth` fully expanded — which is exactly the point where a host
+/// checkpoint contains no partially-expanded state.
 #[derive(Clone, Copy, Debug)]
 pub struct SpillFence {
-    /// Deepest BFS level scheduled through the queue this epoch.
+    /// Largest claim value scheduled through the queue this epoch (BFS
+    /// levels, SSSP distances, …).
     pub depth: u32,
     /// Spill buffer: one cursor word followed by up to `n` tokens.
     pub spill: Buffer,
 }
 
-/// Per-lane execution state: the vertex being processed and the edge
+/// Per-lane execution state: the token being processed and the edge
 /// cursor within it.
 #[derive(Clone, Copy, Debug)]
 enum LaneWork {
     None,
     Node {
-        level: u32,
+        value: u32,
         next_edge: u32,
         end_edge: u32,
     },
 }
 
-/// One wavefront's persistent BFS state.
-pub struct PersistentBfsKernel {
+/// One wavefront's persistent state, generic over the workload.
+pub struct PtKernel<W: PtWorkload> {
     queue: Box<dyn WaveQueue>,
-    buffers: BfsBuffers,
+    workload: W,
+    buffers: WorkBuffers,
     phases: Vec<LanePhase>,
     work: Vec<LaneWork>,
     /// Newly discovered tokens awaiting queue acceptance.
@@ -96,23 +94,29 @@ pub struct PersistentBfsKernel {
     fence: Option<SpillFence>,
 }
 
-impl PersistentBfsKernel {
+/// The BFS instantiation under its pre-refactor name.
+#[deprecated(note = "use the workload-generic `PtKernel` (this is `PtKernel<Bfs>`)")]
+pub type PersistentBfsKernel = PtKernel<crate::workload::Bfs>;
+
+impl<W: PtWorkload> PtKernel<W> {
     /// Creates the wavefront state. `lanes` is the wavefront width.
-    pub fn new(queue: Box<dyn WaveQueue>, buffers: BfsBuffers, lanes: usize) -> Self {
-        Self::with_chunk(queue, buffers, lanes, CHUNK)
+    pub fn new(queue: Box<dyn WaveQueue>, workload: W, buffers: WorkBuffers, lanes: usize) -> Self {
+        Self::with_chunk(queue, workload, buffers, lanes, CHUNK)
     }
 
-    /// Like [`PersistentBfsKernel::new`] with an explicit sub-task chunk
-    /// size (used by the chunk-size ablation).
+    /// Like [`PtKernel::new`] with an explicit sub-task chunk size (used
+    /// by the chunk-size ablation).
     pub fn with_chunk(
         queue: Box<dyn WaveQueue>,
-        buffers: BfsBuffers,
+        workload: W,
+        buffers: WorkBuffers,
         lanes: usize,
         chunk: u32,
     ) -> Self {
         assert!(chunk > 0, "chunk must be positive");
-        PersistentBfsKernel {
+        PtKernel {
             queue,
+            workload,
             buffers,
             phases: vec![LanePhase::Idle; lanes],
             work: vec![LaneWork::None; lanes],
@@ -124,15 +128,17 @@ impl PersistentBfsKernel {
         }
     }
 
-    /// Bounds this launch to BFS levels `<= depth`: deeper discoveries go
-    /// to the `spill` buffer instead of the queue (see [`SpillFence`]).
+    /// Bounds this launch to claim values `<= depth`: deeper discoveries
+    /// go to the `spill` buffer instead of the queue (see
+    /// [`SpillFence`]). Only meaningful for min-directed workloads; a
+    /// max-directed workload never triggers the fence branch.
     pub fn with_fence(mut self, depth: u32, spill: Buffer) -> Self {
         self.fence = Some(SpillFence { depth, spill });
         self
     }
 }
 
-impl WaveKernel for PersistentBfsKernel {
+impl<W: PtWorkload> WaveKernel for PtKernel<W> {
     fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
         // Backpressure: a backlogged outbox means discoveries are waiting
         // on queue acceptance; the wavefront stalls its own pipeline.
@@ -149,21 +155,23 @@ impl WaveKernel for PersistentBfsKernel {
         self.queue.acquire(ctx, &mut self.phases);
 
         // Ready lanes load their node's metadata (enumeration prolog of
-        // Listing 2: starting edge, degree, current cost).
+        // Listing 2: starting edge, degree, current value).
         for (phase, work) in self.phases.iter_mut().zip(self.work.iter_mut()) {
             if let LanePhase::Ready(vertex) = *phase {
-                // Release the on-queue bit *before* reading the cost so a
-                // concurrent improver either sees the bit set (and knows
-                // this processing will read its improved cost) or
+                // Release the on-queue bit *before* reading the value so
+                // a concurrent improver either sees the bit set (and
+                // knows this processing will read its improved value) or
                 // re-enqueues the vertex itself.
                 ctx.global_write_lane(self.buffers.inqueue, vertex as usize, 0);
                 // The two row offsets share a cache line almost always.
                 ctx.charge_coalesced_access(self.buffers.nodes, vertex as usize, 2);
                 let start = ctx.peek(self.buffers.nodes, vertex as usize);
                 let end = ctx.peek(self.buffers.nodes, vertex as usize + 1);
-                let level = ctx.global_read_lane(self.buffers.costs, vertex as usize);
+                let raw = ctx.global_read_lane(self.buffers.values, vertex as usize);
                 *work = LaneWork::Node {
-                    level,
+                    // Host-side derivation, no device ops (identity for
+                    // most workloads).
+                    value: self.workload.lane_value(raw, start, end),
                     next_edge: start,
                     end_edge: end,
                 };
@@ -174,50 +182,31 @@ impl WaveKernel for PersistentBfsKernel {
         // --- 2. DoWorkUnit: up to `chunk` edges per lane ---------------
         if !stalled {
             let mut edges = std::mem::take(&mut self.edge_scratch);
+            let mut outbox = std::mem::take(&mut self.outbox);
             for work in self.work.iter_mut() {
                 if let LaneWork::Node {
-                    level,
+                    value,
                     next_edge,
                     end_edge,
                 } = work
                 {
                     let stop = (*next_edge + self.chunk).min(*end_edge);
-                    // A lane's edge chunk is contiguous in CSR: one
-                    // coalesced transaction (usually a single line), read
-                    // through the prevalidated run path — one bounds check
-                    // per chunk instead of one per edge.
-                    ctx.charge_coalesced_access(
-                        self.buffers.edges,
-                        *next_edge as usize,
-                        (stop - *next_edge) as usize,
-                    );
-                    ctx.peek_run(
-                        self.buffers.edges,
-                        *next_edge as usize,
-                        (stop - *next_edge) as usize,
+                    let mut sink = TokenSink {
+                        claim: self.workload.claim(),
+                        values: self.buffers.values,
+                        inqueue: self.buffers.inqueue,
+                        fence: self.fence,
+                        outbox: &mut outbox,
+                    };
+                    self.workload.expand(
+                        ctx,
+                        &self.buffers,
+                        *value,
+                        *next_edge,
+                        stop,
                         &mut edges,
+                        &mut sink,
                     );
-                    for &child in &edges {
-                        let new_cost = *level + 1;
-                        let old = ctx.atomic_min(self.buffers.costs, child as usize, new_cost);
-                        if old > new_cost {
-                            // Improving discovery: schedule it unless it is
-                            // already sitting in the queue.
-                            let was = ctx.atomic_exchange(self.buffers.inqueue, child as usize, 1);
-                            if was == 0 {
-                                match self.fence {
-                                    Some(f) if new_cost > f.depth => {
-                                        // Beyond the epoch fence: park the
-                                        // claimed token in the spill buffer
-                                        // for the next launch to seed from.
-                                        let at = ctx.atomic_add(f.spill, 0, 1);
-                                        ctx.global_write_lane(f.spill, 1 + at as usize, child);
-                                    }
-                                    _ => self.outbox.push(child),
-                                }
-                            }
-                        }
-                    }
                     *next_edge = stop;
                     if *next_edge == *end_edge {
                         *work = LaneWork::None;
@@ -225,6 +214,7 @@ impl WaveKernel for PersistentBfsKernel {
                     }
                 }
             }
+            self.outbox = outbox;
             self.edge_scratch = edges;
         }
 
@@ -272,14 +262,15 @@ mod tests {
     // `runner::tests` and the crate's integration tests. Unit tests here
     // cover construction contracts only.
     use super::*;
+    use crate::workload::Bfs;
     use gpu_queue::device::{QueueLayout, RfAnWaveQueue};
     use simt::DeviceMemory;
 
-    fn buffers(mem: &mut DeviceMemory) -> BfsBuffers {
-        BfsBuffers {
+    fn buffers(mem: &mut DeviceMemory) -> WorkBuffers {
+        WorkBuffers {
             nodes: mem.alloc("nodes", 2),
             edges: mem.alloc("edges", 1),
-            costs: mem.alloc("costs", 1),
+            values: mem.alloc("costs", 1),
             inqueue: mem.alloc("inqueue", 1),
             pending: mem.alloc("pending", 1),
         }
@@ -296,7 +287,7 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let b = buffers(&mut mem);
         let layout = QueueLayout::setup(&mut mem, "q", 4);
-        let _ = PersistentBfsKernel::with_chunk(Box::new(RfAnWaveQueue::new(layout)), b, 4, 0);
+        let _ = PtKernel::with_chunk(Box::new(RfAnWaveQueue::new(layout)), Bfs::new(0), b, 4, 0);
     }
 
     #[test]
@@ -304,7 +295,7 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let b = buffers(&mut mem);
         let layout = QueueLayout::setup(&mut mem, "q", 4);
-        let k = PersistentBfsKernel::new(Box::new(RfAnWaveQueue::new(layout)), b, 8);
+        let k = PtKernel::new(Box::new(RfAnWaveQueue::new(layout)), Bfs::new(0), b, 8);
         assert_eq!(k.phases.len(), 8);
         assert!(k.outbox.is_empty());
         assert_eq!(k.completed, 0);
@@ -317,7 +308,7 @@ mod tests {
         let b = buffers(&mut mem);
         let spill = mem.alloc("spill", 8);
         let layout = QueueLayout::setup(&mut mem, "q", 4);
-        let k = PersistentBfsKernel::new(Box::new(RfAnWaveQueue::new(layout)), b, 4)
+        let k = PtKernel::new(Box::new(RfAnWaveQueue::new(layout)), Bfs::new(0), b, 4)
             .with_fence(3, spill);
         let f = k.fence.expect("fence installed");
         assert_eq!(f.depth, 3);

@@ -1,24 +1,33 @@
-//! `pt-bfs` — the paper's driver application: top-down Breadth First
-//! Search under the persistent-thread model (§5.1), plus the external
-//! baselines it is compared against (§6.4).
+//! `pt-bfs` — the persistent-thread core and its driver applications:
+//! the paper's top-down Breadth First Search (§5.1), the external
+//! baselines it is compared against (§6.4), and the workload-generic
+//! machinery that runs SSSP, connected components, and PageRank-delta on
+//! the same kernel.
 //!
-//! * [`kernel`] — the persistent-thread BFS kernel (Algorithm 1): every
-//!   wavefront loops work cycles of up to four uniform sub-tasks,
-//!   acquiring vertices through any of the three queue variants and
-//!   enqueuing newly discovered children.
+//! * [`workload`] — the [`workload::PtWorkload`] trait: claim direction,
+//!   initial state, expansion step, and sequential oracle of one
+//!   irregular workload, plus the four implementations
+//!   ([`workload::Bfs`], [`workload::Sssp`],
+//!   [`workload::ConnectedComponents`], [`workload::PrDelta`]).
+//! * [`kernel`] — the generic persistent-thread kernel (Algorithm 1):
+//!   every wavefront loops work cycles of up to four uniform sub-tasks,
+//!   acquiring tokens through any of the five queue designs and
+//!   enqueuing newly discovered work through the workload's
+//!   [`workload::TokenSink`].
 //! * [`runner`] — host-side orchestration: buffer setup, launch,
-//!   validation against the sequential reference, and [`runner::BfsRun`]
-//!   statistics (simulated seconds, atomic counts, retries).
+//!   queue-full capacity regrow, audit enforcement, and the
+//!   [`runner::Run`] report (simulated seconds, atomic counts, retries,
+//!   recovery log).
 //! * [`baseline`] — the Rodinia-style level-synchronous BFS (relaunches a
 //!   kernel per level) and the CHAI-style collaborative CPU+GPU BFS.
 //! * [`host`] — a real-thread CPU BFS built on the host queues, used by
 //!   the Criterion benchmarks.
-//! * [`sssp`] — a second driver application (label-correcting shortest
-//!   paths), demonstrating the scheduler beyond BFS.
-//! * [`recovery`] — checkpoint/resume recovery: frontier-fenced epochs,
+//! * [`sssp`] — SSSP entry points (label-correcting shortest paths as a
+//!   thin [`workload::Sssp`] veneer over the generic runner).
+//! * [`recovery`] — checkpoint/resume recovery: value-fenced epochs,
 //!   a [`recovery::RecoveryPolicy`] (bounded attempts, geometric capacity
 //!   regrow, backoff, watchdog), and the [`recovery::RecoveryLog`] every
-//!   run report carries.
+//!   run report carries — generic over the workload.
 
 pub mod baseline;
 pub mod host;
@@ -26,13 +35,24 @@ pub mod kernel;
 pub mod recovery;
 pub mod runner;
 pub mod sssp;
+pub mod workload;
 
-pub use kernel::{BfsBuffers, PersistentBfsKernel, SpillFence, CHUNK};
+pub use kernel::{PtKernel, SpillFence, CHUNK};
 pub use recovery::{
-    resume_bfs, run_bfs_recoverable, Checkpoint, RecoveryAttempt, RecoveryLog, RecoveryPolicy,
+    resume_bfs, resume_workload, run_bfs_recoverable, run_recoverable, Checkpoint, RecoveryAttempt,
+    RecoveryLog, RecoveryPolicy,
 };
-pub use runner::{run_bfs, run_bfs_stealing, BfsConfig, BfsRun};
-pub use sssp::{run_sssp, SsspRun};
+pub use runner::{run_bfs, run_bfs_stealing, run_workload, run_workload_stealing, PtConfig, Run};
+pub use sssp::{run_sssp, run_sssp_recoverable};
+pub use workload::{Bfs, Claim, ConnectedComponents, PrDelta, PtWorkload, Sssp, WorkBuffers};
 
-/// Cost value for unvisited vertices (matches `ptq_graph::UNREACHED`).
+#[allow(deprecated)]
+pub use kernel::{BfsBuffers, PersistentBfsKernel};
+#[allow(deprecated)]
+pub use runner::{BfsConfig, BfsRun};
+#[allow(deprecated)]
+pub use sssp::SsspRun;
+
+/// Value for a vertex no min-directed traversal has reached yet
+/// (matches `ptq_graph::UNREACHED`).
 pub const UNVISITED: u32 = u32::MAX;

@@ -1,34 +1,44 @@
-//! Checkpoint/resume recovery for persistent-thread BFS runs.
+//! Checkpoint/resume recovery for persistent-thread runs, generic over
+//! the workload.
 //!
 //! The paper's only recovery story is capacity regrow: "If more space can
 //! be allocated, the user can retry the kernel with a larger queue." This
 //! module generalizes that into a [`RecoveryPolicy`] — bounded attempts,
 //! geometric capacity regrow (subsuming the ad-hoc doubling in
-//! [`crate::run_bfs`]), per-attempt backoff in simulated cycles, and a
-//! per-epoch watchdog — and adds *checkpointing* so a failed launch does
-//! not restart the traversal from scratch.
+//! [`crate::run_workload`]), per-attempt backoff in simulated cycles, and
+//! a per-epoch watchdog — and adds *checkpointing* so a failed launch
+//! does not restart the traversal from scratch.
 //!
-//! # Frontier-fenced epochs
+//! # Value-fenced epochs
 //!
 //! A persistent kernel normally runs the whole traversal in one launch,
 //! so there is no iteration-safe point to snapshot: an abort mid-launch
-//! leaves vertices half-expanded (a lane clears the on-queue bit before
+//! leaves tokens half-expanded (a lane clears the on-queue bit before
 //! walking the adjacency list, so its unexpanded edges are unrecoverable
 //! from device state). Instead, the recoverable runner *fences* each
-//! launch at a BFS depth (see [`crate::kernel::SpillFence`]): discoveries
-//! deeper than the fence are claimed as usual (cost atomic-min + on-queue
-//! bit) but parked in a spill buffer rather than the scheduler queue.
-//! Each launch therefore terminates at a frontier boundary —
-//! `pending == 0` with nothing half-expanded — and the host snapshots a
-//! [`Checkpoint`]: the cost array, the on-queue bits, and the spilled
-//! frontier. The next epoch relaunches from that snapshot.
+//! launch at a claim value (see [`crate::kernel::SpillFence`]):
+//! discoveries claimed past the fence are claimed as usual (value
+//! atomic-min + on-queue bit) but parked in a spill buffer rather than
+//! the scheduler queue. Each launch therefore terminates at a frontier
+//! boundary — `pending == 0` with nothing half-expanded — and the host
+//! snapshots a [`Checkpoint`]: the value array, the on-queue bits, and
+//! the spilled frontier. The next epoch relaunches from that snapshot.
+//!
+//! The fence unit is whatever the workload's claim word measures: BFS
+//! levels, SSSP distances (weights ≥ 1 keep each epoch's round count
+//! bounded), component labels for min-label CC. Max-directed workloads
+//! ([`crate::workload::Claim::Max`]) never spill — their claim values
+//! only grow away from the fence — so they degenerate to one unfenced
+//! launch per run and recover by scratch restart, exactly like
+//! `checkpoint_levels == u32::MAX`.
 //!
 //! On an abort (queue-full, injected fault, watchdog) the epoch is
 //! retried from the last checkpoint, so only the current epoch's rounds
-//! are lost, not the whole run. Because the kernel is label-correcting
-//! (an atomic-min worklist converges to exact levels in any execution
-//! order), a recovered run produces levels **byte-identical** to an
-//! uninterrupted one — the integration tests pin this.
+//! are lost, not the whole run. Because every workload on the core is
+//! label-correcting (a directed atomic claim converges to its unique
+//! fixed point in any execution order), a recovered run produces values
+//! **byte-identical** to an uninterrupted one — the integration tests pin
+//! this for BFS and SSSP.
 //!
 //! Faults are transient: after an injected-fault abort the plan is pruned
 //! with [`FaultPlan::expire_through`], so the retry makes progress.
@@ -37,9 +47,9 @@
 //! relaunch, so a corrupt snapshot surfaces as a structured error instead
 //! of poisoning a device launch.
 
-use crate::kernel::{BfsBuffers, PersistentBfsKernel};
-use crate::runner::{enforce_retry_free, BfsConfig, BfsRun};
-use crate::UNVISITED;
+use crate::kernel::PtKernel;
+use crate::runner::{enforce_retry_free, PtConfig, Run};
+use crate::workload::{Bfs, PtWorkload, WorkBuffers};
 use gpu_queue::device::{make_wave_queue, QueueLayout};
 use gpu_queue::host::{EnqueueError, RfAnQueue};
 use ptq_graph::Csr;
@@ -60,14 +70,15 @@ pub struct RecoveryPolicy {
     /// `k * backoff_cycles` before relaunching (charged to the run's
     /// simulated seconds, recorded in the log).
     pub backoff_cycles: u64,
-    /// BFS levels per epoch — the checkpoint stride. Small strides bound
-    /// lost work tightly; `u32::MAX` degenerates to one unfenced launch
-    /// (recovery then restarts from scratch, like [`crate::run_bfs`]).
+    /// Claim-value units per epoch — the checkpoint stride (BFS levels,
+    /// SSSP distance, CC label range). Small strides bound lost work
+    /// tightly; `u32::MAX` degenerates to one unfenced launch (recovery
+    /// then restarts from scratch, like [`crate::run_workload`]).
     pub checkpoint_levels: u32,
     /// Per-epoch round budget. An epoch exceeding it aborts with
     /// [`AbortReason::Watchdog`] and retries with a doubled budget.
     /// `0` disables the watchdog (the launch-wide `max_rounds` of
-    /// [`BfsConfig`] still applies, but exceeding *that* is a hard
+    /// [`PtConfig`] still applies, but exceeding *that* is a hard
     /// non-termination error, not a recoverable abort).
     pub watchdog_rounds: u64,
 }
@@ -137,35 +148,43 @@ impl RecoveryLog {
 /// is indistinguishable from a run that never stopped.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Checkpoint {
-    /// Per-vertex cost array (exact levels up to `depth`, claimed-cost
-    /// upper bounds beyond it).
-    pub costs: Vec<u32>,
+    /// Per-vertex value array (exact up to `depth` for min-claims,
+    /// claimed upper bounds beyond it).
+    pub values: Vec<u32>,
     /// Per-vertex on-queue bits (1 exactly for `frontier` members).
     pub inqueue: Vec<u32>,
     /// Spilled frontier: vertices claimed past the fence, to seed the
     /// next epoch's queue.
     pub frontier: Vec<u32>,
-    /// Deepest level the completed epochs scheduled through the queue.
+    /// Deepest claim value the completed epochs scheduled through the
+    /// queue (BFS level, SSSP distance, …).
     pub depth: u32,
     /// Rounds committed by the epochs behind this snapshot.
     pub rounds_committed: u64,
 }
 
 impl Checkpoint {
-    /// The pre-traversal snapshot: only `source` discovered, at level 0.
+    /// The pre-traversal snapshot of a BFS from `source`: only the
+    /// source discovered, at level 0. Kept as the BFS-era constructor;
+    /// [`Checkpoint::start_of`] covers any workload.
     pub fn initial(num_vertices: usize, source: u32) -> Self {
-        assert!(
-            (source as usize) < num_vertices,
-            "source vertex out of range"
-        );
-        let mut costs = vec![UNVISITED; num_vertices];
-        costs[source as usize] = 0;
+        Self::start_of(&Bfs::new(source), num_vertices)
+    }
+
+    /// The pre-traversal snapshot of `workload` over an `num_vertices`
+    /// graph: the workload's initial values, its seeds as the frontier
+    /// (with their on-queue bits set), depth 0.
+    pub fn start_of<W: PtWorkload>(workload: &W, num_vertices: usize) -> Self {
+        let values = workload.initial_values(num_vertices);
+        let frontier = workload.seeds(num_vertices);
         let mut inqueue = vec![0u32; num_vertices];
-        inqueue[source as usize] = 1;
+        for &seed in &frontier {
+            inqueue[seed as usize] = 1;
+        }
         Checkpoint {
-            costs,
+            values,
             inqueue,
-            frontier: vec![source],
+            frontier,
             depth: 0,
             rounds_committed: 0,
         }
@@ -177,19 +196,19 @@ struct EpochOutcome {
     metrics: Metrics,
     seconds: f64,
     per_cu_cycles: Vec<u64>,
-    costs: Vec<u32>,
+    values: Vec<u32>,
     inqueue: Vec<u32>,
     spilled: Vec<u32>,
 }
 
-/// Runs a recoverable persistent-thread BFS: epochs of
-/// `policy.checkpoint_levels` BFS levels, each checkpointed, each retried
-/// from its checkpoint on abort under `policy`, with the deterministic
-/// `plan` injecting faults.
+/// Runs a recoverable persistent-thread traversal of `workload`: epochs
+/// of `policy.checkpoint_levels` claim-value units, each checkpointed,
+/// each retried from its checkpoint on abort under `policy`, with the
+/// deterministic `plan` injecting faults.
 ///
-/// The returned [`BfsRun::recovery`] log records every abort survived.
-/// With an empty plan and a fault-free workload the result's costs are
-/// byte-identical to [`crate::run_bfs`]'s.
+/// The returned [`Run::recovery`] log records every abort survived. With
+/// an empty plan and a fault-free workload the result's values are
+/// byte-identical to [`crate::run_workload`]'s.
 ///
 /// # Errors
 /// Propagates the final abort when `policy.max_attempts` is exhausted,
@@ -197,47 +216,69 @@ struct EpochOutcome {
 /// round-limit overruns) immediately.
 ///
 /// # Panics
-/// Panics if `source` is out of range or the policy's checkpoint stride
-/// is zero.
+/// Panics if the workload's seeds are out of range or the policy's
+/// checkpoint stride is zero.
+pub fn run_recoverable<W: PtWorkload>(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    workload: &W,
+    config: &PtConfig,
+    policy: &RecoveryPolicy,
+    plan: &FaultPlan,
+) -> Result<Run, SimError> {
+    resume_workload(
+        gpu,
+        graph,
+        workload,
+        config,
+        policy,
+        plan,
+        Checkpoint::start_of(workload, graph.num_vertices()),
+    )
+}
+
+/// Runs a recoverable persistent-thread BFS — [`run_recoverable`]
+/// instantiated with [`Bfs`].
+///
+/// # Errors
+/// See [`run_recoverable`].
 pub fn run_bfs_recoverable(
     gpu: &GpuConfig,
     graph: &Csr,
     source: u32,
-    config: &BfsConfig,
+    config: &PtConfig,
     policy: &RecoveryPolicy,
     plan: &FaultPlan,
-) -> Result<BfsRun, SimError> {
-    resume_bfs(
-        gpu,
-        graph,
-        config,
-        policy,
-        plan,
-        Checkpoint::initial(graph.num_vertices(), source),
-    )
+) -> Result<Run, SimError> {
+    run_recoverable(gpu, graph, &Bfs::new(source), config, policy, plan)
 }
 
-/// [`run_bfs_recoverable`] continued from an existing [`Checkpoint`] —
-/// the relaunch path a host takes after deciding to resume rather than
+/// [`run_recoverable`] continued from an existing [`Checkpoint`] — the
+/// relaunch path a host takes after deciding to resume rather than
 /// restart (e.g. after a process-level failure with the snapshot
 /// persisted).
 ///
 /// # Errors
-/// See [`run_bfs_recoverable`].
-pub fn resume_bfs(
+/// See [`run_recoverable`].
+pub fn resume_workload<W: PtWorkload>(
     gpu: &GpuConfig,
     graph: &Csr,
-    config: &BfsConfig,
+    workload: &W,
+    config: &PtConfig,
     policy: &RecoveryPolicy,
     plan: &FaultPlan,
     checkpoint: Checkpoint,
-) -> Result<BfsRun, SimError> {
+) -> Result<Run, SimError> {
     assert!(
         policy.checkpoint_levels > 0,
         "checkpoint stride must be positive"
     );
     let n = graph.num_vertices();
-    assert_eq!(checkpoint.costs.len(), n, "checkpoint does not match graph");
+    assert_eq!(
+        checkpoint.values.len(),
+        n,
+        "checkpoint does not match graph"
+    );
     assert_eq!(
         checkpoint.inqueue.len(),
         n,
@@ -292,7 +333,9 @@ pub fn resume_bfs(
         }
 
         let fence = ckpt.depth.saturating_add(policy.checkpoint_levels);
-        match run_epoch(gpu, graph, config, &ckpt, fence, capacity, watchdog, &plan) {
+        match run_epoch(
+            gpu, graph, workload, config, &ckpt, fence, capacity, watchdog, &plan,
+        ) {
             Ok(out) => {
                 metrics.merge(&out.metrics);
                 seconds += out.seconds;
@@ -305,7 +348,7 @@ pub fn resume_bfs(
                 log.epochs += 1;
                 let rounds_committed = ckpt.rounds_committed + out.metrics.rounds;
                 ckpt = Checkpoint {
-                    costs: out.costs,
+                    values: out.values,
                     inqueue: out.inqueue,
                     frontier: out.spilled,
                     depth: fence,
@@ -313,11 +356,11 @@ pub fn resume_bfs(
                 };
                 if ckpt.frontier.is_empty() {
                     log.final_capacity_factor = factor;
-                    let reached = ckpt.costs.iter().filter(|&&c| c != UNVISITED).count();
-                    return Ok(BfsRun {
+                    let reached = workload.reached(&ckpt.values);
+                    return Ok(Run {
                         seconds,
                         metrics,
-                        costs: ckpt.costs,
+                        values: ckpt.values,
                         reached,
                         per_cu_cycles,
                         recovery: log,
@@ -371,6 +414,33 @@ pub fn resume_bfs(
     }
 }
 
+/// [`resume_workload`] instantiated with [`Bfs`] — the pre-refactor
+/// entry point, kept for BFS callers.
+///
+/// # Errors
+/// See [`run_recoverable`].
+pub fn resume_bfs(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    config: &PtConfig,
+    policy: &RecoveryPolicy,
+    plan: &FaultPlan,
+    checkpoint: Checkpoint,
+) -> Result<Run, SimError> {
+    // The source is implicit in the checkpoint; the workload instance
+    // only contributes `reached` counting on the resumed run.
+    let source = checkpoint.values.iter().position(|&v| v == 0).unwrap_or(0) as u32;
+    resume_workload(
+        gpu,
+        graph,
+        &Bfs::new(source),
+        config,
+        policy,
+        plan,
+        checkpoint,
+    )
+}
+
 /// Replays the snapshotted frontier through a host RF/AN mirror:
 /// `try_enqueue_batch` rejects sentinel collisions and over-capacity
 /// windows without touching state, and `try_reserve` proves the published
@@ -397,10 +467,11 @@ fn accumulate_cycles(total: &mut Vec<u64>, add: &[u64]) {
 /// the kernel with a [`crate::kernel::SpillFence`] at `fence`, and read
 /// back the post-epoch snapshot.
 #[allow(clippy::too_many_arguments)]
-fn run_epoch(
+fn run_epoch<W: PtWorkload>(
     gpu: &GpuConfig,
     graph: &Csr,
-    config: &BfsConfig,
+    workload: &W,
+    config: &PtConfig,
     ckpt: &Checkpoint,
     fence: u32,
     capacity: u32,
@@ -412,7 +483,9 @@ fn run_epoch(
     let mem = engine.memory_mut();
     mem.alloc_init("nodes", graph.row_offsets());
     mem.alloc_init("edges", graph.adjacency());
-    let costs = mem.alloc_init("costs", &ckpt.costs);
+    let mut workload = workload.clone();
+    workload.bind(mem);
+    let values = mem.alloc_init(workload.value_buffer_name(), &ckpt.values);
     let inqueue = mem.alloc_init("inqueue", &ckpt.inqueue);
     let pending = mem.alloc("pending", 1);
     mem.write_u32(pending, 0, ckpt.frontier.len() as u32);
@@ -422,10 +495,10 @@ fn run_epoch(
     let layout = QueueLayout::setup(mem, "workqueue", capacity);
     layout.host_seed(mem, &ckpt.frontier);
 
-    let buffers = BfsBuffers {
+    let buffers = WorkBuffers {
         nodes: mem.buffer("nodes"),
         edges: mem.buffer("edges"),
-        costs,
+        values,
         inqueue,
         pending,
     };
@@ -438,8 +511,9 @@ fn run_epoch(
     let variant = config.variant;
     let chunk = config.chunk;
     let report = engine.run_with_faults(launch, plan, |info| {
-        PersistentBfsKernel::with_chunk(
+        PtKernel::with_chunk(
             make_wave_queue(variant, layout),
+            workload.clone(),
             buffers,
             info.wave_size,
             chunk,
@@ -456,7 +530,7 @@ fn run_epoch(
         metrics: report.metrics,
         seconds: report.seconds,
         per_cu_cycles: report.per_cu_cycles,
-        costs: engine.memory().read_slice(buffers.costs).to_vec(),
+        values: engine.memory().read_slice(buffers.values).to_vec(),
         inqueue: engine.memory().read_slice(buffers.inqueue).to_vec(),
         spilled,
     })
@@ -465,13 +539,14 @@ fn run_epoch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run_bfs;
+    use crate::workload::{ConnectedComponents, PrDelta, Sssp};
+    use crate::{run_bfs, run_workload};
     use gpu_queue::Variant;
     use ptq_graph::gen::synthetic_tree;
     use simt::GpuConfig;
 
-    fn cfg(variant: Variant) -> BfsConfig {
-        BfsConfig::new(variant, 3)
+    fn cfg(variant: Variant) -> PtConfig {
+        PtConfig::new(variant, 3)
     }
 
     #[test]
@@ -492,7 +567,7 @@ mod tests {
                 &FaultPlan::EMPTY,
             )
             .unwrap();
-            assert_eq!(run.costs, plain.costs, "stride {stride}");
+            assert_eq!(run.values, plain.values, "stride {stride}");
             assert_eq!(run.reached, plain.reached);
             assert!(run.recovery.attempts.is_empty());
             assert_eq!(run.recovery.rounds_lost, 0);
@@ -538,7 +613,7 @@ mod tests {
             &plan,
         )
         .unwrap();
-        assert_eq!(run.costs, plain.costs, "recovered run must be exact");
+        assert_eq!(run.values, plain.values, "recovered run must be exact");
         assert_eq!(run.recovery.aborts(), 1);
         let a = run.recovery.attempts[0];
         assert!(matches!(
@@ -676,8 +751,83 @@ mod tests {
             Checkpoint::initial(400, 0),
         )
         .unwrap();
-        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.values, b.values);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.seconds, b.seconds);
+    }
+
+    #[test]
+    fn generic_checkpoint_start_matches_bfs_initial() {
+        let bfs = Checkpoint::initial(128, 5);
+        let generic = Checkpoint::start_of(&Bfs::new(5), 128);
+        assert_eq!(bfs, generic);
+    }
+
+    #[test]
+    fn sssp_recovers_wave_kill_to_exact_distances() {
+        let g = synthetic_tree(500, 4);
+        let weights: Vec<u32> = (0..g.num_edges()).map(|i| 1 + (i as u32 % 7)).collect();
+        let sssp = Sssp::new(0, weights);
+        let config = PtConfig::for_workload(&sssp, Variant::RfAn, 3);
+        let plain = run_workload(&GpuConfig::test_tiny(), &g, &sssp, &config).unwrap();
+        let policy = RecoveryPolicy {
+            checkpoint_levels: 8, // distance units per epoch
+            ..RecoveryPolicy::default()
+        };
+        let plan = FaultPlan::new().kill_wave(3, 0);
+        let run =
+            run_recoverable(&GpuConfig::test_tiny(), &g, &sssp, &config, &policy, &plan).unwrap();
+        assert_eq!(run.values, plain.values, "recovered SSSP must be exact");
+        assert!(run.recovery.aborts() >= 1);
+    }
+
+    #[test]
+    fn cc_epochs_fence_on_label_values() {
+        let g = synthetic_tree(300, 4);
+        let cc = ConnectedComponents;
+        let config = PtConfig::for_workload(&cc, Variant::RfAn, 3);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: 64, // label units per epoch
+            max_capacity_factor: 128.0,
+            ..RecoveryPolicy::default()
+        };
+        let run = run_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            &cc,
+            &config,
+            &policy,
+            &FaultPlan::EMPTY,
+        )
+        .unwrap();
+        cc.validate(&g, &run.values)
+            .unwrap_or_else(|(v, want, got)| panic!("vertex {v}: label {got} != {want}"));
+    }
+
+    #[test]
+    fn max_claim_workload_degenerates_to_unfenced_epochs() {
+        // PR-delta claims with atomic-max: values grow away from the
+        // fence, nothing ever spills, so every run is a single epoch
+        // regardless of stride — and still exact.
+        let g = synthetic_tree(300, 4);
+        let pr = PrDelta::new(0);
+        let config = PtConfig::for_workload(&pr, Variant::RfAn, 3);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: 2,
+            ..RecoveryPolicy::default()
+        };
+        let run = run_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            &pr,
+            &config,
+            &policy,
+            &FaultPlan::EMPTY,
+        )
+        .unwrap();
+        assert_eq!(run.recovery.epochs, 1);
+        assert_eq!(run.recovery.checkpoints, 0);
+        pr.validate(&g, &run.values)
+            .unwrap_or_else(|(v, want, got)| panic!("vertex {v}: {got} != {want}"));
     }
 }

@@ -1,31 +1,36 @@
-//! Host-side orchestration of a persistent-thread BFS run.
+//! Host-side orchestration of a persistent-thread run, generic over the
+//! workload.
 //!
 //! Mirrors what the paper's OpenCL host program does: allocate and
-//! initialize device buffers (graph in CSR form, cost array, the
-//! scheduler queue painted with sentinels, the outstanding-task counter),
-//! seed the source vertex, launch the persistent kernel once, then read
-//! back the costs and validate them against the sequential reference.
+//! initialize device buffers (graph in CSR form, the workload's value
+//! array, the scheduler queue painted with sentinels, the
+//! outstanding-task counter), seed the workload's initial tokens, launch
+//! the persistent kernel once, then read back the values. BFS keeps its
+//! historical entry points ([`run_bfs`], [`run_bfs_stealing`]) as thin
+//! wrappers over the generic [`run_workload`] / [`run_workload_stealing`].
 
-use crate::kernel::{BfsBuffers, PersistentBfsKernel, CHUNK};
+use crate::kernel::{PtKernel, CHUNK};
 use crate::recovery::{RecoveryAttempt, RecoveryLog};
-use crate::UNVISITED;
+use crate::workload::{Bfs, PtWorkload, WorkBuffers};
 use gpu_queue::device::{make_wave_queue, QueueLayout};
 use gpu_queue::Variant;
 use ptq_graph::Csr;
 use simt::{Engine, GpuConfig, Launch, Metrics, SimError};
 
-/// Parameters of one BFS run.
+/// Parameters of one persistent-thread run (workload-neutral).
 #[derive(Clone, Debug)]
-pub struct BfsConfig {
+pub struct PtConfig {
     /// Which queue design schedules the tasks.
     pub variant: Variant,
     /// Number of workgroups to launch (the paper's sweep axis).
     pub workgroups: usize,
     /// Edges per lane per work cycle (paper default: 4).
     pub chunk: u32,
-    /// Queue capacity as a multiple of the vertex count. 1.0 suffices for
-    /// pure first-discovery; the label-correcting re-enqueues of an
-    /// asynchronous traversal need a little headroom.
+    /// Queue capacity as a multiple of the vertex count. The queue is
+    /// non-wrapping, so this bounds *lifetime* enqueues: first-discovery
+    /// traffic fits in 1.0, label-correcting re-enqueues and all-vertex
+    /// seeding need headroom (see
+    /// [`PtWorkload::default_capacity_factor`]).
     pub capacity_factor: f64,
     /// Collaborating CPU groups (0 except for the CHAI baseline).
     pub cpu_collab_groups: usize,
@@ -38,10 +43,10 @@ pub struct BfsConfig {
     pub audit: bool,
 }
 
-impl BfsConfig {
+impl PtConfig {
     /// The paper's standard configuration for `variant` at `workgroups`.
     pub fn new(variant: Variant, workgroups: usize) -> Self {
-        BfsConfig {
+        PtConfig {
             variant,
             workgroups,
             chunk: CHUNK,
@@ -51,46 +56,77 @@ impl BfsConfig {
             audit: true,
         }
     }
+
+    /// [`PtConfig::new`] with the capacity factor a workload asks for.
+    pub fn for_workload<W: PtWorkload>(workload: &W, variant: Variant, workgroups: usize) -> Self {
+        let mut config = Self::new(variant, workgroups);
+        config.capacity_factor = workload.default_capacity_factor();
+        config
+    }
 }
 
-/// Result of a completed, validated BFS run.
+/// Pre-refactor name of [`PtConfig`].
+#[deprecated(note = "renamed to `PtConfig` (nothing in it was BFS-specific)")]
+pub type BfsConfig = PtConfig;
+
+/// Result of a completed persistent-thread run.
 #[derive(Clone, Debug)]
-pub struct BfsRun {
+pub struct Run {
     /// Simulated kernel time in seconds.
     pub seconds: f64,
     /// Simulator counters (atomics, CAS failures, retries, rounds, …).
     pub metrics: Metrics,
-    /// Final per-vertex costs (exact BFS levels).
-    pub costs: Vec<u32>,
-    /// Vertices reached.
+    /// Final per-vertex values: exact BFS levels, SSSP distances,
+    /// component labels, or PR-delta contributions.
+    pub values: Vec<u32>,
+    /// Vertices reached (workload-defined; see [`PtWorkload::reached`]).
     pub reached: usize,
     /// Final cycle count of every compute unit (regression goldens pin
     /// these to prove engine fast paths are cycle-exact per CU, not just
     /// in aggregate).
     pub per_cu_cycles: Vec<u64>,
-    /// Recovery log: every abort the run survived (capacity regrows here;
-    /// injected faults and watchdog trips under
-    /// [`crate::recovery::run_bfs_recoverable`]). Empty `attempts` for a
+    /// Recovery log: every abort the run survived (capacity regrows
+    /// here; injected faults and watchdog trips under
+    /// [`crate::recovery::run_recoverable`]). Empty `attempts` for a
     /// first-try success.
     pub recovery: RecoveryLog,
 }
 
-/// Runs a persistent-thread BFS over `graph` from `source` on `gpu`,
-/// applying the paper's queue-full recovery: "If more space can be
-/// allocated, the user can retry the kernel with a larger queue." The
+impl Run {
+    /// BFS-era accessor for the value array.
+    #[deprecated(note = "use the workload-generic `values` field")]
+    pub fn costs(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// SSSP-era accessor for the value array.
+    #[deprecated(note = "use the workload-generic `values` field")]
+    pub fn dist(&self) -> &[u32] {
+        &self.values
+    }
+}
+
+/// Pre-refactor name of [`Run`] (the BFS instantiation).
+#[deprecated(note = "renamed to the workload-generic `Run`")]
+pub type BfsRun = Run;
+
+/// Runs `workload` under the persistent-thread model over `graph` on
+/// `gpu`, applying the paper's queue-full recovery: "If more space can
+/// be allocated, the user can retry the kernel with a larger queue." The
 /// capacity doubles on each queue-full abort, up to 16× the configured
 /// factor.
 ///
 /// ```
-/// use pt_bfs::{run_bfs, BfsConfig};
+/// use pt_bfs::workload::ConnectedComponents;
+/// use pt_bfs::{run_workload, PtConfig};
 /// use gpu_queue::Variant;
 /// use ptq_graph::gen::synthetic_tree;
 /// use simt::GpuConfig;
 ///
-/// let graph = synthetic_tree(500, 4);
-/// let run = run_bfs(&GpuConfig::test_tiny(), &graph, 0,
-///                   &BfsConfig::new(Variant::RfAn, 2)).unwrap();
-/// assert_eq!(run.reached, 500);
+/// let graph = synthetic_tree(300, 4);
+/// let cc = ConnectedComponents;
+/// let config = PtConfig::for_workload(&cc, Variant::RfAn, 2);
+/// let run = run_workload(&GpuConfig::test_tiny(), &graph, &cc, &config).unwrap();
 /// assert_eq!(run.metrics.total_retries(), 0); // retry-free
 /// ```
 ///
@@ -99,19 +135,19 @@ pub struct BfsRun {
 /// at the maximum capacity).
 ///
 /// # Panics
-/// Panics if `source` is out of range.
-pub fn run_bfs(
+/// Panics if the workload's seed vertices are out of range.
+pub fn run_workload<W: PtWorkload>(
     gpu: &GpuConfig,
     graph: &Csr,
-    source: u32,
-    config: &BfsConfig,
-) -> Result<BfsRun, SimError> {
+    workload: &W,
+    config: &PtConfig,
+) -> Result<Run, SimError> {
     let mut factor = config.capacity_factor;
     let mut log = RecoveryLog::default();
     loop {
         let mut attempt = config.clone();
         attempt.capacity_factor = factor;
-        match run_bfs_once(gpu, graph, source, &attempt) {
+        match run_workload_once(gpu, graph, workload, &attempt) {
             Err(SimError::KernelAbort { reason, round })
                 if reason.is_queue_full() && factor < 16.0 * config.capacity_factor =>
             {
@@ -141,6 +177,37 @@ pub fn run_bfs(
     }
 }
 
+/// Runs a persistent-thread BFS over `graph` from `source` on `gpu` —
+/// [`run_workload`] instantiated with [`Bfs`].
+///
+/// ```
+/// use pt_bfs::{run_bfs, PtConfig};
+/// use gpu_queue::Variant;
+/// use ptq_graph::gen::synthetic_tree;
+/// use simt::GpuConfig;
+///
+/// let graph = synthetic_tree(500, 4);
+/// let run = run_bfs(&GpuConfig::test_tiny(), &graph, 0,
+///                   &PtConfig::new(Variant::RfAn, 2)).unwrap();
+/// assert_eq!(run.reached, 500);
+/// assert_eq!(run.metrics.total_retries(), 0); // retry-free
+/// ```
+///
+/// # Errors
+/// Propagates simulator faults (round-limit overruns, or queue-full even
+/// at the maximum capacity).
+///
+/// # Panics
+/// Panics if `source` is out of range.
+pub fn run_bfs(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    source: u32,
+    config: &PtConfig,
+) -> Result<Run, SimError> {
+    run_workload(gpu, graph, &Bfs::new(source), config)
+}
+
 /// Run-level enforcement of the paper's central claim: a successful run
 /// scheduled by a retry-free variant must report zero CAS attempts, zero
 /// CAS failures, and zero queue-empty retries. Complements the
@@ -154,37 +221,39 @@ pub(crate) fn enforce_retry_free(variant: Variant, metrics: &Metrics) -> Result<
         .map_err(|msg| SimError::AuditViolation(format!("{} run: {msg}", variant.label())))
 }
 
-fn run_bfs_once(
+fn run_workload_once<W: PtWorkload>(
     gpu: &GpuConfig,
     graph: &Csr,
-    source: u32,
-    config: &BfsConfig,
-) -> Result<BfsRun, SimError> {
+    workload: &W,
+    config: &PtConfig,
+) -> Result<Run, SimError> {
     let n = graph.num_vertices();
-    assert!((source as usize) < n, "source vertex out of range");
+    let seeds = workload.seeds(n);
 
     let mut engine = Engine::new(gpu.clone());
     let mem = engine.memory_mut();
     mem.alloc_init("nodes", graph.row_offsets());
     mem.alloc_init("edges", graph.adjacency());
-    let costs = mem.alloc("costs", n);
-    mem.fill(costs, UNVISITED);
-    mem.write_u32(costs, source as usize, 0);
+    let mut workload = workload.clone();
+    workload.bind(mem);
+    let values = mem.alloc_init(workload.value_buffer_name(), &workload.initial_values(n));
     let inqueue = mem.alloc("inqueue", n);
-    mem.write_u32(inqueue, source as usize, 1);
+    for &seed in &seeds {
+        mem.write_u32(inqueue, seed as usize, 1);
+    }
     let pending = mem.alloc("pending", 1);
-    mem.write_u32(pending, 0, 1);
+    mem.write_u32(pending, 0, seeds.len() as u32);
 
     let capacity = ((n as f64 * config.capacity_factor) as usize)
         .max(64)
         .min(u32::MAX as usize) as u32;
     let layout = QueueLayout::setup(mem, "workqueue", capacity);
-    layout.host_seed(mem, &[source]);
+    layout.host_seed(mem, &seeds);
 
-    let buffers = BfsBuffers {
+    let buffers = WorkBuffers {
         nodes: mem.buffer("nodes"),
         edges: mem.buffer("edges"),
-        costs,
+        values,
         inqueue,
         pending,
     };
@@ -198,8 +267,9 @@ fn run_bfs_once(
     let variant = config.variant;
     let chunk = config.chunk;
     let report = engine.run(launch, |info| {
-        PersistentBfsKernel::with_chunk(
+        PtKernel::with_chunk(
             make_wave_queue(variant, layout),
+            workload.clone(),
             buffers,
             info.wave_size,
             chunk,
@@ -209,73 +279,76 @@ fn run_bfs_once(
         enforce_retry_free(variant, &report.metrics)?;
     }
 
-    let costs = engine.memory().read_slice(buffers.costs).to_vec();
-    let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
-    Ok(BfsRun {
+    let values = engine.memory().read_slice(buffers.values).to_vec();
+    let reached = workload.reached(&values);
+    Ok(Run {
         seconds: report.seconds,
         metrics: report.metrics,
-        costs,
+        values,
         reached,
         per_cu_cycles: report.per_cu_cycles,
         recovery: RecoveryLog::default(),
     })
 }
 
-/// Runs a persistent-thread BFS scheduled by the *distributed,
-/// work-stealing* variant of the retry-free queue (one queue per compute
-/// unit; see [`gpu_queue::device::StealingWaveQueue`]). An ablation
-/// against the paper's single shared queue: less hot-word pressure,
-/// more load imbalance.
+/// Runs `workload` scheduled by the *distributed, work-stealing* variant
+/// of the retry-free queue (one queue per compute unit; see
+/// [`gpu_queue::device::StealingWaveQueue`]). An ablation against the
+/// paper's single shared queue: less hot-word pressure, more load
+/// imbalance.
 ///
 /// # Errors
 /// Propagates simulator faults; queue-full is recovered by doubling the
-/// per-CU capacity, as in [`run_bfs`].
-pub fn run_bfs_stealing(
+/// per-CU capacity, as in [`run_workload`].
+pub fn run_workload_stealing<W: PtWorkload>(
     gpu: &GpuConfig,
     graph: &Csr,
-    source: u32,
+    workload: &W,
     workgroups: usize,
-) -> Result<BfsRun, SimError> {
+) -> Result<Run, SimError> {
     use gpu_queue::device::{StealingLayout, StealingWaveQueue};
 
     let n = graph.num_vertices();
-    assert!((source as usize) < n, "source vertex out of range");
-    let mut factor = 2.0f64;
+    let seeds = workload.seeds(n);
+    let mut factor = workload.default_capacity_factor();
     let mut log = RecoveryLog::default();
     loop {
         let mut engine = Engine::new(gpu.clone());
         let mem = engine.memory_mut();
         mem.alloc_init("nodes", graph.row_offsets());
         mem.alloc_init("edges", graph.adjacency());
-        let costs = mem.alloc("costs", n);
-        mem.fill(costs, UNVISITED);
-        mem.write_u32(costs, source as usize, 0);
+        let mut bound = workload.clone();
+        bound.bind(mem);
+        let values = mem.alloc_init(bound.value_buffer_name(), &bound.initial_values(n));
         let inqueue = mem.alloc("inqueue", n);
-        mem.write_u32(inqueue, source as usize, 1);
+        for &seed in &seeds {
+            mem.write_u32(inqueue, seed as usize, 1);
+        }
         let pending = mem.alloc("pending", 1);
-        mem.write_u32(pending, 0, 1);
+        mem.write_u32(pending, 0, seeds.len() as u32);
         // A hub can land an outsized share on one CU: per-CU capacity is
         // provisioned at `factor * n`, doubled on queue-full.
         let capacity = ((n as f64 * factor) as usize).clamp(64, 1 << 24) as u32;
         let layout = StealingLayout::setup(mem, "dqueue", gpu.num_cus, capacity);
-        layout.host_seed(mem, &[source]);
-        let buffers = BfsBuffers {
+        layout.host_seed(mem, &seeds);
+        let buffers = WorkBuffers {
             nodes: mem.buffer("nodes"),
             edges: mem.buffer("edges"),
-            costs,
+            values,
             inqueue,
             pending,
         };
         let result = engine.run(Launch::workgroups(workgroups).with_audit(), |info| {
-            PersistentBfsKernel::new(
+            PtKernel::new(
                 Box::new(StealingWaveQueue::new(&layout, info.cu)),
+                bound.clone(),
                 buffers,
                 info.wave_size,
             )
         });
         match result {
             Err(SimError::KernelAbort { reason, round })
-                if reason.is_queue_full() && factor < 16.0 =>
+                if reason.is_queue_full() && factor < 16.0 * workload.default_capacity_factor() =>
             {
                 log.attempts.push(RecoveryAttempt {
                     epoch: 0,
@@ -299,18 +372,18 @@ pub fn run_bfs_stealing(
                         report.metrics.cas_attempts, report.metrics.cas_failures
                     )));
                 }
-                let costs = engine.memory().read_slice(buffers.costs).to_vec();
-                let reached = costs.iter().filter(|&&c| c != UNVISITED).count();
+                let values = engine.memory().read_slice(buffers.values).to_vec();
+                let reached = bound.reached(&values);
                 log.epochs = 1;
                 log.rounds_committed = report.metrics.rounds;
                 if !log.attempts.is_empty() {
                     log.rounds_replayed = report.metrics.rounds;
                 }
                 log.final_capacity_factor = factor;
-                return Ok(BfsRun {
+                return Ok(Run {
                     seconds: report.seconds,
                     metrics: report.metrics,
-                    costs,
+                    values,
                     reached,
                     per_cu_cycles: report.per_cu_cycles,
                     recovery: log,
@@ -320,9 +393,24 @@ pub fn run_bfs_stealing(
     }
 }
 
+/// [`run_workload_stealing`] instantiated with [`Bfs`].
+///
+/// # Errors
+/// Propagates simulator faults; queue-full is recovered by doubling the
+/// per-CU capacity, as in [`run_bfs`].
+pub fn run_bfs_stealing(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    source: u32,
+    workgroups: usize,
+) -> Result<Run, SimError> {
+    run_workload_stealing(gpu, graph, &Bfs::new(source), workgroups)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::{ConnectedComponents, PrDelta};
     use ptq_graph::gen::{
         erdos_renyi, roadmap, social, synthetic_tree, RoadmapParams, SocialParams,
     };
@@ -336,14 +424,14 @@ mod tests {
                 &GpuConfig::test_tiny(),
                 graph,
                 source,
-                &BfsConfig::new(variant, wgs),
+                &PtConfig::new(variant, wgs),
             )
             .unwrap_or_else(|e| panic!("{variant:?} failed: {e}"));
             assert_eq!(
                 run.reached, reference.reached,
                 "{variant:?} reached mismatch"
             );
-            validate_levels(graph, source, &run.costs).unwrap_or_else(|(v, want, got)| {
+            validate_levels(graph, source, &run.values).unwrap_or_else(|(v, want, got)| {
                 panic!("{variant:?}: vertex {v} expected level {want}, got {got}")
             });
         }
@@ -403,7 +491,7 @@ mod tests {
             &GpuConfig::test_tiny(),
             &g,
             0,
-            &BfsConfig::new(Variant::RfAn, 2),
+            &PtConfig::new(Variant::RfAn, 2),
         )
         .unwrap();
         assert_eq!(run.reached, 2);
@@ -416,7 +504,7 @@ mod tests {
             &GpuConfig::test_tiny(),
             &g,
             0,
-            &BfsConfig::new(Variant::RfAn, 4),
+            &PtConfig::new(Variant::RfAn, 4),
         )
         .unwrap();
         assert_eq!(run.metrics.cas_failures, 0);
@@ -438,7 +526,7 @@ mod tests {
             seed: 11,
         });
         for variant in [Variant::RfAn, Variant::RfOnly] {
-            let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &BfsConfig::new(variant, 4))
+            let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &PtConfig::new(variant, 4))
                 .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
             assert_eq!(run.metrics.total_retries(), 0, "{variant:?}");
             assert_eq!(run.metrics.cas_attempts, 0, "{variant:?}");
@@ -448,17 +536,17 @@ mod tests {
 
     #[test]
     fn audit_mode_never_perturbs_results_or_metrics() {
-        // Auditing is pure bookkeeping: byte-identical costs and metrics
+        // Auditing is pure bookkeeping: byte-identical values and metrics
         // with it on or off.
         let g = synthetic_tree(600, 4);
         for variant in Variant::ALL {
             let audited =
-                run_bfs(&GpuConfig::test_tiny(), &g, 0, &BfsConfig::new(variant, 3)).unwrap();
-            let mut plain_cfg = BfsConfig::new(variant, 3);
+                run_bfs(&GpuConfig::test_tiny(), &g, 0, &PtConfig::new(variant, 3)).unwrap();
+            let mut plain_cfg = PtConfig::new(variant, 3);
             plain_cfg.audit = false;
             let plain = run_bfs(&GpuConfig::test_tiny(), &g, 0, &plain_cfg).unwrap();
             assert_eq!(audited.metrics, plain.metrics, "{variant:?}");
-            assert_eq!(audited.costs, plain.costs, "{variant:?}");
+            assert_eq!(audited.values, plain.values, "{variant:?}");
             assert_eq!(audited.seconds, plain.seconds, "{variant:?}");
         }
     }
@@ -470,7 +558,7 @@ mod tests {
             &GpuConfig::test_tiny(),
             &g,
             0,
-            &BfsConfig::new(Variant::Base, 4),
+            &PtConfig::new(Variant::Base, 4),
         )
         .unwrap();
         assert!(run.metrics.total_retries() > 0);
@@ -482,7 +570,7 @@ mod tests {
         let g = synthetic_tree(2_000, 4);
         let mut secs = std::collections::HashMap::new();
         for v in Variant::ALL {
-            let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &BfsConfig::new(v, 4)).unwrap();
+            let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &PtConfig::new(v, 4)).unwrap();
             secs.insert(v, run.seconds);
         }
         assert!(secs[&Variant::RfAn] < secs[&Variant::An]);
@@ -492,11 +580,11 @@ mod tests {
     #[test]
     fn deterministic_runs() {
         let g = synthetic_tree(300, 4);
-        let cfg = BfsConfig::new(Variant::An, 3);
+        let cfg = PtConfig::new(Variant::An, 3);
         let a = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg).unwrap();
         let b = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg).unwrap();
         assert_eq!(a.metrics, b.metrics);
-        assert_eq!(a.costs, b.costs);
+        assert_eq!(a.values, b.values);
     }
 
     #[test]
@@ -512,7 +600,7 @@ mod tests {
             erdos_renyi(400, 1600, 3),
         ] {
             let run = run_bfs_stealing(&GpuConfig::test_tiny(), &g, 0, 4).unwrap();
-            validate_levels(&g, 0, &run.costs).unwrap_or_else(|(v, want, got)| {
+            validate_levels(&g, 0, &run.values).unwrap_or_else(|(v, want, got)| {
                 panic!("stealing: vertex {v} level {got} != {want}")
             });
         }
@@ -530,9 +618,84 @@ mod tests {
     #[test]
     fn cpu_collab_groups_participate() {
         let g = synthetic_tree(300, 4);
-        let mut cfg = BfsConfig::new(Variant::Base, 1);
+        let mut cfg = PtConfig::new(Variant::Base, 1);
         cfg.cpu_collab_groups = 2;
         let run = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg).unwrap();
         assert_eq!(run.reached, 300);
+    }
+
+    #[test]
+    fn connected_components_exact_on_disconnected_graph() {
+        let mut b = ptq_graph::CsrBuilder::new(120);
+        for i in 0..39 {
+            b.add_undirected_edge(i, i + 1); // chain component {0..=39}
+        }
+        for i in 50..79 {
+            b.add_undirected_edge(i, i + 1); // chain component {50..=79}
+        }
+        let g = b.build(); // plus 41 singletons
+        let cc = ConnectedComponents;
+        for variant in Variant::ALL {
+            let config = PtConfig::for_workload(&cc, variant, 3);
+            let run = run_workload(&GpuConfig::test_tiny(), &g, &cc, &config)
+                .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+            cc.validate(&g, &run.values)
+                .unwrap_or_else(|(v, want, got)| {
+                    panic!("{variant:?}: vertex {v} label {got} != {want}")
+                });
+            assert_eq!(run.reached, 120, "every vertex carries a label");
+        }
+    }
+
+    #[test]
+    fn prdelta_exact_and_thresholded() {
+        let g = social(SocialParams {
+            vertices: 500,
+            avg_degree: 6.0,
+            alpha: 1.9,
+            max_degree: 80,
+            seed: 21,
+        });
+        let pr = PrDelta::new(0);
+        for variant in Variant::ALL {
+            let config = PtConfig::for_workload(&pr, variant, 3);
+            let run = run_workload(&GpuConfig::test_tiny(), &g, &pr, &config)
+                .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+            pr.validate(&g, &run.values)
+                .unwrap_or_else(|(v, want, got)| {
+                    panic!("{variant:?}: vertex {v} contribution {got} != {want}")
+                });
+            assert!(run.reached >= 1, "{variant:?}: the seed itself counts");
+        }
+    }
+
+    #[test]
+    fn new_workloads_on_stealing_scheduler() {
+        let g = synthetic_tree(400, 4);
+        let cc = ConnectedComponents;
+        let run = run_workload_stealing(&GpuConfig::test_tiny(), &g, &cc, 4).unwrap();
+        cc.validate(&g, &run.values)
+            .unwrap_or_else(|(v, want, got)| panic!("cc stealing: {v}: {got} != {want}"));
+        let pr = PrDelta::new(0);
+        let run = run_workload_stealing(&GpuConfig::test_tiny(), &g, &pr, 4).unwrap();
+        pr.validate(&g, &run.values)
+            .unwrap_or_else(|(v, want, got)| panic!("pr stealing: {v}: {got} != {want}"));
+    }
+
+    #[test]
+    fn deprecated_aliases_still_compile() {
+        // The satellite contract: external callers using the BFS-era
+        // names keep compiling against the generic core.
+        #[allow(deprecated)]
+        fn old_api(gpu: &GpuConfig, graph: &Csr) -> BfsRun {
+            let config: BfsConfig = BfsConfig::new(Variant::RfAn, 2);
+            let run: BfsRun = run_bfs(gpu, graph, 0, &config).unwrap();
+            assert_eq!(run.costs(), &run.values[..]);
+            assert_eq!(run.dist(), &run.values[..]);
+            run
+        }
+        let g = synthetic_tree(64, 4);
+        let run = old_api(&GpuConfig::test_tiny(), &g);
+        assert_eq!(run.reached, 64);
     }
 }

@@ -8,147 +8,30 @@
 //! norm, not a rare race — and still validates exactly (against
 //! sequential Dijkstra).
 //!
-//! The kernel structure is identical to the BFS kernel (Algorithm 1 with
-//! chunked uniform sub-tasks); only the claim operation changes: the cost
-//! atomic-min carries a *distance* instead of a level.
+//! Since the workload refactor this module is a thin veneer: the kernel
+//! is the shared [`crate::kernel::PtKernel`] instantiated with
+//! [`crate::workload::Sssp`] (only the claim payload changes — the
+//! atomic-min carries a *distance* instead of a level), and the entry
+//! points below delegate to [`crate::run_workload`] /
+//! [`crate::run_recoverable`] with SSSP's larger default capacity
+//! factor.
 
-use crate::kernel::CHUNK;
-use crate::UNVISITED;
-use gpu_queue::device::{make_wave_queue, LanePhase, QueueLayout, WaveQueue};
+use crate::recovery::RecoveryPolicy;
+use crate::runner::{run_workload, PtConfig, Run};
+use crate::workload::Sssp;
 use gpu_queue::Variant;
 use ptq_graph::Csr;
-use simt::{Buffer, Engine, GpuConfig, Launch, Metrics, SimError, WaveCtx, WaveKernel, WaveStatus};
+use simt::{FaultPlan, GpuConfig, SimError};
 
-/// Device buffers for the SSSP kernel.
-#[derive(Clone, Copy, Debug)]
-struct SsspBuffers {
-    nodes: Buffer,
-    edges: Buffer,
-    weights: Buffer,
-    dist: Buffer,
-    inqueue: Buffer,
-    pending: Buffer,
-}
-
-#[derive(Clone, Copy, Debug)]
-enum LaneWork {
-    None,
-    Node {
-        dist: u32,
-        next_edge: u32,
-        end_edge: u32,
-    },
-}
-
-/// One wavefront of the persistent SSSP kernel.
-struct SsspKernel {
-    queue: Box<dyn WaveQueue>,
-    buffers: SsspBuffers,
-    phases: Vec<LanePhase>,
-    work: Vec<LaneWork>,
-    outbox: Vec<u32>,
-    completed: u32,
-    chunk: u32,
-}
-
-impl WaveKernel for SsspKernel {
-    fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
-        let stalled = self.outbox.len() >= self.phases.len() * self.chunk as usize;
-        if !stalled {
-            for (phase, work) in self.phases.iter_mut().zip(&self.work) {
-                if *phase == LanePhase::Idle && matches!(work, LaneWork::None) {
-                    *phase = LanePhase::Hungry;
-                }
-            }
-        }
-        self.queue.acquire(ctx, &mut self.phases);
-
-        for (phase, work) in self.phases.iter_mut().zip(self.work.iter_mut()) {
-            if let LanePhase::Ready(vertex) = *phase {
-                ctx.global_write_lane(self.buffers.inqueue, vertex as usize, 0);
-                ctx.charge_coalesced_access(self.buffers.nodes, vertex as usize, 2);
-                let start = ctx.peek(self.buffers.nodes, vertex as usize);
-                let end = ctx.peek(self.buffers.nodes, vertex as usize + 1);
-                let dist = ctx.global_read_lane(self.buffers.dist, vertex as usize);
-                *work = LaneWork::Node {
-                    dist,
-                    next_edge: start,
-                    end_edge: end,
-                };
-                *phase = LanePhase::Idle;
-            }
-        }
-
-        if !stalled {
-            for work in self.work.iter_mut() {
-                if let LaneWork::Node {
-                    dist,
-                    next_edge,
-                    end_edge,
-                } = work
-                {
-                    let stop = (*next_edge + self.chunk).min(*end_edge);
-                    let len = (stop - *next_edge) as usize;
-                    // Adjacency and weights are parallel arrays: two
-                    // coalesced chunk reads.
-                    ctx.charge_coalesced_access(self.buffers.edges, *next_edge as usize, len);
-                    ctx.charge_coalesced_access(self.buffers.weights, *next_edge as usize, len);
-                    while *next_edge < stop {
-                        let child = ctx.peek(self.buffers.edges, *next_edge as usize);
-                        let weight = ctx.peek(self.buffers.weights, *next_edge as usize);
-                        let candidate = dist.saturating_add(weight);
-                        let old = ctx.atomic_min(self.buffers.dist, child as usize, candidate);
-                        if old > candidate {
-                            let was = ctx.atomic_exchange(self.buffers.inqueue, child as usize, 1);
-                            if was == 0 {
-                                self.outbox.push(child);
-                            }
-                        }
-                        *next_edge += 1;
-                    }
-                    if *next_edge == *end_edge {
-                        *work = LaneWork::None;
-                        self.completed += 1;
-                    }
-                }
-            }
-        }
-
-        if !self.outbox.is_empty() {
-            let accepted = self.queue.enqueue(ctx, &self.outbox);
-            if accepted > 0 {
-                ctx.atomic_add(self.buffers.pending, 0, accepted as u32);
-                self.outbox.drain(..accepted);
-            }
-        }
-        if self.completed > 0 && self.outbox.is_empty() {
-            ctx.atomic_sub(self.buffers.pending, 0, self.completed);
-            self.completed = 0;
-        }
-        if ctx.global_read(self.buffers.pending, 0) == 0
-            && self.outbox.is_empty()
-            && self.completed == 0
-        {
-            WaveStatus::Done
-        } else {
-            WaveStatus::Active
-        }
-    }
-}
-
-/// Result of a completed SSSP run.
-#[derive(Clone, Debug)]
-pub struct SsspRun {
-    /// Simulated kernel seconds.
-    pub seconds: f64,
-    /// Simulator counters.
-    pub metrics: Metrics,
-    /// Exact shortest distances.
-    pub dist: Vec<u32>,
-}
+/// Pre-refactor name of the SSSP run report — now the workload-generic
+/// [`Run`], whose `values` field holds the exact distances.
+#[deprecated(note = "renamed to the workload-generic `Run` (distances in `values`)")]
+pub type SsspRun = Run;
 
 /// Runs persistent-thread SSSP over `(graph, weights)` from `source`.
-/// Applies the same queue-full doubling recovery as the BFS runner.
+/// Applies the same queue-full doubling recovery as the BFS runner,
+/// starting from SSSP's larger capacity factor (re-enqueues are the
+/// norm).
 ///
 /// # Errors
 /// Propagates simulator faults.
@@ -162,75 +45,36 @@ pub fn run_sssp(
     source: u32,
     variant: Variant,
     workgroups: usize,
-) -> Result<SsspRun, SimError> {
-    let mut factor = 4.0;
-    loop {
-        match run_sssp_once(gpu, graph, weights, source, variant, workgroups, factor) {
-            Err(e) if e.is_queue_full() && factor < 64.0 => {
-                factor *= 2.0;
-            }
-            other => return other,
-        }
-    }
+) -> Result<Run, SimError> {
+    assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
+    let workload = Sssp::new(source, weights.to_vec());
+    let config = PtConfig::for_workload(&workload, variant, workgroups);
+    run_workload(gpu, graph, &workload, &config)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_sssp_once(
+/// Runs a *recoverable* persistent-thread SSSP: value-fenced epochs
+/// checkpointed every `policy.checkpoint_levels` distance units, each
+/// retried from its checkpoint on abort, with `plan` injecting faults.
+/// Distances of a recovered run are byte-identical to [`run_sssp`]'s
+/// (the chaos suite pins this).
+///
+/// # Errors
+/// See [`crate::run_recoverable`].
+///
+/// # Panics
+/// Panics on mismatched weight length or out-of-range source.
+pub fn run_sssp_recoverable(
     gpu: &GpuConfig,
     graph: &Csr,
     weights: &[u32],
     source: u32,
-    variant: Variant,
-    workgroups: usize,
-    capacity_factor: f64,
-) -> Result<SsspRun, SimError> {
-    let n = graph.num_vertices();
+    config: &PtConfig,
+    policy: &RecoveryPolicy,
+    plan: &FaultPlan,
+) -> Result<Run, SimError> {
     assert_eq!(weights.len(), graph.num_edges(), "one weight per edge");
-    assert!((source as usize) < n, "source out of range");
-
-    let mut engine = Engine::new(gpu.clone());
-    let mem = engine.memory_mut();
-    mem.alloc_init("nodes", graph.row_offsets());
-    mem.alloc_init("edges", graph.adjacency());
-    mem.alloc_init("weights", weights);
-    let dist = mem.alloc("dist", n);
-    mem.fill(dist, UNVISITED);
-    mem.write_u32(dist, source as usize, 0);
-    let inqueue = mem.alloc("inqueue", n);
-    mem.write_u32(inqueue, source as usize, 1);
-    let pending = mem.alloc("pending", 1);
-    mem.write_u32(pending, 0, 1);
-    let capacity = ((n as f64 * capacity_factor) as usize)
-        .max(64)
-        .min(u32::MAX as usize) as u32;
-    let layout = QueueLayout::setup(mem, "workqueue", capacity);
-    layout.host_seed(mem, &[source]);
-
-    let buffers = SsspBuffers {
-        nodes: mem.buffer("nodes"),
-        edges: mem.buffer("edges"),
-        weights: mem.buffer("weights"),
-        dist,
-        inqueue,
-        pending,
-    };
-    let report = engine.run(Launch::workgroups(workgroups).with_audit(), |info| {
-        SsspKernel {
-            queue: make_wave_queue(variant, layout),
-            buffers,
-            phases: vec![LanePhase::Idle; info.wave_size],
-            work: vec![LaneWork::None; info.wave_size],
-            outbox: Vec::new(),
-            completed: 0,
-            chunk: CHUNK,
-        }
-    })?;
-    crate::runner::enforce_retry_free(variant, &report.metrics)?;
-    Ok(SsspRun {
-        seconds: report.seconds,
-        metrics: report.metrics,
-        dist: engine.memory().read_slice(buffers.dist).to_vec(),
-    })
+    let workload = Sssp::new(source, weights.to_vec());
+    crate::recovery::run_recoverable(gpu, graph, &workload, config, policy, plan)
 }
 
 #[cfg(test)]
@@ -250,7 +94,7 @@ mod tests {
                 wgs,
             )
             .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
-            validate_distances(graph, weights, source, &run.dist).unwrap_or_else(
+            validate_distances(graph, weights, source, &run.values).unwrap_or_else(
                 |(v, want, got)| panic!("{variant:?}: vertex {v} dist {got} != {want}"),
             );
         }
@@ -281,7 +125,7 @@ mod tests {
         let w = vec![1u32; g.num_edges()];
         let run = run_sssp(&GpuConfig::test_tiny(), &g, &w, 0, Variant::RfAn, 2).unwrap();
         let bfs = ptq_graph::bfs_levels(&g, 0);
-        assert_eq!(run.dist, bfs.levels);
+        assert_eq!(run.values, bfs.levels);
     }
 
     #[test]
@@ -300,6 +144,30 @@ mod tests {
         let a = run_sssp(&GpuConfig::test_tiny(), &g, &w, 0, Variant::An, 2).unwrap();
         let b = run_sssp(&GpuConfig::test_tiny(), &g, &w, 0, Variant::An, 2).unwrap();
         assert_eq!(a.metrics, b.metrics);
-        assert_eq!(a.dist, b.dist);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn recoverable_sssp_matches_plain_distances() {
+        let g = erdos_renyi(250, 1000, 5);
+        let w = random_weights(&g, 6, 5);
+        let plain = run_sssp(&GpuConfig::test_tiny(), &g, &w, 0, Variant::RfAn, 3).unwrap();
+        let workload = Sssp::new(0, w.clone());
+        let config = PtConfig::for_workload(&workload, Variant::RfAn, 3);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: 5,
+            ..RecoveryPolicy::default()
+        };
+        let run = run_sssp_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            &w,
+            0,
+            &config,
+            &policy,
+            &FaultPlan::EMPTY,
+        )
+        .unwrap();
+        assert_eq!(run.values, plain.values);
     }
 }

@@ -1,0 +1,256 @@
+//! The workload layer: what makes the persistent-thread core generic.
+//!
+//! The paper's queue is a *general* scheduler for irregular workloads —
+//! BFS is merely its evaluation driver. This module carves the
+//! workload-specific 10% out of the kernel into the [`PtWorkload`]
+//! trait, so the other 90% — variant dispatch across all five device
+//! queues, capacity regrow, spill-fence epochs, checkpoint/resume,
+//! audit enforcement — lives once in the generic
+//! [`PtKernel`](crate::kernel::PtKernel) / [`run_workload`] machinery
+//! and every workload inherits it.
+//!
+//! A workload owns exactly:
+//!
+//! * a **claim direction** ([`Claim`]): whether the per-vertex value
+//!   word is claimed with an atomic-min (BFS levels, SSSP distances,
+//!   component labels) or an atomic-max (best-contribution
+//!   PageRank-delta),
+//! * the **initial state**: per-vertex values and the seed tokens,
+//! * the **expansion step**: how a lane walks one chunk of a token's
+//!   out-edges and what candidate value it offers each child through
+//!   the [`TokenSink`],
+//! * a **sequential reference oracle** computing the exact value array
+//!   every run must reproduce.
+//!
+//! Every workload here is *confluent*: the claim is a directed atomic
+//! on a totally ordered value word, so the traversal converges to the
+//! same least fixed point under any execution schedule, any queue
+//! variant, and any fault/recovery interleaving — which is what lets
+//! the differential and chaos suites compare runs byte-for-byte.
+//!
+//! [`run_workload`]: crate::runner::run_workload
+
+mod bfs;
+mod cc;
+mod prdelta;
+mod sssp;
+
+pub use bfs::Bfs;
+pub use cc::ConnectedComponents;
+pub use prdelta::PrDelta;
+pub use sssp::Sssp;
+
+use crate::kernel::SpillFence;
+use ptq_graph::Csr;
+use simt::{Buffer, DeviceMemory, WaveCtx};
+
+pub(crate) use crate::UNVISITED;
+
+/// Direction of the per-vertex claim atomic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Claim {
+    /// Values improve downward; claimed with `atomic_min` (BFS levels,
+    /// SSSP distances, CC labels).
+    Min,
+    /// Values improve upward; claimed with `atomic_max`
+    /// (best-contribution PageRank-delta).
+    Max,
+}
+
+/// Device buffer handles shared by every persistent-thread workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkBuffers {
+    /// CSR row offsets (`n + 1` words) — the paper's `Nodes`.
+    pub nodes: Buffer,
+    /// CSR adjacency — the paper's `Edges`.
+    pub edges: Buffer,
+    /// Per-vertex claimed value word — the paper's `Costs`, generalized:
+    /// BFS levels, SSSP distances, CC labels, or PR-delta contributions.
+    pub values: Buffer,
+    /// Per-vertex on-queue bit (1 while the vertex sits in the queue).
+    pub inqueue: Buffer,
+    /// One-word outstanding-task counter for termination detection.
+    pub pending: Buffer,
+}
+
+/// The emission half of a work cycle, handed to [`PtWorkload::expand`]:
+/// claims a child's value word in the workload's [`Claim`] direction and
+/// routes each *winning* claim to the wavefront outbox (or, past an
+/// epoch fence, to the spill buffer).
+///
+/// Offers are linearized by the claim atomic itself: exactly one of the
+/// concurrent offers for a child observes the improving transition, and
+/// only the offer that then flips the on-queue bit 0→1 emits a token —
+/// so a child is scheduled at most once per improvement, under any
+/// interleaving.
+pub struct TokenSink<'a> {
+    pub(crate) claim: Claim,
+    pub(crate) values: Buffer,
+    pub(crate) inqueue: Buffer,
+    pub(crate) fence: Option<SpillFence>,
+    pub(crate) outbox: &'a mut Vec<u32>,
+}
+
+impl TokenSink<'_> {
+    /// Offers `candidate` as `child`'s new value. Claims the value word
+    /// with the workload's directed atomic; on a strict improvement,
+    /// claims the on-queue bit and emits the token (outbox or spill).
+    pub fn offer(&mut self, ctx: &mut WaveCtx<'_>, child: u32, candidate: u32) {
+        let old = match self.claim {
+            Claim::Min => ctx.atomic_min(self.values, child as usize, candidate),
+            Claim::Max => ctx.atomic_max(self.values, child as usize, candidate),
+        };
+        let improved = match self.claim {
+            Claim::Min => old > candidate,
+            Claim::Max => old < candidate,
+        };
+        if !improved {
+            return;
+        }
+        // Improving discovery: schedule it unless it is already sitting
+        // in the queue.
+        let was = ctx.atomic_exchange(self.inqueue, child as usize, 1);
+        if was != 0 {
+            return;
+        }
+        match self.fence {
+            // Beyond the epoch fence (min-directed workloads only: the
+            // fence is a ceiling on the monotonically growing claim
+            // value): park the claimed token in the spill buffer for the
+            // next launch to seed from.
+            Some(f) if self.claim == Claim::Min && candidate > f.depth => {
+                let at = ctx.atomic_add(f.spill, 0, 1);
+                ctx.global_write_lane(f.spill, 1 + at as usize, child);
+            }
+            _ => self.outbox.push(child),
+        }
+    }
+}
+
+/// One irregular workload runnable on the persistent-thread core.
+///
+/// Implementations are cloned once per wavefront (and once per epoch by
+/// the recoverable runner), so they must be cheap to clone — share large
+/// payloads (e.g. edge weights) behind an `Arc`.
+pub trait PtWorkload: Clone {
+    /// Short display name (experiment tables, error messages).
+    fn name(&self) -> &'static str;
+
+    /// Direction of the value-word claim atomic.
+    fn claim(&self) -> Claim;
+
+    /// Device buffer name for the value array ("costs" for BFS, "dist"
+    /// for SSSP, …). Kept workload-specific so fault plans that poison
+    /// buffers by name, and memory-map dumps, stay meaningful.
+    fn value_buffer_name(&self) -> &'static str;
+
+    /// Initial per-vertex values (the bottom of the value lattice, with
+    /// seeds pre-claimed).
+    ///
+    /// # Panics
+    /// May panic if the workload's seed vertices are out of range.
+    fn initial_values(&self, num_vertices: usize) -> Vec<u32>;
+
+    /// Tokens seeding the scheduler queue (each must also have its
+    /// on-queue bit set and be counted in `pending` — the runner does
+    /// both).
+    fn seeds(&self, num_vertices: usize) -> Vec<u32>;
+
+    /// Allocates and uploads workload-private device buffers (e.g. SSSP
+    /// edge weights). Called once per launch, after the CSR buffers and
+    /// before the value array, so buffer flat addresses are stable.
+    fn bind(&mut self, mem: &mut DeviceMemory) {
+        let _ = mem;
+    }
+
+    /// Maps the raw value a lane loads in the acquisition prolog to the
+    /// lane's working value for this token. Pure (no device ops). The
+    /// default is the identity; PR-delta derives its per-edge offer from
+    /// the raw residual and the vertex degree here.
+    fn lane_value(&self, raw: u32, edge_start: u32, edge_end: u32) -> u32 {
+        let _ = (edge_start, edge_end);
+        raw
+    }
+
+    /// Expands edges `start..stop` of a token whose lane value is
+    /// `value`: read the adjacency slice and offer each child a
+    /// candidate through `sink`. `scratch` is a reusable per-wavefront
+    /// buffer for prevalidated chunk reads.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &self,
+        ctx: &mut WaveCtx<'_>,
+        buffers: &WorkBuffers,
+        value: u32,
+        start: u32,
+        stop: u32,
+        scratch: &mut Vec<u32>,
+        sink: &mut TokenSink<'_>,
+    );
+
+    /// Sequential reference oracle: the exact value array every run must
+    /// produce.
+    fn reference(&self, graph: &Csr) -> Vec<u32>;
+
+    /// Checks a run's value array against [`PtWorkload::reference`].
+    /// Returns the first discrepancy as `Err((vertex, expected, actual))`.
+    fn validate(&self, graph: &Csr, candidate: &[u32]) -> Result<(), (u32, u32, u32)> {
+        let reference = self.reference(graph);
+        if candidate.len() != reference.len() {
+            return Err((0, reference.len() as u32, candidate.len() as u32));
+        }
+        for (v, (&want, &got)) in reference.iter().zip(candidate).enumerate() {
+            if want != got {
+                return Err((v as u32, want, got));
+            }
+        }
+        Ok(())
+    }
+
+    /// Vertices the run reached, given the final value array.
+    fn reached(&self, values: &[u32]) -> usize {
+        values.iter().filter(|&&v| v != UNVISITED).count()
+    }
+
+    /// Default queue capacity as a multiple of the vertex count (the
+    /// runner's starting point before queue-full regrow). Workloads with
+    /// heavy re-enqueue traffic or all-vertex seeding want headroom.
+    fn default_capacity_factor(&self) -> f64 {
+        2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_directions_per_workload() {
+        assert_eq!(Bfs::new(0).claim(), Claim::Min);
+        assert_eq!(Sssp::new(0, vec![]).claim(), Claim::Min);
+        assert_eq!(ConnectedComponents.claim(), Claim::Min);
+        assert_eq!(PrDelta::new(0).claim(), Claim::Max);
+    }
+
+    #[test]
+    fn value_buffer_names_are_distinct_and_stable() {
+        // Fault plans poison buffers by name; these are load-bearing.
+        assert_eq!(Bfs::new(0).value_buffer_name(), "costs");
+        assert_eq!(Sssp::new(0, vec![]).value_buffer_name(), "dist");
+        assert_eq!(ConnectedComponents.value_buffer_name(), "labels");
+        assert_eq!(PrDelta::new(0).value_buffer_name(), "resid");
+    }
+
+    #[test]
+    fn seeding_shapes() {
+        assert_eq!(Bfs::new(3).seeds(10), vec![3]);
+        assert_eq!(PrDelta::new(2).seeds(10), vec![2]);
+        assert_eq!(ConnectedComponents.seeds(4), vec![0, 1, 2, 3]);
+        let init = Bfs::new(3).initial_values(5);
+        assert_eq!(init[3], 0);
+        assert!(init
+            .iter()
+            .enumerate()
+            .all(|(v, &x)| v == 3 || x == UNVISITED));
+    }
+}

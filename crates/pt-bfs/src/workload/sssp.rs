@@ -1,0 +1,112 @@
+//! Label-correcting single-source shortest paths as a [`PtWorkload`].
+//!
+//! A Bellman-Ford worklist: relaxing an edge may re-activate an
+//! already-settled vertex, so re-enqueues are the norm rather than a
+//! rare race — SSSP stresses the queue harder than BFS and ships with a
+//! larger default capacity factor. Exactness is validated against
+//! sequential Dijkstra.
+
+use super::{Claim, PtWorkload, TokenSink, WorkBuffers, UNVISITED};
+use ptq_graph::{dijkstra, Csr};
+use simt::{Buffer, DeviceMemory, WaveCtx};
+use std::sync::Arc;
+
+/// Single-source shortest paths over non-negative `u32` edge weights.
+/// The value word is the tentative distance, claimed with an atomic-min;
+/// adjacency and weights are parallel arrays read per edge.
+#[derive(Clone, Debug)]
+pub struct Sssp {
+    /// Source vertex of the traversal.
+    pub source: u32,
+    /// One weight per CSR edge, shared across wavefront clones.
+    weights: Arc<Vec<u32>>,
+    /// Device handle of the uploaded weights (set by [`PtWorkload::bind`]).
+    weights_buf: Option<Buffer>,
+}
+
+impl Sssp {
+    /// SSSP from `source` over `weights` (one per CSR edge — checked at
+    /// bind time against the graph the runner was handed).
+    pub fn new(source: u32, weights: Vec<u32>) -> Self {
+        Sssp {
+            source,
+            weights: Arc::new(weights),
+            weights_buf: None,
+        }
+    }
+
+    /// The edge weights this workload carries.
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+}
+
+impl PtWorkload for Sssp {
+    fn name(&self) -> &'static str {
+        "sssp"
+    }
+
+    fn claim(&self) -> Claim {
+        Claim::Min
+    }
+
+    fn value_buffer_name(&self) -> &'static str {
+        "dist"
+    }
+
+    fn initial_values(&self, num_vertices: usize) -> Vec<u32> {
+        assert!(
+            (self.source as usize) < num_vertices,
+            "source vertex out of range"
+        );
+        let mut values = vec![UNVISITED; num_vertices];
+        values[self.source as usize] = 0;
+        values
+    }
+
+    fn seeds(&self, num_vertices: usize) -> Vec<u32> {
+        assert!(
+            (self.source as usize) < num_vertices,
+            "source vertex out of range"
+        );
+        vec![self.source]
+    }
+
+    fn bind(&mut self, mem: &mut DeviceMemory) {
+        self.weights_buf = Some(mem.alloc_init("weights", &self.weights));
+    }
+
+    fn expand(
+        &self,
+        ctx: &mut WaveCtx<'_>,
+        buffers: &WorkBuffers,
+        value: u32,
+        start: u32,
+        stop: u32,
+        _scratch: &mut Vec<u32>,
+        sink: &mut TokenSink<'_>,
+    ) {
+        let weights = self.weights_buf.expect("bind() uploads the weights");
+        let len = (stop - start) as usize;
+        // Adjacency and weights are parallel arrays: two coalesced
+        // chunk reads.
+        ctx.charge_coalesced_access(buffers.edges, start as usize, len);
+        ctx.charge_coalesced_access(weights, start as usize, len);
+        let mut edge = start;
+        while edge < stop {
+            let child = ctx.peek(buffers.edges, edge as usize);
+            let weight = ctx.peek(weights, edge as usize);
+            sink.offer(ctx, child, value.saturating_add(weight));
+            edge += 1;
+        }
+    }
+
+    fn reference(&self, graph: &Csr) -> Vec<u32> {
+        assert_eq!(self.weights.len(), graph.num_edges(), "one weight per edge");
+        dijkstra(graph, &self.weights, self.source)
+    }
+
+    fn default_capacity_factor(&self) -> f64 {
+        4.0
+    }
+}

@@ -9,7 +9,7 @@
 //! order or cost accounting, not just speed.
 
 use gpu_queue::Variant;
-use pt_bfs::{run_bfs, BfsConfig};
+use pt_bfs::{run_bfs, PtConfig};
 use ptq_graph::gen::{erdos_renyi, synthetic_tree};
 use simt::GpuConfig;
 
@@ -27,7 +27,7 @@ fn seeded_bfs_metrics_are_pinned() {
             &GpuConfig::test_tiny(),
             &graph,
             0,
-            &BfsConfig::new(variant, 4),
+            &PtConfig::new(variant, 4),
         )
         .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
         let m = &run.metrics;
@@ -102,7 +102,7 @@ fn polling_heavy_long_tail_is_pinned() {
             &GpuConfig::test_tiny(),
             &graph,
             0,
-            &BfsConfig::new(variant, 8),
+            &PtConfig::new(variant, 8),
         )
         .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
         let m = &run.metrics;

@@ -328,10 +328,19 @@ impl<'a> WaveCtx<'a> {
         self.global_atomic(buf, index, |_| value)
     }
 
-    /// Global atomic min (used by some BFS cost updates).
+    /// Global atomic min (claim operation of min-directed workloads:
+    /// BFS levels, SSSP distances, component labels).
     pub fn atomic_min(&mut self, buf: Buffer, index: usize, value: u32) -> u32 {
         self.audit_count_afa();
         self.global_atomic(buf, index, |v| v.min(value))
+    }
+
+    /// Global atomic max (claim operation of max-directed workloads,
+    /// e.g. best-contribution PageRank-delta). Same AFA class and cost
+    /// model as [`WaveCtx::atomic_min`].
+    pub fn atomic_max(&mut self, buf: Buffer, index: usize, value: u32) -> u32 {
+        self.audit_count_afa();
+        self.global_atomic(buf, index, |v| v.max(value))
     }
 
     fn global_atomic(&mut self, buf: Buffer, index: usize, f: impl FnOnce(u32) -> u32) -> u32 {

@@ -9,7 +9,7 @@
 //! cargo run --release --example bfs_roadmap [scale]
 //! ```
 
-use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::bfs::{run_bfs, PtConfig};
 use ptq::graph::{validate_levels, Dataset};
 use ptq::queue::Variant;
 use simt::GpuConfig;
@@ -46,14 +46,9 @@ fn main() {
             wgs * 64
         );
         for variant in Variant::ALL {
-            let run = run_bfs(
-                &gpu,
-                &graph,
-                dataset.source(),
-                &BfsConfig::new(variant, wgs),
-            )
-            .expect("simulation succeeds");
-            validate_levels(&graph, dataset.source(), &run.costs).expect("exact BFS levels");
+            let run = run_bfs(&gpu, &graph, dataset.source(), &PtConfig::new(variant, wgs))
+                .expect("simulation succeeds");
+            validate_levels(&graph, dataset.source(), &run.values).expect("exact BFS levels");
             println!(
                 "{:>6}: {:.6}s | empty-retries {:>9} | CAS failures {:>9}",
                 variant.label(),

@@ -9,7 +9,7 @@
 //! cargo run --release --example bfs_social [scale]
 //! ```
 
-use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::bfs::{run_bfs, PtConfig};
 use ptq::graph::{validate_levels, Dataset};
 use ptq::queue::Variant;
 use simt::GpuConfig;
@@ -43,14 +43,9 @@ fn main() {
 
         let gpu = GpuConfig::fiji();
         for variant in Variant::ALL {
-            let run = run_bfs(
-                &gpu,
-                &graph,
-                dataset.source(),
-                &BfsConfig::new(variant, 224),
-            )
-            .expect("simulation succeeds");
-            validate_levels(&graph, dataset.source(), &run.costs).expect("exact levels");
+            let run = run_bfs(&gpu, &graph, dataset.source(), &PtConfig::new(variant, 224))
+                .expect("simulation succeeds");
+            validate_levels(&graph, dataset.source(), &run.values).expect("exact levels");
             let atomics_per_vertex = run.metrics.global_atomics as f64 / run.reached as f64;
             println!(
                 "{:>6}: {:.5}s | {:.1} atomics/vertex | {} retries",

@@ -8,7 +8,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::bfs::{run_bfs, PtConfig};
 use ptq::graph::gen::synthetic_tree;
 use ptq::queue::host::{RfAnQueue, SlotTicket};
 use ptq::queue::Variant;
@@ -63,7 +63,7 @@ fn simulated_gpu_demo() {
     );
     for variant in Variant::ALL {
         let run =
-            run_bfs(&gpu, &graph, 0, &BfsConfig::new(variant, 32)).expect("simulation succeeds");
+            run_bfs(&gpu, &graph, 0, &PtConfig::new(variant, 32)).expect("simulation succeeds");
         println!(
             "{:>6}: {:.5}s simulated | atomics {:>9} | CAS failures {:>9} | empty retries {:>7}",
             variant.label(),

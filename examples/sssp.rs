@@ -33,7 +33,7 @@ fn main() {
     for variant in Variant::ALL {
         let run = run_sssp(&gpu, &graph, &weights, dataset.source(), variant, 224)
             .expect("simulation succeeds");
-        validate_distances(&graph, &weights, dataset.source(), &run.dist)
+        validate_distances(&graph, &weights, dataset.source(), &run.values)
             .expect("distances match Dijkstra exactly");
         let reenqueues = run
             .metrics

@@ -1,16 +1,23 @@
 //! Chaos differential tests: seeded fault matrices (wave-kill × CU stall
-//! × memory poison) injected into recoverable BFS runs over the paper's
-//! six dataset shapes, checked byte-for-byte against fault-free goldens.
+//! × memory poison) injected into recoverable BFS and SSSP runs over the
+//! paper's six dataset shapes, checked byte-for-byte against fault-free
+//! goldens.
 //!
-//! The BFS kernel is label-correcting — an atomic-min worklist converges
-//! to exact levels in any execution order — so a run that survives
-//! aborts via checkpoint/resume must finish with a cost array *identical*
-//! to an uninterrupted run's. These tests pin that property, plus the
-//! acceptance scenario: resuming from a checkpoint replays strictly fewer
-//! rounds than restarting from scratch under the same fault plan.
+//! Both kernels are label-correcting — an atomic-min worklist converges
+//! to exact values in any execution order — so a run that survives
+//! aborts via checkpoint/resume must finish with a value array
+//! *identical* to an uninterrupted run's. These tests pin that property
+//! for BFS, pin that SSSP inherits it through the workload-generic
+//! recovery path (DESIGN.md §10) with fences in *distance* units, plus
+//! the acceptance scenario for both: resuming from a checkpoint replays
+//! strictly fewer rounds than restarting from scratch under the same
+//! fault plan.
 
-use ptq::bfs::{run_bfs, run_bfs_recoverable, BfsConfig, RecoveryPolicy};
-use ptq::graph::Dataset;
+use ptq::bfs::workload::Sssp;
+use ptq::bfs::{
+    run_bfs, run_bfs_recoverable, run_sssp, run_sssp_recoverable, PtConfig, RecoveryPolicy,
+};
+use ptq::graph::{random_weights, Dataset};
 use ptq::queue::Variant;
 use simt::{FaultPlan, FaultSpec, GpuConfig};
 
@@ -64,7 +71,7 @@ fn seeded_chaos_matrix_converges_on_all_six_datasets() {
     for (i, (dataset, fraction)) in CHAOS_SCALE.iter().enumerate() {
         let graph = dataset.build(*fraction);
         let source = dataset.source();
-        let config = BfsConfig::new(Variant::RfAn, 3);
+        let config = PtConfig::new(Variant::RfAn, 3);
         let golden = run_bfs(&gpu, &graph, source, &config)
             .unwrap_or_else(|e| panic!("{dataset:?}: golden run failed: {e}"));
 
@@ -74,7 +81,7 @@ fn seeded_chaos_matrix_converges_on_all_six_datasets() {
             .unwrap_or_else(|e| panic!("{dataset:?}: chaos run failed: {e}"));
 
         assert_eq!(
-            run.costs, golden.costs,
+            run.values, golden.values,
             "{dataset:?}: recovered levels diverge from fault-free golden"
         );
         assert_eq!(run.reached, golden.reached, "{dataset:?}");
@@ -95,7 +102,7 @@ fn chaos_matrix_converges_on_an_variant() {
     let gpu = GpuConfig::test_tiny();
     let (dataset, fraction) = CHAOS_SCALE[3]; // RoadNY: deep frontier
     let graph = dataset.build(fraction);
-    let config = BfsConfig::new(Variant::An, 3);
+    let config = PtConfig::new(Variant::An, 3);
     let golden = run_bfs(&gpu, &graph, dataset.source(), &config).unwrap();
     let plan = chaos_plan(0xA17, graph.num_vertices());
     let run = run_bfs_recoverable(
@@ -107,7 +114,7 @@ fn chaos_matrix_converges_on_an_variant() {
         &plan,
     )
     .unwrap();
-    assert_eq!(run.costs, golden.costs);
+    assert_eq!(run.values, golden.values);
 }
 
 /// Determinism: the same seed yields the same fault plan, and the same
@@ -119,7 +126,7 @@ fn chaos_runs_are_deterministic() {
     let gpu = GpuConfig::test_tiny();
     let (dataset, fraction) = CHAOS_SCALE[4]; // RoadLKS
     let graph = dataset.build(fraction);
-    let config = BfsConfig::new(Variant::RfAn, 3);
+    let config = PtConfig::new(Variant::RfAn, 3);
     let plan_a = chaos_plan(99, graph.num_vertices());
     let plan_b = chaos_plan(99, graph.num_vertices());
     assert_eq!(plan_a, plan_b, "seeded plans must be identical");
@@ -144,7 +151,7 @@ fn chaos_runs_are_deterministic() {
     .unwrap();
     assert_eq!(a.metrics, b.metrics);
     assert_eq!(a.recovery, b.recovery);
-    assert_eq!(a.costs, b.costs);
+    assert_eq!(a.values, b.values);
     assert_eq!(a.seconds, b.seconds);
 }
 
@@ -160,7 +167,7 @@ fn checkpoint_resume_replays_fewer_rounds_than_restart() {
     let (dataset, fraction) = CHAOS_SCALE[3]; // RoadNY: deep, many epochs
     let graph = dataset.build(fraction);
     let source = dataset.source();
-    let config = BfsConfig::new(Variant::RfAn, 3);
+    let config = PtConfig::new(Variant::RfAn, 3);
     let golden = run_bfs(&gpu, &graph, source, &config).unwrap();
 
     // One wave-kill early in the launch: fires in epoch 0 of the fenced
@@ -179,8 +186,122 @@ fn checkpoint_resume_replays_fewer_rounds_than_restart() {
     let scratch =
         run_bfs_recoverable(&gpu, &graph, source, &config, &scratch_policy, &plan).unwrap();
 
-    assert_eq!(fenced.costs, golden.costs, "checkpointed run diverged");
-    assert_eq!(scratch.costs, golden.costs, "from-scratch run diverged");
+    assert_eq!(fenced.values, golden.values, "checkpointed run diverged");
+    assert_eq!(scratch.values, golden.values, "from-scratch run diverged");
+    assert_eq!(
+        fenced.recovery.aborts(),
+        1,
+        "fenced run must be interrupted"
+    );
+    assert_eq!(
+        scratch.recovery.aborts(),
+        1,
+        "scratch run must be interrupted"
+    );
+    assert!(
+        fenced.recovery.rounds_replayed < scratch.recovery.rounds_replayed,
+        "checkpointing must replay fewer rounds: fenced {} vs scratch {}",
+        fenced.recovery.rounds_replayed,
+        scratch.recovery.rounds_replayed
+    );
+}
+
+/// SSSP inherits the whole recovery stack through the workload layer:
+/// a seeded chaos matrix (wave-kill × CU stall × poison of the "dist"
+/// value buffer) injected into a recoverable SSSP run converges to
+/// distances byte-identical to the fault-free golden, still audited
+/// retry-free on RF/AN.
+#[test]
+fn sssp_chaos_matrix_converges_to_golden_distances() {
+    let gpu = GpuConfig::test_tiny();
+    let (dataset, fraction) = CHAOS_SCALE[3]; // RoadNY: deep frontier
+    let graph = dataset.build(fraction);
+    let source = dataset.source();
+    let weights = random_weights(&graph, 9, 0x55);
+    let golden = run_sssp(&gpu, &graph, &weights, source, Variant::RfAn, 3).unwrap();
+
+    let workload = Sssp::new(source, weights.clone());
+    let config = PtConfig::for_workload(&workload, Variant::RfAn, 3);
+    let plan = FaultPlan::seeded(
+        0x5559,
+        &FaultSpec {
+            wave_kills: 2,
+            cu_stalls: 2,
+            mem_poisons: 2,
+            max_round: 8,
+            waves: 3,
+            cus: 2,
+            max_stall_rounds: 4,
+            max_stall_cycles: 200,
+            poison_buffer: "dist".into(),
+            poison_words: graph.num_vertices(),
+        },
+    );
+    assert_eq!(plan.len(), 6, "fault matrix incomplete");
+    let policy = RecoveryPolicy {
+        checkpoint_levels: 12, // distance units per epoch (weights 1..=9)
+        max_attempts: 16,
+        ..RecoveryPolicy::default()
+    };
+    let run = run_sssp_recoverable(&gpu, &graph, &weights, source, &config, &policy, &plan)
+        .unwrap_or_else(|e| panic!("SSSP chaos run failed: {e}"));
+
+    assert_eq!(
+        run.values, golden.values,
+        "recovered distances diverge from fault-free golden"
+    );
+    assert!(run.recovery.aborts() >= 1, "chaos must actually interrupt");
+    assert_eq!(run.metrics.cas_failures, 0, "RF/AN retried");
+    assert_eq!(run.metrics.queue_empty_retries, 0, "RF/AN spun on empty");
+}
+
+/// The SSSP acceptance scenario mirrors the BFS one: same graph, same
+/// fault plan, fenced (distance-stride checkpoints) vs from-scratch
+/// recovery — both exact, the checkpointed run replays strictly fewer
+/// rounds.
+#[test]
+fn sssp_checkpoint_resume_replays_fewer_rounds_than_restart() {
+    let gpu = GpuConfig::test_tiny();
+    let (dataset, fraction) = CHAOS_SCALE[3]; // RoadNY: deep, many epochs
+    let graph = dataset.build(fraction);
+    let source = dataset.source();
+    let weights = random_weights(&graph, 7, 0x77);
+    let golden = run_sssp(&gpu, &graph, &weights, source, Variant::RfAn, 3).unwrap();
+
+    let workload = Sssp::new(source, weights.clone());
+    let config = PtConfig::for_workload(&workload, Variant::RfAn, 3);
+    let plan = FaultPlan::new().kill_wave(2, 1);
+    let fenced_policy = RecoveryPolicy {
+        checkpoint_levels: 8, // distance units per epoch
+        ..RecoveryPolicy::default()
+    };
+    let scratch_policy = RecoveryPolicy {
+        checkpoint_levels: u32::MAX,
+        ..RecoveryPolicy::default()
+    };
+    let fenced = run_sssp_recoverable(
+        &gpu,
+        &graph,
+        &weights,
+        source,
+        &config,
+        &fenced_policy,
+        &plan,
+    )
+    .unwrap();
+    let scratch = run_sssp_recoverable(
+        &gpu,
+        &graph,
+        &weights,
+        source,
+        &config,
+        &scratch_policy,
+        &plan,
+    )
+    .unwrap();
+
+    assert_eq!(fenced.values, golden.values, "checkpointed run diverged");
+    assert_eq!(scratch.values, golden.values, "from-scratch run diverged");
     assert_eq!(
         fenced.recovery.aborts(),
         1,
@@ -207,7 +328,7 @@ fn empty_plan_matches_plain_runner_on_dataset() {
     let gpu = GpuConfig::test_tiny();
     let (dataset, fraction) = CHAOS_SCALE[1]; // Gplus: dense hub
     let graph = dataset.build(fraction);
-    let config = BfsConfig::new(Variant::RfAn, 3);
+    let config = PtConfig::new(Variant::RfAn, 3);
     let plain = run_bfs(&gpu, &graph, dataset.source(), &config).unwrap();
     let policy = RecoveryPolicy {
         checkpoint_levels: u32::MAX,
@@ -222,7 +343,7 @@ fn empty_plan_matches_plain_runner_on_dataset() {
         &FaultPlan::EMPTY,
     )
     .unwrap();
-    assert_eq!(run.costs, plain.costs);
+    assert_eq!(run.values, plain.values);
     // Every behavioral counter matches the plain runner exactly. Timing
     // (makespan) may drift a few cycles: the epoch runner allocates a
     // spill buffer, which shifts the queue's flat address and thus

@@ -4,9 +4,11 @@
 //! identical BFS levels on identical graphs. Any divergence means one of
 //! the queue designs lost, duplicated, or invented a token.
 
-use ptq::bfs::{run_bfs, run_bfs_stealing, BfsConfig};
+use ptq::bfs::workload::{ConnectedComponents, PrDelta, PtWorkload};
+use ptq::bfs::{run_bfs, run_bfs_stealing, run_workload, run_workload_stealing, PtConfig};
 use ptq::graph::gen::social;
 use ptq::graph::gen::SocialParams;
+use ptq::graph::Dataset;
 use ptq::queue::device::{
     make_wave_queue, LanePhase, QueueLayout, StealingLayout, StealingWaveQueue, WaveQueue,
 };
@@ -198,14 +200,77 @@ fn all_five_schedulers_agree_on_bfs_levels() {
         seed: splitmix64(&mut rng) % 1_000,
     });
     let gpu = GpuConfig::test_tiny();
-    let reference = run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::Base, 4))
+    let reference = run_bfs(&gpu, &graph, 0, &PtConfig::new(Variant::Base, 4))
         .unwrap()
-        .costs;
+        .values;
     for variant in [Variant::An, Variant::RfOnly, Variant::RfAn] {
-        let run = run_bfs(&gpu, &graph, 0, &BfsConfig::new(variant, 4))
+        let run = run_bfs(&gpu, &graph, 0, &PtConfig::new(variant, 4))
             .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
-        assert_eq!(run.costs, reference, "{variant:?} BFS levels diverged");
+        assert_eq!(run.values, reference, "{variant:?} BFS levels diverged");
     }
     let stealing = run_bfs_stealing(&gpu, &graph, 0, 4).unwrap();
-    assert_eq!(stealing.costs, reference, "stealing BFS levels diverged");
+    assert_eq!(stealing.values, reference, "stealing BFS levels diverged");
+}
+
+/// The six dataset shapes at fuzz scale (roughly 1–2k vertices each).
+const FUZZ_SCALE: [(Dataset, f64); 6] = [
+    (Dataset::Synthetic, 0.0002),
+    (Dataset::GplusCombined, 0.005),
+    (Dataset::SocLiveJournal1, 0.0003),
+    (Dataset::RoadNY, 0.005),
+    (Dataset::RoadLKS, 0.0005),
+    (Dataset::RoadUSA, 0.0001),
+];
+
+/// Runs `workload` under all five device schedulers (the four
+/// monolithic-queue variants plus the distributed stealing queue) on one
+/// graph and checks every run's value array against the sequential
+/// oracle — confluence means they must all land on the identical fixed
+/// point. Retry-free variants additionally audit zero CAS traffic.
+fn all_five_agree_with_oracle<W: PtWorkload>(graph: &ptq::graph::Csr, workload: &W, tag: &str) {
+    let gpu = GpuConfig::test_tiny();
+    let oracle = workload.reference(graph);
+    for variant in Variant::MATRIX {
+        let config = PtConfig::for_workload(workload, variant, 4);
+        let run = run_workload(&gpu, graph, workload, &config)
+            .unwrap_or_else(|e| panic!("{tag}/{variant:?}: {e}"));
+        assert_eq!(
+            run.values, oracle,
+            "{tag}/{variant:?}: values diverged from the sequential oracle"
+        );
+        if variant.is_retry_free() {
+            assert_eq!(run.metrics.cas_attempts, 0, "{tag}/{variant:?} issued CAS");
+            assert_eq!(
+                run.metrics.queue_empty_retries, 0,
+                "{tag}/{variant:?} spun on empty"
+            );
+        }
+    }
+    let run = run_workload_stealing(&gpu, graph, workload, 4)
+        .unwrap_or_else(|e| panic!("{tag}/stealing: {e}"));
+    assert_eq!(
+        run.values, oracle,
+        "{tag}/stealing: values diverged from the sequential oracle"
+    );
+    assert_eq!(run.metrics.cas_attempts, 0, "{tag}/stealing issued CAS");
+}
+
+#[test]
+fn connected_components_agree_across_all_five_schedulers() {
+    for (dataset, fraction) in FUZZ_SCALE {
+        let graph = dataset.build(fraction);
+        all_five_agree_with_oracle(&graph, &ConnectedComponents, &format!("cc/{dataset:?}"));
+    }
+}
+
+#[test]
+fn prdelta_agrees_across_all_five_schedulers() {
+    for (dataset, fraction) in FUZZ_SCALE {
+        let graph = dataset.build(fraction);
+        all_five_agree_with_oracle(
+            &graph,
+            &PrDelta::new(dataset.source()),
+            &format!("pr-delta/{dataset:?}"),
+        );
+    }
 }

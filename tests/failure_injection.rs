@@ -2,7 +2,7 @@
 //! gracefully — queue overflow, kernel aborts racing other wavefronts,
 //! device faults, and capacity-recovery loops.
 
-use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::bfs::{run_bfs, PtConfig};
 use ptq::graph::gen::synthetic_tree;
 use ptq::graph::validate_levels;
 use ptq::queue::device::{make_wave_queue, LanePhase, QueueLayout, WaveQueue};
@@ -87,10 +87,10 @@ fn queue_full_abort_terminates_multi_wave_runs() {
 #[test]
 fn bfs_recovers_from_undersized_queue() {
     let graph = synthetic_tree(800, 4);
-    let mut config = BfsConfig::new(Variant::RfAn, 3);
+    let mut config = PtConfig::new(Variant::RfAn, 3);
     config.capacity_factor = 0.2; // ~160 slots: forces several doublings
     let run = run_bfs(&GpuConfig::test_tiny(), &graph, 0, &config).unwrap();
-    validate_levels(&graph, 0, &run.costs).unwrap();
+    validate_levels(&graph, 0, &run.values).unwrap();
     // The recovery log classifies every abort structurally.
     assert!(run.recovery.aborts() >= 1, "undersized queue must abort");
     assert!(
@@ -274,5 +274,5 @@ fn sssp_recovers_under_reenqueue_pressure() {
         2,
     )
     .unwrap();
-    validate_distances(&g, &weights_aligned, 0, &run.dist).unwrap();
+    validate_distances(&g, &weights_aligned, 0, &run.values).unwrap();
 }

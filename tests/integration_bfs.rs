@@ -3,7 +3,7 @@
 //! metric invariants the paper's design promises.
 
 use ptq::bfs::baseline::{run_chai, run_rodinia};
-use ptq::bfs::{run_bfs, BfsConfig};
+use ptq::bfs::{run_bfs, PtConfig};
 use ptq::graph::{bfs_levels, validate_levels, Dataset};
 use ptq::queue::Variant;
 use simt::GpuConfig;
@@ -28,19 +28,14 @@ fn every_variant_is_exact_on_every_dataset_family() {
         let reference = bfs_levels(&graph, dataset.source());
         for (gpu, wgs) in [(GpuConfig::fiji(), 28usize), (GpuConfig::spectre(), 8)] {
             for variant in Variant::ALL {
-                let run = run_bfs(
-                    &gpu,
-                    &graph,
-                    dataset.source(),
-                    &BfsConfig::new(variant, wgs),
-                )
-                .unwrap_or_else(|e| panic!("{dataset:?} {variant:?} on {}: {e}", gpu.name));
+                let run = run_bfs(&gpu, &graph, dataset.source(), &PtConfig::new(variant, wgs))
+                    .unwrap_or_else(|e| panic!("{dataset:?} {variant:?} on {}: {e}", gpu.name));
                 assert_eq!(
                     run.reached, reference.reached,
                     "{dataset:?} {variant:?} on {}",
                     gpu.name
                 );
-                validate_levels(&graph, dataset.source(), &run.costs).unwrap_or_else(
+                validate_levels(&graph, dataset.source(), &run.values).unwrap_or_else(
                     |(v, want, got)| {
                         panic!(
                             "{dataset:?} {variant:?} on {}: vertex {v} level {got} != {want}",
@@ -55,7 +50,7 @@ fn every_variant_is_exact_on_every_dataset_family() {
 
 #[test]
 fn rfan_never_retries_anywhere() {
-    // Runs are audited end to end (BfsConfig defaults audit on): every
+    // Runs are audited end to end (PtConfig defaults audit on): every
     // wavefront queue op already validated its atomic budget in-sim; the
     // assertions below pin the run-level aggregates per dataset for both
     // retry-free variants.
@@ -66,7 +61,7 @@ fn rfan_never_retries_anywhere() {
                 &GpuConfig::fiji(),
                 &graph,
                 dataset.source(),
-                &BfsConfig::new(variant, 56),
+                &PtConfig::new(variant, 56),
             )
             .unwrap_or_else(|e| panic!("{dataset:?} {variant:?}: {e}"));
             assert_eq!(run.metrics.cas_attempts, 0, "{dataset:?} {variant:?}");
@@ -88,7 +83,7 @@ fn cas_designs_always_retry_under_multi_wave_load() {
             &GpuConfig::spectre(),
             &graph,
             0,
-            &BfsConfig::new(variant, 16),
+            &PtConfig::new(variant, 16),
         )
         .unwrap();
         assert!(
@@ -103,22 +98,22 @@ fn baselines_are_exact_too() {
     let dataset = Dataset::RodiniaGraph4096;
     let graph = dataset.build(1.0); // 4,096 vertices: full size is cheap
     let rodinia = run_rodinia(&GpuConfig::spectre(), &graph, 0, 8).unwrap();
-    validate_levels(&graph, 0, &rodinia.costs).unwrap();
+    validate_levels(&graph, 0, &rodinia.values).unwrap();
 
     let road = Dataset::ChaiNYR.build(SCALE);
     let chai = run_chai(&GpuConfig::spectre(), &road, 0, 8).unwrap();
-    validate_levels(&road, 0, &chai.costs).unwrap();
+    validate_levels(&road, 0, &chai.values).unwrap();
 }
 
 #[test]
 fn runs_are_deterministic_across_processes_worth_of_state() {
     let graph = Dataset::SocLiveJournal1.build(SCALE);
-    let config = BfsConfig::new(Variant::An, 12);
+    let config = PtConfig::new(Variant::An, 12);
     let a = run_bfs(&GpuConfig::spectre(), &graph, 0, &config).unwrap();
     let b = run_bfs(&GpuConfig::spectre(), &graph, 0, &config).unwrap();
     assert_eq!(a.metrics, b.metrics);
     assert_eq!(a.seconds, b.seconds);
-    assert_eq!(a.costs, b.costs);
+    assert_eq!(a.values, b.values);
 }
 
 #[test]
@@ -128,7 +123,7 @@ fn headline_ordering_rfan_fastest_on_saturating_load() {
     let graph = Dataset::Synthetic.build(0.02);
     let gpu = GpuConfig::fiji();
     let time = |v| {
-        run_bfs(&gpu, &graph, 0, &BfsConfig::new(v, 224))
+        run_bfs(&gpu, &graph, 0, &PtConfig::new(v, 224))
             .unwrap()
             .seconds
     };
@@ -150,7 +145,7 @@ fn atomic_ratio_matches_figure_5_direction() {
     let graph = Dataset::Synthetic.build(0.01);
     let gpu = GpuConfig::fiji();
     let atoms = |v| {
-        run_bfs(&gpu, &graph, 0, &BfsConfig::new(v, 224))
+        run_bfs(&gpu, &graph, 0, &PtConfig::new(v, 224))
             .unwrap()
             .metrics
             .scheduler_atomics
@@ -167,7 +162,7 @@ fn more_threads_help_rfan_on_saturating_load() {
     let graph = Dataset::Synthetic.build(0.01);
     let gpu = GpuConfig::fiji();
     let time = |wgs| {
-        run_bfs(&gpu, &graph, 0, &BfsConfig::new(Variant::RfAn, wgs))
+        run_bfs(&gpu, &graph, 0, &PtConfig::new(Variant::RfAn, wgs))
             .unwrap()
             .seconds
     };

@@ -135,7 +135,7 @@ fn rfan_capacity_is_exact() {
 /// once for arbitrary seeds/fanout/workgroup combinations. (Uses the BFS
 /// runner as the pump — it validates levels, which subsumes conservation.)
 mod device {
-    use ptq::bfs::{run_bfs, BfsConfig};
+    use ptq::bfs::{run_bfs, PtConfig};
     use ptq::graph::gen::erdos_renyi;
     use ptq::graph::rng::SplitMix64;
     use ptq::graph::validate_levels;
@@ -157,11 +157,11 @@ mod device {
                     &GpuConfig::test_tiny(),
                     &graph,
                     source,
-                    &BfsConfig::new(variant, wgs),
+                    &PtConfig::new(variant, wgs),
                 )
                 .unwrap();
                 assert!(
-                    validate_levels(&graph, source, &run.costs).is_ok(),
+                    validate_levels(&graph, source, &run.values).is_ok(),
                     "case {case}: {variant:?} wrong on n={n} seed={seed}"
                 );
             }

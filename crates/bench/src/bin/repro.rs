@@ -9,11 +9,12 @@
 //!   scaling ablate-matrix ablate-stealing ablate-chunk ablate-occupancy
 //!   chaos        seeded fault injection + checkpoint/resume recovery
 //!   workloads    all four workloads (BFS/SSSP/CC/PR-delta) vs oracles
+//!   giant        streamed vs in-memory construction at giant scale
 //!   verify       machine-checked reproduction verdicts
-//!   all          everything above (except verify)
+//!   all          everything above (except verify and giant)
 //!
 //! options:
-//!   --scale F    dataset scale in (0,1]   (default 0.05)
+//!   --scale F    dataset scale in (0,1]   (default 0.05; giant 1.0)
 //!   --full       shorthand for --scale 1.0 (the paper's sizes; slow)
 //!   --jobs N     worker-thread cap (default 1; 0 = one per CPU).
 //!                The effective count never exceeds the machine's
@@ -28,8 +29,8 @@
 //! throughput) next to the tables so performance has a trajectory.
 
 use repro_bench::experiments::{
-    ablate, chaos, common, fig1, fig3, fig4, fig5, scaling, table12, table34, table5, table6,
-    verify, workloads,
+    ablate, chaos, common, fig1, fig3, fig4, fig5, giant, scaling, table12, table34, table5,
+    table6, verify, workloads,
 };
 use repro_bench::{Scale, Sched, Table};
 use simt::GpuConfig;
@@ -50,16 +51,16 @@ type Timings = Vec<(String, f64, u64)>;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut experiment: Option<String> = None;
-    let mut scale = Scale::DEFAULT;
+    let mut scale: Option<Scale> = None;
     let mut out = PathBuf::from("results");
     let mut sched = Sched::serial();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(f) if f > 0.0 && f <= 1.0 => scale = Scale::new(f),
+                Some(f) if f > 0.0 && f <= 1.0 => scale = Some(Scale::new(f)),
                 _ => return usage("--scale needs a number in (0, 1]"),
             },
-            "--full" => scale = Scale::FULL,
+            "--full" => scale = Some(Scale::FULL),
             "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(0) => sched = Sched::auto(),
                 Some(n) => sched = Sched::new(n),
@@ -79,6 +80,16 @@ fn main() -> ExitCode {
     let Some(experiment) = experiment else {
         return usage("missing experiment name");
     };
+    // `giant` is pinned at full scale unless overridden — the experiment
+    // exists to measure the >=100M-edge regime, where the naive leg's
+    // O(E) edge-list materialization actually bites and the memory
+    // envelope is worth reporting. Every other experiment keeps the
+    // quick default.
+    let scale = scale.unwrap_or(if experiment == "giant" {
+        Scale::FULL
+    } else {
+        Scale::DEFAULT
+    });
     let opts = Options { scale, out, sched };
     eprintln!(
         "# scale = {} (vertex counts at {:.1}% of the paper's), jobs = {}",
@@ -109,7 +120,7 @@ fn usage(error: &str) -> ExitCode {
         "usage: repro <experiment> [--scale F | --full] [--jobs N] [--out DIR]\n\
          experiments: table1 table2 table3 table4 table5 table6 \
          fig1 fig3 fig4 fig5 scaling ablate-matrix ablate-stealing ablate-chunk \
-         ablate-occupancy chaos workloads verify all"
+         ablate-occupancy chaos workloads giant verify all"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -164,11 +175,51 @@ fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
     } else {
         format!("[\n{}\n  ]", workload_entries.join(",\n"))
     };
+    // Engine-profile aggregate (events summed, footprint gauges maxed
+    // across every profiled run) plus the process peak RSS: the memory
+    // envelope of the run. Null if nothing recorded a profile.
+    let profile = match common::profile_summary() {
+        Some((p, runs, recycled)) => format!(
+            "{{\"runs\": {runs}, \"arena_recycled_runs\": {recycled}, \
+             \"peak_arena_words\": {}, \"peak_meta_bytes\": {}, \
+             \"peak_demand_zeroed_words\": {}, \"park_events\": {}, \
+             \"park_replay_cycles\": {}, \"peak_line_table_bytes\": {}, \
+             \"peak_round_lines\": {}, \"peak_rss_bytes\": {}}}",
+            p.arena_words,
+            p.meta_bytes,
+            p.demand_zeroed_words,
+            p.park_events,
+            p.park_replay_cycles,
+            p.line_table_bytes,
+            p.peak_round_lines,
+            common::peak_rss_bytes(),
+        ),
+        None => "null".to_owned(),
+    };
+    // Giant-pipeline wall clock (tuned vs naive construction+setup).
+    let giant = match common::giant_bench() {
+        Some(g) => format!(
+            "{{\"edges\": {}, \"naive_build_seconds\": {:.3}, \
+             \"naive_setup_seconds\": {:.3}, \"tuned_build_seconds\": {:.3}, \
+             \"tuned_setup_seconds\": {:.3}, \"naive_edges_per_second\": {:.0}, \
+             \"tuned_edges_per_second\": {:.0}, \"speedup\": {:.3}}}",
+            g.edges,
+            g.naive_build_seconds,
+            g.naive_setup_seconds,
+            g.tuned_build_seconds,
+            g.tuned_setup_seconds,
+            g.naive_edges_per_second(),
+            g.tuned_edges_per_second(),
+            g.speedup(),
+        ),
+        None => "null".to_owned(),
+    };
     let json = format!(
         "{{\n  \"command\": \"{command}\",\n  \"scale\": {},\n  \"jobs\": {},\n  \
          \"total_seconds\": {total:.3},\n  \"rounds_simulated\": {rounds},\n  \
          \"rounds_per_second\": {:.0},\n  \"slowest_point\": {slowest},\n  \
          \"recovery\": {recovery},\n  \"workloads\": {workloads_json},\n  \
+         \"profile\": {profile},\n  \"giant\": {giant},\n  \
          \"experiments\": [\n{}\n  ]\n}}\n",
         opts.scale.fraction(),
         opts.sched.jobs(),
@@ -287,6 +338,13 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
         "workloads" => {
             let rows = workloads::measure(opts.scale, sched);
             emit(&workloads::table(&rows), opts, "workloads");
+        }
+        // Not part of "all": the giant pipeline is serial by design (the
+        // eager-zeroing A/B toggle is process-global) and its pinned
+        // full-scale default builds a 134M-edge graph twice.
+        "giant" => {
+            let rows = giant::measure(opts.scale);
+            emit(&giant::table(&rows), opts, "giant");
         }
         "all" => {
             for exp in [

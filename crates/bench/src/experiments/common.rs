@@ -4,7 +4,7 @@ use crate::{Scale, Sched};
 use gpu_queue::Variant;
 use pt_bfs::{run_bfs, PtConfig, Run};
 use ptq_graph::{validate_levels, Csr, Dataset};
-use simt::GpuConfig;
+use simt::{GpuConfig, Profile};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -16,6 +16,105 @@ static ROUNDS_SIMULATED: AtomicU64 = AtomicU64::new(0);
 /// Rounds simulated so far (all [`bfs_run`] calls in this process).
 pub fn rounds_simulated() -> u64 {
     ROUNDS_SIMULATED.load(Ordering::Relaxed)
+}
+
+/// Adds `rounds` to the process-wide throughput denominator (used by
+/// experiments that drive runs outside [`bfs_run`]).
+pub fn record_rounds(rounds: u64) {
+    ROUNDS_SIMULATED.fetch_add(rounds, Ordering::Relaxed);
+}
+
+/// Process-wide engine-profile aggregate: the merged [`Profile`] (events
+/// summed, footprint gauges maxed — see [`Profile::merge`]), the number
+/// of runs folded in, and how many of those ran on a recycled arena.
+static PROFILE_AGG: Mutex<Option<(Profile, u64, u64)>> = Mutex::new(None);
+
+/// Folds one run's engine profile into the process-wide aggregate for
+/// the `profile` section of `BENCH_repro.json`.
+pub fn record_profile(profile: &Profile) {
+    let mut guard = PROFILE_AGG.lock().unwrap();
+    let (agg, runs, recycled) = guard.get_or_insert((Profile::default(), 0, 0));
+    agg.merge(profile);
+    *runs += 1;
+    *recycled += profile.arena_recycled;
+}
+
+/// The merged profile, run count, and recycled-arena run count, if any
+/// profiled run happened.
+pub fn profile_summary() -> Option<(Profile, u64, u64)> {
+    *PROFILE_AGG.lock().unwrap()
+}
+
+/// Wall-clock outcome of the `giant` experiment's two construction
+/// pipelines (diagnostics for `BENCH_repro.json`; the deterministic
+/// table never contains wall time).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GiantBench {
+    /// Edges in the giant graph (throughput numerator).
+    pub edges: u64,
+    /// Naive leg: in-memory build wall seconds.
+    pub naive_build_seconds: f64,
+    /// Naive leg: eager-zeroing device-setup churn wall seconds.
+    pub naive_setup_seconds: f64,
+    /// Tuned leg: streamed build wall seconds.
+    pub tuned_build_seconds: f64,
+    /// Tuned leg: demand-zeroing device-setup churn wall seconds.
+    pub tuned_setup_seconds: f64,
+}
+
+impl GiantBench {
+    /// Edges per second through the naive build+setup pipeline.
+    pub fn naive_edges_per_second(&self) -> f64 {
+        self.edges as f64 / (self.naive_build_seconds + self.naive_setup_seconds).max(1e-9)
+    }
+
+    /// Edges per second through the tuned build+setup pipeline.
+    pub fn tuned_edges_per_second(&self) -> f64 {
+        self.edges as f64 / (self.tuned_build_seconds + self.tuned_setup_seconds).max(1e-9)
+    }
+
+    /// Tuned-over-naive pipeline throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.tuned_edges_per_second() / self.naive_edges_per_second().max(1e-9)
+    }
+}
+
+static GIANT_BENCH: Mutex<Option<GiantBench>> = Mutex::new(None);
+
+/// Records the giant experiment's wall-clock outcome.
+pub fn record_giant(bench: GiantBench) {
+    *GIANT_BENCH.lock().unwrap() = Some(bench);
+}
+
+/// The giant experiment's wall-clock outcome, if it ran.
+pub fn giant_bench() -> Option<GiantBench> {
+    *GIANT_BENCH.lock().unwrap()
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where the proc filesystem is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse::<u64>()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
 }
 
 /// Faults scheduled by the chaos experiment's seeded plans.
@@ -163,6 +262,7 @@ pub fn bfs_run(gpu: &GpuConfig, graph: &Csr, variant: Variant, workgroups: usize
         )
     });
     ROUNDS_SIMULATED.fetch_add(run.metrics.rounds, Ordering::Relaxed);
+    record_profile(&run.profile);
     record_point_wall(
         || {
             format!(

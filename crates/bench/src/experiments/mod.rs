@@ -16,6 +16,7 @@
 //! | scaling deep-dive | [`scaling::table`] | `scaling_<gpu>` |
 //! | chaos / recovery | [`chaos::table`] | `chaos` |
 //! | workload matrix | [`workloads::table`] | `workloads` |
+//! | giant-graph scale | [`giant::table`] | `giant` |
 
 pub mod ablate;
 pub mod chaos;
@@ -24,6 +25,7 @@ pub mod fig1;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod giant;
 pub mod scaling;
 pub mod table12;
 pub mod table34;

@@ -17,7 +17,7 @@
 //! `--jobs` count — wall-clock lives only in the JSON, which is
 //! documented to vary.
 
-use super::common::{record_workload, DatasetCache};
+use super::common::{record_profile, record_workload, DatasetCache};
 use crate::report::Table;
 use crate::{Scale, Sched};
 use gpu_queue::Variant;
@@ -91,6 +91,7 @@ fn validated_run<W: PtWorkload>(gpu: &GpuConfig, graph: &Csr, workload: &W, wgs:
                 workload.name()
             )
         });
+    record_profile(&run.profile);
     run
 }
 

@@ -74,8 +74,9 @@ impl QueueLayout {
     /// `name`-derived buffer names (`"<name>.slots"`, `"<name>.state"`).
     /// Every slot is painted with the `dna` sentinel; `Front = Rear = 0`.
     pub fn setup(memory: &mut DeviceMemory, name: &str, capacity: u32) -> QueueLayout {
-        let slots = memory.alloc(&format!("{name}.slots"), capacity as usize);
-        memory.fill(slots, DNA);
+        // Paint in one pass: `alloc_filled` skips the demand-zeroing a
+        // plain `alloc` would do before the sentinel overwrote it anyway.
+        let slots = memory.alloc_filled(&format!("{name}.slots"), capacity as usize, DNA);
         let state = memory.alloc(&format!("{name}.state"), 2);
         QueueLayout {
             slots,

@@ -141,8 +141,9 @@ pub fn largest_component_subgraph(graph: &Csr) -> (Csr, Vec<VertexId>) {
 
 /// Traversed edges per second for a BFS that visited `edges` edges in
 /// `seconds` — the standard GTEPS throughput metric (reported in
-/// billions).
-pub fn gteps(edges: usize, seconds: f64) -> f64 {
+/// billions). Takes `u64` so giant-scale edge counts stay exact on
+/// 32-bit `usize` hosts too.
+pub fn gteps(edges: u64, seconds: f64) -> f64 {
     if seconds <= 0.0 {
         return 0.0;
     }

@@ -31,13 +31,69 @@ impl fmt::Debug for Csr {
     }
 }
 
+/// Why a pair of raw CSR arrays was rejected by
+/// [`Csr::from_parts_checked`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_offsets` was empty (it must hold `n + 1` entries).
+    EmptyOffsets,
+    /// The final row offset does not equal the adjacency length.
+    EdgeCountMismatch {
+        /// Value of the last row offset.
+        last_offset: u32,
+        /// Length of the adjacency array.
+        edges: usize,
+    },
+    /// `row_offsets[at] > row_offsets[at + 1]`.
+    NonMonotonic {
+        /// Index of the offending offset.
+        at: usize,
+    },
+    /// `adjacency[at]` names a vertex `>= n`.
+    TargetOutOfRange {
+        /// Index of the offending adjacency entry.
+        at: usize,
+        /// The out-of-range vertex id.
+        target: u32,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CsrError::EmptyOffsets => write!(f, "row_offsets must have n+1 entries"),
+            CsrError::EdgeCountMismatch { last_offset, edges } => write!(
+                f,
+                "last row offset ({last_offset}) must equal edge count ({edges})"
+            ),
+            CsrError::NonMonotonic { at } => {
+                write!(f, "row offsets must be non-decreasing (violated at {at})")
+            }
+            CsrError::TargetOutOfRange { at, target } => {
+                write!(f, "adjacency entry {at} out of range (target {target})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 impl Csr {
     /// Builds a CSR graph directly from its two arrays.
     ///
+    /// Intended for *trusted* producers (the builders in this crate, whose
+    /// construction makes the invariants hold): the O(1) shape checks run
+    /// always, but the O(V + E) monotonicity and range scans run only
+    /// under `debug_assertions` — on a hundreds-of-millions-of-edges graph
+    /// they would otherwise double the cost of construction. Untrusted
+    /// input (file parsers, network data) must go through
+    /// [`Csr::from_parts_checked`] instead.
+    ///
     /// # Panics
-    /// Panics if the offsets are not monotonically non-decreasing, if the
-    /// final offset does not equal `adjacency.len()`, or if any adjacency
-    /// entry is out of range.
+    /// Panics if the final offset does not equal `adjacency.len()`; in
+    /// debug builds, additionally panics if the offsets are not
+    /// monotonically non-decreasing or any adjacency entry is out of
+    /// range.
     pub fn from_parts(row_offsets: Vec<u32>, adjacency: Vec<VertexId>) -> Self {
         assert!(!row_offsets.is_empty(), "row_offsets must have n+1 entries");
         assert_eq!(
@@ -45,19 +101,53 @@ impl Csr {
             adjacency.len(),
             "last row offset must equal edge count"
         );
-        assert!(
+        debug_assert!(
             row_offsets.windows(2).all(|w| w[0] <= w[1]),
             "row offsets must be non-decreasing"
         );
-        let n = (row_offsets.len() - 1) as u32;
-        assert!(
-            adjacency.iter().all(|&v| v < n),
+        debug_assert!(
+            adjacency
+                .iter()
+                .all(|&v| (v as usize) < row_offsets.len() - 1),
             "adjacency entry out of range"
         );
         Self {
             row_offsets,
             adjacency,
         }
+    }
+
+    /// Fully validated construction from raw arrays, for untrusted input:
+    /// every invariant is checked in every build profile, and violations
+    /// come back as a structured [`CsrError`] instead of a panic.
+    pub fn from_parts_checked(
+        row_offsets: Vec<u32>,
+        adjacency: Vec<VertexId>,
+    ) -> Result<Self, CsrError> {
+        if row_offsets.is_empty() {
+            return Err(CsrError::EmptyOffsets);
+        }
+        let last = *row_offsets.last().unwrap();
+        if last as usize != adjacency.len() {
+            return Err(CsrError::EdgeCountMismatch {
+                last_offset: last,
+                edges: adjacency.len(),
+            });
+        }
+        if let Some(at) = row_offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CsrError::NonMonotonic { at });
+        }
+        let n = (row_offsets.len() - 1) as u32;
+        if let Some(at) = adjacency.iter().position(|&v| v >= n) {
+            return Err(CsrError::TargetOutOfRange {
+                at,
+                target: adjacency[at],
+            });
+        }
+        Ok(Self {
+            row_offsets,
+            adjacency,
+        })
     }
 
     /// Number of vertices.
@@ -355,6 +445,9 @@ mod tests {
         b.add_edge(0, 2);
     }
 
+    // The O(V + E) scans are debug-only on the trusted path; release
+    // builds rely on `from_parts_checked` for untrusted input.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn from_parts_rejects_bad_offsets() {
@@ -365,6 +458,38 @@ mod tests {
     #[should_panic(expected = "edge count")]
     fn from_parts_rejects_mismatched_lengths() {
         let _ = Csr::from_parts(vec![0, 1], vec![]);
+    }
+
+    #[test]
+    fn from_parts_checked_accepts_valid_input() {
+        let g = Csr::from_parts_checked(vec![0, 2, 3, 4, 4], vec![1, 2, 3, 3]).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn from_parts_checked_reports_each_violation() {
+        assert_eq!(
+            Csr::from_parts_checked(vec![], vec![]),
+            Err(CsrError::EmptyOffsets)
+        );
+        assert_eq!(
+            Csr::from_parts_checked(vec![0, 1], vec![]),
+            Err(CsrError::EdgeCountMismatch {
+                last_offset: 1,
+                edges: 0
+            })
+        );
+        assert_eq!(
+            Csr::from_parts_checked(vec![0, 2, 1], vec![0]),
+            Err(CsrError::NonMonotonic { at: 1 })
+        );
+        assert_eq!(
+            Csr::from_parts_checked(vec![0, 1], vec![5]),
+            Err(CsrError::TargetOutOfRange { at: 0, target: 5 })
+        );
+        // Errors format into readable messages.
+        assert!(CsrError::NonMonotonic { at: 1 }.to_string().contains("1"));
     }
 
     #[test]

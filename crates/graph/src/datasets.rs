@@ -8,7 +8,7 @@
 //! which keeps CI and Criterion runs fast.
 
 use crate::csr::Csr;
-use crate::gen::{roadmap, rodinia, social, synthetic_tree, RoadmapParams, SocialParams};
+use crate::gen::{giant, roadmap, rodinia, social, synthetic_tree, RoadmapParams, SocialParams};
 
 /// The datasets of the paper's §5.2 (Tables 1 and 2) plus the Rodinia and
 /// CHAI baseline inputs of §6.4.
@@ -36,6 +36,12 @@ pub enum Dataset {
     ChaiNYR,
     /// CHAI `USA-road-d.BAY.gr.parboil`: SF Bay Area, 321,270 vertices.
     ChaiBAY,
+    /// Scale-headroom synthetic (ROADMAP item 5): 16,777,216 vertices,
+    /// ~134M edges at full scale — roughly 2× the paper's largest dataset
+    /// in edges and built through the streamed two-pass CSR path
+    /// ([`crate::gen::giant`]) so construction never materializes an edge
+    /// list.
+    Giant,
 }
 
 /// Published statistics for a dataset (from the paper's tables) used for
@@ -46,8 +52,10 @@ pub struct DatasetSpec {
     pub name: &'static str,
     /// Vertex count at `scale = 1.0`.
     pub vertices: usize,
-    /// Edge count published in the paper (approximate calibration target).
-    pub edges: usize,
+    /// Edge count published in the paper (approximate calibration
+    /// target). `u64`: the giant family exceeds what a 32-bit `usize`
+    /// host could hold, and derived sums must not wrap.
+    pub edges: u64,
     /// Published mean out-degree.
     pub avg_degree: f64,
     /// Published max out-degree (0 where the paper does not report one).
@@ -165,6 +173,14 @@ impl Dataset {
                 max_degree: 7,
                 std_degree: 0.95,
             },
+            Dataset::Giant => DatasetSpec {
+                name: "giant",
+                vertices: 16_777_216,
+                edges: 134_217_728, // 8 * 2^24 calibration target
+                avg_degree: 8.0,
+                max_degree: 16, // 2 tree children + up to 14 extras
+                std_degree: 4.4,
+            },
         }
     }
 
@@ -214,6 +230,9 @@ impl Dataset {
             Dataset::RodiniaGraph1M => rodinia(n, 6, 0x40d3),
             Dataset::ChaiNYR => grid_for(n, 0.40, 0xc4a1),
             Dataset::ChaiBAY => grid_for(n, 0.25, 0xc4a2),
+            // Mean degree 8 = n-1 tree edges (mean 1) + uniform[0, 14]
+            // extras (mean 7).
+            Dataset::Giant => giant(n, 7, 0x61A7),
         }
     }
 
@@ -262,6 +281,7 @@ mod tests {
             Dataset::RodiniaGraph65536,
             Dataset::ChaiNYR,
             Dataset::ChaiBAY,
+            Dataset::Giant,
         ] {
             let g = ds.build(TEST_SCALE);
             assert!(g.num_vertices() > 0, "{ds:?} empty");

@@ -14,11 +14,13 @@
 //! | Rodinia BFS inputs | [`rodinia`] | uniform degree 1..=2·avg, shallow |
 //! | test graphs | [`erdos_renyi`] | uniform random |
 //! | Graph500-style | [`rmat`] | recursive-matrix power law |
+//! | scale headroom | [`giant`] | heap-tree skeleton + random extras, streamed |
 //!
 //! Every generator takes an explicit seed and produces identical graphs on
 //! every run and platform (we rely only on the in-tree [`crate::rng::SplitMix64`]
 //! with fixed seeds; its output is pinned by golden-value tests).
 
+pub mod giant;
 mod random;
 mod rmat;
 mod roadmap;
@@ -26,6 +28,7 @@ mod rodinia;
 mod social;
 mod synthetic;
 
+pub use giant::{for_each_giant_edge, giant, giant_with_chunk};
 pub use random::erdos_renyi;
 pub use rmat::{rmat, RmatParams};
 pub use roadmap::{roadmap, RoadmapParams};

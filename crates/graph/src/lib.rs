@@ -13,8 +13,10 @@
 //! * [`io`] — readers/writers for the DIMACS `.gr`, SNAP edge-list, and
 //!   Rodinia BFS file formats so the real datasets can be dropped in,
 //! * [`bfs`] — a sequential reference BFS used to validate every parallel
-//!   run, and
-//! * [`profile`] — per-level dynamic-parallelism profiles (Figure 3).
+//!   run,
+//! * [`profile`] — per-level dynamic-parallelism profiles (Figure 3), and
+//! * [`stream`] — two-pass chunked CSR construction that never
+//!   materializes an edge list, for the giant scale-headroom datasets.
 //!
 //! All generators take explicit seeds and are fully deterministic.
 
@@ -27,15 +29,17 @@ pub mod io;
 pub mod profile;
 pub mod propagate;
 pub mod rng;
+pub mod stream;
 pub mod weights;
 
 pub use analysis::{degree_histogram, gteps, weakly_connected_components, Components};
 pub use bfs::{bfs_levels, validate_levels, BfsResult};
-pub use csr::{Csr, CsrBuilder, DegreeStats, VertexId};
+pub use csr::{Csr, CsrBuilder, CsrError, DegreeStats, VertexId};
 pub use datasets::{Dataset, DatasetSpec};
 pub use profile::{level_profile, LevelProfile};
 pub use propagate::{decay_fixpoint, min_label_fixpoint, validate_contributions, validate_labels};
 pub use rng::SplitMix64;
+pub use stream::build_streamed;
 pub use weights::{dijkstra, random_weights, validate_distances};
 
 /// Sentinel level for vertices not reached by a BFS.

@@ -9,10 +9,12 @@
 //! scans, which is exactly why the paper beats it by 36× on shallow
 //! small inputs and only 1.26× on the wide 1M-vertex one.
 
-use crate::runner::Run;
+use crate::runner::{PhaseWalls, Run};
 use crate::UNVISITED;
 use ptq_graph::Csr;
-use simt::{Buffer, Engine, GpuConfig, Launch, Metrics, SimError, WaveCtx, WaveKernel, WaveStatus};
+use simt::{
+    Buffer, Engine, GpuConfig, Launch, Metrics, Profile, SimError, WaveCtx, WaveKernel, WaveStatus,
+};
 
 /// One wavefront of the per-level expansion kernel. Wave `i` of `W`
 /// processes vertex blocks `i, i+W, i+2W, …`, one block of `wave_size`
@@ -92,8 +94,7 @@ pub fn run_rodinia(
     let mem = engine.memory_mut();
     mem.alloc_init("nodes", graph.row_offsets());
     mem.alloc_init("edges", graph.adjacency());
-    let costs = mem.alloc("costs", n);
-    mem.fill(costs, UNVISITED);
+    let costs = mem.alloc_filled("costs", n, UNVISITED);
     mem.write_u32(costs, source as usize, 0);
     let mask = mem.alloc("mask", n);
     mem.write_u32(mask, source as usize, 1);
@@ -104,6 +105,8 @@ pub fn run_rodinia(
     let edges = mem.buffer("edges");
     let total_waves = workgroups * gpu.waves_per_wg;
     let mut metrics = Metrics::default();
+    let mut profile = Profile::default();
+    let mut phases = PhaseWalls::default();
     let mut seconds = 0.0;
     let max_levels = 4 * n as u64 + 16;
     let mut levels = 0u64;
@@ -111,6 +114,7 @@ pub fn run_rodinia(
         if levels > max_levels {
             return Err(SimError::MaxRoundsExceeded { limit: max_levels });
         }
+        let level_start = std::time::Instant::now();
         let report = engine.run(Launch::workgroups(workgroups), |info| LevelKernel {
             nodes,
             edges,
@@ -125,6 +129,8 @@ pub fn run_rodinia(
             any_update: false,
         })?;
         metrics.merge(&report.metrics);
+        profile.merge(&report.profile);
+        phases.sim_seconds += level_start.elapsed().as_secs_f64();
         seconds += report.seconds;
         // Per-level host work the persistent design avoids entirely:
         // result readback, quiescence check, and the mask-promotion kernel
@@ -162,6 +168,8 @@ pub fn run_rodinia(
         // only the merged totals are meaningful here.
         per_cu_cycles: Vec::new(),
         recovery: crate::recovery::RecoveryLog::default(),
+        profile,
+        phases,
     })
 }
 

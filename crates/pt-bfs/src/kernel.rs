@@ -38,10 +38,6 @@ use simt::{Buffer, WaveCtx, WaveKernel, WaveStatus};
 /// Uniform sub-tasks (edges) per lane per work cycle — paper §3.3.
 pub const CHUNK: u32 = 4;
 
-/// Legacy name for the generic buffer schema.
-#[deprecated(note = "renamed to `WorkBuffers` (the value array is workload-generic)")]
-pub type BfsBuffers = WorkBuffers;
-
 /// Optional frontier fence for checkpoint/resume epochs (see
 /// `crate::recovery`). Discoveries claimed *past* `depth` — deeper than
 /// the fence value, for min-directed workloads — still claim normally
@@ -93,10 +89,6 @@ pub struct PtKernel<W: PtWorkload> {
     /// the kernel's behaviour is bit-identical to the unfenced original.
     fence: Option<SpillFence>,
 }
-
-/// The BFS instantiation under its pre-refactor name.
-#[deprecated(note = "use the workload-generic `PtKernel` (this is `PtKernel<Bfs>`)")]
-pub type PersistentBfsKernel = PtKernel<crate::workload::Bfs>;
 
 impl<W: PtWorkload> PtKernel<W> {
     /// Creates the wavefront state. `lanes` is the wavefront width.

@@ -42,16 +42,12 @@ pub use recovery::{
     resume_bfs, resume_workload, run_bfs_recoverable, run_recoverable, Checkpoint, RecoveryAttempt,
     RecoveryLog, RecoveryPolicy,
 };
-pub use runner::{run_bfs, run_bfs_stealing, run_workload, run_workload_stealing, PtConfig, Run};
+pub use runner::{
+    queue_capacity, run_bfs, run_bfs_stealing, run_workload, run_workload_stealing, PhaseWalls,
+    PtConfig, Run,
+};
 pub use sssp::{run_sssp, run_sssp_recoverable};
 pub use workload::{Bfs, Claim, ConnectedComponents, PrDelta, PtWorkload, Sssp, WorkBuffers};
-
-#[allow(deprecated)]
-pub use kernel::{BfsBuffers, PersistentBfsKernel};
-#[allow(deprecated)]
-pub use runner::{BfsConfig, BfsRun};
-#[allow(deprecated)]
-pub use sssp::SsspRun;
 
 /// Value for a vertex no min-directed traversal has reached yet
 /// (matches `ptq_graph::UNREACHED`).

@@ -48,12 +48,12 @@
 //! of poisoning a device launch.
 
 use crate::kernel::PtKernel;
-use crate::runner::{enforce_retry_free, PtConfig, Run};
+use crate::runner::{enforce_retry_free, queue_capacity, PhaseWalls, PtConfig, Run};
 use crate::workload::{Bfs, PtWorkload, WorkBuffers};
 use gpu_queue::device::{make_wave_queue, QueueLayout};
 use gpu_queue::host::{EnqueueError, RfAnQueue};
 use ptq_graph::Csr;
-use simt::{AbortReason, Engine, FaultPlan, GpuConfig, Launch, Metrics, SimError};
+use simt::{AbortReason, Engine, FaultPlan, GpuConfig, Launch, Metrics, Profile, SimError};
 
 /// How the recoverable runner reacts to aborts.
 #[derive(Clone, Debug, PartialEq)]
@@ -199,6 +199,7 @@ struct EpochOutcome {
     values: Vec<u32>,
     inqueue: Vec<u32>,
     spilled: Vec<u32>,
+    profile: Profile,
 }
 
 /// Runs a recoverable persistent-thread traversal of `workload`: epochs
@@ -297,14 +298,14 @@ pub fn resume_workload<W: PtWorkload>(
     let mut metrics = Metrics::default();
     let mut seconds = 0.0f64;
     let mut per_cu_cycles: Vec<u64> = Vec::new();
+    let mut profile = Profile::default();
+    let mut phases = PhaseWalls::default();
     let mut attempts = 0u32;
     let mut epoch = 0u32;
     let mut epoch_had_abort = false;
 
     loop {
-        let capacity = ((n as f64 * factor) as usize)
-            .max(64)
-            .min(u32::MAX as usize) as u32;
+        let capacity = queue_capacity(n, factor);
 
         // Validate the snapshotted frontier through the host RF/AN mirror
         // before burning a device launch: corrupt tokens fail fast with a
@@ -333,11 +334,15 @@ pub fn resume_workload<W: PtWorkload>(
         }
 
         let fence = ckpt.depth.saturating_add(policy.checkpoint_levels);
-        match run_epoch(
+        let epoch_start = std::time::Instant::now();
+        let outcome = run_epoch(
             gpu, graph, workload, config, &ckpt, fence, capacity, watchdog, &plan,
-        ) {
+        );
+        phases.sim_seconds += epoch_start.elapsed().as_secs_f64();
+        match outcome {
             Ok(out) => {
                 metrics.merge(&out.metrics);
+                profile.merge(&out.profile);
                 seconds += out.seconds;
                 accumulate_cycles(&mut per_cu_cycles, &out.per_cu_cycles);
                 log.rounds_committed += out.metrics.rounds;
@@ -364,6 +369,8 @@ pub fn resume_workload<W: PtWorkload>(
                         reached,
                         per_cu_cycles,
                         recovery: log,
+                        profile,
+                        phases,
                     });
                 }
                 log.checkpoints += 1;
@@ -533,6 +540,7 @@ fn run_epoch<W: PtWorkload>(
         values: engine.memory().read_slice(buffers.values).to_vec(),
         inqueue: engine.memory().read_slice(buffers.inqueue).to_vec(),
         spilled,
+        profile: report.profile,
     })
 }
 

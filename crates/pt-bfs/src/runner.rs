@@ -15,7 +15,8 @@ use crate::workload::{Bfs, PtWorkload, WorkBuffers};
 use gpu_queue::device::{make_wave_queue, QueueLayout};
 use gpu_queue::Variant;
 use ptq_graph::Csr;
-use simt::{Engine, GpuConfig, Launch, Metrics, SimError};
+use simt::{Engine, GpuConfig, Launch, Metrics, Profile, SimError};
+use std::time::Instant;
 
 /// Parameters of one persistent-thread run (workload-neutral).
 #[derive(Clone, Debug)]
@@ -65,9 +66,45 @@ impl PtConfig {
     }
 }
 
-/// Pre-refactor name of [`PtConfig`].
-#[deprecated(note = "renamed to `PtConfig` (nothing in it was BFS-specific)")]
-pub type BfsConfig = PtConfig;
+/// Sizes the scheduler queue for `n` vertices at `factor`. The queue is
+/// non-wrapping, so the capacity bounds *lifetime* enqueues, and at
+/// giant scale `n * factor` can exceed the `u32` index space — the
+/// product is therefore computed in `f64` (whose cast to `usize`
+/// saturates rather than wraps) and clamped into `[64, u32::MAX]`.
+/// Every queue-capacity computation in this crate goes through here so
+/// the overflow audit lives in exactly one place.
+pub fn queue_capacity(n: usize, factor: f64) -> u32 {
+    ((n as f64 * factor) as usize)
+        .max(64)
+        .min(u32::MAX as usize) as u32
+}
+
+/// Host wall-clock seconds per runner phase. Diagnostics only: host wall
+/// time is nondeterministic and never enters a golden table or any
+/// simulated quantity.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseWalls {
+    /// Device-buffer allocation, graph upload, and queue seeding.
+    pub setup_seconds: f64,
+    /// Simulated-engine execution (the persistent-kernel launch).
+    pub sim_seconds: f64,
+    /// Value readback and reached-counting.
+    pub readback_seconds: f64,
+}
+
+impl PhaseWalls {
+    /// Sum of all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.setup_seconds + self.sim_seconds + self.readback_seconds
+    }
+
+    /// Accumulates another run's phase walls (multi-launch drivers).
+    pub fn merge(&mut self, other: &PhaseWalls) {
+        self.setup_seconds += other.setup_seconds;
+        self.sim_seconds += other.sim_seconds;
+        self.readback_seconds += other.readback_seconds;
+    }
+}
 
 /// Result of a completed persistent-thread run.
 #[derive(Clone, Debug)]
@@ -90,25 +127,13 @@ pub struct Run {
     /// [`crate::recovery::run_recoverable`]). Empty `attempts` for a
     /// first-try success.
     pub recovery: RecoveryLog,
+    /// Host-side engine execution profile (arena recycling, park replay,
+    /// table footprints). Never part of any golden: performance work may
+    /// change these freely without perturbing simulated quantities.
+    pub profile: Profile,
+    /// Host wall time per runner phase (same caveat as `profile`).
+    pub phases: PhaseWalls,
 }
-
-impl Run {
-    /// BFS-era accessor for the value array.
-    #[deprecated(note = "use the workload-generic `values` field")]
-    pub fn costs(&self) -> &[u32] {
-        &self.values
-    }
-
-    /// SSSP-era accessor for the value array.
-    #[deprecated(note = "use the workload-generic `values` field")]
-    pub fn dist(&self) -> &[u32] {
-        &self.values
-    }
-}
-
-/// Pre-refactor name of [`Run`] (the BFS instantiation).
-#[deprecated(note = "renamed to the workload-generic `Run`")]
-pub type BfsRun = Run;
 
 /// Runs `workload` under the persistent-thread model over `graph` on
 /// `gpu`, applying the paper's queue-full recovery: "If more space can
@@ -230,6 +255,7 @@ fn run_workload_once<W: PtWorkload>(
     let n = graph.num_vertices();
     let seeds = workload.seeds(n);
 
+    let setup_start = Instant::now();
     let mut engine = Engine::new(gpu.clone());
     let mem = engine.memory_mut();
     mem.alloc_init("nodes", graph.row_offsets());
@@ -244,9 +270,7 @@ fn run_workload_once<W: PtWorkload>(
     let pending = mem.alloc("pending", 1);
     mem.write_u32(pending, 0, seeds.len() as u32);
 
-    let capacity = ((n as f64 * config.capacity_factor) as usize)
-        .max(64)
-        .min(u32::MAX as usize) as u32;
+    let capacity = queue_capacity(n, config.capacity_factor);
     let layout = QueueLayout::setup(mem, "workqueue", capacity);
     layout.host_seed(mem, &seeds);
 
@@ -266,6 +290,9 @@ fn run_workload_once<W: PtWorkload>(
     }
     let variant = config.variant;
     let chunk = config.chunk;
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+
+    let sim_start = Instant::now();
     let report = engine.run(launch, |info| {
         PtKernel::with_chunk(
             make_wave_queue(variant, layout),
@@ -278,9 +305,12 @@ fn run_workload_once<W: PtWorkload>(
     if config.audit {
         enforce_retry_free(variant, &report.metrics)?;
     }
+    let sim_seconds = sim_start.elapsed().as_secs_f64();
 
+    let readback_start = Instant::now();
     let values = engine.memory().read_slice(buffers.values).to_vec();
     let reached = workload.reached(&values);
+    let readback_seconds = readback_start.elapsed().as_secs_f64();
     Ok(Run {
         seconds: report.seconds,
         metrics: report.metrics,
@@ -288,6 +318,12 @@ fn run_workload_once<W: PtWorkload>(
         reached,
         per_cu_cycles: report.per_cu_cycles,
         recovery: RecoveryLog::default(),
+        profile: report.profile,
+        phases: PhaseWalls {
+            setup_seconds,
+            sim_seconds,
+            readback_seconds,
+        },
     })
 }
 
@@ -313,6 +349,7 @@ pub fn run_workload_stealing<W: PtWorkload>(
     let mut factor = workload.default_capacity_factor();
     let mut log = RecoveryLog::default();
     loop {
+        let setup_start = Instant::now();
         let mut engine = Engine::new(gpu.clone());
         let mem = engine.memory_mut();
         mem.alloc_init("nodes", graph.row_offsets());
@@ -327,8 +364,10 @@ pub fn run_workload_stealing<W: PtWorkload>(
         let pending = mem.alloc("pending", 1);
         mem.write_u32(pending, 0, seeds.len() as u32);
         // A hub can land an outsized share on one CU: per-CU capacity is
-        // provisioned at `factor * n`, doubled on queue-full.
-        let capacity = ((n as f64 * factor) as usize).clamp(64, 1 << 24) as u32;
+        // provisioned at `factor * n` (capped well below the shared
+        // queue's limit — `num_cus` arrays of this size coexist), doubled
+        // on queue-full.
+        let capacity = queue_capacity(n, factor).min(1 << 24);
         let layout = StealingLayout::setup(mem, "dqueue", gpu.num_cus, capacity);
         layout.host_seed(mem, &seeds);
         let buffers = WorkBuffers {
@@ -338,6 +377,8 @@ pub fn run_workload_stealing<W: PtWorkload>(
             inqueue,
             pending,
         };
+        let setup_seconds = setup_start.elapsed().as_secs_f64();
+        let sim_start = Instant::now();
         let result = engine.run(Launch::workgroups(workgroups).with_audit(), |info| {
             PtKernel::new(
                 Box::new(StealingWaveQueue::new(&layout, info.cu)),
@@ -372,8 +413,11 @@ pub fn run_workload_stealing<W: PtWorkload>(
                         report.metrics.cas_attempts, report.metrics.cas_failures
                     )));
                 }
+                let sim_seconds = sim_start.elapsed().as_secs_f64();
+                let readback_start = Instant::now();
                 let values = engine.memory().read_slice(buffers.values).to_vec();
                 let reached = bound.reached(&values);
+                let readback_seconds = readback_start.elapsed().as_secs_f64();
                 log.epochs = 1;
                 log.rounds_committed = report.metrics.rounds;
                 if !log.attempts.is_empty() {
@@ -387,6 +431,12 @@ pub fn run_workload_stealing<W: PtWorkload>(
                     reached,
                     per_cu_cycles: report.per_cu_cycles,
                     recovery: log,
+                    profile: report.profile,
+                    phases: PhaseWalls {
+                        setup_seconds,
+                        sim_seconds,
+                        readback_seconds,
+                    },
                 });
             }
         }
@@ -670,6 +720,40 @@ mod tests {
     }
 
     #[test]
+    fn queue_capacity_saturates_at_the_u32_boundary() {
+        // Floor, ordinary sizing, and exactness just below the boundary.
+        assert_eq!(queue_capacity(0, 2.0), 64);
+        assert_eq!(queue_capacity(10, 1.0), 64);
+        assert_eq!(queue_capacity(1_000, 2.0), 2_000);
+        assert_eq!(queue_capacity(1_000, 1.25), 1_250);
+        let near = (u32::MAX - 1) as usize;
+        assert_eq!(queue_capacity(near, 1.0), u32::MAX - 1);
+        // Products beyond the index space saturate instead of wrapping.
+        assert_eq!(queue_capacity(u32::MAX as usize, 2.0), u32::MAX);
+        assert_eq!(queue_capacity(usize::MAX, 1e9), u32::MAX);
+    }
+
+    #[test]
+    fn runs_surface_profile_and_phase_walls() {
+        let g = synthetic_tree(400, 4);
+        let run = run_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &PtConfig::new(Variant::RfAn, 2),
+        )
+        .unwrap();
+        assert!(run.profile.arena_words > 0);
+        assert!(run.profile.meta_bytes > 0);
+        assert!(run.phases.sim_seconds > 0.0);
+        assert!(run.phases.total_seconds() >= run.phases.sim_seconds);
+
+        let stealing = run_bfs_stealing(&GpuConfig::test_tiny(), &g, 0, 2).unwrap();
+        assert!(stealing.profile.arena_words > 0);
+        assert!(stealing.phases.sim_seconds > 0.0);
+    }
+
+    #[test]
     fn new_workloads_on_stealing_scheduler() {
         let g = synthetic_tree(400, 4);
         let cc = ConnectedComponents;
@@ -680,22 +764,5 @@ mod tests {
         let run = run_workload_stealing(&GpuConfig::test_tiny(), &g, &pr, 4).unwrap();
         pr.validate(&g, &run.values)
             .unwrap_or_else(|(v, want, got)| panic!("pr stealing: {v}: {got} != {want}"));
-    }
-
-    #[test]
-    fn deprecated_aliases_still_compile() {
-        // The satellite contract: external callers using the BFS-era
-        // names keep compiling against the generic core.
-        #[allow(deprecated)]
-        fn old_api(gpu: &GpuConfig, graph: &Csr) -> BfsRun {
-            let config: BfsConfig = BfsConfig::new(Variant::RfAn, 2);
-            let run: BfsRun = run_bfs(gpu, graph, 0, &config).unwrap();
-            assert_eq!(run.costs(), &run.values[..]);
-            assert_eq!(run.dist(), &run.values[..]);
-            run
-        }
-        let g = synthetic_tree(64, 4);
-        let run = old_api(&GpuConfig::test_tiny(), &g);
-        assert_eq!(run.reached, 64);
     }
 }

@@ -24,10 +24,6 @@ use ptq_graph::Csr;
 use simt::{FaultPlan, GpuConfig, SimError};
 
 /// Pre-refactor name of the SSSP run report — now the workload-generic
-/// [`Run`], whose `values` field holds the exact distances.
-#[deprecated(note = "renamed to the workload-generic `Run` (distances in `values`)")]
-pub type SsspRun = Run;
-
 /// Runs persistent-thread SSSP over `(graph, weights)` from `source`.
 /// Applies the same queue-full doubling recovery as the BFS runner,
 /// starting from SSSP's larger capacity factor (re-enqueues are the

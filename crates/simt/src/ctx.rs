@@ -349,14 +349,16 @@ impl<'a> WaveCtx<'a> {
         // Instruction replay + atomic-ALU time are charged through the
         // per-CU atomic-unit pool (sub-cycle per op; see CostModel).
         self.atomic_ops += p; // SVM atomics occupy the unit longer
-        self.touch_line(buf, index);
-        let rank = match self.memory.next_rank(buf, index, self.round) {
-            Ok(rank) => rank,
+                              // Fused rank + version + snapshot + store: one bounds check and
+                              // one metadata fetch for the whole atomic.
+        let (addr, rank, old) = match self.memory.atomic_rmw(buf, index, self.round, f) {
+            Ok(t) => t,
             Err(e) => {
                 self.record_fault(e);
                 return 0;
             }
         };
+        self.round.touch_line(addr / LINE_WORDS);
         // The memory partition pipelines same-address atomics up to its
         // queue depth; beyond that the requester perceives no additional
         // wait (throughput costs surface as the issuing waves' own issue
@@ -364,13 +366,7 @@ impl<'a> WaveCtx<'a> {
         let pipelined_rank = u64::from(rank).min(self.cost.atomic_pipe_depth);
         let wait = (self.cost.atomic_latency + pipelined_rank * self.cost.atomic_serialize) * p;
         self.latency = self.latency.max(wait);
-        match self.memory.rmw(buf, index, f) {
-            Ok(old) => old,
-            Err(e) => {
-                self.record_fault(e);
-                0
-            }
-        }
+        old
     }
 
     /// Global compare-and-swap. Succeeds iff the word still holds

@@ -55,7 +55,7 @@ use crate::ctx::{Watch, WaveClass, WaveCtx, WaveInfo, WaveKernel, WaveStatus};
 use crate::error::{AbortReason, FaultKind, SimError};
 use crate::fault::FaultPlan;
 use crate::memory::DeviceMemory;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Profile};
 use crate::round::RoundState;
 use crate::trace::{RoundBound, RoundTrace, Trace};
 
@@ -128,6 +128,10 @@ pub struct RunReport {
     pub per_cu_cycles: Vec<u64>,
     /// Per-round trace, present iff the launch requested it.
     pub trace: Option<Trace>,
+    /// Always-on host-side profiling counters (see [`Profile`]): arena
+    /// and table footprints, park fast-path hit counts, peak per-round
+    /// line traffic. Never part of any golden — purely diagnostic.
+    pub profile: Profile,
 }
 
 /// A parked wavefront: the watch list that wakes it and the captured
@@ -316,6 +320,7 @@ impl Engine {
             .ensure_capacity(self.memory.allocated_words());
 
         let mut metrics = Metrics::default();
+        let mut profile = Profile::default();
         let mut cu_cycles = vec![0u64; num_cus];
         let mut device_bw_millicycles: u64 = 0;
         let mut device_hot_millicycles: u64 = 0;
@@ -418,6 +423,7 @@ impl Engine {
                         round_latency[info.cu] = round_latency[info.cu].max(park.latency);
                         round_lines += park.lines;
                         metrics.merge(&park.delta);
+                        profile.park_replay_cycles += 1;
                         continue;
                     }
                     parks[w] = None;
@@ -481,6 +487,7 @@ impl Engine {
                 } else if !watches.is_empty() && !wrote && atomic_ops == 0 {
                     // A pure polling cycle: park the wave and replay these
                     // exact charges until a watched word changes.
+                    profile.park_events += 1;
                     parks[w] = Some(Park {
                         watches: std::mem::take(watches),
                         issue,
@@ -532,6 +539,7 @@ impl Engine {
                     }
                 }
             }
+            profile.peak_round_lines = profile.peak_round_lines.max(round_lines);
             let round_bw_milli = round_lines * self.config.cost.mem_bw_line_milli;
             device_bw_millicycles += round_bw_milli;
             if round_bw_milli / 1000 > worst.0 {
@@ -565,11 +573,17 @@ impl Engine {
             .max(device_hot_millicycles / 1000)
             + self.config.cost.launch_overhead;
         metrics.makespan_cycles = makespan;
+        profile.arena_words = self.memory.allocated_words() as u64;
+        profile.meta_bytes = self.memory.meta_bytes();
+        profile.demand_zeroed_words = self.memory.demand_zeroed_words();
+        profile.arena_recycled = u64::from(self.memory.was_recycled());
+        profile.line_table_bytes = self.round_state.line_table_bytes();
         Ok(RunReport {
             metrics,
             seconds: self.config.cycles_to_seconds(makespan),
             per_cu_cycles: cu_cycles,
             trace,
+            profile,
         })
     }
 }
@@ -816,6 +830,55 @@ mod tests {
             .run(Launch::workgroups(1), |_| IncrKernel { buf, remaining: 1 })
             .unwrap();
         assert!(report.trace.is_none());
+    }
+
+    /// One wave polls a word (parking on it); the other idles a few
+    /// cycles and then writes it.
+    struct ParkDemo {
+        buf: Buffer,
+        poller: bool,
+        idle: u32,
+    }
+    impl WaveKernel for ParkDemo {
+        fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
+            if self.poller {
+                if ctx.global_read(self.buf, 0) != 0 {
+                    return WaveStatus::Done;
+                }
+                ctx.park_until_changed_now(self.buf, 0);
+                WaveStatus::Active
+            } else if self.idle > 0 {
+                self.idle -= 1;
+                ctx.charge_alu(1);
+                WaveStatus::Active
+            } else {
+                ctx.global_write(self.buf, 0, 1);
+                WaveStatus::Done
+            }
+        }
+    }
+
+    #[test]
+    fn profile_reports_park_fast_path_and_footprints() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let report = e
+            .run(Launch::workgroups(2), |i| ParkDemo {
+                buf,
+                poller: i.wave_id == 0,
+                idle: 4,
+            })
+            .unwrap();
+        let p = report.profile;
+        assert_eq!(p.park_events, 1, "the poller parked once");
+        assert!(
+            p.park_replay_cycles >= 3,
+            "idle rounds replay the parked cycle: {p:?}"
+        );
+        assert_eq!(p.arena_words, 1);
+        assert!(p.meta_bytes > 0);
+        assert!(p.line_table_bytes > 0);
+        assert!(p.peak_round_lines >= 1);
     }
 
     /// Kernel claiming to be retry-free while actually issuing a CAS.

@@ -9,6 +9,25 @@
 use crate::error::{AbortReason, FaultKind, SimError};
 use crate::round::RoundState;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, recycled arenas are eagerly re-zeroed up front (the
+/// historical behaviour) instead of zero-on-demand at allocation time.
+/// Observable state is identical either way; the switch exists so the
+/// benchmark harness can A/B the naive and optimized construction paths
+/// in one process.
+static EAGER_ZEROING: AtomicBool = AtomicBool::new(false);
+
+/// Selects eager (true) or on-demand (false, default) re-zeroing of
+/// recycled arenas. Takes effect at the next [`DeviceMemory::new`].
+pub fn set_eager_zeroing(on: bool) {
+    EAGER_ZEROING.store(on, Ordering::Relaxed);
+}
+
+/// Current arena re-zeroing mode (see [`set_eager_zeroing`]).
+pub fn eager_zeroing() -> bool {
+    EAGER_ZEROING.load(Ordering::Relaxed)
+}
 
 /// Handle to a named device allocation (offset + length in 32-bit words).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -93,6 +112,16 @@ pub struct DeviceMemory {
     /// — and empty outside fault-injected runs, so the single emptiness
     /// branch on the access paths is the entire overlay cost.
     poisoned: Vec<(usize, u64)>,
+    /// Length of the word-arena prefix that may still hold nonzero data
+    /// from a previous life. Allocations overlapping it zero exactly the
+    /// overlap (zero-on-demand); allocations past it land on pristine
+    /// `alloc_zeroed` pages and pay nothing.
+    dirty_words: usize,
+    /// Words actually zeroed on demand by [`DeviceMemory::alloc`]
+    /// (profiling counter; bounded by the previous life's footprint).
+    demand_zeroed_words: u64,
+    /// True if this arena came from the thread-local recycling pool.
+    recycled: bool,
 }
 
 impl Default for DeviceMemory {
@@ -108,9 +137,14 @@ impl Default for DeviceMemory {
 /// arena pages in and unmaps them again (page-fault and `munmap` time
 /// dominated experiment setup).
 ///
-/// On reuse the *word* prefix is re-zeroed (a memset of already-resident
-/// pages). The metadata table — 8× larger and mostly cold — is **not**
-/// zeroed; instead its staleness machinery absorbs the leftovers:
+/// On reuse the *word* prefix is **not** re-zeroed up front: the arena
+/// records how far its dirty prefix extends and [`DeviceMemory::alloc`]
+/// zeroes exactly the part each allocation overlaps, so a run that
+/// allocates less than the previous one never touches the cold tail
+/// (eager mode, selectable via [`set_eager_zeroing`], restores the
+/// historical whole-prefix memset for A/B benchmarking). The metadata
+/// table — 8× larger and mostly cold — is never zeroed at all; its
+/// staleness machinery absorbs the leftovers:
 ///
 /// * `base_stamp` / `rank_stamp` are live only when they equal the
 ///   current generation, and generations are carried forward across
@@ -128,6 +162,9 @@ struct Arena {
     /// Final visibility round of the previous life; the next life starts
     /// above it so every stale `base_stamp` stays stale.
     round_gen: u64,
+    /// How far the possibly-nonzero word prefix extends (the maximum of
+    /// the previous life's own dirty prefix and its final length).
+    dirty_words: usize,
 }
 
 thread_local! {
@@ -140,6 +177,9 @@ impl Drop for DeviceMemory {
         let words = std::mem::take(&mut self.words);
         let meta = std::mem::take(&mut self.meta);
         let round_gen = self.round_gen;
+        // Anything this life wrote extends the dirty prefix; dirt beyond
+        // our final length (from an even earlier, larger life) persists.
+        let dirty_words = self.dirty_words.max(words.len());
         ARENA_POOL.with(|pool| {
             let mut slot = pool.borrow_mut();
             // Keep the larger arena: the biggest point's block serves
@@ -152,6 +192,7 @@ impl Drop for DeviceMemory {
                     words,
                     meta,
                     round_gen,
+                    dirty_words,
                 });
             }
         });
@@ -167,10 +208,12 @@ impl Drop for DeviceMemory {
 /// `Vec::resize` memset the dominant setup cost of large runs.
 ///
 /// New elements are zero when the caller maintains the arena invariant:
-/// spare capacity beyond `len` is never written, so it is either pristine
-/// `alloc_zeroed` memory or a prefix explicitly re-zeroed on arena reuse.
-/// The recycled *metadata* table deliberately re-exposes its previous
-/// contents instead — see [`Arena`] for why that is sound.
+/// spare capacity beyond `max(len, dirty_words)` is never written, so it
+/// is pristine `alloc_zeroed` memory. Growth within a recycled arena's
+/// dirty prefix re-exposes previous-life words — the allocator zeroes
+/// exactly the exposed overlap on demand — and the recycled *metadata*
+/// table deliberately re-exposes its previous contents wholesale; see
+/// [`Arena`] for why that is sound.
 ///
 /// `T` must be valid for any bit pattern reachable here (`u32` and
 /// `WordMeta` are plain integers).
@@ -200,45 +243,66 @@ fn grow_zeroed<T: Copy>(v: &mut Vec<T>, new_len: usize) {
 
 impl DeviceMemory {
     /// Creates an empty device memory, recycling this thread's pooled
-    /// arena when one is available. A recycled arena has its word prefix
-    /// re-zeroed and its metadata carried forward under the staleness
+    /// arena when one is available. A recycled arena's word prefix is
+    /// zeroed on demand as allocations overlap it (or up front in eager
+    /// mode) and its metadata is carried forward under the staleness
     /// rules documented on [`Arena`], so the result behaves exactly like
-    /// a fresh allocation — only the page faults are gone.
+    /// a fresh allocation — only the page faults and the cold-tail memset
+    /// are gone.
     pub fn new() -> Self {
-        let (words, meta, round_gen) = ARENA_POOL.with(|pool| match pool.borrow_mut().take() {
-            Some(mut arena) => {
-                // Restore `grow_zeroed`'s invariant for the *word* table:
-                // the used prefix is re-zeroed here, and everything
-                // between the old length and capacity was never written.
-                // The metadata table intentionally stays dirty (see
-                // `Arena`); its spare capacity likewise stays zero.
-                arena.words.fill(0);
-                arena.words.clear();
-                arena.meta.clear();
-                (arena.words, arena.meta, arena.round_gen + 1)
-            }
-            None => (Vec::new(), Vec::new(), 1),
-        });
+        let (words, meta, round_gen, dirty_words, recycled) =
+            ARENA_POOL.with(|pool| match pool.borrow_mut().take() {
+                Some(mut arena) => {
+                    let mut dirty = arena.dirty_words;
+                    if eager_zeroing() && dirty > 0 {
+                        // Historical behaviour for A/B benchmarking: pay
+                        // the whole-prefix memset now. The dirty prefix
+                        // can extend past the final length (an earlier,
+                        // larger life), so expose it first; every word in
+                        // it was written by `grow_zeroed`-managed code and
+                        // is an initialized `u32`.
+                        debug_assert!(dirty <= arena.words.capacity());
+                        // SAFETY: `dirty <= capacity` and `[0, dirty)` is
+                        // initialized (written in a previous life or
+                        // pristine `alloc_zeroed` memory).
+                        unsafe { arena.words.set_len(dirty) };
+                        arena.words.fill(0);
+                        dirty = 0;
+                    }
+                    arena.words.clear();
+                    arena.meta.clear();
+                    (arena.words, arena.meta, arena.round_gen + 1, dirty, true)
+                }
+                None => (Vec::new(), Vec::new(), 1, 0, false),
+            });
         DeviceMemory {
             words,
             buffers: HashMap::new(),
             meta,
             round_gen,
             poisoned: Vec::new(),
+            dirty_words,
+            demand_zeroed_words: 0,
+            recycled,
         }
     }
 
-    /// Allocates `len` words under `name`, zero-initialized, and returns
-    /// the handle. Mirrors `clCreateBuffer` before kernel launch.
-    ///
-    /// # Panics
-    /// Panics if `name` is already allocated (host code bug).
-    pub fn alloc(&mut self, name: &str, len: usize) -> Buffer {
+    /// Grows the arena by `len` words and registers the handle, without
+    /// establishing any particular content for the new region: within the
+    /// recycled dirty prefix the words hold previous-life data, beyond it
+    /// they are zero. Callers overwrite or zero the region themselves.
+    fn alloc_raw(&mut self, name: &str, len: usize) -> Buffer {
         assert!(
             !self.buffers.contains_key(name),
             "buffer {name:?} allocated twice"
         );
         let offset = self.words.len();
+        if offset + len > self.words.capacity() {
+            // Reallocation copies only the live `[0, offset)` prefix into
+            // fresh zeroed memory; the dirty tail stays behind in the old
+            // block.
+            self.dirty_words = self.dirty_words.min(offset);
+        }
         grow_zeroed(&mut self.words, offset + len);
         grow_zeroed(&mut self.meta, offset + len);
         let buf = Buffer { offset, len };
@@ -246,10 +310,38 @@ impl DeviceMemory {
         buf
     }
 
-    /// Allocates and initializes from a slice (host→device copy).
+    /// Allocates `len` words under `name`, zero-initialized, and returns
+    /// the handle. Mirrors `clCreateBuffer` before kernel launch. Only
+    /// the overlap with a recycled arena's dirty prefix is actually
+    /// memset (zero-on-demand); the rest is already zero.
+    ///
+    /// # Panics
+    /// Panics if `name` is already allocated (host code bug).
+    pub fn alloc(&mut self, name: &str, len: usize) -> Buffer {
+        let buf = self.alloc_raw(name, len);
+        let dirty_end = self.dirty_words.min(buf.offset + buf.len);
+        if buf.offset < dirty_end {
+            self.demand_zeroed_words += (dirty_end - buf.offset) as u64;
+            self.words[buf.offset..dirty_end].fill(0);
+        }
+        buf
+    }
+
+    /// Allocates and initializes from a slice (host→device copy). The
+    /// copy fully paints the region, so no pre-zeroing happens — one pass
+    /// over the data instead of two.
     pub fn alloc_init(&mut self, name: &str, data: &[u32]) -> Buffer {
-        let buf = self.alloc(name, data.len());
+        let buf = self.alloc_raw(name, data.len());
         self.words[buf.offset..buf.offset + buf.len].copy_from_slice(data);
+        buf
+    }
+
+    /// Allocates `len` words painted with `value` (e.g. the queue's `dna`
+    /// sentinel). Single-pass: the fill paints directly instead of
+    /// zeroing first and filling after.
+    pub fn alloc_filled(&mut self, name: &str, len: usize, value: u32) -> Buffer {
+        let buf = self.alloc_raw(name, len);
+        self.words[buf.offset..buf.offset + buf.len].fill(value);
         buf
     }
 
@@ -296,6 +388,23 @@ impl DeviceMemory {
     /// Total allocated words.
     pub fn allocated_words(&self) -> usize {
         self.words.len()
+    }
+
+    /// Bytes held by the per-word metadata table (profiling).
+    pub fn meta_bytes(&self) -> u64 {
+        (self.meta.len() * std::mem::size_of::<WordMeta>()) as u64
+    }
+
+    /// Words zeroed on demand by [`DeviceMemory::alloc`] because an
+    /// allocation overlapped the recycled dirty prefix (profiling).
+    pub fn demand_zeroed_words(&self) -> u64 {
+        self.demand_zeroed_words
+    }
+
+    /// True if this arena was recycled from the thread-local pool
+    /// (profiling).
+    pub fn was_recycled(&self) -> bool {
+        self.recycled
     }
 
     // ---- fault-injection poison overlay (crate-internal) ----
@@ -395,43 +504,29 @@ impl DeviceMemory {
         Ok(())
     }
 
-    /// Atomic read-modify-write: applies `f` to the current value, stores
-    /// the result, returns the old value. Simulator execution is
-    /// sequential, so atomicity is inherent; contention *cost* is charged
-    /// by the caller through the round state.
+    /// Fused atomic read-modify-write: registers the arrival rank,
+    /// applies `f`, and (on a value change) bumps the version and takes
+    /// the round-start snapshot — one bounds check and one metadata
+    /// lookup for the whole operation, where the unfused path paid three
+    /// bounds checks and two metadata fetches per atomic. Returns
+    /// `(flat address, arrival rank, old value)`; rank 0 pays no
+    /// serialization delay. Simulator execution is sequential, so
+    /// atomicity is inherent; contention *cost* is charged by the caller
+    /// through the round state.
     #[inline]
-    pub(crate) fn rmw(
-        &mut self,
-        buf: Buffer,
-        index: usize,
-        f: impl FnOnce(u32) -> u32,
-    ) -> Result<u32, SimError> {
-        let addr = buf.addr(index)?;
-        self.check_poison(addr)?;
-        let old = self.words[addr];
-        let new = f(old);
-        if new != old {
-            self.meta[addr].version += 1;
-            self.snapshot_base(addr, old);
-        }
-        self.words[addr] = new;
-        Ok(old)
-    }
-
-    /// Registers one more atomic against `(buf, index)` in the current
-    /// round and returns its arrival rank (0 = first, pays no
-    /// serialization delay). The per-word count lives in the merged
-    /// metadata table so the subsequent `rmw` hits the same cache line;
-    /// round-scalar aggregates flow into `round`.
-    #[inline]
-    pub(crate) fn next_rank(
+    pub(crate) fn atomic_rmw(
         &mut self,
         buf: Buffer,
         index: usize,
         round: &mut RoundState,
-    ) -> Result<u32, SimError> {
+        f: impl FnOnce(u32) -> u32,
+    ) -> Result<(usize, u32, u32), SimError> {
         let addr = buf.addr(index)?;
+        self.check_poison(addr)?;
         let gen = round.rank_gen();
+        let round_gen = self.round_gen;
+        let old = self.words[addr];
+        let new = f(old);
         let m = &mut self.meta[addr];
         if m.rank_stamp != gen {
             m.rank_stamp = gen;
@@ -441,7 +536,15 @@ impl DeviceMemory {
         let rank = m.rank_count;
         m.rank_count += 1;
         round.note_count(m.rank_count);
-        Ok(rank)
+        if new != old {
+            m.version += 1;
+            if m.base_stamp != round_gen {
+                m.base_stamp = round_gen;
+                m.base_value = old;
+            }
+            self.words[addr] = new;
+        }
+        Ok((addr, rank, old))
     }
 
     /// The value a word held at the start of the current round (the
@@ -497,6 +600,18 @@ impl DeviceMemory {
 mod tests {
     use super::*;
 
+    /// The unfused RMW shape the old API exposed, for test brevity.
+    fn rmw(
+        mem: &mut DeviceMemory,
+        buf: Buffer,
+        index: usize,
+        f: impl FnOnce(u32) -> u32,
+    ) -> Result<u32, SimError> {
+        let mut round = RoundState::new();
+        mem.atomic_rmw(buf, index, &mut round, f)
+            .map(|(_, _, old)| old)
+    }
+
     #[test]
     fn alloc_zeroes_and_tracks_names() {
         let mut mem = DeviceMemory::new();
@@ -528,7 +643,7 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let a = mem.alloc("a", 1);
         mem.write_u32(a, 0, 10);
-        let old = mem.rmw(a, 0, |v| v + 5).unwrap();
+        let old = rmw(&mut mem, a, 0, |v| v + 5).unwrap();
         assert_eq!(old, 10);
         assert_eq!(mem.read_u32(a, 0), 15);
     }
@@ -573,9 +688,9 @@ mod tests {
         // Versions carry across arena reuses, so only deltas are
         // meaningful — which is also all the queue staleness models read.
         let v0 = mem.version(a, 0).unwrap();
-        mem.rmw(a, 0, |v| v + 1).unwrap();
-        mem.rmw(a, 0, |v| v).unwrap(); // no change
-        mem.rmw(a, 0, |v| v + 1).unwrap();
+        rmw(&mut mem, a, 0, |v| v + 1).unwrap();
+        rmw(&mut mem, a, 0, |v| v).unwrap(); // no change
+        rmw(&mut mem, a, 0, |v| v + 1).unwrap();
         assert_eq!(mem.version(a, 0).unwrap(), v0 + 2);
     }
 
@@ -606,7 +721,7 @@ mod tests {
         assert!(mem.read_slice(c).iter().all(|&w| w == 0));
         let v0 = mem.version(c, 299_999).unwrap();
         mem.write_u32(c, 299_999, 5);
-        mem.rmw(c, 299_999, |v| v + 1).unwrap();
+        rmw(&mut mem, c, 299_999, |v| v + 1).unwrap();
         assert_eq!(mem.read_u32(c, 299_999), 6);
         assert_eq!(mem.version(c, 299_999).unwrap(), v0 + 1);
     }
@@ -616,7 +731,7 @@ mod tests {
         let mut mem = DeviceMemory::new();
         let a = mem.alloc("a", 1000);
         mem.fill(a, 0xDEAD_BEEF);
-        mem.rmw(a, 5, |v| v.wrapping_add(1)).unwrap();
+        rmw(&mut mem, a, 5, |v| v.wrapping_add(1)).unwrap();
         mem.begin_round();
         mem.store(a, 7, 3).unwrap();
         let gen_before = mem.round_gen;
@@ -632,7 +747,7 @@ mod tests {
         assert_eq!(mem2.load(b, 7).unwrap(), 0);
         // A version delta still starts at zero changes.
         let v0 = mem2.version(b, 5).unwrap();
-        mem2.rmw(b, 5, |v| v).unwrap();
+        rmw(&mut mem2, b, 5, |v| v).unwrap();
         assert_eq!(mem2.version(b, 5).unwrap(), v0);
     }
 
@@ -646,6 +761,70 @@ mod tests {
         super::grow_zeroed(&mut v, cap);
         assert_eq!(v[1], 9);
         assert!(v.iter().enumerate().all(|(i, &w)| w == 0 || i == 1));
+    }
+
+    /// Serializes the tests that toggle or observe the process-global
+    /// zeroing mode (the harness runs tests concurrently).
+    static EAGER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn alloc_filled_paints_in_one_pass() {
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc_filled("a", 4, 0xABCD);
+        assert_eq!(mem.read_slice(a), &[0xABCD; 4]);
+        let z = mem.alloc_filled("z", 0, 9);
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn demand_zeroing_covers_exactly_the_dirty_overlap() {
+        let _guard = EAGER_LOCK.lock().unwrap();
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 1000);
+        mem.fill(a, 7);
+        drop(mem);
+        let mut mem2 = DeviceMemory::new();
+        assert!(mem2.was_recycled());
+        // Fully inside the dirty prefix: the whole range is memset.
+        let b = mem2.alloc("b", 400);
+        assert!(mem2.read_slice(b).iter().all(|&w| w == 0));
+        assert_eq!(mem2.demand_zeroed_words(), 400);
+        // Partially overlapping: only the overlap [400, 700) pays.
+        let c = mem2.alloc("c", 300);
+        assert!(mem2.read_slice(c).iter().all(|&w| w == 0));
+        assert_eq!(mem2.demand_zeroed_words(), 700);
+    }
+
+    #[test]
+    fn realloc_leaves_the_dirty_tail_behind() {
+        let _guard = EAGER_LOCK.lock().unwrap();
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 1000);
+        mem.fill(a, 9);
+        drop(mem);
+        let mut mem2 = DeviceMemory::new();
+        let b = mem2.alloc("b", 100); // within the dirty prefix: memset
+                                      // Growing past capacity reallocates; only the live prefix is
+                                      // copied, so the rest of the old dirty prefix never needs zeroing.
+        let big = mem2.alloc("big", 1 << 20);
+        assert!(mem2.read_slice(b).iter().all(|&w| w == 0));
+        assert!(mem2.read_slice(big).iter().all(|&w| w == 0));
+        assert_eq!(mem2.demand_zeroed_words(), 100);
+    }
+
+    #[test]
+    fn eager_mode_restores_upfront_zeroing() {
+        let _guard = EAGER_LOCK.lock().unwrap();
+        let mut mem = DeviceMemory::new();
+        let a = mem.alloc("a", 512);
+        mem.fill(a, 9);
+        drop(mem);
+        set_eager_zeroing(true);
+        let mut mem2 = DeviceMemory::new();
+        set_eager_zeroing(false);
+        let b = mem2.alloc("b", 512);
+        assert!(mem2.read_slice(b).iter().all(|&w| w == 0));
+        assert_eq!(mem2.demand_zeroed_words(), 0, "prefix was pre-zeroed");
     }
 
     #[test]
@@ -668,7 +847,7 @@ mod tests {
         for r in [
             mem.load(a, 2),
             mem.stale_load(a, 2),
-            mem.rmw(a, 2, |v| v + 1),
+            rmw(&mut mem, a, 2, |v| v + 1),
         ] {
             assert!(
                 matches!(

@@ -80,6 +80,52 @@ impl Metrics {
     }
 }
 
+/// Always-on lightweight profiling counters, reported alongside
+/// [`Metrics`] but deliberately kept out of it: goldens pin `Metrics`
+/// equality bit-for-bit, while these counters describe *host-side*
+/// execution mechanics (arena recycling, park replay, table footprints)
+/// that performance work is allowed to change without perturbing any
+/// simulated quantity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Device words allocated when the run finished.
+    pub arena_words: u64,
+    /// Bytes held by the per-word metadata table.
+    pub meta_bytes: u64,
+    /// Words zeroed on demand because an allocation overlapped a
+    /// recycled arena's dirty prefix (0 on fresh arenas and under eager
+    /// zeroing).
+    pub demand_zeroed_words: u64,
+    /// 1 if the run's arena came from the thread-local recycling pool.
+    pub arena_recycled: u64,
+    /// Wave-park events: pure polling cycles that entered closed-form
+    /// replay.
+    pub park_events: u64,
+    /// Parked wave-cycles replayed without re-executing the kernel — the
+    /// park fast path's hit count.
+    pub park_replay_cycles: u64,
+    /// Bytes held by the cache-line stamp table (bandwidth accounting).
+    pub line_table_bytes: u64,
+    /// Largest number of distinct cache lines touched in one round.
+    pub peak_round_lines: u64,
+}
+
+impl Profile {
+    /// Folds another run's profile in: event counters add, footprint and
+    /// peak gauges keep their maximum (the counters describe one engine,
+    /// so cumulative gauges must not double-count across launches).
+    pub fn merge(&mut self, other: &Profile) {
+        self.arena_words = self.arena_words.max(other.arena_words);
+        self.meta_bytes = self.meta_bytes.max(other.meta_bytes);
+        self.demand_zeroed_words = self.demand_zeroed_words.max(other.demand_zeroed_words);
+        self.arena_recycled = self.arena_recycled.max(other.arena_recycled);
+        self.park_events += other.park_events;
+        self.park_replay_cycles += other.park_replay_cycles;
+        self.line_table_bytes = self.line_table_bytes.max(other.line_table_bytes);
+        self.peak_round_lines = self.peak_round_lines.max(other.peak_round_lines);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +149,39 @@ mod tests {
             ..Metrics::default()
         };
         assert!((m.cas_failure_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_merge_sums_events_and_maxes_gauges() {
+        let mut a = Profile {
+            arena_words: 100,
+            meta_bytes: 800,
+            demand_zeroed_words: 40,
+            arena_recycled: 0,
+            park_events: 2,
+            park_replay_cycles: 10,
+            line_table_bytes: 64,
+            peak_round_lines: 5,
+        };
+        let b = Profile {
+            arena_words: 50,
+            meta_bytes: 400,
+            demand_zeroed_words: 60,
+            arena_recycled: 1,
+            park_events: 3,
+            park_replay_cycles: 7,
+            line_table_bytes: 128,
+            peak_round_lines: 9,
+        };
+        a.merge(&b);
+        assert_eq!(a.arena_words, 100);
+        assert_eq!(a.meta_bytes, 800);
+        assert_eq!(a.demand_zeroed_words, 60);
+        assert_eq!(a.arena_recycled, 1);
+        assert_eq!(a.park_events, 5);
+        assert_eq!(a.park_replay_cycles, 17);
+        assert_eq!(a.line_table_bytes, 128);
+        assert_eq!(a.peak_round_lines, 9);
     }
 
     #[test]

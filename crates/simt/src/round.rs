@@ -158,6 +158,11 @@ impl RoundState {
         self.cycle_lines
     }
 
+    /// Bytes held by the cache-line stamp table (profiling).
+    pub fn line_table_bytes(&self) -> u64 {
+        (self.line_stamp.len() * std::mem::size_of::<u64>()) as u64
+    }
+
     /// The round generation used to stamp per-word rank slots in
     /// [`crate::DeviceMemory`].
     #[inline]
@@ -198,7 +203,7 @@ mod tests {
     /// exercise it the way `WaveCtx::global_atomic` does.
     fn rank(mem: &mut DeviceMemory, rs: &mut RoundState, index: usize) -> u32 {
         let buf = mem.buffer("a");
-        mem.next_rank(buf, index, rs).unwrap()
+        mem.atomic_rmw(buf, index, rs, |v| v).unwrap().1
     }
 
     fn arena() -> DeviceMemory {

@@ -5,8 +5,10 @@
 //! deterministic across runs and platforms, with the failing case
 //! identified by its iteration index.
 
+use ptq::graph::build_streamed;
 use ptq::graph::gen::{
-    erdos_renyi, roadmap, rodinia, social, synthetic_tree, RoadmapParams, SocialParams,
+    erdos_renyi, for_each_giant_edge, giant_with_chunk, roadmap, rodinia, social, synthetic_tree,
+    RoadmapParams, SocialParams,
 };
 use ptq::graph::io::{dimacs, rodinia as rodinia_io, snap};
 use ptq::graph::rng::SplitMix64;
@@ -193,5 +195,54 @@ fn snap_roundtrip_preserves_degrees() {
         // except vertices that appear only as destinations, which exist in
         // both graphs with degree zero and are filtered out.
         assert_eq!(degrees(&g2), degrees(&g), "case {case}");
+    }
+}
+
+/// The chunked streamed builder is byte-identical to the in-memory
+/// `CsrBuilder` across chunk sizes {1, 7, 4096, ≥edge-count}, on random
+/// multigraphs that include self-loops, parallel edges, and empty
+/// vertices (ISSUE 6 satellite).
+#[test]
+fn streamed_builder_matches_in_memory_builder() {
+    let mut rng = SplitMix64::seed_from_u64(0x57_2EA3);
+    for case in 0..CASES {
+        let n = rng.range_u64(1, 80) as usize;
+        let mut edges = random_edges(&mut rng, n, 300);
+        // Force the edge cases the satellite names: a self-loop plus a
+        // guaranteed-empty vertex (no outgoing edges from n-1).
+        if n > 1 {
+            edges.retain(|&(a, _)| a != n as u32 - 1);
+            edges.push((0, 0));
+        }
+        let mut builder = CsrBuilder::new(n);
+        for &(a, b) in &edges {
+            builder.add_edge(a, b);
+        }
+        let reference = builder.build();
+        for chunk in [1usize, 7, 4096, edges.len().max(1)] {
+            let streamed = build_streamed(n, chunk, |emit| {
+                for &(a, b) in &edges {
+                    emit(a, b);
+                }
+            });
+            assert_eq!(streamed, reference, "case {case} chunk {chunk}");
+        }
+    }
+}
+
+/// The giant family is chunk-independent: any chunk size streams to the
+/// same bytes the in-memory builder produces from the same edge stream.
+#[test]
+fn giant_family_is_chunk_independent() {
+    let n = 2_500;
+    let mut builder = CsrBuilder::new(n);
+    for_each_giant_edge(n, 5, 0xB165, &mut |s, d| builder.add_edge(s, d));
+    let reference = builder.build();
+    for chunk in [1usize, 7, 4096, reference.num_edges().max(1)] {
+        assert_eq!(
+            giant_with_chunk(n, 5, 0xB165, chunk),
+            reference,
+            "chunk {chunk}"
+        );
     }
 }

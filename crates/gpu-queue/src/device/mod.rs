@@ -110,7 +110,11 @@ impl QueueLayout {
 /// wavefront-private scratch state; all cross-wavefront communication goes
 /// through simulated device memory, so metrics capture every real memory
 /// and atomic operation.
-pub trait WaveQueue {
+///
+/// `Send` because kernels holding a queue handle are planned on engine
+/// worker threads (see `simt::WaveKernel`); handles are plain
+/// per-wavefront scratch, so the bound is free.
+pub trait WaveQueue: Send {
     /// Which design this is.
     fn variant(&self) -> Variant;
 
@@ -142,6 +146,17 @@ pub trait WaveQueue {
         let _ = (ctx, lanes);
         false
     }
+
+    /// Plan-phase pickup prediction (DESIGN.md §12): if the next
+    /// `acquire` is certain to hand the lane monitoring `slot` a token
+    /// this round, returns that token. Round-stale slot visibility is
+    /// frozen for the whole round, so RF/AN can predict exactly; designs
+    /// without slot monitoring keep the default `None`. A planning hint
+    /// only — implementations must not touch simulation-observable state.
+    fn plan_token(&self, ctx: &simt::PlanCtx<'_>, slot: u32) -> Option<u32> {
+        let _ = (ctx, slot);
+        None
+    }
 }
 
 /// Builds the per-wavefront queue handle for `variant`.
@@ -161,8 +176,7 @@ pub(crate) mod testutil {
 
     use super::*;
     use simt::{Engine, GpuConfig, Launch, WaveKernel, WaveStatus};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     /// Kernel: each wavefront dequeues tokens; every token `t` with
     /// `t < fanout_until` enqueues `children` child tokens derived from
@@ -172,7 +186,7 @@ pub(crate) mod testutil {
         pub queue: Box<dyn WaveQueue>,
         pub lanes: Vec<LanePhase>,
         pub pending: Buffer,
-        pub consumed: Rc<RefCell<Vec<u32>>>,
+        pub consumed: Arc<Mutex<Vec<u32>>>,
         pub fanout_until: u32,
         pub children: u32,
         pub outbox: Vec<u32>,
@@ -191,7 +205,7 @@ pub(crate) mod testutil {
             // Work phase: consume ready tokens, discover children.
             for l in self.lanes.iter_mut() {
                 if let LanePhase::Ready(tok) = *l {
-                    self.consumed.borrow_mut().push(tok);
+                    self.consumed.lock().unwrap().push(tok);
                     if tok < self.fanout_until {
                         for c in 0..self.children {
                             self.outbox.push(tok * self.children + c + 1_000);
@@ -241,7 +255,7 @@ pub(crate) mod testutil {
         engine
             .memory_mut()
             .write_u32(pending, 0, seeds.len() as u32);
-        let consumed = Rc::new(RefCell::new(Vec::new()));
+        let consumed = Arc::new(Mutex::new(Vec::new()));
         let wave_size = engine.config().wave_size;
         let report = engine
             .run(
@@ -252,7 +266,7 @@ pub(crate) mod testutil {
                     queue: make_wave_queue(variant, layout),
                     lanes: vec![LanePhase::Idle; wave_size],
                     pending,
-                    consumed: Rc::clone(&consumed),
+                    consumed: Arc::clone(&consumed),
                     fanout_until,
                     children,
                     outbox: Vec::new(),
@@ -260,7 +274,7 @@ pub(crate) mod testutil {
                 },
             )
             .expect("pump kernel failed");
-        let mut out = consumed.borrow().clone();
+        let mut out = consumed.lock().unwrap().clone();
         out.sort_unstable();
         (out, report.metrics)
     }

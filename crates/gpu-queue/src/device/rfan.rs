@@ -128,6 +128,18 @@ impl WaveQueue for RfAnWaveQueue {
         ctx.audit_end();
     }
 
+    fn plan_token(&self, ctx: &simt::PlanCtx<'_>, slot: u32) -> Option<u32> {
+        // Mirrors the Monitoring arm of `acquire` exactly: in-bounds slot,
+        // round-stale read, DNA means no data. Stale visibility cannot
+        // change within the round, so Some(v) here is a certainty, not a
+        // guess.
+        if slot >= self.layout.capacity {
+            return None;
+        }
+        let value = ctx.peek_stale(self.layout.slots, slot as usize)?;
+        (value != DNA).then_some(value)
+    }
+
     fn enqueue(&mut self, ctx: &mut WaveCtx<'_>, tokens: &[u32]) -> usize {
         if tokens.is_empty() {
             return 0;
@@ -248,8 +260,7 @@ mod tests {
         use super::super::testutil::PumpKernel;
         use super::super::{make_wave_queue, LanePhase, QueueLayout};
         use simt::{Engine, GpuConfig, Launch};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         let mut engine = Engine::new(GpuConfig::test_tiny());
         // capacity 4, but seeds fan out 3 children each => 1 + 3 > 4 - 1...
@@ -258,13 +269,13 @@ mod tests {
         let pending = engine.memory_mut().alloc("pending", 1);
         layout.host_seed(engine.memory_mut(), &[0, 1]);
         engine.memory_mut().write_u32(pending, 0, 2);
-        let consumed = Rc::new(RefCell::new(Vec::new()));
+        let consumed = Arc::new(Mutex::new(Vec::new()));
         let err = engine
             .run(Launch::workgroups(1), |_| PumpKernel {
                 queue: make_wave_queue(Variant::RfAn, layout),
                 lanes: vec![LanePhase::Idle; 4],
                 pending,
-                consumed: Rc::clone(&consumed),
+                consumed: Arc::clone(&consumed),
                 fanout_until: 10,
                 children: 3,
                 outbox: Vec::new(),

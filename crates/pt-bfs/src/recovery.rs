@@ -511,7 +511,8 @@ fn run_epoch<W: PtWorkload>(
     };
     let mut launch = Launch::workgroups(config.workgroups)
         .with_cpu_collab(config.cpu_collab_groups)
-        .with_max_rounds(watchdog.min(config.max_rounds));
+        .with_max_rounds(watchdog.min(config.max_rounds))
+        .with_engine_workers(config.engine_workers);
     if config.audit {
         launch = launch.with_audit();
     }

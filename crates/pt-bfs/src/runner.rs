@@ -42,6 +42,10 @@ pub struct PtConfig {
     /// run-level retry-free claims afterwards. On by default — auditing
     /// is pure bookkeeping with no effect on metrics or timing.
     pub audit: bool,
+    /// Host worker threads for the engine's intra-round plan phase
+    /// (DESIGN.md §12). Results are byte-identical at any value; `<= 1`
+    /// (the default) runs the historical fully-serial round loop.
+    pub engine_workers: usize,
 }
 
 impl PtConfig {
@@ -55,6 +59,7 @@ impl PtConfig {
             cpu_collab_groups: 0,
             max_rounds: 50_000_000,
             audit: true,
+            engine_workers: 1,
         }
     }
 
@@ -284,7 +289,8 @@ fn run_workload_once<W: PtWorkload>(
 
     let mut launch = Launch::workgroups(config.workgroups)
         .with_cpu_collab(config.cpu_collab_groups)
-        .with_max_rounds(config.max_rounds);
+        .with_max_rounds(config.max_rounds)
+        .with_engine_workers(config.engine_workers);
     if config.audit {
         launch = launch.with_audit();
     }

@@ -57,6 +57,7 @@ pub mod error;
 pub mod fault;
 pub mod memory;
 pub mod metrics;
+pub mod plan;
 pub mod round;
 pub mod trace;
 
@@ -68,4 +69,5 @@ pub use error::{AbortReason, FaultKind, SimError};
 pub use fault::{CuStall, FaultPlan, FaultSpec, MemPoison, WaveKill};
 pub use memory::{eager_zeroing, set_eager_zeroing, Buffer, DeviceMemory};
 pub use metrics::{Metrics, Profile};
+pub use plan::PlanCtx;
 pub use trace::{RoundBound, RoundTrace, Trace};

@@ -1,0 +1,73 @@
+//! Read-only context for the parallel plan phase (DESIGN.md §12).
+//!
+//! With `Launch::engine_workers > 1` the engine splits every scheduling
+//! round in two. First a **plan phase** fans the active, unparked
+//! wavefronts out across host worker threads; each wavefront's kernel
+//! gets a [`PlanCtx`] — a shared, read-only view of device memory — and
+//! may use it to decode its lane state, copy out the CSR edge chunks its
+//! next work cycle will read, predict queue-slot pickups from round-stale
+//! values (stale visibility is frozen for the whole round, so the
+//! prediction is exact), and prefetch the words the commit phase will
+//! touch. Then the existing **commit phase** runs serially in canonical
+//! rotation order, consuming the caches through validated accessors
+//! ([`crate::WaveCtx::peek_run_cached`]) that charge and fault exactly
+//! like the live reads they replace.
+//!
+//! Nothing a kernel does with a [`PlanCtx`] is observable in the
+//! simulation: no metrics, no costs, no faults, no writes. That is the
+//! whole determinism argument — the plan phase is a pure cache warmer,
+//! and the commit phase's operation sequence is byte-identical to the
+//! serial engine's at any worker count.
+
+use crate::ctx::WaveInfo;
+use crate::memory::{Buffer, DeviceMemory};
+
+/// Read-only device view handed to [`crate::WaveKernel::plan_cycle`].
+///
+/// All reads are bounds-checked (`None`/`false` out of bounds) but
+/// deliberately *fault-blind*: a poisoned word must fault in commit
+/// order, so plan reads skip the poison overlay entirely.
+pub struct PlanCtx<'a> {
+    memory: &'a DeviceMemory,
+    /// Identity of the planning wavefront.
+    pub info: WaveInfo,
+}
+
+impl<'a> PlanCtx<'a> {
+    pub(crate) fn new(memory: &'a DeviceMemory, info: WaveInfo) -> Self {
+        PlanCtx { memory, info }
+    }
+
+    /// Current value of one word. Only sound as a *cache source* for
+    /// buffers that are never written during the run (CSR topology); for
+    /// mutable words it is a hint only.
+    pub fn peek(&self, buf: Buffer, index: usize) -> Option<u32> {
+        self.memory.plan_load(buf, index)
+    }
+
+    /// Copies the run `[start, start + len)` into `out` (cleared first).
+    /// Returns false — leaving `out` empty — if the run leaves the buffer.
+    pub fn peek_run(&self, buf: Buffer, start: usize, len: usize, out: &mut Vec<u32>) -> bool {
+        out.clear();
+        match self.memory.plan_load_run(buf, start, len) {
+            Some(words) => {
+                out.extend_from_slice(words);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Round-stale value of one word — exactly what a commit-phase stale
+    /// read of the same word will observe this round, making queue-slot
+    /// arrival predictions exact.
+    pub fn peek_stale(&self, buf: Buffer, index: usize) -> Option<u32> {
+        self.memory.plan_stale_load(buf, index)
+    }
+
+    /// Warms the cache lines (word + metadata) the commit phase will
+    /// touch at `index`. No observable effect.
+    pub fn prefetch(&self, buf: Buffer, index: usize) {
+        self.memory.prefetch(buf, index);
+    }
+}

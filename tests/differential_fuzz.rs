@@ -14,8 +14,7 @@ use ptq::queue::device::{
 };
 use ptq::queue::Variant;
 use simt::{Buffer, Engine, GpuConfig, Launch, WaveCtx, WaveKernel, WaveStatus};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// SplitMix64 — the crate-wide seeded PRNG idiom.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -38,7 +37,7 @@ struct FuzzPump {
     queue: Box<dyn WaveQueue>,
     lanes: Vec<LanePhase>,
     pending: Buffer,
-    consumed: Rc<RefCell<Vec<u32>>>,
+    consumed: Arc<Mutex<Vec<u32>>>,
     outbox: Vec<u32>,
     completed: u32,
 }
@@ -53,7 +52,7 @@ impl WaveKernel for FuzzPump {
         self.queue.acquire(ctx, &mut self.lanes);
         for l in self.lanes.iter_mut() {
             if let LanePhase::Ready(tok) = *l {
-                self.consumed.borrow_mut().push(tok);
+                self.consumed.lock().unwrap().push(tok);
                 if tok < FANOUT_UNTIL {
                     for c in 0..CHILDREN {
                         self.outbox.push(tok * CHILDREN + c + 1_000);
@@ -92,7 +91,7 @@ fn pump_variant(variant: Variant, seeds: &[u32], wgs: usize, capacity: u32) -> V
     engine
         .memory_mut()
         .write_u32(pending, 0, seeds.len() as u32);
-    let consumed = Rc::new(RefCell::new(Vec::new()));
+    let consumed = Arc::new(Mutex::new(Vec::new()));
     let wave_size = engine.config().wave_size;
     engine
         .run(
@@ -103,13 +102,13 @@ fn pump_variant(variant: Variant, seeds: &[u32], wgs: usize, capacity: u32) -> V
                 queue: make_wave_queue(variant, layout),
                 lanes: vec![LanePhase::Idle; wave_size],
                 pending,
-                consumed: Rc::clone(&consumed),
+                consumed: Arc::clone(&consumed),
                 outbox: Vec::new(),
                 completed: 0,
             },
         )
         .unwrap_or_else(|e| panic!("{variant:?} pump failed: {e}"));
-    let mut out = consumed.borrow().clone();
+    let mut out = consumed.lock().unwrap().clone();
     out.sort_unstable();
     out
 }
@@ -124,7 +123,7 @@ fn pump_stealing(seeds: &[u32], wgs: usize, capacity: u32) -> Vec<u32> {
     engine
         .memory_mut()
         .write_u32(pending, 0, seeds.len() as u32);
-    let consumed = Rc::new(RefCell::new(Vec::new()));
+    let consumed = Arc::new(Mutex::new(Vec::new()));
     let wave_size = engine.config().wave_size;
     engine
         .run(
@@ -135,13 +134,13 @@ fn pump_stealing(seeds: &[u32], wgs: usize, capacity: u32) -> Vec<u32> {
                 queue: Box::new(StealingWaveQueue::new(&layout, info.cu)),
                 lanes: vec![LanePhase::Idle; wave_size],
                 pending,
-                consumed: Rc::clone(&consumed),
+                consumed: Arc::clone(&consumed),
                 outbox: Vec::new(),
                 completed: 0,
             },
         )
         .unwrap_or_else(|e| panic!("stealing pump failed: {e}"));
-    let mut out = consumed.borrow().clone();
+    let mut out = consumed.lock().unwrap().clone();
     out.sort_unstable();
     out
 }

@@ -1,0 +1,253 @@
+//! Parallel-engine differential tests: the deterministic plan/commit
+//! split (DESIGN.md §12) must make worker count *unobservable* in every
+//! simulated quantity.
+//!
+//! The engine's round loop splits into a parallel, read-only **plan**
+//! phase (sharded across `engine_workers` host threads) and the
+//! historical serial **commit** phase; the determinism contract says a
+//! run at any worker count produces the same bytes as the serial
+//! engine. These tests pin that contract end to end:
+//!
+//! * all four workloads × the paper's six dataset shapes through the
+//!   parallel engine at 1/2/4 workers, asserting byte-identical `Run`
+//!   reports (simulated seconds, `Metrics`, value arrays, reach counts,
+//!   per-CU cycle vectors) and retry-free RF/AN audits,
+//! * a chaos leg proving seeded `FaultPlan` injection aborts on
+//!   identical rounds and checkpoint/resume replays identical epochs
+//!   under parallel execution (the full `RecoveryLog` is compared),
+//! * a non-vacuousness check: the multi-worker runs must actually have
+//!   exercised the plan phase (`Profile::plan_rounds > 0`).
+//!
+//! `Profile` itself is deliberately *not* compared across worker
+//! counts: it reports host-side execution mechanics (including the
+//! worker gauge and plan counters) that the determinism contract
+//! explicitly excludes.
+
+use ptq::bfs::workload::{Bfs, ConnectedComponents, PrDelta, PtWorkload, Sssp};
+use ptq::bfs::{run_recoverable, run_workload, PtConfig, RecoveryPolicy, Run};
+use ptq::graph::{random_weights, Dataset};
+use ptq::queue::Variant;
+use simt::{FaultPlan, FaultSpec, GpuConfig};
+
+/// The six dataset shapes at differential-test scale (the chaos suite's
+/// fractions: roughly 1–2.5k vertices each).
+const PAR_SCALE: [(Dataset, f64); 6] = [
+    (Dataset::Synthetic, 0.0002),
+    (Dataset::GplusCombined, 0.005),
+    (Dataset::SocLiveJournal1, 0.0003),
+    (Dataset::RoadNY, 0.005),
+    (Dataset::RoadLKS, 0.0005),
+    (Dataset::RoadUSA, 0.0001),
+];
+
+/// Worker counts the differential sweeps compare against the serial
+/// baseline. Both exceed this box's likely core count on CI — the
+/// engine deliberately does not clamp, so oversubscribed planning still
+/// has to produce identical bytes.
+const WORKER_SWEEP: [usize; 2] = [2, 4];
+
+fn config(workers: usize) -> PtConfig {
+    let mut config = PtConfig::new(Variant::RfAn, 3);
+    config.engine_workers = workers;
+    config
+}
+
+/// Byte-level equality over everything the determinism contract covers.
+/// Simulated seconds are compared as bits: "identical" means identical,
+/// not merely within float tolerance.
+fn assert_runs_identical(serial: &Run, parallel: &Run, label: &str) {
+    assert_eq!(
+        serial.seconds.to_bits(),
+        parallel.seconds.to_bits(),
+        "{label}: simulated seconds diverged"
+    );
+    assert_eq!(
+        serial.metrics, parallel.metrics,
+        "{label}: metrics diverged"
+    );
+    assert_eq!(serial.values, parallel.values, "{label}: values diverged");
+    assert_eq!(serial.reached, parallel.reached, "{label}: reach diverged");
+    assert_eq!(
+        serial.per_cu_cycles, parallel.per_cu_cycles,
+        "{label}: per-CU cycles diverged"
+    );
+    assert_eq!(
+        serial.recovery, parallel.recovery,
+        "{label}: recovery log diverged"
+    );
+}
+
+fn assert_retry_free(run: &Run, label: &str) {
+    assert_eq!(run.metrics.cas_failures, 0, "{label}: RF/AN CAS failures");
+    assert_eq!(
+        run.metrics.queue_empty_retries, 0,
+        "{label}: RF/AN queue-empty retries"
+    );
+}
+
+/// Runs `workload` serially and at each sweep worker count, pinning
+/// byte-identity and the retry-free audit. Returns the number of plan
+/// rounds observed across the parallel runs so callers can assert the
+/// sweep was not vacuous.
+fn sweep_workload<W: PtWorkload>(
+    gpu: &GpuConfig,
+    dataset: Dataset,
+    fraction: f64,
+    workload: &W,
+) -> u64 {
+    let graph = dataset.build(fraction);
+    let serial = run_workload(gpu, &graph, workload, &config(1)).expect("serial run failed");
+    assert_eq!(
+        serial.profile.plan_rounds, 0,
+        "serial engine must never plan"
+    );
+    let mut plan_rounds = 0;
+    for workers in WORKER_SWEEP {
+        let label = format!("{}/{:?}/workers={workers}", workload.name(), dataset);
+        let parallel =
+            run_workload(gpu, &graph, workload, &config(workers)).expect("parallel run failed");
+        assert_runs_identical(&serial, &parallel, &label);
+        assert_retry_free(&parallel, &label);
+        assert_eq!(
+            parallel.profile.engine_workers, workers as u64,
+            "{label}: worker gauge"
+        );
+        plan_rounds += parallel.profile.plan_rounds;
+    }
+    plan_rounds
+}
+
+#[test]
+fn bfs_parallel_engine_is_byte_identical_across_workers() {
+    let gpu = GpuConfig::test_tiny();
+    let mut plan_rounds = 0;
+    for (dataset, fraction) in PAR_SCALE {
+        plan_rounds += sweep_workload(&gpu, dataset, fraction, &Bfs::new(dataset.source()));
+    }
+    assert!(plan_rounds > 0, "no parallel plan round ever ran");
+}
+
+#[test]
+fn sssp_parallel_engine_is_byte_identical_across_workers() {
+    let gpu = GpuConfig::test_tiny();
+    let mut plan_rounds = 0;
+    for (dataset, fraction) in PAR_SCALE {
+        let graph = dataset.build(fraction);
+        let weights = random_weights(&graph, 64, 0xA11CE);
+        plan_rounds += sweep_workload(
+            &gpu,
+            dataset,
+            fraction,
+            &Sssp::new(dataset.source(), weights),
+        );
+    }
+    assert!(plan_rounds > 0, "no parallel plan round ever ran");
+}
+
+#[test]
+fn cc_parallel_engine_is_byte_identical_across_workers() {
+    let gpu = GpuConfig::test_tiny();
+    let mut plan_rounds = 0;
+    for (dataset, fraction) in PAR_SCALE {
+        plan_rounds += sweep_workload(&gpu, dataset, fraction, &ConnectedComponents);
+    }
+    assert!(plan_rounds > 0, "no parallel plan round ever ran");
+}
+
+#[test]
+fn prdelta_parallel_engine_is_byte_identical_across_workers() {
+    let gpu = GpuConfig::test_tiny();
+    let mut plan_rounds = 0;
+    for (dataset, fraction) in PAR_SCALE {
+        plan_rounds += sweep_workload(&gpu, dataset, fraction, &PrDelta::new(dataset.source()));
+    }
+    assert!(plan_rounds > 0, "no parallel plan round ever ran");
+}
+
+/// A seeded fault matrix covering all three fault kinds, scaled to the
+/// tiny test GPU (mirrors the chaos suite's plan shape).
+fn chaos_plan(seed: u64, num_vertices: usize, value_buffer: &str) -> FaultPlan {
+    FaultPlan::seeded(
+        seed,
+        &FaultSpec {
+            wave_kills: 2,
+            cu_stalls: 2,
+            mem_poisons: 2,
+            max_round: 8,
+            waves: 3,
+            cus: 2,
+            max_stall_rounds: 4,
+            max_stall_cycles: 200,
+            poison_buffer: value_buffer.into(),
+            poison_words: num_vertices,
+        },
+    )
+}
+
+fn chaos_policy() -> RecoveryPolicy {
+    RecoveryPolicy {
+        checkpoint_levels: 3,
+        max_attempts: 16,
+        ..RecoveryPolicy::default()
+    }
+}
+
+/// Fault injection and checkpoint/resume under the parallel engine:
+/// the same seeded `FaultPlan` must abort on identical rounds, take
+/// identical checkpoints, and recover to identical values at any
+/// worker count. The full `RecoveryLog` (every abort's epoch, attempt
+/// number, reason, and rounds lost) is part of the byte-diff.
+#[test]
+fn chaos_recovery_is_byte_identical_across_workers() {
+    let gpu = GpuConfig::test_tiny();
+    let policy = chaos_policy();
+    let mut recovered = 0;
+    for (dataset, fraction) in PAR_SCALE.iter().take(3) {
+        let graph = dataset.build(*fraction);
+        let source = dataset.source();
+        let workload = Bfs::new(source);
+        let plan = chaos_plan(0xC4A05 ^ *fraction as u64, graph.num_vertices(), "costs");
+        let serial = run_recoverable(&gpu, &graph, &workload, &config(1), &policy, &plan)
+            .expect("serial chaos run failed");
+        for workers in WORKER_SWEEP {
+            let label = format!("chaos/{dataset:?}/workers={workers}");
+            let parallel =
+                run_recoverable(&gpu, &graph, &workload, &config(workers), &policy, &plan)
+                    .expect("parallel chaos run failed");
+            assert_runs_identical(&serial, &parallel, &label);
+        }
+        recovered += serial.recovery.attempts.len();
+    }
+    assert!(recovered > 0, "no fault ever fired: chaos leg is vacuous");
+}
+
+/// Checkpoint/resume specifically: with aggressive checkpointing the
+/// recovered runs must agree on *which* epochs were checkpointed and
+/// how many rounds each abort discarded — i.e. resume points land on
+/// identical rounds regardless of worker count.
+#[test]
+fn checkpoint_resume_lands_on_identical_rounds_under_parallel_engine() {
+    let gpu = GpuConfig::test_tiny();
+    let policy = RecoveryPolicy {
+        checkpoint_levels: 2,
+        max_attempts: 16,
+        ..RecoveryPolicy::default()
+    };
+    let (dataset, fraction) = PAR_SCALE[3]; // RoadNY: deep BFS, many epochs
+    let graph = dataset.build(fraction);
+    let source = dataset.source();
+    let workload = Bfs::new(source);
+    let plan = chaos_plan(0xF00D, graph.num_vertices(), "costs");
+    let serial = run_recoverable(&gpu, &graph, &workload, &config(1), &policy, &plan)
+        .expect("serial run failed");
+    let parallel = run_recoverable(&gpu, &graph, &workload, &config(4), &policy, &plan)
+        .expect("parallel run failed");
+    assert_runs_identical(&serial, &parallel, "checkpoint/RoadNY");
+    assert_eq!(serial.recovery.checkpoints, parallel.recovery.checkpoints);
+    assert_eq!(serial.recovery.epochs, parallel.recovery.epochs);
+    assert_eq!(serial.recovery.rounds_lost, parallel.recovery.rounds_lost);
+    assert!(
+        serial.recovery.checkpoints > 0,
+        "no checkpoint taken: resume leg is vacuous"
+    );
+}

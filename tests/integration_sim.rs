@@ -160,8 +160,7 @@ fn visibility_delay_is_one_round() {
     // Wave 0 writes a flag in its 4th work cycle; wave 1 spins on a
     // *stale* read. The reader can only observe the write in a LATER
     // round, never the round it happened.
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     struct Writer {
         buf: Buffer,
@@ -181,12 +180,12 @@ fn visibility_delay_is_one_round() {
     struct Reader {
         buf: Buffer,
         rounds_waited: u32,
-        saw_at: Rc<Cell<Option<u32>>>,
+        saw_at: Arc<Mutex<Option<u32>>>,
     }
     impl WaveKernel for Reader {
         fn work_cycle(&mut self, ctx: &mut WaveCtx<'_>) -> WaveStatus {
             if ctx.global_read_stale(self.buf, 100) == 7 {
-                self.saw_at.set(Some(self.rounds_waited));
+                *self.saw_at.lock().unwrap() = Some(self.rounds_waited);
                 return WaveStatus::Done;
             }
             self.rounds_waited += 1;
@@ -210,8 +209,8 @@ fn visibility_delay_is_one_round() {
     }
     let mut e = engine();
     let buf = e.memory().buffer("data");
-    let saw = Rc::new(Cell::new(None));
-    let saw_handle = Rc::clone(&saw);
+    let saw = Arc::new(Mutex::new(None));
+    let saw_handle = Arc::clone(&saw);
     e.run(Launch::workgroups(2), move |info| {
         if info.wave_id == 0 {
             K::W(Writer { buf, round: 0 })
@@ -219,13 +218,16 @@ fn visibility_delay_is_one_round() {
             K::R(Reader {
                 buf,
                 rounds_waited: 0,
-                saw_at: Rc::clone(&saw_handle),
+                saw_at: Arc::clone(&saw_handle),
             })
         }
     })
     .unwrap();
     assert_eq!(e.memory().read_u32(buf, 100), 7);
-    let waited = saw.get().expect("reader must eventually see the flag");
+    let waited = saw
+        .lock()
+        .unwrap()
+        .expect("reader must eventually see the flag");
     // The write lands in round 3; a stale read can observe it in round 4
     // at the earliest, i.e. after at least 4 failed polls.
     assert!(

@@ -28,12 +28,14 @@ mod an;
 mod base;
 mod rfan;
 mod rfonly;
+mod segmented;
 mod stealing;
 
 pub use an::AnWaveQueue;
 pub use base::BaseWaveQueue;
 pub use rfan::RfAnWaveQueue;
 pub use rfonly::RfOnlyWaveQueue;
+pub use segmented::{SegmentedLayout, SegmentedWaveQueue};
 pub use stealing::{StealingLayout, StealingWaveQueue};
 
 use crate::{Variant, DNA};
@@ -166,6 +168,10 @@ pub fn make_wave_queue(variant: Variant, layout: QueueLayout) -> Box<dyn WaveQue
         Variant::An => Box::new(AnWaveQueue::new(layout)),
         Variant::RfAn => Box::new(RfAnWaveQueue::new(layout)),
         Variant::RfOnly => Box::new(RfOnlyWaveQueue::new(layout)),
+        Variant::SegRfAn => panic!(
+            "segmented variants use SegmentedLayout::setup + SegmentedWaveQueue::new \
+             (the bounded QueueLayout cannot host a segmented ticket space)"
+        ),
     }
 }
 

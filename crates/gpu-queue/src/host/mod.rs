@@ -16,12 +16,18 @@
 //!   payloads (the sentinel word doubles as the publication flag).
 //! * [`WorkPool`] — a persistent-worker pool on the RF/AN queue: the
 //!   paper's Algorithm 1 on OS threads, with sound quiescence detection.
+//! * [`SegmentedRfAnQueue`] / [`SegmentedRfQueue`] / [`SegmentedAnQueue`]
+//!   — the same protocols over linked segments of bounded rings with a
+//!   recycled-segment pool: no queue-full condition, memory bounded by
+//!   live occupancy (ROADMAP item 3; DESIGN.md §13).
 //!
-//! All queues are **bounded and non-wrapping**: `capacity` must bound the
+//! The classic queues are **bounded and non-wrapping**: `capacity` must bound the
 //! total number of tokens ever enqueued between [`reset`](RfAnQueue::reset)
 //! calls, exactly like the device queues (and the paper's driver, which sizes
 //! the queue by the task count — the vertex count for a traversal). Overflow returns [`QueueFull`] — the
-//! paper's abort semantics, never a retry.
+//! paper's abort semantics, never a retry. The segmented variants keep
+//! the per-segment protocol identical but turn overflow into a segment
+//! append, so only `seg_cap` (slots per segment) is configured.
 //!
 //! Every queue keeps [`QueueStats`] so tests and benches can observe the
 //! atomic-operation and retry behaviour the paper measures.
@@ -31,6 +37,7 @@ mod base;
 mod mutex;
 mod pool;
 mod rfan;
+mod segmented;
 mod stats;
 mod typed;
 
@@ -39,6 +46,7 @@ pub use base::BaseQueue;
 pub use mutex::MutexQueue;
 pub use pool::WorkPool;
 pub use rfan::{RfAnQueue, SlotTicket};
+pub use segmented::{SegmentedAnQueue, SegmentedRfAnQueue, SegmentedRfQueue};
 pub use stats::{QueueStats, StatsSnapshot};
 pub use typed::{TypedRfAnQueue, TypedTicket};
 

@@ -73,6 +73,14 @@ impl MutexQueue {
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
+
+    /// Restores the initial state, re-arming the non-wrapping lifetime
+    /// budget — same contract as the lock-free queues' `reset`.
+    pub fn reset(&mut self) {
+        self.inner.get_mut().unwrap().clear();
+        *self.enqueued.get_mut().unwrap() = 0;
+        self.stats.reset();
+    }
 }
 
 #[cfg(test)]

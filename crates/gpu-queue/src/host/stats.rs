@@ -16,6 +16,10 @@ pub struct QueueStats {
     pub empty_retries: AtomicU64,
     /// Spin iterations waiting for a reserved slot's data to arrive.
     pub data_waits: AtomicU64,
+    /// Segment installations (segmented variants only): each count is one
+    /// fresh ring appended to the virtual ticket space — the operation
+    /// that replaces the bounded queues' queue-full abort.
+    pub segment_appends: AtomicU64,
     /// Variant gate (see [`QueueStats::retry_free`]): when set, the
     /// CAS/empty-retry helpers panic — a retry-free queue has no code path
     /// that may legally count a retry, so any such count is a bug, not a
@@ -65,6 +69,10 @@ impl QueueStats {
         self.data_waits.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn segment_append(&self) {
+        self.segment_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time copy of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -73,6 +81,7 @@ impl QueueStats {
             cas_failures: self.cas_failures.load(Ordering::Relaxed),
             empty_retries: self.empty_retries.load(Ordering::Relaxed),
             data_waits: self.data_waits.load(Ordering::Relaxed),
+            segment_appends: self.segment_appends.load(Ordering::Relaxed),
         }
     }
 
@@ -83,6 +92,7 @@ impl QueueStats {
         self.cas_failures.store(0, Ordering::Relaxed);
         self.empty_retries.store(0, Ordering::Relaxed);
         self.data_waits.store(0, Ordering::Relaxed);
+        self.segment_appends.store(0, Ordering::Relaxed);
     }
 }
 
@@ -94,6 +104,7 @@ pub struct StatsSnapshot {
     pub cas_failures: u64,
     pub empty_retries: u64,
     pub data_waits: u64,
+    pub segment_appends: u64,
 }
 
 impl StatsSnapshot {

@@ -44,6 +44,13 @@ pub enum Variant {
     /// dna sentinel). Completes the 2x2 property matrix; not part of the
     /// paper's three-way comparison.
     RfOnly,
+    /// Segmented RF/AN: linked segments of bounded retry-free rings with a
+    /// recycled-segment pool. Overflow becomes a segment append (one
+    /// directory store) instead of a queue-full abort; the AFA fast path
+    /// is unchanged within a segment. Memory is bounded by *live*
+    /// occupancy rather than lifetime enqueues. Not in the paper —
+    /// ROADMAP item 3's extension.
+    SegRfAn,
 }
 
 impl Variant {
@@ -61,17 +68,24 @@ impl Variant {
             Variant::An => "AN",
             Variant::RfAn => "RF/AN",
             Variant::RfOnly => "RF-only",
+            Variant::SegRfAn => "SEG-RF/AN",
         }
     }
 
     /// Whether the variant reserves batches through a proxy thread.
     pub fn is_arbitrary_n(self) -> bool {
-        matches!(self, Variant::An | Variant::RfAn)
+        matches!(self, Variant::An | Variant::RfAn | Variant::SegRfAn)
     }
 
     /// Whether the variant's atomics can fail (and therefore retry).
     pub fn is_retry_free(self) -> bool {
-        matches!(self, Variant::RfAn | Variant::RfOnly)
+        matches!(self, Variant::RfAn | Variant::RfOnly | Variant::SegRfAn)
+    }
+
+    /// Whether the variant's ticket space spans linked segments (no
+    /// queue-full abort; capacity regrow never applies).
+    pub fn is_segmented(self) -> bool {
+        matches!(self, Variant::SegRfAn)
     }
 }
 
@@ -94,6 +108,16 @@ mod tests {
         assert!(!Variant::Base.is_retry_free());
         assert!(!Variant::An.is_retry_free());
         assert!(Variant::RfAn.is_retry_free());
+        assert!(Variant::SegRfAn.is_retry_free());
+        assert!(Variant::SegRfAn.is_arbitrary_n());
+        assert!(Variant::SegRfAn.is_segmented());
+        // The paper's comparison sets stay fixed: segmented is an
+        // explicitly-requested extension, never implied by ALL/MATRIX.
+        assert!(!Variant::ALL.contains(&Variant::SegRfAn));
+        assert!(!Variant::MATRIX.contains(&Variant::SegRfAn));
+        for v in Variant::MATRIX {
+            assert!(!v.is_segmented());
+        }
     }
 
     #[test]

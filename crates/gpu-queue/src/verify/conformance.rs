@@ -1,0 +1,692 @@
+//! Queue-conformance harness: one shared scenario matrix, every host
+//! queue variant.
+//!
+//! The explorer ([`super::scenarios`]) proves linearizability over small
+//! exhaustively-interleaved schedules; this harness is the complementary
+//! *real-thread* check: each variant is wrapped in a [`ConformingQueue`]
+//! adapter and driven through the same five scenarios —
+//!
+//! 1. **Single-thread FIFO** — tokens come back in insertion order.
+//! 2. **Batch boundary crossing** — multi-token batches land intact (for
+//!    segmented variants the batches straddle segment boundaries, so the
+//!    run must observe segment appends; bounded variants must observe
+//!    none).
+//! 3. **MPMC conservation** — racing producers and consumers neither
+//!    lose nor duplicate a token; retry-free variants additionally
+//!    finish with zero CAS attempts and zero retries.
+//! 4. **Overflow behaviour** — bounded variants reject exactly the
+//!    overflow (the paper's queue-full abort), segmented variants accept
+//!    everything by appending segments.
+//! 5. **Reset-reuse** — a drained, reset queue serves a second full
+//!    round (for bounded variants this re-arms the *lifetime* capacity).
+//!
+//! A violation panics with the variant label and scenario name; a clean
+//! run returns a [`ConformanceReport`] per variant. The suite runs in CI
+//! (`segmented-queues` job) and in `tests/linearizability.rs`.
+
+use crate::host::{
+    AnQueue, BaseQueue, MutexQueue, RfAnQueue, SegmentedAnQueue, SegmentedRfAnQueue,
+    SegmentedRfQueue, SlotTicket, StatsSnapshot,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Uniform adapter surface the conformance matrix drives. Adapters wrap
+/// the production queues without altering their protocols: retry-free
+/// dequeues go through real ticket reservation and bounded polling, CAS
+/// dequeues through the retrying pop paths.
+pub trait ConformingQueue: Send + Sync {
+    /// Variant label for failure messages (matches `Variant::label`
+    /// where a device twin exists).
+    fn label(&self) -> &'static str;
+
+    /// Lifetime token capacity between resets (every bounded variant,
+    /// `MUTEX` included, follows the paper's non-wrapping discipline),
+    /// or `None` for segmented (unbounded) variants.
+    fn capacity_bound(&self) -> Option<usize>;
+
+    /// Whether the variant claims the retry-free property (zero CAS,
+    /// zero retry loops) — asserted after the MPMC scenario.
+    fn is_retry_free(&self) -> bool;
+
+    /// Offers a batch; returns how many tokens the queue accepted.
+    fn enqueue(&self, tokens: &[u32]) -> usize;
+
+    /// Non-blocking dequeue attempt.
+    fn dequeue(&self) -> Option<u32>;
+
+    /// Operation counters of the wrapped queue.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Restores the initial empty state (exclusive access).
+    fn reset(&mut self);
+}
+
+/// Constructs a fresh adapter sized for roughly `capacity` lifetime
+/// tokens (segmented variants derive a small per-segment capacity from
+/// it so the matrix forces boundary crossings).
+pub type QueueFactory = fn(usize) -> Box<dyn ConformingQueue>;
+
+/// What one variant's clean pass through the matrix observed.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// Variant label.
+    pub label: &'static str,
+    /// Scenario names executed (all passed, or the run panicked).
+    pub cases: Vec<&'static str>,
+    /// Segment appends observed across the matrix (zero for bounded
+    /// variants, non-zero for segmented ones — both asserted).
+    pub segment_appends: u64,
+}
+
+// ------------------------------------------------------------ adapters --
+
+/// Shared ticket-polling dequeue state for the retry-free adapters: a
+/// reserved-but-unserved ticket stays pending (shared, so any thread can
+/// poll it — no token is stranded with an idle caller) and a new ticket
+/// is reserved only when none is pending.
+#[derive(Default)]
+struct TicketPoller {
+    pending: Mutex<VecDeque<u64>>,
+}
+
+impl TicketPoller {
+    fn dequeue(
+        &self,
+        reserve: impl FnOnce() -> u64,
+        take: impl Fn(u64) -> Option<u32>,
+    ) -> Option<u32> {
+        let mut pending = self.pending.lock().unwrap();
+        if pending.is_empty() {
+            pending.push_back(reserve());
+        }
+        let &slot = pending.front().expect("just ensured non-empty");
+        match take(slot) {
+            Some(v) => {
+                pending.pop_front();
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.pending.get_mut().unwrap().clear();
+    }
+}
+
+struct BaseAdapter {
+    q: BaseQueue,
+}
+
+impl ConformingQueue for BaseAdapter {
+    fn label(&self) -> &'static str {
+        "BASE"
+    }
+    fn capacity_bound(&self) -> Option<usize> {
+        Some(self.q.capacity())
+    }
+    fn is_retry_free(&self) -> bool {
+        false
+    }
+    fn enqueue(&self, tokens: &[u32]) -> usize {
+        tokens.iter().filter(|&&t| self.q.push(t).is_ok()).count()
+    }
+    fn dequeue(&self) -> Option<u32> {
+        self.q.try_pop()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.q.stats()
+    }
+    fn reset(&mut self) {
+        self.q.reset();
+    }
+}
+
+struct AnAdapter {
+    q: AnQueue,
+}
+
+impl ConformingQueue for AnAdapter {
+    fn label(&self) -> &'static str {
+        "AN"
+    }
+    fn capacity_bound(&self) -> Option<usize> {
+        Some(self.q.capacity())
+    }
+    fn is_retry_free(&self) -> bool {
+        false
+    }
+    fn enqueue(&self, tokens: &[u32]) -> usize {
+        // All-or-nothing batch reservation (the AN contract).
+        match self.q.push_batch(tokens) {
+            Ok(()) => tokens.len(),
+            Err(_) => 0,
+        }
+    }
+    fn dequeue(&self) -> Option<u32> {
+        let mut out = Vec::with_capacity(1);
+        self.q.pop_batch(&mut out, 1);
+        out.pop()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.q.stats()
+    }
+    fn reset(&mut self) {
+        self.q.reset();
+    }
+}
+
+struct MutexAdapter {
+    q: MutexQueue,
+}
+
+impl ConformingQueue for MutexAdapter {
+    fn label(&self) -> &'static str {
+        "MUTEX"
+    }
+    fn capacity_bound(&self) -> Option<usize> {
+        Some(self.q.capacity())
+    }
+    fn is_retry_free(&self) -> bool {
+        false
+    }
+    fn enqueue(&self, tokens: &[u32]) -> usize {
+        match self.q.push_batch(tokens) {
+            Ok(()) => tokens.len(),
+            Err(_) => 0,
+        }
+    }
+    fn dequeue(&self) -> Option<u32> {
+        let mut out = Vec::with_capacity(1);
+        self.q.pop_batch(&mut out, 1);
+        out.pop()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.q.stats()
+    }
+    fn reset(&mut self) {
+        self.q.reset();
+    }
+}
+
+struct RfAnAdapter {
+    q: RfAnQueue,
+    poller: TicketPoller,
+}
+
+impl ConformingQueue for RfAnAdapter {
+    fn label(&self) -> &'static str {
+        "RF/AN"
+    }
+    fn capacity_bound(&self) -> Option<usize> {
+        Some(self.q.capacity())
+    }
+    fn is_retry_free(&self) -> bool {
+        true
+    }
+    fn enqueue(&self, tokens: &[u32]) -> usize {
+        // The pre-checked surface: a visibly over-large batch is refused
+        // without burning the `Rear` reservation, so the matrix can keep
+        // using the queue after a rejection.
+        match self.q.try_enqueue_batch(tokens) {
+            Ok(()) => tokens.len(),
+            Err(_) => 0,
+        }
+    }
+    fn dequeue(&self) -> Option<u32> {
+        self.poller.dequeue(
+            || self.q.reserve(1).start,
+            |slot| self.q.try_take(SlotTicket(slot)),
+        )
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.q.stats()
+    }
+    fn reset(&mut self) {
+        self.poller.clear();
+        self.q.reset();
+    }
+}
+
+struct SegRfAnAdapter {
+    q: SegmentedRfAnQueue,
+    poller: TicketPoller,
+}
+
+impl ConformingQueue for SegRfAnAdapter {
+    fn label(&self) -> &'static str {
+        "SEG-RF/AN"
+    }
+    fn capacity_bound(&self) -> Option<usize> {
+        None
+    }
+    fn is_retry_free(&self) -> bool {
+        true
+    }
+    fn enqueue(&self, tokens: &[u32]) -> usize {
+        self.q.enqueue_batch(tokens);
+        tokens.len()
+    }
+    fn dequeue(&self) -> Option<u32> {
+        self.poller.dequeue(
+            || self.q.reserve(1).start,
+            |slot| self.q.try_take(SlotTicket(slot)),
+        )
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.q.stats()
+    }
+    fn reset(&mut self) {
+        self.poller.clear();
+        self.q.reset();
+    }
+}
+
+struct SegRfAdapter {
+    q: SegmentedRfQueue,
+    poller: TicketPoller,
+}
+
+impl ConformingQueue for SegRfAdapter {
+    fn label(&self) -> &'static str {
+        "SEG-RF"
+    }
+    fn capacity_bound(&self) -> Option<usize> {
+        None
+    }
+    fn is_retry_free(&self) -> bool {
+        true
+    }
+    fn enqueue(&self, tokens: &[u32]) -> usize {
+        for &t in tokens {
+            self.q.enqueue(t);
+        }
+        tokens.len()
+    }
+    fn dequeue(&self) -> Option<u32> {
+        self.poller.dequeue(
+            || self.q.reserve().0,
+            |slot| self.q.try_take(SlotTicket(slot)),
+        )
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.q.stats()
+    }
+    fn reset(&mut self) {
+        self.poller.clear();
+        self.q.reset();
+    }
+}
+
+struct SegAnAdapter {
+    q: SegmentedAnQueue,
+}
+
+impl ConformingQueue for SegAnAdapter {
+    fn label(&self) -> &'static str {
+        "SEG-AN"
+    }
+    fn capacity_bound(&self) -> Option<usize> {
+        None
+    }
+    fn is_retry_free(&self) -> bool {
+        false
+    }
+    fn enqueue(&self, tokens: &[u32]) -> usize {
+        self.q.push_batch(tokens);
+        tokens.len()
+    }
+    fn dequeue(&self) -> Option<u32> {
+        let mut out = Vec::with_capacity(1);
+        self.q.pop_batch(&mut out, 1);
+        out.pop()
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.q.stats()
+    }
+    fn reset(&mut self) {
+        self.q.reset();
+    }
+}
+
+/// Segment size derived from the nominal capacity: small enough that
+/// every matrix scenario crosses segment boundaries.
+fn seg_cap_for(capacity: usize) -> usize {
+    (capacity / 8).max(2)
+}
+
+/// The full adapter roster: every host queue variant, bounded and
+/// segmented.
+pub fn conformance_suite() -> Vec<QueueFactory> {
+    vec![
+        |cap| {
+            Box::new(BaseAdapter {
+                q: BaseQueue::new(cap),
+            })
+        },
+        |cap| {
+            Box::new(AnAdapter {
+                q: AnQueue::new(cap),
+            })
+        },
+        |cap| {
+            Box::new(MutexAdapter {
+                q: MutexQueue::new(cap),
+            })
+        },
+        |cap| {
+            Box::new(RfAnAdapter {
+                q: RfAnQueue::new(cap),
+                poller: TicketPoller::default(),
+            })
+        },
+        |cap| {
+            Box::new(SegRfAnAdapter {
+                q: SegmentedRfAnQueue::new(seg_cap_for(cap)),
+                poller: TicketPoller::default(),
+            })
+        },
+        |cap| {
+            Box::new(SegRfAdapter {
+                q: SegmentedRfQueue::new(seg_cap_for(cap)),
+                poller: TicketPoller::default(),
+            })
+        },
+        |cap| {
+            Box::new(SegAnAdapter {
+                q: SegmentedAnQueue::new(seg_cap_for(cap)),
+            })
+        },
+    ]
+}
+
+// ------------------------------------------------------------ scenarios --
+
+fn drain_exact(q: &dyn ConformingQueue, n: usize, case: &str) -> Vec<u32> {
+    let mut got = Vec::with_capacity(n);
+    let mut misses = 0usize;
+    while got.len() < n {
+        match q.dequeue() {
+            Some(v) => {
+                got.push(v);
+                misses = 0;
+            }
+            None => {
+                misses += 1;
+                assert!(
+                    misses < 10_000,
+                    "[{}] {case}: queue starved after {} of {n} tokens",
+                    q.label(),
+                    got.len()
+                );
+            }
+        }
+    }
+    got
+}
+
+fn case_single_thread_fifo(q: &dyn ConformingQueue) {
+    const N: u32 = 40;
+    for t in 0..N {
+        assert_eq!(
+            q.enqueue(&[t]),
+            1,
+            "[{}] fifo: token {t} refused",
+            q.label()
+        );
+    }
+    let got = drain_exact(q, N as usize, "fifo");
+    assert_eq!(
+        got,
+        (0..N).collect::<Vec<_>>(),
+        "[{}] fifo: out-of-order delivery",
+        q.label()
+    );
+    assert_eq!(q.dequeue(), None, "[{}] fifo: phantom token", q.label());
+}
+
+fn case_batch_boundary(q: &dyn ConformingQueue) {
+    let sizes = [7usize, 9, 5, 11, 1, 3];
+    let mut offered = Vec::new();
+    let mut next = 100u32;
+    for &len in &sizes {
+        let batch: Vec<u32> = (next..next + len as u32).collect();
+        next += len as u32;
+        assert_eq!(
+            q.enqueue(&batch),
+            len,
+            "[{}] batch: {len}-token batch refused",
+            q.label()
+        );
+        offered.extend(batch);
+    }
+    let got = drain_exact(q, offered.len(), "batch");
+    assert_eq!(got, offered, "[{}] batch: order or content lost", q.label());
+    let appends = q.stats().segment_appends;
+    if q.capacity_bound().is_none() {
+        assert!(
+            appends > 0,
+            "[{}] batch: segmented run never appended a segment",
+            q.label()
+        );
+    } else {
+        assert_eq!(
+            appends,
+            0,
+            "[{}] batch: bounded variant counted segment appends",
+            q.label()
+        );
+    }
+}
+
+fn case_mpmc_conservation(q: &dyn ConformingQueue) {
+    const PRODUCERS: usize = 3;
+    const CONSUMERS: usize = 3;
+    const PER: usize = 200;
+    const TOTAL: usize = PRODUCERS * PER;
+    let taken = AtomicUsize::new(0);
+    let collected: Mutex<Vec<u32>> = Mutex::new(Vec::with_capacity(TOTAL));
+    std::thread::scope(|s| {
+        for p in 0..PRODUCERS {
+            s.spawn(move || {
+                let tokens: Vec<u32> = (0..PER as u32).map(|i| ((p as u32) << 16) | i).collect();
+                for chunk in tokens.chunks(17) {
+                    assert_eq!(
+                        q.enqueue(chunk),
+                        chunk.len(),
+                        "[{}] mpmc: batch refused",
+                        q.label()
+                    );
+                }
+            });
+        }
+        for _ in 0..CONSUMERS {
+            s.spawn(|| {
+                let mut got = Vec::new();
+                while taken.load(Ordering::Relaxed) < TOTAL {
+                    if let Some(v) = q.dequeue() {
+                        got.push(v);
+                        taken.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                collected.lock().unwrap().extend(got);
+            });
+        }
+    });
+    let mut got = collected.into_inner().unwrap();
+    got.sort_unstable();
+    let mut want: Vec<u32> = (0..PRODUCERS as u32)
+        .flat_map(|p| (0..PER as u32).map(move |i| (p << 16) | i))
+        .collect();
+    want.sort_unstable();
+    assert_eq!(
+        got,
+        want,
+        "[{}] mpmc: token conservation violated",
+        q.label()
+    );
+    if q.is_retry_free() {
+        let s = q.stats();
+        assert_eq!(
+            s.cas_attempts,
+            0,
+            "[{}] mpmc: retry-free variant issued CAS",
+            q.label()
+        );
+        assert_eq!(
+            s.total_retries(),
+            0,
+            "[{}] mpmc: retry-free variant retried",
+            q.label()
+        );
+    }
+}
+
+fn case_overflow(q: &dyn ConformingQueue, capacity: usize) {
+    let offered = capacity + capacity / 2;
+    let mut accepted = 0usize;
+    for chunk in (0..offered as u32).collect::<Vec<_>>().chunks(capacity / 2) {
+        accepted += q.enqueue(chunk);
+    }
+    match q.capacity_bound() {
+        Some(bound) => {
+            // Batches are sized to divide the bound, so the accepted
+            // prefix is exactly the capacity: overflow rejects, nothing
+            // more (the paper's queue-full abort, minus the abort).
+            assert_eq!(
+                accepted,
+                bound,
+                "[{}] overflow: bounded variant accepted past capacity",
+                q.label()
+            );
+            let got = drain_exact(q, accepted, "overflow");
+            assert_eq!(
+                got,
+                (0..accepted as u32).collect::<Vec<_>>(),
+                "[{}] overflow: accepted prefix corrupted",
+                q.label()
+            );
+        }
+        None => {
+            assert_eq!(
+                accepted,
+                offered,
+                "[{}] overflow: segmented variant rejected an enqueue",
+                q.label()
+            );
+            let got = drain_exact(q, offered, "overflow");
+            assert_eq!(
+                got,
+                (0..offered as u32).collect::<Vec<_>>(),
+                "[{}] overflow: delivery lost under segment appends",
+                q.label()
+            );
+        }
+    }
+}
+
+fn case_reset_reuse(q: &mut Box<dyn ConformingQueue>, capacity: usize) {
+    let round: Vec<u32> = (0..capacity as u32).collect();
+    assert_eq!(q.enqueue(&round), round.len());
+    let got = drain_exact(q.as_ref(), round.len(), "reset-reuse (round 1)");
+    assert_eq!(got, round);
+    q.reset();
+    // Round 2 re-offers the full lifetime budget: only a real reset
+    // (rewound tickets, restored sentinels, re-pooled segments) can
+    // serve it.
+    let round2: Vec<u32> = (500..500 + capacity as u32).collect();
+    assert_eq!(
+        q.enqueue(&round2),
+        round2.len(),
+        "[{}] reset-reuse: lifetime budget not re-armed",
+        q.label()
+    );
+    let got = drain_exact(q.as_ref(), round2.len(), "reset-reuse (round 2)");
+    assert_eq!(
+        got,
+        round2,
+        "[{}] reset-reuse: stale state leaked",
+        q.label()
+    );
+}
+
+/// Runs one variant through the whole matrix; panics on any violation.
+pub fn run_conformance(mk: QueueFactory) -> ConformanceReport {
+    let mut cases = Vec::new();
+    let mut segment_appends = 0;
+
+    let q = mk(64);
+    case_single_thread_fifo(q.as_ref());
+    cases.push("single-thread-fifo");
+    let label = q.label();
+
+    let q = mk(64);
+    case_batch_boundary(q.as_ref());
+    segment_appends += q.stats().segment_appends;
+    cases.push("batch-boundary");
+
+    let q = mk(2048);
+    case_mpmc_conservation(q.as_ref());
+    segment_appends += q.stats().segment_appends;
+    cases.push("mpmc-conservation");
+
+    let q = mk(16);
+    case_overflow(q.as_ref(), 16);
+    segment_appends += q.stats().segment_appends;
+    cases.push("overflow");
+
+    let mut q = mk(32);
+    case_reset_reuse(&mut q, 32);
+    cases.push("reset-reuse");
+
+    ConformanceReport {
+        label,
+        cases,
+        segment_appends,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_passes_the_matrix() {
+        let mut labels = Vec::new();
+        for mk in conformance_suite() {
+            let report = run_conformance(mk);
+            assert_eq!(report.cases.len(), 5, "{}: matrix incomplete", report.label);
+            labels.push(report.label);
+        }
+        assert_eq!(
+            labels,
+            vec![
+                "BASE",
+                "AN",
+                "MUTEX",
+                "RF/AN",
+                "SEG-RF/AN",
+                "SEG-RF",
+                "SEG-AN"
+            ]
+        );
+    }
+
+    #[test]
+    fn segmented_variants_append_and_bounded_never_do() {
+        for mk in conformance_suite() {
+            let report = run_conformance(mk);
+            let segmented = report.label.starts_with("SEG");
+            assert_eq!(
+                report.segment_appends > 0,
+                segmented,
+                "{}: segment-append observation mismatch",
+                report.label
+            );
+        }
+    }
+}

@@ -45,6 +45,14 @@ pub enum Op {
     /// RF/AN slot poll: `Some` consumed the published token, `None` found
     /// the sentinel (data not yet arrived).
     TryTake { slot: u64, result: Option<u32> },
+    /// Segmented only: the directory store publishing virtual segment
+    /// `seg`'s storage — the segment-handoff linearization point. Installs
+    /// are strictly in order (`seg` counts up from 0).
+    InstallSegment { seg: u64 },
+    /// Segmented only: retirement of a fully drained segment back to the
+    /// pool. Legal only once every slot of `seg` has been consumed;
+    /// retirements may complete out of order.
+    RecycleSegment { seg: u64 },
 }
 
 /// An operation together with who ran it and when.
@@ -287,6 +295,119 @@ impl SeqSpec for TicketSpec {
                 Some(v) => self.published.remove(slot) == Some(*v),
                 None => !self.published.contains_key(slot),
             },
+            _ => false,
+        }
+    }
+}
+
+/// Sequential spec of the *segmented* RF/AN ticket protocol
+/// ([`crate::host::SegmentedRfAnQueue`]): [`TicketSpec`] with the
+/// lifetime-capacity bound replaced by explicit segment lifecycle points.
+///
+/// The ticket space is unbounded — an `EnqueueBatch` always succeeds —
+/// but a slot only becomes publishable once its segment's storage exists:
+/// [`Op::InstallSegment`] is the directory store that publishes virtual
+/// segment `k`'s storage (strictly in order, the contiguous-prefix
+/// invariant behind the lock-free `len_hint` clamp), and
+/// [`Op::RecycleSegment`] retires a segment to the pool, legal only when
+/// every one of its `seg_cap` slots has been consumed — which is exactly
+/// the ABA exclusion argument: no live ticket can observe recycled
+/// storage, because an unconsumed ticket in the segment would have blocked
+/// the retirement. Retirements may complete out of order (a slow consumer
+/// in segment 0 must not stall segment 1's retirement). Publishing into a
+/// recycled segment is a use-after-free and is rejected.
+#[derive(Clone, Debug)]
+pub struct SegSpec {
+    seg_cap: u64,
+    front: u64,
+    rear: u64,
+    writable: HashMap<u64, u32>,
+    published: HashMap<u64, u32>,
+    /// Segments installed so far (in-order: segment ids `0..installed`).
+    installed: u64,
+    /// Consumed-slot count per segment with at least one consumption.
+    consumed: HashMap<u64, u64>,
+    /// Segments retired back to the pool.
+    recycled: std::collections::HashSet<u64>,
+}
+
+impl SegSpec {
+    /// Empty segmented queue with `seg_cap` slots per segment.
+    pub fn new(seg_cap: usize) -> Self {
+        SegSpec {
+            seg_cap: seg_cap as u64,
+            front: 0,
+            rear: 0,
+            writable: HashMap::new(),
+            published: HashMap::new(),
+            installed: 0,
+            consumed: HashMap::new(),
+            recycled: std::collections::HashSet::new(),
+        }
+    }
+
+    fn seg_of(&self, slot: u64) -> u64 {
+        slot / self.seg_cap
+    }
+}
+
+impl SeqSpec for SegSpec {
+    fn apply(&mut self, op: &Op) -> bool {
+        match op {
+            Op::Reserve { n, base } => {
+                if *base != self.front {
+                    return false;
+                }
+                self.front += n;
+                true
+            }
+            Op::EnqueueBatch { base, tokens, ok } => {
+                if *base != self.rear {
+                    return false;
+                }
+                self.rear += tokens.len() as u64;
+                for (i, &tok) in tokens.iter().enumerate() {
+                    self.writable.insert(base + i as u64, tok);
+                }
+                // No overflow exists: a rejected batch is unlinearizable.
+                *ok
+            }
+            Op::InstallSegment { seg } => {
+                if *seg != self.installed {
+                    return false;
+                }
+                self.installed += 1;
+                true
+            }
+            Op::Publish { slot, token } => {
+                let seg = self.seg_of(*slot);
+                if seg >= self.installed || self.recycled.contains(&seg) {
+                    return false;
+                }
+                self.writable.remove(slot) == Some(*token) && {
+                    self.published.insert(*slot, *token);
+                    true
+                }
+            }
+            Op::TryTake { slot, result } => match result {
+                Some(v) => {
+                    self.published.remove(slot) == Some(*v) && {
+                        *self.consumed.entry(self.seg_of(*slot)).or_insert(0) += 1;
+                        true
+                    }
+                }
+                None => !self.published.contains_key(slot),
+            },
+            Op::RecycleSegment { seg } => {
+                if *seg >= self.installed || self.recycled.contains(seg) {
+                    return false;
+                }
+                if self.consumed.get(seg).copied().unwrap_or(0) != self.seg_cap {
+                    return false;
+                }
+                self.recycled.insert(*seg);
+                true
+            }
             _ => false,
         }
     }
@@ -579,6 +700,158 @@ mod tests {
             },
         ]);
         assert!(!check_linearizable(&h, TicketSpec::new(8)));
+    }
+
+    #[test]
+    fn seg_spec_gates_publish_on_installation() {
+        // Reservation straddles a segment boundary (seg_cap 2): slots 0–1
+        // are publishable after install 0, slot 2 only after install 1.
+        let enq = Op::EnqueueBatch {
+            base: 0,
+            tokens: vec![5, 6, 7],
+            ok: true,
+        };
+        let h = seq(vec![
+            enq.clone(),
+            Op::InstallSegment { seg: 0 },
+            Op::Publish { slot: 0, token: 5 },
+            Op::Publish { slot: 1, token: 6 },
+            Op::InstallSegment { seg: 1 },
+            Op::Publish { slot: 2, token: 7 },
+        ]);
+        assert!(check_linearizable(&h, SegSpec::new(2)));
+        // Without the second install, publishing slot 2 is illegal.
+        let h2 = seq(vec![
+            enq,
+            Op::InstallSegment { seg: 0 },
+            Op::Publish { slot: 2, token: 7 },
+        ]);
+        assert!(!check_linearizable(&h2, SegSpec::new(2)));
+    }
+
+    #[test]
+    fn seg_spec_installs_are_in_order() {
+        let h = seq(vec![Op::InstallSegment { seg: 1 }]);
+        assert!(!check_linearizable(&h, SegSpec::new(2)));
+        let h2 = seq(vec![
+            Op::InstallSegment { seg: 0 },
+            Op::InstallSegment { seg: 0 },
+        ]);
+        assert!(!check_linearizable(&h2, SegSpec::new(2)));
+    }
+
+    #[test]
+    fn seg_spec_never_overflows() {
+        // 100 tokens through seg_cap 2 with only the first installed:
+        // the reservation itself is always legal.
+        let h = seq(vec![
+            Op::EnqueueBatch {
+                base: 0,
+                tokens: (0..100).collect(),
+                ok: true,
+            },
+            Op::InstallSegment { seg: 0 },
+        ]);
+        assert!(check_linearizable(&h, SegSpec::new(2)));
+        // A segmented enqueue claiming overflow is unlinearizable.
+        let h2 = seq(vec![Op::EnqueueBatch {
+            base: 0,
+            tokens: vec![1],
+            ok: false,
+        }]);
+        assert!(!check_linearizable(&h2, SegSpec::new(2)));
+    }
+
+    #[test]
+    fn seg_spec_recycle_requires_full_drain() {
+        let mk = |recycle_early: bool| {
+            let mut ops = vec![
+                Op::EnqueueBatch {
+                    base: 0,
+                    tokens: vec![5, 6],
+                    ok: true,
+                },
+                Op::InstallSegment { seg: 0 },
+                Op::Publish { slot: 0, token: 5 },
+                Op::Publish { slot: 1, token: 6 },
+                Op::Reserve { n: 2, base: 0 },
+                Op::TryTake {
+                    slot: 0,
+                    result: Some(5),
+                },
+            ];
+            if recycle_early {
+                ops.push(Op::RecycleSegment { seg: 0 });
+            }
+            ops.push(Op::TryTake {
+                slot: 1,
+                result: Some(6),
+            });
+            if !recycle_early {
+                ops.push(Op::RecycleSegment { seg: 0 });
+            }
+            seq(ops)
+        };
+        assert!(check_linearizable(&mk(false), SegSpec::new(2)));
+        // One slot still unconsumed: retirement is illegal — the ABA
+        // exclusion argument as a checkable property.
+        assert!(!check_linearizable(&mk(true), SegSpec::new(2)));
+    }
+
+    #[test]
+    fn seg_spec_publish_after_recycle_is_use_after_free() {
+        let h = seq(vec![
+            Op::EnqueueBatch {
+                base: 0,
+                tokens: vec![5],
+                ok: true,
+            },
+            Op::InstallSegment { seg: 0 },
+            Op::Publish { slot: 0, token: 5 },
+            Op::Reserve { n: 1, base: 0 },
+            Op::TryTake {
+                slot: 0,
+                result: Some(5),
+            },
+            Op::RecycleSegment { seg: 0 },
+            // Late publish into the retired segment's ticket range.
+            Op::EnqueueBatch {
+                base: 1,
+                tokens: vec![9],
+                ok: true,
+            },
+            Op::Publish { slot: 1, token: 9 },
+        ]);
+        assert!(!check_linearizable(&h, SegSpec::new(1)));
+    }
+
+    #[test]
+    fn seg_spec_recycles_out_of_order() {
+        // Segment 1 fully drains while segment 0's consumer is stalled;
+        // its retirement must not be blocked on segment 0's.
+        let h = seq(vec![
+            Op::EnqueueBatch {
+                base: 0,
+                tokens: vec![5, 6],
+                ok: true,
+            },
+            Op::InstallSegment { seg: 0 },
+            Op::InstallSegment { seg: 1 },
+            Op::Publish { slot: 0, token: 5 },
+            Op::Publish { slot: 1, token: 6 },
+            Op::Reserve { n: 2, base: 0 },
+            Op::TryTake {
+                slot: 1,
+                result: Some(6),
+            },
+            Op::RecycleSegment { seg: 1 },
+            Op::TryTake {
+                slot: 0,
+                result: Some(5),
+            },
+            Op::RecycleSegment { seg: 0 },
+        ]);
+        assert!(check_linearizable(&h, SegSpec::new(1)));
     }
 
     #[test]

@@ -19,17 +19,27 @@
 //!
 //! [`scenarios`] wires concrete producer/consumer programs for
 //! [`BaseQueue`](crate::host::BaseQueue),
-//! [`AnQueue`](crate::host::AnQueue) and
-//! [`RfAnQueue`](crate::host::RfAnQueue) into both drivers; the
-//! top-level `tests/linearizability.rs` suite runs them.
+//! [`AnQueue`](crate::host::AnQueue),
+//! [`RfAnQueue`](crate::host::RfAnQueue) and
+//! [`SegmentedRfAnQueue`](crate::host::SegmentedRfAnQueue) (segment
+//! installation and recycling as explicit linearization points, checked
+//! against [`SegSpec`]) into both drivers; the top-level
+//! `tests/linearizability.rs` suite runs them.
+//!
+//! [`conformance`] is a complementary *real-thread* harness: every host
+//! queue variant runs through one shared scenario matrix (FIFO order,
+//! MPMC token conservation, batch boundary crossing, overflow behaviour,
+//! reset-reuse) behind a common adapter trait.
 
+pub mod conformance;
 pub mod explorer;
 pub mod history;
 pub mod scenarios;
 
+pub use conformance::{conformance_suite, run_conformance, ConformanceReport, ConformingQueue};
 pub use explorer::{explore, explore_random, schedule_budget, ExploreStats, Program};
 pub use history::{
-    check_linearizable, BatchFifoSpec, CompletedOp, FifoSpec, History, Op, Recorder, SeqSpec,
-    TicketSpec,
+    check_linearizable, BatchFifoSpec, CompletedOp, FifoSpec, History, Op, Recorder, SegSpec,
+    SeqSpec, TicketSpec,
 };
-pub use scenarios::{AnScenario, BaseScenario, RfAnScenario, ScenarioReport};
+pub use scenarios::{AnScenario, BaseScenario, RfAnScenario, ScenarioReport, SegmentedScenario};

@@ -17,9 +17,9 @@
 
 use super::explorer::{explore, explore_random, Program};
 use super::history::{
-    check_linearizable, BatchFifoSpec, FifoSpec, History, Op, Recorder, TicketSpec,
+    check_linearizable, BatchFifoSpec, FifoSpec, History, Op, Recorder, SegSpec, TicketSpec,
 };
-use crate::host::{AnQueue, BaseQueue, RfAnQueue, SlotTicket};
+use crate::host::{AnQueue, BaseQueue, RfAnQueue, SegmentedRfAnQueue, SlotTicket};
 use std::collections::{BTreeSet, VecDeque};
 
 /// What a scenario run observed across all explored schedules.
@@ -723,6 +723,213 @@ impl RfAnScenario {
     }
 }
 
+// ----------------------------------------------------------- SEG-RF/AN --
+
+enum SegPush {
+    Idle,
+    Install { base: u64, last_seg: u64 },
+    Publish { base: u64, i: usize },
+}
+
+struct SegProducer {
+    thread: usize,
+    batches: Vec<Vec<u32>>,
+    next: usize,
+    state: SegPush,
+}
+
+impl Program<SegmentedRfAnQueue> for SegProducer {
+    fn done(&self) -> bool {
+        self.next >= self.batches.len() && matches!(self.state, SegPush::Idle)
+    }
+
+    fn step(&mut self, q: &SegmentedRfAnQueue, rec: &mut Recorder) {
+        match self.state {
+            SegPush::Idle => {
+                let batch = &self.batches[self.next];
+                let n = batch.len() as u64;
+                // One AFA reserves the whole region — the batch's single
+                // linearization point. Unlike the bounded RF/AN queue
+                // there is no overflow branch: a region past the
+                // installed prefix obligates this producer to install
+                // the covering segments before publishing.
+                let base = q.step_reserve_rear(n);
+                rec.atomic(
+                    self.thread,
+                    Op::EnqueueBatch {
+                        base,
+                        tokens: batch.clone(),
+                        ok: true,
+                    },
+                );
+                if n == 0 {
+                    self.next += 1;
+                } else {
+                    let last_seg = (base + n - 1) / q.seg_cap() as u64;
+                    self.state = SegPush::Install { base, last_seg };
+                }
+            }
+            SegPush::Install { base, last_seg } => {
+                // Each installation is its own linearization point (the
+                // directory store). Another producer may have already
+                // covered our region — then the probe is a silent no-op
+                // step and we move straight to publishing.
+                match q.step_install_next(last_seg) {
+                    Some(seg) => rec.atomic(self.thread, Op::InstallSegment { seg }),
+                    None => self.state = SegPush::Publish { base, i: 0 },
+                }
+            }
+            SegPush::Publish { base, i } => {
+                let batch = &self.batches[self.next];
+                q.step_publish(base + i as u64, batch[i]);
+                rec.atomic(
+                    self.thread,
+                    Op::Publish {
+                        slot: base + i as u64,
+                        token: batch[i],
+                    },
+                );
+                if i + 1 == batch.len() {
+                    self.next += 1;
+                    self.state = SegPush::Idle;
+                } else {
+                    self.state = SegPush::Publish { base, i: i + 1 };
+                }
+            }
+        }
+    }
+}
+
+struct SegConsumer {
+    thread: usize,
+    reserve_n: u64,
+    polls_left: usize,
+    reserved: bool,
+    pending: VecDeque<u64>,
+}
+
+impl Program<SegmentedRfAnQueue> for SegConsumer {
+    fn done(&self) -> bool {
+        self.reserved && (self.polls_left == 0 || self.pending.is_empty())
+    }
+
+    // Never blocks: reservations may outrun `Rear` and even the
+    // installed prefix (`take` reports a data wait for both), so the
+    // consumer polls under a bounded budget like the RF/AN consumer.
+
+    fn step(&mut self, q: &SegmentedRfAnQueue, rec: &mut Recorder) {
+        if !self.reserved {
+            let base = q.step_reserve_front(self.reserve_n);
+            rec.atomic(
+                self.thread,
+                Op::Reserve {
+                    n: self.reserve_n,
+                    base,
+                },
+            );
+            self.pending.extend(base..base + self.reserve_n);
+            self.reserved = true;
+            return;
+        }
+        let slot = self.pending.pop_front().expect("done() gates empty");
+        let (result, drained) = q.step_try_take(slot);
+        rec.atomic(self.thread, Op::TryTake { slot, result });
+        if let Some(seg) = drained {
+            // The pickup that empties a segment also retires it — both
+            // effects happen in the same indivisible step, so the two
+            // ops share one instant and the checker orders take-first.
+            rec.atomic(self.thread, Op::RecycleSegment { seg });
+        }
+        if result.is_none() {
+            self.pending.push_back(slot);
+        }
+        self.polls_left -= 1;
+    }
+}
+
+/// Batch producers and ticket-polling consumers against one
+/// [`SegmentedRfAnQueue`]: the bounded RF/AN scenario with segment
+/// installation and recycling as explicit, explorable steps.
+#[derive(Clone, Debug)]
+pub struct SegmentedScenario {
+    /// Slots per segment (small values force boundary straddles).
+    pub seg_cap: usize,
+    /// Batches per producer thread.
+    pub producers: Vec<Vec<Vec<u32>>>,
+    /// `(slots reserved, poll budget)` per consumer thread.
+    pub consumers: Vec<(u64, usize)>,
+}
+
+impl SegmentedScenario {
+    fn mk(
+        &self,
+    ) -> (
+        SegmentedRfAnQueue,
+        Vec<Box<dyn Program<SegmentedRfAnQueue>>>,
+    ) {
+        let mut programs: Vec<Box<dyn Program<SegmentedRfAnQueue>>> = Vec::new();
+        for (i, batches) in self.producers.iter().enumerate() {
+            programs.push(Box::new(SegProducer {
+                thread: i,
+                batches: batches.clone(),
+                next: 0,
+                state: SegPush::Idle,
+            }));
+        }
+        for (j, &(reserve_n, polls)) in self.consumers.iter().enumerate() {
+            programs.push(Box::new(SegConsumer {
+                thread: self.producers.len() + j,
+                reserve_n,
+                polls_left: polls,
+                reserved: false,
+                pending: VecDeque::new(),
+            }));
+        }
+        (SegmentedRfAnQueue::new(self.seg_cap), programs)
+    }
+
+    /// DFS over at most `budget` schedules, checking every history.
+    pub fn run(&self, budget: usize) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let seg_cap = self.seg_cap;
+        let stats = explore(
+            || self.mk(),
+            budget,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, SegSpec::new(seg_cap)),
+                    "SEG-RF/AN history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = stats.schedules;
+        report.exhausted = stats.exhausted;
+        report.max_depth = stats.max_depth;
+        report
+    }
+
+    /// Seeded random sampling; `schedules` counts distinct ones.
+    pub fn run_random(&self, samples: usize, seed: u64) -> ScenarioReport {
+        let mut report = ScenarioReport::default();
+        let seg_cap = self.seg_cap;
+        let distinct = explore_random(
+            || self.mk(),
+            samples,
+            seed,
+            |h, _q| {
+                assert!(
+                    check_linearizable(h, SegSpec::new(seg_cap)),
+                    "SEG-RF/AN history not linearizable: {h:?}"
+                );
+                digest(h, &mut report);
+            },
+        );
+        report.schedules = distinct;
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,6 +1009,45 @@ mod tests {
         let r = s.run(100_000);
         assert!(r.exhausted);
         assert_eq!(r.rejections, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn segmented_boundary_batch_every_schedule_linearizes() {
+        // seg_cap 2, one 3-token batch: the reservation straddles the
+        // segment boundary, so the producer installs two segments and
+        // the consumer can drain (and recycle) the first mid-run.
+        let s = SegmentedScenario {
+            seg_cap: 2,
+            producers: vec![vec![vec![1, 2, 3]]],
+            consumers: vec![(3, 6)],
+        };
+        let r = s.run(100_000);
+        assert!(r.exhausted, "small scenario should enumerate fully");
+        assert_eq!(r.histories_checked, r.schedules);
+        // Segmented enqueues never reject.
+        assert_eq!(r.rejections, BTreeSet::from([0]));
+        for d in &r.delivered {
+            let mut dd = d.clone();
+            dd.dedup();
+            assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+        }
+    }
+
+    #[test]
+    fn segmented_append_vs_drain_race_linearizes() {
+        // Two producers race installations while a consumer drains and
+        // recycles segments underneath them (seg_cap 1: every token is
+        // its own segment, maximizing install/recycle interleavings).
+        let s = SegmentedScenario {
+            seg_cap: 1,
+            producers: vec![vec![vec![1]], vec![vec![2]]],
+            consumers: vec![(2, 4)],
+        };
+        let r = s.run(100_000);
+        assert!(r.exhausted);
+        assert_eq!(r.rejections, BTreeSet::from([0]));
+        // Some schedule delivers both tokens.
+        assert!(r.delivered.contains(&vec![1, 2]));
     }
 
     #[test]

@@ -50,8 +50,11 @@
 use crate::kernel::PtKernel;
 use crate::runner::{enforce_retry_free, queue_capacity, PhaseWalls, PtConfig, Run};
 use crate::workload::{Bfs, PtWorkload, WorkBuffers};
-use gpu_queue::device::{make_wave_queue, QueueLayout};
-use gpu_queue::host::{EnqueueError, RfAnQueue};
+use gpu_queue::device::{
+    make_wave_queue, QueueLayout, SegmentedLayout, SegmentedWaveQueue, WaveQueue,
+};
+use gpu_queue::host::{EnqueueError, RfAnQueue, SegmentedRfAnQueue};
+use gpu_queue::Variant;
 use ptq_graph::Csr;
 use simt::{AbortReason, Engine, FaultPlan, GpuConfig, Launch, Metrics, Profile, SimError};
 
@@ -311,7 +314,7 @@ pub fn resume_workload<W: PtWorkload>(
         // before burning a device launch: corrupt tokens fail fast with a
         // structured error; an over-full frontier regrows capacity
         // host-side (no device attempt consumed).
-        match mirror_check(&ckpt.frontier, capacity) {
+        match mirror_check(config.variant, &ckpt.frontier, capacity) {
             Ok(()) => {}
             Err(EnqueueError::InvalidToken { token }) => {
                 return Err(SimError::AuditViolation(format!(
@@ -448,11 +451,22 @@ pub fn resume_bfs(
     )
 }
 
-/// Replays the snapshotted frontier through a host RF/AN mirror:
-/// `try_enqueue_batch` rejects sentinel collisions and over-capacity
-/// windows without touching state, and `try_reserve` proves the published
-/// window is drainable by a consumer.
-fn mirror_check(frontier: &[u32], capacity: u32) -> Result<(), EnqueueError> {
+/// Replays the snapshotted frontier through a host mirror of the run's
+/// queue family: `try_enqueue_batch` rejects sentinel collisions (and,
+/// for the bounded mirror, over-capacity windows) without touching
+/// state, and a reservation proves the published window is drainable by
+/// a consumer. Segmented variants mirror through
+/// [`SegmentedRfAnQueue`], whose only structural failure is a corrupt
+/// token — no frontier is too large, so the host-side capacity-regrow
+/// path is unreachable for them.
+fn mirror_check(variant: Variant, frontier: &[u32], capacity: u32) -> Result<(), EnqueueError> {
+    if variant.is_segmented() {
+        let mirror = SegmentedRfAnQueue::new(((capacity as usize) / 8).max(32));
+        mirror.try_enqueue_batch(frontier)?;
+        let window = mirror.reserve(frontier.len() as u64);
+        debug_assert_eq!(window.start, 0, "fresh mirror reserves from zero");
+        return Ok(());
+    }
     let mirror = RfAnQueue::new(capacity as usize);
     mirror.try_enqueue_batch(frontier)?;
     mirror
@@ -499,8 +513,16 @@ fn run_epoch<W: PtWorkload>(
     // Spill cursor + at most one entry per vertex (the on-queue bit
     // guarantees a vertex spills at most once per epoch).
     let spill = mem.alloc("spill", n + 1);
-    let layout = QueueLayout::setup(mem, "workqueue", capacity);
-    layout.host_seed(mem, &ckpt.frontier);
+    let seg_layout = config.variant.is_segmented().then(|| {
+        let layout = SegmentedLayout::for_capacity(mem, "workqueue", capacity);
+        layout.host_seed(mem, &ckpt.frontier);
+        layout
+    });
+    let layout = (!config.variant.is_segmented()).then(|| {
+        let layout = QueueLayout::setup(mem, "workqueue", capacity);
+        layout.host_seed(mem, &ckpt.frontier);
+        layout
+    });
 
     let buffers = WorkBuffers {
         nodes: mem.buffer("nodes"),
@@ -519,14 +541,12 @@ fn run_epoch<W: PtWorkload>(
     let variant = config.variant;
     let chunk = config.chunk;
     let report = engine.run_with_faults(launch, plan, |info| {
-        PtKernel::with_chunk(
-            make_wave_queue(variant, layout),
-            workload.clone(),
-            buffers,
-            info.wave_size,
-            chunk,
-        )
-        .with_fence(fence, spill)
+        let queue: Box<dyn WaveQueue> = match seg_layout {
+            Some(seg) => Box::new(SegmentedWaveQueue::new(seg)),
+            None => make_wave_queue(variant, layout.expect("bounded layout set up above")),
+        };
+        PtKernel::with_chunk(queue, workload.clone(), buffers, info.wave_size, chunk)
+            .with_fence(fence, spill)
     })?;
     if config.audit {
         enforce_retry_free(variant, &report.metrics)?;
@@ -763,6 +783,64 @@ mod tests {
         assert_eq!(a.values, b.values);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.seconds, b.seconds);
+    }
+
+    #[test]
+    fn segmented_recovers_wave_kill_without_queue_full() {
+        // The segmented variant rides the same checkpoint/resume loop,
+        // but its abort vocabulary has no queue-full entry: every
+        // recovery attempt in the log must be the injected fault.
+        let g = synthetic_tree(700, 4);
+        let plain = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg(Variant::SegRfAn)).unwrap();
+        let plan = FaultPlan::new().kill_wave(3, 1);
+        let policy = RecoveryPolicy {
+            checkpoint_levels: 2,
+            ..RecoveryPolicy::default()
+        };
+        let run = run_bfs_recoverable(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &cfg(Variant::SegRfAn),
+            &policy,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(run.values, plain.values, "recovered run must be exact");
+        assert!(run.recovery.aborts() >= 1);
+        assert!(
+            run.recovery
+                .attempts
+                .iter()
+                .all(|a| !matches!(a.reason, AbortReason::QueueFull { .. })),
+            "queue-full is unreachable on segmented variants: {:?}",
+            run.recovery.attempts
+        );
+        assert_eq!(
+            run.recovery.final_capacity_factor,
+            cfg(Variant::SegRfAn).capacity_factor,
+            "no capacity regrow ever triggers"
+        );
+    }
+
+    #[test]
+    fn segmented_mirror_still_rejects_corrupt_checkpoints() {
+        let g = synthetic_tree(64, 4);
+        let mut ckpt = Checkpoint::initial(64, 0);
+        ckpt.frontier = vec![u32::MAX]; // dna sentinel collision
+        let err = resume_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            &cfg(Variant::SegRfAn),
+            &RecoveryPolicy::default(),
+            &FaultPlan::EMPTY,
+            ckpt,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SimError::AuditViolation(msg) if msg.contains("corrupt checkpoint")),
+            "{err:?}"
+        );
     }
 
     #[test]

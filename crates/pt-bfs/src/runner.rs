@@ -12,7 +12,9 @@
 use crate::kernel::{PtKernel, CHUNK};
 use crate::recovery::{RecoveryAttempt, RecoveryLog};
 use crate::workload::{Bfs, PtWorkload, WorkBuffers};
-use gpu_queue::device::{make_wave_queue, QueueLayout};
+use gpu_queue::device::{
+    make_wave_queue, QueueLayout, SegmentedLayout, SegmentedWaveQueue, WaveQueue,
+};
 use gpu_queue::Variant;
 use ptq_graph::Csr;
 use simt::{Engine, GpuConfig, Launch, Metrics, Profile, SimError};
@@ -172,6 +174,19 @@ pub fn run_workload<W: PtWorkload>(
     workload: &W,
     config: &PtConfig,
 ) -> Result<Run, SimError> {
+    if config.variant.is_segmented() {
+        // No queue-full condition exists to recover from: overflow is a
+        // segment append, so the capacity-regrow loop disappears and the
+        // recovery log records a clean single-attempt run.
+        let mut run = run_workload_once(gpu, graph, workload, config)?;
+        run.recovery = RecoveryLog {
+            epochs: 1,
+            rounds_committed: run.metrics.rounds,
+            final_capacity_factor: config.capacity_factor,
+            ..RecoveryLog::default()
+        };
+        return Ok(run);
+    }
     let mut factor = config.capacity_factor;
     let mut log = RecoveryLog::default();
     loop {
@@ -276,8 +291,19 @@ fn run_workload_once<W: PtWorkload>(
     mem.write_u32(pending, 0, seeds.len() as u32);
 
     let capacity = queue_capacity(n, config.capacity_factor);
-    let layout = QueueLayout::setup(mem, "workqueue", capacity);
-    layout.host_seed(mem, &seeds);
+    // Segmented variants swap the one bounded ring for a recycled-segment
+    // arena sized from the same nominal capacity; everything else about
+    // the launch is identical.
+    let seg_layout = config.variant.is_segmented().then(|| {
+        let layout = SegmentedLayout::for_capacity(mem, "workqueue", capacity);
+        layout.host_seed(mem, &seeds);
+        layout
+    });
+    let layout = (!config.variant.is_segmented()).then(|| {
+        let layout = QueueLayout::setup(mem, "workqueue", capacity);
+        layout.host_seed(mem, &seeds);
+        layout
+    });
 
     let buffers = WorkBuffers {
         nodes: mem.buffer("nodes"),
@@ -300,13 +326,11 @@ fn run_workload_once<W: PtWorkload>(
 
     let sim_start = Instant::now();
     let report = engine.run(launch, |info| {
-        PtKernel::with_chunk(
-            make_wave_queue(variant, layout),
-            workload.clone(),
-            buffers,
-            info.wave_size,
-            chunk,
-        )
+        let queue: Box<dyn WaveQueue> = match seg_layout {
+            Some(seg) => Box::new(SegmentedWaveQueue::new(seg)),
+            None => make_wave_queue(variant, layout.expect("bounded layout set up above")),
+        };
+        PtKernel::with_chunk(queue, workload.clone(), buffers, info.wave_size, chunk)
     })?;
     if config.audit {
         enforce_retry_free(variant, &report.metrics)?;
@@ -723,6 +747,82 @@ mod tests {
                 });
             assert!(run.reached >= 1, "{variant:?}: the seed itself counts");
         }
+    }
+
+    #[test]
+    fn segmented_variant_bfs_exact_and_retry_free() {
+        let g = social(SocialParams {
+            vertices: 600,
+            avg_degree: 8.0,
+            alpha: 1.8,
+            seed: 5,
+            max_degree: 100,
+        });
+        let run = run_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            0,
+            &PtConfig::new(Variant::SegRfAn, 4),
+        )
+        .unwrap();
+        validate_levels(&g, 0, &run.values)
+            .unwrap_or_else(|(v, want, got)| panic!("vertex {v} level {got} != {want}"));
+        assert_eq!(run.metrics.cas_attempts, 0);
+        assert_eq!(run.metrics.total_retries(), 0);
+        assert!(run.recovery.attempts.is_empty());
+    }
+
+    #[test]
+    fn segmented_absorbs_what_bounded_queues_regrow_from() {
+        // A capacity factor far below lifetime enqueues: the bounded
+        // RF/AN queue needs capacity-regrow attempts; the segmented
+        // variant recycles drained segments through its small arena —
+        // zero recovery attempts, same exact levels. A chain keeps the
+        // *live* frontier tiny while the *lifetime* token count (the
+        // quantity that overflows bounded queues) spans every vertex —
+        // exactly the regime the segmented design exists for.
+        let mut b = ptq_graph::CsrBuilder::new(2_000);
+        for i in 0..1_999 {
+            b.add_undirected_edge(i, i + 1);
+        }
+        let g = b.build();
+        let mut seg_cfg = PtConfig::new(Variant::SegRfAn, 3);
+        seg_cfg.capacity_factor = 0.05;
+        let seg = run_bfs(&GpuConfig::test_tiny(), &g, 0, &seg_cfg).unwrap();
+        assert!(
+            seg.recovery.attempts.is_empty(),
+            "segmented runs never see queue-full: {:?}",
+            seg.recovery.attempts
+        );
+        validate_levels(&g, 0, &seg.values)
+            .unwrap_or_else(|(v, want, got)| panic!("vertex {v} level {got} != {want}"));
+
+        // The bounded run starts undersized too, but high enough that
+        // the paper's 16x regrow ceiling can still reach the lifetime
+        // token count (0.05 would abort even after regrowing).
+        let mut bounded_cfg = PtConfig::new(Variant::RfAn, 3);
+        bounded_cfg.capacity_factor = 0.2;
+        let bounded = run_bfs(&GpuConfig::test_tiny(), &g, 0, &bounded_cfg).unwrap();
+        assert!(
+            !bounded.recovery.attempts.is_empty(),
+            "undersized bounded run should have regrown"
+        );
+        assert_eq!(seg.values, bounded.values, "same fixed point either way");
+    }
+
+    #[test]
+    fn segmented_workloads_match_their_sequential_fixed_points() {
+        let g = erdos_renyi(400, 1600, 3);
+        let cc = ConnectedComponents;
+        let config = PtConfig::for_workload(&cc, Variant::SegRfAn, 3);
+        let run = run_workload(&GpuConfig::test_tiny(), &g, &cc, &config).unwrap();
+        cc.validate(&g, &run.values)
+            .unwrap_or_else(|(v, want, got)| panic!("cc: vertex {v} label {got} != {want}"));
+        let pr = PrDelta::new(0);
+        let config = PtConfig::for_workload(&pr, Variant::SegRfAn, 3);
+        let run = run_workload(&GpuConfig::test_tiny(), &g, &pr, &config).unwrap();
+        pr.validate(&g, &run.values)
+            .unwrap_or_else(|(v, want, got)| panic!("pr: vertex {v} contribution {got} != {want}"));
     }
 
     #[test]

@@ -130,6 +130,7 @@ fn golden_tail_mem_ops(variant: Variant) -> u64 {
         Variant::RfOnly => 9130,
         Variant::An => 12422,
         Variant::Base => 12422,
+        Variant::SegRfAn => unreachable!("long-tail goldens cover MATRIX only"),
     }
 }
 

@@ -19,7 +19,7 @@ use ptq::bfs::{
 };
 use ptq::graph::{random_weights, Dataset};
 use ptq::queue::Variant;
-use simt::{FaultPlan, FaultSpec, GpuConfig};
+use simt::{AbortReason, FaultPlan, FaultSpec, GpuConfig};
 
 /// The six dataset shapes at chaos-test scale: fractions chosen so every
 /// graph lands at roughly 1–2.5k vertices (seconds per run, not minutes).
@@ -91,6 +91,55 @@ fn seeded_chaos_matrix_converges_on_all_six_datasets() {
         assert_eq!(
             run.metrics.queue_empty_retries, 0,
             "{dataset:?}: RF/AN spun on empty"
+        );
+    }
+}
+
+/// The segmented leg of the chaos matrix: SEG-RF/AN rides the same
+/// checkpoint/resume loop across all six dataset shapes, but its abort
+/// vocabulary has no queue-full entry — every recovery attempt in the
+/// log must be an injected fault, never a capacity event, and no
+/// capacity regrow ever triggers. Levels stay byte-identical to the
+/// fault-free segmented golden, and the retry-free audit holds on every
+/// surviving launch.
+#[test]
+fn segmented_chaos_matrix_recovers_without_queue_full_on_all_six_datasets() {
+    let gpu = GpuConfig::test_tiny();
+    for (i, (dataset, fraction)) in CHAOS_SCALE.iter().enumerate() {
+        let graph = dataset.build(*fraction);
+        let source = dataset.source();
+        let config = PtConfig::new(Variant::SegRfAn, 3);
+        let golden = run_bfs(&gpu, &graph, source, &config)
+            .unwrap_or_else(|e| panic!("{dataset:?}: segmented golden run failed: {e}"));
+
+        let plan = chaos_plan(0xC4A05 ^ (i as u64) << 8, graph.num_vertices());
+        let run = run_bfs_recoverable(&gpu, &graph, source, &config, &chaos_policy(), &plan)
+            .unwrap_or_else(|e| panic!("{dataset:?}: segmented chaos run failed: {e}"));
+
+        assert_eq!(
+            run.values, golden.values,
+            "{dataset:?}: recovered levels diverge from fault-free segmented golden"
+        );
+        assert_eq!(run.reached, golden.reached, "{dataset:?}");
+        assert!(
+            run.recovery
+                .attempts
+                .iter()
+                .all(|a| !matches!(a.reason, AbortReason::QueueFull { .. })),
+            "{dataset:?}: queue-full is unreachable on segmented variants: {:?}",
+            run.recovery.attempts
+        );
+        assert_eq!(
+            run.recovery.final_capacity_factor, config.capacity_factor,
+            "{dataset:?}: capacity regrow triggered on a segmented run"
+        );
+        assert_eq!(
+            run.metrics.cas_failures, 0,
+            "{dataset:?}: SEG-RF/AN retried"
+        );
+        assert_eq!(
+            run.metrics.queue_empty_retries, 0,
+            "{dataset:?}: SEG-RF/AN spun on empty"
         );
     }
 }

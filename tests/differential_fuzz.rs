@@ -1,8 +1,9 @@
-//! Differential fuzzing: all five device schedulers (BASE, AN, RF-only,
-//! RF/AN, and the distributed stealing queue) are run on identical
-//! seeded workloads and must deliver identical token multisets — and
-//! identical BFS levels on identical graphs. Any divergence means one of
-//! the queue designs lost, duplicated, or invented a token.
+//! Differential fuzzing: all six device schedulers (BASE, AN, RF-only,
+//! RF/AN, the segmented SEG-RF/AN queue, and the distributed stealing
+//! queue) are run on identical seeded workloads and must deliver
+//! identical token multisets — and identical BFS levels on identical
+//! graphs. Any divergence means one of the queue designs lost,
+//! duplicated, or invented a token.
 
 use ptq::bfs::workload::{ConnectedComponents, PrDelta, PtWorkload};
 use ptq::bfs::{run_bfs, run_bfs_stealing, run_workload, run_workload_stealing, PtConfig};
@@ -10,7 +11,8 @@ use ptq::graph::gen::social;
 use ptq::graph::gen::SocialParams;
 use ptq::graph::Dataset;
 use ptq::queue::device::{
-    make_wave_queue, LanePhase, QueueLayout, StealingLayout, StealingWaveQueue, WaveQueue,
+    make_wave_queue, LanePhase, QueueLayout, SegmentedLayout, SegmentedWaveQueue, StealingLayout,
+    StealingWaveQueue, WaveQueue,
 };
 use ptq::queue::Variant;
 use simt::{Buffer, Engine, GpuConfig, Launch, WaveCtx, WaveKernel, WaveStatus};
@@ -145,6 +147,40 @@ fn pump_stealing(seeds: &[u32], wgs: usize, capacity: u32) -> Vec<u32> {
     out
 }
 
+/// Delivered-token multiset (sorted) for the segmented SEG-RF/AN queue.
+/// `FuzzPump` already re-offers unaccepted tokens next cycle, so the
+/// segmented backpressure contract (partial accepts instead of aborts)
+/// needs no kernel change — the same pump drives both queue families.
+fn pump_segmented(seeds: &[u32], wgs: usize, capacity: u32) -> Vec<u32> {
+    let mut engine = Engine::new(GpuConfig::test_tiny());
+    let layout = SegmentedLayout::for_capacity(engine.memory_mut(), "sq", capacity);
+    let pending = engine.memory_mut().alloc("pending", 1);
+    layout.host_seed(engine.memory_mut(), seeds);
+    engine
+        .memory_mut()
+        .write_u32(pending, 0, seeds.len() as u32);
+    let consumed = Arc::new(Mutex::new(Vec::new()));
+    let wave_size = engine.config().wave_size;
+    engine
+        .run(
+            Launch::workgroups(wgs)
+                .with_max_rounds(2_000_000)
+                .with_audit(),
+            |_info| FuzzPump {
+                queue: Box::new(SegmentedWaveQueue::new(layout)),
+                lanes: vec![LanePhase::Idle; wave_size],
+                pending,
+                consumed: Arc::clone(&consumed),
+                outbox: Vec::new(),
+                completed: 0,
+            },
+        )
+        .unwrap_or_else(|e| panic!("segmented pump failed: {e}"));
+    let mut out = consumed.lock().unwrap().clone();
+    out.sort_unstable();
+    out
+}
+
 /// Seeded workload: `count` tokens below `FANOUT_UNTIL * 2` (so roughly
 /// half fan out), plus the exact multiset every scheduler must deliver.
 fn workload(seed: u64, count: usize) -> (Vec<u32>, Vec<u32>) {
@@ -165,7 +201,7 @@ fn workload(seed: u64, count: usize) -> (Vec<u32>, Vec<u32>) {
 }
 
 #[test]
-fn all_five_schedulers_deliver_identical_multisets() {
+fn all_six_schedulers_deliver_identical_multisets() {
     for (round, &seed) in [0xFEED_0001u64, 0xFEED_0002, 0xFEED_0003]
         .iter()
         .enumerate()
@@ -184,12 +220,14 @@ fn all_five_schedulers_deliver_identical_multisets() {
         }
         let got = pump_stealing(&seeds, 4, capacity);
         assert_eq!(got, expect, "stealing diverged on seed {seed:#x}");
+        let got = pump_segmented(&seeds, 4, capacity);
+        assert_eq!(got, expect, "segmented diverged on seed {seed:#x}");
     }
 }
 
 #[test]
-fn all_five_schedulers_agree_on_bfs_levels() {
-    // One seeded scale-free graph, five schedulers: identical levels.
+fn all_six_schedulers_agree_on_bfs_levels() {
+    // One seeded scale-free graph, six schedulers: identical levels.
     let mut rng = 0xB0B0_CAFEu64;
     let graph = social(SocialParams {
         vertices: 700,
@@ -202,7 +240,12 @@ fn all_five_schedulers_agree_on_bfs_levels() {
     let reference = run_bfs(&gpu, &graph, 0, &PtConfig::new(Variant::Base, 4))
         .unwrap()
         .values;
-    for variant in [Variant::An, Variant::RfOnly, Variant::RfAn] {
+    for variant in [
+        Variant::An,
+        Variant::RfOnly,
+        Variant::RfAn,
+        Variant::SegRfAn,
+    ] {
         let run = run_bfs(&gpu, &graph, 0, &PtConfig::new(variant, 4))
             .unwrap_or_else(|e| panic!("{variant:?}: {e}"));
         assert_eq!(run.values, reference, "{variant:?} BFS levels diverged");
@@ -221,15 +264,17 @@ const FUZZ_SCALE: [(Dataset, f64); 6] = [
     (Dataset::RoadUSA, 0.0001),
 ];
 
-/// Runs `workload` under all five device schedulers (the four
-/// monolithic-queue variants plus the distributed stealing queue) on one
-/// graph and checks every run's value array against the sequential
-/// oracle — confluence means they must all land on the identical fixed
-/// point. Retry-free variants additionally audit zero CAS traffic.
-fn all_five_agree_with_oracle<W: PtWorkload>(graph: &ptq::graph::Csr, workload: &W, tag: &str) {
+/// Runs `workload` under all six device schedulers (the four
+/// monolithic-queue variants, the segmented SEG-RF/AN queue, and the
+/// distributed stealing queue) on one graph and checks every run's
+/// value array against the sequential oracle — confluence means they
+/// must all land on the identical fixed point. Retry-free variants
+/// additionally audit zero CAS traffic.
+fn all_six_agree_with_oracle<W: PtWorkload>(graph: &ptq::graph::Csr, workload: &W, tag: &str) {
     let gpu = GpuConfig::test_tiny();
     let oracle = workload.reference(graph);
-    for variant in Variant::MATRIX {
+    let variants = Variant::MATRIX.iter().chain([&Variant::SegRfAn]);
+    for &variant in variants {
         let config = PtConfig::for_workload(workload, variant, 4);
         let run = run_workload(&gpu, graph, workload, &config)
             .unwrap_or_else(|e| panic!("{tag}/{variant:?}: {e}"));
@@ -255,18 +300,18 @@ fn all_five_agree_with_oracle<W: PtWorkload>(graph: &ptq::graph::Csr, workload: 
 }
 
 #[test]
-fn connected_components_agree_across_all_five_schedulers() {
+fn connected_components_agree_across_all_six_schedulers() {
     for (dataset, fraction) in FUZZ_SCALE {
         let graph = dataset.build(fraction);
-        all_five_agree_with_oracle(&graph, &ConnectedComponents, &format!("cc/{dataset:?}"));
+        all_six_agree_with_oracle(&graph, &ConnectedComponents, &format!("cc/{dataset:?}"));
     }
 }
 
 #[test]
-fn prdelta_agrees_across_all_five_schedulers() {
+fn prdelta_agrees_across_all_six_schedulers() {
     for (dataset, fraction) in FUZZ_SCALE {
         let graph = dataset.build(fraction);
-        all_five_agree_with_oracle(
+        all_six_agree_with_oracle(
             &graph,
             &PrDelta::new(dataset.source()),
             &format!("pr-delta/{dataset:?}"),

@@ -46,10 +46,14 @@ const PAR_SCALE: [(Dataset, f64); 6] = [
 /// has to produce identical bytes.
 const WORKER_SWEEP: [usize; 2] = [2, 4];
 
-fn config(workers: usize) -> PtConfig {
-    let mut config = PtConfig::new(Variant::RfAn, 3);
+fn config_for(variant: Variant, workers: usize) -> PtConfig {
+    let mut config = PtConfig::new(variant, 3);
     config.engine_workers = workers;
     config
+}
+
+fn config(workers: usize) -> PtConfig {
+    config_for(Variant::RfAn, workers)
 }
 
 /// Byte-level equality over everything the determinism contract covers.
@@ -89,23 +93,29 @@ fn assert_retry_free(run: &Run, label: &str) {
 /// byte-identity and the retry-free audit. Returns the number of plan
 /// rounds observed across the parallel runs so callers can assert the
 /// sweep was not vacuous.
-fn sweep_workload<W: PtWorkload>(
+fn sweep_workload_variant<W: PtWorkload>(
     gpu: &GpuConfig,
     dataset: Dataset,
     fraction: f64,
     workload: &W,
+    variant: Variant,
 ) -> u64 {
     let graph = dataset.build(fraction);
-    let serial = run_workload(gpu, &graph, workload, &config(1)).expect("serial run failed");
+    let serial =
+        run_workload(gpu, &graph, workload, &config_for(variant, 1)).expect("serial run failed");
     assert_eq!(
         serial.profile.plan_rounds, 0,
         "serial engine must never plan"
     );
     let mut plan_rounds = 0;
     for workers in WORKER_SWEEP {
-        let label = format!("{}/{:?}/workers={workers}", workload.name(), dataset);
-        let parallel =
-            run_workload(gpu, &graph, workload, &config(workers)).expect("parallel run failed");
+        let label = format!(
+            "{}/{variant:?}/{:?}/workers={workers}",
+            workload.name(),
+            dataset
+        );
+        let parallel = run_workload(gpu, &graph, workload, &config_for(variant, workers))
+            .expect("parallel run failed");
         assert_runs_identical(&serial, &parallel, &label);
         assert_retry_free(&parallel, &label);
         assert_eq!(
@@ -115,6 +125,16 @@ fn sweep_workload<W: PtWorkload>(
         plan_rounds += parallel.profile.plan_rounds;
     }
     plan_rounds
+}
+
+/// The RF/AN sweep used by the per-workload differential tests.
+fn sweep_workload<W: PtWorkload>(
+    gpu: &GpuConfig,
+    dataset: Dataset,
+    fraction: f64,
+    workload: &W,
+) -> u64 {
+    sweep_workload_variant(gpu, dataset, fraction, workload, Variant::RfAn)
 }
 
 #[test]
@@ -160,6 +180,27 @@ fn prdelta_parallel_engine_is_byte_identical_across_workers() {
     let mut plan_rounds = 0;
     for (dataset, fraction) in PAR_SCALE {
         plan_rounds += sweep_workload(&gpu, dataset, fraction, &PrDelta::new(dataset.source()));
+    }
+    assert!(plan_rounds > 0, "no parallel plan round ever ran");
+}
+
+/// The segmented leg: SEG-RF/AN's plan/commit split must be just as
+/// worker-count-unobservable as the bounded queues' — segment installs
+/// and the `plan_token` prediction happen identically at 1/2/4 workers,
+/// so every `Run` byte (simulated seconds, metrics, values, per-CU
+/// cycles) matches the serial baseline across the six dataset shapes.
+#[test]
+fn segmented_parallel_engine_is_byte_identical_across_workers() {
+    let gpu = GpuConfig::test_tiny();
+    let mut plan_rounds = 0;
+    for (dataset, fraction) in PAR_SCALE {
+        plan_rounds += sweep_workload_variant(
+            &gpu,
+            dataset,
+            fraction,
+            &Bfs::new(dataset.source()),
+            Variant::SegRfAn,
+        );
     }
     assert!(plan_rounds > 0, "no parallel plan round ever ran");
 }

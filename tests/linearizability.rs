@@ -7,7 +7,10 @@
 //! the suite in CI's PR-gating time box; the `verify-deep` job raises
 //! them via `PTQ_SCHEDULES` (see `.github/workflows/ci.yml`).
 
-use ptq::queue::verify::{schedule_budget, AnScenario, BaseScenario, RfAnScenario, ScenarioReport};
+use ptq::queue::verify::{
+    conformance_suite, run_conformance, schedule_budget, AnScenario, BaseScenario, RfAnScenario,
+    ScenarioReport, SegmentedScenario,
+};
 use std::collections::BTreeSet;
 
 /// Default DFS budget per scenario. The acceptance bar is >= 1,000
@@ -198,4 +201,113 @@ fn rfan_random_sampling() {
     };
     let r = s.run_random(schedule_budget(DEFAULT_BUDGET), 0x5EED_0003);
     assert!(r.schedules >= 100, "only {} distinct samples", r.schedules);
+}
+
+// ------------------------------------------------- SEG-RF/AN (segmented) ----
+
+#[test]
+fn segmented_boundary_straddling_reserve() {
+    // seg_cap 2, one batch of 3: the reservation straddles the segment
+    // boundary, so the producer must install segment 1 before it may
+    // publish its tail token. Every interleaving with the two racing
+    // consumers must linearize, with no overflow rejection possible.
+    let s = SegmentedScenario {
+        seg_cap: 2,
+        producers: vec![vec![vec![1, 2, 3]]],
+        consumers: vec![(2, 5), (1, 3)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "SEG boundary straddle");
+    assert_eq!(r.rejections, BTreeSet::from([0]), "segmented never rejects");
+    for d in &r.delivered {
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+        for t in d {
+            assert!([1, 2, 3].contains(t), "invented token {t}");
+        }
+    }
+}
+
+#[test]
+fn segmented_append_vs_drain_race() {
+    // Two producers race segment installation while a consumer drains the
+    // queue out from under them: the install linearization point (one lock
+    // acquisition per directory append) must commute with concurrent
+    // publishes and takes in every schedule.
+    let s = SegmentedScenario {
+        seg_cap: 2,
+        producers: vec![vec![vec![1, 2]], vec![vec![3]]],
+        consumers: vec![(3, 6)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "SEG append vs drain");
+    assert_eq!(r.rejections, BTreeSet::from([0]));
+}
+
+#[test]
+fn segmented_recycle_aba_single_slot_segments() {
+    // seg_cap 1: every token occupies its own segment, so each take
+    // retires a segment and pushes its storage onto the recycle pool,
+    // from which the next install immediately re-arms it. The maximal
+    // install/publish/take/recycle interleaving stress for ABA bugs.
+    let s = SegmentedScenario {
+        seg_cap: 1,
+        producers: vec![vec![vec![1]], vec![vec![2]]],
+        consumers: vec![(2, 5)],
+    };
+    let r = s.run(schedule_budget(DEFAULT_BUDGET));
+    assert_coverage(&r, "SEG recycle/ABA");
+    assert_eq!(r.rejections, BTreeSet::from([0]));
+    for d in &r.delivered {
+        let mut dd = d.clone();
+        dd.dedup();
+        assert_eq!(dd.len(), d.len(), "double delivery in {d:?}");
+    }
+}
+
+#[test]
+fn segmented_random_sampling() {
+    let s = SegmentedScenario {
+        seg_cap: 2,
+        producers: vec![vec![vec![1, 2], vec![3]], vec![vec![4]]],
+        consumers: vec![(3, 6)],
+    };
+    let r = s.run_random(schedule_budget(DEFAULT_BUDGET), 0x5EED_0004);
+    assert!(r.schedules >= 100, "only {} distinct samples", r.schedules);
+}
+
+// ------------------------------------------------- conformance harness ----
+
+#[test]
+fn conformance_matrix_covers_every_host_variant() {
+    // The reusable conformance harness runs every host queue variant —
+    // bounded and segmented — through one shared scenario matrix. Ordered
+    // labels double as a registry check: adding a variant without wiring
+    // it into the suite fails here.
+    let reports: Vec<_> = conformance_suite()
+        .iter()
+        .map(|mk| run_conformance(*mk))
+        .collect();
+    let labels: Vec<&str> = reports.iter().map(|r| r.label).collect();
+    assert_eq!(
+        labels,
+        [
+            "BASE",
+            "AN",
+            "MUTEX",
+            "RF/AN",
+            "SEG-RF/AN",
+            "SEG-RF",
+            "SEG-AN"
+        ]
+    );
+    for r in &reports {
+        assert_eq!(r.cases.len(), 5, "{}: missing conformance case", r.label);
+        if r.label.starts_with("SEG") {
+            assert!(r.segment_appends > 0, "{}: never grew a segment", r.label);
+        } else {
+            assert_eq!(r.segment_appends, 0, "{}: bounded queue appended", r.label);
+        }
+    }
 }

@@ -10,6 +10,8 @@
 //!   chaos        seeded fault injection + checkpoint/resume recovery
 //!   workloads    all four workloads (BFS/SSSP/CC/PR-delta) vs oracles
 //!   giant        streamed vs in-memory construction at giant scale
+//!   serve        overload-safe serving core: admission, deadlines,
+//!                retry/backoff, quarantine over a seeded arrival trace
 //!   verify       machine-checked reproduction verdicts
 //!   all          everything above (except verify and giant)
 //!
@@ -36,7 +38,7 @@
 //! throughput) next to the tables so performance has a trajectory.
 
 use repro_bench::experiments::{
-    ablate, chaos, common, fig1, fig3, fig4, fig5, giant, scaling, table12, table34, table5,
+    ablate, chaos, common, fig1, fig3, fig4, fig5, giant, scaling, serve, table12, table34, table5,
     table6, verify, workloads,
 };
 use repro_bench::{Scale, Sched, Table};
@@ -147,7 +149,7 @@ fn usage(error: &str) -> ExitCode {
         "usage: repro <experiment> [--scale F | --full] [--jobs N] [--engine-workers N] [--out DIR]\n\
          experiments: table1 table2 table3 table4 table5 table6 \
          fig1 fig3 fig4 fig5 scaling ablate-matrix ablate-stealing ablate-chunk \
-         ablate-occupancy chaos workloads giant verify all"
+         ablate-occupancy chaos workloads giant serve verify all"
     );
     if error.is_empty() {
         ExitCode::SUCCESS
@@ -249,6 +251,42 @@ fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
         ),
         None => "null".to_owned(),
     };
+    // Serve legs: everything in this section is simulated (cycles,
+    // counts, rates over cycles), so unlike the wall-clock sections it
+    // is byte-identical across --jobs and --engine-workers — CI
+    // extracts and diffs it (serve-smoke).
+    let serve_entries: Vec<String> = common::serve_bench()
+        .iter()
+        .map(|b| {
+            format!(
+                "    {{\"leg\": \"{}\", \"queries\": {}, \"completed\": {}, \
+                 \"retried\": {}, \"shed\": {}, \"quarantined\": {}, \
+                 \"rejected_queue_full\": {}, \"rejected_quarantined\": {}, \
+                 \"p50_latency_cycles\": {}, \"p99_latency_cycles\": {}, \
+                 \"makespan_cycles\": {}, \"throughput_qps\": {:.3}, \
+                 \"shed_rate\": {:.4}, \"quarantine_rate\": {:.4}}}",
+                b.leg,
+                b.queries,
+                b.completed,
+                b.retried,
+                b.shed,
+                b.quarantined,
+                b.rejected_queue_full,
+                b.rejected_quarantined,
+                b.p50_latency_cycles,
+                b.p99_latency_cycles,
+                b.makespan_cycles,
+                b.throughput_qps,
+                b.shed_rate,
+                b.quarantine_rate,
+            )
+        })
+        .collect();
+    let serve_json = if serve_entries.is_empty() {
+        "null".to_owned()
+    } else {
+        format!("[\n{}\n  ]", serve_entries.join(",\n"))
+    };
     // Top-level wall-clock summary: how long the whole invocation took
     // and what parallelism (outer jobs x inner engine workers, host
     // cores) it ran with. CI fails a BENCH artifact that lacks this.
@@ -268,6 +306,7 @@ fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
          \"rounds_per_second\": {:.0},\n  \"slowest_point\": {slowest},\n  \
          \"recovery\": {recovery},\n  \"workloads\": {workloads_json},\n  \
          \"profile\": {profile},\n  \"giant\": {giant},\n  \
+         \"serve\": {serve_json},\n  \
          \"experiments\": [\n{}\n  ]\n}}\n",
         opts.scale.fraction(),
         opts.sched.jobs(),
@@ -388,6 +427,17 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
             let rows = workloads::measure(opts.scale, sched);
             emit(&workloads::table(&rows), opts, "workloads");
         }
+        "serve" => {
+            let results = serve::measure(opts.scale, sched);
+            for (leg, log) in &results {
+                emit(
+                    &log.table(&format!("Serve [{}]: per-query outcomes", leg.name)),
+                    opts,
+                    &format!("serve_{}", leg.name),
+                );
+            }
+            emit(&serve::summary_table(&results), opts, "serve_summary");
+        }
         // Not part of "all": the giant pipeline is serial by design (the
         // eager-zeroing A/B toggle is process-global) and its pinned
         // full-scale default builds a 134M-edge graph twice.
@@ -412,6 +462,7 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
                 "ablate-occupancy",
                 "chaos",
                 "workloads",
+                "serve",
             ] {
                 eprintln!("== {exp} ==");
                 let start = Instant::now();

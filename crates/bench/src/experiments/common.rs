@@ -156,6 +156,57 @@ impl GiantBench {
     }
 }
 
+/// One serve-leg entry for the `serve` section of `BENCH_repro.json`.
+/// Every field is simulated (cycles, counts, rates over cycles), so the
+/// section is byte-identical at any `--jobs` and `--engine-workers`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeBench {
+    /// Leg name ("steady", "overload", "faulted").
+    pub leg: &'static str,
+    /// Queries offered by the leg's trace.
+    pub queries: u64,
+    /// Completed (oracle-validated) queries.
+    pub completed: u64,
+    /// Completed queries that needed at least one service-level retry.
+    pub retried: u64,
+    /// Deadline-shed queries.
+    pub shed: u64,
+    /// Quarantined queries.
+    pub quarantined: u64,
+    /// Admission rejections: backlog at its bound.
+    pub rejected_queue_full: u64,
+    /// Admission rejections: quarantined signature.
+    pub rejected_quarantined: u64,
+    /// Median admission→completion latency in simulated cycles.
+    pub p50_latency_cycles: u64,
+    /// 99th-percentile latency in simulated cycles.
+    pub p99_latency_cycles: u64,
+    /// Simulated cycle of the last terminal state.
+    pub makespan_cycles: u64,
+    /// Completed queries per simulated second.
+    pub throughput_qps: f64,
+    /// Shed fraction of offered queries.
+    pub shed_rate: f64,
+    /// Quarantined fraction of offered queries.
+    pub quarantine_rate: f64,
+}
+
+static SERVE_BENCH: Mutex<Vec<ServeBench>> = Mutex::new(Vec::new());
+
+/// Records one serve leg's summary (replacing an earlier record of the
+/// same leg, so re-runs within a process stay idempotent).
+pub fn record_serve(bench: ServeBench) {
+    let mut legs = SERVE_BENCH.lock().unwrap();
+    legs.retain(|b| b.leg != bench.leg);
+    legs.push(bench);
+    legs.sort_by_key(|b| b.leg);
+}
+
+/// The serve experiment's per-leg summaries, if it ran.
+pub fn serve_bench() -> Vec<ServeBench> {
+    SERVE_BENCH.lock().unwrap().clone()
+}
+
 static GIANT_BENCH: Mutex<Option<GiantBench>> = Mutex::new(None);
 
 /// Records the giant experiment's wall-clock outcome.

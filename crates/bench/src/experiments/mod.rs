@@ -17,6 +17,7 @@
 //! | chaos / recovery | [`chaos::table`] | `chaos` |
 //! | workload matrix | [`workloads::table`] | `workloads` |
 //! | giant-graph scale | [`giant::table`] | `giant` |
+//! | serving core | [`serve::summary_table`] | `serve_*` |
 
 pub mod ablate;
 pub mod chaos;
@@ -27,6 +28,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod giant;
 pub mod scaling;
+pub mod serve;
 pub mod table12;
 pub mod table34;
 pub mod table5;

@@ -1,0 +1,306 @@
+//! `repro serve` — the overload-safe serving core under three offered
+//! loads.
+//!
+//! Three seeded arrival traces exercise the service's full outcome
+//! taxonomy on the six-dataset pool:
+//!
+//! * **steady** — generous deadlines, wide arrival gaps: every query
+//!   completes first try (the no-drama baseline).
+//! * **overload** — a burst of near-simultaneous arrivals against a
+//!   tiny backlog bound and tight deadlines: typed `QueueFull`
+//!   backpressure plus deadline-based shedding, while every admitted
+//!   query still reaches a terminal state.
+//! * **faulted** — seeded fault plans on every third query (retry via
+//!   checkpoint resume with backoff) plus one watchdog-poisoned query
+//!   that exhausts its retry budget, is quarantined with its recovery
+//!   log, and gets its resubmission rejected at admission.
+//!
+//! `measure` is also a conformance harness: it panics if a leg fails
+//! its invariants (zero admission enqueue errors, zero execution-side
+//! `QueueFull` aborts on the segmented variant, the expected outcome
+//! mix per leg), so `repro serve` doubles as the robustness gate CI
+//! runs serial vs parallel and byte-diffs.
+
+use ptq_graph::Dataset;
+
+use super::common::{record_rounds, record_serve, ServeBench};
+use crate::report::Table;
+use crate::serve::{
+    ArrivalTrace, Disposition, OutcomeLog, Service, ServiceConfig, TraceParams, WorkloadKind,
+};
+use crate::{Scale, Sched};
+
+/// Trace seed for every serve leg.
+pub const SEED: u64 = 0x5E4E;
+
+/// The six-dataset pool with per-dataset scale fractions (same spirit
+/// as the chaos matrix: comparable simulated sizes across datasets).
+const SERVE_POOL: &[(Dataset, f64)] = &[
+    (Dataset::Synthetic, 0.004),
+    (Dataset::GplusCombined, 0.1),
+    (Dataset::SocLiveJournal1, 0.006),
+    (Dataset::RoadNY, 0.1),
+    (Dataset::RoadLKS, 0.01),
+    (Dataset::RoadUSA, 0.002),
+];
+
+/// One serve leg: a named trace plus the service configuration it runs
+/// under.
+pub struct Leg {
+    /// Leg name ("steady", "overload", "faulted").
+    pub name: &'static str,
+    /// The offered load.
+    pub trace: ArrivalTrace,
+    /// The service policy under test.
+    pub config: ServiceConfig,
+}
+
+/// The three standard legs at `scale`.
+pub fn legs(scale: Scale) -> Vec<Leg> {
+    let steady = Leg {
+        name: "steady",
+        trace: ArrivalTrace::seeded(
+            SEED,
+            &TraceParams {
+                queries: 10,
+                mean_gap_cycles: 3_000_000,
+                deadline_range: (400_000_000, 800_000_000),
+                datasets: SERVE_POOL,
+                fault_every: 0,
+                faults_per_query: 0,
+            },
+        ),
+        config: ServiceConfig::standard(scale),
+    };
+
+    // Burst arrivals against a 3-query backlog: everything lands before
+    // the first query finishes, so admission must reject most of the
+    // burst, and the tight deadline draws shed part of what fits.
+    let mut overload_config = ServiceConfig::standard(scale);
+    overload_config.backlog_limit = 3;
+    let overload = Leg {
+        name: "overload",
+        trace: ArrivalTrace::seeded(
+            SEED ^ 0x10AD,
+            &TraceParams {
+                queries: 16,
+                mean_gap_cycles: 2_000,
+                deadline_range: (100_000, 3_000_000),
+                datasets: SERVE_POOL,
+                fault_every: 0,
+                faults_per_query: 0,
+            },
+        ),
+        config: overload_config,
+    };
+
+    let mut faulted_trace = ArrivalTrace::seeded(
+        SEED ^ 0xFA17,
+        &TraceParams {
+            queries: 9,
+            mean_gap_cycles: 3_000_000,
+            deadline_range: (400_000_000, 800_000_000),
+            datasets: SERVE_POOL,
+            fault_every: 3,
+            faults_per_query: 1,
+        },
+    );
+    let poison = faulted_trace.push_poison(WorkloadKind::Bfs, Dataset::RoadNY, 0.1, 2, 1_000_000);
+    // Arrives long after the poison query's backoff ladder has run dry,
+    // so it meets the quarantine instead of re-running the poison.
+    faulted_trace.push_resubmission(poison, 80_000_000);
+    let faulted = Leg {
+        name: "faulted",
+        trace: faulted_trace,
+        config: ServiceConfig::standard(scale),
+    };
+
+    vec![steady, overload, faulted]
+}
+
+/// Runs every leg, enforces its invariants, and records the `serve`
+/// BENCH section. The returned logs are byte-identical at any `sched`
+/// width and engine worker budget.
+pub fn measure(scale: Scale, sched: &Sched) -> Vec<(Leg, OutcomeLog)> {
+    legs(scale)
+        .into_iter()
+        .map(|leg| {
+            eprintln!(
+                "  serving {} trace ({} queries) ...",
+                leg.name,
+                leg.trace.queries.len()
+            );
+            let service = Service::new(leg.config.clone());
+            let profiles = service.profiles(&leg.trace, sched);
+            record_rounds(
+                profiles
+                    .iter()
+                    .flat_map(|p| p.attempts.iter().map(|a| a.rounds))
+                    .sum(),
+            );
+            let log = service.replay(&leg.trace, &profiles);
+            enforce(leg.name, &log);
+            let s = log.summary();
+            record_serve(ServeBench {
+                leg: leg.name,
+                queries: s.queries,
+                completed: s.completed,
+                retried: s.retried,
+                shed: s.shed,
+                quarantined: s.quarantined,
+                rejected_queue_full: s.rejected_queue_full,
+                rejected_quarantined: s.rejected_quarantined,
+                p50_latency_cycles: s.p50_latency_cycles,
+                p99_latency_cycles: s.p99_latency_cycles,
+                makespan_cycles: s.makespan_cycles,
+                throughput_qps: s.throughput_qps(&service.config().gpu),
+                shed_rate: s.shed_rate,
+                quarantine_rate: s.quarantine_rate,
+            });
+            (leg, log)
+        })
+        .collect()
+}
+
+/// Leg invariants. Violations are bugs, not data points — panic like
+/// the workload oracle checks do.
+fn enforce(leg: &str, log: &OutcomeLog) {
+    assert_eq!(
+        log.admission_errors, 0,
+        "{leg}: the segmented admission path must never refuse a token"
+    );
+    assert_eq!(
+        log.execution_queue_full, 0,
+        "{leg}: the segmented execution variant must never abort queue-full"
+    );
+    match leg {
+        "steady" => {
+            for o in &log.outcomes {
+                assert_eq!(
+                    o.disposition,
+                    Disposition::Completed,
+                    "steady: query {} must complete first try",
+                    o.id
+                );
+                assert_eq!(o.attempts, 1, "steady: query {} retried", o.id);
+            }
+        }
+        "overload" => {
+            assert!(
+                log.count(Disposition::Completed) >= 1,
+                "overload: nothing completed"
+            );
+            assert!(log.count(Disposition::Shed) >= 1, "overload: nothing shed");
+            assert!(
+                log.count(Disposition::RejectedQueueFull) >= 1,
+                "overload: no backpressure"
+            );
+            assert_eq!(log.count(Disposition::Quarantined), 0);
+            // Every admitted query reaches a terminal state without a
+            // crash: completed, or shed at first dispatch.
+            for o in &log.outcomes {
+                assert!(
+                    matches!(
+                        o.disposition,
+                        Disposition::Completed | Disposition::Shed | Disposition::RejectedQueueFull
+                    ),
+                    "overload: query {} ended {:?}",
+                    o.id,
+                    o.disposition
+                );
+            }
+        }
+        "faulted" => {
+            assert!(
+                log.retried() >= 1,
+                "faulted: no query completed through a checkpoint-resumed retry"
+            );
+            assert_eq!(
+                log.count(Disposition::Quarantined),
+                1,
+                "faulted: exactly the poison query must be quarantined"
+            );
+            assert_eq!(
+                log.count(Disposition::RejectedQuarantined),
+                1,
+                "faulted: the resubmission must be rejected at admission"
+            );
+            // Quarantine isolates the poison family only: every other
+            // query completes.
+            assert_eq!(
+                log.count(Disposition::Completed),
+                log.outcomes.len() as u64 - 2,
+                "faulted: a non-poison query failed to complete"
+            );
+            let quarantined = log
+                .outcomes
+                .iter()
+                .find(|o| o.disposition == Disposition::Quarantined)
+                .expect("counted above");
+            assert!(
+                quarantined.recovery.is_some(),
+                "faulted: quarantine must keep the recovery log as evidence"
+            );
+        }
+        other => panic!("unknown serve leg {other}"),
+    }
+}
+
+/// The cross-leg summary table (stem `serve_summary`).
+pub fn summary_table(results: &[(Leg, OutcomeLog)]) -> Table {
+    let mut t = Table::new(
+        "Serve: admission control, shedding, retry, and quarantine (SegRF/AN, Spectre)",
+        &[
+            "Leg",
+            "Queries",
+            "Completed",
+            "Retried",
+            "Shed",
+            "Quarantined",
+            "RejFull",
+            "RejQuar",
+            "p50 cycles",
+            "p99 cycles",
+            "QPS",
+            "Segments",
+        ],
+    );
+    for (leg, log) in results {
+        let s = log.summary();
+        let service = Service::new(leg.config.clone());
+        t.row(vec![
+            leg.name.to_owned(),
+            s.queries.to_string(),
+            s.completed.to_string(),
+            s.retried.to_string(),
+            s.shed.to_string(),
+            s.quarantined.to_string(),
+            s.rejected_queue_full.to_string(),
+            s.rejected_quarantined.to_string(),
+            s.p50_latency_cycles.to_string(),
+            s.p99_latency_cycles.to_string(),
+            format!("{:.1}", s.throughput_qps(&service.config().gpu)),
+            log.admission_segments.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_legs_are_job_invariant() {
+        let scale = Scale::new(0.02);
+        let serial: Vec<OutcomeLog> = measure(scale, &Sched::serial())
+            .into_iter()
+            .map(|(_, log)| log)
+            .collect();
+        let parallel: Vec<OutcomeLog> = measure(scale, &Sched::new(4))
+            .into_iter()
+            .map(|(_, log)| log)
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+}

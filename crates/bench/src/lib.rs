@@ -13,6 +13,7 @@ pub mod plot;
 pub mod report;
 pub mod scale;
 pub mod sched;
+pub mod serve;
 
 pub use plot::{Chart, Series};
 pub use report::Table;

@@ -1,0 +1,574 @@
+//! The overload-safe serving core.
+//!
+//! [`Service::run`] drives a seeded [`ArrivalTrace`] through the
+//! persistent-thread stack and returns a deterministic [`OutcomeLog`].
+//! Determinism at any `--jobs` and `--engine-workers` count comes from a
+//! strict two-phase split:
+//!
+//! 1. **Phase A — profile precompute (parallel).** Each query's full
+//!    retry chain is simulated up front with
+//!    [`resume_workload_detailed`]: attempt 0 from a fresh start, each
+//!    later attempt resumed from the previous failure's checkpoint with
+//!    its pruned fault plan (so a retry replays fewer rounds than a
+//!    restart). An attempt depends only on the query, its seeded fault
+//!    plan, and the checkpoint chain — never on service state — so the
+//!    chains are embarrassingly parallel under [`Sched::par_map`], which
+//!    returns them in trace order regardless of worker count.
+//! 2. **Phase B — discrete-event replay (serial).** All *scheduling*
+//!    decisions — admission, backpressure, shedding, dispatch order,
+//!    backoff, quarantine — happen in one serial event loop over
+//!    simulated cycles, totally ordered by `(cycle, event class,
+//!    sequence number)` with retries beating arrivals on ties. No wall
+//!    clock, no thread identity, no map iteration order feeds a
+//!    decision.
+//!
+//! The service's retry ladder sits *above* the in-run recovery of
+//! `resume_workload`: the configured [`RecoveryPolicy`] uses
+//! `max_attempts: 0`, so every abort escalates to the service as a typed
+//! [`RunFailure`], and the service decides — exponential backoff and
+//! re-admission while the retry budget lasts, quarantine with the full
+//! [`RecoveryLog`] once it is spent.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gpu_queue::Variant;
+use pt_bfs::workload::{Bfs, ConnectedComponents, PrDelta, PtWorkload, Sssp};
+use pt_bfs::{resume_workload_detailed, Checkpoint, PtConfig, RecoveryLog, RecoveryPolicy};
+use ptq_graph::{random_weights, Csr, Dataset};
+use simt::{AbortReason, FaultPlan, FaultSpec, GpuConfig};
+
+use super::admission::{AdmissionError, AdmissionQueue};
+use super::backoff::BackoffSchedule;
+use super::outcome::{Disposition, OutcomeLog, QueryOutcome};
+use super::trace::{ArrivalTrace, QuerySpec, WorkloadKind};
+use crate::experiments::common::{engine_workers, DatasetCache};
+use crate::{Scale, Sched};
+
+/// Seed used by every SSSP query's edge weights (same stream as the
+/// workloads experiment, so serve and batch runs agree on the graphs).
+pub const WEIGHT_SEED: u64 = 0x57ED;
+
+/// Salt mixed into a query id for its backoff jitter stream.
+const BACKOFF_SALT: u64 = 0xBACC_0FF5;
+
+/// Salt mixed into a query id for its fault-plan stream.
+const FAULT_SALT: u64 = 0xFA_017;
+
+/// Service configuration: the device, the execution variant, and the
+/// admission/retry policy knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Simulated device shared by every query.
+    pub gpu: GpuConfig,
+    /// Queue design queries execute on. The default is the segmented
+    /// variant, which makes execution-side `QueueFull` unreachable.
+    pub variant: Variant,
+    /// Workgroups per launch.
+    pub workgroups: usize,
+    /// Base dataset scale; each query's `rel_scale` multiplies into it.
+    pub scale: Scale,
+    /// Admission backlog bound (queries waiting, across all classes).
+    pub backlog_limit: u64,
+    /// Service-level retries after a terminal [`RunFailure`] before the
+    /// query is quarantined. Total attempts = `retry_budget + 1`.
+    pub retry_budget: u32,
+    /// First-retry backoff delay in simulated cycles.
+    pub backoff_base_cycles: u64,
+    /// Backoff delay ceiling in simulated cycles.
+    pub backoff_cap_cycles: u64,
+    /// In-run recovery policy template. `max_attempts: 0` hands every
+    /// abort to the service; a query's `watchdog_rounds` overrides the
+    /// template's when nonzero.
+    pub policy: RecoveryPolicy,
+    /// Engine worker override for query execution; 0 inherits the
+    /// process-wide budget (`--engine-workers`).
+    pub engine_workers: usize,
+}
+
+impl ServiceConfig {
+    /// The standard serving configuration: the integrated Spectre part
+    /// at full occupancy on the segmented queue, with a 64-query
+    /// backlog and a 6-retry ladder.
+    pub fn standard(scale: Scale) -> Self {
+        let gpu = GpuConfig::spectre();
+        let workgroups = gpu.num_cus * gpu.wgs_per_cu;
+        ServiceConfig {
+            gpu,
+            variant: Variant::SegRfAn,
+            workgroups,
+            scale,
+            backlog_limit: 64,
+            retry_budget: 6,
+            backoff_base_cycles: 10_000,
+            backoff_cap_cycles: 2_000_000,
+            policy: RecoveryPolicy {
+                max_attempts: 0,
+                checkpoint_levels: 4,
+                watchdog_rounds: 0,
+                ..RecoveryPolicy::default()
+            },
+            engine_workers: 0,
+        }
+    }
+}
+
+/// One simulated attempt of a query's retry chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttemptSim {
+    /// Whether the attempt completed (true only for the last attempt of
+    /// a completed chain).
+    pub success: bool,
+    /// Simulated device cycles the attempt occupied.
+    pub cycles: u64,
+    /// Rounds the attempt accounted (committed + lost).
+    pub rounds: u64,
+    /// The attempt's recovery log.
+    pub log: RecoveryLog,
+}
+
+/// A query's precomputed retry chain (Phase A output).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionProfile {
+    /// Attempts in order; the last one succeeds iff `completed`.
+    pub attempts: Vec<AttemptSim>,
+    /// Whether the chain ends in a validated completion.
+    pub completed: bool,
+    /// Vertices the completed run reached (0 otherwise).
+    pub reached: usize,
+    /// Admission-time cost estimate: attempt 0's cycles. Used for the
+    /// projected-backlog-completion shedding decision.
+    pub estimate_cycles: u64,
+}
+
+/// The resident multi-query service.
+pub struct Service {
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// A service with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service { config }
+    }
+
+    /// The configuration the service runs with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Serve a trace end to end: Phase A profile precompute on `sched`,
+    /// Phase B serial replay. The returned log is byte-identical at any
+    /// `sched` width and engine worker budget.
+    pub fn run(&self, trace: &ArrivalTrace, sched: &Sched) -> OutcomeLog {
+        let profiles = self.profiles(trace, sched);
+        self.replay(trace, &profiles)
+    }
+
+    /// Phase A: every query's retry chain, in trace order.
+    pub fn profiles(&self, trace: &ArrivalTrace, sched: &Sched) -> Vec<ExecutionProfile> {
+        sched.par_map(&trace.queries, |_, query| {
+            self.profile_query(trace.seed, query)
+        })
+    }
+
+    /// Simulate one query's full retry chain against its shared CSR.
+    fn profile_query(&self, trace_seed: u64, query: &QuerySpec) -> ExecutionProfile {
+        let scale = Scale::new((self.config.scale.fraction() * query.rel_scale).min(1.0));
+        let graph = DatasetCache::global().get(query.dataset, scale);
+        let n = graph.num_vertices();
+        let source = (query.source_salt as usize % n.max(1)) as u32;
+        let plan = self.fault_plan(trace_seed, query, n);
+        let mut policy = self.config.policy.clone();
+        if query.watchdog_rounds > 0 {
+            policy.watchdog_rounds = query.watchdog_rounds;
+        }
+        match query.kind {
+            WorkloadKind::Bfs => {
+                self.chain(&graph, query.dataset, &Bfs::new(source), &policy, &plan)
+            }
+            WorkloadKind::Sssp => {
+                let weights = random_weights(&graph, 10, WEIGHT_SEED);
+                self.chain(
+                    &graph,
+                    query.dataset,
+                    &Sssp::new(source, weights),
+                    &policy,
+                    &plan,
+                )
+            }
+            WorkloadKind::Cc => {
+                self.chain(&graph, query.dataset, &ConnectedComponents, &policy, &plan)
+            }
+            WorkloadKind::PrDelta => {
+                self.chain(&graph, query.dataset, &PrDelta::new(source), &policy, &plan)
+            }
+        }
+    }
+
+    /// The query's seeded fault plan (empty for clean queries).
+    fn fault_plan(&self, trace_seed: u64, query: &QuerySpec, num_vertices: usize) -> FaultPlan {
+        if query.faults == 0 {
+            return FaultPlan::EMPTY;
+        }
+        let gpu = &self.config.gpu;
+        FaultPlan::seeded(
+            trace_seed ^ (u64::from(query.id) << 17) ^ FAULT_SALT,
+            &FaultSpec {
+                wave_kills: query.faults,
+                cu_stalls: query.faults,
+                mem_poisons: query.faults,
+                max_round: 8,
+                waves: self.config.workgroups * gpu.waves_per_wg,
+                cus: gpu.num_cus,
+                max_stall_rounds: 4,
+                max_stall_cycles: 200,
+                poison_buffer: query.kind.value_buffer().into(),
+                poison_words: num_vertices,
+            },
+        )
+    }
+
+    /// Run one workload's attempt ladder: fresh start, then
+    /// checkpoint-resumed retries until success or budget exhaustion.
+    fn chain<W: PtWorkload>(
+        &self,
+        graph: &Csr,
+        dataset: Dataset,
+        workload: &W,
+        policy: &RecoveryPolicy,
+        plan: &FaultPlan,
+    ) -> ExecutionProfile {
+        let gpu = &self.config.gpu;
+        let mut config =
+            PtConfig::for_workload(workload, self.config.variant, self.config.workgroups);
+        config.engine_workers = if self.config.engine_workers == 0 {
+            engine_workers()
+        } else {
+            self.config.engine_workers
+        };
+        let mut attempts: Vec<AttemptSim> = Vec::new();
+        let mut checkpoint = Checkpoint::start_of(workload, graph.num_vertices());
+        let mut plan = plan.clone();
+        for _ in 0..=self.config.retry_budget {
+            match resume_workload_detailed(
+                gpu,
+                graph,
+                workload,
+                &config,
+                policy,
+                &plan,
+                checkpoint.clone(),
+            ) {
+                Ok(run) => {
+                    if let Err((v, want, got)) = workload.validate(graph, &run.values) {
+                        panic!(
+                            "serve: {} on {} diverged from the oracle at vertex {v}: expected {want}, got {got}",
+                            workload.name(),
+                            dataset.spec().name,
+                        );
+                    }
+                    attempts.push(AttemptSim {
+                        success: true,
+                        cycles: gpu.seconds_to_cycles(run.seconds),
+                        rounds: run.metrics.rounds,
+                        log: run.recovery.clone(),
+                    });
+                    let estimate_cycles = attempts[0].cycles;
+                    return ExecutionProfile {
+                        attempts,
+                        completed: true,
+                        reached: run.reached,
+                        estimate_cycles,
+                    };
+                }
+                Err(failure) => {
+                    let failure = *failure;
+                    attempts.push(AttemptSim {
+                        success: false,
+                        cycles: gpu.seconds_to_cycles(failure.seconds),
+                        rounds: failure.log.rounds_committed + failure.log.rounds_lost,
+                        log: failure.log,
+                    });
+                    // The next attempt replays only from the last good
+                    // checkpoint, against the already-fired faults'
+                    // pruned plan.
+                    checkpoint = failure.checkpoint;
+                    plan = failure.remaining_plan;
+                }
+            }
+        }
+        let estimate_cycles = attempts[0].cycles;
+        ExecutionProfile {
+            attempts,
+            completed: false,
+            reached: 0,
+            estimate_cycles,
+        }
+    }
+
+    /// Phase B: the serial discrete-event replay. Public so callers
+    /// that need the Phase A profiles for their own accounting (rounds
+    /// simulated, table annotations) can run the phases separately;
+    /// `run` is exactly `profiles` + `replay`.
+    pub fn replay(&self, trace: &ArrivalTrace, profiles: &[ExecutionProfile]) -> OutcomeLog {
+        // Event classes, ordered within a cycle: a retry that became
+        // ready beats a fresh arrival.
+        const RETRY: u8 = 0;
+        const ARRIVAL: u8 = 1;
+
+        struct St {
+            attempts: u32,
+            in_run_aborts: u64,
+            done: Option<(Disposition, u64, usize, Option<RecoveryLog>)>,
+        }
+        let mut st: Vec<St> = trace
+            .queries
+            .iter()
+            .map(|_| St {
+                attempts: 0,
+                in_run_aborts: 0,
+                done: None,
+            })
+            .collect();
+        let index_of = |id: u32| -> usize {
+            trace
+                .queries
+                .iter()
+                .position(|q| q.id == id)
+                .expect("event for unknown query id")
+        };
+
+        // Min-heap of (cycle, class, seq, id); `seq` makes the order a
+        // total one.
+        let mut heap: BinaryHeap<Reverse<(u64, u8, u64, u32)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for q in &trace.queries {
+            heap.push(Reverse((q.arrival_cycle, ARRIVAL, seq, q.id)));
+            seq += 1;
+        }
+
+        let mut admission = AdmissionQueue::new(self.config.backlog_limit);
+        // Cycle from which the device is next free.
+        let mut device_free = 0u64;
+        // Sum of the next-attempt cycle estimates of everything queued.
+        let mut pending_est = 0u64;
+        let mut makespan = 0u64;
+        let mut execution_queue_full = 0u64;
+
+        loop {
+            // Every event due by the time the device can next dispatch
+            // competes for that dispatch slot.
+            while heap
+                .peek()
+                .is_some_and(|Reverse((cycle, ..))| *cycle <= device_free)
+            {
+                let Reverse((_, class, _, id)) = heap.pop().expect("peeked");
+                let qidx = index_of(id);
+                let q = &trace.queries[qidx];
+                if class == ARRIVAL {
+                    let est = profiles[qidx].estimate_cycles;
+                    let projected = device_free.saturating_add(pending_est).saturating_add(est);
+                    match admission.check(q, projected) {
+                        Ok(()) => {
+                            admission.push(q.priority, q.id);
+                            pending_est = pending_est.saturating_add(est);
+                        }
+                        Err(err) => {
+                            let disposition = match err {
+                                AdmissionError::QueueFull { .. } => Disposition::RejectedQueueFull,
+                                AdmissionError::Shedding { .. } => Disposition::Shed,
+                                AdmissionError::Quarantined { .. } => {
+                                    Disposition::RejectedQuarantined
+                                }
+                            };
+                            st[qidx].done = Some((disposition, 0, 0, None));
+                            makespan = makespan.max(q.arrival_cycle);
+                        }
+                    }
+                } else {
+                    // Retry re-admission: the query already holds its
+                    // slot, only the backlog estimate changes.
+                    let next = st[qidx].attempts as usize;
+                    admission.push(q.priority, q.id);
+                    pending_est = pending_est.saturating_add(profiles[qidx].attempts[next].cycles);
+                }
+            }
+
+            if let Some((_, id)) = admission.take_next() {
+                let qidx = index_of(id);
+                let q = &trace.queries[qidx];
+                let prof = &profiles[qidx];
+                let k = st[qidx].attempts as usize;
+                let sim = &prof.attempts[k];
+                let est = if k == 0 {
+                    prof.estimate_cycles
+                } else {
+                    sim.cycles
+                };
+                pending_est = pending_est.saturating_sub(est);
+                let start = device_free;
+                if k == 0 && start > q.arrival_cycle.saturating_add(q.deadline_cycles) {
+                    // The wait alone blew the deadline: shed before
+                    // spending device time. Never applied to retries —
+                    // committed checkpoints are sunk cost the service
+                    // finishes.
+                    st[qidx].done = Some((Disposition::Shed, start - q.arrival_cycle, 0, None));
+                    makespan = makespan.max(start);
+                    continue;
+                }
+                device_free = start.saturating_add(sim.cycles);
+                st[qidx].attempts += 1;
+                st[qidx].in_run_aborts += sim.log.aborts() as u64;
+                execution_queue_full += sim
+                    .log
+                    .attempts
+                    .iter()
+                    .filter(|a| matches!(a.reason, AbortReason::QueueFull { .. }))
+                    .count() as u64;
+                if sim.success {
+                    st[qidx].done = Some((
+                        Disposition::Completed,
+                        device_free - q.arrival_cycle,
+                        prof.reached,
+                        None,
+                    ));
+                    makespan = makespan.max(device_free);
+                } else if k + 1 < prof.attempts.len() {
+                    let backoff = BackoffSchedule::new(
+                        self.config.backoff_base_cycles,
+                        self.config.backoff_cap_cycles,
+                        trace.seed
+                            ^ u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            ^ BACKOFF_SALT,
+                    );
+                    let ready = device_free.saturating_add(backoff.delay(k as u32));
+                    heap.push(Reverse((ready, RETRY, seq, id)));
+                    seq += 1;
+                } else {
+                    // Retry budget spent: isolate the query with its
+                    // evidence and keep serving everything else.
+                    admission.quarantine(q.signature(), id);
+                    st[qidx].done = Some((
+                        Disposition::Quarantined,
+                        device_free - q.arrival_cycle,
+                        0,
+                        Some(sim.log.clone()),
+                    ));
+                    makespan = makespan.max(device_free);
+                }
+                continue;
+            }
+
+            // Device idle and nothing ready: jump to the next event.
+            match heap.pop() {
+                Some(Reverse((cycle, class, sq, id))) => {
+                    device_free = device_free.max(cycle);
+                    // Re-queue and let the drain loop above handle it at
+                    // the advanced clock (it is now due by definition).
+                    heap.push(Reverse((cycle, class, sq, id)));
+                }
+                None => break,
+            }
+        }
+
+        let mut outcomes: Vec<QueryOutcome> = trace
+            .queries
+            .iter()
+            .zip(st)
+            .map(|(q, s)| {
+                let (disposition, latency_cycles, reached, recovery) =
+                    s.done.expect("every query must reach a terminal state");
+                QueryOutcome {
+                    id: q.id,
+                    workload: q.kind.label(),
+                    dataset: q.dataset.spec().name,
+                    priority: q.priority,
+                    disposition,
+                    attempts: s.attempts,
+                    in_run_aborts: s.in_run_aborts,
+                    latency_cycles,
+                    reached,
+                    recovery,
+                }
+            })
+            .collect();
+        outcomes.sort_by_key(|o| o.id);
+
+        OutcomeLog {
+            outcomes,
+            makespan_cycles: makespan,
+            admission_errors: admission.enqueue_errors(),
+            execution_queue_full,
+            admission_segments: admission.fresh_segments(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::trace::TraceParams;
+
+    const POOL: &[(Dataset, f64)] = &[(Dataset::RoadNY, 0.05), (Dataset::Synthetic, 0.002)];
+
+    fn tiny_trace(seed: u64) -> ArrivalTrace {
+        ArrivalTrace::seeded(
+            seed,
+            &TraceParams {
+                queries: 4,
+                mean_gap_cycles: 500_000,
+                deadline_range: (u64::MAX / 8, u64::MAX / 4),
+                datasets: POOL,
+                fault_every: 0,
+                faults_per_query: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn steady_trace_completes_every_query_identically_at_any_width() {
+        let service = Service::new(ServiceConfig::standard(Scale::new(0.02)));
+        let trace = tiny_trace(0x5EED);
+        let serial = service.run(&trace, &Sched::serial());
+        for o in &serial.outcomes {
+            assert_eq!(o.disposition, Disposition::Completed, "query {}", o.id);
+            assert_eq!(o.attempts, 1);
+            assert!(o.reached > 0);
+            assert!(o.latency_cycles > 0);
+        }
+        assert_eq!(serial.admission_errors, 0);
+        assert_eq!(serial.execution_queue_full, 0);
+        let parallel = service.run(&trace, &Sched::new(4));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn poison_query_is_quarantined_and_its_resubmission_rejected() {
+        let service = Service::new(ServiceConfig::standard(Scale::new(0.02)));
+        let mut trace = tiny_trace(0x0DD);
+        let poison = trace.push_poison(WorkloadKind::Bfs, Dataset::RoadNY, 0.05, 2, 100_000);
+        // The resubmission arrives well after the poison query's backoff
+        // ladder (~630k cycles) has run dry, so it meets the quarantine.
+        let resub = trace.push_resubmission(poison, 50_000_000);
+        let log = service.run(&trace, &Sched::serial());
+        let p = &log.outcomes[poison as usize];
+        assert_eq!(p.disposition, Disposition::Quarantined);
+        assert_eq!(p.attempts, service.config().retry_budget + 1);
+        let evidence = p.recovery.as_ref().expect("quarantine keeps the log");
+        assert!(evidence
+            .attempts
+            .iter()
+            .all(|a| matches!(a.reason, AbortReason::Watchdog { .. })));
+        let r = &log.outcomes[resub as usize];
+        assert_eq!(r.disposition, Disposition::RejectedQuarantined);
+        assert_eq!(r.attempts, 0);
+        // Quarantine isolates the signature, not the service: every
+        // other query still completes.
+        for o in &log.outcomes {
+            if o.id != poison && o.id != resub {
+                assert_eq!(o.disposition, Disposition::Completed, "query {}", o.id);
+            }
+        }
+    }
+}

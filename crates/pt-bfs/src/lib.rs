@@ -39,8 +39,8 @@ pub mod workload;
 
 pub use kernel::{PtKernel, SpillFence, CHUNK};
 pub use recovery::{
-    resume_bfs, resume_workload, run_bfs_recoverable, run_recoverable, Checkpoint, RecoveryAttempt,
-    RecoveryLog, RecoveryPolicy,
+    resume_bfs, resume_workload, resume_workload_detailed, run_bfs_recoverable, run_recoverable,
+    Checkpoint, RecoveryAttempt, RecoveryLog, RecoveryPolicy, RunFailure,
 };
 pub use runner::{
     queue_capacity, run_bfs, run_bfs_stealing, run_workload, run_workload_stealing, PhaseWalls,

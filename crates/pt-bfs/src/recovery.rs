@@ -48,11 +48,8 @@
 //! of poisoning a device launch.
 
 use crate::kernel::PtKernel;
-use crate::runner::{enforce_retry_free, queue_capacity, PhaseWalls, PtConfig, Run};
+use crate::runner::{enforce_retry_free, queue_capacity, LaunchLayout, PhaseWalls, PtConfig, Run};
 use crate::workload::{Bfs, PtWorkload, WorkBuffers};
-use gpu_queue::device::{
-    make_wave_queue, QueueLayout, SegmentedLayout, SegmentedWaveQueue, WaveQueue,
-};
 use gpu_queue::host::{EnqueueError, RfAnQueue, SegmentedRfAnQueue};
 use gpu_queue::Variant;
 use ptq_graph::Csr;
@@ -273,24 +270,89 @@ pub fn resume_workload<W: PtWorkload>(
     plan: &FaultPlan,
     checkpoint: Checkpoint,
 ) -> Result<Run, SimError> {
+    resume_workload_detailed(gpu, graph, workload, config, policy, plan, checkpoint)
+        .map_err(|failure| failure.error)
+}
+
+/// Everything a supervisor needs to *continue* after a recoverable run
+/// exhausted its in-run budget: the terminal error, the full
+/// [`RecoveryLog`] (including the fatal attempt), the last good
+/// [`Checkpoint`] to resume from, the [`FaultPlan`] with every fault
+/// that already fired pruned away, and the simulated seconds the failed
+/// run consumed. A serving layer retries by feeding `checkpoint` and
+/// `remaining_plan` back into [`resume_workload_detailed`] — replaying
+/// only the aborted epoch, not the whole run — or quarantines the query
+/// with `log` as the evidence.
+#[derive(Clone, Debug)]
+pub struct RunFailure {
+    /// The terminal error (the abort that exhausted `max_attempts`, or
+    /// a non-recoverable simulator error).
+    pub error: SimError,
+    /// The recovery log up to and including the fatal attempt.
+    pub log: RecoveryLog,
+    /// The last committed snapshot — resume here, not from scratch.
+    pub checkpoint: Checkpoint,
+    /// The fault plan with everything that fired already pruned
+    /// ([`FaultPlan::expire_through`]), so a resume makes progress.
+    pub remaining_plan: FaultPlan,
+    /// Simulated seconds consumed by the failed run (committed epochs
+    /// plus aborted launches plus backoff).
+    pub seconds: f64,
+}
+
+/// [`resume_workload`] returning structured failures: on error the
+/// caller receives a [`RunFailure`] carrying the last good checkpoint,
+/// the pruned fault plan, and the complete recovery log, instead of a
+/// bare [`SimError`]. This is the entry point for supervisors that
+/// implement their own retry budget above the policy's (e.g. a serving
+/// layer quarantining poison queries).
+///
+/// A malformed checkpoint (value/inqueue arrays not matching the graph
+/// order, or a frontier token colliding with the queue sentinel) is a
+/// typed `corrupt checkpoint` [`SimError::AuditViolation`] — never a
+/// panic — so callers can degrade it into a logged restart.
+///
+/// # Errors
+/// Returns the [`RunFailure`] when `policy.max_attempts` is exhausted
+/// and for all non-recoverable errors.
+///
+/// # Panics
+/// Panics only if the policy's checkpoint stride is zero (a
+/// configuration bug, not a runtime condition).
+pub fn resume_workload_detailed<W: PtWorkload>(
+    gpu: &GpuConfig,
+    graph: &Csr,
+    workload: &W,
+    config: &PtConfig,
+    policy: &RecoveryPolicy,
+    plan: &FaultPlan,
+    checkpoint: Checkpoint,
+) -> Result<Run, Box<RunFailure>> {
     assert!(
         policy.checkpoint_levels > 0,
         "checkpoint stride must be positive"
     );
     let n = graph.num_vertices();
-    assert_eq!(
-        checkpoint.values.len(),
-        n,
-        "checkpoint does not match graph"
-    );
-    assert_eq!(
-        checkpoint.inqueue.len(),
-        n,
-        "checkpoint does not match graph"
-    );
+    let mut plan = plan.clone();
+    if checkpoint.values.len() != n || checkpoint.inqueue.len() != n {
+        // A snapshot from the wrong graph (or a truncated one) degrades
+        // into a typed error the caller can log and retry from scratch.
+        let error = SimError::AuditViolation(format!(
+            "corrupt checkpoint: {} values / {} inqueue bits against a graph of {} vertices",
+            checkpoint.values.len(),
+            checkpoint.inqueue.len(),
+            n
+        ));
+        return Err(Box::new(RunFailure {
+            error,
+            log: RecoveryLog::default(),
+            checkpoint,
+            remaining_plan: plan,
+            seconds: 0.0,
+        }));
+    }
 
     let mut ckpt = checkpoint;
-    let mut plan = plan.clone();
     let mut factor = config.capacity_factor;
     let mut watchdog = if policy.watchdog_rounds == 0 {
         config.max_rounds
@@ -317,22 +379,38 @@ pub fn resume_workload<W: PtWorkload>(
         match mirror_check(config.variant, &ckpt.frontier, capacity) {
             Ok(()) => {}
             Err(EnqueueError::InvalidToken { token }) => {
-                return Err(SimError::AuditViolation(format!(
+                let error = SimError::AuditViolation(format!(
                     "corrupt checkpoint: frontier token {token:#x} collides with the dna sentinel"
-                )));
+                ));
+                log.final_capacity_factor = factor;
+                return Err(Box::new(RunFailure {
+                    error,
+                    log,
+                    checkpoint: ckpt,
+                    remaining_plan: plan,
+                    seconds,
+                }));
             }
             Err(EnqueueError::Full(full)) => {
                 if factor < policy.max_capacity_factor {
                     factor = (factor * policy.capacity_regrow).min(policy.max_capacity_factor);
                     continue;
                 }
-                return Err(SimError::KernelAbort {
+                let error = SimError::KernelAbort {
                     reason: AbortReason::QueueFull {
                         requested: ckpt.frontier.len() as u64,
                         capacity: full.capacity as u32,
                     },
                     round: 0,
-                });
+                };
+                log.final_capacity_factor = factor;
+                return Err(Box::new(RunFailure {
+                    error,
+                    log,
+                    checkpoint: ckpt,
+                    remaining_plan: plan,
+                    seconds,
+                }));
             }
         }
 
@@ -385,14 +463,50 @@ pub fn resume_workload<W: PtWorkload>(
                     // A watchdog-capped launch hitting its round budget is
                     // a recoverable supervisory abort; hitting the
                     // launch-wide limit is hard non-termination.
-                    SimError::MaxRoundsExceeded { limit } if *limit < config.max_rounds => {
-                        (AbortReason::Watchdog, *limit)
+                    SimError::MaxRoundsExceeded { limit } if *limit < config.max_rounds => (
+                        AbortReason::Watchdog {
+                            budget: watchdog,
+                            round: *limit,
+                        },
+                        *limit,
+                    ),
+                    _ => {
+                        log.final_capacity_factor = factor;
+                        return Err(Box::new(RunFailure {
+                            error: e,
+                            log,
+                            checkpoint: ckpt,
+                            remaining_plan: plan,
+                            seconds,
+                        }));
                     }
-                    _ => return Err(e),
                 };
                 attempts += 1;
                 if attempts > policy.max_attempts {
-                    return Err(e);
+                    // Record the fatal abort itself so a quarantining
+                    // caller holds the complete story, and prune the
+                    // transient faults that fired so a later resume from
+                    // this checkpoint makes progress.
+                    log.attempts.push(RecoveryAttempt {
+                        epoch,
+                        attempt: attempts,
+                        reason,
+                        rounds_lost,
+                        backoff_cycles: 0,
+                        capacity_factor: factor,
+                    });
+                    log.rounds_lost += rounds_lost;
+                    log.final_capacity_factor = factor;
+                    if matches!(reason, AbortReason::InjectedFault { .. }) {
+                        plan = plan.expire_through(rounds_lost);
+                    }
+                    return Err(Box::new(RunFailure {
+                        error: e,
+                        log,
+                        checkpoint: ckpt,
+                        remaining_plan: plan,
+                        seconds,
+                    }));
                 }
                 let backoff = policy.backoff_cycles.saturating_mul(attempts as u64);
                 log.attempts.push(RecoveryAttempt {
@@ -415,7 +529,7 @@ pub fn resume_workload<W: PtWorkload>(
                         // the retry makes progress.
                         plan = plan.expire_through(rounds_lost);
                     }
-                    AbortReason::Watchdog => {
+                    AbortReason::Watchdog { .. } => {
                         watchdog = watchdog.saturating_mul(2);
                     }
                 }
@@ -513,16 +627,7 @@ fn run_epoch<W: PtWorkload>(
     // Spill cursor + at most one entry per vertex (the on-queue bit
     // guarantees a vertex spills at most once per epoch).
     let spill = mem.alloc("spill", n + 1);
-    let seg_layout = config.variant.is_segmented().then(|| {
-        let layout = SegmentedLayout::for_capacity(mem, "workqueue", capacity);
-        layout.host_seed(mem, &ckpt.frontier);
-        layout
-    });
-    let layout = (!config.variant.is_segmented()).then(|| {
-        let layout = QueueLayout::setup(mem, "workqueue", capacity);
-        layout.host_seed(mem, &ckpt.frontier);
-        layout
-    });
+    let layout = LaunchLayout::setup(mem, config.variant, capacity, &ckpt.frontier);
 
     let buffers = WorkBuffers {
         nodes: mem.buffer("nodes"),
@@ -541,12 +646,14 @@ fn run_epoch<W: PtWorkload>(
     let variant = config.variant;
     let chunk = config.chunk;
     let report = engine.run_with_faults(launch, plan, |info| {
-        let queue: Box<dyn WaveQueue> = match seg_layout {
-            Some(seg) => Box::new(SegmentedWaveQueue::new(seg)),
-            None => make_wave_queue(variant, layout.expect("bounded layout set up above")),
-        };
-        PtKernel::with_chunk(queue, workload.clone(), buffers, info.wave_size, chunk)
-            .with_fence(fence, spill)
+        PtKernel::with_chunk(
+            layout.make_queue(variant),
+            workload.clone(),
+            buffers,
+            info.wave_size,
+            chunk,
+        )
+        .with_fence(fence, spill)
     })?;
     if config.audit {
         enforce_retry_free(variant, &report.metrics)?;
@@ -708,7 +815,23 @@ mod tests {
             .recovery
             .attempts
             .iter()
-            .all(|a| a.reason == AbortReason::Watchdog));
+            .all(|a| matches!(a.reason, AbortReason::Watchdog { .. })));
+        // The carried context tracks the doubling budget: the first trip
+        // reports the configured budget, each retry double it.
+        let budgets: Vec<u64> = run
+            .recovery
+            .attempts
+            .iter()
+            .map(|a| match a.reason {
+                AbortReason::Watchdog { budget, round } => {
+                    assert_eq!(budget, round, "engine stops exactly at the budget");
+                    budget
+                }
+                other => panic!("unexpected reason {other:?}"),
+            })
+            .collect();
+        assert_eq!(budgets[0], 4);
+        assert!(budgets.windows(2).all(|w| w[1] == w[0] * 2));
     }
 
     #[test]
@@ -753,6 +876,89 @@ mod tests {
             matches!(&err, SimError::AuditViolation(msg) if msg.contains("corrupt checkpoint")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn malformed_checkpoint_shape_is_a_typed_error_not_a_panic() {
+        let g = synthetic_tree(64, 4);
+        let mut ckpt = Checkpoint::initial(64, 0);
+        ckpt.values.truncate(10); // snapshot from the wrong graph
+        let err = resume_bfs(
+            &GpuConfig::test_tiny(),
+            &g,
+            &cfg(Variant::RfAn),
+            &RecoveryPolicy::default(),
+            &FaultPlan::EMPTY,
+            ckpt,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, SimError::AuditViolation(msg) if msg.contains("corrupt checkpoint")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn detailed_failure_resumes_into_a_shorter_replay() {
+        let g = synthetic_tree(700, 4);
+        let plain = run_bfs(&GpuConfig::test_tiny(), &g, 0, &cfg(Variant::RfAn)).unwrap();
+        // Zero in-run retries: the first injected fault is terminal and
+        // must surface as a structured failure, not a bare error.
+        let plan = FaultPlan::new().kill_wave(3, 1);
+        let policy = RecoveryPolicy {
+            max_attempts: 0,
+            checkpoint_levels: 2,
+            ..RecoveryPolicy::default()
+        };
+        let failure = resume_workload_detailed(
+            &GpuConfig::test_tiny(),
+            &g,
+            &Bfs::new(0),
+            &cfg(Variant::RfAn),
+            &policy,
+            &plan,
+            Checkpoint::start_of(&Bfs::new(0), 700),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            failure.error.abort_reason(),
+            Some(AbortReason::InjectedFault { .. })
+        ));
+        // The fatal attempt is logged, the fired fault is pruned, and
+        // the checkpoint is resumable.
+        assert_eq!(failure.log.aborts(), 1);
+        assert!(failure.remaining_plan.is_empty());
+        let resumed = resume_workload_detailed(
+            &GpuConfig::test_tiny(),
+            &g,
+            &Bfs::new(0),
+            &cfg(Variant::RfAn),
+            &policy,
+            &failure.remaining_plan,
+            failure.checkpoint.clone(),
+        )
+        .unwrap();
+        assert_eq!(resumed.values, plain.values, "resume converges exactly");
+        // A resume from the failure's checkpoint replays at most the
+        // aborted epoch; a scratch restart under the same fencing redoes
+        // every committed epoch as well.
+        let scratch = resume_workload_detailed(
+            &GpuConfig::test_tiny(),
+            &g,
+            &Bfs::new(0),
+            &cfg(Variant::RfAn),
+            &policy,
+            &FaultPlan::EMPTY,
+            Checkpoint::start_of(&Bfs::new(0), 700),
+        )
+        .unwrap();
+        assert!(resumed.metrics.rounds <= scratch.metrics.rounds);
+        if failure.checkpoint.rounds_committed > 0 {
+            assert!(
+                resumed.metrics.rounds < scratch.metrics.rounds,
+                "resume must not redo committed epochs"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use gpu_queue::device::{
 };
 use gpu_queue::Variant;
 use ptq_graph::Csr;
-use simt::{Engine, GpuConfig, Launch, Metrics, Profile, SimError};
+use simt::{DeviceMemory, Engine, GpuConfig, Launch, Metrics, Profile, SimError};
 use std::time::Instant;
 
 /// Parameters of one persistent-thread run (workload-neutral).
@@ -84,6 +84,49 @@ pub fn queue_capacity(n: usize, factor: f64) -> u32 {
     ((n as f64 * factor) as usize)
         .max(64)
         .min(u32::MAX as usize) as u32
+}
+
+/// The scheduler-queue allocation of one launch: a recycled-segment
+/// arena for segmented variants, one bounded ring for everything else.
+/// Replaces the former pair of `Option`s whose exactly-one-is-`Some`
+/// invariant leaned on an `expect` inside the launch closure — the enum
+/// makes the invariant structural, so no fallible unwrap survives on the
+/// launch path.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum LaunchLayout {
+    /// Segmented arena (queue-full statically unreachable).
+    Segmented(SegmentedLayout),
+    /// One bounded non-wrapping ring.
+    Bounded(QueueLayout),
+}
+
+impl LaunchLayout {
+    /// Allocates the queue for `variant` at `capacity` and seeds it with
+    /// the initial frontier.
+    pub(crate) fn setup(
+        mem: &mut DeviceMemory,
+        variant: Variant,
+        capacity: u32,
+        seeds: &[u32],
+    ) -> Self {
+        if variant.is_segmented() {
+            let layout = SegmentedLayout::for_capacity(mem, "workqueue", capacity);
+            layout.host_seed(mem, seeds);
+            LaunchLayout::Segmented(layout)
+        } else {
+            let layout = QueueLayout::setup(mem, "workqueue", capacity);
+            layout.host_seed(mem, seeds);
+            LaunchLayout::Bounded(layout)
+        }
+    }
+
+    /// Builds the wave-facing queue for a kernel instance.
+    pub(crate) fn make_queue(self, variant: Variant) -> Box<dyn WaveQueue> {
+        match self {
+            LaunchLayout::Segmented(seg) => Box::new(SegmentedWaveQueue::new(seg)),
+            LaunchLayout::Bounded(bounded) => make_wave_queue(variant, bounded),
+        }
+    }
 }
 
 /// Host wall-clock seconds per runner phase. Diagnostics only: host wall
@@ -294,16 +337,7 @@ fn run_workload_once<W: PtWorkload>(
     // Segmented variants swap the one bounded ring for a recycled-segment
     // arena sized from the same nominal capacity; everything else about
     // the launch is identical.
-    let seg_layout = config.variant.is_segmented().then(|| {
-        let layout = SegmentedLayout::for_capacity(mem, "workqueue", capacity);
-        layout.host_seed(mem, &seeds);
-        layout
-    });
-    let layout = (!config.variant.is_segmented()).then(|| {
-        let layout = QueueLayout::setup(mem, "workqueue", capacity);
-        layout.host_seed(mem, &seeds);
-        layout
-    });
+    let layout = LaunchLayout::setup(mem, config.variant, capacity, &seeds);
 
     let buffers = WorkBuffers {
         nodes: mem.buffer("nodes"),
@@ -326,11 +360,13 @@ fn run_workload_once<W: PtWorkload>(
 
     let sim_start = Instant::now();
     let report = engine.run(launch, |info| {
-        let queue: Box<dyn WaveQueue> = match seg_layout {
-            Some(seg) => Box::new(SegmentedWaveQueue::new(seg)),
-            None => make_wave_queue(variant, layout.expect("bounded layout set up above")),
-        };
-        PtKernel::with_chunk(queue, workload.clone(), buffers, info.wave_size, chunk)
+        PtKernel::with_chunk(
+            layout.make_queue(variant),
+            workload.clone(),
+            buffers,
+            info.wave_size,
+            chunk,
+        )
     })?;
     if config.audit {
         enforce_retry_free(variant, &report.metrics)?;

@@ -109,6 +109,15 @@ impl GpuConfig {
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.clock_ghz * 1e9)
     }
+
+    /// Converts a wall-clock duration in seconds back to cycles at this
+    /// clock (rounding toward zero). Inverse of [`cycles_to_seconds`];
+    /// used by serving layers that budget deadlines in simulated cycles.
+    ///
+    /// [`cycles_to_seconds`]: GpuConfig::cycles_to_seconds
+    pub fn seconds_to_cycles(&self, seconds: f64) -> u64 {
+        (seconds * self.clock_ghz * 1e9) as u64
+    }
 }
 
 /// Cycle costs for the operations a kernel can perform.
@@ -271,6 +280,13 @@ mod tests {
     fn cycles_to_seconds_uses_clock() {
         let fiji = GpuConfig::fiji();
         assert!((fiji.cycles_to_seconds(1_050_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(fiji.seconds_to_cycles(1.0), 1_050_000_000);
+        let tiny = GpuConfig::test_tiny();
+        let cycles = 123_456_789;
+        assert_eq!(
+            tiny.seconds_to_cycles(tiny.cycles_to_seconds(cycles)),
+            cycles
+        );
     }
 
     #[test]

@@ -823,7 +823,10 @@ mod tests {
             requested: 10,
             capacity: 8,
         });
-        ctx.abort(AbortReason::Watchdog);
+        ctx.abort(AbortReason::Watchdog {
+            budget: 4,
+            round: 4,
+        });
         assert_eq!(
             ctx.abort,
             Some(AbortReason::QueueFull {

@@ -55,8 +55,14 @@ pub enum AbortReason {
     /// A supervisory round budget was exhausted. Raised by recovery
     /// runners that cap per-epoch rounds (distinct from the engine's own
     /// [`SimError::MaxRoundsExceeded`], which is a hard non-termination
-    /// error).
-    Watchdog,
+    /// error). Carries its context like its `QueueFull` sibling so
+    /// per-query service logs can report what budget was blown.
+    Watchdog {
+        /// The supervisory round budget that was in force.
+        budget: u64,
+        /// The round at which the budget was observed exhausted.
+        round: u64,
+    },
 }
 
 impl AbortReason {
@@ -77,7 +83,12 @@ impl fmt::Display for AbortReason {
             AbortReason::InjectedFault { kind, wave, round } => {
                 write!(f, "injected {kind} fault (wave {wave}, round {round})")
             }
-            AbortReason::Watchdog => write!(f, "watchdog round budget exhausted"),
+            AbortReason::Watchdog { budget, round } => {
+                write!(
+                    f,
+                    "watchdog round budget {budget} exhausted at round {round}"
+                )
+            }
         }
     }
 }
@@ -198,7 +209,13 @@ mod tests {
             })
         );
         assert!(e.abort_reason().unwrap().is_queue_full());
-        assert!(!AbortReason::Watchdog.is_queue_full());
+        let wd = AbortReason::Watchdog {
+            budget: 16,
+            round: 16,
+        };
+        assert!(!wd.is_queue_full());
+        assert!(wd.to_string().contains("budget 16"));
+        assert!(wd.to_string().contains("round 16"));
         let e = SimError::KernelAbort {
             reason: AbortReason::InjectedFault {
                 kind: FaultKind::WaveKill,

@@ -255,12 +255,15 @@ fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
     // counts, rates over cycles), so unlike the wall-clock sections it
     // is byte-identical across --jobs and --engine-workers — CI
     // extracts and diffs it (serve-smoke).
+    // An absent percentile (a leg that completed nothing) emits a JSON
+    // null, not a fake 0.
+    let opt_cycles = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |v| v.to_string());
     let serve_entries: Vec<String> = common::serve_bench()
         .iter()
         .map(|b| {
             format!(
                 "    {{\"leg\": \"{}\", \"queries\": {}, \"completed\": {}, \
-                 \"retried\": {}, \"shed\": {}, \"quarantined\": {}, \
+                 \"retried\": {}, \"batched\": {}, \"shed\": {}, \"quarantined\": {}, \
                  \"rejected_queue_full\": {}, \"rejected_quarantined\": {}, \
                  \"p50_latency_cycles\": {}, \"p99_latency_cycles\": {}, \
                  \"makespan_cycles\": {}, \"throughput_qps\": {:.3}, \
@@ -269,12 +272,13 @@ fn write_bench(opts: &Options, command: &str, total: f64, timings: &Timings) {
                 b.queries,
                 b.completed,
                 b.retried,
+                b.batched,
                 b.shed,
                 b.quarantined,
                 b.rejected_queue_full,
                 b.rejected_quarantined,
-                b.p50_latency_cycles,
-                b.p99_latency_cycles,
+                opt_cycles(b.p50_latency_cycles),
+                opt_cycles(b.p99_latency_cycles),
                 b.makespan_cycles,
                 b.throughput_qps,
                 b.shed_rate,
@@ -434,6 +438,14 @@ fn run_experiment(name: &str, opts: &Options, timings: &mut Timings) -> bool {
                     &log.table(&format!("Serve [{}]: per-query outcomes", leg.name)),
                     opts,
                     &format!("serve_{}", leg.name),
+                );
+                emit(
+                    &log.fairness_table(&format!(
+                        "Serve [{}]: per-class tenant fairness (Jain over completion rates)",
+                        leg.name
+                    )),
+                    opts,
+                    &format!("serve_fairness_{}", leg.name),
                 );
             }
             emit(&serve::summary_table(&results), opts, "serve_summary");

@@ -177,10 +177,14 @@ pub struct ServeBench {
     pub rejected_queue_full: u64,
     /// Admission rejections: quarantined signature.
     pub rejected_quarantined: u64,
-    /// Median admission→completion latency in simulated cycles.
-    pub p50_latency_cycles: u64,
-    /// 99th-percentile latency in simulated cycles.
-    pub p99_latency_cycles: u64,
+    /// Completed queries co-scheduled with at least one peer (0 on the
+    /// serial legs, where nothing fuses).
+    pub batched: u64,
+    /// Median admission→completion latency in simulated cycles (`None`
+    /// when the leg completed nothing — absent, not a fake 0).
+    pub p50_latency_cycles: Option<u64>,
+    /// 99th-percentile latency in simulated cycles (`None` as above).
+    pub p99_latency_cycles: Option<u64>,
     /// Simulated cycle of the last terminal state.
     pub makespan_cycles: u64,
     /// Completed queries per simulated second.

@@ -1,7 +1,7 @@
-//! `repro serve` — the overload-safe serving core under three offered
+//! `repro serve` — the overload-safe serving core under four offered
 //! loads.
 //!
-//! Three seeded arrival traces exercise the service's full outcome
+//! Four seeded arrival traces exercise the service's full outcome
 //! taxonomy on the six-dataset pool:
 //!
 //! * **steady** — generous deadlines, wide arrival gaps: every query
@@ -10,6 +10,13 @@
 //!   tiny backlog bound and tight deadlines: typed `QueueFull`
 //!   backpressure plus deadline-based shedding, while every admitted
 //!   query still reaches a terminal state.
+//! * **overload-batched** — the *same* overload trace under the
+//!   batched, weighted-fair, co-resident core
+//!   ([`ServiceConfig::batched`]): windows drain whole DRR rounds,
+//!   compatible queries fuse into multi-source launches, and same-kind
+//!   launches overlap on the device. `measure` enforces that this leg
+//!   completes strictly more queries per simulated second than the
+//!   serial overload leg and fuses at least one batch.
 //! * **faulted** — seeded fault plans on every third query (retry via
 //!   checkpoint resume with backoff) plus one watchdog-poisoned query
 //!   that exhausts its retry budget, is quarantined with its recovery
@@ -18,8 +25,9 @@
 //! `measure` is also a conformance harness: it panics if a leg fails
 //! its invariants (zero admission enqueue errors, zero execution-side
 //! `QueueFull` aborts on the segmented variant, the expected outcome
-//! mix per leg), so `repro serve` doubles as the robustness gate CI
-//! runs serial vs parallel and byte-diffs.
+//! mix per leg — one declarative [`LegChecks`] table shared by every
+//! leg), so `repro serve` doubles as the robustness gate CI runs
+//! serial vs parallel and byte-diffs.
 
 use ptq_graph::Dataset;
 
@@ -55,7 +63,26 @@ pub struct Leg {
     pub config: ServiceConfig,
 }
 
-/// The three standard legs at `scale`.
+/// The burst trace both overload legs replay: everything lands before
+/// the first query finishes, so the backlog fills to its bound (typed
+/// `QueueFull` rejections for the spill), the short end of the
+/// deadline draw sheds part of what fits, and the dispatcher sees a
+/// full-depth ready window when the device frees.
+fn overload_trace() -> ArrivalTrace {
+    ArrivalTrace::seeded(
+        SEED ^ 0x10AD,
+        &TraceParams {
+            queries: 16,
+            mean_gap_cycles: 2_000,
+            deadline_range: (100_000, 8_000_000),
+            datasets: SERVE_POOL,
+            fault_every: 0,
+            faults_per_query: 0,
+        },
+    )
+}
+
+/// The four standard legs at `scale`.
 pub fn legs(scale: Scale) -> Vec<Leg> {
     let steady = Leg {
         name: "steady",
@@ -73,25 +100,27 @@ pub fn legs(scale: Scale) -> Vec<Leg> {
         config: ServiceConfig::standard(scale),
     };
 
-    // Burst arrivals against a 3-query backlog: everything lands before
-    // the first query finishes, so admission must reject most of the
-    // burst, and the tight deadline draws shed part of what fits.
     let mut overload_config = ServiceConfig::standard(scale);
-    overload_config.backlog_limit = 3;
+    overload_config.backlog_limit = 5;
     let overload = Leg {
         name: "overload",
-        trace: ArrivalTrace::seeded(
-            SEED ^ 0x10AD,
-            &TraceParams {
-                queries: 16,
-                mean_gap_cycles: 2_000,
-                deadline_range: (100_000, 3_000_000),
-                datasets: SERVE_POOL,
-                fault_every: 0,
-                faults_per_query: 0,
-            },
-        ),
+        trace: overload_trace(),
         config: overload_config,
+    };
+
+    // The same burst, served by the batched co-resident core: the only
+    // config delta against "overload" is the batching policy, so the
+    // QPS gap between the two legs isolates what fusing buys. The
+    // 5-deep window over 4 workload kinds guarantees (pigeonhole) a
+    // same-kind pair in the burst's full window, so the leg always has
+    // at least one fused launch regardless of the trace seed's draws.
+    let mut batched_config = ServiceConfig::batched(scale);
+    batched_config.backlog_limit = 5;
+    batched_config.batching = Some(crate::serve::BatchPolicy { max_coresident: 5 });
+    let overload_batched = Leg {
+        name: "overload-batched",
+        trace: overload_trace(),
+        config: batched_config,
     };
 
     let mut faulted_trace = ArrivalTrace::seeded(
@@ -115,14 +144,14 @@ pub fn legs(scale: Scale) -> Vec<Leg> {
         config: ServiceConfig::standard(scale),
     };
 
-    vec![steady, overload, faulted]
+    vec![steady, overload, overload_batched, faulted]
 }
 
 /// Runs every leg, enforces its invariants, and records the `serve`
 /// BENCH section. The returned logs are byte-identical at any `sched`
 /// width and engine worker budget.
 pub fn measure(scale: Scale, sched: &Sched) -> Vec<(Leg, OutcomeLog)> {
-    legs(scale)
+    let results: Vec<(Leg, OutcomeLog)> = legs(scale)
         .into_iter()
         .map(|leg| {
             eprintln!(
@@ -150,6 +179,7 @@ pub fn measure(scale: Scale, sched: &Sched) -> Vec<(Leg, OutcomeLog)> {
                 quarantined: s.quarantined,
                 rejected_queue_full: s.rejected_queue_full,
                 rejected_quarantined: s.rejected_quarantined,
+                batched: s.batched,
                 p50_latency_cycles: s.p50_latency_cycles,
                 p99_latency_cycles: s.p99_latency_cycles,
                 makespan_cycles: s.makespan_cycles,
@@ -159,7 +189,90 @@ pub fn measure(scale: Scale, sched: &Sched) -> Vec<(Leg, OutcomeLog)> {
             });
             (leg, log)
         })
-        .collect()
+        .collect();
+
+    // Cross-leg gate: on the identical burst trace, the batched
+    // co-resident core must beat the serial core on completed queries
+    // per simulated second, and must actually have fused something —
+    // otherwise the win (or the tie) is a regression to diagnose, not a
+    // data point.
+    let leg_qps = |name: &str| -> f64 {
+        let (leg, log) = results
+            .iter()
+            .find(|(leg, _)| leg.name == name)
+            .unwrap_or_else(|| panic!("missing serve leg {name}"));
+        log.summary().throughput_qps(&leg.config.gpu)
+    };
+    let batched_log = &results
+        .iter()
+        .find(|(leg, _)| leg.name == "overload-batched")
+        .expect("missing serve leg overload-batched")
+        .1;
+    assert!(
+        batched_log.batched() >= 1,
+        "overload-batched: the burst never produced a fused launch"
+    );
+    assert!(
+        leg_qps("overload-batched") > leg_qps("overload"),
+        "overload-batched ({:.1} QPS) must strictly beat serial overload ({:.1} QPS)",
+        leg_qps("overload-batched"),
+        leg_qps("overload"),
+    );
+    results
+}
+
+/// One leg's declarative invariants. The former per-leg `match` arms
+/// each hand-rolled the same four checks (allowed terminal states,
+/// disposition floors, disposition pins, retry expectations); this
+/// table is the single shared checker they all run through now.
+struct LegChecks {
+    /// Dispositions a query may legally end in.
+    allowed: &'static [Disposition],
+    /// `(disposition, n)` floors: at least `n` queries end this way.
+    at_least: &'static [(Disposition, u64)],
+    /// `(disposition, n)` pins: exactly `n` queries end this way.
+    exact: &'static [(Disposition, u64)],
+    /// Minimum completed-through-retry count.
+    min_retried: u64,
+    /// When set, every completed query used exactly this many attempts
+    /// (the steady "first try" claim).
+    completed_attempts: Option<u32>,
+}
+
+/// The invariant table, one row per leg.
+fn checks_for(leg: &str) -> LegChecks {
+    use Disposition::*;
+    match leg {
+        "steady" => LegChecks {
+            allowed: &[Completed],
+            at_least: &[],
+            exact: &[],
+            min_retried: 0,
+            completed_attempts: Some(1),
+        },
+        // Every admitted query reaches a terminal state without a
+        // crash: completed, or shed at first dispatch. Both overload
+        // legs promise the same taxonomy; the batched one additionally
+        // faces the cross-leg QPS gate in `measure`.
+        "overload" | "overload-batched" => LegChecks {
+            allowed: &[Completed, Shed, RejectedQueueFull],
+            at_least: &[(Completed, 1), (Shed, 1), (RejectedQueueFull, 1)],
+            exact: &[(Quarantined, 0)],
+            min_retried: 0,
+            completed_attempts: None,
+        },
+        // Quarantine isolates the poison family only: with exactly one
+        // quarantine and one rejected resubmission, the allowed-state
+        // set forces every other query to complete.
+        "faulted" => LegChecks {
+            allowed: &[Completed, Quarantined, RejectedQuarantined],
+            at_least: &[],
+            exact: &[(Quarantined, 1), (RejectedQuarantined, 1)],
+            min_retried: 1,
+            completed_attempts: None,
+        },
+        other => panic!("unknown serve leg {other}"),
+    }
 }
 
 /// Leg invariants. Violations are bugs, not data points — panic like
@@ -173,88 +286,65 @@ fn enforce(leg: &str, log: &OutcomeLog) {
         log.execution_queue_full, 0,
         "{leg}: the segmented execution variant must never abort queue-full"
     );
-    match leg {
-        "steady" => {
-            for o in &log.outcomes {
+    let checks = checks_for(leg);
+    for o in &log.outcomes {
+        assert!(
+            checks.allowed.contains(&o.disposition),
+            "{leg}: query {} ended {:?}, not one of {:?}",
+            o.id,
+            o.disposition,
+            checks.allowed
+        );
+        if let Some(attempts) = checks.completed_attempts {
+            if o.disposition == Disposition::Completed {
                 assert_eq!(
-                    o.disposition,
-                    Disposition::Completed,
-                    "steady: query {} must complete first try",
-                    o.id
-                );
-                assert_eq!(o.attempts, 1, "steady: query {} retried", o.id);
-            }
-        }
-        "overload" => {
-            assert!(
-                log.count(Disposition::Completed) >= 1,
-                "overload: nothing completed"
-            );
-            assert!(log.count(Disposition::Shed) >= 1, "overload: nothing shed");
-            assert!(
-                log.count(Disposition::RejectedQueueFull) >= 1,
-                "overload: no backpressure"
-            );
-            assert_eq!(log.count(Disposition::Quarantined), 0);
-            // Every admitted query reaches a terminal state without a
-            // crash: completed, or shed at first dispatch.
-            for o in &log.outcomes {
-                assert!(
-                    matches!(
-                        o.disposition,
-                        Disposition::Completed | Disposition::Shed | Disposition::RejectedQueueFull
-                    ),
-                    "overload: query {} ended {:?}",
-                    o.id,
-                    o.disposition
+                    o.attempts, attempts,
+                    "{leg}: query {} took {} attempts",
+                    o.id, o.attempts
                 );
             }
         }
-        "faulted" => {
+    }
+    for &(disposition, n) in checks.at_least {
+        assert!(
+            log.count(disposition) >= n,
+            "{leg}: fewer than {n} queries ended {disposition:?}"
+        );
+    }
+    for &(disposition, n) in checks.exact {
+        assert_eq!(
+            log.count(disposition),
+            n,
+            "{leg}: expected exactly {n} queries ending {disposition:?}"
+        );
+    }
+    assert!(
+        log.retried() >= checks.min_retried,
+        "{leg}: no query completed through a checkpoint-resumed retry"
+    );
+    // Quarantine always keeps the recovery log as evidence, whatever
+    // the leg.
+    for o in &log.outcomes {
+        if o.disposition == Disposition::Quarantined {
             assert!(
-                log.retried() >= 1,
-                "faulted: no query completed through a checkpoint-resumed retry"
-            );
-            assert_eq!(
-                log.count(Disposition::Quarantined),
-                1,
-                "faulted: exactly the poison query must be quarantined"
-            );
-            assert_eq!(
-                log.count(Disposition::RejectedQuarantined),
-                1,
-                "faulted: the resubmission must be rejected at admission"
-            );
-            // Quarantine isolates the poison family only: every other
-            // query completes.
-            assert_eq!(
-                log.count(Disposition::Completed),
-                log.outcomes.len() as u64 - 2,
-                "faulted: a non-poison query failed to complete"
-            );
-            let quarantined = log
-                .outcomes
-                .iter()
-                .find(|o| o.disposition == Disposition::Quarantined)
-                .expect("counted above");
-            assert!(
-                quarantined.recovery.is_some(),
-                "faulted: quarantine must keep the recovery log as evidence"
+                o.recovery.is_some(),
+                "{leg}: quarantined query {} lost its recovery log",
+                o.id
             );
         }
-        other => panic!("unknown serve leg {other}"),
     }
 }
 
 /// The cross-leg summary table (stem `serve_summary`).
 pub fn summary_table(results: &[(Leg, OutcomeLog)]) -> Table {
     let mut t = Table::new(
-        "Serve: admission control, shedding, retry, and quarantine (SegRF/AN, Spectre)",
+        "Serve: admission, shedding, retry, quarantine, and batching (SegRF/AN, Spectre)",
         &[
             "Leg",
             "Queries",
             "Completed",
             "Retried",
+            "Batched",
             "Shed",
             "Quarantined",
             "RejFull",
@@ -265,21 +355,24 @@ pub fn summary_table(results: &[(Leg, OutcomeLog)]) -> Table {
             "Segments",
         ],
     );
+    // An absent percentile (nothing completed) renders as "-", never as
+    // a fake 0.
+    let cycles = |v: Option<u64>| v.map_or_else(|| "-".to_owned(), |v| v.to_string());
     for (leg, log) in results {
         let s = log.summary();
-        let service = Service::new(leg.config.clone());
         t.row(vec![
             leg.name.to_owned(),
             s.queries.to_string(),
             s.completed.to_string(),
             s.retried.to_string(),
+            s.batched.to_string(),
             s.shed.to_string(),
             s.quarantined.to_string(),
             s.rejected_queue_full.to_string(),
             s.rejected_quarantined.to_string(),
-            s.p50_latency_cycles.to_string(),
-            s.p99_latency_cycles.to_string(),
-            format!("{:.1}", s.throughput_qps(&service.config().gpu)),
+            cycles(s.p50_latency_cycles),
+            cycles(s.p99_latency_cycles),
+            format!("{:.1}", s.throughput_qps(&leg.config.gpu)),
             log.admission_segments.to_string(),
         ]);
     }

@@ -1,20 +1,35 @@
-//! Bounded admission with typed rejection.
+//! Bounded admission with typed rejection and weighted-fair dispatch.
 //!
-//! The ready backlog is three [`SegmentedRfAnQueue`]s — one per
-//! [`Priority`] class — holding query ids. Reusing the segmented host
-//! family is the point: its non-wrapping reserve/publish protocol makes
-//! a slot-level `QueueFull` statically unreachable (PR 8), so the only
+//! The ready backlog is a [`SegmentedRfAnQueue`] per (priority class,
+//! tenant) lane, holding query ids. Reusing the segmented host family
+//! is the point: its non-wrapping reserve/publish protocol makes a
+//! slot-level `QueueFull` statically unreachable (PR 8), so the only
 //! capacity decision left is *policy*, made here on the host with a
 //! backlog bound and reported as a typed [`AdmissionError`] instead of
 //! an abort. The error taxonomy mirrors `simt::AbortReason`: callers
 //! match on variants, never on strings, and nothing panics.
+//!
+//! Dispatch order is **deficit round-robin**, not strict priority: each
+//! class holds a grant budget refilled to [`Priority::weight`] when the
+//! scheduler's cursor enters it, and spends one grant per dispatched
+//! query. While every class is backlogged the dispatch stream is the
+//! fixed weighted pattern (4 interactive : 2 standard : 1 batch per
+//! round); a class with nothing ready forfeits the visit without
+//! consuming anyone else's share, so the scheme degrades to FIFO when
+//! only one class is busy and can never starve a backlogged class the
+//! way the previous strict-priority drain could. Within a class the
+//! lanes round-robin across tenants (equal shares, FIFO per lane), so
+//! one chatty tenant cannot monopolize its class either. The whole
+//! discipline is a pure function of the push/take call sequence —
+//! no clocks, no randomness — which keeps the serving replay
+//! deterministic.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use gpu_queue::host::{SegmentedRfAnQueue, SlotTicket};
 
-use super::trace::{Priority, QuerySpec};
+use super::trace::{Priority, QuerySpec, NUM_TENANTS};
 
 /// Why admission refused a query. Every variant is a normal service
 /// outcome, logged and counted — not an error to unwind on.
@@ -72,16 +87,23 @@ impl fmt::Display for AdmissionError {
     }
 }
 
-/// The service's ready backlog plus its admission policy state.
+/// The service's ready backlog plus its admission policy and
+/// weighted-fair dispatch state.
 pub struct AdmissionQueue {
-    /// One segmented FIFO per priority class, indexed by
-    /// [`Priority::index`].
-    classes: [SegmentedRfAnQueue; 3],
-    /// Host-side occupancy per class (the policy counter; the queues
+    /// One segmented FIFO per (class, tenant) lane, indexed by
+    /// [`Priority::index`] then tenant.
+    lanes: [[SegmentedRfAnQueue; NUM_TENANTS as usize]; 3],
+    /// Host-side occupancy per lane (the policy counter; the queues
     /// themselves are unbounded by construction).
-    queued: [u64; 3],
-    /// Backlog bound across all classes.
+    queued: [[u64; NUM_TENANTS as usize]; 3],
+    /// Backlog bound across all lanes.
     capacity: u64,
+    /// DRR class the cursor currently grants from.
+    cursor: usize,
+    /// Grants left for the cursor class before it yields.
+    grant: u64,
+    /// Next tenant lane to serve per class (round-robin).
+    tenant_cursor: [usize; 3],
     /// Quarantined signatures → the query that earned the quarantine.
     quarantined: BTreeMap<(&'static str, &'static str), u32>,
     /// Segmented-enqueue failures observed (must stay 0: the segmented
@@ -99,9 +121,17 @@ impl AdmissionQueue {
     /// An empty backlog with the given bound.
     pub fn new(capacity: u64) -> Self {
         AdmissionQueue {
-            classes: std::array::from_fn(|_| SegmentedRfAnQueue::new(Self::SEG_CAP)),
-            queued: [0; 3],
+            lanes: std::array::from_fn(|_| {
+                std::array::from_fn(|_| SegmentedRfAnQueue::new(Self::SEG_CAP))
+            }),
+            queued: [[0; NUM_TENANTS as usize]; 3],
             capacity,
+            // The cursor parks on the last class with an empty grant, so
+            // the first busy period starts a fresh round at the highest
+            // weight.
+            cursor: 2,
+            grant: 0,
+            tenant_cursor: [0; 3],
             quarantined: BTreeMap::new(),
             enqueue_errors: 0,
         }
@@ -115,7 +145,7 @@ impl AdmissionQueue {
         if let Some(&original) = self.quarantined.get(&query.signature()) {
             return Err(AdmissionError::Quarantined { original });
         }
-        let total = self.queued.iter().sum::<u64>();
+        let total = self.backlog();
         if total >= self.capacity {
             return Err(AdmissionError::QueueFull {
                 requested: total + 1,
@@ -132,11 +162,13 @@ impl AdmissionQueue {
         Ok(())
     }
 
-    /// Enqueue an admitted (or retry-ready) query id into its class.
-    pub fn push(&mut self, priority: Priority, id: u32) {
+    /// Enqueue an admitted (or retry-ready) query id into its
+    /// (class, tenant) lane.
+    pub fn push(&mut self, priority: Priority, tenant: u32, id: u32) {
         let class = priority.index();
-        match self.classes[class].try_enqueue_batch(&[id]) {
-            Ok(_) => self.queued[class] += 1,
+        let lane = (tenant % NUM_TENANTS) as usize;
+        match self.lanes[class][lane].try_enqueue_batch(&[id]) {
+            Ok(_) => self.queued[class][lane] += 1,
             // Unreachable for real ids (only the sentinel token is
             // refused), but counted rather than unwrapped: a nonzero
             // count is a bug the chaos suite will surface.
@@ -144,31 +176,61 @@ impl AdmissionQueue {
         }
     }
 
-    /// Dequeue the next query id in strict priority order (FIFO within
-    /// a class). `None` when the backlog is empty.
+    /// Queries waiting in `class`, across its tenant lanes.
+    fn class_backlog(&self, class: usize) -> u64 {
+        self.queued[class].iter().sum()
+    }
+
+    /// Dequeue the next query id under weighted deficit round-robin
+    /// (see module docs): the cursor class spends one grant per take
+    /// and yields to the next class when its grant budget or backlog is
+    /// spent; tenant lanes within the class round-robin. `None` when
+    /// the backlog is empty.
     pub fn take_next(&mut self) -> Option<(Priority, u32)> {
-        for priority in Priority::ALL {
-            let class = priority.index();
-            if self.queued[class] == 0 {
+        if self.backlog() == 0 {
+            // End of a busy period: park the cursor so the next one
+            // starts a fresh weighted round at the highest class.
+            self.cursor = 2;
+            self.grant = 0;
+            return None;
+        }
+        loop {
+            if self.grant > 0 && self.class_backlog(self.cursor) > 0 {
+                self.grant -= 1;
+                return Some(self.take_from_class(self.cursor));
+            }
+            self.cursor = (self.cursor + 1) % 3;
+            self.grant = Priority::ALL[self.cursor].weight();
+        }
+    }
+
+    /// Dequeue from `class`'s next non-empty tenant lane (round-robin).
+    /// The class backlog must be non-zero.
+    fn take_from_class(&mut self, class: usize) -> (Priority, u32) {
+        let lanes = NUM_TENANTS as usize;
+        for offset in 0..lanes {
+            let lane = (self.tenant_cursor[class] + offset) % lanes;
+            if self.queued[class][lane] == 0 {
                 continue;
             }
+            self.tenant_cursor[class] = (lane + 1) % lanes;
             // Serial dequeue protocol: every queued id was published
             // before this reserve, so the take cannot miss.
-            let slot = self.classes[class].reserve(1).start;
-            match self.classes[class].try_take(SlotTicket(slot)) {
+            let slot = self.lanes[class][lane].reserve(1).start;
+            match self.lanes[class][lane].try_take(SlotTicket(slot)) {
                 Some(id) => {
-                    self.queued[class] -= 1;
-                    return Some((priority, id));
+                    self.queued[class][lane] -= 1;
+                    return (Priority::ALL[class], id);
                 }
                 None => self.enqueue_errors += 1,
             }
         }
-        None
+        unreachable!("take_from_class called on an empty class");
     }
 
-    /// Total queries waiting across all classes.
+    /// Total queries waiting across all lanes.
     pub fn backlog(&self) -> u64 {
-        self.queued.iter().sum()
+        self.queued.iter().flatten().sum()
     }
 
     /// Quarantine a signature on behalf of query `id`.
@@ -186,10 +248,11 @@ impl AdmissionQueue {
         self.enqueue_errors
     }
 
-    /// Segments allocated fresh across the three class rings — proof in
-    /// the serve tables that the backlog really is segment-chained.
+    /// Segments allocated fresh across the (class, tenant) lane rings —
+    /// proof in the serve tables that the backlog really is
+    /// segment-chained.
     pub fn fresh_segments(&self) -> u64 {
-        self.classes.iter().map(|q| q.fresh_allocs()).sum()
+        self.lanes.iter().flatten().map(|q| q.fresh_allocs()).sum()
     }
 }
 
@@ -207,6 +270,7 @@ mod tests {
             rel_scale: 0.1,
             source_salt: 0,
             priority,
+            tenant: 0,
             arrival_cycle: 100,
             deadline_cycles: 1_000,
             faults: 0,
@@ -215,26 +279,112 @@ mod tests {
     }
 
     #[test]
-    fn fifo_within_class_priority_across() {
+    fn drr_grants_follow_class_weights_while_all_backlogged() {
+        // With every class saturated, dispatch must be the fixed
+        // weighted round: 4 interactive, 2 standard, 1 batch.
         let mut q = AdmissionQueue::new(64);
-        q.push(Priority::Batch, 1);
-        q.push(Priority::Standard, 2);
-        q.push(Priority::Standard, 3);
-        q.push(Priority::Interactive, 4);
-        assert_eq!(q.backlog(), 4);
-        assert_eq!(q.take_next(), Some((Priority::Interactive, 4)));
-        assert_eq!(q.take_next(), Some((Priority::Standard, 2)));
-        assert_eq!(q.take_next(), Some((Priority::Standard, 3)));
+        for id in 0..8 {
+            q.push(Priority::Interactive, 0, id);
+            q.push(Priority::Standard, 0, 100 + id);
+            q.push(Priority::Batch, 0, 200 + id);
+        }
+        let classes: Vec<Priority> = (0..14).map(|_| q.take_next().unwrap().0).collect();
+        use Priority::*;
+        assert_eq!(
+            classes,
+            vec![
+                Interactive,
+                Interactive,
+                Interactive,
+                Interactive,
+                Standard,
+                Standard,
+                Batch,
+                Interactive,
+                Interactive,
+                Interactive,
+                Interactive,
+                Standard,
+                Standard,
+                Batch,
+            ]
+        );
+        assert_eq!(q.enqueue_errors(), 0);
+    }
+
+    #[test]
+    fn lone_backlogged_class_drains_fifo_without_idle_grants() {
+        // Empty classes forfeit their visits: a batch-only backlog
+        // drains back-to-back, in FIFO order, with no starvation gaps.
+        let mut q = AdmissionQueue::new(64);
+        for id in 0..6 {
+            q.push(Priority::Batch, 0, id);
+        }
+        for id in 0..6 {
+            assert_eq!(q.take_next(), Some((Priority::Batch, id)));
+        }
+        assert_eq!(q.take_next(), None);
+    }
+
+    #[test]
+    fn batch_class_cannot_be_starved_by_interactive_floods() {
+        // The strict-priority drain this DRR replaced would never reach
+        // the batch query while interactive work kept arriving; the
+        // weighted round reaches it within one full cycle (7 grants).
+        let mut q = AdmissionQueue::new(u64::MAX);
+        q.push(Priority::Batch, 0, 999);
+        for id in 0..100 {
+            q.push(Priority::Interactive, 0, id);
+        }
+        let mut took_batch_at = None;
+        for k in 0..10 {
+            let (class, id) = q.take_next().unwrap();
+            if class == Priority::Batch {
+                assert_eq!(id, 999);
+                took_batch_at = Some(k);
+                break;
+            }
+            // Keep the interactive flood saturated while we wait.
+            q.push(Priority::Interactive, 0, 500 + k);
+        }
+        assert!(
+            took_batch_at.is_some(),
+            "batch query starved through a full weighted round"
+        );
+    }
+
+    #[test]
+    fn tenant_lanes_round_robin_within_a_class() {
+        let mut q = AdmissionQueue::new(64);
+        // Tenant 0 is chatty (3 queries); tenants 1 and 2 have one each.
+        q.push(Priority::Standard, 0, 10);
+        q.push(Priority::Standard, 0, 11);
+        q.push(Priority::Standard, 0, 12);
+        q.push(Priority::Standard, 1, 20);
+        q.push(Priority::Standard, 2, 30);
+        let ids: Vec<u32> = (0..5).map(|_| q.take_next().unwrap().1).collect();
+        // Round-robin across lanes, FIFO within: the chatty tenant gets
+        // exactly its share, not the head of the line.
+        assert_eq!(ids, vec![10, 20, 30, 11, 12]);
+    }
+
+    #[test]
+    fn busy_period_reset_restarts_the_weighted_round() {
+        let mut q = AdmissionQueue::new(64);
+        q.push(Priority::Batch, 0, 1);
         assert_eq!(q.take_next(), Some((Priority::Batch, 1)));
         assert_eq!(q.take_next(), None);
-        assert_eq!(q.enqueue_errors(), 0);
+        // A fresh busy period starts its round at interactive again.
+        q.push(Priority::Interactive, 0, 2);
+        q.push(Priority::Batch, 0, 3);
+        assert_eq!(q.take_next(), Some((Priority::Interactive, 2)));
     }
 
     #[test]
     fn backlog_bound_is_a_typed_queue_full() {
         let mut q = AdmissionQueue::new(2);
-        q.push(Priority::Standard, 0);
-        q.push(Priority::Standard, 1);
+        q.push(Priority::Standard, 0, 0);
+        q.push(Priority::Standard, 1, 1);
         let err = q.check(&query(2, Priority::Standard), 0).unwrap_err();
         assert_eq!(
             err,
@@ -282,7 +432,7 @@ mod tests {
     fn deep_backlog_chains_segments_without_errors() {
         let mut q = AdmissionQueue::new(1_000);
         for id in 0..100 {
-            q.push(Priority::Batch, id);
+            q.push(Priority::Batch, 0, id);
         }
         assert!(q.fresh_segments() > 3, "backlog should span segments");
         for id in 0..100 {

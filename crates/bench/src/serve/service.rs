@@ -22,6 +22,15 @@
 //!    clock, no thread identity, no map iteration order feeds a
 //!    decision.
 //!
+//! With [`ServiceConfig::batching`] on, Phase B drains a whole
+//! weighted-DRR window per device occupancy, fuses compatible clean
+//! queries into [`QueryBatch`] launches, and overlaps same-kind
+//! launches co-resident on the device. Fused units *do* run the engine
+//! inside Phase B — safe because a co-resident run is itself
+//! deterministic at any engine-worker count and the unit's composition
+//! is a pure function of the trace and the Phase A profiles, so the
+//! replay stays byte-identical.
+//!
 //! The service's retry ladder sits *above* the in-run recovery of
 //! `resume_workload`: the configured [`RecoveryPolicy`] uses
 //! `max_attempts: 0`, so every abort escalates to the service as a typed
@@ -31,10 +40,14 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use gpu_queue::Variant;
-use pt_bfs::workload::{Bfs, ConnectedComponents, PrDelta, PtWorkload, Sssp};
-use pt_bfs::{resume_workload_detailed, Checkpoint, PtConfig, RecoveryLog, RecoveryPolicy};
+use pt_bfs::workload::{Bfs, ConnectedComponents, PrDelta, PtWorkload, QueryBatch, Sssp};
+use pt_bfs::{
+    resume_workload_detailed, run_workloads_coresident, Checkpoint, PtConfig, RecoveryLog,
+    RecoveryPolicy,
+};
 use ptq_graph::{random_weights, Csr, Dataset};
 use simt::{AbortReason, FaultPlan, FaultSpec, GpuConfig};
 
@@ -84,6 +97,39 @@ pub struct ServiceConfig {
     /// Engine worker override for query execution; 0 inherits the
     /// process-wide budget (`--engine-workers`).
     pub engine_workers: usize,
+    /// Multi-query co-scheduling policy. `None` dispatches one query
+    /// per device occupancy (the classic serial core); `Some` lets the
+    /// replay drain a whole DRR window per occupancy, fuse compatible
+    /// clean queries into [`QueryBatch`] launches, and overlap
+    /// same-kind launches co-resident on the device.
+    pub batching: Option<BatchPolicy>,
+}
+
+/// How aggressively the dispatcher fuses queries (see
+/// [`ServiceConfig::batching`]).
+#[derive(Clone, Debug)]
+pub struct BatchPolicy {
+    /// Largest number of queries drained into one dispatch window (and
+    /// so the most that can ever share the device at once).
+    pub max_coresident: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_coresident: 4 }
+    }
+}
+
+impl BatchPolicy {
+    /// Dynamic fan-out: the in-flight set tracks the backlog — a deep
+    /// backlog fills the window up to `max_coresident`, a trickle
+    /// degenerates to serial dispatch without holding queries back to
+    /// wait for batch-mates.
+    pub fn fanout(&self, backlog: u64) -> usize {
+        usize::try_from(backlog)
+            .unwrap_or(usize::MAX)
+            .clamp(1, self.max_coresident.max(1))
+    }
 }
 
 impl ServiceConfig {
@@ -109,6 +155,16 @@ impl ServiceConfig {
                 ..RecoveryPolicy::default()
             },
             engine_workers: 0,
+            batching: None,
+        }
+    }
+
+    /// [`ServiceConfig::standard`] with the default batching policy on:
+    /// the batched, weighted-fair, overlapping-occupancy core.
+    pub fn batched(scale: Scale) -> Self {
+        ServiceConfig {
+            batching: Some(BatchPolicy::default()),
+            ..Self::standard(scale)
         }
     }
 }
@@ -139,6 +195,18 @@ pub struct ExecutionProfile {
     /// Admission-time cost estimate: attempt 0's cycles. Used for the
     /// projected-backlog-completion shedding decision.
     pub estimate_cycles: u64,
+}
+
+/// One same-signature group of fusable queries drained from a dispatch
+/// window; its members fuse into a single [`QueryBatch`] launch, and
+/// same-kind groups co-reside on the device as one unit.
+#[derive(Clone)]
+struct DispatchGroup {
+    kind: WorkloadKind,
+    dataset: Dataset,
+    rel_scale: f64,
+    /// Trace indices of the group's members, in drain order.
+    members: Vec<usize>,
 }
 
 /// The resident multi-query service.
@@ -320,6 +388,7 @@ impl Service {
         struct St {
             attempts: u32,
             in_run_aborts: u64,
+            peers: u32,
             done: Option<(Disposition, u64, usize, Option<RecoveryLog>)>,
         }
         let mut st: Vec<St> = trace
@@ -328,6 +397,7 @@ impl Service {
             .map(|_| St {
                 attempts: 0,
                 in_run_aborts: 0,
+                peers: 0,
                 done: None,
             })
             .collect();
@@ -371,7 +441,7 @@ impl Service {
                     let projected = device_free.saturating_add(pending_est).saturating_add(est);
                     match admission.check(q, projected) {
                         Ok(()) => {
-                            admission.push(q.priority, q.id);
+                            admission.push(q.priority, q.tenant, q.id);
                             pending_est = pending_est.saturating_add(est);
                         }
                         Err(err) => {
@@ -390,72 +460,177 @@ impl Service {
                     // Retry re-admission: the query already holds its
                     // slot, only the backlog estimate changes.
                     let next = st[qidx].attempts as usize;
-                    admission.push(q.priority, q.id);
+                    admission.push(q.priority, q.tenant, q.id);
                     pending_est = pending_est.saturating_add(profiles[qidx].attempts[next].cycles);
                 }
             }
 
-            if let Some((_, id)) = admission.take_next() {
-                let qidx = index_of(id);
-                let q = &trace.queries[qidx];
-                let prof = &profiles[qidx];
-                let k = st[qidx].attempts as usize;
-                let sim = &prof.attempts[k];
-                let est = if k == 0 {
-                    prof.estimate_cycles
-                } else {
-                    sim.cycles
+            let backlog = admission.backlog();
+            if backlog > 0 {
+                // Drain one dispatch window: with batching off the
+                // fan-out is pinned to 1 (the classic serial core);
+                // with batching on it tracks the backlog up to
+                // `max_coresident`, so a deep backlog fills the device
+                // and a trickle degenerates to serial dispatch.
+                let fanout = match &self.config.batching {
+                    Some(policy) => policy.fanout(backlog),
+                    None => 1,
                 };
-                pending_est = pending_est.saturating_sub(est);
-                let start = device_free;
-                if k == 0 && start > q.arrival_cycle.saturating_add(q.deadline_cycles) {
-                    // The wait alone blew the deadline: shed before
-                    // spending device time. Never applied to retries —
-                    // committed checkpoints are sunk cost the service
-                    // finishes.
-                    st[qidx].done = Some((Disposition::Shed, start - q.arrival_cycle, 0, None));
-                    makespan = makespan.max(start);
-                    continue;
+                let mut window: Vec<usize> = Vec::with_capacity(fanout);
+                while window.len() < fanout {
+                    match admission.take_next() {
+                        Some((_, id)) => window.push(index_of(id)),
+                        None => break,
+                    }
                 }
-                device_free = start.saturating_add(sim.cycles);
-                st[qidx].attempts += 1;
-                st[qidx].in_run_aborts += sim.log.aborts() as u64;
-                execution_queue_full += sim
-                    .log
-                    .attempts
-                    .iter()
-                    .filter(|a| matches!(a.reason, AbortReason::QueueFull { .. }))
-                    .count() as u64;
-                if sim.success {
-                    st[qidx].done = Some((
-                        Disposition::Completed,
-                        device_free - q.arrival_cycle,
-                        prof.reached,
-                        None,
-                    ));
-                    makespan = makespan.max(device_free);
-                } else if k + 1 < prof.attempts.len() {
-                    let backoff = BackoffSchedule::new(
-                        self.config.backoff_base_cycles,
-                        self.config.backoff_cap_cycles,
-                        trace.seed
-                            ^ u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            ^ BACKOFF_SALT,
-                    );
-                    let ready = device_free.saturating_add(backoff.delay(k as u32));
-                    heap.push(Reverse((ready, RETRY, seq, id)));
-                    seq += 1;
-                } else {
-                    // Retry budget spent: isolate the query with its
-                    // evidence and keep serving everything else.
-                    admission.quarantine(q.signature(), id);
-                    st[qidx].done = Some((
-                        Disposition::Quarantined,
-                        device_free - q.arrival_cycle,
-                        0,
-                        Some(sim.log.clone()),
-                    ));
-                    makespan = makespan.max(device_free);
+                let window_start = device_free;
+
+                // Classify the window: deadline sheds drop out, clean
+                // first-attempt queries are fusable and group by
+                // (workload, dataset, scale) signature, everything else
+                // (retries, fault-carrying or watchdog-limited queries)
+                // dispatches solo through its Phase A profile.
+                let mut solos: Vec<usize> = Vec::new();
+                let mut groups: Vec<DispatchGroup> = Vec::new();
+                for &qidx in &window {
+                    let q = &trace.queries[qidx];
+                    let prof = &profiles[qidx];
+                    let k = st[qidx].attempts as usize;
+                    let est = if k == 0 {
+                        prof.estimate_cycles
+                    } else {
+                        prof.attempts[k].cycles
+                    };
+                    pending_est = pending_est.saturating_sub(est);
+                    if k == 0 && window_start > q.arrival_cycle.saturating_add(q.deadline_cycles) {
+                        // The wait alone blew the deadline: shed before
+                        // spending device time. Never applied to retries —
+                        // committed checkpoints are sunk cost the service
+                        // finishes.
+                        st[qidx].done =
+                            Some((Disposition::Shed, window_start - q.arrival_cycle, 0, None));
+                        makespan = makespan.max(window_start);
+                        continue;
+                    }
+                    let fusable = self.config.batching.is_some()
+                        && k == 0
+                        && q.faults == 0
+                        && q.watchdog_rounds == 0
+                        && prof.completed
+                        && prof.attempts.len() == 1;
+                    if !fusable {
+                        solos.push(qidx);
+                        continue;
+                    }
+                    match groups.iter_mut().find(|g| {
+                        g.kind == q.kind
+                            && g.dataset == q.dataset
+                            && g.rel_scale.to_bits() == q.rel_scale.to_bits()
+                    }) {
+                        Some(g) => g.members.push(qidx),
+                        None => groups.push(DispatchGroup {
+                            kind: q.kind,
+                            dataset: q.dataset,
+                            rel_scale: q.rel_scale,
+                            members: vec![qidx],
+                        }),
+                    }
+                }
+
+                // Same-kind groups co-reside on the device as one unit
+                // (each group one fused QueryBatch launch). A kind whose
+                // groups hold a single query in total gains nothing from
+                // a one-member launch, so it demotes to a solo dispatch
+                // through its (identical) profile.
+                let mut kinds: Vec<WorkloadKind> = Vec::new();
+                for g in &groups {
+                    if !kinds.contains(&g.kind) {
+                        kinds.push(g.kind);
+                    }
+                }
+                for kind in kinds {
+                    let kgroups: Vec<DispatchGroup> =
+                        groups.iter().filter(|g| g.kind == kind).cloned().collect();
+                    let total: usize = kgroups.iter().map(|g| g.members.len()).sum();
+                    if total < 2 {
+                        solos.extend(kgroups.iter().flat_map(|g| g.members.iter().copied()));
+                        continue;
+                    }
+                    let start = device_free;
+                    let mut unit_end = start;
+                    for (g, (cycles, reached)) in
+                        kgroups.iter().zip(self.run_fused(trace, kind, &kgroups))
+                    {
+                        let done_at = start.saturating_add(cycles);
+                        unit_end = unit_end.max(done_at);
+                        for (&qidx, member_reached) in g.members.iter().zip(reached) {
+                            let q = &trace.queries[qidx];
+                            assert_eq!(
+                                member_reached, profiles[qidx].reached,
+                                "fused member diverged from its solo profile"
+                            );
+                            st[qidx].attempts += 1;
+                            st[qidx].peers = total as u32;
+                            st[qidx].done = Some((
+                                Disposition::Completed,
+                                done_at - q.arrival_cycle,
+                                member_reached,
+                                None,
+                            ));
+                            makespan = makespan.max(done_at);
+                        }
+                    }
+                    device_free = unit_end;
+                }
+
+                // Solo dispatches in drain order on the serial timeline.
+                for qidx in solos {
+                    let q = &trace.queries[qidx];
+                    let prof = &profiles[qidx];
+                    let k = st[qidx].attempts as usize;
+                    let sim = &prof.attempts[k];
+                    let start = device_free;
+                    device_free = start.saturating_add(sim.cycles);
+                    st[qidx].attempts += 1;
+                    st[qidx].peers = 1;
+                    st[qidx].in_run_aborts += sim.log.aborts() as u64;
+                    execution_queue_full += sim
+                        .log
+                        .attempts
+                        .iter()
+                        .filter(|a| matches!(a.reason, AbortReason::QueueFull { .. }))
+                        .count() as u64;
+                    if sim.success {
+                        st[qidx].done = Some((
+                            Disposition::Completed,
+                            device_free - q.arrival_cycle,
+                            prof.reached,
+                            None,
+                        ));
+                        makespan = makespan.max(device_free);
+                    } else if k + 1 < prof.attempts.len() {
+                        let backoff = BackoffSchedule::new(
+                            self.config.backoff_base_cycles,
+                            self.config.backoff_cap_cycles,
+                            trace.seed
+                                ^ u64::from(q.id).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ BACKOFF_SALT,
+                        );
+                        let ready = device_free.saturating_add(backoff.delay(k as u32));
+                        heap.push(Reverse((ready, RETRY, seq, q.id)));
+                        seq += 1;
+                    } else {
+                        // Retry budget spent: isolate the query with its
+                        // evidence and keep serving everything else.
+                        admission.quarantine(q.signature(), q.id);
+                        st[qidx].done = Some((
+                            Disposition::Quarantined,
+                            device_free - q.arrival_cycle,
+                            0,
+                            Some(sim.log.clone()),
+                        ));
+                        makespan = makespan.max(device_free);
+                    }
                 }
                 continue;
             }
@@ -484,8 +659,10 @@ impl Service {
                     workload: q.kind.label(),
                     dataset: q.dataset.spec().name,
                     priority: q.priority,
+                    tenant: q.tenant,
                     disposition,
                     attempts: s.attempts,
+                    batch_peers: s.peers,
                     in_run_aborts: s.in_run_aborts,
                     latency_cycles,
                     reached,
@@ -502,6 +679,96 @@ impl Service {
             execution_queue_full,
             admission_segments: admission.fresh_segments(),
         }
+    }
+
+    /// Execute one co-resident unit: `groups` (all of `kind`) each fuse
+    /// into a [`QueryBatch`] and launch together on the simulated
+    /// device through [`run_workloads_coresident`]. Returns, per group,
+    /// its launch's occupied cycles and the per-member reached counts.
+    /// Deterministic at any engine-worker count, so Phase B can run the
+    /// engine here without breaking the byte-identical replay.
+    fn run_fused(
+        &self,
+        trace: &ArrivalTrace,
+        kind: WorkloadKind,
+        groups: &[DispatchGroup],
+    ) -> Vec<(u64, Vec<usize>)> {
+        match kind {
+            WorkloadKind::Bfs => self.run_fused_as(trace, groups, |source, _| Bfs::new(source)),
+            WorkloadKind::Sssp => self.run_fused_as(trace, groups, |source, graph| {
+                Sssp::new(source, random_weights(graph, 10, WEIGHT_SEED))
+            }),
+            WorkloadKind::Cc => self.run_fused_as(trace, groups, |_, _| ConnectedComponents),
+            WorkloadKind::PrDelta => {
+                self.run_fused_as(trace, groups, |source, _| PrDelta::new(source))
+            }
+        }
+    }
+
+    /// Monomorphic body of [`Service::run_fused`] for workload `W`.
+    fn run_fused_as<W, F>(
+        &self,
+        trace: &ArrivalTrace,
+        groups: &[DispatchGroup],
+        make: F,
+    ) -> Vec<(u64, Vec<usize>)>
+    where
+        W: PtWorkload,
+        F: Fn(u32, &Csr) -> W,
+    {
+        let graphs: Vec<Arc<Csr>> = groups
+            .iter()
+            .map(|g| {
+                let scale = Scale::new((self.config.scale.fraction() * g.rel_scale).min(1.0));
+                DatasetCache::global().get(g.dataset, scale)
+            })
+            .collect();
+        let entries: Vec<(&Csr, QueryBatch<W>)> = groups
+            .iter()
+            .zip(&graphs)
+            .map(|(g, graph)| {
+                let n = graph.num_vertices();
+                let members: Vec<W> = g
+                    .members
+                    .iter()
+                    .map(|&qidx| {
+                        let source = (trace.queries[qidx].source_salt as usize % n.max(1)) as u32;
+                        make(source, graph)
+                    })
+                    .collect();
+                (graph.as_ref(), QueryBatch::new(members, n))
+            })
+            .collect();
+        let mut config = PtConfig::new(self.config.variant, self.config.workgroups);
+        config.engine_workers = if self.config.engine_workers == 0 {
+            engine_workers()
+        } else {
+            self.config.engine_workers
+        };
+        let runs =
+            run_workloads_coresident(&self.config.gpu, &entries, &config).unwrap_or_else(|e| {
+                panic!(
+                    "serve: co-resident {} unit failed: {e}",
+                    entries[0].1.name()
+                )
+            });
+        runs.iter()
+            .zip(&entries)
+            .zip(groups)
+            .map(|((run, (graph, batch)), g)| {
+                if let Err((v, want, got)) = batch.validate(graph, &run.values) {
+                    panic!(
+                        "serve: fused {} on {} diverged from the oracle at token {v}: expected {want}, got {got}",
+                        batch.name(),
+                        g.dataset.spec().name,
+                    );
+                }
+                let reached = (0..batch.len())
+                    .map(|i| batch.members()[i].reached(batch.member_values(&run.values, i)))
+                    .collect();
+                (self.config.gpu.seconds_to_cycles(run.seconds), reached)
+            })
+            .collect()
     }
 }
 
@@ -541,6 +808,68 @@ mod tests {
         assert_eq!(serial.execution_queue_full, 0);
         let parallel = service.run(&trace, &Sched::new(4));
         assert_eq!(serial, parallel);
+    }
+
+    fn burst_trace(seed: u64, queries: usize) -> ArrivalTrace {
+        ArrivalTrace::seeded(
+            seed,
+            &TraceParams {
+                queries,
+                mean_gap_cycles: 1_000,
+                deadline_range: (u64::MAX / 8, u64::MAX / 4),
+                datasets: POOL,
+                fault_every: 0,
+                faults_per_query: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn batched_core_matches_serial_outcomes_and_is_worker_invariant() {
+        // A burst with generous deadlines: the batched core drains
+        // multi-query windows and fuses same-kind arrivals, yet every
+        // query must land the same terminal state and reached count as
+        // under the serial core — batching changes *when* work runs,
+        // never *what* it computes.
+        let trace = burst_trace(0xBA7C, 8);
+        let serial_log =
+            Service::new(ServiceConfig::standard(Scale::new(0.02))).run(&trace, &Sched::serial());
+        let batched = Service::new(ServiceConfig::batched(Scale::new(0.02)));
+        let log = batched.run(&trace, &Sched::serial());
+        assert!(
+            log.outcomes.iter().any(|o| o.batch_peers > 1),
+            "the burst must actually fuse something"
+        );
+        for (b, s) in log.outcomes.iter().zip(&serial_log.outcomes) {
+            assert_eq!(b.disposition, Disposition::Completed, "query {}", b.id);
+            assert_eq!(b.reached, s.reached, "query {}", b.id);
+            assert_eq!(b.tenant, s.tenant);
+        }
+        // Fused units run the engine inside Phase B; the log must still
+        // be byte-identical at any jobs x engine-workers point.
+        let parallel = batched.run(&trace, &Sched::new(4));
+        assert_eq!(log, parallel);
+        let mut wide = ServiceConfig::batched(Scale::new(0.02));
+        wide.engine_workers = 4;
+        let wide_log = Service::new(wide).run(&trace, &Sched::new(2));
+        assert_eq!(log, wide_log);
+    }
+
+    #[test]
+    fn resubmission_arriving_before_quarantine_runs_on_its_own_budget() {
+        // The resubmission lands while the original poison query is
+        // still climbing its backoff ladder — no quarantine exists yet,
+        // so it is admitted and burns its own retry budget instead of
+        // being rejected at the door.
+        let service = Service::new(ServiceConfig::standard(Scale::new(0.02)));
+        let mut trace = tiny_trace(0x0DD);
+        let poison = trace.push_poison(WorkloadKind::Bfs, Dataset::RoadNY, 0.05, 2, 100_000);
+        let resub = trace.push_resubmission(poison, 1_000);
+        let log = service.run(&trace, &Sched::serial());
+        let r = &log.outcomes[resub as usize];
+        assert_eq!(r.disposition, Disposition::Quarantined);
+        assert_eq!(r.attempts, service.config().retry_budget + 1);
+        assert!(r.recovery.is_some());
     }
 
     #[test]

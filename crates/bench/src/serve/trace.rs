@@ -74,6 +74,18 @@ impl Priority {
     /// All classes, highest priority first.
     pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
 
+    /// Deficit-round-robin weight: how many dispatch grants the class
+    /// receives per scheduler round while backlogged. Interactive gets
+    /// 4 of every 7 grants, standard 2, batch 1 — weighted fairness
+    /// instead of the starvation a strict-priority drain allows.
+    pub fn weight(self) -> u64 {
+        match self {
+            Priority::Interactive => 4,
+            Priority::Standard => 2,
+            Priority::Batch => 1,
+        }
+    }
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {
@@ -111,6 +123,11 @@ pub struct QuerySpec {
     pub source_salt: u32,
     /// Admission priority class.
     pub priority: Priority,
+    /// Submitting tenant (`0..NUM_TENANTS`). Within a priority class
+    /// the admission queue round-robins across tenant lanes, so one
+    /// chatty tenant cannot starve the others of the class's dispatch
+    /// share.
+    pub tenant: u32,
     /// Simulated cycle at which the query arrives.
     pub arrival_cycle: u64,
     /// Deadline budget in simulated cycles from arrival. Admission sheds
@@ -154,6 +171,12 @@ pub struct TraceParams {
     pub faults_per_query: u32,
 }
 
+/// Number of tenants a seeded trace draws from. Small on purpose: a
+/// handful of tenants keeps every (class, tenant) lane populated at
+/// realistic trace sizes, which is what the fairness accounting wants
+/// to observe.
+pub const NUM_TENANTS: u32 = 4;
+
 /// A seeded multi-query arrival trace.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ArrivalTrace {
@@ -190,6 +213,7 @@ impl ArrivalTrace {
                     3..=7 => Priority::Standard,
                     _ => Priority::Batch,
                 };
+                let tenant = rng.range_u32(0, NUM_TENANTS);
                 let deadline_cycles =
                     rng.range_u64(params.deadline_range.0, params.deadline_range.1);
                 let source_salt = rng.next_u32();
@@ -205,6 +229,7 @@ impl ArrivalTrace {
                     rel_scale,
                     source_salt,
                     priority,
+                    tenant,
                     arrival_cycle: cycle,
                     deadline_cycles,
                     faults,
@@ -249,6 +274,7 @@ impl ArrivalTrace {
             rel_scale,
             source_salt: 0,
             priority: Priority::Standard,
+            tenant: 0,
             arrival_cycle: self.last_arrival().saturating_add(gap_cycles),
             // Generous deadline: the point of a poison query is to fail
             // by aborting, not by missing its deadline.
@@ -329,6 +355,94 @@ mod tests {
         for (i, q) in trace.queries.iter().enumerate() {
             assert_eq!(q.faults, if (i + 1) % 3 == 0 { 2 } else { 0 });
         }
+    }
+
+    #[test]
+    fn tenants_are_drawn_within_bounds() {
+        let trace = ArrivalTrace::seeded(11, &params());
+        for q in &trace.queries {
+            assert!(q.tenant < NUM_TENANTS, "tenant {} out of range", q.tenant);
+        }
+        // With 20 draws over 4 tenants, at least two distinct tenants
+        // appear (a collapsed draw would break the fairness accounting).
+        let distinct: std::collections::BTreeSet<u32> =
+            trace.queries.iter().map(|q| q.tenant).collect();
+        assert!(distinct.len() >= 2, "tenant draw collapsed: {distinct:?}");
+    }
+
+    #[test]
+    fn poison_at_the_head_of_an_empty_trace() {
+        // Degenerate traces come up when experiments hand-build loads:
+        // the poison must become query 0 at exactly `gap_cycles`.
+        let mut trace = ArrivalTrace {
+            seed: 1,
+            queries: vec![],
+        };
+        let id = trace.push_poison(WorkloadKind::Cc, Dataset::Synthetic, 0.004, 3, 7_000);
+        assert_eq!(id, 0);
+        assert_eq!(trace.queries.len(), 1);
+        assert_eq!(trace.queries[0].arrival_cycle, 7_000);
+        assert_eq!(trace.queries[0].watchdog_rounds, 3);
+        assert_eq!(
+            trace.queries[0].faults, 0,
+            "poison fails by watchdog, not faults"
+        );
+    }
+
+    #[test]
+    fn poison_at_the_tail_extends_the_latest_arrival() {
+        // `last_arrival` is the max over the trace, not the last pushed
+        // element — a poison appended after an out-of-order hand edit
+        // still lands past every existing arrival.
+        let mut trace = ArrivalTrace::seeded(5, &params());
+        trace.queries.swap(0, 19); // tail element now arrives earliest
+        let tail = trace.queries.iter().map(|q| q.arrival_cycle).max().unwrap();
+        let id = trace.push_poison(WorkloadKind::Bfs, Dataset::RoadNY, 0.1, 2, 1_000);
+        let p = trace.queries.iter().find(|q| q.id == id).unwrap();
+        assert_eq!(p.arrival_cycle, tail + 1_000);
+    }
+
+    #[test]
+    fn duplicate_poison_signatures_get_distinct_ids() {
+        let mut trace = ArrivalTrace {
+            seed: 9,
+            queries: vec![],
+        };
+        let a = trace.push_poison(WorkloadKind::Bfs, Dataset::RoadNY, 0.1, 2, 1_000);
+        let b = trace.push_poison(WorkloadKind::Bfs, Dataset::RoadNY, 0.1, 2, 1_000);
+        assert_ne!(a, b);
+        let qa = trace.queries.iter().find(|q| q.id == a).unwrap();
+        let qb = trace.queries.iter().find(|q| q.id == b).unwrap();
+        assert_eq!(qa.signature(), qb.signature());
+        assert!(qb.arrival_cycle > qa.arrival_cycle);
+    }
+
+    #[test]
+    fn resubmission_chains_preserve_the_original_spec() {
+        // A resubmission of a resubmission still carries the original
+        // query's kind, dataset, tenant, and fault exposure — only the
+        // id and arrival move.
+        let mut trace = ArrivalTrace::seeded(3, &params());
+        let first = trace.push_resubmission(4, 5_000);
+        let second = trace.push_resubmission(first, 5_000);
+        let original = trace.queries.iter().find(|q| q.id == 4).unwrap().clone();
+        let r = trace.queries.iter().find(|q| q.id == second).unwrap();
+        assert_eq!(r.kind, original.kind);
+        assert_eq!(r.dataset, original.dataset);
+        assert_eq!(r.tenant, original.tenant);
+        assert_eq!(r.faults, original.faults);
+        assert_eq!(r.signature(), original.signature());
+        assert!(r.arrival_cycle > original.arrival_cycle);
+    }
+
+    #[test]
+    #[should_panic(expected = "resubmission of unknown query id")]
+    fn resubmission_of_unknown_id_panics() {
+        let mut trace = ArrivalTrace {
+            seed: 2,
+            queries: vec![],
+        };
+        let _ = trace.push_resubmission(99, 1_000);
     }
 
     #[test]

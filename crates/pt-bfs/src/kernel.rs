@@ -65,6 +65,10 @@ enum LaneWork {
         value: u32,
         next_edge: u32,
         end_edge: u32,
+        /// Query-id tag of the token (`token - token_row(token)`); zero
+        /// for solo workloads. Children discovered while expanding this
+        /// node inherit it (see [`TokenSink`]).
+        base: u32,
     },
 }
 
@@ -188,34 +192,39 @@ impl<W: PtWorkload> WaveKernel for PtKernel<W> {
             .zip(self.work.iter_mut())
             .zip(self.plan.iter())
         {
-            if let LanePhase::Ready(vertex) = *phase {
+            if let LanePhase::Ready(token) = *phase {
+                // The token addresses per-query state directly; its CSR
+                // row is the vertex it expands (identical for solo
+                // workloads, query-tagged for a batch).
+                let row = self.workload.token_row(token);
                 // Release the on-queue bit *before* reading the value so
                 // a concurrent improver either sees the bit set (and
                 // knows this processing will read its improved value) or
                 // re-enqueues the vertex itself.
-                ctx.global_write_lane(self.buffers.inqueue, vertex as usize, 0);
+                ctx.global_write_lane(self.buffers.inqueue, token as usize, 0);
                 // The two row offsets share a cache line almost always.
                 // A predicted pickup serves them from the plan cache
                 // (identical validation and charges; `nodes` is
                 // immutable).
-                ctx.charge_coalesced_access(self.buffers.nodes, vertex as usize, 2);
+                ctx.charge_coalesced_access(self.buffers.nodes, row as usize, 2);
                 let (start, end) = match plan.token {
-                    Some((v, s, e)) if v == vertex => (
-                        ctx.peek_cached(self.buffers.nodes, vertex as usize, s),
-                        ctx.peek_cached(self.buffers.nodes, vertex as usize + 1, e),
+                    Some((t, s, e)) if t == token => (
+                        ctx.peek_cached(self.buffers.nodes, row as usize, s),
+                        ctx.peek_cached(self.buffers.nodes, row as usize + 1, e),
                     ),
                     _ => (
-                        ctx.peek(self.buffers.nodes, vertex as usize),
-                        ctx.peek(self.buffers.nodes, vertex as usize + 1),
+                        ctx.peek(self.buffers.nodes, row as usize),
+                        ctx.peek(self.buffers.nodes, row as usize + 1),
                     ),
                 };
-                let raw = ctx.global_read_lane(self.buffers.values, vertex as usize);
+                let raw = ctx.global_read_lane(self.buffers.values, token as usize);
                 *work = LaneWork::Node {
                     // Host-side derivation, no device ops (identity for
                     // most workloads).
                     value: self.workload.lane_value(raw, start, end),
                     next_edge: start,
                     end_edge: end,
+                    base: token - row,
                 };
                 *phase = LanePhase::Idle;
             }
@@ -230,6 +239,7 @@ impl<W: PtWorkload> WaveKernel for PtKernel<W> {
                     value,
                     next_edge,
                     end_edge,
+                    base,
                 } = work
                 {
                     let stop = (*next_edge + self.chunk).min(*end_edge);
@@ -247,6 +257,7 @@ impl<W: PtWorkload> WaveKernel for PtKernel<W> {
                         inqueue: self.buffers.inqueue,
                         fence: self.fence,
                         outbox: &mut outbox,
+                        base: *base,
                     };
                     self.workload.expand(
                         ctx,
@@ -329,31 +340,33 @@ impl<W: PtWorkload> WaveKernel for PtKernel<W> {
                 // edges; leave every entry invalid.
                 continue;
             }
-            let (start, end) = match self.work[lane] {
+            let (start, end, base) = match self.work[lane] {
                 LaneWork::Node {
                     next_edge,
                     end_edge,
+                    base,
                     ..
-                } => (next_edge, end_edge),
+                } => (next_edge, end_edge, base),
                 LaneWork::None => {
                     let LanePhase::Monitoring(slot) = self.phases[lane] else {
                         continue;
                     };
-                    let Some(vertex) = self.queue.plan_token(ctx, slot) else {
+                    let Some(token) = self.queue.plan_token(ctx, slot) else {
                         continue;
                     };
+                    let row = self.workload.token_row(token);
                     let (Some(s), Some(e)) = (
-                        ctx.peek(self.buffers.nodes, vertex as usize),
-                        ctx.peek(self.buffers.nodes, vertex as usize + 1),
+                        ctx.peek(self.buffers.nodes, row as usize),
+                        ctx.peek(self.buffers.nodes, row as usize + 1),
                     ) else {
                         continue;
                     };
-                    plan.token = Some((vertex, s, e));
+                    plan.token = Some((token, s, e));
                     // The pickup prolog will write the on-queue bit and
                     // read the value word.
-                    ctx.prefetch(self.buffers.inqueue, vertex as usize);
-                    ctx.prefetch(self.buffers.values, vertex as usize);
-                    (s, e)
+                    ctx.prefetch(self.buffers.inqueue, token as usize);
+                    ctx.prefetch(self.buffers.values, token as usize);
+                    (s, e, token - row)
                 }
             };
             if start > end {
@@ -369,10 +382,11 @@ impl<W: PtWorkload> WaveKernel for PtKernel<W> {
                 plan.chunk_start = start;
                 // Each discovered child gets a claim atomic on its value
                 // word and possibly an on-queue-bit exchange: warm those
-                // random-access lines for the commit phase.
+                // random-access lines for the commit phase (re-tagged
+                // with the parent's query id, like the sink will).
                 for &child in plan.edges.iter() {
-                    ctx.prefetch(self.buffers.values, child as usize);
-                    ctx.prefetch(self.buffers.inqueue, child as usize);
+                    ctx.prefetch(self.buffers.values, (base + child) as usize);
+                    ctx.prefetch(self.buffers.inqueue, (base + child) as usize);
                 }
             }
         }

@@ -43,11 +43,13 @@ pub use recovery::{
     Checkpoint, RecoveryAttempt, RecoveryLog, RecoveryPolicy, RunFailure,
 };
 pub use runner::{
-    queue_capacity, run_bfs, run_bfs_stealing, run_workload, run_workload_stealing, PhaseWalls,
-    PtConfig, Run,
+    queue_capacity, run_bfs, run_bfs_stealing, run_workload, run_workload_stealing,
+    run_workloads_coresident, PhaseWalls, PtConfig, Run,
 };
 pub use sssp::{run_sssp, run_sssp_recoverable};
-pub use workload::{Bfs, Claim, ConnectedComponents, PrDelta, PtWorkload, Sssp, WorkBuffers};
+pub use workload::{
+    Bfs, Claim, ConnectedComponents, PrDelta, PtWorkload, QueryBatch, Sssp, WorkBuffers,
+};
 
 /// Value for a vertex no min-directed traversal has reached yet
 /// (matches `ptq_graph::UNREACHED`).

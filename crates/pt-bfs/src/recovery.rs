@@ -177,7 +177,9 @@ impl Checkpoint {
     pub fn start_of<W: PtWorkload>(workload: &W, num_vertices: usize) -> Self {
         let values = workload.initial_values(num_vertices);
         let frontier = workload.seeds(num_vertices);
-        let mut inqueue = vec![0u32; num_vertices];
+        // Tokens index per-token state: `num_vertices` slots solo,
+        // `k * num_vertices` for a k-member QueryBatch.
+        let mut inqueue = vec![0u32; workload.state_len(num_vertices)];
         for &seed in &frontier {
             inqueue[seed as usize] = 1;
         }
@@ -333,15 +335,17 @@ pub fn resume_workload_detailed<W: PtWorkload>(
         "checkpoint stride must be positive"
     );
     let n = graph.num_vertices();
+    let state_len = workload.state_len(n);
     let mut plan = plan.clone();
-    if checkpoint.values.len() != n || checkpoint.inqueue.len() != n {
-        // A snapshot from the wrong graph (or a truncated one) degrades
-        // into a typed error the caller can log and retry from scratch.
+    if checkpoint.values.len() != state_len || checkpoint.inqueue.len() != state_len {
+        // A snapshot from the wrong graph or workload shape (or a
+        // truncated one) degrades into a typed error the caller can log
+        // and retry from scratch.
         let error = SimError::AuditViolation(format!(
-            "corrupt checkpoint: {} values / {} inqueue bits against a graph of {} vertices",
+            "corrupt checkpoint: {} values / {} inqueue bits against {} state slots",
             checkpoint.values.len(),
             checkpoint.inqueue.len(),
-            n
+            state_len
         ));
         return Err(Box::new(RunFailure {
             error,
@@ -624,9 +628,9 @@ fn run_epoch<W: PtWorkload>(
     let inqueue = mem.alloc_init("inqueue", &ckpt.inqueue);
     let pending = mem.alloc("pending", 1);
     mem.write_u32(pending, 0, ckpt.frontier.len() as u32);
-    // Spill cursor + at most one entry per vertex (the on-queue bit
-    // guarantees a vertex spills at most once per epoch).
-    let spill = mem.alloc("spill", n + 1);
+    // Spill cursor + at most one entry per token (the on-queue bit
+    // guarantees a token spills at most once per epoch).
+    let spill = mem.alloc("spill", workload.state_len(n) + 1);
     let layout = LaunchLayout::setup(mem, config.variant, capacity, &ckpt.frontier);
 
     let buffers = WorkBuffers {

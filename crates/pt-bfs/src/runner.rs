@@ -296,6 +296,142 @@ pub fn run_bfs(
     run_workload(gpu, graph, &Bfs::new(source), config)
 }
 
+/// Runs several independent workload instances *co-resident* on one
+/// simulated device: each entry gets its own kernel grid, scheduler
+/// queue, and device buffers (namespaced per launch), and the engine
+/// interleaves their waves on the shared compute units under the same
+/// deterministic round loop a solo run uses. Each returned [`Run`] is
+/// the per-launch view: its own metrics, values, and makespan (the
+/// cycle its last wave retired), so per-query latency under contention
+/// falls straight out.
+///
+/// Contention is modeled, isolation is preserved: launches share CU
+/// issue slots, the bandwidth floor, and hot-word serialization, but
+/// never touch each other's state — values for each entry are
+/// byte-identical to that entry's solo run (confluence; see
+/// DESIGN.md §15).
+///
+/// Single attempt, no capacity-regrow loop: each entry's queue is sized
+/// from the larger of `config.capacity_factor` and the workload's own
+/// default factor (use segmented variants to make queue-full
+/// structurally impossible — the serving layer does).
+///
+/// # Errors
+/// Propagates simulator faults; queue-full aborts the whole co-resident
+/// launch group.
+///
+/// # Panics
+/// Panics if `entries` is empty, if any workload's seeds are out of
+/// range, or if `config.cpu_collab_groups != 0` (CPU collaboration is a
+/// solo-baseline feature).
+pub fn run_workloads_coresident<W: PtWorkload>(
+    gpu: &GpuConfig,
+    entries: &[(&Csr, W)],
+    config: &PtConfig,
+) -> Result<Vec<Run>, SimError> {
+    assert!(!entries.is_empty(), "co-resident launch group is non-empty");
+    assert_eq!(
+        config.cpu_collab_groups, 0,
+        "CPU collaboration is a solo-baseline feature"
+    );
+
+    let setup_start = Instant::now();
+    let mut engine = Engine::new(gpu.clone());
+    let mem = engine.memory_mut();
+    let mut per_launch = Vec::with_capacity(entries.len());
+    for (l, (graph, workload)) in entries.iter().enumerate() {
+        // Namespace this launch's allocations so co-resident launches
+        // can each bind their own "nodes"/"edges"/aux buffers in the
+        // one shared arena. Lookups are unprefixed: handles are taken
+        // here, inside the launch's namespace.
+        mem.set_alloc_prefix(&format!("q{l}:"));
+        let n = graph.num_vertices();
+        let seeds = workload.seeds(n);
+        let nodes = mem.alloc_init("nodes", graph.row_offsets());
+        let edges = mem.alloc_init("edges", graph.adjacency());
+        let mut bound = workload.clone();
+        bound.bind(mem);
+        let values = mem.alloc_init(bound.value_buffer_name(), &bound.initial_values(n));
+        let inqueue = mem.alloc("inqueue", bound.state_len(n));
+        for &seed in &seeds {
+            mem.write_u32(inqueue, seed as usize, 1);
+        }
+        let pending = mem.alloc("pending", 1);
+        mem.write_u32(pending, 0, seeds.len() as u32);
+        let capacity = queue_capacity(
+            n,
+            config.capacity_factor.max(bound.default_capacity_factor()),
+        );
+        let layout = LaunchLayout::setup(mem, config.variant, capacity, &seeds);
+        let buffers = WorkBuffers {
+            nodes,
+            edges,
+            values,
+            inqueue,
+            pending,
+        };
+        per_launch.push((layout, bound, buffers));
+    }
+    mem.set_alloc_prefix("");
+
+    let mut template = Launch::workgroups(config.workgroups)
+        .with_max_rounds(config.max_rounds)
+        .with_engine_workers(config.engine_workers);
+    if config.audit {
+        template = template.with_audit();
+    }
+    let variant = config.variant;
+    let chunk = config.chunk;
+    let wgs = vec![config.workgroups; entries.len()];
+    let setup_seconds = setup_start.elapsed().as_secs_f64();
+
+    let sim_start = Instant::now();
+    let reports = engine.run_coresident(template, &wgs, |l, info| {
+        let (layout, bound, buffers) = &per_launch[l];
+        PtKernel::with_chunk(
+            layout.make_queue(variant),
+            bound.clone(),
+            *buffers,
+            info.wave_size,
+            chunk,
+        )
+    })?;
+    let sim_seconds = sim_start.elapsed().as_secs_f64();
+
+    let readback_start = Instant::now();
+    let mut runs = Vec::with_capacity(entries.len());
+    for (report, (_, bound, buffers)) in reports.into_iter().zip(&per_launch) {
+        if config.audit {
+            enforce_retry_free(variant, &report.metrics)?;
+        }
+        let values = engine.memory().read_slice(buffers.values).to_vec();
+        let reached = bound.reached(&values);
+        runs.push(Run {
+            seconds: report.seconds,
+            metrics: report.metrics,
+            values,
+            reached,
+            per_cu_cycles: report.per_cu_cycles,
+            recovery: RecoveryLog {
+                epochs: 1,
+                rounds_committed: report.metrics.rounds,
+                final_capacity_factor: config.capacity_factor,
+                ..RecoveryLog::default()
+            },
+            profile: report.profile,
+            // Setup and readback walls are shared across the group;
+            // attributed to every member (diagnostics only, never a
+            // golden quantity).
+            phases: PhaseWalls {
+                setup_seconds,
+                sim_seconds,
+                readback_seconds: readback_start.elapsed().as_secs_f64(),
+            },
+        });
+    }
+    Ok(runs)
+}
+
 /// Run-level enforcement of the paper's central claim: a successful run
 /// scheduled by a retry-free variant must report zero CAS attempts, zero
 /// CAS failures, and zero queue-empty retries. Complements the
@@ -325,8 +461,11 @@ fn run_workload_once<W: PtWorkload>(
     mem.alloc_init("edges", graph.adjacency());
     let mut workload = workload.clone();
     workload.bind(mem);
+    // Per-token state spans `state_len` slots (`n` solo, `k * n` for a
+    // k-member batch); seeds are tokens, so they index this state
+    // directly.
     let values = mem.alloc_init(workload.value_buffer_name(), &workload.initial_values(n));
-    let inqueue = mem.alloc("inqueue", n);
+    let inqueue = mem.alloc("inqueue", workload.state_len(n));
     for &seed in &seeds {
         mem.write_u32(inqueue, seed as usize, 1);
     }
@@ -423,7 +562,7 @@ pub fn run_workload_stealing<W: PtWorkload>(
         let mut bound = workload.clone();
         bound.bind(mem);
         let values = mem.alloc_init(bound.value_buffer_name(), &bound.initial_values(n));
-        let inqueue = mem.alloc("inqueue", n);
+        let inqueue = mem.alloc("inqueue", bound.state_len(n));
         for &seed in &seeds {
             mem.write_u32(inqueue, seed as usize, 1);
         }
@@ -906,5 +1045,77 @@ mod tests {
         let run = run_workload_stealing(&GpuConfig::test_tiny(), &g, &pr, 4).unwrap();
         pr.validate(&g, &run.values)
             .unwrap_or_else(|(v, want, got)| panic!("pr stealing: {v}: {got} != {want}"));
+    }
+
+    #[test]
+    fn coresident_solo_group_matches_run_workload() {
+        // One-launch co-residency must be the solo path, byte for byte.
+        let g = synthetic_tree(400, 4);
+        let config = PtConfig::new(Variant::RfAn, 3);
+        let solo = run_workload(&GpuConfig::test_tiny(), &g, &Bfs::new(0), &config).unwrap();
+        let mut group =
+            run_workloads_coresident(&GpuConfig::test_tiny(), &[(&g, Bfs::new(0))], &config)
+                .unwrap();
+        let run = group.pop().unwrap();
+        assert_eq!(run.seconds, solo.seconds);
+        assert_eq!(run.metrics, solo.metrics);
+        assert_eq!(run.values, solo.values);
+        assert_eq!(run.per_cu_cycles, solo.per_cu_cycles);
+    }
+
+    #[test]
+    fn coresident_pair_is_isolated_but_contended() {
+        // Two queries over two different graphs share the device: each
+        // still produces exactly its solo value array (isolation), and
+        // neither finishes earlier than it would alone (contention).
+        let g1 = synthetic_tree(300, 4);
+        let g2 = social(SocialParams {
+            vertices: 400,
+            avg_degree: 6.0,
+            alpha: 1.8,
+            max_degree: 80,
+            seed: 11,
+        });
+        let config = PtConfig::new(Variant::RfAn, 2);
+        let gpu = GpuConfig::test_tiny();
+        let runs =
+            run_workloads_coresident(&gpu, &[(&g1, Bfs::new(0)), (&g2, Bfs::new(5))], &config)
+                .unwrap();
+        let solo1 = run_workload(&gpu, &g1, &Bfs::new(0), &config).unwrap();
+        let solo2 = run_workload(&gpu, &g2, &Bfs::new(5), &config).unwrap();
+        assert_eq!(runs[0].values, solo1.values);
+        assert_eq!(runs[1].values, solo2.values);
+        assert_eq!(runs[0].reached, solo1.reached);
+        assert_eq!(runs[1].reached, solo2.reached);
+        assert!(runs[0].seconds >= solo1.seconds);
+        assert!(runs[1].seconds >= solo2.seconds);
+        // Retry-free audits hold per launch under co-residency.
+        assert_eq!(runs[0].metrics.total_retries(), 0);
+        assert_eq!(runs[1].metrics.total_retries(), 0);
+    }
+
+    #[test]
+    fn coresident_group_is_deterministic_across_engine_workers() {
+        let g1 = synthetic_tree(250, 3);
+        let g2 = synthetic_tree(350, 5);
+        let mut baseline = None;
+        for workers in [1, 4] {
+            let mut config = PtConfig::new(Variant::SegRfAn, 2);
+            config.engine_workers = workers;
+            let runs = run_workloads_coresident(
+                &GpuConfig::test_tiny(),
+                &[(&g1, Bfs::new(0)), (&g2, Bfs::new(1))],
+                &config,
+            )
+            .unwrap();
+            let key: Vec<_> = runs
+                .iter()
+                .map(|r| (r.seconds.to_bits(), r.metrics, r.values.clone()))
+                .collect();
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(b, &key, "engine_workers={workers} diverged"),
+            }
+        }
     }
 }

@@ -30,11 +30,13 @@
 //!
 //! [`run_workload`]: crate::runner::run_workload
 
+mod batch;
 mod bfs;
 mod cc;
 mod prdelta;
 mod sssp;
 
+pub use batch::QueryBatch;
 pub use bfs::Bfs;
 pub use cc::ConnectedComponents;
 pub use prdelta::PrDelta;
@@ -89,16 +91,25 @@ pub struct TokenSink<'a> {
     pub(crate) inqueue: Buffer,
     pub(crate) fence: Option<SpillFence>,
     pub(crate) outbox: &'a mut Vec<u32>,
+    /// Query-id tag of the token being expanded: `token - token_row(token)`
+    /// (see [`PtWorkload::token_row`]). Offered children are raw CSR rows;
+    /// the sink re-tags them with the same query id before touching
+    /// per-query state, so `expand` implementations stay batch-oblivious.
+    /// Zero for every solo (non-batched) workload.
+    pub(crate) base: u32,
 }
 
 impl TokenSink<'_> {
     /// Offers `candidate` as `child`'s new value. Claims the value word
     /// with the workload's directed atomic; on a strict improvement,
     /// claims the on-queue bit and emits the token (outbox or spill).
+    /// `child` is a CSR row; in a batched launch the parent token's
+    /// query-id tag carries over to the emitted token.
     pub fn offer(&mut self, ctx: &mut WaveCtx<'_>, child: u32, candidate: u32) {
+        let token = self.base + child;
         let old = match self.claim {
-            Claim::Min => ctx.atomic_min(self.values, child as usize, candidate),
-            Claim::Max => ctx.atomic_max(self.values, child as usize, candidate),
+            Claim::Min => ctx.atomic_min(self.values, token as usize, candidate),
+            Claim::Max => ctx.atomic_max(self.values, token as usize, candidate),
         };
         let improved = match self.claim {
             Claim::Min => old > candidate,
@@ -109,7 +120,7 @@ impl TokenSink<'_> {
         }
         // Improving discovery: schedule it unless it is already sitting
         // in the queue.
-        let was = ctx.atomic_exchange(self.inqueue, child as usize, 1);
+        let was = ctx.atomic_exchange(self.inqueue, token as usize, 1);
         if was != 0 {
             return;
         }
@@ -120,9 +131,9 @@ impl TokenSink<'_> {
             // next launch to seed from.
             Some(f) if self.claim == Claim::Min && candidate > f.depth => {
                 let at = ctx.atomic_add(f.spill, 0, 1);
-                ctx.global_write_lane(f.spill, 1 + at as usize, child);
+                ctx.global_write_lane(f.spill, 1 + at as usize, token);
             }
-            _ => self.outbox.push(child),
+            _ => self.outbox.push(token),
         }
     }
 }
@@ -156,6 +167,25 @@ pub trait PtWorkload: Clone + Send {
     /// on-queue bit set and be counted in `pending` — the runner does
     /// both).
     fn seeds(&self, num_vertices: usize) -> Vec<u32>;
+
+    /// Length of the per-token state arrays (values, on-queue bits,
+    /// spill buffer) for a graph of `num_vertices` vertices. Solo
+    /// workloads use one slot per vertex (the default); a
+    /// [`QueryBatch`] of `k` co-scheduled queries uses `k` slots per
+    /// vertex so every query keeps private claim state over the shared
+    /// CSR.
+    fn state_len(&self, num_vertices: usize) -> usize {
+        num_vertices
+    }
+
+    /// Maps a queue token to the CSR row it expands. Solo workloads
+    /// schedule vertices directly (identity, the default); a
+    /// [`QueryBatch`] packs `query_id * num_vertices + vertex` into the
+    /// token and strips the query tag here. Pure (no device ops) — the
+    /// kernel uses it on the host side of the acquisition prolog.
+    fn token_row(&self, token: u32) -> u32 {
+        token
+    }
 
     /// Allocates and uploads workload-private device buffers (e.g. SSSP
     /// edge weights). Called once per launch, after the CSR buffers and

@@ -114,8 +114,20 @@ impl GpuConfig {
     /// clock (rounding toward zero). Inverse of [`cycles_to_seconds`];
     /// used by serving layers that budget deadlines in simulated cycles.
     ///
+    /// Saturates: a duration past `u64::MAX` cycles (or a NaN/negative
+    /// input, which no simulated clock produces) clamps to the range
+    /// bounds instead of hitting the float→int cast's platform-defined
+    /// edge. Debug builds assert the input was finite and non-negative so
+    /// a corrupted duration is caught at the conversion site.
+    ///
     /// [`cycles_to_seconds`]: GpuConfig::cycles_to_seconds
     pub fn seconds_to_cycles(&self, seconds: f64) -> u64 {
+        debug_assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "seconds_to_cycles: durations are finite and non-negative, got {seconds}"
+        );
+        // `as` already saturates (NaN -> 0), making release builds safe
+        // on the same inputs the debug assertion flags.
         (seconds * self.clock_ghz * 1e9) as u64
     }
 }
@@ -287,6 +299,36 @@ mod tests {
             tiny.seconds_to_cycles(tiny.cycles_to_seconds(cycles)),
             cycles
         );
+    }
+
+    #[test]
+    fn seconds_to_cycles_saturates_at_the_boundaries() {
+        let tiny = GpuConfig::test_tiny(); // 1.0 GHz: seconds * 1e9
+        assert_eq!(tiny.seconds_to_cycles(0.0), 0);
+        // Largest duration still inside u64 at 1 GHz: u64::MAX cycles is
+        // ~1.8e10 seconds; one cycle under the float-representable edge
+        // converts without clamping...
+        let edge_seconds = (u64::MAX as f64) / 1e9;
+        assert_eq!(tiny.seconds_to_cycles(edge_seconds * 0.5), u64::MAX / 2 + 1);
+        // ...and anything past it clamps to u64::MAX instead of wrapping.
+        assert_eq!(tiny.seconds_to_cycles(edge_seconds * 4.0), u64::MAX);
+        assert_eq!(tiny.seconds_to_cycles(f64::MAX), u64::MAX);
+        // Sub-cycle durations round toward zero.
+        assert_eq!(tiny.seconds_to_cycles(0.4e-9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    #[cfg(debug_assertions)]
+    fn seconds_to_cycles_rejects_nan_in_debug() {
+        GpuConfig::test_tiny().seconds_to_cycles(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    #[cfg(debug_assertions)]
+    fn seconds_to_cycles_rejects_negative_in_debug() {
+        GpuConfig::test_tiny().seconds_to_cycles(-1.0);
     }
 
     #[test]

@@ -166,6 +166,25 @@ struct Park {
     delta: Metrics,
 }
 
+/// Per-launch bookkeeping for the multi-launch round loop: counters that
+/// must not bleed between co-resident launches, plus the device-clock
+/// snapshot taken the round the launch's last wave retires.
+struct LaunchState {
+    /// Counters charged by this launch's waves.
+    metrics: Metrics,
+    /// Park events raised by this launch's waves.
+    park_events: u64,
+    /// Park fast-path replays of this launch's waves.
+    park_replay_cycles: u64,
+    /// Waves of this launch still alive.
+    waves_left: usize,
+    /// Makespan snapshotted at retirement (compute/bandwidth/hot-word
+    /// maxima as of that round, plus launch overhead).
+    makespan: u64,
+    /// Per-CU cycle state at retirement.
+    cu_snapshot: Vec<u64>,
+}
+
 /// Fieldwise `after - before` of the per-cycle metric counters. Fields a
 /// work cycle never touches (rounds, launches, makespan) stay zero, so
 /// accruing the delta via [`Metrics::merge`] is exact.
@@ -315,42 +334,129 @@ impl Engine {
         K: WaveKernel,
         F: FnMut(WaveInfo) -> K,
     {
+        let wgs = [launch.num_workgroups];
+        let mut reports = self.run_multi(launch, &wgs, plan, |_, info| factory(info))?;
+        Ok(reports.pop().expect("single launch yields one report"))
+    }
+
+    /// Runs several co-resident kernel launches that share the device:
+    /// waves from all launches interleave in one deterministic round
+    /// rotation, contending for the same CUs, DRAM bandwidth pool, and
+    /// hot-word serialization floor. Each launch gets its own
+    /// [`RunReport`] — metrics, a makespan snapshotted at the round its
+    /// last wave retires, and the per-CU cycle state at that instant —
+    /// so co-residents that finish early report shorter makespans than
+    /// stragglers, exactly like overlapping streams on real hardware.
+    ///
+    /// `template` supplies the shared knobs (round limit, audit,
+    /// engine workers); `launch_wgs[l]` is launch `l`'s workgroup count.
+    /// `factory` receives `(launch_index, info)` where `info` carries
+    /// *launch-local* `wave_id`/`workgroup`/`total_waves` (kernels see
+    /// their own geometry, as if launched alone) while CU assignment
+    /// continues the device-wide round-robin fill across launches.
+    ///
+    /// Restrictions: no CPU-collab groups and no fault plan (both are
+    /// single-launch concepts; faulted queries run solo upstream). A
+    /// one-element `launch_wgs` is bit-identical to [`Engine::run`].
+    ///
+    /// # Errors
+    /// Same failure modes as [`Engine::run`]; an abort in any launch
+    /// fails the whole co-resident execution.
+    pub fn run_coresident<K, F>(
+        &mut self,
+        template: Launch,
+        launch_wgs: &[usize],
+        factory: F,
+    ) -> Result<Vec<RunReport>, SimError>
+    where
+        K: WaveKernel,
+        F: FnMut(usize, WaveInfo) -> K,
+    {
         assert!(
-            launch.num_workgroups > 0 || launch.cpu_collab_groups > 0,
-            "launch must contain at least one group"
+            template.cpu_collab_groups == 0,
+            "co-resident launches do not support CPU collab groups"
         );
-        let gpu_waves = launch.num_workgroups * self.config.waves_per_wg;
+        assert!(!launch_wgs.is_empty(), "need at least one launch");
+        assert!(
+            launch_wgs.iter().all(|&n| n > 0),
+            "every co-resident launch needs at least one workgroup"
+        );
+        self.run_multi(template, launch_wgs, &FaultPlan::EMPTY, factory)
+    }
+
+    /// The round-loop core shared by [`Engine::run_with_faults`] (one
+    /// launch, faults allowed) and [`Engine::run_coresident`] (many
+    /// launches, clean). With a single launch the wave table, visit
+    /// order, charges, and report are bit-identical to the historical
+    /// single-launch loop — the pt-bfs engine-regression goldens pin it.
+    fn run_multi<K, F>(
+        &mut self,
+        launch: Launch,
+        launch_wgs: &[usize],
+        plan: &FaultPlan,
+        mut factory: F,
+    ) -> Result<Vec<RunReport>, SimError>
+    where
+        K: WaveKernel,
+        F: FnMut(usize, WaveInfo) -> K,
+    {
+        let num_launches = launch_wgs.len();
+        assert!(
+            num_launches == 1 || (plan.is_empty() && launch.cpu_collab_groups == 0),
+            "faults and CPU collab are single-launch only"
+        );
+        let gpu_waves: usize = launch_wgs
+            .iter()
+            .map(|&n| n * self.config.waves_per_wg)
+            .sum();
         let total_waves = gpu_waves + launch.cpu_collab_groups;
+        assert!(total_waves > 0, "launch must contain at least one group");
         let num_cus = self.config.num_cus + launch.cpu_collab_groups;
 
         // Build wave table. GPU workgroups are distributed round-robin
-        // over CUs (matching how a hardware dispatcher fills the device);
-        // each CPU collab group gets its own virtual unit.
+        // over CUs in launch order (matching how a hardware dispatcher
+        // fills the device as streams arrive); each CPU collab group gets
+        // its own virtual unit. `wave_id`/`workgroup`/`total_waves` stay
+        // launch-local so a kernel's queue-slot partitioning is the same
+        // whether it runs alone or co-resident.
         let mut infos = Vec::with_capacity(total_waves);
-        for wg in 0..launch.num_workgroups {
-            for w in 0..self.config.waves_per_wg {
-                infos.push(WaveInfo {
-                    wave_id: wg * self.config.waves_per_wg + w,
-                    workgroup: wg,
-                    cu: wg % self.config.num_cus,
-                    wave_size: self.config.wave_size,
-                    total_waves,
-                    class: WaveClass::Gpu,
-                });
+        let mut launch_of = Vec::with_capacity(total_waves);
+        let mut global_wg = 0usize;
+        for (l, &wgs) in launch_wgs.iter().enumerate() {
+            let local_total =
+                wgs * self.config.waves_per_wg + if l == 0 { launch.cpu_collab_groups } else { 0 };
+            for wg in 0..wgs {
+                for w in 0..self.config.waves_per_wg {
+                    infos.push(WaveInfo {
+                        wave_id: wg * self.config.waves_per_wg + w,
+                        workgroup: wg,
+                        cu: global_wg % self.config.num_cus,
+                        wave_size: self.config.wave_size,
+                        total_waves: local_total,
+                        class: WaveClass::Gpu,
+                    });
+                    launch_of.push(l);
+                }
+                global_wg += 1;
             }
         }
         for g in 0..launch.cpu_collab_groups {
             infos.push(WaveInfo {
-                wave_id: gpu_waves + g,
-                workgroup: launch.num_workgroups + g,
+                wave_id: launch_wgs[0] * self.config.waves_per_wg + g,
+                workgroup: launch_wgs[0] + g,
                 cu: self.config.num_cus + g,
                 wave_size: self.config.wave_size,
                 total_waves,
                 class: WaveClass::CpuCollab,
             });
+            launch_of.push(0);
         }
 
-        let mut kernels: Vec<K> = infos.iter().map(|&i| factory(i)).collect();
+        let mut kernels: Vec<K> = infos
+            .iter()
+            .zip(&launch_of)
+            .map(|(&i, &l)| factory(l, i))
+            .collect();
 
         let Scratch {
             active,
@@ -378,7 +484,23 @@ impl Engine {
             .ensure_capacity(self.memory.allocated_words());
 
         let workers = launch.engine_workers.max(1);
-        let mut metrics = Metrics::default();
+        // Per-launch accounting: counters charge to the acting wave's
+        // launch; device-wide quantities (per-CU clocks, bandwidth and
+        // hot-word floors) are shared and snapshotted per launch at the
+        // round its last wave retires.
+        let mut states: Vec<LaunchState> = launch_wgs
+            .iter()
+            .map(|&wgs| LaunchState {
+                metrics: Metrics::default(),
+                park_events: 0,
+                park_replay_cycles: 0,
+                waves_left: wgs * self.config.waves_per_wg,
+                makespan: 0,
+                cu_snapshot: Vec::new(),
+            })
+            .collect();
+        states[0].waves_left += launch.cpu_collab_groups;
+        let mut newly_done: Vec<usize> = Vec::new();
         let mut profile = Profile {
             engine_workers: workers as u64,
             ..Profile::default()
@@ -438,7 +560,7 @@ impl Engine {
                     if let Some(buf) = self.memory.try_buffer(&p.buffer) {
                         if let Ok(addr) = self.memory.flat_addr(buf, p.index) {
                             self.memory.arm_poison(addr, p.round);
-                            metrics.injected_faults += 1;
+                            states[0].metrics.injected_faults += 1;
                         }
                     }
                     next_poison += 1;
@@ -495,6 +617,7 @@ impl Engine {
             for pos in (split..active.len()).chain(0..split) {
                 let w = active[pos];
                 let info = infos[w];
+                let state = &mut states[launch_of[w]];
                 if faults_on && !round_kills.is_empty() && round_kills.contains(&w) {
                     // The abort discards metrics; the kill is recorded in
                     // the structured error itself.
@@ -523,18 +646,18 @@ impl Engine {
                         round_issue[info.cu] += park.issue;
                         round_latency[info.cu] = round_latency[info.cu].max(park.latency);
                         round_lines += park.lines;
-                        metrics.merge(&park.delta);
-                        profile.park_replay_cycles += 1;
+                        state.metrics.merge(&park.delta);
+                        state.park_replay_cycles += 1;
                         continue;
                     }
                     parks[w] = None;
                 }
                 watches.clear();
                 self.round_state.begin_cycle();
-                let before = metrics;
+                let before = state.metrics;
                 let mut ctx = WaveCtx::new(
                     &mut self.memory,
-                    &mut metrics,
+                    &mut state.metrics,
                     &mut self.round_state,
                     &self.config.cost,
                     info,
@@ -575,7 +698,7 @@ impl Engine {
                 if let Some(reason) = abort {
                     return Err(SimError::KernelAbort { reason, round });
                 }
-                metrics.work_cycles += 1;
+                state.metrics.work_cycles += 1;
                 round_issue[info.cu] += issue;
                 round_latency[info.cu] = round_latency[info.cu].max(latency);
                 round_atomic[info.cu] += atomic_ops * self.config.cost.atomic_unit_milli;
@@ -585,16 +708,22 @@ impl Engine {
                 if status == WaveStatus::Done {
                     alive[w] = false;
                     retired = true;
+                    state.waves_left -= 1;
+                    if state.waves_left == 0 {
+                        // The launch's device-clock snapshot happens at
+                        // the end of this round, after its costs land.
+                        newly_done.push(launch_of[w]);
+                    }
                 } else if !watches.is_empty() && !wrote && atomic_ops == 0 {
                     // A pure polling cycle: park the wave and replay these
                     // exact charges until a watched word changes.
-                    profile.park_events += 1;
+                    state.park_events += 1;
                     parks[w] = Some(Park {
                         watches: std::mem::take(watches),
                         issue,
                         latency,
                         lines: cycle_lines,
-                        delta: metrics_delta(&metrics, &before),
+                        delta: metrics_delta(&state.metrics, &before),
                     });
                 }
             }
@@ -633,9 +762,9 @@ impl Engine {
                 for s in &fplan.cu_stalls {
                     if s.cu < num_cus && s.covers(round) {
                         cu_cycles[s.cu] += s.extra_cycles;
-                        metrics.injected_stall_cycles += s.extra_cycles;
+                        states[0].metrics.injected_stall_cycles += s.extra_cycles;
                         if s.from_round == round {
-                            metrics.injected_faults += 1;
+                            states[0].metrics.injected_faults += 1;
                         }
                     }
                 }
@@ -661,31 +790,48 @@ impl Engine {
                     active_waves: active_at_start,
                 });
             }
+            // A launch whose last wave retired this round completes here:
+            // it can finish no faster than the slowest CU so far and no
+            // faster than the device-wide DRAM / hot-word floors — all of
+            // which include the interference its co-residents caused.
+            for l in newly_done.drain(..) {
+                let compute = cu_cycles.iter().copied().max().unwrap_or(0);
+                states[l].makespan = compute
+                    .max(device_bw_millicycles / 1000)
+                    .max(device_hot_millicycles / 1000)
+                    + self.config.cost.launch_overhead;
+                states[l].metrics.rounds = round + 1;
+                states[l].cu_snapshot = cu_cycles.clone();
+            }
             round += 1;
         }
 
-        metrics.rounds = round;
-        metrics.launches = 1;
-        // The kernel can finish no faster than its slowest CU and no
-        // faster than the device-wide DRAM transfer time.
-        let compute = cu_cycles.iter().copied().max().unwrap_or(0);
-        let makespan = compute
-            .max(device_bw_millicycles / 1000)
-            .max(device_hot_millicycles / 1000)
-            + self.config.cost.launch_overhead;
-        metrics.makespan_cycles = makespan;
         profile.arena_words = self.memory.allocated_words() as u64;
         profile.meta_bytes = self.memory.meta_bytes();
         profile.demand_zeroed_words = self.memory.demand_zeroed_words();
         profile.arena_recycled = u64::from(self.memory.was_recycled());
         profile.line_table_bytes = self.round_state.line_table_bytes();
-        Ok(RunReport {
-            metrics,
-            seconds: self.config.cycles_to_seconds(makespan),
-            per_cu_cycles: cu_cycles,
-            trace,
-            profile,
-        })
+        Ok(states
+            .into_iter()
+            .enumerate()
+            .map(|(l, mut s)| {
+                s.metrics.launches = 1;
+                s.metrics.makespan_cycles = s.makespan;
+                // Device-wide profile gauges are shared; the park
+                // counters are this launch's own. The per-round trace
+                // (device-wide by construction) rides on launch 0.
+                let mut p = profile;
+                p.park_events = s.park_events;
+                p.park_replay_cycles = s.park_replay_cycles;
+                RunReport {
+                    metrics: s.metrics,
+                    seconds: self.config.cycles_to_seconds(s.makespan),
+                    per_cu_cycles: std::mem::take(&mut s.cu_snapshot),
+                    trace: if l == 0 { trace.take() } else { None },
+                    profile: p,
+                }
+            })
+            .collect())
     }
 }
 
@@ -1164,6 +1310,103 @@ mod tests {
             })
             .unwrap();
         assert_eq!(r.metrics.injected_faults, 0);
+    }
+
+    #[test]
+    fn coresident_single_launch_matches_run() {
+        let solo = {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run(Launch::workgroups(3), |_| IncrKernel { buf, remaining: 5 })
+                .unwrap()
+        };
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let mut reports = e
+            .run_coresident(Launch::workgroups(3), &[3], |_, _| IncrKernel {
+                buf,
+                remaining: 5,
+            })
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        let co = reports.pop().unwrap();
+        assert_eq!(co.metrics, solo.metrics);
+        assert_eq!(co.per_cu_cycles, solo.per_cu_cycles);
+        assert_eq!(co.seconds, solo.seconds);
+        // Arena-pool gauges depend on engine construction order, so
+        // compare only the run-derived profile counters.
+        assert_eq!(co.profile.park_events, solo.profile.park_events);
+        assert_eq!(co.profile.peak_round_lines, solo.profile.peak_round_lines);
+    }
+
+    #[test]
+    fn coresident_launches_split_metrics_and_overlap() {
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        // Launch 0: 1 wave x 2 increments. Launch 1: 2 waves x 7
+        // increments. All share one counter.
+        let reports = e
+            .run_coresident(Launch::workgroups(1), &[1, 2], |l, _| IncrKernel {
+                buf,
+                remaining: if l == 0 { 2 } else { 7 },
+            })
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(e.memory().read_u32(buf, 0), 2 + 2 * 7);
+        assert_eq!(reports[0].metrics.global_atomics, 2);
+        assert_eq!(reports[1].metrics.global_atomics, 14);
+        assert_eq!(reports[0].metrics.launches, 1);
+        // The short launch retires after 2 rounds, the long one after 7 —
+        // per-launch completion tracks each launch's own retirement.
+        assert_eq!(reports[0].metrics.rounds, 2);
+        assert_eq!(reports[1].metrics.rounds, 7);
+        assert!(reports[0].metrics.makespan_cycles < reports[1].metrics.makespan_cycles);
+    }
+
+    #[test]
+    fn coresident_completion_feels_contention() {
+        // The same 2-increment launch finishes later (in cycles) when a
+        // heavy co-resident shares the device than when it runs alone.
+        let solo = {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run(Launch::workgroups(1), |_| IncrKernel { buf, remaining: 2 })
+                .unwrap()
+        };
+        let mut e = tiny_engine();
+        let buf = e.memory().buffer("counter");
+        let reports = e
+            .run_coresident(Launch::workgroups(1), &[1, 4], |l, _| IncrKernel {
+                buf,
+                remaining: if l == 0 { 2 } else { 8 },
+            })
+            .unwrap();
+        assert!(
+            reports[0].metrics.makespan_cycles > solo.metrics.makespan_cycles,
+            "co-residency contends: {} vs solo {}",
+            reports[0].metrics.makespan_cycles,
+            solo.metrics.makespan_cycles
+        );
+    }
+
+    #[test]
+    fn coresident_reports_are_deterministic() {
+        let run = || {
+            let mut e = tiny_engine();
+            let buf = e.memory().buffer("counter");
+            e.run_coresident(Launch::workgroups(1), &[2, 1, 3], |l, _| IncrKernel {
+                buf,
+                remaining: 3 + l as u32,
+            })
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.metrics, y.metrics);
+            assert_eq!(x.per_cu_cycles, y.per_cu_cycles);
+            assert_eq!(x.seconds, y.seconds);
+        }
     }
 
     #[test]

@@ -122,6 +122,11 @@ pub struct DeviceMemory {
     demand_zeroed_words: u64,
     /// True if this arena came from the thread-local recycling pool.
     recycled: bool,
+    /// Allocation namespace prefix (see
+    /// [`DeviceMemory::set_alloc_prefix`]). Empty outside co-resident
+    /// multi-launch setup, where per-launch prefixes keep otherwise
+    /// identical buffer names ("nodes", "weights", …) from colliding.
+    alloc_prefix: String,
 }
 
 impl Default for DeviceMemory {
@@ -284,7 +289,18 @@ impl DeviceMemory {
             dirty_words,
             demand_zeroed_words: 0,
             recycled,
+            alloc_prefix: String::new(),
         }
+    }
+
+    /// Sets the allocation namespace: subsequent `alloc*` calls register
+    /// their buffers under `"{prefix}{name}"` (and [`DeviceMemory::buffer`]
+    /// lookups do NOT apply it — hold the returned handles instead).
+    /// Co-resident multi-launch hosts give each launch its own prefix so
+    /// per-launch buffers with identical logical names coexist in one
+    /// arena. Pass `""` to clear.
+    pub fn set_alloc_prefix(&mut self, prefix: &str) {
+        self.alloc_prefix = prefix.to_owned();
     }
 
     /// Grows the arena by `len` words and registers the handle, without
@@ -292,6 +308,12 @@ impl DeviceMemory {
     /// recycled dirty prefix the words hold previous-life data, beyond it
     /// they are zero. Callers overwrite or zero the region themselves.
     fn alloc_raw(&mut self, name: &str, len: usize) -> Buffer {
+        let name: std::borrow::Cow<'_, str> = if self.alloc_prefix.is_empty() {
+            name.into()
+        } else {
+            format!("{}{}", self.alloc_prefix, name).into()
+        };
+        let name = name.as_ref();
         assert!(
             !self.buffers.contains_key(name),
             "buffer {name:?} allocated twice"
@@ -709,6 +731,22 @@ mod tests {
         let a = mem.alloc_init("a", &[1, 2, 3]);
         assert_eq!(mem.read_slice(a), &[1, 2, 3]);
         assert_eq!(mem.read_u32(a, 2), 3);
+    }
+
+    #[test]
+    fn alloc_prefix_namespaces_identical_names() {
+        let mut mem = DeviceMemory::new();
+        mem.set_alloc_prefix("q0:");
+        let a = mem.alloc_init("nodes", &[1, 2]);
+        mem.set_alloc_prefix("q1:");
+        let b = mem.alloc_init("nodes", &[3, 4, 5]);
+        mem.set_alloc_prefix("");
+        assert_ne!(a, b);
+        assert_eq!(mem.read_slice(a), &[1, 2]);
+        assert_eq!(mem.read_slice(b), &[3, 4, 5]);
+        // Lookups are unprefixed: callers address the stored name.
+        assert_eq!(mem.buffer("q0:nodes"), a);
+        assert_eq!(mem.buffer("q1:nodes"), b);
     }
 
     #[test]
